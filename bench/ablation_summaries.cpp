@@ -1,0 +1,121 @@
+// Ablation for the design choices DESIGN.md calls out (paper §3.3):
+//
+//   * interprocedural engine — the prototype's call-string context
+//     cloning ("each function ... analyzed multiple times for different
+//     call sequences, making the implementation exponential") vs the
+//     ESP-style one-pass summaries the paper proposes as the efficient
+//     alternative;
+//   * control-dependence tracking on/off (removes the false-positive
+//     class and the control-flow leaks with it);
+//   * field sensitivity of the alias analysis.
+#include <benchmark/benchmark.h>
+
+#include "bench/synthetic.h"
+#include "safeflow/corpus_info.h"
+#include "safeflow/driver.h"
+
+namespace {
+
+using namespace safeflow;
+
+void runDriver(const std::string& source, SafeFlowOptions options,
+               benchmark::State& state) {
+  std::size_t body_analyses = 0;
+  for (auto _ : state) {
+    SafeFlowDriver driver(options);
+    driver.addSource("synthetic.c", source);
+    const auto& report = driver.analyze();
+    benchmark::DoNotOptimize(report.warnings.size());
+    body_analyses = driver.stats().taint_body_analyses;
+  }
+  state.counters["body_analyses"] =
+      static_cast<double>(body_analyses);
+}
+
+void BM_TaintSummaries(benchmark::State& state) {
+  const auto monitors = static_cast<int>(state.range(0));
+  const auto depth = static_cast<int>(state.range(1));
+  const std::string source = bench::monitorFanProgram(monitors, depth);
+  SafeFlowOptions options;
+  options.taint.mode = analysis::TaintOptions::Mode::kSummaries;
+  runDriver(source, options, state);
+}
+BENCHMARK(BM_TaintSummaries)
+    ->Args({2, 4})
+    ->Args({4, 8})
+    ->Args({8, 8})
+    ->Args({8, 16});
+
+void BM_TaintCallStrings(benchmark::State& state) {
+  const auto monitors = static_cast<int>(state.range(0));
+  const auto depth = static_cast<int>(state.range(1));
+  const std::string source = bench::monitorFanProgram(monitors, depth);
+  SafeFlowOptions options;
+  options.taint.mode = analysis::TaintOptions::Mode::kCallStrings;
+  runDriver(source, options, state);
+}
+BENCHMARK(BM_TaintCallStrings)
+    ->Args({2, 4})
+    ->Args({4, 8})
+    ->Args({8, 8})
+    ->Args({8, 16});
+
+void BM_CorpusEngine(benchmark::State& state) {
+  const bool call_strings = state.range(0) != 0;
+  const auto systems = corpusSystems(SAFEFLOW_CORPUS_DIR);
+  SafeFlowOptions options = corpusAnalysisOptions();
+  options.taint.mode = call_strings
+                           ? analysis::TaintOptions::Mode::kCallStrings
+                           : analysis::TaintOptions::Mode::kSummaries;
+  for (auto _ : state) {
+    for (const auto& sys : systems) {
+      SafeFlowDriver driver(options);
+      for (const auto& f : sys.core_files) driver.addFile(f);
+      benchmark::DoNotOptimize(driver.analyze().errors.size());
+    }
+  }
+  state.SetLabel(call_strings ? "call-strings" : "summaries");
+}
+BENCHMARK(BM_CorpusEngine)->Arg(0)->Arg(1);
+
+void BM_ControlDeps(benchmark::State& state) {
+  const bool track = state.range(0) != 0;
+  const auto systems = corpusSystems(SAFEFLOW_CORPUS_DIR);
+  SafeFlowOptions options = corpusAnalysisOptions();
+  options.taint.track_control_deps = track;
+  std::size_t errors = 0;
+  for (auto _ : state) {
+    errors = 0;
+    for (const auto& sys : systems) {
+      SafeFlowDriver driver(options);
+      for (const auto& f : sys.core_files) driver.addFile(f);
+      errors += driver.analyze().errors.size();
+    }
+  }
+  state.counters["error_entries"] = static_cast<double>(errors);
+  state.SetLabel(track ? "control-deps on" : "control-deps off");
+}
+BENCHMARK(BM_ControlDeps)->Arg(1)->Arg(0);
+
+void BM_FieldSensitivity(benchmark::State& state) {
+  const bool sensitive = state.range(0) != 0;
+  const auto systems = corpusSystems(SAFEFLOW_CORPUS_DIR);
+  SafeFlowOptions options = corpusAnalysisOptions();
+  options.alias.field_sensitive = sensitive;
+  std::size_t warnings = 0;
+  for (auto _ : state) {
+    warnings = 0;
+    for (const auto& sys : systems) {
+      SafeFlowDriver driver(options);
+      for (const auto& f : sys.core_files) driver.addFile(f);
+      warnings += driver.analyze().warnings.size();
+    }
+  }
+  state.counters["warnings"] = static_cast<double>(warnings);
+  state.SetLabel(sensitive ? "field-sensitive" : "field-insensitive");
+}
+BENCHMARK(BM_FieldSensitivity)->Arg(1)->Arg(0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Pipeline scaling microbenchmarks: front end, SSA construction, and the
+// full SafeFlow run over synthetic programs of growing size. The paper
+// notes "the overhead due to static analysis time ... is not a
+// significant factor in most development and testing efforts"; these
+// benches quantify that for this implementation.
+#include <benchmark/benchmark.h>
+
+#include "bench/synthetic.h"
+#include "cfront/frontend.h"
+#include "ir/lowering.h"
+#include "ir/ssa.h"
+#include "safeflow/corpus_info.h"
+#include "safeflow/driver.h"
+
+namespace {
+
+using namespace safeflow;
+
+void BM_FrontendParse(benchmark::State& state) {
+  const std::string source =
+      bench::scalingProgram(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    cfront::Frontend fe;
+    const bool ok = fe.parseBuffer("scaling.c", source);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["functions"] = static_cast<double>(state.range(0));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(source.size()));
+}
+BENCHMARK(BM_FrontendParse)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_LoweringAndSsa(benchmark::State& state) {
+  const std::string source =
+      bench::scalingProgram(static_cast<int>(state.range(0)));
+  cfront::Frontend fe;
+  if (!fe.parseBuffer("scaling.c", source)) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  for (auto _ : state) {
+    ir::Module module(fe.types());
+    ir::Lowering lowering(fe.unit(), module, fe.diagnostics());
+    lowering.run();
+    const auto stats = ir::promoteModuleToSsa(module);
+    benchmark::DoNotOptimize(stats.phis_inserted);
+  }
+  state.counters["functions"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_LoweringAndSsa)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const std::string source =
+      bench::scalingProgram(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    SafeFlowDriver driver;
+    driver.addSource("scaling.c", source);
+    benchmark::DoNotOptimize(driver.analyze().warnings.size());
+  }
+  state.counters["functions"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_FullPipeline)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_CorpusFullAnalysis(benchmark::State& state) {
+  const auto systems = corpusSystems(SAFEFLOW_CORPUS_DIR);
+  const auto& sys = systems[static_cast<std::size_t>(state.range(0))];
+  const SafeFlowOptions options = corpusAnalysisOptions();
+  for (auto _ : state) {
+    SafeFlowDriver driver(options);
+    for (const auto& f : sys.core_files) driver.addFile(f);
+    benchmark::DoNotOptimize(driver.analyze().errors.size());
+  }
+  state.SetLabel(sys.name);
+}
+BENCHMARK(BM_CorpusFullAnalysis)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Executable rendition of the paper's Fig. 1 (the inverted pendulum
+// Simplex architecture): the core controller balancing the plant while
+// the non-core controller publishes through shared memory, under a sweep
+// of non-core misbehaviours. Prints the |angle| time series (sampled) and
+// the accept/reject statistics for each scenario — the "shape" expected
+// from the architecture is that the plant stays inside its safe range in
+// every scenario, with the monitor rejecting non-core output exactly when
+// it misbehaves.
+#include <cstdio>
+
+#include "simplex/runtime.h"
+
+int main() {
+  using namespace safeflow::simplex;
+
+  struct Scenario {
+    const char* name;
+    FaultMode fault;
+  };
+  const Scenario scenarios[] = {
+      {"healthy", FaultMode::kNone},
+      {"overdrive (12V)", FaultMode::kOverdrive},
+      {"rail (+5V pinned)", FaultMode::kRail},
+      {"NaN output", FaultMode::kNaN},
+      {"stuck output", FaultMode::kStuck},
+      {"noisy output", FaultMode::kNoisy},
+      {"stale state", FaultMode::kDelayed},
+  };
+
+  std::printf("=====================================================\n");
+  std::printf("Fig. 1: inverted pendulum Simplex architecture\n");
+  std::printf("30 s runs at 50 Hz; fault onset at t=5 s\n");
+  std::printf("=====================================================\n");
+  std::printf("%-20s %6s %9s %9s %10s %8s\n", "scenario", "safe?",
+              "nc-used", "rejected", "takeovers", "max|th|");
+
+  bool all_safe = true;
+  for (const Scenario& s : scenarios) {
+    InvertedPendulum plant;
+    RuntimeConfig config;
+    config.duration = 30.0;
+    config.controller_fault = s.fault;
+    SimplexRuntime rt(plant, config);
+    const RuntimeStats stats = rt.run();
+    std::printf("%-20s %6s %9zu %9zu %10zu %8.4f\n", s.name,
+                stats.remained_safe ? "yes" : "NO", stats.noncore_used,
+                stats.noncore_rejected, stats.safety_takeovers,
+                stats.max_abs_angle);
+    all_safe &= stats.remained_safe;
+  }
+
+  // The angle trace for the rail fault: the monitor clamps the excursion.
+  {
+    InvertedPendulum plant;
+    RuntimeConfig config;
+    config.duration = 20.0;
+    config.controller_fault = FaultMode::kRail;
+    SimplexRuntime rt(plant, config);
+    const RuntimeStats stats = rt.run();
+    std::printf("\n|angle| series under the rail fault "
+                "(one sample per 0.5 s):\n  ");
+    for (double a : stats.angle_trace) std::printf("%.3f ", a);
+    std::printf("\n");
+  }
+
+  std::printf("\narchitecture verdict: %s\n",
+              all_safe ? "core kept the plant safe in every scenario"
+                       : "PLANT LEFT ITS SAFE RANGE");
+  return all_safe ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+// Synthetic C program generators for the scaling and ablation benches.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace safeflow::bench {
+
+/// Prelude declaring `regions` shared-memory regions r0..r{n-1}, all
+/// non-core, through an shminit function.
+inline std::string shmPrelude(int regions) {
+  std::ostringstream out;
+  out << "typedef struct Cell { float value; int flag; } Cell;\n";
+  for (int i = 0; i < regions; ++i) {
+    out << "Cell *r" << i << ";\n";
+  }
+  out << "extern void *shmat(int id, void *a, int f);\n"
+         "extern int shmget(int k, int s, int f);\n"
+         "extern void sink(float v);\n"
+         "/*** SafeFlow Annotation shminit ***/\n"
+         "void initShm(void)\n{\n"
+         "    char *cursor;\n"
+         "    cursor = (char *) shmat(shmget(1, "
+      << regions
+      << " * sizeof(Cell), 0), 0, 0);\n";
+  for (int i = 0; i < regions; ++i) {
+    out << "    r" << i << " = (Cell *) cursor;\n"
+        << "    cursor = cursor + sizeof(Cell);\n";
+  }
+  for (int i = 0; i < regions; ++i) {
+    out << "    /*** SafeFlow Annotation assume(shmvar(r" << i
+        << ", sizeof(Cell))) ***/\n";
+  }
+  for (int i = 0; i < regions; ++i) {
+    out << "    /*** SafeFlow Annotation assume(noncore(r" << i
+        << ")) ***/\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+/// A shared helper chain of `depth` functions, each reading every region,
+/// called from `monitors` monitoring functions that each assume a
+/// different region core. Call-string context sensitivity re-analyzes the
+/// chain once per distinct assumption context; summaries analyze it once.
+inline std::string monitorFanProgram(int monitors, int depth) {
+  std::ostringstream out;
+  out << shmPrelude(monitors);
+  // Helper chain, bottom-up.
+  out << "float helper" << depth << "(float x)\n{\n    float acc;\n"
+      << "    acc = x;\n";
+  for (int r = 0; r < monitors; ++r) {
+    out << "    acc = acc + r" << r << "->value;\n";
+  }
+  out << "    return acc;\n}\n";
+  for (int d = depth - 1; d >= 1; --d) {
+    out << "float helper" << d << "(float x)\n{\n"
+        << "    return helper" << (d + 1) << "(x * 0.5f) + 1.0f;\n}\n";
+  }
+  for (int m = 0; m < monitors; ++m) {
+    out << "float monitor" << m << "(void)\n"
+        << "/*** SafeFlow Annotation assume(core(r" << m
+        << ", 0, sizeof(Cell))) ***/\n{\n"
+        << "    if (r" << m << "->flag) {\n"
+        << "        return helper1(r" << m << "->value);\n    }\n"
+        << "    return 0.0f;\n}\n";
+  }
+  out << "int main(void)\n{\n    float total;\n    initShm();\n"
+      << "    total = 0.0f;\n";
+  for (int m = 0; m < monitors; ++m) {
+    out << "    total = total + monitor" << m << "();\n";
+  }
+  out << "    /*** SafeFlow Annotation assert(safe(total)); ***/\n"
+      << "    sink(total);\n    return 0;\n}\n";
+  return out.str();
+}
+
+/// A program with `functions` small numeric functions plus a main that
+/// calls them all — for front-end / pipeline scaling measurements.
+inline std::string scalingProgram(int functions) {
+  std::ostringstream out;
+  out << shmPrelude(2);
+  for (int i = 0; i < functions; ++i) {
+    out << "float compute" << i << "(float x, int n)\n{\n"
+        << "    float acc;\n    int i;\n    acc = x;\n"
+        << "    for (i = 0; i < n; i++) {\n"
+        << "        if (acc > 100.0f) {\n            acc = acc * 0.5f;\n"
+        << "        } else {\n            acc = acc * 1.5f + "
+        << (i % 7) << ".0f;\n        }\n    }\n"
+        << "    return acc;\n}\n";
+  }
+  out << "int main(void)\n{\n    float total;\n    initShm();\n"
+      << "    total = 0.0f;\n";
+  for (int i = 0; i < functions; ++i) {
+    out << "    total = total + compute" << i << "(1.0f, " << (i % 13 + 1)
+        << ");\n";
+  }
+  out << "    /*** SafeFlow Annotation assert(safe(total)); ***/\n"
+      << "    sink(total);\n    return 0;\n}\n";
+  return out.str();
+}
+
+}  // namespace safeflow::bench

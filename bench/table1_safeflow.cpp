@@ -1,0 +1,62 @@
+// Regenerates Table 1 of the paper: applying SafeFlow to the three
+// control systems. Prints paper-reported vs measured values for every
+// column. The analysis-derived columns (annotation lines, error
+// dependencies, warnings, false positives) are expected to match exactly;
+// the LOC columns reflect our reconstruction of the lab systems and are
+// reported side by side.
+#include <cstdio>
+
+#include "safeflow/corpus_info.h"
+
+int main() {
+  using namespace safeflow;
+
+  std::printf("==========================================================="
+              "=====================\n");
+  std::printf("Table 1: Applying SafeFlow to Control Systems "
+              "(paper value / measured value)\n");
+  std::printf("==========================================================="
+              "=====================\n");
+  std::printf("%-16s %13s %13s %11s %9s %8s %8s %8s %6s\n", "System",
+              "LOC(total)", "LOC(core)", "SrcChg", "Annot", "Errors",
+              "Warn", "FalsePos", "Restr");
+
+  bool all_exact = true;
+  for (const CorpusSystem& sys : corpusSystems(SAFEFLOW_CORPUS_DIR)) {
+    const MeasuredRow m = measureSystem(sys);
+    const PaperRow& p = sys.paper;
+    std::printf("%-16s %6d/%-6d %6d/%-6d %4d/%-6d %3d/%-5d %3d/%-4d "
+                "%3d/%-4d %3d/%-4d %2d/0\n",
+                sys.display_name.c_str(), p.loc_total, m.loc_total,
+                p.loc_core, m.loc_core, p.source_diff_lines, m.source_changes,
+                p.annotation_lines, m.annotation_lines,
+                p.error_dependencies, m.error_dependencies, p.warnings,
+                m.warnings, p.false_positives, m.false_positives,
+                m.restriction_violations);
+    if (!m.frontend_clean) {
+      std::printf("  !! front end reported errors for %s\n",
+                  sys.name.c_str());
+      all_exact = false;
+    }
+    if (m.annotation_lines != p.annotation_lines ||
+        m.error_dependencies != p.error_dependencies ||
+        m.warnings != p.warnings ||
+        m.false_positives != p.false_positives ||
+        m.restriction_violations != 0) {
+      all_exact = false;
+    }
+  }
+
+  std::printf("-----------------------------------------------------------"
+              "---------------------\n");
+  std::printf("analysis-derived columns (Annot/Errors/Warn/FalsePos/Restr)"
+              " %s the paper\n",
+              all_exact ? "MATCH" : "DO NOT MATCH");
+  std::printf("LOC columns compare the paper's lab systems against this "
+              "reconstruction.\n");
+  std::printf("SrcChg compares diff-output line counts: the paper refactored one monitoring\n"
+              "function in IP and Double IP (7 source lines; diff output 86/88 lines); our\n"
+              "LCS diff of original/ vs shipped decision modules measures the same\n"
+              "one-function extraction.\n");
+  return all_exact ? 0 : 1;
+}

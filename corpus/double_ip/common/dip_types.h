@@ -1,0 +1,65 @@
+/* Shared-memory layout of the double inverted pendulum control system.
+ * Based on the single-pendulum controller, extended with an additional
+ * control mode (swing-up) and a tuning region for the experimental
+ * filter/trim parameters.
+ */
+#ifndef DIP_TYPES_H
+#define DIP_TYPES_H
+
+#define DIP_SHM_KEY 7300
+#define DIP_PERIOD_US 20000
+#define DIP_VOLT_LIMIT 5.0f
+#define DIP_TRACK_LIMIT 0.5f
+#define DIP_ANGLE_LIMIT 0.35f
+
+typedef struct DIPFeedback {
+    float track_pos;
+    float angle1;        /* lower link angle from upright  */
+    float angle2;        /* upper link angle from upright  */
+    float track_vel;
+    float angle1_vel;
+    float angle2_vel;
+    int   seq;
+} DIPFeedback;
+
+typedef struct DIPCommand {      /* balance-mode command (non-core)   */
+    float control;
+    int   seq;
+    int   valid;
+} DIPCommand;
+
+typedef struct DIPSwing {        /* swing-up-mode command (non-core)  */
+    float control;
+    float energy_estimate;
+    int   phase;
+    int   valid;
+} DIPSwing;
+
+typedef struct DIPStatus {
+    int   nc_active;
+    int   iterations;
+    float cpu_load;
+} DIPStatus;
+
+typedef struct DIPTune {         /* experimental tuning parameters    */
+    float trim;          /* display calibration offset (supposedly)   */
+    float alpha;         /* filter constant proposed by the tuner     */
+    int   revision;
+} DIPTune;
+
+typedef struct DIPDisplay {
+    int   mode;          /* DIP_MODE_*                                */
+    int   verbosity;
+    int   refresh_ms;
+} DIPDisplay;
+
+typedef struct DIPControl {
+    int   supervisor_pid;
+    int   watchdog_counter;
+} DIPControl;
+
+#define DIP_MODE_BALANCE 0
+#define DIP_MODE_SWINGUP 1
+#define DIP_MODE_HOLD 2
+
+#endif /* DIP_TYPES_H */

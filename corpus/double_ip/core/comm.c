@@ -1,0 +1,81 @@
+/* Shared-memory initialization for the double inverted pendulum core. */
+#include "../common/dip_types.h"
+#include "../common/sys.h"
+
+DIPFeedback *fbShm;
+DIPCommand  *cmdShm;
+DIPSwing    *swingShm;
+DIPStatus   *statShm;
+DIPTune     *tuneShm;
+DIPDisplay  *dispShm;
+DIPControl  *ctlShm;
+
+static int dipSegmentId;
+
+/*** SafeFlow Annotation shminit ***/
+void initComm(void)
+{
+    void *base;
+    char *cursor;
+    int total;
+
+    total = sizeof(DIPFeedback) + sizeof(DIPCommand) + sizeof(DIPSwing)
+          + sizeof(DIPStatus) + sizeof(DIPTune) + sizeof(DIPDisplay)
+          + sizeof(DIPControl);
+    dipSegmentId = shmget(DIP_SHM_KEY, total, IPC_CREAT);
+    base = shmat(dipSegmentId, 0, 0);
+
+    cursor = (char *) base;
+    fbShm = (DIPFeedback *) cursor;
+    cursor = cursor + sizeof(DIPFeedback);
+    cmdShm = (DIPCommand *) cursor;
+    cursor = cursor + sizeof(DIPCommand);
+    swingShm = (DIPSwing *) cursor;
+    cursor = cursor + sizeof(DIPSwing);
+    statShm = (DIPStatus *) cursor;
+    cursor = cursor + sizeof(DIPStatus);
+    tuneShm = (DIPTune *) cursor;
+    cursor = cursor + sizeof(DIPTune);
+    dispShm = (DIPDisplay *) cursor;
+    cursor = cursor + sizeof(DIPDisplay);
+    ctlShm = (DIPControl *) cursor;
+
+    /*** SafeFlow Annotation assume(shmvar(fbShm, sizeof(DIPFeedback))) ***/
+    /*** SafeFlow Annotation assume(shmvar(cmdShm, sizeof(DIPCommand))) ***/
+    /*** SafeFlow Annotation assume(shmvar(swingShm, sizeof(DIPSwing))) ***/
+    /*** SafeFlow Annotation assume(shmvar(statShm, sizeof(DIPStatus))) ***/
+    /*** SafeFlow Annotation assume(shmvar(tuneShm, sizeof(DIPTune))) ***/
+    /*** SafeFlow Annotation assume(shmvar(dispShm, sizeof(DIPDisplay))) ***/
+    /*** SafeFlow Annotation assume(shmvar(ctlShm, sizeof(DIPControl))) ***/
+    /*** SafeFlow Annotation assume(noncore(fbShm)) ***/
+    /*** SafeFlow Annotation assume(noncore(cmdShm)) ***/
+    /*** SafeFlow Annotation assume(noncore(swingShm)) ***/
+    /*** SafeFlow Annotation assume(noncore(statShm)) ***/
+    /*** SafeFlow Annotation assume(noncore(tuneShm)) ***/
+    /*** SafeFlow Annotation assume(noncore(dispShm)) ***/
+    /*** SafeFlow Annotation assume(noncore(ctlShm)) ***/
+}
+
+/* Deadband tiny angular velocities so the UI does not flicker. */
+float ang2snap(float v)
+{
+    if (v < 0.0005f && v > -0.0005f) {
+        return 0.0f;
+    }
+    return v;
+}
+
+void publishFeedback(float track_pos, float angle1, float angle2,
+                     float track_vel, float angle1_vel, float angle2_vel,
+                     int seq)
+{
+    lockShm();
+    fbShm->track_pos = track_pos;
+    fbShm->angle1 = angle1;
+    fbShm->angle2 = angle2;
+    fbShm->track_vel = track_vel;
+    fbShm->angle1_vel = angle1_vel;
+    fbShm->angle2_vel = ang2snap(angle2_vel);
+    fbShm->seq = seq;
+    unlockShm();
+}

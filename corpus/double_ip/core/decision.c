@@ -1,0 +1,70 @@
+/* Balance-mode decision module of the double IP core: the monitoring
+ * function for the balance command region. The recoverability check was
+ * extracted into its own function so the assume(core(...)) annotation
+ * can be applied at function granularity (see original/decision.c for
+ * the pre-refactor version).
+ */
+#include "../common/dip_types.h"
+#include "../common/sys.h"
+
+extern float clampVolts(float v);
+extern float predictAngle1(float angle1, float angle1_vel, float volts);
+extern float predictAngle2(float angle2, float angle2_vel, float volts);
+extern float envelopeValue(float track_pos, float angle1, float angle2,
+                           float angle1_vel, float angle2_vel);
+extern float envelopeLevel(void);
+
+extern DIPCommand *cmdShm;
+
+static int acceptCount = 0;
+static int rejectCount = 0;
+
+static int checkRecoverable(DIPCommand *cmd, float track_pos,
+                            float angle1, float angle2,
+                            float angle1_vel, float angle2_vel)
+{
+    float volts;
+    float next1;
+    float next2;
+    float value;
+
+    if (cmd->valid == 0) {
+        return 0;
+    }
+    volts = cmd->control;
+    if (volts > DIP_VOLT_LIMIT || volts < -DIP_VOLT_LIMIT) {
+        return 0;
+    }
+    next1 = predictAngle1(angle1, angle1_vel, volts);
+    next2 = predictAngle2(angle2, angle2_vel, volts);
+    value = envelopeValue(track_pos, next1, next2,
+                          angle1_vel, angle2_vel);
+    if (value < envelopeLevel()) {
+        return 1;
+    }
+    return 0;
+}
+
+float decisionModule(float safeControl, float track_pos, float angle1,
+                     float angle2, float angle1_vel, float ang2_vel,
+                     DIPCommand *cmd)
+/*** SafeFlow Annotation assume(core(cmd, 0, sizeof(DIPCommand))) ***/
+{
+    if (checkRecoverable(cmd, track_pos, angle1, angle2,
+                         angle1_vel, ang2_vel)) {
+        acceptCount = acceptCount + 1;
+        return clampVolts(cmd->control);
+    }
+    rejectCount = rejectCount + 1;
+    return safeControl;
+}
+
+int decisionAcceptCount(void)
+{
+    return acceptCount;
+}
+
+int decisionRejectCount(void)
+{
+    return rejectCount;
+}

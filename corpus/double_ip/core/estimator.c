@@ -1,0 +1,117 @@
+/* State estimation for the double pendulum core: complementary filters
+ * fusing the encoder angles with integrated rates, plus numerical
+ * differentiation with outlier rejection for the velocities. Operates on
+ * core-owned sensor values exclusively.
+ */
+#include "../common/dip_types.h"
+#include "../common/sys.h"
+
+/* Complementary filter states for the two links. */
+static float est1 = 0.0f;
+static float est2 = 0.0f;
+static float blend = 0.98f;
+
+/* Previous samples for differentiation. */
+static float prevAngle1 = 0.0f;
+static float prevAngle2 = 0.0f;
+static float prevTrack = 0.0f;
+static int primed = 0;
+
+/* Outlier statistics. */
+static int velOutliers = 0;
+
+float estimateAngle1(float measured, float rate)
+{
+    est1 = blend * (est1 + rate * 0.02f) + (1.0f - blend) * measured;
+    return est1;
+}
+
+float estimateAngle2(float measured, float rate)
+{
+    est2 = blend * (est2 + rate * 0.02f) + (1.0f - blend) * measured;
+    return est2;
+}
+
+/* Finite-difference velocity with a physical rate limit; samples that
+ * imply an impossible jump are rejected and the previous estimate held.
+ */
+float differentiateAngle1(float angle)
+{
+    float vel;
+
+    if (!primed) {
+        prevAngle1 = angle;
+        return 0.0f;
+    }
+    vel = (angle - prevAngle1) / 0.02f;
+    if (vel > 25.0f || vel < -25.0f) {
+        velOutliers = velOutliers + 1;
+        return 0.0f;
+    }
+    prevAngle1 = angle;
+    return vel;
+}
+
+float differentiateAngle2(float angle)
+{
+    float vel;
+
+    if (!primed) {
+        prevAngle2 = angle;
+        return 0.0f;
+    }
+    vel = (angle - prevAngle2) / 0.02f;
+    if (vel > 30.0f || vel < -30.0f) {
+        velOutliers = velOutliers + 1;
+        return 0.0f;
+    }
+    prevAngle2 = angle;
+    return vel;
+}
+
+float differentiateTrack(float track)
+{
+    float vel;
+
+    if (!primed) {
+        prevTrack = track;
+        primed = 1;
+        return 0.0f;
+    }
+    vel = (track - prevTrack) / 0.02f;
+    if (vel > 4.0f || vel < -4.0f) {
+        velOutliers = velOutliers + 1;
+        return 0.0f;
+    }
+    prevTrack = track;
+    return vel;
+}
+
+void resetEstimator(float angle1, float angle2)
+{
+    est1 = angle1;
+    est2 = angle2;
+    prevAngle1 = angle1;
+    prevAngle2 = angle2;
+    primed = 0;
+}
+
+int estimatorOutlierCount(void)
+{
+    return velOutliers;
+}
+
+/* Total mechanical-ish energy estimate for the swing-up hand-off check
+ * (small-angle potential approximation). */
+float estimateEnergy(float angle1, float angle1_vel, float angle2,
+                     float angle2_vel)
+{
+    float kinetic;
+    float potential;
+
+    kinetic = 0.5f * (0.031f * angle1_vel * angle1_vel
+                      + 0.018f * angle2_vel * angle2_vel);
+    potential = 0.5f * (1.23f * angle1 * angle1
+                        + 0.74f * angle2 * angle2);
+    return kinetic + potential;
+}

@@ -1,0 +1,199 @@
+/* Core loop of the double inverted pendulum controller. Two control
+ * modes: balance (the decision module arbitrates the non-core balance
+ * command) and swing-up (the swing monitor arbitrates the non-core
+ * swing-up command). A trim offset proposed by the tuning process is
+ * applied to the actuator command — the developers assumed the trim was
+ * display-calibration only and could not reach the critical output;
+ * SafeFlow's analysis shows that assumption is wrong (one of the two
+ * error dependencies in this system).
+ */
+#include "../common/dip_types.h"
+#include "../common/sys.h"
+
+extern DIPFeedback *fbShm;
+extern DIPCommand  *cmdShm;
+extern DIPSwing    *swingShm;
+extern DIPStatus   *statShm;
+extern DIPTune     *tuneShm;
+extern DIPDisplay  *dispShm;
+extern DIPControl  *ctlShm;
+
+extern void initComm(void);
+extern void publishFeedback(float track_pos, float angle1, float angle2,
+                            float track_vel, float angle1_vel,
+                            float angle2_vel, int seq);
+extern float computeSafeControl(float track_pos, float angle1,
+                                float angle2, float track_vel,
+                                float angle1_vel, float angle2_vel);
+extern float decisionModule(float safeControl, float track_pos,
+                            float angle1, float angle2, float angle1_vel,
+                            float ang2_vel, DIPCommand *cmd);
+extern float swingMonitor(float fallback, float angle1, float angle1_vel);
+extern float referenceTrack(int tick);
+extern float brakeCommand(void);
+extern float energyTarget(void);
+extern float clampVolts(float v);
+extern int insideEnvelope(float track_pos, float angle1, float angle2,
+                          float angle1_vel, float angle2_vel);
+extern int decisionAcceptCount(void);
+extern int swingAcceptCount(void);
+extern int saturationCount(void);
+
+extern void readDipSensors(float *track_pos, float *angle1, float *angle2,
+                           float *track_vel, float *angle1_vel,
+                           float *angle2_vel);
+
+extern void planMove(float current, float target, int periods);
+extern float trajectoryReference(void);
+extern int trajectoryActive(void);
+extern void trackingSample(float reference, float actual);
+extern float meanTrackingError(void);
+extern float worstTrackingError(void);
+
+extern float estimateAngle1(float measured, float rate);
+extern float estimateAngle2(float measured, float rate);
+extern float differentiateAngle1(float angle);
+extern float differentiateAngle2(float angle);
+extern float differentiateTrack(float track);
+extern int estimatorOutlierCount(void);
+
+static int running = 1;
+static int tick = 0;
+static int watchdogBeat = 0;
+
+static void reportStatus(float output)
+{
+    int verbosity;
+    int lag;
+    float suggestedAlpha;
+
+    verbosity = dispShm->verbosity;
+    if (verbosity > 0) {
+        printf("[dip] u=%f accepts=%d swing=%d sat=%d\n", output,
+               decisionAcceptCount(), swingAcceptCount(),
+               saturationCount());
+    }
+    if (verbosity > 1) {
+        lag = tick - fbShm->seq;
+        suggestedAlpha = tuneShm->alpha;
+        printf("[dip] nc iter=%d lag=%d alpha=%f\n",
+               statShm->iterations, lag, suggestedAlpha);
+    }
+}
+
+static void pingSupervisor(void)
+{
+    int pid;
+    /* Watchdog heartbeat to the supervising process; the pid lives in a
+     * region any non-core process can overwrite. */
+    pid = ctlShm->supervisor_pid;
+    kill(pid, SIGUSR1);
+}
+
+int main(void)
+{
+    float track_pos;
+    float angle1;
+    float angle2;
+    float track_vel;
+    float angle1_vel;
+    float angle2_vel;
+    float safeControl;
+    float output;
+    float swingOutput;
+    float refTrack;
+    float brake;
+    float target;
+    float trim;
+    float applied;
+    int ncActive;
+    int mode;
+    int beat;
+
+    initComm();
+
+    brake = brakeCommand();
+    /*** SafeFlow Annotation assert(safe(brake)); ***/
+    target = energyTarget();
+    /*** SafeFlow Annotation assert(safe(target)); ***/
+
+    while (running) {
+        readDipSensors(&track_pos, &angle1, &angle2,
+                       &track_vel, &angle1_vel, &angle2_vel);
+        /* Fuse encoders with integrated rates; reject impossible jumps. */
+        angle1 = estimateAngle1(angle1, angle1_vel);
+        angle2 = estimateAngle2(angle2, angle2_vel);
+        angle1_vel = differentiateAngle1(angle1);
+        angle2_vel = differentiateAngle2(angle2);
+        track_vel = differentiateTrack(track_pos);
+        publishFeedback(track_pos, angle1, angle2,
+                        track_vel, angle1_vel, angle2_vel, tick);
+
+        /* Hold-mode trajectory: re-plan a gentle move every 20 s; the
+         * triangle profile remains the fallback reference. */
+        if (tick % 1000 == 0 && !trajectoryActive()) {
+            planMove(track_pos, referenceTrack(tick), 100);
+        }
+        if (trajectoryActive()) {
+            refTrack = trajectoryReference();
+        } else {
+            refTrack = referenceTrack(tick);
+        }
+        trackingSample(refTrack, track_pos);
+        /*** SafeFlow Annotation assert(safe(refTrack)); ***/
+
+        safeControl = computeSafeControl(track_pos - refTrack, angle1,
+                                         angle2, track_vel, angle1_vel,
+                                         angle2_vel);
+
+        usleep(DIP_PERIOD_US);
+
+        ncActive = statShm->nc_active;
+        if (ncActive) {
+            output = decisionModule(safeControl, track_pos, angle1,
+                                    angle2, angle1_vel, angle2_vel,
+                                    cmdShm);
+        } else {
+            output = safeControl;
+        }
+
+        /* Apply the tuner's trim offset. (Assumed to be harmless display
+         * calibration; in fact it biases the actuator command.) */
+        trim = tuneShm->trim;
+        output = clampVolts(output + trim);
+        /*** SafeFlow Annotation assert(safe(output)); ***/
+
+        swingOutput = brake;
+        mode = dispShm->mode;
+        if (mode == DIP_MODE_SWINGUP) {
+            swingOutput = swingMonitor(brake, angle1, angle1_vel);
+        }
+        /*** SafeFlow Annotation assert(safe(swingOutput)); ***/
+
+        if (mode == DIP_MODE_SWINGUP) {
+            applied = swingOutput;
+        } else {
+            applied = output;
+        }
+        sendControl(applied);
+
+        beat = watchdogBeat + 1;
+        /*** SafeFlow Annotation assert(safe(beat)); ***/
+        watchdogBeat = beat;
+        ctlShm->watchdog_counter = beat;
+        if (tick % 500 == 0) {
+            pingSupervisor();
+        }
+
+        reportStatus(applied);
+        tick = tick + 1;
+        if (insideEnvelope(track_pos, angle1, angle2,
+                           angle1_vel, angle2_vel) == 0) {
+            printf("[dip] left the envelope, braking (%d vel outliers)\n",
+                   estimatorOutlierCount());
+            sendControl(brake);
+            running = 0;
+        }
+    }
+    return 0;
+}

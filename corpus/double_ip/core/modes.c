@@ -1,0 +1,86 @@
+/* Mode handling for the double IP core: the swing-up monitor (the second
+ * monitoring function in this system) plus the core-owned reference
+ * profile and emergency-brake logic.
+ */
+#include "../common/dip_types.h"
+#include "../common/sys.h"
+
+extern DIPSwing *swingShm;
+
+extern float clampVolts(float v);
+
+static int swingAccepts = 0;
+static int swingRejects = 0;
+
+/* Energy target the swing-up sequence must stay under; a core constant
+ * derived from the rig's mechanical limits. */
+static float energyCeiling = 1.8f;
+
+/* Swing-up monitor: the non-core swing controller's command is accepted
+ * only when its declared phase and energy estimate are consistent and
+ * the voltage cannot over-rotate the links.
+ */
+float swingMonitor(float fallback, float angle1, float angle1_vel)
+/*** SafeFlow Annotation assume(core(swingShm, 0, sizeof(DIPSwing))) ***/
+{
+    float volts;
+    float energy;
+
+    if (swingShm->valid == 0) {
+        swingRejects = swingRejects + 1;
+        return fallback;
+    }
+    volts = swingShm->control;
+    energy = swingShm->energy_estimate;
+    if (volts > DIP_VOLT_LIMIT || volts < -DIP_VOLT_LIMIT) {
+        swingRejects = swingRejects + 1;
+        return fallback;
+    }
+    if (energy < 0.0f || energy > energyCeiling) {
+        swingRejects = swingRejects + 1;
+        return fallback;
+    }
+    if (swingShm->phase < 0 || swingShm->phase > 3) {
+        swingRejects = swingRejects + 1;
+        return fallback;
+    }
+    /* Pumping against the current swing direction is never recoverable. */
+    if (angle1 * volts > 0.0f && angle1_vel * volts > 0.0f) {
+        swingRejects = swingRejects + 1;
+        return fallback;
+    }
+    swingAccepts = swingAccepts + 1;
+    return clampVolts(volts);
+}
+
+/* Core-owned track reference: a gentle triangle profile. */
+float referenceTrack(int tick)
+{
+    int phase;
+    phase = tick % 1000;
+    if (phase < 500) {
+        return 0.1f * ((float)phase / 500.0f);
+    }
+    return 0.1f * ((float)(1000 - phase) / 500.0f);
+}
+
+/* Emergency brake command: a core constant counter-voltage. */
+float brakeCommand(void)
+{
+    return -1.5f;
+}
+
+float energyTarget(void)
+{
+    return energyCeiling;
+}
+
+int swingAcceptCount(void)
+{
+    return swingAccepts;
+}
+
+int swingRejectCount(void)
+{
+    return swingRejects;
+}

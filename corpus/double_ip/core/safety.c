@@ -1,0 +1,104 @@
+/* Safety controller for the double inverted pendulum: a six-state
+ * feedback law with conditioning, plus the one-step prediction and
+ * envelope machinery the recoverability check uses. All inputs are the
+ * core's own sensor copies.
+ */
+#include "../common/dip_types.h"
+#include "../common/sys.h"
+
+/* Gains synthesized offline for the two-link rig. */
+static float kTrack = -3.16f;
+static float kAngle1 = 52.7f;
+static float kAngle2 = -61.9f;
+static float kTrackVel = -4.08f;
+static float kAngle1Vel = 6.35f;
+static float kAngle2Vel = -8.91f;
+
+static float velFilter = 0.0f;
+static int saturations = 0;
+
+float clampVolts(float v)
+{
+    if (v > DIP_VOLT_LIMIT) {
+        saturations = saturations + 1;
+        return DIP_VOLT_LIMIT;
+    }
+    if (v < -DIP_VOLT_LIMIT) {
+        saturations = saturations + 1;
+        return -DIP_VOLT_LIMIT;
+    }
+    return v;
+}
+
+float smoothVel(float raw)
+{
+    velFilter = velFilter + 0.4f * (raw - velFilter);
+    return velFilter;
+}
+
+/* u = -K x for the six-dimensional state. */
+float computeSafeControl(float track_pos, float angle1, float angle2,
+                         float track_vel, float angle1_vel,
+                         float angle2_vel)
+{
+    float u;
+    float tv;
+
+    tv = smoothVel(track_vel);
+    u = -(kTrack * track_pos
+          + kAngle1 * angle1
+          + kAngle2 * angle2
+          + kTrackVel * tv
+          + kAngle1Vel * angle1_vel
+          + kAngle2Vel * angle2_vel);
+    return clampVolts(u);
+}
+
+/* One-period prediction of the two link angles under a voltage. */
+float predictAngle1(float angle1, float angle1_vel, float volts)
+{
+    float acc;
+    acc = 96.2f * angle1 - 31.0f * volts;
+    return angle1 + 0.02f * angle1_vel + 0.0002f * acc;
+}
+
+float predictAngle2(float angle2, float angle2_vel, float volts)
+{
+    float acc;
+    acc = 118.4f * angle2 + 9.7f * volts;
+    return angle2 + 0.02f * angle2_vel + 0.0002f * acc;
+}
+
+/* Weighted quadratic envelope over the dominant states. */
+float envelopeValue(float track_pos, float angle1, float angle2,
+                    float angle1_vel, float angle2_vel)
+{
+    float v;
+    v = 4.8f * track_pos * track_pos
+      + 71.0f * angle1 * angle1
+      + 88.0f * angle2 * angle2
+      + 3.1f * angle1_vel * angle1_vel
+      + 3.6f * angle2_vel * angle2_vel
+      + 11.2f * angle1 * angle2;
+    return v;
+}
+
+float envelopeLevel(void)
+{
+    return 9.5f;
+}
+
+int insideEnvelope(float track_pos, float angle1, float angle2,
+                   float angle1_vel, float angle2_vel)
+{
+    if (envelopeValue(track_pos, angle1, angle2, angle1_vel, angle2_vel)
+        < envelopeLevel()) {
+        return 1;
+    }
+    return 0;
+}
+
+int saturationCount(void)
+{
+    return saturations;
+}

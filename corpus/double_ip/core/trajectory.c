@@ -1,0 +1,118 @@
+/* Hold-mode trajectory planning for the double pendulum core: generates
+ * bounded-jerk cart trajectories between hold positions and scores how
+ * faithfully the plant tracked the last one. Pure core computation.
+ */
+#include "../common/dip_types.h"
+#include "../common/sys.h"
+
+/* Trajectory segment state. */
+static float segStart = 0.0f;
+static float segEnd = 0.0f;
+static int segDuration = 0;   /* in control periods */
+static int segElapsed = 0;
+static int segActive = 0;
+
+/* Tracking-quality statistics. */
+static float trackErrAccum = 0.0f;
+static float trackErrWorst = 0.0f;
+static int trackSamples = 0;
+
+/* Smoothstep easing keeps acceleration bounded at the segment ends. */
+static float ease(float s)
+{
+    if (s < 0.0f) {
+        return 0.0f;
+    }
+    if (s > 1.0f) {
+        return 1.0f;
+    }
+    return s * s * (3.0f - 2.0f * s);
+}
+
+/* Plans a move to `target` over `periods` control periods; clamped to the
+ * physical track. */
+void planMove(float current, float target, int periods)
+{
+    if (target > DIP_TRACK_LIMIT * 0.8f) {
+        target = DIP_TRACK_LIMIT * 0.8f;
+    }
+    if (target < -DIP_TRACK_LIMIT * 0.8f) {
+        target = -DIP_TRACK_LIMIT * 0.8f;
+    }
+    if (periods < 25) {
+        periods = 25;  /* at least half a second */
+    }
+    segStart = current;
+    segEnd = target;
+    segDuration = periods;
+    segElapsed = 0;
+    segActive = 1;
+}
+
+/* Reference position for the current period; holds the end point when
+ * the segment completes. */
+float trajectoryReference(void)
+{
+    float s;
+
+    if (!segActive) {
+        return segEnd;
+    }
+    s = (float)segElapsed / (float)segDuration;
+    segElapsed = segElapsed + 1;
+    if (segElapsed >= segDuration) {
+        segActive = 0;
+    }
+    return segStart + (segEnd - segStart) * ease(s);
+}
+
+int trajectoryActive(void)
+{
+    return segActive;
+}
+
+/* Scores the plant's actual position against the reference. */
+void trackingSample(float reference, float actual)
+{
+    float err;
+
+    err = reference - actual;
+    if (err < 0.0f) {
+        err = -err;
+    }
+    trackErrAccum = trackErrAccum + err;
+    if (err > trackErrWorst) {
+        trackErrWorst = err;
+    }
+    trackSamples = trackSamples + 1;
+}
+
+float meanTrackingError(void)
+{
+    if (trackSamples == 0) {
+        return 0.0f;
+    }
+    return trackErrAccum / (float)trackSamples;
+}
+
+float worstTrackingError(void)
+{
+    return trackErrWorst;
+}
+
+/* The feed-forward voltage implied by the planned acceleration profile;
+ * added to the feedback command in hold mode. */
+float feedforwardVolts(void)
+{
+    float s;
+    float accel;
+
+    if (!segActive || segDuration == 0) {
+        return 0.0f;
+    }
+    s = (float)segElapsed / (float)segDuration;
+    /* d2/ds2 of smoothstep = 6 - 12 s, scaled by move length/time^2. */
+    accel = (6.0f - 12.0f * s) * (segEnd - segStart)
+          / ((float)segDuration * (float)segDuration * 0.0004f);
+    return 0.26f * accel;  /* verified volts-per-accel constant */
+}

@@ -1,0 +1,94 @@
+/* Operator console for the double pendulum system (non-core): mode
+ * switching, trim/filter tuning, and live state display.
+ */
+#include "../common/dip_types.h"
+#include "../common/sys.h"
+
+extern DIPFeedback *fbShm;
+extern DIPStatus   *statShm;
+extern DIPTune     *tuneShm;
+extern DIPDisplay  *dispShm;
+extern DIPControl  *ctlShm;
+
+extern int readKeyNonBlocking(void);
+
+static int frame = 0;
+
+static void renderAngles(void)
+{
+    DIPFeedback fb;
+    int i;
+    int cells1;
+    int cells2;
+
+    fb = *fbShm;
+    cells1 = (int)(fb.angle1 * 40.0f);
+    cells2 = (int)(fb.angle2 * 40.0f);
+    if (cells1 < 0) {
+        cells1 = -cells1;
+    }
+    if (cells2 < 0) {
+        cells2 = -cells2;
+    }
+    printf("=== double pendulum (frame %d) ===\n", frame);
+    printf("link1 %f: ", fb.angle1);
+    for (i = 0; i < cells1 && i < 30; i = i + 1) {
+        printf("*");
+    }
+    printf("\nlink2 %f: ", fb.angle2);
+    for (i = 0; i < cells2 && i < 30; i = i + 1) {
+        printf("*");
+    }
+    printf("\ntrack %f  nc_iter %d  watchdog %d\n", fb.track_pos,
+           statShm->iterations, ctlShm->watchdog_counter);
+}
+
+static void handleKeys(void)
+{
+    int key;
+    key = readKeyNonBlocking();
+    if (key == 'b') {
+        dispShm->mode = DIP_MODE_BALANCE;
+    }
+    if (key == 's') {
+        dispShm->mode = DIP_MODE_SWINGUP;
+    }
+    if (key == 'h') {
+        dispShm->mode = DIP_MODE_HOLD;
+    }
+    if (key == '[') {
+        tuneShm->trim = tuneShm->trim - 0.01f;
+        tuneShm->revision = tuneShm->revision + 1;
+    }
+    if (key == ']') {
+        tuneShm->trim = tuneShm->trim + 0.01f;
+        tuneShm->revision = tuneShm->revision + 1;
+    }
+    if (key == 'a') {
+        tuneShm->alpha = tuneShm->alpha + 0.05f;
+        if (tuneShm->alpha > 1.0f) {
+            tuneShm->alpha = 1.0f;
+        }
+    }
+    if (key == '+') {
+        dispShm->verbosity = dispShm->verbosity + 1;
+    }
+    if (key == '-') {
+        if (dispShm->verbosity > 0) {
+            dispShm->verbosity = dispShm->verbosity - 1;
+        }
+    }
+}
+
+int consoleMain(void)
+{
+    ctlShm->supervisor_pid = getpid();
+    dispShm->refresh_ms = 100;
+    for (;;) {
+        renderAngles();
+        handleKeys();
+        frame = frame + 1;
+        usleep(dispShm->refresh_ms * 1000);
+    }
+    return 0;
+}

@@ -1,0 +1,94 @@
+/* Balance-mode experimental controller for the double pendulum
+ * (non-core): a higher-bandwidth state feedback with a friction
+ * compensator, publishing through the command region.
+ */
+#include "../common/dip_types.h"
+#include "../common/sys.h"
+
+extern DIPFeedback *fbShm;
+extern DIPCommand  *cmdShm;
+extern DIPStatus   *statShm;
+extern DIPTune     *tuneShm;
+
+/* Aggressive gains for the two-link balance task. */
+static float gTrack = -5.9f;
+static float gAngle1 = 78.2f;
+static float gAngle2 = -95.0f;
+static float gTrackVel = -6.7f;
+static float gAngle1Vel = 9.8f;
+static float gAngle2Vel = -13.5f;
+
+/* Friction compensator. */
+static float frictionLevel = 0.18f;
+static float lastU = 0.0f;
+
+static int iterations = 0;
+static int lastSeq = -1;
+
+static float frictionCompensation(float track_vel)
+{
+    if (track_vel > 0.002f) {
+        return frictionLevel;
+    }
+    if (track_vel < -0.002f) {
+        return -frictionLevel;
+    }
+    return 0.0f;
+}
+
+static float computeBalance(DIPFeedback fb, float alpha)
+{
+    float u;
+    float smoothed_a1v;
+
+    smoothed_a1v = alpha * fb.angle1_vel + (1.0f - alpha) * lastU;
+    u = -(gTrack * fb.track_pos
+          + gAngle1 * fb.angle1
+          + gAngle2 * fb.angle2
+          + gTrackVel * fb.track_vel
+          + gAngle1Vel * smoothed_a1v
+          + gAngle2Vel * fb.angle2_vel);
+    u = u + frictionCompensation(fb.track_vel);
+    if (u > DIP_VOLT_LIMIT) {
+        u = DIP_VOLT_LIMIT;
+    }
+    if (u < -DIP_VOLT_LIMIT) {
+        u = -DIP_VOLT_LIMIT;
+    }
+    lastU = u;
+    return u;
+}
+
+int balance2Main(void)
+{
+    DIPFeedback snapshot;
+    float u;
+    float alpha;
+
+    for (;;) {
+        lockShm();
+        snapshot = *fbShm;
+        unlockShm();
+
+        if (snapshot.seq != lastSeq) {
+            lastSeq = snapshot.seq;
+            alpha = tuneShm->alpha;
+            if (alpha <= 0.0f || alpha > 1.0f) {
+                alpha = 0.5f;
+            }
+            u = computeBalance(snapshot, alpha);
+
+            lockShm();
+            cmdShm->control = u;
+            cmdShm->seq = snapshot.seq;
+            cmdShm->valid = 1;
+            unlockShm();
+
+            iterations = iterations + 1;
+            statShm->nc_active = 1;
+            statShm->iterations = iterations;
+        }
+        usleep(DIP_PERIOD_US / 4);
+    }
+    return 0;
+}

@@ -1,0 +1,137 @@
+/* Replay/analysis tool for the double pendulum rig (non-core): records
+ * complete periods from the shared regions and can re-drive the command
+ * slot from a recorded trace (used in the lab to reproduce incidents —
+ * and precisely the kind of component whose writes the core must treat
+ * as untrusted).
+ */
+#include "../common/dip_types.h"
+#include "../common/sys.h"
+
+extern DIPFeedback *fbShm;
+extern DIPCommand  *cmdShm;
+extern DIPSwing    *swingShm;
+extern DIPStatus   *statShm;
+
+#define REPLAY_DEPTH 1024
+
+typedef struct Period {
+    float angle1;
+    float angle2;
+    float track;
+    float command;
+    int   seq;
+} Period;
+
+static Period tape[REPLAY_DEPTH];
+static int recorded = 0;
+static int playhead = 0;
+static int recording = 1;
+static int lastSeq = -1;
+
+static void record(void)
+{
+    Period p;
+
+    lockShm();
+    p.angle1 = fbShm->angle1;
+    p.angle2 = fbShm->angle2;
+    p.track = fbShm->track_pos;
+    p.command = cmdShm->control;
+    p.seq = fbShm->seq;
+    unlockShm();
+
+    if (p.seq == lastSeq || recorded >= REPLAY_DEPTH) {
+        return;
+    }
+    lastSeq = p.seq;
+    tape[recorded] = p;
+    recorded = recorded + 1;
+}
+
+static void replayStep(void)
+{
+    Period *p;
+
+    if (playhead >= recorded) {
+        playhead = 0;  /* loop the tape */
+    }
+    p = &tape[playhead];
+    playhead = playhead + 1;
+
+    lockShm();
+    cmdShm->control = p->command;
+    cmdShm->seq = lastSeq + playhead;
+    cmdShm->valid = 1;
+    unlockShm();
+}
+
+static float tapeEnergy(void)
+{
+    int i;
+    float acc;
+
+    acc = 0.0f;
+    for (i = 0; i < recorded; i = i + 1) {
+        acc = acc + tape[i].angle1 * tape[i].angle1
+            + tape[i].angle2 * tape[i].angle2;
+    }
+    if (recorded == 0) {
+        return 0.0f;
+    }
+    return acc / (float)recorded;
+}
+
+static void analyze(void)
+{
+    int i;
+    float worst1;
+    float worst2;
+
+    worst1 = 0.0f;
+    worst2 = 0.0f;
+    for (i = 0; i < recorded; i = i + 1) {
+        float a1;
+        float a2;
+        a1 = tape[i].angle1;
+        a2 = tape[i].angle2;
+        if (a1 < 0.0f) {
+            a1 = -a1;
+        }
+        if (a2 < 0.0f) {
+            a2 = -a2;
+        }
+        if (a1 > worst1) {
+            worst1 = a1;
+        }
+        if (a2 > worst2) {
+            worst2 = a2;
+        }
+    }
+    printf("[replay] %d periods, mean-sq angle %f, worst |a1|=%f |a2|=%f\n",
+           recorded, tapeEnergy(), worst1, worst2);
+}
+
+int replayMain(int do_replay)
+{
+    int cycles;
+
+    cycles = 0;
+    for (;;) {
+        if (recording) {
+            record();
+            if (recorded == REPLAY_DEPTH) {
+                recording = 0;
+                analyze();
+            }
+        } else if (do_replay && statShm->nc_active == 0) {
+            /* The live controller is down: re-drive from the tape. */
+            replayStep();
+        }
+        cycles = cycles + 1;
+        if (cycles % 2048 == 0) {
+            analyze();
+        }
+        usleep(DIP_PERIOD_US / 2);
+    }
+    return 0;
+}

@@ -1,0 +1,98 @@
+/* Energy-based swing-up controller for the double pendulum (non-core).
+ * Pumps energy into the lower link until the system approaches the
+ * upright manifold, publishing its command and phase through the swing
+ * region; the core's swing monitor validates every command.
+ */
+#include "../common/dip_types.h"
+#include "../common/sys.h"
+
+extern DIPFeedback *fbShm;
+extern DIPSwing    *swingShm;
+
+static float energyGain = 1.1f;
+static float uprightEnergy = 1.35f;
+static int phase = 0;
+static int lastSeq = -1;
+
+static float estimateEnergy(float angle1, float angle1_vel)
+{
+    float kinetic;
+    float potential;
+    kinetic = 0.5f * 0.035f * angle1_vel * angle1_vel;
+    potential = 1.35f * (1.0f - cosApprox(angle1));
+    return kinetic + potential;
+}
+
+float cosApprox(float x)
+{
+    float x2;
+    x2 = x * x;
+    return 1.0f - x2 / 2.0f + x2 * x2 / 24.0f;
+}
+
+static float pumpCommand(float angle1, float angle1_vel, float energy)
+{
+    float deficit;
+    float direction;
+
+    deficit = uprightEnergy - energy;
+    direction = angle1_vel * cosApprox(angle1);
+    if (direction > 0.0f) {
+        return energyGain * deficit;
+    }
+    return -energyGain * deficit;
+}
+
+static int updatePhase(float energy, float angle1)
+{
+    if (energy < 0.3f * uprightEnergy) {
+        return 0;  /* pumping */
+    }
+    if (energy < 0.9f * uprightEnergy) {
+        return 1;  /* building */
+    }
+    if (angle1 > -0.3f && angle1 < 0.3f) {
+        return 3;  /* handoff to balance */
+    }
+    return 2;      /* coasting near the top */
+}
+
+int swingupMain(void)
+{
+    DIPFeedback snapshot;
+    float energy;
+    float u;
+
+    for (;;) {
+        lockShm();
+        snapshot = *fbShm;
+        unlockShm();
+
+        if (snapshot.seq != lastSeq) {
+            lastSeq = snapshot.seq;
+            energy = estimateEnergy(snapshot.angle1, snapshot.angle1_vel);
+            phase = updatePhase(energy, snapshot.angle1);
+            if (phase == 3) {
+                u = 0.0f;  /* let the balance controller take over */
+            } else {
+                u = pumpCommand(snapshot.angle1, snapshot.angle1_vel,
+                                energy);
+            }
+            if (u > DIP_VOLT_LIMIT) {
+                u = DIP_VOLT_LIMIT;
+            }
+            if (u < -DIP_VOLT_LIMIT) {
+                u = -DIP_VOLT_LIMIT;
+            }
+
+            lockShm();
+            swingShm->control = u;
+            swingShm->energy_estimate = energy;
+            swingShm->phase = phase;
+            swingShm->valid = 1;
+            unlockShm();
+        }
+        usleep(DIP_PERIOD_US / 2);
+    }
+    return 0;
+}

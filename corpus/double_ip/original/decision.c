@@ -1,0 +1,61 @@
+/* Pre-refactor version of the double IP decision module, kept for the
+ * source-change accounting of the evaluation: the recoverability check
+ * was inlined in decisionModule and had to be extracted (see the shipped
+ * decision.c) because SafeFlow annotations apply at function granularity.
+ */
+#include "../common/dip_types.h"
+#include "../common/sys.h"
+
+extern float clampVolts(float v);
+extern float predictAngle1(float angle1, float angle1_vel, float volts);
+extern float predictAngle2(float angle2, float angle2_vel, float volts);
+extern float envelopeValue(float track_pos, float angle1, float angle2,
+                           float angle1_vel, float angle2_vel);
+extern float envelopeLevel(void);
+
+extern DIPCommand *cmdShm;
+
+static int acceptCount = 0;
+static int rejectCount = 0;
+
+float decisionModule(float safeControl, float track_pos, float angle1,
+                     float angle2, float angle1_vel, float ang2_vel,
+                     DIPCommand *cmd)
+/*** SafeFlow Annotation assume(core(cmd, 0, sizeof(DIPCommand))) ***/
+{
+    float volts;
+    float next1;
+    float next2;
+    float value;
+    int recoverable;
+
+    recoverable = 0;
+    if (cmd->valid != 0) {
+        volts = cmd->control;
+        if (volts <= DIP_VOLT_LIMIT && volts >= -DIP_VOLT_LIMIT) {
+            next1 = predictAngle1(angle1, angle1_vel, volts);
+            next2 = predictAngle2(angle2, ang2_vel, volts);
+            value = envelopeValue(track_pos, next1, next2,
+                                  angle1_vel, ang2_vel);
+            if (value < envelopeLevel()) {
+                recoverable = 1;
+            }
+        }
+    }
+    if (recoverable) {
+        acceptCount = acceptCount + 1;
+        return clampVolts(cmd->control);
+    }
+    rejectCount = rejectCount + 1;
+    return safeControl;
+}
+
+int decisionAcceptCount(void)
+{
+    return acceptCount;
+}
+
+int decisionRejectCount(void)
+{
+    return rejectCount;
+}

@@ -1,0 +1,73 @@
+/* Shared-memory layout of the generic Simplex implementation: a Simplex
+ * core that can be configured (through a plant-description region) for
+ * different second-order plants. Seven segments are mapped by the core,
+ * the adaptive non-core controller, the gain tuner, and the logger.
+ */
+#ifndef GS_TYPES_H
+#define GS_TYPES_H
+
+#define GS_SHM_KEY 6200
+#define GS_PERIOD_US 10000
+#define GS_OUT_LIMIT 10.0f
+
+/* Plant configuration, written by the operator tooling (non-core). */
+typedef struct GSConfig {
+    int   nc_enabled;     /* run the adaptive controller at all?       */
+    int   plant_type;     /* GS_PLANT_* selector                       */
+    float inertia;        /* plant inertia estimate                    */
+    float damping;        /* plant damping estimate                    */
+    float setpoint_low;   /* profile limits                            */
+    float setpoint_high;
+} GSConfig;
+
+/* Plant state feedback, published by the core each period. */
+typedef struct GSFeedback {
+    float y;              /* measured plant output                     */
+    float ydot;           /* measured output rate                      */
+    int   seq;
+} GSFeedback;
+
+/* Adaptive controller command. */
+typedef struct GSCommand {
+    float control;
+    float confidence;
+    int   seq;
+    int   valid;
+} GSCommand;
+
+/* Adaptive controller status/heartbeat. */
+typedef struct GSStatus {
+    int   active;
+    int   iterations;
+    float adaptation_rate;
+} GSStatus;
+
+/* Tuner-proposed gain set, validated by the core's gain monitor. */
+typedef struct GSGains {
+    float kp;
+    float kd;
+    float ki;
+    int   revision;
+} GSGains;
+
+/* Logger configuration. */
+typedef struct GSLog {
+    int   level;
+    int   sink;
+} GSLog;
+
+/* Supervisory control: operating mode and supervisor process. */
+typedef struct GSControl {
+    int   mode;
+    int   supervisor_pid;
+    int   shutdown_request;
+} GSControl;
+
+#define GS_PLANT_SECOND_ORDER 0
+#define GS_PLANT_INTEGRATOR 1
+
+#define GS_MODE_AUTO 0
+#define GS_MODE_MANUAL 1
+#define GS_MODE_SHUTDOWN 2
+
+#endif /* GS_TYPES_H */

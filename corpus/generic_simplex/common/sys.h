@@ -1,0 +1,22 @@
+/* System interfaces used by the generic Simplex core. */
+#ifndef GS_SYS_H
+#define GS_SYS_H
+
+extern int   shmget(int key, int size, int flags);
+extern void *shmat(int shmid, void *addr, int flags);
+extern int   shmdt(void *addr);
+extern int   kill(int pid, int sig);
+extern int   getpid(void);
+extern int   printf(char *fmt, ...);
+extern void  usleep(int usec);
+extern float fabsf(float x);
+
+extern void lockShm(void);
+extern void unlockShm(void);
+extern void actuate(float value);
+extern void readPlantSensors(float *y, float *ydot);
+
+#define SIGTERM 15
+#define IPC_CREAT 512
+
+#endif /* GS_SYS_H */

@@ -1,0 +1,71 @@
+/* Shared-memory initialization for the generic Simplex core. Seven typed
+ * regions are carved out of one segment; every region is conservatively
+ * declared non-core because operator tooling, the adaptive controller,
+ * the tuner, and the logger all map the segment writable.
+ */
+#include "../common/gs_types.h"
+#include "../common/sys.h"
+
+GSConfig   *cfgShm;
+GSFeedback *fbShm;
+GSCommand  *cmdShm;
+GSStatus   *statShm;
+GSGains    *gainShm;
+GSLog      *logShm;
+GSControl  *ctlShm;
+
+static int gsSegmentId;
+
+/*** SafeFlow Annotation shminit ***/
+void initComm(void)
+{
+    void *base;
+    char *cursor;
+    int total;
+
+    total = sizeof(GSConfig) + sizeof(GSFeedback) + sizeof(GSCommand)
+          + sizeof(GSStatus) + sizeof(GSGains) + sizeof(GSLog)
+          + sizeof(GSControl);
+    gsSegmentId = shmget(GS_SHM_KEY, total, IPC_CREAT);
+    base = shmat(gsSegmentId, 0, 0);
+
+    cursor = (char *) base;
+    cfgShm = (GSConfig *) cursor;
+    cursor = cursor + sizeof(GSConfig);
+    fbShm = (GSFeedback *) cursor;
+    cursor = cursor + sizeof(GSFeedback);
+    cmdShm = (GSCommand *) cursor;
+    cursor = cursor + sizeof(GSCommand);
+    statShm = (GSStatus *) cursor;
+    cursor = cursor + sizeof(GSStatus);
+    gainShm = (GSGains *) cursor;
+    cursor = cursor + sizeof(GSGains);
+    logShm = (GSLog *) cursor;
+    cursor = cursor + sizeof(GSLog);
+    ctlShm = (GSControl *) cursor;
+
+    /*** SafeFlow Annotation assume(shmvar(cfgShm, sizeof(GSConfig))) ***/
+    /*** SafeFlow Annotation assume(shmvar(fbShm, sizeof(GSFeedback))) ***/
+    /*** SafeFlow Annotation assume(shmvar(cmdShm, sizeof(GSCommand))) ***/
+    /*** SafeFlow Annotation assume(shmvar(statShm, sizeof(GSStatus))) ***/
+    /*** SafeFlow Annotation assume(shmvar(gainShm, sizeof(GSGains))) ***/
+    /*** SafeFlow Annotation assume(shmvar(logShm, sizeof(GSLog))) ***/
+    /*** SafeFlow Annotation assume(shmvar(ctlShm, sizeof(GSControl))) ***/
+    /*** SafeFlow Annotation assume(noncore(cfgShm)) ***/
+    /*** SafeFlow Annotation assume(noncore(fbShm)) ***/
+    /*** SafeFlow Annotation assume(noncore(cmdShm)) ***/
+    /*** SafeFlow Annotation assume(noncore(statShm)) ***/
+    /*** SafeFlow Annotation assume(noncore(gainShm)) ***/
+    /*** SafeFlow Annotation assume(noncore(logShm)) ***/
+    /*** SafeFlow Annotation assume(noncore(ctlShm)) ***/
+}
+
+/* Publishes the measured plant output for the non-core components. */
+void publishFeedback(float y, float ydot, int seq)
+{
+    lockShm();
+    fbShm->y = y;
+    fbShm->ydot = ydot;
+    fbShm->seq = seq;
+    unlockShm();
+}

@@ -1,0 +1,28 @@
+/* Plant-configuration access for the generic Simplex core. The
+ * configuration region is written by operator tooling that is not part
+ * of the core subsystem, so reads from it are unmonitored non-core
+ * values; the core is careful to use them only to select between
+ * independently safe control paths (SafeFlow still reports the control
+ * dependence for manual review — the paper's false-positive class).
+ */
+#include "../common/gs_types.h"
+#include "../common/sys.h"
+
+extern GSConfig *cfgShm;
+
+static int cachedPlantType = GS_PLANT_SECOND_ORDER;
+static int cachedNcEnabled = 0;
+
+/* Reads whether the adaptive (non-core) controller should be consulted. */
+int configNcEnabled(void)
+{
+    cachedNcEnabled = cfgShm->nc_enabled;
+    return cachedNcEnabled;
+}
+
+/* Reads the configured plant family. */
+int configPlantType(void)
+{
+    cachedPlantType = cfgShm->plant_type;
+    return cachedPlantType;
+}

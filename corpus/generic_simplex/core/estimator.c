@@ -1,0 +1,117 @@
+/* Core-side state observer for the generic Simplex controller: a fixed-
+ * gain Luenberger observer against the verified plant models, used to
+ * cross-check the sensor readings and to bridge short sensor dropouts.
+ * Operates exclusively on core-held values.
+ */
+#include "../common/gs_types.h"
+#include "../common/sys.h"
+
+extern float predictOutput(float y, float u, int plant_type);
+
+/* Observer state. */
+static float yHat = 0.0f;
+static float ydotHat = 0.0f;
+static float observerGainY = 0.4f;
+static float observerGainYd = 0.15f;
+
+/* Dropout bridging. */
+static int dropoutPeriods = 0;
+static int bridgedTotal = 0;
+
+/* Residual statistics for sensor cross-checking. */
+static float residualAccum = 0.0f;
+static float residualWorst = 0.0f;
+static int residualSamples = 0;
+
+void observerStep(float measured_y, float measured_ydot, float applied_u,
+                  int plant_type)
+{
+    float predicted;
+    float residual;
+
+    predicted = predictOutput(yHat, applied_u, plant_type);
+    residual = measured_y - predicted;
+
+    yHat = predicted + observerGainY * residual;
+    ydotHat = ydotHat
+            + observerGainYd * (measured_ydot - ydotHat);
+
+    if (residual < 0.0f) {
+        residual = -residual;
+    }
+    residualAccum = residualAccum + residual;
+    if (residual > residualWorst) {
+        residualWorst = residual;
+    }
+    residualSamples = residualSamples + 1;
+}
+
+/* True when the latest measurement is consistent with the model within
+ * the cross-check band; a disagreeing sensor suggests a wiring fault. */
+int measurementConsistent(float measured_y)
+{
+    float diff;
+
+    diff = measured_y - yHat;
+    if (diff < 0.0f) {
+        diff = -diff;
+    }
+    return diff < 0.5f;
+}
+
+/* During a dropout the observer output substitutes the sensor, bounded
+ * to a handful of periods before the core must fail safe. */
+float bridgeDropout(void)
+{
+    dropoutPeriods = dropoutPeriods + 1;
+    bridgedTotal = bridgedTotal + 1;
+    return yHat;
+}
+
+void dropoutEnded(void)
+{
+    dropoutPeriods = 0;
+}
+
+int dropoutTooLong(void)
+{
+    return dropoutPeriods > 5;
+}
+
+float observedOutput(void)
+{
+    return yHat;
+}
+
+float observedRate(void)
+{
+    return ydotHat;
+}
+
+float meanResidual(void)
+{
+    if (residualSamples == 0) {
+        return 0.0f;
+    }
+    return residualAccum / (float)residualSamples;
+}
+
+float worstResidual(void)
+{
+    return residualWorst;
+}
+
+int bridgedPeriods(void)
+{
+    return bridgedTotal;
+}
+
+void resetObserver(float y0)
+{
+    yHat = y0;
+    ydotHat = 0.0f;
+    dropoutPeriods = 0;
+    residualAccum = 0.0f;
+    residualWorst = 0.0f;
+    residualSamples = 0;
+}

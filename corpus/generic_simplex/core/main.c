@@ -1,0 +1,160 @@
+/* Core loop of the generic Simplex implementation. The plant family and
+ * feature switches come from a configuration region written by operator
+ * tooling; the adaptive controller, gain tuner, and logger are separate
+ * non-core processes. Critical data: the actuator output, the setpoint
+ * fed to the safety law, the applied proportional gain, and the core's
+ * base gain — all asserted safe before use; plus the pid handed to kill
+ * on shutdown (implicitly critical).
+ */
+#include "../common/gs_types.h"
+#include "../common/sys.h"
+
+extern GSLog     *logShm;
+extern GSControl *ctlShm;
+
+extern void initComm(void);
+extern void publishFeedback(float y, float ydot, int seq);
+extern int configNcEnabled(void);
+extern int configPlantType(void);
+extern float computeSafeControl(float setpoint, int plant_type);
+extern float lastSafeControl(void);
+extern float coreBaseGain(void);
+extern float clampOutput(float v);
+extern float decisionModule(float safeControl, float y, float ydot);
+extern float gainMonitor(float fallbackGain);
+extern int pollStatus(void);
+extern int decisionAcceptCount(void);
+extern int gainRejectCount(void);
+
+extern float shapeSetpoint(float target);
+extern void resetShaping(float value);
+extern void observerStep(float measured_y, float measured_ydot,
+                         float applied_u, int plant_type);
+extern int measurementConsistent(float measured_y);
+extern float meanResidual(void);
+extern void resetObserver(float y0);
+extern void watchdogPeriod(float measured_period_ms);
+extern void watchdogDecision(int accepted);
+extern int watchdogAllowsNoncore(void);
+extern int watchdogLevel(void);
+extern float watchdogMeanJitter(void);
+
+static int running = 1;
+static int sequence = 0;
+
+/* Operator-held setpoint used in manual mode: a core-owned constant. */
+static float manualHold = 0.0f;
+
+/* Reference profile for automatic operation, scheduled per plant family.
+ * Both arms produce core-computed values; only the selection depends on
+ * the (non-core) configuration.
+ */
+static float profileSetpoint(int plant_type, int tick)
+{
+    float phase;
+    phase = (float)(tick % 600) / 600.0f;
+    if (plant_type == GS_PLANT_INTEGRATOR) {
+        if (phase < 0.5f) {
+            return 0.8f;
+        }
+        return -0.8f;
+    }
+    if (phase < 0.25f) {
+        return 0.5f;
+    }
+    if (phase < 0.75f) {
+        return 1.2f;
+    }
+    return 0.5f;
+}
+
+static void logPeriod(float output, float setpoint)
+{
+    int level;
+    level = logShm->level;
+    if (level > 0) {
+        printf("[gs] u=%f sp=%f accepted=%d\n", output, setpoint,
+               decisionAcceptCount());
+    }
+    if (level > 1) {
+        printf("[gs] safe=%f gain_rejects=%d\n", lastSafeControl(),
+               gainRejectCount());
+    }
+}
+
+int main(void)
+{
+    float y;
+    float ydot;
+    float setpoint;
+    float safeControl;
+    float output;
+    float appliedGain;
+    float baseGain;
+    int plantType;
+    int ncEnabled;
+    int mode;
+    int pid;
+
+    initComm();
+
+    baseGain = coreBaseGain();
+    /*** SafeFlow Annotation assert(safe(baseGain)); ***/
+    printf("[gs] core up, base gain %f\n", baseGain);
+
+    while (running) {
+        readPlantSensors(&y, &ydot);
+        publishFeedback(y, ydot, sequence);
+
+        mode = ctlShm->mode;
+        plantType = configPlantType();
+        ncEnabled = configNcEnabled();
+
+        if (mode == GS_MODE_MANUAL) {
+            setpoint = shapeSetpoint(manualHold);
+        } else {
+            setpoint = shapeSetpoint(profileSetpoint(plantType, sequence));
+        }
+        /*** SafeFlow Annotation assert(safe(setpoint)); ***/
+
+        appliedGain = gainMonitor(baseGain);
+        if (plantType == GS_PLANT_INTEGRATOR) {
+            appliedGain = appliedGain * 0.5f;
+        }
+        if (mode == GS_MODE_MANUAL) {
+            appliedGain = appliedGain * 0.8f;
+        }
+        /*** SafeFlow Annotation assert(safe(appliedGain)); ***/
+
+        safeControl = computeSafeControl(setpoint, plantType);
+
+        if (ncEnabled && watchdogAllowsNoncore() && pollStatus()) {
+            output = decisionModule(safeControl, y, ydot);
+            watchdogDecision(1);
+        } else {
+            output = safeControl;
+            watchdogDecision(0);
+        }
+
+        /*** SafeFlow Annotation assert(safe(output)); ***/
+        actuate(output);
+
+        observerStep(y, ydot, output, plantType);
+        if (!measurementConsistent(y)) {
+            printf("[gs] sensor/model residual high (mean %f)\n",
+                   meanResidual());
+        }
+
+        logPeriod(output, setpoint);
+        usleep(GS_PERIOD_US);
+        watchdogPeriod(10.0f);
+        sequence = sequence + 1;
+
+        if (mode == GS_MODE_SHUTDOWN) {
+            pid = ctlShm->supervisor_pid;
+            kill(pid, SIGTERM);
+            running = 0;
+        }
+    }
+    return 0;
+}

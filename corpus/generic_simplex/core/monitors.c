@@ -1,0 +1,107 @@
+/* The three monitoring functions of the generic Simplex core. Each one
+ * carries an assume(core(...)) annotation: the non-core values it reads
+ * are checked for safety/recoverability before use, so reads of those
+ * regions are safe within the function and its callees.
+ */
+#include "../common/gs_types.h"
+#include "../common/sys.h"
+
+extern GSCommand *cmdShm;
+extern GSGains   *gainShm;
+extern GSStatus  *statShm;
+
+extern float clampOutput(float v);
+extern float lastSafeControl(void);
+
+static int acceptCount = 0;
+static int gainRejects = 0;
+
+/* Recoverability: the adaptive command is accepted only when it is in
+ * actuator range, self-declared valid, and close enough to the safety
+ * command that one period of it cannot leave the recoverable set.
+ */
+float decisionModule(float safeControl, float y, float ydot)
+/*** SafeFlow Annotation assume(core(cmdShm, 0, sizeof(GSCommand))) ***/
+{
+    float candidate;
+    float predicted;
+
+    if (cmdShm->valid == 0) {
+        return safeControl;
+    }
+    candidate = cmdShm->control;
+    if (candidate > GS_OUT_LIMIT || candidate < -GS_OUT_LIMIT) {
+        return safeControl;
+    }
+    if (cmdShm->confidence < 0.5f) {
+        return safeControl;
+    }
+    predicted = y + 0.01f * ydot + 0.0001f * candidate;
+    if (fabsf(predicted) > 3.0f) {
+        return safeControl;
+    }
+    if (fabsf(candidate - safeControl) > 4.0f) {
+        return safeControl;
+    }
+    acceptCount = acceptCount + 1;
+    return clampOutput(candidate);
+}
+
+/* Gain monitor: tuner-proposed gains are admitted only inside a verified
+ * stability box for the configured plant family.
+ */
+float gainMonitor(float fallbackGain)
+/*** SafeFlow Annotation assume(core(gainShm, 0, sizeof(GSGains))) ***/
+{
+    float kp;
+    float kd;
+
+    kp = gainShm->kp;
+    kd = gainShm->kd;
+    if (kp < 0.5f || kp > 12.0f) {
+        gainRejects = gainRejects + 1;
+        return fallbackGain;
+    }
+    if (kd < 0.1f || kd > 6.0f) {
+        gainRejects = gainRejects + 1;
+        return fallbackGain;
+    }
+    if (gainShm->ki < 0.0f || gainShm->ki > 1.0f) {
+        gainRejects = gainRejects + 1;
+        return fallbackGain;
+    }
+    return kp;
+}
+
+/* Status monitor: the heartbeat is bounds-checked before the core trusts
+ * the adaptive controller to be alive.
+ */
+int pollStatus(void)
+/*** SafeFlow Annotation assume(core(statShm, 0, sizeof(GSStatus))) ***/
+{
+    int active;
+    int iter;
+
+    active = statShm->active;
+    iter = statShm->iterations;
+    if (active != 0 && active != 1) {
+        return 0;
+    }
+    if (iter < 0) {
+        return 0;
+    }
+    if (statShm->adaptation_rate < 0.0f) {
+        return 0;
+    }
+    return active;
+}
+
+int decisionAcceptCount(void)
+{
+    return acceptCount;
+}
+
+int gainRejectCount(void)
+{
+    return gainRejects;
+}

@@ -1,0 +1,86 @@
+/* Reference shaping for the generic Simplex core: slew limiting, bounded
+ * first-order smoothing, and the verified plant-model library backing the
+ * decision module's recoverability predictions. Pure core code: every
+ * value originates from core constants or core-held state.
+ */
+#include "../common/gs_types.h"
+#include "../common/sys.h"
+
+/* Slew limiter state. */
+static float shapedSetpoint = 0.0f;
+static float slewPerPeriod = 0.04f;
+
+/* First-order smoothing. */
+static float smoothState = 0.0f;
+static float smoothAlpha = 0.2f;
+
+/* Per-plant-family linear models (a, b) of y' = a y + b u, verified
+ * offline. Indexed by the GS_PLANT_* constants. */
+static float modelA[2] = {-0.8f, 0.0f};
+static float modelB[2] = {1.6f, 1.1f};
+
+float shapeSetpoint(float target)
+{
+    float delta;
+
+    delta = target - shapedSetpoint;
+    if (delta > slewPerPeriod) {
+        delta = slewPerPeriod;
+    }
+    if (delta < -slewPerPeriod) {
+        delta = -slewPerPeriod;
+    }
+    shapedSetpoint = shapedSetpoint + delta;
+
+    smoothState = smoothState + smoothAlpha * (shapedSetpoint - smoothState);
+    return smoothState;
+}
+
+void resetShaping(float value)
+{
+    shapedSetpoint = value;
+    smoothState = value;
+}
+
+/* One-period prediction of the plant output under control u, using the
+ * verified model for the given family. */
+float predictOutput(float y, float u, int plant_type)
+{
+    float a;
+    float b;
+    int idx;
+
+    idx = plant_type;
+    if (idx < 0 || idx > 1) {
+        idx = 0;
+    }
+    a = modelA[idx];
+    b = modelB[idx];
+    return y + 0.01f * (a * y + b * u);
+}
+
+/* Steady-state output under constant u (integrator family saturates the
+ * prediction horizon instead). */
+float steadyStateOutput(float u, int plant_type)
+{
+    int idx;
+
+    idx = plant_type;
+    if (idx < 0 || idx > 1) {
+        idx = 0;
+    }
+    if (idx == GS_PLANT_INTEGRATOR) {
+        return u * 10.0f;  /* horizon-clipped ramp */
+    }
+    return -modelB[idx] * u / modelA[idx];
+}
+
+/* Verified recoverable set: |y| below this bound can always be brought
+ * back by the safety controller within its actuator budget. */
+float recoverableBound(int plant_type)
+{
+    if (plant_type == GS_PLANT_INTEGRATOR) {
+        return 2.4f;
+    }
+    return 3.0f;
+}

@@ -1,0 +1,90 @@
+/* Generic safety controller: a PD law with per-plant-family gain
+ * schedules. BUG (per the paper's evaluation): currentOutput() and
+ * currentRate() read the plant state back from the feedback region in
+ * shared memory instead of using the core's own sensor copies. The
+ * feedback region is writable by every non-core process, so a faulty or
+ * malicious component can replace the state the safety law acts on —
+ * the erroneous value dependency SafeFlow reports for this system.
+ */
+#include "../common/gs_types.h"
+#include "../common/sys.h"
+
+extern GSFeedback *fbShm;
+
+/* Conservative base gains; scheduled per plant family at run time. */
+static float basKp = 4.0f;
+static float basKd = 1.3f;
+
+static float integratorState = 0.0f;
+static float lastSafe = 0.0f;
+
+float clampOutput(float v)
+{
+    if (v > GS_OUT_LIMIT) {
+        return GS_OUT_LIMIT;
+    }
+    if (v < -GS_OUT_LIMIT) {
+        return -GS_OUT_LIMIT;
+    }
+    return v;
+}
+
+/* Reads the measured plant output... from shared memory (the bug). */
+static float currentOutput(void)
+{
+    return fbShm->y;
+}
+
+/* Reads the measured output rate... from shared memory (the bug). */
+static float currentRate(void)
+{
+    return fbShm->ydot;
+}
+
+/* The safety law: PD toward the setpoint, integrator for steady state. */
+float computeSafeControl(float setpoint, int plant_type)
+{
+    float y;
+    float ydot;
+    float err;
+    float u;
+    float kp;
+    float kd;
+
+    y = currentOutput();
+    ydot = currentRate();
+    err = setpoint - y;
+
+    kp = basKp;
+    kd = basKd;
+    if (plant_type == GS_PLANT_INTEGRATOR) {
+        kp = basKp * 0.5f;
+        kd = basKd * 1.6f;
+    }
+
+    integratorState = integratorState + 0.01f * err;
+    if (integratorState > 2.0f) {
+        integratorState = 2.0f;
+    }
+    if (integratorState < -2.0f) {
+        integratorState = -2.0f;
+    }
+
+    u = kp * err - kd * ydot + 0.4f * integratorState;
+    u = clampOutput(u);
+    lastSafe = u;
+    return u;
+}
+
+float lastSafeControl(void)
+{
+    return lastSafe;
+}
+
+/* The core's own base gain, used by the tuner validation as a fallback;
+ * a pure core value (the clean critical datum the system also asserts).
+ */
+float coreBaseGain(void)
+{
+    return basKp;
+}

@@ -1,0 +1,89 @@
+/* Core-side health accounting for the generic Simplex controller: period
+ * jitter tracking, consecutive-rejection streaks, and the escalation
+ * ladder that decides when the core should stop consulting the adaptive
+ * controller altogether. All state is core-owned.
+ */
+#include "../common/gs_types.h"
+#include "../common/sys.h"
+
+/* Escalation levels. */
+#define WD_OK 0
+#define WD_DEGRADED 1
+#define WD_ISOLATED 2
+
+static int level = WD_OK;
+static int rejectStreak = 0;
+static int acceptStreak = 0;
+
+/* Jitter statistics over the most recent periods. */
+static float jitterAccum = 0.0f;
+static float jitterWorst = 0.0f;
+static int jitterSamples = 0;
+
+void watchdogPeriod(float measured_period_ms)
+{
+    float jitter;
+
+    jitter = measured_period_ms - 10.0f;
+    if (jitter < 0.0f) {
+        jitter = -jitter;
+    }
+    jitterAccum = jitterAccum + jitter;
+    if (jitter > jitterWorst) {
+        jitterWorst = jitter;
+    }
+    jitterSamples = jitterSamples + 1;
+}
+
+float watchdogMeanJitter(void)
+{
+    if (jitterSamples == 0) {
+        return 0.0f;
+    }
+    return jitterAccum / (float)jitterSamples;
+}
+
+float watchdogWorstJitter(void)
+{
+    return jitterWorst;
+}
+
+/* Called once per period with the decision outcome; maintains the
+ * escalation level. Twenty consecutive rejections degrade the adaptive
+ * controller; a hundred isolate it until fifty clean accepts. */
+void watchdogDecision(int accepted)
+{
+    if (accepted) {
+        acceptStreak = acceptStreak + 1;
+        rejectStreak = 0;
+        if (level == WD_ISOLATED && acceptStreak > 50) {
+            level = WD_DEGRADED;
+            acceptStreak = 0;
+        } else if (level == WD_DEGRADED && acceptStreak > 50) {
+            level = WD_OK;
+            acceptStreak = 0;
+        }
+        return;
+    }
+    rejectStreak = rejectStreak + 1;
+    acceptStreak = 0;
+    if (rejectStreak > 100) {
+        level = WD_ISOLATED;
+    } else if (rejectStreak > 20 && level == WD_OK) {
+        level = WD_DEGRADED;
+    }
+}
+
+/* The core consults the adaptive controller only below isolation. */
+int watchdogAllowsNoncore(void)
+{
+    if (level == WD_ISOLATED) {
+        return 0;
+    }
+    return 1;
+}
+
+int watchdogLevel(void)
+{
+    return level;
+}

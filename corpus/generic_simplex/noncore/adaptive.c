@@ -1,0 +1,105 @@
+/* Adaptive (MRAC-style) non-core controller for the generic Simplex
+ * system: adjusts feedforward/feedback terms online to track a reference
+ * model. Untrusted by design; the core accepts its output only through
+ * the decision module.
+ */
+#include "../common/gs_types.h"
+#include "../common/sys.h"
+
+extern GSConfig   *cfgShm;
+extern GSFeedback *fbShm;
+extern GSCommand  *cmdShm;
+extern GSStatus   *statShm;
+
+/* Reference model state. */
+static float modelY = 0.0f;
+static float modelRate = 0.6f;
+
+/* Adaptive parameters. */
+static float thetaFf = 1.0f;
+static float thetaFb = 0.5f;
+static float gamma0 = 0.05f;
+
+static int iterations = 0;
+static int lastSeq = -1;
+
+static float referenceModel(float setpoint)
+{
+    modelY = modelY + 0.01f * modelRate * (setpoint - modelY);
+    return modelY;
+}
+
+static void adaptParameters(float error, float setpoint, float y)
+{
+    thetaFf = thetaFf - gamma0 * error * setpoint;
+    thetaFb = thetaFb + gamma0 * error * y;
+    if (thetaFf > 5.0f) {
+        thetaFf = 5.0f;
+    }
+    if (thetaFf < -5.0f) {
+        thetaFf = -5.0f;
+    }
+    if (thetaFb > 5.0f) {
+        thetaFb = 5.0f;
+    }
+    if (thetaFb < -5.0f) {
+        thetaFb = -5.0f;
+    }
+}
+
+static float confidence(float error)
+{
+    float e;
+    e = fabsf(error);
+    if (e > 1.0f) {
+        return 0.0f;
+    }
+    return 1.0f - e;
+}
+
+int adaptiveMain(void)
+{
+    GSFeedback snapshot;
+    float setpoint;
+    float ym;
+    float error;
+    float u;
+
+    for (;;) {
+        lockShm();
+        snapshot = *fbShm;
+        unlockShm();
+
+        if (snapshot.seq != lastSeq && cfgShm->nc_enabled) {
+            lastSeq = snapshot.seq;
+            setpoint = 0.5f * (cfgShm->setpoint_low
+                               + cfgShm->setpoint_high);
+            ym = referenceModel(setpoint);
+            error = snapshot.y - ym;
+            adaptParameters(error, setpoint, snapshot.y);
+
+            u = thetaFf * setpoint - thetaFb * snapshot.y
+              - 0.8f * snapshot.ydot;
+            if (u > GS_OUT_LIMIT) {
+                u = GS_OUT_LIMIT;
+            }
+            if (u < -GS_OUT_LIMIT) {
+                u = -GS_OUT_LIMIT;
+            }
+
+            lockShm();
+            cmdShm->control = u;
+            cmdShm->confidence = confidence(error);
+            cmdShm->seq = snapshot.seq;
+            cmdShm->valid = 1;
+            unlockShm();
+
+            iterations = iterations + 1;
+            statShm->active = 1;
+            statShm->iterations = iterations;
+            statShm->adaptation_rate = gamma0;
+        }
+        usleep(GS_PERIOD_US / 2);
+    }
+    return 0;
+}

@@ -1,0 +1,97 @@
+/* Operator console for the generic Simplex system (non-core): edits the
+ * plant configuration, switches modes, and displays live state. This is
+ * the component whose writes the core treats as untrusted configuration.
+ */
+#include "../common/gs_types.h"
+#include "../common/sys.h"
+
+extern GSConfig   *cfgShm;
+extern GSFeedback *fbShm;
+extern GSStatus   *statShm;
+extern GSControl  *ctlShm;
+extern GSLog      *logShm;
+
+extern int readKeyNonBlocking(void);
+
+static int frame = 0;
+
+static void showState(void)
+{
+    printf("=== generic simplex console (frame %d) ===\n", frame);
+    printf("y=%f ydot=%f seq=%d\n", fbShm->y, fbShm->ydot, fbShm->seq);
+    printf("plant=%d nc_enabled=%d mode=%d\n", cfgShm->plant_type,
+           cfgShm->nc_enabled, ctlShm->mode);
+    printf("adaptive: active=%d iter=%d rate=%f\n", statShm->active,
+           statShm->iterations, statShm->adaptation_rate);
+}
+
+static void editConfig(int key)
+{
+    if (key == 'p') {
+        if (cfgShm->plant_type == GS_PLANT_SECOND_ORDER) {
+            cfgShm->plant_type = GS_PLANT_INTEGRATOR;
+        } else {
+            cfgShm->plant_type = GS_PLANT_SECOND_ORDER;
+        }
+    }
+    if (key == 'e') {
+        cfgShm->nc_enabled = 1 - cfgShm->nc_enabled;
+    }
+    if (key == 'i') {
+        cfgShm->inertia = cfgShm->inertia * 1.05f;
+    }
+    if (key == 'I') {
+        cfgShm->inertia = cfgShm->inertia * 0.95f;
+    }
+    if (key == 'd') {
+        cfgShm->damping = cfgShm->damping * 1.05f;
+    }
+    if (key == 'l') {
+        logShm->level = (logShm->level + 1) % 3;
+    }
+}
+
+static void editMode(int key)
+{
+    if (key == 'a') {
+        ctlShm->mode = GS_MODE_AUTO;
+    }
+    if (key == 'm') {
+        ctlShm->mode = GS_MODE_MANUAL;
+    }
+    if (key == 'q') {
+        ctlShm->mode = GS_MODE_SHUTDOWN;
+    }
+    if (key == 's') {
+        if (cfgShm->setpoint_high < 2.0f) {
+            cfgShm->setpoint_high = cfgShm->setpoint_high + 0.1f;
+        }
+    }
+    if (key == 'S') {
+        if (cfgShm->setpoint_high > cfgShm->setpoint_low + 0.1f) {
+            cfgShm->setpoint_high = cfgShm->setpoint_high - 0.1f;
+        }
+    }
+}
+
+int consoleMain(void)
+{
+    int key;
+
+    ctlShm->supervisor_pid = getpid();
+    cfgShm->setpoint_low = -1.0f;
+    cfgShm->setpoint_high = 1.0f;
+    cfgShm->nc_enabled = 1;
+
+    for (;;) {
+        showState();
+        key = readKeyNonBlocking();
+        if (key != 0) {
+            editConfig(key);
+            editMode(key);
+        }
+        frame = frame + 1;
+        usleep(100000);
+    }
+    return 0;
+}

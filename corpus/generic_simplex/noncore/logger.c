@@ -1,0 +1,94 @@
+/* Telemetry logger for the generic Simplex system: samples the shared
+ * regions into a ring buffer and periodically flushes them to the
+ * console or a trace sink. Entirely non-core.
+ */
+#include "../common/gs_types.h"
+#include "../common/sys.h"
+
+extern GSFeedback *fbShm;
+extern GSCommand  *cmdShm;
+extern GSStatus   *statShm;
+extern GSLog      *logShm;
+
+#define LOG_RING 256
+
+typedef struct LogSample {
+    float y;
+    float ydot;
+    float control;
+    float confidence;
+    int   seq;
+} LogSample;
+
+static LogSample ring[LOG_RING];
+static int head = 0;
+static int count = 0;
+static int dropped = 0;
+
+static void sample(void)
+{
+    LogSample s;
+
+    lockShm();
+    s.y = fbShm->y;
+    s.ydot = fbShm->ydot;
+    s.seq = fbShm->seq;
+    s.control = cmdShm->control;
+    s.confidence = cmdShm->confidence;
+    unlockShm();
+
+    if (count == LOG_RING) {
+        dropped = dropped + 1;
+    } else {
+        count = count + 1;
+    }
+    ring[head] = s;
+    head = (head + 1) % LOG_RING;
+}
+
+static void flush(void)
+{
+    int i;
+    int idx;
+    int level;
+
+    level = logShm->level;
+    if (level <= 0) {
+        count = 0;
+        return;
+    }
+    idx = head - count;
+    if (idx < 0) {
+        idx = idx + LOG_RING;
+    }
+    for (i = 0; i < count; i = i + 1) {
+        printf("[log] seq=%d y=%f u=%f conf=%f\n",
+               ring[idx].seq, ring[idx].y, ring[idx].control,
+               ring[idx].confidence);
+        idx = (idx + 1) % LOG_RING;
+    }
+    if (dropped > 0) {
+        printf("[log] dropped %d samples\n", dropped);
+        dropped = 0;
+    }
+    count = 0;
+}
+
+int loggerMain(void)
+{
+    int cycles;
+
+    cycles = 0;
+    for (;;) {
+        sample();
+        cycles = cycles + 1;
+        if (cycles % 100 == 0) {
+            flush();
+        }
+        if (statShm->active == 0 && logShm->sink != 0) {
+            printf("[log] adaptive controller inactive\n");
+        }
+        usleep(GS_PERIOD_US);
+    }
+    return 0;
+}

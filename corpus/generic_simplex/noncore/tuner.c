@@ -1,0 +1,92 @@
+/* Gain tuner for the generic Simplex system: proposes PD/PI gain sets
+ * derived from recursive least-squares estimates of the plant
+ * parameters. The core's gain monitor validates every proposal against a
+ * verified stability box before use.
+ */
+#include "../common/gs_types.h"
+#include "../common/sys.h"
+
+extern GSConfig   *cfgShm;
+extern GSFeedback *fbShm;
+extern GSGains    *gainShm;
+
+/* RLS estimator state (2-parameter model: gain and time constant). */
+static float estGain = 1.0f;
+static float estTau = 0.5f;
+static float p00 = 10.0f;
+static float p11 = 10.0f;
+static float forgetting = 0.98f;
+
+static float lastY = 0.0f;
+static int revision = 0;
+
+static void rlsUpdate(float y, float ydot)
+{
+    float prediction;
+    float innovation;
+    float k0;
+    float k1;
+
+    prediction = estGain * lastY - estTau * ydot;
+    innovation = y - prediction;
+
+    k0 = p00 * lastY / (forgetting + p00 * lastY * lastY);
+    k1 = p11 * ydot / (forgetting + p11 * ydot * ydot);
+
+    estGain = estGain + k0 * innovation;
+    estTau = estTau - k1 * innovation;
+
+    p00 = (p00 - k0 * lastY * p00) / forgetting;
+    p11 = (p11 - k1 * ydot * p11) / forgetting;
+    if (p00 > 100.0f) {
+        p00 = 100.0f;
+    }
+    if (p11 > 100.0f) {
+        p11 = 100.0f;
+    }
+    lastY = y;
+}
+
+static void proposeGains(void)
+{
+    float kp;
+    float kd;
+    float ki;
+    float safeEstimate;
+
+    /* Pole placement against the estimated plant. */
+    safeEstimate = estGain;
+    if (safeEstimate < 0.1f) {
+        safeEstimate = 0.1f;
+    }
+    kp = 2.2f / safeEstimate;
+    kd = 0.9f * estTau;
+    ki = 0.15f * kp;
+
+    revision = revision + 1;
+    gainShm->kp = kp;
+    gainShm->kd = kd;
+    gainShm->ki = ki;
+    gainShm->revision = revision;
+}
+
+int tunerMain(void)
+{
+    GSFeedback snapshot;
+    int cycles;
+
+    cycles = 0;
+    for (;;) {
+        lockShm();
+        snapshot = *fbShm;
+        unlockShm();
+
+        rlsUpdate(snapshot.y, snapshot.ydot);
+        cycles = cycles + 1;
+        if (cycles % 50 == 0 && cfgShm->nc_enabled) {
+            proposeGains();
+        }
+        usleep(GS_PERIOD_US * 5);
+    }
+    return 0;
+}

@@ -1,0 +1,140 @@
+/* Simulation shim for the Generic Simplex corpus. Provides the system
+ * interfaces backed by a second-order plant model, drives the run to a
+ * clean shutdown, and — when compiled with -DGS_TAMPER — overwrites the
+ * published feedback region the way a faulty non-core component could.
+ *
+ * Because the GS core's safety law (deliberately, per the paper's seeded
+ * defect) re-reads the plant state from the feedback region instead of
+ * using its sensor copies, the tampered build drives the real plant out
+ * of range while the core believes everything is fine. The benign build
+ * tracks the setpoint and shuts down cleanly. tests/corpus_compile_test
+ * compiles both variants and checks exactly that difference.
+ */
+#include "../generic_simplex/common/gs_types.h"
+
+extern int printf(const char *fmt, ...);
+
+/* ------------------------------------------------------------------ */
+/* "Shared memory" segment.                                            */
+/* ------------------------------------------------------------------ */
+
+static char segment[4096];
+
+int shmget(int key, int size, int flags)
+{
+    (void)key;
+    (void)flags;
+    return size <= (int)sizeof(segment) ? 1 : -1;
+}
+
+void *shmat(int shmid, void *addr, int flags)
+{
+    (void)shmid;
+    (void)addr;
+    (void)flags;
+    return segment;
+}
+
+int shmdt(void *addr)
+{
+    (void)addr;
+    return 0;
+}
+
+void lockShm(void) {}
+
+#ifdef GS_TAMPER
+static long tamper_after = 100;
+static long unlocks = 0;
+#endif
+
+void unlockShm(void)
+{
+#ifdef GS_TAMPER
+    /* The faulty non-core process races in right after the core releases
+     * the lock on its freshly published feedback — the window the paper's
+     * Generic Simplex defect narrative describes. */
+    unlocks = unlocks + 1;
+    if (unlocks > tamper_after) {
+        GSFeedback *fb;
+        fb = (GSFeedback *) (segment + sizeof(GSConfig));
+        fb->y = 0.0f;
+        fb->ydot = 0.0f;
+    }
+#endif
+}
+
+int getpid(void) { return 999; }
+
+static int killsDelivered = 0;
+int kill(int pid, int sig)
+{
+    (void)pid;
+    (void)sig;
+    killsDelivered = killsDelivered + 1;
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Plant: damped second-order system driven by the actuator.           */
+/* ------------------------------------------------------------------ */
+
+static float plant_y = 0.0f;
+static float plant_ydot = 0.0f;
+static float applied = 0.0f;
+static long periods = 0;
+static int escaped = 0;
+
+#define GS_RUN_PERIODS 600
+#define GS_ESCAPE_BOUND 3.0f
+
+void actuate(float value)
+{
+    if (value > GS_OUT_LIMIT) {
+        value = GS_OUT_LIMIT;
+    }
+    if (value < -GS_OUT_LIMIT) {
+        value = -GS_OUT_LIMIT;
+    }
+    applied = value;
+}
+
+void readPlantSensors(float *y, float *ydot)
+{
+    *y = plant_y;
+    *ydot = plant_ydot;
+}
+
+void usleep(int usec)
+{
+    float acc;
+    GSControl *ctl;
+
+    (void)usec;
+    acc = -0.8f * plant_y - 1.2f * plant_ydot + 1.6f * applied;
+    plant_y = plant_y + 0.01f * plant_ydot;
+    plant_ydot = plant_ydot + 0.01f * acc;
+    periods = periods + 1;
+
+    if (plant_y > GS_ESCAPE_BOUND || plant_y < -GS_ESCAPE_BOUND) {
+        escaped = 1;
+    }
+
+    if (periods >= GS_RUN_PERIODS) {
+        /* Operator shutdown ends the run. */
+        ctl = (GSControl *) (segment + sizeof(GSConfig)
+                             + sizeof(GSFeedback) + sizeof(GSCommand)
+                             + sizeof(GSStatus) + sizeof(GSGains)
+                             + sizeof(GSLog));
+        ctl->mode = GS_MODE_SHUTDOWN;
+    }
+
+    if (periods == GS_RUN_PERIODS + 1) {
+        /* One extra period slips through before main re-reads the mode. */
+        printf("[shim] periods=%ld final_y=%f escaped=%d\n", periods,
+               (double)plant_y, escaped);
+    }
+}
+
+long gsShimPeriods(void) { return periods; }
+int gsShimEscaped(void) { return escaped; }

@@ -1,0 +1,122 @@
+/* Simulation shim that makes the IP corpus runnable under a real C
+ * compiler: provides the system interfaces (shmget/shmat, locks, sensors,
+ * actuator, timers) backed by a simple in-process cart-pole difference
+ * model, plus an emulated non-core controller publishing through the
+ * same "shared memory". Compiled together with corpus/ip/core/ *.c by
+ * tests/corpus_compile_test.cpp to prove the corpus is genuine C.
+ */
+#include "../ip/common/ipc_types.h"
+
+extern int printf(const char *fmt, ...);
+
+/* ------------------------------------------------------------------ */
+/* "Shared memory": one static segment handed out by shmat.            */
+/* ------------------------------------------------------------------ */
+
+static char segment[4096];
+static int attached = 0;
+
+int shmget(int key, int size, int flags)
+{
+    (void)key;
+    (void)flags;
+    return size <= (int)sizeof(segment) ? 1 : -1;
+}
+
+void *shmat(int shmid, void *addr, int flags)
+{
+    (void)shmid;
+    (void)addr;
+    (void)flags;
+    attached = 1;
+    return segment;
+}
+
+int shmdt(void *addr)
+{
+    (void)addr;
+    attached = 0;
+    return 0;
+}
+
+void lockShm(void) {}
+void unlockShm(void) {}
+
+int getpid(void) { return 4242; }
+
+static int killsDelivered = 0;
+int kill(int pid, int sig)
+{
+    (void)pid;
+    (void)sig;
+    killsDelivered = killsDelivered + 1;
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Plant: linearized cart-pole difference model at 50 Hz.              */
+/* ------------------------------------------------------------------ */
+
+static float plant_x = 0.02f;
+static float plant_v = 0.0f;
+static float plant_th = 0.04f;
+static float plant_w = 0.0f;
+static float applied = 0.0f;
+static long periods = 0;
+
+/* Bound the run: after this many periods the shim reports a state far
+ * outside the envelope so the corpus main loop exits cleanly. */
+#define SHIM_RUN_PERIODS 400
+
+void sendControl(float volts)
+{
+    if (volts > IP_VOLT_LIMIT) {
+        volts = IP_VOLT_LIMIT;
+    }
+    if (volts < -IP_VOLT_LIMIT) {
+        volts = -IP_VOLT_LIMIT;
+    }
+    applied = volts;
+}
+
+static void stepPlant(void)
+{
+    float x_acc;
+    float th_acc;
+
+    x_acc = -0.5f * plant_x - 2.0f * plant_v + 0.3f * applied;
+    th_acc = 77.6f * plant_th - 12.6f * applied;
+    plant_x = plant_x + 0.02f * plant_v;
+    plant_v = plant_v + 0.02f * x_acc;
+    plant_th = plant_th + 0.02f * plant_w;
+    plant_w = plant_w + 0.02f * th_acc;
+}
+
+void usleep(int usec)
+{
+    (void)usec;  /* simulated time: one control period per call */
+    stepPlant();
+    periods = periods + 1;
+}
+
+void readSensors(float *track_pos, float *track_vel, float *angle,
+                 float *angle_vel)
+{
+    if (periods >= SHIM_RUN_PERIODS) {
+        /* Force an envelope exit so main terminates: values within the
+         * plausibility gate but far outside the recoverable envelope. */
+        *track_pos = 0.5f;
+        *track_vel = 0.0f;
+        *angle = 1.2f;
+        *angle_vel = 0.0f;
+        return;
+    }
+    *track_pos = plant_x;
+    *track_vel = plant_v;
+    *angle = plant_th;
+    *angle_vel = plant_w;
+}
+
+long shimPeriods(void) { return periods; }
+float shimFinalAngle(void) { return plant_th; }
+int shimKillCount(void) { return killsDelivered; }

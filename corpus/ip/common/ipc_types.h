@@ -1,0 +1,50 @@
+/* Shared-memory layout of the inverted pendulum Simplex system.
+ * Four segments are mapped by both the core and non-core processes:
+ *   feedback  - plant state published by the core controller
+ *   command   - control output published by the non-core controller
+ *   status    - heartbeat / bookkeeping published by the non-core side
+ *   display   - UI configuration and supervision published by the UI
+ */
+#ifndef IP_IPC_TYPES_H
+#define IP_IPC_TYPES_H
+
+#define IP_SHM_KEY 5150
+#define IP_PERIOD_US 20000
+#define IP_VOLT_LIMIT 5.0f
+#define IP_TRACK_LIMIT 0.4f
+#define IP_ANGLE_LIMIT 0.6f
+
+typedef struct IPFeedback {
+    float track_pos;     /* cart position on the track, meters  */
+    float track_vel;     /* cart velocity, m/s                  */
+    float angle;         /* pendulum angle from upright, rad    */
+    float angle_vel;     /* pendulum angular velocity, rad/s    */
+    int   seq;           /* publication sequence number         */
+} IPFeedback;
+
+typedef struct IPCommand {
+    float control;       /* requested actuator voltage          */
+    float predicted_angle;
+    int   seq;           /* must track IPFeedback.seq           */
+    int   valid;         /* non-core controller self-check flag */
+} IPCommand;
+
+typedef struct IPStatus {
+    int   nc_active;     /* non-core controller heartbeat       */
+    int   iterations;    /* loop count on the non-core side     */
+    float last_latency;  /* publication latency estimate, ms    */
+    int   restarts;      /* non-core restart counter            */
+} IPStatus;
+
+typedef struct IPDisplay {
+    int   mode;          /* UI-selected operating mode          */
+    int   verbosity;     /* console verbosity level             */
+    int   supervisor_pid;/* process to signal on mode change    */
+    int   refresh_ms;    /* UI refresh period                   */
+} IPDisplay;
+
+#define IP_MODE_BALANCE 0
+#define IP_MODE_TRACKING 1
+#define IP_MODE_DEMO 2
+
+#endif /* IP_IPC_TYPES_H */

@@ -1,0 +1,27 @@
+/* Declarations of the system interfaces the controllers use. The SafeFlow
+ * analyzer models these by signature only. */
+#ifndef IP_SYS_H
+#define IP_SYS_H
+
+extern int   shmget(int key, int size, int flags);
+extern void *shmat(int shmid, void *addr, int flags);
+extern int   shmdt(void *addr);
+extern int   kill(int pid, int sig);
+extern int   getpid(void);
+extern int   printf(char *fmt, ...);
+extern void  usleep(int usec);
+extern double fabs(double x);
+extern double sin(double x);
+extern double cos(double x);
+extern float  fabsf(float x);
+
+extern void lockShm(void);
+extern void unlockShm(void);
+extern void sendControl(float volts);
+extern void readSensors(float *track_pos, float *track_vel,
+                        float *angle, float *angle_vel);
+
+#define SIGUSR1 10
+#define IPC_CREAT 512
+
+#endif /* IP_SYS_H */

@@ -1,0 +1,62 @@
+/* Shared-memory initialization for the core controller (paper Fig. 3).
+ * The initializing function is the only place allowed to perform the
+ * untyped shmat cast and the pointer arithmetic that carves the segment
+ * into the four typed regions; the shmvar/noncore post-conditions declare
+ * the regions for the analysis.
+ */
+#include "../common/ipc_types.h"
+#include "../common/sys.h"
+
+IPFeedback *fbShm;
+IPCommand  *cmdShm;
+IPStatus   *statShm;
+IPDisplay  *dispShm;
+
+static int shmSegmentId;
+
+/*** SafeFlow Annotation shminit ***/
+void initComm(void)
+{
+    void *shmStart;
+    char *cursor;
+    int total;
+
+    total = sizeof(IPFeedback) + sizeof(IPCommand)
+          + sizeof(IPStatus) + sizeof(IPDisplay);
+    shmSegmentId = shmget(IP_SHM_KEY, total, IPC_CREAT);
+    shmStart = shmat(shmSegmentId, 0, 0);
+
+    cursor = (char *) shmStart;
+    fbShm = (IPFeedback *) cursor;
+    cursor = cursor + sizeof(IPFeedback);
+    cmdShm = (IPCommand *) cursor;
+    cursor = cursor + sizeof(IPCommand);
+    statShm = (IPStatus *) cursor;
+    cursor = cursor + sizeof(IPStatus);
+    dispShm = (IPDisplay *) cursor;
+
+    /*** SafeFlow Annotation assume(shmvar(fbShm, sizeof(IPFeedback))) ***/
+    /*** SafeFlow Annotation assume(shmvar(cmdShm, sizeof(IPCommand))) ***/
+    /*** SafeFlow Annotation assume(shmvar(statShm, sizeof(IPStatus))) ***/
+    /*** SafeFlow Annotation assume(shmvar(dispShm, sizeof(IPDisplay))) ***/
+    /*** SafeFlow Annotation assume(noncore(fbShm)) ***/
+    /*** SafeFlow Annotation assume(noncore(cmdShm)) ***/
+    /*** SafeFlow Annotation assume(noncore(statShm)) ***/
+    /*** SafeFlow Annotation assume(noncore(dispShm)) ***/
+}
+
+/* Publishes the latest plant state for the non-core controller and the
+ * UI. The feedback region is declared non-core because nothing prevents
+ * those processes from writing into it (the paper's conservative model).
+ */
+void publishFeedback(float track_pos, float track_vel,
+                     float angle, float angle_vel, int seq)
+{
+    lockShm();
+    fbShm->track_pos = track_pos;
+    fbShm->track_vel = track_vel;
+    fbShm->angle = angle;
+    fbShm->angle_vel = angle_vel;
+    fbShm->seq = seq;
+    unlockShm();
+}

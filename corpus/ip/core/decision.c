@@ -1,0 +1,76 @@
+/* The decision module of the Simplex architecture: accepts the non-core
+ * controller's output only when the recoverability check passes. This is
+ * the system's monitoring function for the command region; the
+ * assume(core(...)) annotation declares that cmd may be dereferenced
+ * safely here and in everything it calls (the values are checked before
+ * use).
+ */
+#include "../common/ipc_types.h"
+#include "../common/sys.h"
+
+extern float clampVolts(float v);
+extern float predictAngle(float angle, float angle_vel, float volts);
+extern float predictAngleVel(float angle, float angle_vel, float volts);
+extern float predictTrack(float track_pos, float track_vel, float volts);
+extern float envelopeValue(float track_pos, float track_vel,
+                           float angle, float angle_vel);
+extern float envelopeLevel(void);
+
+extern IPCommand *cmdShm;
+
+static int acceptCount = 0;
+static int rejectCount = 0;
+
+/* Checks that applying `volts` for one period keeps the plant inside the
+ * recoverability envelope. All plant-state arguments are the core's own
+ * sensor copies; only the monitored command region is dereferenced.
+ */
+static int checkRecoverable(IPCommand *cmd, float track_pos,
+                            float track_vel, float angle, float angle_vel)
+{
+    float volts;
+    float next_angle;
+    float next_angle_vel;
+    float next_track;
+    float next_value;
+
+    if (cmd->valid == 0) {
+        return 0;
+    }
+    volts = cmd->control;
+    if (volts > IP_VOLT_LIMIT || volts < -IP_VOLT_LIMIT) {
+        return 0;
+    }
+    next_angle = predictAngle(angle, angle_vel, volts);
+    next_angle_vel = predictAngleVel(angle, angle_vel, volts);
+    next_track = predictTrack(track_pos, track_vel, volts);
+    next_value = envelopeValue(next_track, track_vel,
+                               next_angle, next_angle_vel);
+    if (next_value < envelopeLevel()) {
+        return 1;
+    }
+    return 0;
+}
+
+/* The monitoring function: returns the control to actuate this period. */
+float decisionModule(float safeControl, float track_pos, float track_vel,
+                     float angle, float angle_vel, IPCommand *cmd)
+/*** SafeFlow Annotation assume(core(cmd, 0, sizeof(IPCommand))) ***/
+{
+    if (checkRecoverable(cmd, track_pos, track_vel, angle, angle_vel)) {
+        acceptCount = acceptCount + 1;
+        return clampVolts(cmd->control);
+    }
+    rejectCount = rejectCount + 1;
+    return safeControl;
+}
+
+int decisionAcceptCount(void)
+{
+    return acceptCount;
+}
+
+int decisionRejectCount(void)
+{
+    return rejectCount;
+}

@@ -1,0 +1,147 @@
+/* Sensor conditioning for the core controller: calibration against the
+ * factory tables, median-of-five spike rejection, and a short FIR
+ * low-pass for the velocity estimates. Everything here operates on
+ * core-owned values only (raw sensor samples), never on shared memory.
+ */
+#include "../common/ipc_types.h"
+#include "../common/sys.h"
+
+/* Factory calibration for the track potentiometer and angle encoder. */
+static float trackOffset = -0.0034f;
+static float trackScale = 1.0021f;
+static float angleOffset = 0.0011f;
+static float angleScale = 0.9987f;
+
+/* Median-of-five history per channel. */
+static float trackHistory[5];
+static float angleHistory[5];
+static int historyFill = 0;
+
+/* 5-tap FIR low-pass (normalized Hamming-ish taps). */
+static float firTaps[5] = {0.08f, 0.24f, 0.36f, 0.24f, 0.08f};
+static float firTrackDelay[5];
+static float firAngleDelay[5];
+
+static int spikeCount = 0;
+
+float calibrateTrack(float raw)
+{
+    return (raw - trackOffset) * trackScale;
+}
+
+float calibrateAngle(float raw)
+{
+    return (raw - angleOffset) * angleScale;
+}
+
+/* Sorts a copy of five samples and returns the middle one. */
+static float medianOfFive(float *window)
+{
+    float sorted[5];
+    int i;
+    int j;
+    float tmp;
+
+    for (i = 0; i < 5; i = i + 1) {
+        sorted[i] = window[i];
+    }
+    for (i = 0; i < 4; i = i + 1) {
+        for (j = 0; j < 4 - i; j = j + 1) {
+            if (sorted[j] > sorted[j + 1]) {
+                tmp = sorted[j];
+                sorted[j] = sorted[j + 1];
+                sorted[j + 1] = tmp;
+            }
+        }
+    }
+    return sorted[2];
+}
+
+static void pushHistory(float *window, float sample)
+{
+    int i;
+    for (i = 0; i < 4; i = i + 1) {
+        window[i] = window[i + 1];
+    }
+    window[4] = sample;
+}
+
+/* Median-filtered track position; counts suppressed spikes. */
+float despikeTrack(float raw)
+{
+    float median;
+
+    pushHistory(trackHistory, raw);
+    if (historyFill < 5) {
+        historyFill = historyFill + 1;
+        return raw;
+    }
+    median = medianOfFive(trackHistory);
+    if (fabsf(raw - median) > 0.05f) {
+        spikeCount = spikeCount + 1;
+        return median;
+    }
+    return raw;
+}
+
+float despikeAngle(float raw)
+{
+    float median;
+
+    pushHistory(angleHistory, raw);
+    if (historyFill < 5) {
+        return raw;
+    }
+    median = medianOfFive(angleHistory);
+    if (fabsf(raw - median) > 0.08f) {
+        spikeCount = spikeCount + 1;
+        return median;
+    }
+    return raw;
+}
+
+static float firStep(float *delay, float sample)
+{
+    float acc;
+    int i;
+
+    for (i = 0; i < 4; i = i + 1) {
+        delay[i] = delay[i + 1];
+    }
+    delay[4] = sample;
+    acc = 0.0f;
+    for (i = 0; i < 5; i = i + 1) {
+        acc = acc + firTaps[i] * delay[i];
+    }
+    return acc;
+}
+
+float firTrackVel(float raw)
+{
+    return firStep(firTrackDelay, raw);
+}
+
+float firAngleVel(float raw)
+{
+    return firStep(firAngleDelay, raw);
+}
+
+/* Plausibility gate: a sensor sample outside the physical range of the
+ * rig indicates a wiring fault; the caller falls back to the previous
+ * good sample.
+ */
+int sensorPlausible(float track_pos, float angle)
+{
+    if (track_pos < -0.6f || track_pos > 0.6f) {
+        return 0;
+    }
+    if (angle < -1.6f || angle > 1.6f) {
+        return 0;
+    }
+    return 1;
+}
+
+int filterSpikeCount(void)
+{
+    return spikeCount;
+}

@@ -1,0 +1,168 @@
+/* Core controller main loop of the inverted pendulum Simplex system
+ * (paper Fig. 1/2). Each 20 ms period the core reads the sensors,
+ * publishes feedback, computes the safety control, asks the decision
+ * module whether the non-core command is recoverable, and actuates.
+ *
+ * Known interaction points with the non-core subsystem, all through the
+ * shared-memory regions declared in comm.c:
+ *   - command region: monitored by the decision module;
+ *   - status region: heartbeat consulted to skip the decision module
+ *     when the non-core controller is down;
+ *   - display region: UI mode/verbosity, and the supervisor pid the core
+ *     signals on mode changes.
+ */
+#include "../common/ipc_types.h"
+#include "../common/sys.h"
+
+extern IPFeedback *fbShm;
+extern IPCommand  *cmdShm;
+extern IPStatus   *statShm;
+extern IPDisplay  *dispShm;
+
+extern void initComm(void);
+extern void publishFeedback(float track_pos, float track_vel,
+                            float angle, float angle_vel, int seq);
+extern float computeSafeControl(float track_pos, float track_vel,
+                                float angle, float angle_vel);
+extern float decisionModule(float safeControl, float track_pos,
+                            float track_vel, float angle, float angle_vel,
+                            IPCommand *cmd);
+extern float clampVolts(float v);
+extern int insideEnvelope(float track_pos, float track_vel,
+                          float angle, float angle_vel);
+extern int decisionAcceptCount(void);
+extern int decisionRejectCount(void);
+extern int coreSaturationCount(void);
+
+extern float calibrateTrack(float raw);
+extern float calibrateAngle(float raw);
+extern float despikeTrack(float raw);
+extern float despikeAngle(float raw);
+extern float firTrackVel(float raw);
+extern float firAngleVel(float raw);
+extern int sensorPlausible(float track_pos, float angle);
+extern int filterSpikeCount(void);
+extern void telemetryRecord(float angle, float track_pos, float output,
+                            int used_noncore);
+extern void telemetryDump(void);
+extern int runSelfTest(void);
+
+/* Bias applied in tracking mode so the cart holds the UI setpoint; the
+ * value itself is core-owned (a constant profile), only the mode switch
+ * comes from the display region. */
+static float trackingBias = 0.15f;
+
+static int sequence = 0;
+static int running = 1;
+
+static void reportStatus(float output, float angle)
+{
+    int verbosity;
+    int iterations;
+    int restarts;
+    float latency;
+
+    verbosity = dispShm->verbosity;
+    if (verbosity > 0) {
+        printf("[core] u=%f angle=%f accept=%d reject=%d\n",
+               output, angle, decisionAcceptCount(),
+               decisionRejectCount());
+    }
+    if (verbosity > 1) {
+        iterations = statShm->iterations;
+        latency = statShm->last_latency;
+        restarts = statShm->restarts;
+        printf("[core] nc iter=%d latency=%f restarts=%d sat=%d\n",
+               iterations, latency, restarts, coreSaturationCount());
+    }
+}
+
+static void notifySupervisor(void)
+{
+    int pid;
+    /* Signal the supervising process that a mode change happened. The
+     * pid is read from the display region each time so a restarted UI
+     * keeps working -- which is exactly the unmonitored non-core value
+     * SafeFlow flags: a faulty UI can plant the core's own pid here.
+     */
+    pid = dispShm->supervisor_pid;
+    kill(pid, SIGUSR1);
+}
+
+int main(void)
+{
+    float raw_track;
+    float raw_track_vel;
+    float raw_angle;
+    float raw_angle_vel;
+    float track_pos;
+    float track_vel;
+    float angle;
+    float angle_vel;
+    float safeControl;
+    float output;
+    int ncUp;
+    int uiMode;
+    int lastMode;
+
+    if (runSelfTest() != 0) {
+        printf("[core] self test failed, refusing to bootstrap\n");
+        return 1;
+    }
+    initComm();
+    lastMode = IP_MODE_BALANCE;
+    track_pos = 0.0f;
+    angle = 0.0f;
+
+    while (running) {
+        readSensors(&raw_track, &raw_track_vel, &raw_angle,
+                    &raw_angle_vel);
+        /* Sensor conditioning: calibration, spike rejection, low-pass;
+         * an implausible sample keeps the previous good estimate. */
+        if (sensorPlausible(raw_track, raw_angle)) {
+            track_pos = despikeTrack(calibrateTrack(raw_track));
+            angle = despikeAngle(calibrateAngle(raw_angle));
+        }
+        track_vel = firTrackVel(raw_track_vel);
+        angle_vel = firAngleVel(raw_angle_vel);
+        publishFeedback(track_pos, track_vel, angle, angle_vel, sequence);
+
+        safeControl = computeSafeControl(track_pos, track_vel,
+                                         angle, angle_vel);
+
+        usleep(IP_PERIOD_US);
+
+        lockShm();
+        ncUp = statShm->nc_active;
+        if (ncUp) {
+            output = decisionModule(safeControl, track_pos, track_vel,
+                                    angle, angle_vel, cmdShm);
+        } else {
+            output = safeControl;
+        }
+        unlockShm();
+
+        uiMode = dispShm->mode;
+        if (uiMode == IP_MODE_TRACKING) {
+            output = clampVolts(output + trackingBias);
+        }
+        if (uiMode != lastMode) {
+            notifySupervisor();
+            lastMode = uiMode;
+        }
+
+        /*** SafeFlow Annotation assert(safe(output)); ***/
+        sendControl(output);
+
+        telemetryRecord(angle, track_pos, output, ncUp);
+        reportStatus(output, angle);
+        sequence = sequence + 1;
+        if (insideEnvelope(track_pos, track_vel, angle, angle_vel) == 0) {
+            printf("[core] left the envelope, halting (%d spikes)\n",
+                   filterSpikeCount());
+            telemetryDump();
+            running = 0;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,139 @@
+/* The well-tested safety controller of the core subsystem: a fixed-gain
+ * state-feedback law with sensor conditioning. Everything here computes
+ * from core-owned values (the sensor readings held in core locals), never
+ * from shared memory.
+ */
+#include "../common/ipc_types.h"
+#include "../common/sys.h"
+
+/* State-feedback gains synthesized offline for the lab pendulum. */
+static float gainTrack = -2.46f;
+static float gainTrackVel = -3.07f;
+static float gainAngle = -28.41f;
+static float gainAngleVel = -4.92f;
+
+/* First-order low-pass filter state for the velocity estimates. */
+static float velFilterState = 0.0f;
+static float angVelFilterState = 0.0f;
+static float filterAlpha = 0.35f;
+
+/* Running diagnostics kept by the core side. */
+static int   saturationCount = 0;
+static float lastSafeOutput = 0.0f;
+
+float clampVolts(float v)
+{
+    if (v > IP_VOLT_LIMIT) {
+        saturationCount = saturationCount + 1;
+        return IP_VOLT_LIMIT;
+    }
+    if (v < -IP_VOLT_LIMIT) {
+        saturationCount = saturationCount + 1;
+        return -IP_VOLT_LIMIT;
+    }
+    return v;
+}
+
+float lowPass(float state, float sample, float alpha)
+{
+    return state + alpha * (sample - state);
+}
+
+float filterTrackVel(float raw)
+{
+    velFilterState = lowPass(velFilterState, raw, filterAlpha);
+    return velFilterState;
+}
+
+float filterAngleVel(float raw)
+{
+    angVelFilterState = lowPass(angVelFilterState, raw, filterAlpha);
+    return angVelFilterState;
+}
+
+/* The stabilizing control law: u = -K x, clamped to the actuator range. */
+float computeSafeControl(float track_pos, float track_vel,
+                         float angle, float angle_vel)
+{
+    float u;
+    float tv;
+    float av;
+
+    tv = filterTrackVel(track_vel);
+    av = filterAngleVel(angle_vel);
+
+    u = -(gainTrack * track_pos + gainTrackVel * tv
+          + gainAngle * angle + gainAngleVel * av);
+    u = clampVolts(u);
+    lastSafeOutput = u;
+    return u;
+}
+
+/* Conservative one-step prediction of the pendulum angle under a given
+ * voltage, used by the recoverability check. Coefficients follow the
+ * linearized plant model discretized at the 50 Hz control period.
+ */
+float predictAngle(float angle, float angle_vel, float volts)
+{
+    float angle_acc;
+    angle_acc = 77.6f * angle - 12.6f * volts;
+    return angle + 0.02f * angle_vel + 0.0002f * angle_acc;
+}
+
+float predictAngleVel(float angle, float angle_vel, float volts)
+{
+    float angle_acc;
+    angle_acc = 77.6f * angle - 12.6f * volts;
+    return angle_vel + 0.02f * angle_acc;
+}
+
+float predictTrack(float track_pos, float track_vel, float volts)
+{
+    float track_acc;
+    track_acc = -4.4f * track_pos + 3.8f * volts;
+    return track_pos + 0.02f * track_vel + 0.0002f * track_acc;
+}
+
+/* Lyapunov-style envelope value: a weighted quadratic form over the
+ * predicted state. The envelope level was calibrated so the physical
+ * track and angle limits lie outside it.
+ */
+float envelopeValue(float track_pos, float track_vel,
+                    float angle, float angle_vel)
+{
+    float v;
+    v = 6.2f * track_pos * track_pos
+      + 1.1f * track_vel * track_vel
+      + 48.0f * angle * angle
+      + 2.3f * angle_vel * angle_vel
+      + 7.5f * angle * angle_vel
+      + 1.9f * track_pos * track_vel;
+    return v;
+}
+
+float envelopeLevel(void)
+{
+    return 11.0f;
+}
+
+/* True when the state is inside the recoverable envelope with margin. */
+int insideEnvelope(float track_pos, float track_vel,
+                   float angle, float angle_vel)
+{
+    float value;
+    value = envelopeValue(track_pos, track_vel, angle, angle_vel);
+    if (value < envelopeLevel()) {
+        return 1;
+    }
+    return 0;
+}
+
+int coreSaturationCount(void)
+{
+    return saturationCount;
+}
+
+float coreLastSafeOutput(void)
+{
+    return lastSafeOutput;
+}

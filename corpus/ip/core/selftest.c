@@ -1,0 +1,130 @@
+/* Power-on self test of the core controller: validates the control gains
+ * against the verified plant model, exercises the envelope arithmetic on
+ * a grid of states, and checks the prediction functions for consistency
+ * before the loop starts. Pure core computation over constants.
+ */
+#include "../common/ipc_types.h"
+#include "../common/sys.h"
+
+extern float computeSafeControl(float track_pos, float track_vel,
+                                float angle, float angle_vel);
+extern float predictAngle(float angle, float angle_vel, float volts);
+extern float predictAngleVel(float angle, float angle_vel, float volts);
+extern float predictTrack(float track_pos, float track_vel, float volts);
+extern float envelopeValue(float track_pos, float track_vel,
+                           float angle, float angle_vel);
+extern float envelopeLevel(void);
+extern float clampVolts(float v);
+
+static int failures = 0;
+
+static void expectTrue(int cond, char *what)
+{
+    if (!cond) {
+        failures = failures + 1;
+        printf("[selftest] FAILED: %s\n", what);
+    }
+}
+
+/* The control law must push back against a tilted pendulum. */
+static void testGainDirection(void)
+{
+    float u_pos;
+    float u_neg;
+
+    u_pos = computeSafeControl(0.0f, 0.0f, 0.1f, 0.0f);
+    u_neg = computeSafeControl(0.0f, 0.0f, -0.1f, 0.0f);
+    expectTrue(u_pos * u_neg < 0.0f, "gain direction symmetric");
+    expectTrue(u_pos > 0.0f, "positive tilt demands positive volts");
+}
+
+/* Output saturation must engage exactly at the actuator limits. */
+static void testSaturation(void)
+{
+    expectTrue(clampVolts(7.5f) == IP_VOLT_LIMIT, "upper clamp");
+    expectTrue(clampVolts(-7.5f) == -IP_VOLT_LIMIT, "lower clamp");
+    expectTrue(clampVolts(1.0f) == 1.0f, "pass-through");
+}
+
+/* The envelope must be positive definite on a probe grid and zero only
+ * at the origin. */
+static void testEnvelopeShape(void)
+{
+    float v;
+    int i;
+    int j;
+    float states[3];
+
+    states[0] = -0.2f;
+    states[1] = 0.0f;
+    states[2] = 0.2f;
+    expectTrue(envelopeValue(0.0f, 0.0f, 0.0f, 0.0f) == 0.0f,
+               "envelope zero at origin");
+    for (i = 0; i < 3; i = i + 1) {
+        for (j = 0; j < 3; j = j + 1) {
+            if (states[i] == 0.0f && states[j] == 0.0f) {
+                continue;
+            }
+            v = envelopeValue(states[i], 0.0f, states[j], 0.0f);
+            expectTrue(v > 0.0f, "envelope positive away from origin");
+        }
+    }
+    expectTrue(envelopeLevel() > 0.0f, "envelope level positive");
+}
+
+/* One closed-loop prediction step from a mild state must not leave the
+ * envelope: the safety controller keeps its own command recoverable. */
+static void testClosedLoopStep(void)
+{
+    float angle;
+    float angle_vel;
+    float track;
+    float u;
+    float next_angle;
+    float next_vel;
+    float next_track;
+    float value;
+
+    angle = 0.05f;
+    angle_vel = 0.0f;
+    track = 0.05f;
+    u = computeSafeControl(track, 0.0f, angle, angle_vel);
+    next_angle = predictAngle(angle, angle_vel, u);
+    next_vel = predictAngleVel(angle, angle_vel, u);
+    next_track = predictTrack(track, 0.0f, u);
+    value = envelopeValue(next_track, 0.0f, next_angle, next_vel);
+    expectTrue(value < envelopeLevel(), "closed-loop step recoverable");
+}
+
+/* Prediction must be continuous in the input: nearby voltages give
+ * nearby next states. */
+static void testPredictionContinuity(void)
+{
+    float a1;
+    float a2;
+    float diff;
+
+    a1 = predictAngle(0.1f, 0.2f, 1.0f);
+    a2 = predictAngle(0.1f, 0.2f, 1.001f);
+    diff = a1 - a2;
+    if (diff < 0.0f) {
+        diff = -diff;
+    }
+    expectTrue(diff < 0.001f, "prediction continuous in volts");
+}
+
+/* Entry point called by main before the control loop starts. Returns the
+ * number of failed checks (0 means the core may bootstrap). */
+int runSelfTest(void)
+{
+    failures = 0;
+    testGainDirection();
+    testSaturation();
+    testEnvelopeShape();
+    testClosedLoopStep();
+    testPredictionContinuity();
+    if (failures == 0) {
+        printf("[selftest] all checks passed\n");
+    }
+    return failures;
+}

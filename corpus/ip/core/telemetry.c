@@ -1,0 +1,114 @@
+/* Core-local telemetry: a ring buffer of recent control periods with
+ * summary statistics, kept entirely in core memory (the UI gets its data
+ * from the feedback region instead — this buffer exists so post-incident
+ * analysis does not depend on any non-core component).
+ */
+#include "../common/ipc_types.h"
+#include "../common/sys.h"
+
+#define TELEM_RING 128
+
+typedef struct TelemetrySample {
+    float angle;
+    float track_pos;
+    float output;
+    int   used_noncore;
+} TelemetrySample;
+
+static TelemetrySample ring[TELEM_RING];
+static int head = 0;
+static int filled = 0;
+
+static float sumAngle = 0.0f;
+static float maxAbsAngle = 0.0f;
+static float maxAbsOutput = 0.0f;
+static int totalSamples = 0;
+
+void telemetryRecord(float angle, float track_pos, float output,
+                     int used_noncore)
+{
+    TelemetrySample s;
+    float a;
+    float o;
+
+    s.angle = angle;
+    s.track_pos = track_pos;
+    s.output = output;
+    s.used_noncore = used_noncore;
+    ring[head] = s;
+    head = (head + 1) % TELEM_RING;
+    if (filled < TELEM_RING) {
+        filled = filled + 1;
+    }
+
+    a = fabsf(angle);
+    o = fabsf(output);
+    sumAngle = sumAngle + a;
+    if (a > maxAbsAngle) {
+        maxAbsAngle = a;
+    }
+    if (o > maxAbsOutput) {
+        maxAbsOutput = o;
+    }
+    totalSamples = totalSamples + 1;
+}
+
+float telemetryMeanAbsAngle(void)
+{
+    if (totalSamples == 0) {
+        return 0.0f;
+    }
+    return sumAngle / (float)totalSamples;
+}
+
+float telemetryMaxAbsAngle(void)
+{
+    return maxAbsAngle;
+}
+
+float telemetryMaxAbsOutput(void)
+{
+    return maxAbsOutput;
+}
+
+/* Fraction of the buffered periods that actuated the non-core command. */
+float telemetryNoncoreShare(void)
+{
+    int i;
+    int used;
+
+    if (filled == 0) {
+        return 0.0f;
+    }
+    used = 0;
+    for (i = 0; i < filled; i = i + 1) {
+        if (ring[i].used_noncore) {
+            used = used + 1;
+        }
+    }
+    return (float)used / (float)filled;
+}
+
+/* Dumps the buffered window; called from the envelope-exit path so the
+ * tail of a failed run is preserved on the console.
+ */
+void telemetryDump(void)
+{
+    int i;
+    int idx;
+
+    printf("[telemetry] last %d periods (mean|angle|=%f max|u|=%f)\n",
+           filled, telemetryMeanAbsAngle(), telemetryMaxAbsOutput());
+    idx = head - filled;
+    if (idx < 0) {
+        idx = idx + TELEM_RING;
+    }
+    for (i = 0; i < filled; i = i + 1) {
+        if (i % 16 == 0) {
+            printf("[telemetry] angle=%f x=%f u=%f nc=%d\n",
+                   ring[idx].angle, ring[idx].track_pos, ring[idx].output,
+                   ring[idx].used_noncore);
+        }
+        idx = (idx + 1) % TELEM_RING;
+    }
+}

@@ -1,0 +1,117 @@
+/* Non-core experimental controller for the inverted pendulum: a
+ * higher-performance state-feedback law with a disturbance observer and
+ * command smoothing. Runs as a separate process; communicates with the
+ * core controller exclusively through the shared-memory regions. This
+ * component is NOT analyzed by SafeFlow (it is untrusted by design); it
+ * is included so the system is complete and runnable.
+ */
+#include "../common/ipc_types.h"
+#include "../common/sys.h"
+
+extern IPFeedback *fbShm;
+extern IPCommand  *cmdShm;
+extern IPStatus   *statShm;
+
+/* Aggressive gains tuned for low jitter rather than robustness. */
+static float kTrack = -4.10f;
+static float kTrackVel = -5.22f;
+static float kAngle = 39.80f;
+static float kAngleVel = 7.15f;
+
+/* Disturbance observer state. */
+static float distEstimate = 0.0f;
+static float distGain = 0.08f;
+
+/* Command smoothing to reduce actuator wear. */
+static float lastCommand = 0.0f;
+static float slewLimit = 0.9f;
+
+static int iterations = 0;
+static int lastSeq = -1;
+
+static float observeDisturbance(float angle, float angle_vel,
+                                float applied)
+{
+    float expected_acc;
+    float implied_acc;
+    expected_acc = 77.6f * angle - 12.6f * applied;
+    implied_acc = angle_vel * 50.0f;
+    distEstimate = distEstimate
+                 + distGain * (implied_acc - expected_acc - distEstimate);
+    return distEstimate;
+}
+
+static float smooth(float target)
+{
+    float delta;
+    delta = target - lastCommand;
+    if (delta > slewLimit) {
+        delta = slewLimit;
+    }
+    if (delta < -slewLimit) {
+        delta = -slewLimit;
+    }
+    lastCommand = lastCommand + delta;
+    return lastCommand;
+}
+
+static float computeCommand(IPFeedback fb)
+{
+    float u;
+    float dist;
+
+    u = -(kTrack * fb.track_pos + kTrackVel * fb.track_vel
+          + kAngle * fb.angle + kAngleVel * fb.angle_vel);
+    dist = observeDisturbance(fb.angle, fb.angle_vel, lastCommand);
+    u = u - 0.35f * dist;
+    if (u > IP_VOLT_LIMIT) {
+        u = IP_VOLT_LIMIT;
+    }
+    if (u < -IP_VOLT_LIMIT) {
+        u = -IP_VOLT_LIMIT;
+    }
+    return smooth(u);
+}
+
+static void publish(float u, int seq, float predicted)
+{
+    lockShm();
+    cmdShm->control = u;
+    cmdShm->predicted_angle = predicted;
+    cmdShm->seq = seq;
+    cmdShm->valid = 1;
+    unlockShm();
+}
+
+static void heartbeat(void)
+{
+    statShm->nc_active = 1;
+    statShm->iterations = iterations;
+    statShm->last_latency = 0.4f;
+}
+
+int ncControllerMain(void)
+{
+    IPFeedback snapshot;
+    float u;
+    float predicted;
+
+    for (;;) {
+        lockShm();
+        snapshot = *fbShm;
+        unlockShm();
+
+        if (snapshot.seq != lastSeq) {
+            lastSeq = snapshot.seq;
+            u = computeCommand(snapshot);
+            predicted = snapshot.angle
+                      + 0.02f * snapshot.angle_vel
+                      + 0.0002f * (77.6f * snapshot.angle - 12.6f * u);
+            publish(u, snapshot.seq, predicted);
+            iterations = iterations + 1;
+            heartbeat();
+        }
+        usleep(IP_PERIOD_US / 4);
+    }
+    return 0;
+}

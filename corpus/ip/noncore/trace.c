@@ -1,0 +1,123 @@
+/* Trace recorder for the inverted pendulum demo (non-core): samples the
+ * shared regions at the control rate into a circular buffer and dumps
+ * CSV-ish traces on demand. Used by the lab to compare the experimental
+ * controller's jitter against the safety baseline.
+ */
+#include "../common/ipc_types.h"
+#include "../common/sys.h"
+
+extern IPFeedback *fbShm;
+extern IPCommand  *cmdShm;
+extern IPStatus   *statShm;
+extern IPDisplay  *dispShm;
+
+#define TRACE_DEPTH 512
+
+typedef struct TraceRow {
+    int   seq;
+    float track_pos;
+    float angle;
+    float nc_control;
+    int   nc_valid;
+} TraceRow;
+
+static TraceRow rows[TRACE_DEPTH];
+static int writeIdx = 0;
+static int stored = 0;
+static int lastSeq = -1;
+static int overruns = 0;
+
+static void capture(void)
+{
+    TraceRow r;
+
+    lockShm();
+    r.seq = fbShm->seq;
+    r.track_pos = fbShm->track_pos;
+    r.angle = fbShm->angle;
+    r.nc_control = cmdShm->control;
+    r.nc_valid = cmdShm->valid;
+    unlockShm();
+
+    if (r.seq == lastSeq) {
+        return;  /* no new period yet */
+    }
+    if (r.seq > lastSeq + 1 && lastSeq >= 0) {
+        overruns = overruns + (r.seq - lastSeq - 1);
+    }
+    lastSeq = r.seq;
+
+    rows[writeIdx] = r;
+    writeIdx = (writeIdx + 1) % TRACE_DEPTH;
+    if (stored < TRACE_DEPTH) {
+        stored = stored + 1;
+    }
+}
+
+static float jitterEstimate(void)
+{
+    int i;
+    int idx;
+    float mean;
+    float accum;
+    float dev;
+
+    if (stored < 2) {
+        return 0.0f;
+    }
+    idx = writeIdx - stored;
+    if (idx < 0) {
+        idx = idx + TRACE_DEPTH;
+    }
+    mean = 0.0f;
+    for (i = 0; i < stored; i = i + 1) {
+        mean = mean + rows[(idx + i) % TRACE_DEPTH].angle;
+    }
+    mean = mean / (float)stored;
+
+    accum = 0.0f;
+    for (i = 0; i < stored; i = i + 1) {
+        dev = rows[(idx + i) % TRACE_DEPTH].angle - mean;
+        if (dev < 0.0f) {
+            dev = -dev;
+        }
+        accum = accum + dev;
+    }
+    return accum / (float)stored;
+}
+
+static void dump(void)
+{
+    int i;
+    int idx;
+
+    printf("seq,track,angle,nc_u,nc_valid\n");
+    idx = writeIdx - stored;
+    if (idx < 0) {
+        idx = idx + TRACE_DEPTH;
+    }
+    for (i = 0; i < stored; i = i + 1) {
+        TraceRow *r;
+        r = &rows[(idx + i) % TRACE_DEPTH];
+        printf("%d,%f,%f,%f,%d\n", r->seq, r->track_pos, r->angle,
+               r->nc_control, r->nc_valid);
+    }
+    printf("# jitter=%f overruns=%d nc_restarts=%d\n", jitterEstimate(),
+           overruns, statShm->restarts);
+}
+
+int traceMain(void)
+{
+    int cycles;
+
+    cycles = 0;
+    for (;;) {
+        capture();
+        cycles = cycles + 1;
+        if (cycles % 1024 == 0 && dispShm->verbosity > 2) {
+            dump();
+        }
+        usleep(IP_PERIOD_US / 2);
+    }
+    return 0;
+}

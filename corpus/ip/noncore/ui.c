@@ -1,0 +1,81 @@
+/* Console UI process for the inverted pendulum demo: renders the plant
+ * state from the feedback region and lets an operator switch modes. Like
+ * the experimental controller, this is a non-core component: it may crash
+ * or misbehave without compromising the core, as long as the core never
+ * uses its values unmonitored.
+ */
+#include "../common/ipc_types.h"
+#include "../common/sys.h"
+
+extern IPFeedback *fbShm;
+extern IPStatus   *statShm;
+extern IPDisplay  *dispShm;
+
+extern int readKeyNonBlocking(void);
+
+static int frame = 0;
+
+static void drawBar(float value, float scale)
+{
+    int cells;
+    int i;
+    cells = (int)(value * scale);
+    if (cells < 0) {
+        cells = -cells;
+    }
+    if (cells > 30) {
+        cells = 30;
+    }
+    for (i = 0; i < cells; i = i + 1) {
+        printf("#");
+    }
+    printf("\n");
+}
+
+static void render(void)
+{
+    IPFeedback fb;
+    fb = *fbShm;
+    printf("=== inverted pendulum (frame %d) ===\n", frame);
+    printf("track %f m\n", fb.track_pos);
+    drawBar(fb.track_pos, 40.0f);
+    printf("angle %f rad\n", fb.angle);
+    drawBar(fb.angle, 60.0f);
+    printf("nc active: %d\n", statShm->nc_active);
+}
+
+static void handleKeys(void)
+{
+    int key;
+    key = readKeyNonBlocking();
+    if (key == 'b') {
+        dispShm->mode = IP_MODE_BALANCE;
+    }
+    if (key == 't') {
+        dispShm->mode = IP_MODE_TRACKING;
+    }
+    if (key == 'd') {
+        dispShm->mode = IP_MODE_DEMO;
+    }
+    if (key == '+') {
+        dispShm->verbosity = dispShm->verbosity + 1;
+    }
+    if (key == '-') {
+        if (dispShm->verbosity > 0) {
+            dispShm->verbosity = dispShm->verbosity - 1;
+        }
+    }
+}
+
+int uiMain(void)
+{
+    dispShm->supervisor_pid = getpid();
+    dispShm->refresh_ms = 100;
+    for (;;) {
+        render();
+        handleKeys();
+        frame = frame + 1;
+        usleep(dispShm->refresh_ms * 1000);
+    }
+    return 0;
+}

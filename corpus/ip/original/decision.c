@@ -1,0 +1,65 @@
+/* Pre-refactor version of the decision module, kept for the source-change
+ * accounting of the evaluation. Here the recoverability check was inlined
+ * in decisionModule; SafeFlow annotations apply at function granularity,
+ * so the check had to be extracted into checkRecoverable (see the shipped
+ * decision.c) before the monitoring function could be annotated.
+ */
+#include "../common/ipc_types.h"
+#include "../common/sys.h"
+
+extern float clampVolts(float v);
+extern float predictAngle(float angle, float angle_vel, float volts);
+extern float predictAngleVel(float angle, float angle_vel, float volts);
+extern float predictTrack(float track_pos, float track_vel, float volts);
+extern float envelopeValue(float track_pos, float track_vel,
+                           float angle, float angle_vel);
+extern float envelopeLevel(void);
+
+extern IPCommand *cmdShm;
+
+static int acceptCount = 0;
+static int rejectCount = 0;
+
+/* The monitoring function: returns the control to actuate this period. */
+float decisionModule(float safeControl, float track_pos, float track_vel,
+                     float angle, float angle_vel, IPCommand *cmd)
+/*** SafeFlow Annotation assume(core(cmd, 0, sizeof(IPCommand))) ***/
+{
+    float volts;
+    float next_angle;
+    float next_angle_vel;
+    float next_track;
+    float next_value;
+    int recoverable;
+
+    recoverable = 0;
+    if (cmd->valid != 0) {
+        volts = cmd->control;
+        if (volts <= IP_VOLT_LIMIT && volts >= -IP_VOLT_LIMIT) {
+            next_angle = predictAngle(angle, angle_vel, volts);
+            next_angle_vel = predictAngleVel(angle, angle_vel, volts);
+            next_track = predictTrack(track_pos, track_vel, volts);
+            next_value = envelopeValue(next_track, track_vel,
+                                       next_angle, next_angle_vel);
+            if (next_value < envelopeLevel()) {
+                recoverable = 1;
+            }
+        }
+    }
+    if (recoverable) {
+        acceptCount = acceptCount + 1;
+        return clampVolts(cmd->control);
+    }
+    rejectCount = rejectCount + 1;
+    return safeControl;
+}
+
+int decisionAcceptCount(void)
+{
+    return acceptCount;
+}
+
+int decisionRejectCount(void)
+{
+    return rejectCount;
+}

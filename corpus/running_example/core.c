@@ -1,0 +1,82 @@
+/* The paper's running example (Fig. 2 and Fig. 3): the simplified core
+ * controller of the inverted pendulum Simplex implementation. The
+ * decision function monitors only noncoreCtrl, yet checkSafety
+ * dereferences the feedback region — the unmonitored access SafeFlow
+ * reports, which makes the critical value `output` unsafe.
+ */
+
+typedef struct SHM {
+    float control;
+    float position;
+    float angle;
+    int   seq;
+} SHMData;
+
+SHMData *feedback;
+SHMData *noncoreCtrl;
+
+extern int   shmget(int key, int size, int flags);
+extern void *shmat(int shmid, void *addr, int flags);
+extern void  Lock(int *l);
+extern void  Unlock(int *l);
+extern void  wait_period(int tsecs);
+extern void  sendControl(float output);
+extern void  getFeedback(SHMData *fb);
+extern void  computeSafety(SHMData *fb, float *safeControl);
+
+int shmLock;
+
+#define SHMKEY 1234
+#define SHMSIZE (2 * sizeof(SHMData))
+
+/*** SafeFlow Annotation shminit ***/
+void initComm(void)
+{
+    void *shmStart;
+    int shmid;
+
+    shmid = shmget(SHMKEY, SHMSIZE, 0);
+    shmStart = shmat(shmid, 0, 0);
+    feedback = (SHMData *) shmStart;
+    noncoreCtrl = feedback + 1;
+    /*** SafeFlow Annotation assume(shmvar(feedback, sizeof(SHMData))) ***/
+    /*** SafeFlow Annotation assume(shmvar(noncoreCtrl, sizeof(SHMData))) ***/
+    /*** SafeFlow Annotation assume(noncore(feedback)) ***/
+    /*** SafeFlow Annotation assume(noncore(noncoreCtrl)) ***/
+}
+
+int checkSafety(SHMData *fb, SHMData *nc)
+{
+    if (fb->angle < 0.5f && nc->control < 5.0f && nc->control > -5.0f) {
+        return 1;
+    }
+    return 0;
+}
+
+float decision(SHMData *fb, float safeControl, SHMData *nc)
+/*** SafeFlow Annotation assume(core(nc, 0, sizeof(SHMData))) ***/
+{
+    if (checkSafety(fb, nc)) {
+        return nc->control;
+    }
+    return safeControl;
+}
+
+int main(void)
+{
+    float safeControl;
+    float output;
+
+    initComm();
+    while (1) {
+        getFeedback(feedback);
+        computeSafety(feedback, &safeControl);
+        Unlock(&shmLock);
+        wait_period(1);
+        Lock(&shmLock);
+        output = decision(feedback, safeControl, noncoreCtrl);
+        /*** SafeFlow Annotation assert(safe(output)); ***/
+        sendControl(output);
+    }
+    return 0;
+}

@@ -1,0 +1,34 @@
+// The double inverted pendulum under the Simplex runtime: balances the
+// two-link plant with the safety controller while the experimental
+// controller runs through the monitor, across a sweep of fault modes.
+//
+//   $ ./build/examples/double_ip_demo
+#include <iostream>
+
+#include "simplex/runtime.h"
+
+int main() {
+  using namespace safeflow::simplex;
+
+  std::cout << "double inverted pendulum under Simplex (15 s runs)\n\n";
+
+  const FaultMode faults[] = {FaultMode::kNone, FaultMode::kRail,
+                              FaultMode::kNaN, FaultMode::kNoisy};
+  bool all_safe = true;
+  for (FaultMode fault : faults) {
+    DoubleInvertedPendulum plant;
+    RuntimeConfig config;
+    config.duration = 15.0;
+    config.controller_fault = fault;
+    SimplexRuntime rt(plant, config);
+    const RuntimeStats stats = rt.run();
+    std::cout.width(10);
+    std::cout << faultModeName(fault) << "  " << stats.summary() << "\n";
+    all_safe &= stats.remained_safe;
+  }
+
+  std::cout << (all_safe ? "\nboth links stayed within their safe range "
+                           "in every scenario.\n"
+                         : "\na link left its safe range!\n");
+  return all_safe ? 0 : 1;
+}

@@ -1,0 +1,154 @@
+#include "analysis/affine.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace safeflow::analysis {
+
+std::string LinearConstraint::str() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [var, coeff] : coeffs) {
+    if (coeff == 0) continue;
+    if (!first) out << " + ";
+    out << coeff << "*x" << var;
+    first = false;
+  }
+  if (first) out << "0";
+  if (constant != 0) out << " + " << constant;
+  out << " >= 0";
+  return out.str();
+}
+
+int LinearSystem::addVariable(std::string name) {
+  names_.push_back(name.empty() ? "x" + std::to_string(num_vars_)
+                                : std::move(name));
+  return num_vars_++;
+}
+
+void LinearSystem::add(LinearConstraint c) {
+  // Drop zero coefficients for canonical form.
+  for (auto it = c.coeffs.begin(); it != c.coeffs.end();) {
+    it = (it->second == 0) ? c.coeffs.erase(it) : std::next(it);
+  }
+  constraints_.push_back(std::move(c));
+}
+
+void LinearSystem::addLowerBound(int var, std::int64_t lo) {
+  LinearConstraint c;
+  c.coeffs[var] = 1;
+  c.constant = -lo;
+  add(std::move(c));
+}
+
+void LinearSystem::addUpperBound(int var, std::int64_t hi) {
+  LinearConstraint c;
+  c.coeffs[var] = -1;
+  c.constant = hi;
+  add(std::move(c));
+}
+
+void LinearSystem::addEquality(LinearConstraint c) {
+  LinearConstraint neg;
+  for (const auto& [v, coeff] : c.coeffs) neg.coeffs[v] = -coeff;
+  neg.constant = -c.constant;
+  add(std::move(c));
+  add(std::move(neg));
+}
+
+namespace {
+
+std::int64_t floorDiv(std::int64_t a, std::int64_t b) {
+  // b > 0 assumed.
+  std::int64_t q = a / b;
+  if ((a % b != 0) && (a < 0)) --q;
+  return q;
+}
+
+/// Checks a constraint set with no variables: all constants must be >= 0.
+bool constantsFeasible(const std::vector<LinearConstraint>& cs) {
+  return std::all_of(cs.begin(), cs.end(), [](const LinearConstraint& c) {
+    return !c.coeffs.empty() || c.constant >= 0;
+  });
+}
+
+}  // namespace
+
+bool LinearSystem::isFeasible() const {
+  std::vector<LinearConstraint> work = constraints_;
+
+  for (int var = 0; var < num_vars_; ++var) {
+    // Partition into lower bounds (coeff > 0 -> var >= ...), upper bounds
+    // (coeff < 0 -> var <= ...), and constraints not involving var.
+    std::vector<LinearConstraint> lowers;
+    std::vector<LinearConstraint> uppers;
+    std::vector<LinearConstraint> rest;
+    for (LinearConstraint& c : work) {
+      auto it = c.coeffs.find(var);
+      if (it == c.coeffs.end() || it->second == 0) {
+        rest.push_back(std::move(c));
+      } else if (it->second > 0) {
+        lowers.push_back(std::move(c));
+      } else {
+        uppers.push_back(std::move(c));
+      }
+    }
+    // If var is unbounded on one side, every pairing is satisfiable for
+    // some var; just drop the constraints that involve it.
+    if (lowers.empty() || uppers.empty()) {
+      work = std::move(rest);
+      continue;
+    }
+    // Combine each (lower, upper) pair, eliminating var with the dark-
+    // shadow style integer tightening: from a*var + L >= 0 (a>0) and
+    // -b*var + U >= 0 (b>0):  b*L + a*U >= 0 is the real shadow; for
+    // integer exactness when a==1 or b==1 the shadow is exact, which
+    // covers the normalized loop-bound constraints we emit. Otherwise we
+    // keep the real shadow (conservatively feasible).
+    for (const LinearConstraint& lo : lowers) {
+      const std::int64_t a = lo.coeffs.at(var);
+      for (const LinearConstraint& up : uppers) {
+        const std::int64_t b = -up.coeffs.at(var);
+        LinearConstraint combined;
+        for (const auto& [v, coeff] : lo.coeffs) {
+          if (v != var) combined.coeffs[v] += b * coeff;
+        }
+        for (const auto& [v, coeff] : up.coeffs) {
+          if (v != var) combined.coeffs[v] += a * coeff;
+        }
+        combined.constant = b * lo.constant + a * up.constant;
+        // Real-shadow elimination: exact when a==1 or b==1 (all constraints
+        // the restriction checker emits are in that normalized form), and
+        // over-approximates feasibility otherwise — which errs toward
+        // reporting a bounds violation, never toward hiding one.
+        for (auto it = combined.coeffs.begin();
+             it != combined.coeffs.end();) {
+          it = (it->second == 0) ? combined.coeffs.erase(it)
+                                 : std::next(it);
+        }
+        // Normalize by gcd to keep numbers small.
+        std::int64_t g = std::abs(combined.constant);
+        for (const auto& [v, coeff] : combined.coeffs) {
+          g = std::gcd(g, std::abs(coeff));
+        }
+        if (g > 1 && !combined.coeffs.empty()) {
+          for (auto& [v, coeff] : combined.coeffs) coeff /= g;
+          combined.constant = floorDiv(combined.constant, g);
+        }
+        rest.push_back(std::move(combined));
+      }
+    }
+    work = std::move(rest);
+    if (!constantsFeasible(work)) return false;
+  }
+  return constantsFeasible(work);
+}
+
+std::string LinearSystem::str() const {
+  std::ostringstream out;
+  for (const LinearConstraint& c : constraints_) out << c.str() << "\n";
+  return out.str();
+}
+
+}  // namespace safeflow::analysis

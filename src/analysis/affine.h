@@ -1,0 +1,58 @@
+// Omega-lite: feasibility of small systems of integer linear constraints,
+// used by the A1/A2 array-restriction checks (paper §3.2). The paper hands
+// its constraints to the Omega solver; bounds checks only need
+// (in)feasibility of conjunctions of affine inequalities, which
+// Fourier–Motzkin elimination with integer tightening decides for the
+// loop-bound systems we generate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace safeflow::analysis {
+
+/// sum(coeff[i] * var[i]) + constant >= 0
+struct LinearConstraint {
+  std::map<int, std::int64_t> coeffs;  // variable id -> coefficient
+  std::int64_t constant = 0;
+
+  [[nodiscard]] std::string str() const;
+};
+
+class LinearSystem {
+ public:
+  /// Introduces a fresh variable and returns its id.
+  int addVariable(std::string name = {});
+  [[nodiscard]] int variableCount() const { return num_vars_; }
+
+  void add(LinearConstraint c);
+  /// Convenience: lo <= var  (var - lo >= 0).
+  void addLowerBound(int var, std::int64_t lo);
+  /// Convenience: var <= hi  (hi - var >= 0).
+  void addUpperBound(int var, std::int64_t hi);
+  /// Convenience: a == b + c  (two inequalities).
+  void addEquality(LinearConstraint c);
+
+  [[nodiscard]] const std::vector<LinearConstraint>& constraints() const {
+    return constraints_;
+  }
+
+  /// True when an integer assignment satisfying all constraints exists.
+  /// Uses Fourier–Motzkin elimination with integer (floor/ceil)
+  /// tightening; exact for the two-variables-per-inequality systems the
+  /// restriction checker generates, conservative (may report feasible) in
+  /// the general case — conservative here means a bounds *violation* may
+  /// be reported that cannot actually occur, never the reverse.
+  [[nodiscard]] bool isFeasible() const;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  int num_vars_ = 0;
+  std::vector<std::string> names_;
+  std::vector<LinearConstraint> constraints_;
+};
+
+}  // namespace safeflow::analysis

@@ -1,0 +1,89 @@
+// Flow-insensitive, optionally field-sensitive points-to analysis over
+// abstract memory objects — the stand-in for the paper's Data Structure
+// Analysis (DSA). Objects are allocas, globals, declared shm regions, and
+// one "unknown" object for externals. Arrays collapse to a single cell
+// (the paper treats an array in shared memory as one unit); struct fields
+// become distinct sub-objects when field sensitivity is on.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/shm_regions.h"
+#include "ir/callgraph.h"
+#include "ir/ir.h"
+
+namespace safeflow::analysis {
+
+using ObjId = int;
+
+struct AliasOptions {
+  bool field_sensitive = true;
+};
+
+class AliasAnalysis {
+ public:
+  AliasAnalysis(const ir::Module& module, const ShmRegionTable& regions,
+                const ir::CallGraph& callgraph, AliasOptions options = {});
+
+  void run();
+
+  /// Objects the pointer value may point at (empty when not a pointer or
+  /// nothing is known — treat as "no memory effect").
+  [[nodiscard]] const std::set<ObjId>& pointsTo(const ir::Value* v) const;
+
+  /// The shm region an object denotes, or -1.
+  [[nodiscard]] int regionOf(ObjId obj) const;
+  /// Region sub-objects of one region (all field cells plus the base).
+  [[nodiscard]] std::vector<ObjId> objectsOfRegion(int region_id) const;
+  /// Byte offset of a (possibly field) object within its base, and size.
+  [[nodiscard]] std::pair<std::int64_t, std::int64_t> extentOf(
+      ObjId obj) const;
+
+  [[nodiscard]] bool isUnknown(ObjId obj) const { return obj == unknown_; }
+  /// Parent of a field sub-object, or -1 for base objects.
+  [[nodiscard]] ObjId parentOf(ObjId obj) const;
+  [[nodiscard]] std::string describe(ObjId obj) const;
+  [[nodiscard]] std::size_t objectCount() const { return infos_.size(); }
+
+ private:
+  struct ObjInfo {
+    enum class Kind { kAlloca, kGlobal, kRegion, kField, kUnknown };
+    Kind kind = Kind::kUnknown;
+    const ir::Value* anchor = nullptr;  // alloca inst or global var
+    int region_id = -1;
+    ObjId parent = -1;      // for fields
+    unsigned field = 0;     // for fields
+    std::int64_t offset = 0;
+    std::int64_t size = 0;
+    std::string name;
+  };
+
+  ObjId internObject(ObjInfo info);
+  ObjId objectForAlloca(const ir::Instruction* alloca);
+  ObjId objectForGlobal(const ir::GlobalVar* g);
+  ObjId fieldObject(ObjId base, unsigned field_index,
+                    const ir::Type* field_type);
+
+  bool addPointsTo(const ir::Value* v, ObjId obj);
+  bool addAll(const ir::Value* v, const std::set<ObjId>& objs);
+
+  const ir::Module& module_;
+  const ShmRegionTable& regions_;
+  const ir::CallGraph& callgraph_;
+  AliasOptions options_;
+
+  std::vector<ObjInfo> infos_;
+  std::map<const ir::Value*, ObjId> value_objects_;
+  std::map<std::pair<ObjId, unsigned>, ObjId> field_objects_;
+  std::map<int, ObjId> region_objects_;
+  ObjId unknown_ = -1;
+
+  std::map<const ir::Value*, std::set<ObjId>> points_to_;
+  std::map<ObjId, std::set<ObjId>> contents_;
+  std::set<ObjId> empty_;
+};
+
+}  // namespace safeflow::analysis

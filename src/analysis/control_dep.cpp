@@ -1,0 +1,36 @@
+#include "analysis/control_dep.h"
+
+namespace safeflow::analysis {
+
+ControlDependence ControlDependence::compute(const ir::Function& fn) {
+  ControlDependence cd;
+  if (!fn.isDefined()) return cd;
+  const ir::DominatorTree pdt = ir::DominatorTree::computePost(fn);
+
+  for (const auto& a : fn.blocks()) {
+    const ir::Instruction* term = a->terminator();
+    if (term == nullptr || term->opcode() != ir::Opcode::kCondBr) continue;
+    const ir::BasicBlock* stop = pdt.idom(a.get());  // may be null (vexit)
+    for (const ir::BasicBlock* s : a->successors()) {
+      // Skip the edge when A's immediate post-dominator already covers it
+      // (i.e. S post-dominates A): no control dependence through it.
+      if (pdt.dominates(s, a.get())) continue;
+      const ir::BasicBlock* runner = s;
+      std::set<const ir::BasicBlock*> seen;
+      while (runner != nullptr && runner != stop &&
+             seen.insert(runner).second) {
+        cd.deps_[runner].insert(a.get());
+        runner = pdt.idom(runner);
+      }
+    }
+  }
+  return cd;
+}
+
+const std::set<const ir::BasicBlock*>& ControlDependence::controllers(
+    const ir::BasicBlock* bb) const {
+  auto it = deps_.find(bb);
+  return it == deps_.end() ? empty_ : it->second;
+}
+
+}  // namespace safeflow::analysis

@@ -1,0 +1,28 @@
+// Control-dependence computation (Ferrante–Ottenstein–Warren) from the
+// post-dominator tree. Used by the taint phase to model implicit flows:
+// a value assigned under a branch on unsafe data is control dependent on
+// that data — the source of the paper's false-positive class.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "ir/dominators.h"
+#include "ir/ir.h"
+
+namespace safeflow::analysis {
+
+class ControlDependence {
+ public:
+  static ControlDependence compute(const ir::Function& fn);
+
+  /// Blocks whose branch condition this block is control dependent on.
+  [[nodiscard]] const std::set<const ir::BasicBlock*>& controllers(
+      const ir::BasicBlock* bb) const;
+
+ private:
+  std::map<const ir::BasicBlock*, std::set<const ir::BasicBlock*>> deps_;
+  std::set<const ir::BasicBlock*> empty_;
+};
+
+}  // namespace safeflow::analysis

@@ -1,0 +1,202 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "support/source_manager.h"
+
+namespace safeflow::analysis {
+
+std::size_t SafeFlowReport::dataErrorCount() const {
+  return static_cast<std::size_t>(std::count_if(
+      errors.begin(), errors.end(), [](const CriticalDependencyError& e) {
+        return e.kind == CriticalDependencyError::Kind::kData;
+      }));
+}
+
+std::size_t SafeFlowReport::controlErrorCount() const {
+  return errors.size() - dataErrorCount();
+}
+
+namespace {
+std::string dotEscape(std::string s) {
+  for (char& c : s) {
+    if (c == '"') c = '\'';
+  }
+  return s;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string SafeFlowReport::renderJson(
+    const support::SourceManager& sm) const {
+  std::ostringstream out;
+  out << "{\n  \"warnings\": [";
+  for (std::size_t i = 0; i < warnings.size(); ++i) {
+    const UnsafeAccessWarning& w = warnings[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"location\": \""
+        << jsonEscape(sm.describe(w.location)) << "\", \"function\": \""
+        << jsonEscape(w.function) << "\", \"region\": \""
+        << jsonEscape(w.region_name) << "\"";
+    if (w.offset_known) {
+      out << ", \"bytes\": [" << w.offset_lo << ", " << w.offset_hi << "]";
+    }
+    out << "}";
+  }
+  out << (warnings.empty() ? "]" : "\n  ]");
+  out << ",\n  \"errors\": [";
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    const CriticalDependencyError& e = errors[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"kind\": \""
+        << (e.kind == CriticalDependencyError::Kind::kData ? "data"
+                                                           : "control")
+        << "\", \"location\": \""
+        << jsonEscape(sm.describe(e.assert_location))
+        << "\", \"function\": \"" << jsonEscape(e.function)
+        << "\", \"critical\": \"" << jsonEscape(e.critical_value)
+        << "\", \"regions\": [";
+    for (std::size_t r = 0; r < e.region_names.size(); ++r) {
+      out << (r == 0 ? "" : ", ") << "\"" << jsonEscape(e.region_names[r])
+          << "\"";
+    }
+    out << "], \"sources\": [";
+    for (std::size_t s = 0; s < e.source_loads.size(); ++s) {
+      out << (s == 0 ? "" : ", ") << "\""
+          << jsonEscape(sm.describe(e.source_loads[s])) << "\"";
+    }
+    out << "]}";
+  }
+  out << (errors.empty() ? "]" : "\n  ]");
+  out << ",\n  \"restriction_violations\": [";
+  for (std::size_t i = 0; i < restriction_violations.size(); ++i) {
+    const RestrictionViolation& v = restriction_violations[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"rule\": \""
+        << jsonEscape(v.rule) << "\", \"location\": \""
+        << jsonEscape(sm.describe(v.location)) << "\", \"message\": \""
+        << jsonEscape(v.message) << "\"}";
+  }
+  out << (restriction_violations.empty() ? "]" : "\n  ]");
+  out << ",\n  \"asserts_checked\": " << asserts_checked
+      << ",\n  \"data_errors\": " << dataErrorCount()
+      << ",\n  \"control_only\": " << controlErrorCount() << "\n}\n";
+  return out.str();
+}
+
+std::string SafeFlowReport::renderValueFlowDot(
+    const support::SourceManager& sm) const {
+  std::ostringstream out;
+  out << "digraph safeflow_value_flow {\n"
+      << "  rankdir=LR;\n"
+      << "  node [fontname=\"monospace\"];\n";
+
+  std::set<std::string> emitted;
+  auto node = [&](const std::string& id, const std::string& label,
+                  const std::string& attrs) {
+    if (!emitted.insert(id).second) return;
+    out << "  \"" << id << "\" [label=\"" << dotEscape(label) << "\" "
+        << attrs << "];\n";
+  };
+
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    const CriticalDependencyError& e = errors[i];
+    const bool control = e.kind == CriticalDependencyError::Kind::kControl;
+    const std::string critical_id =
+        "crit:" + e.function + ":" + e.critical_value;
+    node(critical_id, e.critical_value + "\\n(" + e.function + ")",
+         "shape=doubleoctagon color=red");
+    for (const std::string& r : e.region_names) {
+      node("region:" + r, "non-core region\\n" + r,
+           "shape=box3d color=orange");
+    }
+    for (const auto& loc : e.source_loads) {
+      const std::string load_id = "load:" + sm.describe(loc);
+      node(load_id, "unmonitored load\\n" + sm.describe(loc),
+           "shape=ellipse");
+      for (const std::string& r : e.region_names) {
+        out << "  \"region:" << r << "\" -> \"" << load_id << "\";\n";
+      }
+      out << "  \"" << load_id << "\" -> \"" << critical_id << "\""
+          << (control ? " [style=dashed label=\"control\"]"
+                      : " [label=\"data\"]")
+          << ";\n";
+    }
+  }
+  // Warnings with no path to critical data appear as isolated loads.
+  for (const UnsafeAccessWarning& w : warnings) {
+    const std::string load_id = "load:" + sm.describe(w.location);
+    node(load_id, "unmonitored load\\n" + sm.describe(w.location),
+         "shape=ellipse");
+    node("region:" + w.region_name, "non-core region\\n" + w.region_name,
+         "shape=box3d color=orange");
+    out << "  \"region:" << w.region_name << "\" -> \"" << load_id
+        << "\";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string SafeFlowReport::render(const support::SourceManager& sm) const {
+  std::ostringstream out;
+  out << "== SafeFlow report ==\n";
+  out << "warnings (unmonitored non-core accesses): " << warnings.size()
+      << "\n";
+  for (const UnsafeAccessWarning& w : warnings) {
+    out << "  [warning] " << sm.describe(w.location) << " in " << w.function
+        << ": unmonitored read of non-core region '" << w.region_name
+        << "'";
+    if (w.offset_known) {
+      out << " bytes [" << w.offset_lo << ", " << w.offset_hi << ")";
+    }
+    out << "\n";
+  }
+  out << "error dependencies: " << errors.size() << " (" << dataErrorCount()
+      << " data, " << controlErrorCount()
+      << " control-only; control-only entries require manual review)\n";
+  for (const CriticalDependencyError& e : errors) {
+    out << "  [error/"
+        << (e.kind == CriticalDependencyError::Kind::kData ? "data"
+                                                           : "control")
+        << "] " << sm.describe(e.assert_location) << " in " << e.function
+        << ": critical value '" << e.critical_value
+        << "' depends on non-core region(s):";
+    for (const std::string& r : e.region_names) out << " " << r;
+    out << "\n";
+    for (const auto& loc : e.source_loads) {
+      out << "      via unmonitored load at " << sm.describe(loc) << "\n";
+    }
+  }
+  out << "restriction violations: " << restriction_violations.size() << "\n";
+  for (const RestrictionViolation& v : restriction_violations) {
+    out << "  [" << v.rule << "] " << sm.describe(v.location) << ": "
+        << v.message << "\n";
+  }
+  for (const std::string& check : required_runtime_checks) {
+    out << "  [runtime-check] " << check << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace safeflow::analysis

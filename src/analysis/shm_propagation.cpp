@@ -1,0 +1,307 @@
+#include "analysis/shm_propagation.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace safeflow::analysis {
+
+namespace {
+constexpr unsigned kWidenThreshold = 4;
+}
+
+bool ShmPtrInfo::merge(const ShmPtrInfo& other) {
+  if (other.regions.empty()) return false;
+  // Adopting facts into a previously-empty info copies the interval
+  // verbatim; hulling with the default [0,0] would fabricate offset 0.
+  if (regions.empty()) {
+    const bool changed = *this != other;
+    *this = other;
+    return changed;
+  }
+  bool changed = false;
+  for (int r : other.regions) {
+    if (regions.insert(r).second) changed = true;
+  }
+  if (!other.offset_known && offset_known) {
+    offset_known = false;
+    changed = true;
+  }
+  if (offset_known && other.offset_known) {
+    if (other.lo < lo) {
+      lo = other.lo;
+      changed = true;
+    }
+    if (other.hi > hi) {
+      hi = other.hi;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+ShmPointerAnalysis::ShmPointerAnalysis(const ir::Module& module,
+                                       const ShmRegionTable& regions,
+                                       const ir::CallGraph& callgraph)
+    : module_(module), regions_(regions), callgraph_(callgraph) {}
+
+ShmPtrInfo ShmPointerAnalysis::get(const ir::Value* v) const {
+  auto it = facts_.find(v);
+  return it == facts_.end() ? ShmPtrInfo{} : it->second;
+}
+
+void ShmPointerAnalysis::widen(ShmPtrInfo& info) const {
+  info.offset_known = false;
+  info.lo = 0;
+  std::int64_t max_size = 0;
+  for (int r : info.regions) {
+    if (const ShmRegion* region = regions_.byId(r)) {
+      max_size = std::max(max_size, region->size);
+    }
+  }
+  info.hi = max_size;
+}
+
+bool ShmPointerAnalysis::update(const ir::Value* v,
+                                const ShmPtrInfo& incoming) {
+  if (incoming.empty()) return false;
+  ShmPtrInfo& slot = facts_[v];
+  ShmPtrInfo merged = slot;
+  if (!merged.merge(incoming)) return false;
+  unsigned& count = update_counts_[v];
+  if (++count >= kWidenThreshold && merged.offset_known) widen(merged);
+  slot = merged;
+  return true;
+}
+
+void ShmPointerAnalysis::run() {
+  if (regions_.empty()) return;
+
+  std::deque<const ir::Function*> worklist;
+  std::set<const ir::Function*> queued;
+  // Seed bottom-up: callee-first order converges fastest.
+  for (const auto& scc : callgraph_.sccsBottomUp()) {
+    for (const ir::Function* fn : scc) {
+      if (fn->isDefined() && !regions_.isInitFunction(fn)) {
+        worklist.push_back(fn);
+        queued.insert(fn);
+      }
+    }
+  }
+
+  while (!worklist.empty()) {
+    const ir::Function* fn = worklist.front();
+    worklist.pop_front();
+    queued.erase(fn);
+    ++iterations_;
+    const bool ret_changed = analyzeFunction(*fn);
+    if (ret_changed) {
+      for (const ir::Function* caller : callgraph_.callers(fn)) {
+        if (caller->isDefined() && !regions_.isInitFunction(caller) &&
+            queued.insert(caller).second) {
+          worklist.push_back(caller);
+        }
+      }
+    }
+    // Argument updates performed inside analyzeFunction enqueue callees.
+    for (const ir::Function* callee : callgraph_.callees(fn)) {
+      if (!callee->isDefined() || regions_.isInitFunction(callee)) continue;
+      // Re-run callees whose argument facts may have grown; analyzeFunction
+      // is idempotent, so over-enqueueing is safe. Only enqueue if any arg
+      // has facts (cheap filter).
+      bool has_arg_fact = false;
+      for (const auto& arg : callee->args()) {
+        if (facts_.contains(arg.get())) {
+          has_arg_fact = true;
+          break;
+        }
+      }
+      if (has_arg_fact && queued.insert(callee).second) {
+        worklist.push_back(callee);
+      }
+    }
+  }
+}
+
+bool ShmPointerAnalysis::analyzeFunction(const ir::Function& fn) {
+  bool any_change = true;
+  bool ret_changed = false;
+  // Iterate the straight-line transfer functions to a local fixpoint;
+  // block order does not matter because facts only grow.
+  while (any_change) {
+    any_change = false;
+    for (const auto& bb : fn.blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        switch (inst->opcode()) {
+          case ir::Opcode::kLoad: {
+            // Loading the region's global pointer variable yields a pointer
+            // to offset 0 of the region.
+            const ir::Value* ptr = inst->operand(0);
+            if (ptr->kind() == ir::Value::Kind::kGlobalVar) {
+              const auto* g = static_cast<const ir::GlobalVar*>(ptr);
+              if (const ShmRegion* region = regions_.byGlobal(g)) {
+                ShmPtrInfo info;
+                info.regions.insert(region->id);
+                info.lo = info.hi = 0;
+                any_change |= update(inst.get(), info);
+                break;
+              }
+            }
+            // Loading through an alloca that holds a shm pointer (not
+            // promoted because its address escapes) propagates its fact.
+            const ShmPtrInfo src = get(ptr);
+            if (!src.empty() && inst->type()->isPointer()) {
+              // The loaded value's provenance is unknown within the
+              // region(s) the holder could reference.
+              ShmPtrInfo info = src;
+              any_change |= update(inst.get(), info);
+            }
+            break;
+          }
+          case ir::Opcode::kStore: {
+            // Storing a shm pointer into a local slot (pre-promotion
+            // pattern or escaped local): the slot's loads see the fact.
+            const ShmPtrInfo src = get(inst->operand(0));
+            if (!src.empty()) {
+              const ir::Value* dst = inst->operand(1);
+              if (dst->isInstruction() &&
+                  static_cast<const ir::Instruction*>(dst)->opcode() ==
+                      ir::Opcode::kAlloca) {
+                any_change |= update(dst, src);
+              }
+            }
+            break;
+          }
+          case ir::Opcode::kCast: {
+            const ShmPtrInfo src = get(inst->operand(0));
+            if (!src.empty()) any_change |= update(inst.get(), src);
+            break;
+          }
+          case ir::Opcode::kPhi: {
+            ShmPtrInfo merged;
+            for (std::size_t i = 0; i < inst->numOperands(); ++i) {
+              merged.merge(get(inst->operand(i)));
+            }
+            if (!merged.empty()) any_change |= update(inst.get(), merged);
+            break;
+          }
+          case ir::Opcode::kFieldAddr: {
+            ShmPtrInfo src = get(inst->operand(0));
+            if (src.empty()) break;
+            // Shift by the field offset; requires the pointee struct type.
+            const ir::Value* base = inst->operand(0);
+            const ir::Type* bt = base->type();
+            std::int64_t field_off = 0;
+            if (bt->isPointer()) {
+              const ir::Type* pointee =
+                  static_cast<const cfront::PointerType*>(bt)->pointee();
+              if (pointee->isStruct()) {
+                const auto* st =
+                    static_cast<const cfront::StructType*>(pointee);
+                if (inst->field_index < st->fields().size()) {
+                  field_off = static_cast<std::int64_t>(
+                      st->fields()[inst->field_index].offset);
+                }
+              }
+            }
+            if (src.offset_known) {
+              src.lo += field_off;
+              src.hi += field_off;
+            }
+            any_change |= update(inst.get(), src);
+            break;
+          }
+          case ir::Opcode::kIndexAddr: {
+            ShmPtrInfo src = get(inst->operand(0));
+            if (src.empty()) break;
+            std::int64_t elem_size = 8;
+            if (inst->type()->isPointer()) {
+              elem_size = static_cast<std::int64_t>(
+                  static_cast<const cfront::PointerType*>(inst->type())
+                      ->pointee()
+                      ->size());
+              if (elem_size == 0) elem_size = 1;
+            }
+            const ir::Value* idx = inst->operand(1);
+            if (idx->kind() == ir::Value::Kind::kConstantInt &&
+                src.offset_known) {
+              const std::int64_t c =
+                  static_cast<const ir::ConstantInt*>(idx)->value();
+              src.lo += c * elem_size;
+              src.hi += c * elem_size;
+            } else {
+              widen(src);
+            }
+            any_change |= update(inst.get(), src);
+            break;
+          }
+          case ir::Opcode::kCall: {
+            // Propagate shm-pointer arguments into callee parameters
+            // (top-down) and callee return facts into this call's result
+            // (bottom-up).
+            const std::size_t first_arg =
+                inst->direct_callee == nullptr ? 1 : 0;
+            for (const ir::Function* target :
+                 callgraph_.targets(*inst)) {
+              if (target->isIntrinsic()) continue;
+              if (!target->isDefined() ||
+                  regions_.isInitFunction(target)) {
+                continue;
+              }
+              for (std::size_t i = first_arg; i < inst->numOperands();
+                   ++i) {
+                const std::size_t param = i - first_arg;
+                if (param >= target->args().size()) break;
+                const ShmPtrInfo arg = get(inst->operand(i));
+                if (!arg.empty()) {
+                  update(target->args()[param].get(), arg);
+                }
+              }
+              auto rit = returns_.find(target);
+              if (rit != returns_.end() && !rit->second.empty()) {
+                any_change |= update(inst.get(), rit->second);
+              }
+            }
+            break;
+          }
+          case ir::Opcode::kRet: {
+            if (inst->numOperands() == 1) {
+              const ShmPtrInfo v = get(inst->operand(0));
+              if (!v.empty()) {
+                ShmPtrInfo& ret = returns_[&fn];
+                if (ret.merge(v)) {
+                  ret_changed = true;
+                  any_change = true;
+                }
+              }
+            }
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    }
+  }
+  return ret_changed;
+}
+
+const ShmPtrInfo* ShmPointerAnalysis::info(const ir::Value* v) const {
+  auto it = facts_.find(v);
+  return (it == facts_.end() || it->second.empty()) ? nullptr : &it->second;
+}
+
+std::vector<const ir::Value*> ShmPointerAnalysis::shmValuesIn(
+    const ir::Function& fn) const {
+  std::vector<const ir::Value*> out;
+  for (const auto& arg : fn.args()) {
+    if (info(arg.get()) != nullptr) out.push_back(arg.get());
+  }
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (info(inst.get()) != nullptr) out.push_back(inst.get());
+    }
+  }
+  return out;
+}
+
+}  // namespace safeflow::analysis

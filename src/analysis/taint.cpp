@@ -1,0 +1,736 @@
+#include "analysis/taint.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace safeflow::analysis {
+
+bool Taint::merge(const Taint& other) {
+  bool changed = mergeConcrete(other);
+  for (unsigned p : other.params) {
+    changed |= params.insert(p).second;
+  }
+  return changed;
+}
+
+bool Taint::mergeConcrete(const Taint& other) {
+  bool changed = false;
+  for (const auto& [region, loads] : other.sources) {
+    const bool new_region = !sources.contains(region);
+    auto& mine = sources[region];
+    if (new_region) changed = true;
+    for (const ir::Instruction* load : loads) {
+      changed |= mine.insert(load).second;
+    }
+  }
+  return changed;
+}
+
+std::set<int> Taint::regions() const {
+  std::set<int> out;
+  for (const auto& [region, loads] : sources) out.insert(region);
+  return out;
+}
+
+bool TaintPair::merge(const TaintPair& other) {
+  const bool a = data.merge(other.data);
+  const bool b = control.merge(other.control);
+  return a || b;
+}
+
+TaintAnalysis::TaintAnalysis(const ir::Module& module,
+                             const ShmRegionTable& regions,
+                             const ShmPointerAnalysis& shm,
+                             const AliasAnalysis& alias,
+                             const ir::CallGraph& callgraph,
+                             TaintOptions options)
+    : module_(module),
+      regions_(regions),
+      shm_(shm),
+      alias_(alias),
+      callgraph_(callgraph),
+      options_(options) {}
+
+// ---------------------------------------------------------------------------
+// Assumptions
+// ---------------------------------------------------------------------------
+
+void TaintAnalysis::computeLocalAssumptions() {
+  for (const auto& fn : module_.functions()) {
+    if (!fn->isDefined()) continue;
+    AssumptionSet& local = local_assumptions_[fn.get()];
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->opcode() != ir::Opcode::kCall ||
+            inst->direct_callee == nullptr ||
+            inst->direct_callee->name() != ir::kIntrinsicAssumeCore) {
+          continue;
+        }
+        const ShmPtrInfo* info = shm_.info(inst->operand(0));
+        if (info == nullptr) {
+          // assume(core(...)) on a local (non-shm) pointer: the paper's
+          // §3.4.3 message-buffer form — the function monitors received
+          // non-core data, covering every message channel.
+          for (const ShmRegion& r : regions_.regions()) {
+            if (r.is_message_channel) {
+              local.insert(CoreAssumption{
+                  r.id, 0, std::numeric_limits<std::int64_t>::max()});
+            }
+          }
+          continue;
+        }
+        const std::int64_t off =
+            static_cast<const ir::ConstantInt*>(inst->operand(1))->value();
+        const std::int64_t size =
+            static_cast<const ir::ConstantInt*>(inst->operand(2))->value();
+        for (int region : info->regions) {
+          // Offsets are relative to the annotated pointer; only an exact
+          // base offset lets us anchor the assumed byte range.
+          const std::int64_t base =
+              (info->offset_known && info->lo == info->hi) ? info->lo : 0;
+          local.insert(CoreAssumption{region, base + off, size});
+        }
+      }
+    }
+  }
+}
+
+void TaintAnalysis::computeEffectiveAssumptions() {
+  // Roots start at their local set; everything else starts at "top" (all
+  // callers might monitor) and is narrowed by intersection.
+  for (const auto& fn : module_.functions()) {
+    if (!fn->isDefined()) continue;
+    const bool is_root =
+        callgraph_.callers(fn.get()).empty() || fn->name() == "main";
+    effective_[fn.get()] = local_assumptions_[fn.get()];
+    effective_is_top_[fn.get()] = !is_root;
+  }
+
+  bool changed = true;
+  std::size_t rounds = 0;
+  const std::size_t max_rounds = module_.functions().size() + 2;
+  while (changed && rounds++ < max_rounds) {
+    changed = false;
+    for (const auto& fn : module_.functions()) {
+      if (!fn->isDefined()) continue;
+      const auto& callers = callgraph_.callers(fn.get());
+      if (callers.empty() || fn->name() == "main") continue;
+
+      bool inherited_is_top = true;
+      AssumptionSet inherited;
+      for (const ir::Function* caller : callers) {
+        if (!caller->isDefined()) {
+          // Called from an unanalyzed context: nothing can be assumed.
+          inherited_is_top = false;
+          inherited.clear();
+          break;
+        }
+        auto top_it = effective_is_top_.find(caller);
+        if (top_it != effective_is_top_.end() && top_it->second) continue;
+        const AssumptionSet& cs = effective_[caller];
+        if (inherited_is_top) {
+          inherited = cs;
+          inherited_is_top = false;
+        } else {
+          AssumptionSet meet;
+          std::set_intersection(inherited.begin(), inherited.end(),
+                                cs.begin(), cs.end(),
+                                std::inserter(meet, meet.begin()));
+          inherited = std::move(meet);
+        }
+      }
+
+      AssumptionSet next = local_assumptions_[fn.get()];
+      if (!inherited_is_top) {
+        next.insert(inherited.begin(), inherited.end());
+      }
+      const bool next_top = inherited_is_top;
+      if (next != effective_[fn.get()] ||
+          next_top != effective_is_top_[fn.get()]) {
+        effective_[fn.get()] = std::move(next);
+        effective_is_top_[fn.get()] = next_top;
+        changed = true;
+      }
+    }
+  }
+  // Anything still "top" (e.g. unreachable cycles) falls back to local.
+  for (auto& [fn, top] : effective_is_top_) {
+    if (top) {
+      effective_[fn] = local_assumptions_[fn];
+      top = false;
+    }
+  }
+}
+
+const AssumptionSet& TaintAnalysis::effectiveAssumptions(
+    const ir::Function* fn) const {
+  auto it = effective_.find(fn);
+  return it == effective_.end() ? empty_assumptions_ : it->second;
+}
+
+bool TaintAnalysis::isCovered(const ShmPtrInfo& ptr,
+                              std::int64_t access_size,
+                              const AssumptionSet& assumptions,
+                              int region) const {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  if (ptr.offset_known) {
+    lo = ptr.lo;
+    hi = ptr.hi;
+  } else {
+    const ShmRegion* r = regions_.byId(region);
+    lo = 0;
+    hi = (r != nullptr) ? std::max<std::int64_t>(0, r->size - access_size)
+                        : 0;
+  }
+  for (const CoreAssumption& a : assumptions) {
+    if (a.region != region) continue;
+    if (a.offset <= lo && hi + access_size <= a.offset + a.size) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Transfer functions
+// ---------------------------------------------------------------------------
+
+TaintPair TaintAnalysis::operandTaint(const ir::Value* v) const {
+  auto it = value_taint_.find(v);
+  return it == value_taint_.end() ? TaintPair{} : it->second;
+}
+
+TaintPair TaintAnalysis::resolveConcrete(const TaintPair& t,
+                                         const ir::Function& fn) const {
+  TaintPair out;
+  out.data.sources = t.data.sources;
+  out.control.sources = t.control.sources;
+  auto concrete_of = [this, &fn](unsigned p) -> TaintPair {
+    if (p >= fn.args().size()) return {};
+    auto it = arg_concrete_.find(fn.args()[p].get());
+    return it == arg_concrete_.end() ? TaintPair{} : it->second;
+  };
+  for (unsigned p : t.data.params) {
+    const TaintPair a = concrete_of(p);
+    out.data.mergeConcrete(a.data);
+    out.control.mergeConcrete(a.control);
+  }
+  for (unsigned p : t.control.params) {
+    const TaintPair a = concrete_of(p);
+    out.control.mergeConcrete(a.data);
+    out.control.mergeConcrete(a.control);
+  }
+  return out;
+}
+
+Taint TaintAnalysis::resolveConcreteControl(const Taint& t,
+                                            const ir::Function& fn) const {
+  Taint out;
+  out.sources = t.sources;
+  for (unsigned p : t.params) {
+    if (p >= fn.args().size()) continue;
+    auto it = arg_concrete_.find(fn.args()[p].get());
+    if (it == arg_concrete_.end()) continue;
+    out.mergeConcrete(it->second.data);
+    out.mergeConcrete(it->second.control);
+  }
+  return out;
+}
+
+TaintPair TaintAnalysis::substituteSummary(const TaintPair& summary,
+                                           const ir::Instruction& call,
+                                           std::size_t first_arg) const {
+  TaintPair out;
+  out.data.sources = summary.data.sources;
+  out.control.sources = summary.control.sources;
+  auto arg_taint = [this, &call, first_arg](unsigned p) -> TaintPair {
+    const std::size_t idx = first_arg + p;
+    if (idx >= call.numOperands()) return {};
+    return operandTaint(call.operand(idx));
+  };
+  for (unsigned p : summary.data.params) {
+    const TaintPair a = arg_taint(p);
+    out.data.merge(a.data);          // caller's symbols stay symbolic
+    out.control.merge(a.control);
+  }
+  for (unsigned p : summary.control.params) {
+    const TaintPair a = arg_taint(p);
+    out.control.merge(a.data);
+    out.control.merge(a.control);
+  }
+  return out;
+}
+
+TaintPair TaintAnalysis::taintOf(const ir::Value* v) const {
+  return operandTaint(v);
+}
+
+TaintPair TaintAnalysis::loadTaint(const ir::Instruction& load,
+                                   const AssumptionSet& assumptions) const {
+  TaintPair out;
+  const ir::Value* ptr = load.operand(0);
+  const std::int64_t access_size =
+      static_cast<std::int64_t>(load.type()->size());
+
+  if (const ShmPtrInfo* info = shm_.info(ptr)) {
+    for (int region : info->regions) {
+      const ShmRegion* r = regions_.byId(region);
+      if (r == nullptr || !r->noncore) continue;  // core regions are safe
+      if (isCovered(*info, access_size, assumptions, region)) continue;
+      out.data.sources[region].insert(&load);
+    }
+  } else {
+    // Ordinary memory: pick up whatever taint was stored in the objects
+    // the pointer may reference. Message-channel taints (paper §3.4.3)
+    // are dropped when the enclosing function monitors the channel.
+    for (ObjId base : alias_.pointsTo(ptr)) {
+      if (alias_.regionOf(base) >= 0) continue;  // shm handled above
+      // A field read sees the taints of the whole object (writes through
+      // the base pointer, e.g. a recv into the struct, cover its fields).
+      for (ObjId obj = base; obj >= 0; obj = alias_.parentOf(obj)) {
+        auto it = object_taint_.find(obj);
+        if (it == object_taint_.end()) continue;
+        TaintPair t = it->second;
+        for (const CoreAssumption& a : assumptions) {
+          const ShmRegion* r = regions_.byId(a.region);
+          if (r == nullptr || !r->is_message_channel) continue;
+          t.data.sources.erase(a.region);
+          t.control.sources.erase(a.region);
+        }
+        out.merge(t);
+      }
+    }
+  }
+  // A tainted address taints the loaded value too.
+  out.merge(operandTaint(ptr));
+  return out;
+}
+
+Taint TaintAnalysis::blockControlTaint(const ir::BasicBlock* bb) const {
+  Taint out;
+  auto fn_it = control_dep_.find(bb->parent());
+  if (fn_it == control_dep_.end()) return out;
+  for (const ir::BasicBlock* branch : fn_it->second.controllers(bb)) {
+    const ir::Instruction* term = branch->terminator();
+    if (term == nullptr || term->opcode() != ir::Opcode::kCondBr) continue;
+    const TaintPair cond = operandTaint(term->operand(0));
+    out.merge(cond.data);
+    out.merge(cond.control);
+  }
+  return out;
+}
+
+bool TaintAnalysis::analyzeFunction(const ir::Function& fn,
+                                    const AssumptionSet& assumptions,
+                                    unsigned depth) {
+  ++body_analyses_;
+  if (options_.track_control_deps && !control_dep_.contains(&fn)) {
+    control_dep_.emplace(&fn, ControlDependence::compute(fn));
+  }
+
+  bool changed_any = false;
+  // Seed each argument with its symbolic parameter taint; concrete taints
+  // arriving from call sites are kept separately in arg_concrete_.
+  for (const auto& arg : fn.args()) {
+    TaintPair symbol;
+    symbol.data.params.insert(arg->index());
+    changed_any |= value_taint_[arg.get()].merge(symbol);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& bb : fn.blocks()) {
+      Taint block_control;
+      if (options_.track_control_deps) {
+        block_control = blockControlTaint(bb.get());
+      }
+      for (const auto& inst : bb->instructions()) {
+        TaintPair result;
+        switch (inst->opcode()) {
+          case ir::Opcode::kLoad:
+            result = loadTaint(*inst, assumptions);
+            break;
+          case ir::Opcode::kStore: {
+            // Memory objects are shared across contexts, so escaping
+            // taints are resolved to their concrete form first.
+            TaintPair stored =
+                resolveConcrete(operandTaint(inst->operand(0)), fn);
+            stored.control.mergeConcrete(
+                resolveConcreteControl(block_control, fn));
+            if (!stored.empty()) {
+              for (ObjId obj : alias_.pointsTo(inst->operand(1))) {
+                if (alias_.regionOf(obj) >= 0) continue;  // shm writes do
+                // not change the region's core/non-core status (§2).
+                changed |= object_taint_[obj].merge(stored);
+              }
+            }
+            continue;
+          }
+          case ir::Opcode::kBinOp:
+          case ir::Opcode::kUnOp:
+          case ir::Opcode::kCmp:
+          case ir::Opcode::kCast:
+          case ir::Opcode::kFieldAddr:
+          case ir::Opcode::kIndexAddr:
+            for (std::size_t i = 0; i < inst->numOperands(); ++i) {
+              result.merge(operandTaint(inst->operand(i)));
+            }
+            break;
+          case ir::Opcode::kPhi: {
+            for (std::size_t i = 0; i < inst->numOperands(); ++i) {
+              result.merge(operandTaint(inst->operand(i)));
+              // The choice of incoming edge leaks the branch condition.
+              if (options_.track_control_deps &&
+                  i < inst->block_refs.size()) {
+                const ir::Instruction* pterm =
+                    inst->block_refs[i]->terminator();
+                if (pterm != nullptr &&
+                    pterm->opcode() == ir::Opcode::kCondBr) {
+                  const TaintPair cond = operandTaint(pterm->operand(0));
+                  result.control.merge(cond.data);
+                  result.control.merge(cond.control);
+                }
+                result.control.merge(
+                    blockControlTaint(inst->block_refs[i]));
+              }
+            }
+            break;
+          }
+          case ir::Opcode::kCall:
+            side_effect_changed_ = false;
+            result = evalCall(*inst, assumptions, depth);
+            changed |= side_effect_changed_;
+            break;
+          case ir::Opcode::kRet: {
+            if (inst->numOperands() == 1) {
+              TaintPair rt = operandTaint(inst->operand(0));
+              rt.control.merge(block_control);
+              changed |= return_taint_[&fn].merge(rt);
+            }
+            continue;
+          }
+          default:
+            continue;
+        }
+        if (options_.track_control_deps) {
+          result.control.merge(block_control);
+        }
+        if (!result.empty()) {
+          changed |= value_taint_[inst.get()].merge(result);
+        }
+      }
+    }
+    changed_any |= changed;
+  }
+  return changed_any;
+}
+
+namespace {
+/// Traces a value back to the global it was loaded from (descriptor
+/// tracking for message channels).
+const ir::GlobalVar* traceLoadToGlobal(const ir::Value* v, int depth = 0) {
+  if (v == nullptr || depth > 8) return nullptr;
+  if (v->kind() == ir::Value::Kind::kGlobalVar) {
+    return static_cast<const ir::GlobalVar*>(v);
+  }
+  if (v->isInstruction()) {
+    const auto* inst = static_cast<const ir::Instruction*>(v);
+    if ((inst->opcode() == ir::Opcode::kLoad ||
+         inst->opcode() == ir::Opcode::kCast) &&
+        inst->numOperands() >= 1) {
+      return traceLoadToGlobal(inst->operand(0), depth + 1);
+    }
+  }
+  return nullptr;
+}
+}  // namespace
+
+TaintPair TaintAnalysis::evalReceive(const ir::Instruction& call) {
+  // Returns the call-result taint; buffer objects are tainted in place.
+  for (const auto& rc : options_.receive_calls) {
+    if (call.direct_callee == nullptr ||
+        call.direct_callee->name() != rc.name) {
+      continue;
+    }
+    if (rc.socket_arg >= call.numOperands() ||
+        rc.buffer_arg >= call.numOperands()) {
+      continue;
+    }
+    const ir::GlobalVar* fd =
+        traceLoadToGlobal(call.operand(rc.socket_arg));
+    const ShmRegion* channel =
+        fd != nullptr ? regions_.channelByGlobal(fd) : nullptr;
+    if (channel == nullptr) return {};  // core channel: received data safe
+    TaintPair incoming;
+    incoming.data.sources[channel->id].insert(&call);
+    for (ObjId obj : alias_.pointsTo(call.operand(rc.buffer_arg))) {
+      if (alias_.regionOf(obj) >= 0) continue;
+      object_taint_[obj].merge(incoming);
+    }
+    return incoming;  // byte count / status also reflects the channel
+  }
+  return {};
+}
+
+bool TaintAnalysis::isReceiveCall(const ir::Instruction& call) const {
+  if (call.direct_callee == nullptr) return false;
+  for (const auto& rc : options_.receive_calls) {
+    if (call.direct_callee->name() == rc.name) return true;
+  }
+  return false;
+}
+
+TaintPair TaintAnalysis::evalCall(const ir::Instruction& call,
+                                  const AssumptionSet& caller_assumptions,
+                                  unsigned depth) {
+  TaintPair result;
+  const std::size_t first_arg = call.direct_callee == nullptr ? 1 : 0;
+  const ir::Function* caller = call.parent()->parent();
+
+  if (isReceiveCall(call)) return evalReceive(call);
+
+  bool any_defined = false;
+  for (const ir::Function* target : callgraph_.targets(call)) {
+    if (target->isIntrinsic()) return {};
+    if (!target->isDefined() || regions_.isInitFunction(target)) continue;
+    any_defined = true;
+
+    // Concrete argument taints accumulate per parameter (used when the
+    // parameter escapes to memory or reaches a report site).
+    for (std::size_t i = first_arg; i < call.numOperands(); ++i) {
+      const std::size_t p = i - first_arg;
+      if (p >= target->args().size()) break;
+      const TaintPair arg =
+          resolveConcrete(operandTaint(call.operand(i)), *caller);
+      if (!arg.empty()) {
+        side_effect_changed_ |=
+            arg_concrete_[target->args()[p].get()].merge(arg);
+      }
+    }
+
+    TaintPair summary;
+    if (options_.mode == TaintOptions::Mode::kCallStrings &&
+        depth < options_.max_context_depth) {
+      AssumptionSet ctx = caller_assumptions;
+      const AssumptionSet& local = local_assumptions_[target];
+      ctx.insert(local.begin(), local.end());
+      summary = analyzeInContext(*target, std::move(ctx), depth + 1);
+    } else {
+      auto it = return_taint_.find(target);
+      if (it != return_taint_.end()) summary = it->second;
+    }
+    // Instantiate the summary for THIS call site: parameter symbols are
+    // replaced by the actual argument taints (context sensitivity in the
+    // function's inputs, per the paper's value-flow-graph summaries).
+    result.merge(substituteSummary(summary, call, first_arg));
+  }
+
+  if (!any_defined) {
+    // External function: its result conservatively depends on all
+    // arguments.
+    for (std::size_t i = first_arg; i < call.numOperands(); ++i) {
+      result.merge(operandTaint(call.operand(i)));
+    }
+  }
+  return result;
+}
+
+TaintPair TaintAnalysis::analyzeInContext(const ir::Function& fn,
+                                          AssumptionSet ctx,
+                                          unsigned depth) {
+  const auto key = std::make_pair(&fn, ctx);
+  auto it = context_memo_.find(key);
+  if (it != context_memo_.end()) return it->second;
+  context_memo_[key] = TaintPair{};  // break recursion
+
+  // Run the body fixpoint under ctx; value/object taints accumulate
+  // globally, and the return taint after convergence is this context's
+  // summary.
+  while (analyzeFunction(fn, ctx, depth)) {
+  }
+  TaintPair after = return_taint_[&fn];
+  context_memo_[key] = after;
+  return after;
+}
+
+void TaintAnalysis::run(SafeFlowReport& report) {
+  computeLocalAssumptions();
+  computeEffectiveAssumptions();
+
+  if (options_.mode == TaintOptions::Mode::kSummaries) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& scc : callgraph_.sccsBottomUp()) {
+        for (const ir::Function* fn : scc) {
+          if (!fn->isDefined() || regions_.isInitFunction(fn)) continue;
+          changed |= analyzeFunction(*fn, effectiveAssumptions(fn));
+        }
+      }
+    }
+  } else {
+    // Call-strings: start from roots and clone per assumption context.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& fn : module_.functions()) {
+        if (!fn->isDefined() || regions_.isInitFunction(fn.get())) continue;
+        const bool is_root = callgraph_.callers(fn.get()).empty() ||
+                             fn->name() == "main";
+        if (!is_root) continue;
+        context_memo_.clear();
+        changed |=
+            analyzeFunction(*fn, local_assumptions_[fn.get()]);
+      }
+    }
+  }
+
+  reportWarnings(report);
+  reportAsserts(report);
+  if (!regions_.empty()) {
+    if (regions_.initCheckVerifiedStatically()) {
+      report.required_runtime_checks.push_back(
+          "InitCheck: region extents were derived statically and proven "
+          "non-overlapping (no run-time check needed)");
+    } else {
+      report.required_runtime_checks.push_back(
+          "InitCheck: verify declared shmvar regions do not overlap at "
+          "bootstrap (executed once during shared-memory initialization)");
+    }
+  }
+}
+
+void TaintAnalysis::reportWarnings(SafeFlowReport& report) {
+  for (const auto& fn : module_.functions()) {
+    if (!fn->isDefined() || regions_.isInitFunction(fn.get())) continue;
+    const AssumptionSet& assumptions = effectiveAssumptions(fn.get());
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->opcode() != ir::Opcode::kLoad) continue;
+        const ShmPtrInfo* info = shm_.info(inst->operand(0));
+        if (info == nullptr) {
+          // Message channels (§3.4.3): reading received non-core data
+          // outside a monitoring function warns per channel.
+          std::set<int> channels;
+          for (ObjId base : alias_.pointsTo(inst->operand(0))) {
+            for (ObjId obj = base; obj >= 0; obj = alias_.parentOf(obj)) {
+              auto it = object_taint_.find(obj);
+              if (it == object_taint_.end()) continue;
+              for (int region : it->second.data.regions()) {
+                const ShmRegion* r = regions_.byId(region);
+                if (r != nullptr && r->is_message_channel) {
+                  channels.insert(region);
+                }
+              }
+            }
+          }
+          for (int region : channels) {
+            bool covered = false;
+            for (const CoreAssumption& a : assumptions) {
+              if (a.region == region) covered = true;
+            }
+            if (covered) continue;
+            UnsafeAccessWarning w;
+            w.location = inst->location();
+            w.function = fn->name();
+            w.region = region;
+            w.region_name = regions_.byId(region)->name;
+            report.warnings.push_back(std::move(w));
+          }
+          continue;
+        }
+        const std::int64_t size =
+            static_cast<std::int64_t>(inst->type()->size());
+        for (int region : info->regions) {
+          const ShmRegion* r = regions_.byId(region);
+          if (r == nullptr || !r->noncore) continue;
+          if (isCovered(*info, size, assumptions, region)) continue;
+          UnsafeAccessWarning w;
+          w.location = inst->location();
+          w.function = fn->name();
+          w.region = region;
+          w.region_name = r->name;
+          w.offset_known = info->offset_known;
+          w.offset_lo = info->lo;
+          w.offset_hi = info->hi + size;
+          report.warnings.push_back(std::move(w));
+        }
+      }
+    }
+  }
+}
+
+void TaintAnalysis::reportCriticalValue(SafeFlowReport& report,
+                                        const ir::Instruction& site,
+                                        const ir::Value* checked,
+                                        const std::string& name) {
+  // Resolve any parameter symbols against the concrete taints this
+  // function receives (merged over its callers).
+  const TaintPair taint =
+      resolveConcrete(operandTaint(checked), *site.parent()->parent());
+  if (taint.empty()) return;
+
+  // One entry per involved region: a region reaching through data flow is
+  // a genuine error dependency; a region present only in the control
+  // component is the paper's manual-review (false positive) class.
+  std::set<int> all_regions = taint.data.regions();
+  for (int r : taint.control.regions()) all_regions.insert(r);
+  for (int region : all_regions) {
+    const bool via_data = taint.data.sources.contains(region);
+    CriticalDependencyError e;
+    e.kind = via_data ? CriticalDependencyError::Kind::kData
+                      : CriticalDependencyError::Kind::kControl;
+    e.assert_location = site.location();
+    e.function = site.parent()->parent()->name();
+    e.critical_value = name;
+    e.regions.insert(region);
+    if (const ShmRegion* r = regions_.byId(region)) {
+      e.region_names.push_back(r->name);
+    }
+    const auto& source_map =
+        via_data ? taint.data.sources : taint.control.sources;
+    auto it = source_map.find(region);
+    if (it != source_map.end()) {
+      for (const ir::Instruction* load : it->second) {
+        e.source_loads.push_back(load->location());
+      }
+    }
+    report.errors.push_back(std::move(e));
+  }
+}
+
+void TaintAnalysis::reportAsserts(SafeFlowReport& report) {
+  for (const auto& fn : module_.functions()) {
+    if (!fn->isDefined()) continue;
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->opcode() != ir::Opcode::kCall ||
+            inst->direct_callee == nullptr) {
+          continue;
+        }
+        if (inst->direct_callee->name() == ir::kIntrinsicAssertSafe) {
+          ++report.asserts_checked;
+          const ir::Value* checked = inst->operand(0);
+          const std::string name =
+              !inst->name().empty()
+                  ? inst->name()
+                  : (checked->name().empty() ? "<value>" : checked->name());
+          reportCriticalValue(report, *inst, checked, name);
+          continue;
+        }
+        // Implicitly critical system-call arguments (e.g. kill's pid).
+        for (const auto& [callee, arg] : options_.implicit_critical_calls) {
+          if (inst->direct_callee->name() != callee) continue;
+          const std::size_t idx = arg;  // direct call: args start at 0
+          if (idx >= inst->numOperands()) continue;
+          ++report.asserts_checked;
+          reportCriticalValue(report, *inst, inst->operand(idx),
+                              callee + "(arg" + std::to_string(arg) + ")");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace safeflow::analysis

@@ -1,0 +1,202 @@
+// Phase 3 (paper §3.3): unsafe-value detection and critical-data
+// dependency analysis.
+//
+// Monitoring semantics: an assume(core(p, off, size)) annotation makes the
+// covered byte range of p's region(s) core within the annotated function
+// *and every function it (transitively) calls*. The effective assumption
+// set of a function is therefore its local assumptions joined with the
+// intersection of its callers' effective sets (a region is only safe in a
+// callee if every calling context monitors it).
+//
+// A load from a non-core region not covered by the effective assumptions
+// yields an *unsafe* value (reported as a warning) tainted with the
+// region. Taint propagates through SSA data flow, through memory objects
+// (via the alias analysis), across calls, and — optionally — through
+// control dependence. assert(safe(x)) then checks the taint of x: data
+// taint is an error dependency; control-only taint is flagged separately
+// (the paper's manual-review / false-positive class).
+//
+// Two interprocedural engines are provided:
+//   kSummaries    one bottom-up fixpoint with per-function return/param
+//                 taint summaries (the ESP-style algorithm of §3.3's last
+//                 paragraph);
+//   kCallStrings  context cloning keyed on the inherited assumption set,
+//                 the prototype's "analyze each function multiple times
+//                 for different call sequences" exponential algorithm.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "analysis/alias.h"
+#include "analysis/control_dep.h"
+#include "analysis/report.h"
+#include "analysis/shm_propagation.h"
+#include "analysis/shm_regions.h"
+#include "ir/callgraph.h"
+#include "ir/ir.h"
+
+namespace safeflow::analysis {
+
+/// region id -> the unmonitored loads that sourced it, plus symbolic
+/// references to the enclosing function's parameters ("this value is
+/// tainted iff argument i is"). Parameter symbols make function summaries
+/// context-sensitive in their inputs (the ESP-style value-flow graphs of
+/// paper §3.3): they are substituted with the actual argument taints at
+/// each call site instead of being merged across callers.
+struct Taint {
+  std::map<int, std::set<const ir::Instruction*>> sources;
+  std::set<unsigned> params;
+
+  [[nodiscard]] bool empty() const {
+    return sources.empty() && params.empty();
+  }
+  bool merge(const Taint& other);
+  /// Merges only the concrete (region) part of other.
+  bool mergeConcrete(const Taint& other);
+  [[nodiscard]] std::set<int> regions() const;
+};
+
+/// Data and control components tracked separately so the report can
+/// distinguish genuine value dependencies from control-only ones.
+struct TaintPair {
+  Taint data;
+  Taint control;
+
+  [[nodiscard]] bool empty() const { return data.empty() && control.empty(); }
+  bool merge(const TaintPair& other);
+};
+
+/// One assumption: bytes [offset, offset+size) of `region` are core.
+struct CoreAssumption {
+  int region = -1;
+  std::int64_t offset = 0;
+  std::int64_t size = 0;
+  auto operator<=>(const CoreAssumption&) const = default;
+};
+
+using AssumptionSet = std::set<CoreAssumption>;
+
+struct TaintOptions {
+  bool track_control_deps = true;
+  enum class Mode { kSummaries, kCallStrings };
+  Mode mode = Mode::kSummaries;
+  /// Call-string mode recursion cap; deeper chains fall back to the
+  /// summary result.
+  unsigned max_context_depth = 32;
+  /// (function name, argument index) pairs treated as implicitly critical
+  /// — the paper asserts the pid argument of kill in every system; this
+  /// option performs that check without a source annotation.
+  std::vector<std::pair<std::string, unsigned>> implicit_critical_calls;
+  /// Trusted receive-style library calls (paper §3.4.3): data arriving
+  /// through a noncore(socket)-annotated descriptor taints the buffer
+  /// with the channel's pseudo-region.
+  struct ReceiveCall {
+    std::string name;
+    unsigned socket_arg = 0;
+    unsigned buffer_arg = 1;
+  };
+  std::vector<ReceiveCall> receive_calls{{"recv", 0, 1}, {"read", 0, 1}};
+};
+
+class TaintAnalysis {
+ public:
+  TaintAnalysis(const ir::Module& module, const ShmRegionTable& regions,
+                const ShmPointerAnalysis& shm, const AliasAnalysis& alias,
+                const ir::CallGraph& callgraph, TaintOptions options = {});
+
+  /// Runs the analysis and fills in warnings and errors.
+  void run(SafeFlowReport& report);
+
+  [[nodiscard]] const AssumptionSet& effectiveAssumptions(
+      const ir::Function* fn) const;
+  /// Exposed for tests: the final taint of a value.
+  [[nodiscard]] TaintPair taintOf(const ir::Value* v) const;
+  /// Number of (function, context) body analyses performed — the work
+  /// metric the ablation bench compares across modes.
+  [[nodiscard]] std::size_t bodyAnalyses() const { return body_analyses_; }
+
+ private:
+  // -- effective assumptions ------------------------------------------------
+  void computeLocalAssumptions();
+  void computeEffectiveAssumptions();
+  [[nodiscard]] bool isCovered(const ShmPtrInfo& ptr,
+                               std::int64_t access_size,
+                               const AssumptionSet& assumptions,
+                               int region) const;
+
+  // -- propagation ------------------------------------------------------------
+  /// One intraprocedural pass under the given assumptions; updates value
+  /// taints / object taints; returns true when anything changed. `depth`
+  /// threads the call-string recursion depth into evalCall.
+  bool analyzeFunction(const ir::Function& fn,
+                       const AssumptionSet& assumptions,
+                       unsigned depth = 0);
+  TaintPair evalCall(const ir::Instruction& call,
+                     const AssumptionSet& caller_assumptions,
+                     unsigned depth);
+  /// recv/read-style call through a possibly-noncore descriptor; taints
+  /// the buffer's objects and returns the result taint.
+  TaintPair evalReceive(const ir::Instruction& call);
+  [[nodiscard]] bool isReceiveCall(const ir::Instruction& call) const;
+  /// Call-string mode: (re)analyze `fn` under `ctx`, returning the summary
+  /// (return taint) for that context. Memoized.
+  TaintPair analyzeInContext(const ir::Function& fn, AssumptionSet ctx,
+                             unsigned depth);
+  [[nodiscard]] TaintPair operandTaint(const ir::Value* v) const;
+  /// Replaces parameter symbols with the concrete taints accumulated for
+  /// `fn`'s arguments (data symbols keep data/control split; control
+  /// symbols collapse into control).
+  [[nodiscard]] TaintPair resolveConcrete(const TaintPair& t,
+                                          const ir::Function& fn) const;
+  [[nodiscard]] Taint resolveConcreteControl(const Taint& t,
+                                             const ir::Function& fn) const;
+  /// Instantiates a callee summary at a call site, substituting parameter
+  /// symbols with the call's argument taints.
+  [[nodiscard]] TaintPair substituteSummary(const TaintPair& summary,
+                                            const ir::Instruction& call,
+                                            std::size_t first_arg) const;
+  /// The taint a load yields (region taint for unmonitored noncore loads,
+  /// plus object taint), given the active assumptions.
+  TaintPair loadTaint(const ir::Instruction& load,
+                      const AssumptionSet& assumptions) const;
+  /// Control taint contributed by the block's controlling branches.
+  Taint blockControlTaint(const ir::BasicBlock* bb) const;
+
+  void reportWarnings(SafeFlowReport& report);
+  void reportAsserts(SafeFlowReport& report);
+  void reportCriticalValue(SafeFlowReport& report,
+                           const ir::Instruction& site,
+                           const ir::Value* checked, const std::string& name);
+
+  const ir::Module& module_;
+  const ShmRegionTable& regions_;
+  const ShmPointerAnalysis& shm_;
+  const AliasAnalysis& alias_;
+  const ir::CallGraph& callgraph_;
+  TaintOptions options_;
+
+  std::map<const ir::Function*, AssumptionSet> local_assumptions_;
+  std::map<const ir::Function*, AssumptionSet> effective_;
+  std::map<const ir::Function*, bool> effective_is_top_;
+
+  std::map<const ir::Value*, TaintPair> value_taint_;
+  std::map<ObjId, TaintPair> object_taint_;
+  /// Concrete (symbol-free) taint each parameter receives, merged over
+  /// call sites — used when parameter symbols escape through memory or
+  /// reach a report site inside a callee.
+  std::map<const ir::Argument*, TaintPair> arg_concrete_;
+  std::map<const ir::Function*, TaintPair> return_taint_;
+  std::map<const ir::Function*, ControlDependence> control_dep_;
+  // Call-string memoization: (function, context) -> return taint.
+  std::map<std::pair<const ir::Function*, AssumptionSet>, TaintPair>
+      context_memo_;
+  std::size_t body_analyses_ = 0;
+  /// Set when evalCall grew a callee's concrete argument taint; folded
+  /// into the enclosing fixpoint's change flag.
+  bool side_effect_changed_ = false;
+  AssumptionSet empty_assumptions_;
+};
+
+}  // namespace safeflow::analysis

@@ -1,0 +1,299 @@
+#include "annotations/annotation.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/string_utils.h"
+
+namespace safeflow::annotations {
+
+std::string_view annotationKindName(AnnotationKind k) {
+  switch (k) {
+    case AnnotationKind::kAssumeCore: return "assume(core)";
+    case AnnotationKind::kAssertSafe: return "assert(safe)";
+    case AnnotationKind::kShmInit: return "shminit";
+    case AnnotationKind::kShmVar: return "shmvar";
+    case AnnotationKind::kNonCore: return "noncore";
+  }
+  return "?";
+}
+
+void AnnotationParser::skipSpace(Cursor& c) const {
+  while (c.pos < c.text.size() &&
+         std::isspace(static_cast<unsigned char>(c.text[c.pos]))) {
+    ++c.pos;
+  }
+}
+
+bool AnnotationParser::acceptChar(Cursor& c, char ch) const {
+  skipSpace(c);
+  if (c.pos < c.text.size() && c.text[c.pos] == ch) {
+    ++c.pos;
+    return true;
+  }
+  return false;
+}
+
+std::string AnnotationParser::parseIdent(Cursor& c) const {
+  skipSpace(c);
+  std::string out;
+  while (c.pos < c.text.size()) {
+    const char ch = c.text[c.pos];
+    if (std::isalnum(static_cast<unsigned char>(ch)) || ch == '_') {
+      out.push_back(ch);
+      ++c.pos;
+    } else {
+      break;
+    }
+  }
+  return out;
+}
+
+const cfront::Type* AnnotationParser::resolveTypeName(const std::string& name,
+                                                      bool is_struct) const {
+  if (is_struct) return types_.findStruct(name);
+  if (auto it = typedefs_.find(name); it != typedefs_.end()) {
+    return it->second;
+  }
+  if (name == "int") return types_.intType();
+  if (name == "char") return types_.charType();
+  if (name == "short") return types_.shortType();
+  if (name == "long") return types_.longType();
+  if (name == "float") return types_.floatType();
+  if (name == "double") return types_.doubleType();
+  return types_.findStruct(name);  // allow bare struct tags
+}
+
+std::int64_t AnnotationParser::parsePrimary(Cursor& c, bool& ok) const {
+  skipSpace(c);
+  if (c.pos >= c.text.size()) {
+    ok = false;
+    return 0;
+  }
+  const char ch = c.text[c.pos];
+  if (std::isdigit(static_cast<unsigned char>(ch))) {
+    std::size_t end = c.pos;
+    while (end < c.text.size() &&
+           std::isdigit(static_cast<unsigned char>(c.text[end]))) {
+      ++end;
+    }
+    const std::int64_t value =
+        std::strtoll(std::string(c.text.substr(c.pos, end - c.pos)).c_str(),
+                     nullptr, 10);
+    c.pos = end;
+    return value;
+  }
+  if (ch == '(') {
+    ++c.pos;
+    const std::int64_t v = parseConstExpr(c, ok);
+    if (!acceptChar(c, ')')) ok = false;
+    return v;
+  }
+  const std::string ident = parseIdent(c);
+  if (ident == "sizeof") {
+    if (!acceptChar(c, '(')) {
+      ok = false;
+      return 0;
+    }
+    std::string type_name = parseIdent(c);
+    bool is_struct = false;
+    if (type_name == "struct" || type_name == "union") {
+      is_struct = true;
+      type_name = parseIdent(c);
+      if (is_struct && c.text.find("union") != std::string_view::npos) {
+        // union tags are registered as "union <tag>" by the front end
+      }
+    }
+    // consume a trailing '*'? pointer sizeof
+    skipSpace(c);
+    bool is_pointer = false;
+    while (c.pos < c.text.size() && c.text[c.pos] == '*') {
+      is_pointer = true;
+      ++c.pos;
+      skipSpace(c);
+    }
+    if (!acceptChar(c, ')')) {
+      ok = false;
+      return 0;
+    }
+    if (is_pointer) return 8;
+    const cfront::Type* t = resolveTypeName(type_name, is_struct);
+    if (t == nullptr) {
+      ok = false;
+      return 0;
+    }
+    return static_cast<std::int64_t>(t->size());
+  }
+  ok = false;
+  return 0;
+}
+
+std::int64_t AnnotationParser::parseTerm(Cursor& c, bool& ok) const {
+  std::int64_t v = parsePrimary(c, ok);
+  while (ok) {
+    skipSpace(c);
+    if (c.pos < c.text.size() && c.text[c.pos] == '*') {
+      ++c.pos;
+      v *= parsePrimary(c, ok);
+    } else if (c.pos < c.text.size() && c.text[c.pos] == '/') {
+      ++c.pos;
+      const std::int64_t d = parsePrimary(c, ok);
+      if (d == 0) {
+        ok = false;
+      } else {
+        v /= d;
+      }
+    } else {
+      break;
+    }
+  }
+  return v;
+}
+
+std::int64_t AnnotationParser::parseConstExpr(Cursor& c, bool& ok) const {
+  std::int64_t v = parseTerm(c, ok);
+  while (ok) {
+    skipSpace(c);
+    if (c.pos < c.text.size() && c.text[c.pos] == '+') {
+      ++c.pos;
+      v += parseTerm(c, ok);
+    } else if (c.pos < c.text.size() && c.text[c.pos] == '-') {
+      ++c.pos;
+      v -= parseTerm(c, ok);
+    } else {
+      break;
+    }
+  }
+  return v;
+}
+
+void AnnotationParser::fail(const cfront::RawAnnotation& raw,
+                            const std::string& why) {
+  diags_.error(raw.location, "annotation",
+               "malformed SafeFlow annotation: " + why + " (in '" +
+                   raw.text + "')");
+}
+
+std::optional<ParsedAnnotation> AnnotationParser::parse(
+    const cfront::RawAnnotation& raw) {
+  Cursor c{support::trim(raw.text), 0};
+  ParsedAnnotation out;
+  out.location = raw.location;
+
+  const std::string head = parseIdent(c);
+  if (head == "shminit") {
+    out.kind = AnnotationKind::kShmInit;
+    return out;
+  }
+  if (head == "assume") {
+    if (!acceptChar(c, '(')) {
+      fail(raw, "expected '(' after assume");
+      return std::nullopt;
+    }
+    const std::string pred = parseIdent(c);
+    if (pred == "core") {
+      out.kind = AnnotationKind::kAssumeCore;
+      if (!acceptChar(c, '(')) {
+        fail(raw, "expected '(' after core");
+        return std::nullopt;
+      }
+      out.pointer_name = parseIdent(c);
+      if (out.pointer_name.empty()) {
+        fail(raw, "expected pointer name in core(...)");
+        return std::nullopt;
+      }
+      if (!acceptChar(c, ',')) {
+        fail(raw, "expected offset in core(...)");
+        return std::nullopt;
+      }
+      bool ok = true;
+      out.offset = parseConstExpr(c, ok);
+      if (!ok || !acceptChar(c, ',')) {
+        fail(raw, "expected constant offset and size in core(...)");
+        return std::nullopt;
+      }
+      out.size = parseConstExpr(c, ok);
+      if (!ok) {
+        fail(raw, "size in core(...) must be a constant expression");
+        return std::nullopt;
+      }
+      if (!acceptChar(c, ')') || !acceptChar(c, ')')) {
+        fail(raw, "unbalanced parentheses");
+        return std::nullopt;
+      }
+      return out;
+    }
+    if (pred == "shmvar") {
+      out.kind = AnnotationKind::kShmVar;
+      if (!acceptChar(c, '(')) {
+        fail(raw, "expected '(' after shmvar");
+        return std::nullopt;
+      }
+      out.pointer_name = parseIdent(c);
+      if (out.pointer_name.empty() || !acceptChar(c, ',')) {
+        fail(raw, "shmvar takes (pointer, size)");
+        return std::nullopt;
+      }
+      bool ok = true;
+      out.size = parseConstExpr(c, ok);
+      if (!ok) {
+        fail(raw, "size in shmvar(...) must be a constant expression");
+        return std::nullopt;
+      }
+      if (!acceptChar(c, ')') || !acceptChar(c, ')')) {
+        fail(raw, "unbalanced parentheses");
+        return std::nullopt;
+      }
+      return out;
+    }
+    if (pred == "noncore") {
+      out.kind = AnnotationKind::kNonCore;
+      if (!acceptChar(c, '(')) {
+        fail(raw, "expected '(' after noncore");
+        return std::nullopt;
+      }
+      out.pointer_name = parseIdent(c);
+      if (out.pointer_name.empty()) {
+        fail(raw, "expected pointer name in noncore(...)");
+        return std::nullopt;
+      }
+      if (!acceptChar(c, ')') || !acceptChar(c, ')')) {
+        fail(raw, "unbalanced parentheses");
+        return std::nullopt;
+      }
+      return out;
+    }
+    fail(raw, "unknown assume predicate '" + pred + "'");
+    return std::nullopt;
+  }
+  if (head == "assert") {
+    if (!acceptChar(c, '(')) {
+      fail(raw, "expected '(' after assert");
+      return std::nullopt;
+    }
+    const std::string pred = parseIdent(c);
+    if (pred != "safe") {
+      fail(raw, "assert supports only the safe(x) predicate");
+      return std::nullopt;
+    }
+    if (!acceptChar(c, '(')) {
+      fail(raw, "expected '(' after safe");
+      return std::nullopt;
+    }
+    out.kind = AnnotationKind::kAssertSafe;
+    out.value_name = parseIdent(c);
+    if (out.value_name.empty()) {
+      fail(raw, "expected variable name in safe(...)");
+      return std::nullopt;
+    }
+    if (!acceptChar(c, ')') || !acceptChar(c, ')')) {
+      fail(raw, "unbalanced parentheses");
+      return std::nullopt;
+    }
+    return out;
+  }
+  fail(raw, "unknown annotation head '" + head + "'");
+  return std::nullopt;
+}
+
+}  // namespace safeflow::annotations

@@ -1,0 +1,80 @@
+// Parser for the SafeFlow annotation language (paper §3.1, §3.2.1):
+//
+//   assume(core(ptr, offset, size))   -- monitoring-function fact
+//   assert(safe(x))                   -- critical-data requirement
+//   shminit                           -- shm initializing function marker
+//   assume(shmvar(ptr, size))         -- shm variable post-condition
+//   assume(noncore(ptr))              -- non-core region post-condition
+//
+// offset/size are integer constant expressions over literals and
+// sizeof(type-name), with + - * and parentheses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "cfront/ast.h"
+#include "cfront/types.h"
+#include "support/diagnostics.h"
+
+namespace safeflow::annotations {
+
+enum class AnnotationKind {
+  kAssumeCore,
+  kAssertSafe,
+  kShmInit,
+  kShmVar,
+  kNonCore,
+};
+
+[[nodiscard]] std::string_view annotationKindName(AnnotationKind k);
+
+struct ParsedAnnotation {
+  AnnotationKind kind = AnnotationKind::kShmInit;
+  /// Pointer being described (core/shmvar/noncore).
+  std::string pointer_name;
+  /// Value asserted safe (assert(safe(x))).
+  std::string value_name;
+  std::int64_t offset = 0;  // core
+  std::int64_t size = 0;    // core / shmvar
+  support::SourceLocation location;
+};
+
+class AnnotationParser {
+ public:
+  AnnotationParser(const cfront::TypeContext& types,
+                   const std::map<std::string, const cfront::Type*>& typedefs,
+                   support::DiagnosticEngine& diags)
+      : types_(types), typedefs_(typedefs), diags_(diags) {}
+
+  /// Parses one raw annotation; reports a diagnostic and returns nullopt on
+  /// malformed input.
+  std::optional<ParsedAnnotation> parse(const cfront::RawAnnotation& raw);
+
+ private:
+  struct Cursor {
+    std::string_view text;
+    std::size_t pos = 0;
+  };
+
+  void skipSpace(Cursor& c) const;
+  bool acceptChar(Cursor& c, char ch) const;
+  std::string parseIdent(Cursor& c) const;
+  /// Parses an integer constant expression; sets ok=false on failure.
+  std::int64_t parseConstExpr(Cursor& c, bool& ok) const;
+  std::int64_t parseTerm(Cursor& c, bool& ok) const;
+  std::int64_t parsePrimary(Cursor& c, bool& ok) const;
+  /// Resolves a type name inside sizeof(...).
+  const cfront::Type* resolveTypeName(const std::string& name,
+                                      bool is_struct) const;
+
+  void fail(const cfront::RawAnnotation& raw, const std::string& why);
+
+  const cfront::TypeContext& types_;
+  const std::map<std::string, const cfront::Type*>& typedefs_;
+  support::DiagnosticEngine& diags_;
+};
+
+}  // namespace safeflow::annotations

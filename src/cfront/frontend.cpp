@@ -1,0 +1,38 @@
+#include "cfront/frontend.h"
+
+namespace safeflow::cfront {
+
+Frontend::Frontend(std::vector<std::string> include_dirs)
+    : tu_(std::make_unique<TranslationUnit>(types_)),
+      include_dirs_(std::move(include_dirs)) {}
+
+void Frontend::predefine(std::string name, std::string value) {
+  predefines_.emplace_back(std::move(name), std::move(value));
+}
+
+bool Frontend::parseFile(const std::string& path) {
+  const std::optional<support::FileId> id = sm_.addFile(path);
+  if (!id.has_value()) {
+    diags_.error({}, "io", "cannot open file '" + path + "'");
+    return false;
+  }
+  Preprocessor pp(sm_, diags_, include_dirs_);
+  for (const auto& [name, value] : predefines_) pp.predefine(name, value);
+  return parseTokens(pp.run(*id));
+}
+
+bool Frontend::parseBuffer(std::string name, std::string text) {
+  const support::FileId id = sm_.addBuffer(std::move(name), std::move(text));
+  Preprocessor pp(sm_, diags_, include_dirs_);
+  for (const auto& [macro, value] : predefines_) pp.predefine(macro, value);
+  return parseTokens(pp.run(id));
+}
+
+bool Frontend::parseTokens(std::vector<Token> tokens) {
+  const std::size_t errors_before = diags_.errorCount();
+  Parser parser(std::move(tokens), types_, diags_);
+  parser.parseTranslationUnit(*tu_);
+  return diags_.errorCount() == errors_before;
+}
+
+}  // namespace safeflow::cfront

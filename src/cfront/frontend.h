@@ -1,0 +1,52 @@
+// Convenience driver: preprocess + parse a set of C files into one
+// TranslationUnit. Owns the SourceManager, TypeContext, and diagnostics so
+// callers get a single object with stable lifetimes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cfront/ast.h"
+#include "cfront/parser.h"
+#include "cfront/preprocessor.h"
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+
+namespace safeflow::cfront {
+
+class Frontend {
+ public:
+  explicit Frontend(std::vector<std::string> include_dirs = {});
+
+  /// Defines an object-like macro for all subsequently parsed files.
+  void predefine(std::string name, std::string value = "1");
+
+  /// Parses a file from disk into the shared translation unit. Returns
+  /// false on I/O, preprocess, or parse errors (diagnostics describe them).
+  bool parseFile(const std::string& path);
+
+  /// Parses an in-memory buffer (used heavily by tests).
+  bool parseBuffer(std::string name, std::string text);
+
+  [[nodiscard]] const TranslationUnit& unit() const { return *tu_; }
+  [[nodiscard]] TypeContext& types() { return types_; }
+  [[nodiscard]] const support::SourceManager& sources() const { return sm_; }
+  [[nodiscard]] support::SourceManager& sources() { return sm_; }
+  [[nodiscard]] const support::DiagnosticEngine& diagnostics() const {
+    return diags_;
+  }
+  [[nodiscard]] support::DiagnosticEngine& diagnostics() { return diags_; }
+
+ private:
+  bool parseTokens(std::vector<Token> tokens);
+
+  support::SourceManager sm_;
+  support::DiagnosticEngine diags_;
+  TypeContext types_;
+  std::unique_ptr<TranslationUnit> tu_;
+  std::vector<std::string> include_dirs_;
+  std::vector<std::pair<std::string, std::string>> predefines_;
+};
+
+}  // namespace safeflow::cfront

@@ -1,0 +1,377 @@
+#include "cfront/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <utility>
+
+#include "support/string_utils.h"
+
+namespace safeflow::cfront {
+
+namespace {
+
+constexpr std::array<std::pair<std::string_view, TokenKind>, 30> kKeywords{{
+    {"void", TokenKind::kKwVoid},
+    {"char", TokenKind::kKwChar},
+    {"short", TokenKind::kKwShort},
+    {"int", TokenKind::kKwInt},
+    {"long", TokenKind::kKwLong},
+    {"float", TokenKind::kKwFloat},
+    {"double", TokenKind::kKwDouble},
+    {"signed", TokenKind::kKwSigned},
+    {"unsigned", TokenKind::kKwUnsigned},
+    {"struct", TokenKind::kKwStruct},
+    {"union", TokenKind::kKwUnion},
+    {"enum", TokenKind::kKwEnum},
+    {"typedef", TokenKind::kKwTypedef},
+    {"extern", TokenKind::kKwExtern},
+    {"static", TokenKind::kKwStatic},
+    {"const", TokenKind::kKwConst},
+    {"volatile", TokenKind::kKwVolatile},
+    {"if", TokenKind::kKwIf},
+    {"else", TokenKind::kKwElse},
+    {"while", TokenKind::kKwWhile},
+    {"do", TokenKind::kKwDo},
+    {"for", TokenKind::kKwFor},
+    {"return", TokenKind::kKwReturn},
+    {"break", TokenKind::kKwBreak},
+    {"continue", TokenKind::kKwContinue},
+    {"switch", TokenKind::kKwSwitch},
+    {"case", TokenKind::kKwCase},
+    {"default", TokenKind::kKwDefault},
+    {"sizeof", TokenKind::kKwSizeof},
+    {"goto", TokenKind::kKwGoto},
+}};
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+TokenKind classifyKeyword(std::string_view spelling) {
+  for (const auto& [name, kind] : kKeywords) {
+    if (name == spelling) return kind;
+  }
+  return TokenKind::kIdentifier;
+}
+
+std::string_view tokenKindName(TokenKind k) {
+  switch (k) {
+    case TokenKind::kEof: return "end of file";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kIntLiteral: return "integer literal";
+    case TokenKind::kFloatLiteral: return "float literal";
+    case TokenKind::kCharLiteral: return "char literal";
+    case TokenKind::kStringLiteral: return "string literal";
+    case TokenKind::kAnnotation: return "SafeFlow annotation";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kSemi: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kArrow: return "'->'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kQuestion: return "'?'";
+    case TokenKind::kHash: return "'#'";
+    default: return "token";
+  }
+}
+
+Lexer::Lexer(support::FileId file, std::string_view buffer,
+             support::DiagnosticEngine& diags)
+    : file_(file), buffer_(buffer), diags_(diags) {}
+
+char Lexer::peek(std::size_t ahead) const {
+  return (pos_ + ahead < buffer_.size()) ? buffer_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = buffer_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+    at_line_start_ = true;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+support::SourceLocation Lexer::here() const {
+  return support::SourceLocation{file_, line_, column_};
+}
+
+Token Lexer::makeToken(TokenKind kind, support::SourceLocation loc,
+                       std::string text) {
+  Token t;
+  t.kind = kind;
+  t.text = std::move(text);
+  t.location = loc;
+  return t;
+}
+
+Token Lexer::next() {
+  while (!atEnd()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+        c == '\v') {
+      advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const support::SourceLocation loc = here();
+      advance();
+      advance();
+      Token annot;
+      if (lexBlockComment(loc, annot)) return annot;
+      continue;
+    }
+    break;
+  }
+  if (atEnd()) return makeToken(TokenKind::kEof, here());
+
+  const support::SourceLocation loc = here();
+  const bool line_start = at_line_start_;
+  at_line_start_ = false;
+  const char c = peek();
+
+  Token tok;
+  if (isIdentStart(c)) {
+    tok = lexIdentifier(loc);
+  } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+             (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+    tok = lexNumber(loc);
+  } else if (c == '\'') {
+    tok = lexCharLiteral(loc);
+  } else if (c == '"') {
+    tok = lexStringLiteral(loc);
+  } else {
+    advance();
+    const char n = peek();
+    auto two = [&](char second, TokenKind k2, TokenKind k1) {
+      if (n == second) {
+        advance();
+        return k2;
+      }
+      return k1;
+    };
+    TokenKind kind = TokenKind::kEof;
+    switch (c) {
+      case '(': kind = TokenKind::kLParen; break;
+      case ')': kind = TokenKind::kRParen; break;
+      case '{': kind = TokenKind::kLBrace; break;
+      case '}': kind = TokenKind::kRBrace; break;
+      case '[': kind = TokenKind::kLBracket; break;
+      case ']': kind = TokenKind::kRBracket; break;
+      case ';': kind = TokenKind::kSemi; break;
+      case ',': kind = TokenKind::kComma; break;
+      case '?': kind = TokenKind::kQuestion; break;
+      case ':': kind = TokenKind::kColon; break;
+      case '~': kind = TokenKind::kTilde; break;
+      case '#': kind = TokenKind::kHash; break;
+      case '.':
+        if (n == '.' && peek(1) == '.') {
+          advance();
+          advance();
+          kind = TokenKind::kEllipsis;
+        } else {
+          kind = TokenKind::kDot;
+        }
+        break;
+      case '+':
+        if (n == '+') {
+          advance();
+          kind = TokenKind::kPlusPlus;
+        } else {
+          kind = two('=', TokenKind::kPlusAssign, TokenKind::kPlus);
+        }
+        break;
+      case '-':
+        if (n == '-') {
+          advance();
+          kind = TokenKind::kMinusMinus;
+        } else if (n == '>') {
+          advance();
+          kind = TokenKind::kArrow;
+        } else {
+          kind = two('=', TokenKind::kMinusAssign, TokenKind::kMinus);
+        }
+        break;
+      case '*': kind = two('=', TokenKind::kStarAssign, TokenKind::kStar); break;
+      case '/': kind = two('=', TokenKind::kSlashAssign, TokenKind::kSlash); break;
+      case '%': kind = two('=', TokenKind::kPercentAssign, TokenKind::kPercent); break;
+      case '^': kind = two('=', TokenKind::kCaretAssign, TokenKind::kCaret); break;
+      case '!': kind = two('=', TokenKind::kBangEq, TokenKind::kBang); break;
+      case '=': kind = two('=', TokenKind::kEqEq, TokenKind::kAssign); break;
+      case '&':
+        if (n == '&') {
+          advance();
+          kind = TokenKind::kAmpAmp;
+        } else {
+          kind = two('=', TokenKind::kAmpAssign, TokenKind::kAmp);
+        }
+        break;
+      case '|':
+        if (n == '|') {
+          advance();
+          kind = TokenKind::kPipePipe;
+        } else {
+          kind = two('=', TokenKind::kPipeAssign, TokenKind::kPipe);
+        }
+        break;
+      case '<':
+        if (n == '<') {
+          advance();
+          kind = (peek() == '=')
+                     ? (advance(), TokenKind::kShlAssign)
+                     : TokenKind::kShl;
+        } else {
+          kind = two('=', TokenKind::kLessEq, TokenKind::kLess);
+        }
+        break;
+      case '>':
+        if (n == '>') {
+          advance();
+          kind = (peek() == '=')
+                     ? (advance(), TokenKind::kShrAssign)
+                     : TokenKind::kShr;
+        } else {
+          kind = two('=', TokenKind::kGreaterEq, TokenKind::kGreater);
+        }
+        break;
+      default:
+        diags_.error(loc, "lex", "unexpected character '" +
+                                     std::string(1, c) + "'");
+        return next();
+    }
+    tok = makeToken(kind, loc);
+  }
+  tok.at_line_start = line_start;
+  return tok;
+}
+
+Token Lexer::lexIdentifier(support::SourceLocation loc) {
+  std::string text;
+  while (!atEnd() && isIdentCont(peek())) text.push_back(advance());
+  const TokenKind kind = classifyKeyword(text);
+  return makeToken(kind, loc, kind == TokenKind::kIdentifier
+                                  ? std::move(text)
+                                  : std::string(text));
+}
+
+Token Lexer::lexNumber(support::SourceLocation loc) {
+  std::string text;
+  bool is_float = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    text.push_back(advance());
+    text.push_back(advance());
+    while (!atEnd() && std::isxdigit(static_cast<unsigned char>(peek()))) {
+      text.push_back(advance());
+    }
+  } else {
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      text.push_back(advance());
+    }
+    if (peek() == '.') {
+      is_float = true;
+      text.push_back(advance());
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        text.push_back(advance());
+      }
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      is_float = true;
+      text.push_back(advance());
+      if (peek() == '+' || peek() == '-') text.push_back(advance());
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        text.push_back(advance());
+      }
+    }
+  }
+  // Suffixes (u, l, f) are consumed but not distinguished further.
+  while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L' ||
+         peek() == 'f' || peek() == 'F') {
+    if (peek() == 'f' || peek() == 'F') is_float = true;
+    advance();
+  }
+  return makeToken(is_float ? TokenKind::kFloatLiteral
+                            : TokenKind::kIntLiteral,
+                   loc, std::move(text));
+}
+
+Token Lexer::lexCharLiteral(support::SourceLocation loc) {
+  advance();  // opening quote
+  std::string text;
+  while (!atEnd() && peek() != '\'') {
+    if (peek() == '\\') text.push_back(advance());
+    if (!atEnd()) text.push_back(advance());
+  }
+  if (atEnd()) {
+    diags_.error(loc, "lex", "unterminated character literal");
+  } else {
+    advance();  // closing quote
+  }
+  return makeToken(TokenKind::kCharLiteral, loc, std::move(text));
+}
+
+Token Lexer::lexStringLiteral(support::SourceLocation loc) {
+  advance();  // opening quote
+  std::string text;
+  while (!atEnd() && peek() != '"') {
+    if (peek() == '\\') text.push_back(advance());
+    if (!atEnd()) text.push_back(advance());
+  }
+  if (atEnd()) {
+    diags_.error(loc, "lex", "unterminated string literal");
+  } else {
+    advance();  // closing quote
+  }
+  return makeToken(TokenKind::kStringLiteral, loc, std::move(text));
+}
+
+bool Lexer::lexBlockComment(support::SourceLocation loc, Token& out) {
+  std::string body;
+  while (!atEnd()) {
+    if (peek() == '*' && peek(1) == '/') {
+      advance();
+      advance();
+      // Annotation comments begin (after any leading '*'s and spaces) with
+      // the marker string used by the paper's examples.
+      std::string_view view = support::trim(body);
+      while (!view.empty() && view.front() == '*') {
+        view.remove_prefix(1);
+        view = support::trim(view);
+      }
+      constexpr std::string_view kMarker = "SafeFlow Annotation";
+      if (support::startsWith(view, kMarker)) {
+        std::string_view rest = view.substr(kMarker.size());
+        // Strip a trailing "/**" artifact of the paper's closing style.
+        while (!rest.empty() && (rest.back() == '*' || rest.back() == '/')) {
+          rest.remove_suffix(1);
+        }
+        out = makeToken(TokenKind::kAnnotation, loc,
+                        std::string(support::trim(rest)));
+        return true;
+      }
+      return false;
+    }
+    body.push_back(advance());
+  }
+  diags_.error(loc, "lex", "unterminated block comment");
+  return false;
+}
+
+}  // namespace safeflow::cfront

@@ -1,0 +1,1203 @@
+#include "cfront/parser.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace safeflow::cfront {
+
+namespace {
+
+/// Binary operator precedence for precedence climbing; higher binds tighter.
+int binaryPrecedence(TokenKind k) {
+  switch (k) {
+    case TokenKind::kStar:
+    case TokenKind::kSlash:
+    case TokenKind::kPercent:
+      return 10;
+    case TokenKind::kPlus:
+    case TokenKind::kMinus:
+      return 9;
+    case TokenKind::kShl:
+    case TokenKind::kShr:
+      return 8;
+    case TokenKind::kLess:
+    case TokenKind::kGreater:
+    case TokenKind::kLessEq:
+    case TokenKind::kGreaterEq:
+      return 7;
+    case TokenKind::kEqEq:
+    case TokenKind::kBangEq:
+      return 6;
+    case TokenKind::kAmp:
+      return 5;
+    case TokenKind::kCaret:
+      return 4;
+    case TokenKind::kPipe:
+      return 3;
+    case TokenKind::kAmpAmp:
+      return 2;
+    case TokenKind::kPipePipe:
+      return 1;
+    default:
+      return -1;
+  }
+}
+
+BinaryOp binaryOpFor(TokenKind k) {
+  switch (k) {
+    case TokenKind::kStar: return BinaryOp::kMul;
+    case TokenKind::kSlash: return BinaryOp::kDiv;
+    case TokenKind::kPercent: return BinaryOp::kRem;
+    case TokenKind::kPlus: return BinaryOp::kAdd;
+    case TokenKind::kMinus: return BinaryOp::kSub;
+    case TokenKind::kShl: return BinaryOp::kShl;
+    case TokenKind::kShr: return BinaryOp::kShr;
+    case TokenKind::kLess: return BinaryOp::kLt;
+    case TokenKind::kGreater: return BinaryOp::kGt;
+    case TokenKind::kLessEq: return BinaryOp::kLe;
+    case TokenKind::kGreaterEq: return BinaryOp::kGe;
+    case TokenKind::kEqEq: return BinaryOp::kEq;
+    case TokenKind::kBangEq: return BinaryOp::kNe;
+    case TokenKind::kAmp: return BinaryOp::kBitAnd;
+    case TokenKind::kCaret: return BinaryOp::kBitXor;
+    case TokenKind::kPipe: return BinaryOp::kBitOr;
+    case TokenKind::kAmpAmp: return BinaryOp::kLogAnd;
+    case TokenKind::kPipePipe: return BinaryOp::kLogOr;
+    default: assert(false); return BinaryOp::kAdd;
+  }
+}
+
+std::optional<BinaryOp> compoundOpFor(TokenKind k) {
+  switch (k) {
+    case TokenKind::kPlusAssign: return BinaryOp::kAdd;
+    case TokenKind::kMinusAssign: return BinaryOp::kSub;
+    case TokenKind::kStarAssign: return BinaryOp::kMul;
+    case TokenKind::kSlashAssign: return BinaryOp::kDiv;
+    case TokenKind::kPercentAssign: return BinaryOp::kRem;
+    case TokenKind::kAmpAssign: return BinaryOp::kBitAnd;
+    case TokenKind::kPipeAssign: return BinaryOp::kBitOr;
+    case TokenKind::kCaretAssign: return BinaryOp::kBitXor;
+    case TokenKind::kShlAssign: return BinaryOp::kShl;
+    case TokenKind::kShrAssign: return BinaryOp::kShr;
+    default: return std::nullopt;
+  }
+}
+
+std::int64_t parseIntText(const std::string& text) {
+  return static_cast<std::int64_t>(std::strtoll(text.c_str(), nullptr, 0));
+}
+
+std::int64_t charLiteralValue(const std::string& text) {
+  if (text.empty()) return 0;
+  if (text[0] != '\\') return static_cast<unsigned char>(text[0]);
+  if (text.size() < 2) return 0;
+  switch (text[1]) {
+    case 'n': return '\n';
+    case 't': return '\t';
+    case 'r': return '\r';
+    case '0': return 0;
+    case '\\': return '\\';
+    case '\'': return '\'';
+    case '"': return '"';
+    default: return static_cast<unsigned char>(text[1]);
+  }
+}
+
+}  // namespace
+
+Parser::Parser(std::vector<Token> tokens, TypeContext& types,
+               support::DiagnosticEngine& diags)
+    : tokens_(std::move(tokens)), types_(types), diags_(diags) {
+  assert(!tokens_.empty() && tokens_.back().is(TokenKind::kEof));
+}
+
+const Token& Parser::peek(std::size_t ahead) const {
+  const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+  return tokens_[i];
+}
+
+const Token& Parser::advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::accept(TokenKind k) {
+  if (check(k)) {
+    advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::expect(TokenKind k, std::string_view context) {
+  if (accept(k)) return true;
+  diags_.error(peek().location, "parse",
+               "expected " + std::string(tokenKindName(k)) + " " +
+                   std::string(context) + ", found '" + peek().text + "' (" +
+                   std::string(tokenKindName(peek().kind)) + ")");
+  return false;
+}
+
+void Parser::synchronizeToSemi() {
+  int depth = 0;
+  while (!check(TokenKind::kEof)) {
+    if (check(TokenKind::kLBrace)) ++depth;
+    if (check(TokenKind::kRBrace)) {
+      if (depth == 0) return;
+      --depth;
+    }
+    if (check(TokenKind::kSemi) && depth == 0) {
+      advance();
+      return;
+    }
+    advance();
+  }
+}
+
+void Parser::declareValue(const std::string& name, const ValueDecl* decl) {
+  assert(!scopes_.empty());
+  scopes_.back().values[name] = decl;
+}
+
+const ValueDecl* Parser::lookupValue(const std::string& name) const {
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    auto found = it->values.find(name);
+    if (found != it->values.end()) return found->second;
+  }
+  return nullptr;
+}
+
+const std::int64_t* Parser::lookupEnumConstant(const std::string& name) const {
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    auto found = it->enum_constants.find(name);
+    if (found != it->enum_constants.end()) return &found->second;
+  }
+  return nullptr;
+}
+
+bool Parser::startsTypeAt(std::size_t ahead) const {
+  switch (peek(ahead).kind) {
+    case TokenKind::kKwVoid:
+    case TokenKind::kKwChar:
+    case TokenKind::kKwShort:
+    case TokenKind::kKwInt:
+    case TokenKind::kKwLong:
+    case TokenKind::kKwFloat:
+    case TokenKind::kKwDouble:
+    case TokenKind::kKwSigned:
+    case TokenKind::kKwUnsigned:
+    case TokenKind::kKwStruct:
+    case TokenKind::kKwUnion:
+    case TokenKind::kKwEnum:
+    case TokenKind::kKwConst:
+    case TokenKind::kKwVolatile:
+    case TokenKind::kKwTypedef:
+    case TokenKind::kKwExtern:
+    case TokenKind::kKwStatic:
+      return true;
+    case TokenKind::kIdentifier:
+      return typedefs_.contains(peek(ahead).text);
+    default:
+      return false;
+  }
+}
+
+bool Parser::parseDeclSpec(DeclSpec& spec) {
+  bool saw_unsigned = false;
+  bool saw_signed = false;
+  int long_count = 0;
+  bool saw_short = false;
+  const Type* base = nullptr;
+
+  while (true) {
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokenKind::kKwTypedef: spec.is_typedef = true; advance(); continue;
+      case TokenKind::kKwExtern: spec.is_extern = true; advance(); continue;
+      case TokenKind::kKwStatic: spec.is_static = true; advance(); continue;
+      case TokenKind::kKwConst:
+      case TokenKind::kKwVolatile:
+        advance();  // qualifiers are accepted and ignored
+        continue;
+      case TokenKind::kKwVoid: base = types_.voidType(); advance(); continue;
+      case TokenKind::kKwChar: base = types_.charType(); advance(); continue;
+      case TokenKind::kKwShort: saw_short = true; advance(); continue;
+      case TokenKind::kKwInt:
+        if (base == nullptr) base = types_.intType();
+        advance();
+        continue;
+      case TokenKind::kKwLong: ++long_count; advance(); continue;
+      case TokenKind::kKwFloat: base = types_.floatType(); advance(); continue;
+      case TokenKind::kKwDouble:
+        base = types_.doubleType();
+        advance();
+        continue;
+      case TokenKind::kKwSigned: saw_signed = true; advance(); continue;
+      case TokenKind::kKwUnsigned: saw_unsigned = true; advance(); continue;
+      case TokenKind::kKwStruct:
+      case TokenKind::kKwUnion:
+        base = parseStructSpecifier();
+        continue;
+      case TokenKind::kKwEnum:
+        base = parseEnumSpecifier();
+        continue;
+      case TokenKind::kIdentifier: {
+        if (base == nullptr && !saw_short && long_count == 0 &&
+            !saw_signed && !saw_unsigned) {
+          auto it = typedefs_.find(t.text);
+          if (it != typedefs_.end()) {
+            base = it->second;
+            advance();
+            continue;
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    break;
+  }
+
+  if (saw_short) {
+    base = types_.integerType(2, !saw_unsigned);
+  } else if (long_count > 0) {
+    if (base != nullptr && base->isFloat() && base->size() == 8) {
+      // long double -> treated as double
+    } else {
+      base = types_.integerType(8, !saw_unsigned);
+    }
+  } else if (saw_unsigned || saw_signed) {
+    const std::uint64_t bytes = (base != nullptr) ? base->size() : 4;
+    base = types_.integerType(bytes == 0 ? 4 : bytes, !saw_unsigned);
+  }
+
+  if (base == nullptr) return false;
+  spec.base = base;
+  return true;
+}
+
+const Type* Parser::parseStructSpecifier() {
+  const bool is_union = peek().is(TokenKind::kKwUnion);
+  advance();  // struct / union (unions are laid out as structs; the corpora
+              // do not rely on overlap semantics)
+  std::string tag;
+  if (check(TokenKind::kIdentifier)) tag = advance().text;
+  static unsigned anon_counter = 0;
+  if (tag.empty()) tag = "<anon" + std::to_string(anon_counter++) + ">";
+  if (is_union) tag = "union " + tag;
+
+  StructType* st = types_.getOrCreateStruct(tag);
+  if (accept(TokenKind::kLBrace)) {
+    std::vector<StructField> fields;
+    while (!check(TokenKind::kRBrace) && !check(TokenKind::kEof)) {
+      DeclSpec spec;
+      if (!parseDeclSpec(spec)) {
+        diags_.error(peek().location, "parse",
+                     "expected field type in struct '" + tag + "'");
+        synchronizeToSemi();
+        continue;
+      }
+      // One or more declarators per field line.
+      do {
+        Declarator d;
+        if (!parseDeclarator(spec.base, d)) break;
+        fields.push_back(StructField{d.name, d.type, 0});
+      } while (accept(TokenKind::kComma));
+      expect(TokenKind::kSemi, "after struct field");
+    }
+    expect(TokenKind::kRBrace, "to close struct definition");
+    if (!st->isComplete()) st->complete(std::move(fields));
+  }
+  return st;
+}
+
+const Type* Parser::parseEnumSpecifier() {
+  advance();  // enum
+  if (check(TokenKind::kIdentifier)) advance();  // tag, unused
+  if (accept(TokenKind::kLBrace)) {
+    std::int64_t next_value = 0;
+    while (!check(TokenKind::kRBrace) && !check(TokenKind::kEof)) {
+      if (!check(TokenKind::kIdentifier)) {
+        diags_.error(peek().location, "parse", "expected enumerator name");
+        synchronizeToSemi();
+        break;
+      }
+      const std::string name = advance().text;
+      if (accept(TokenKind::kAssign)) {
+        ExprPtr value = parseConditional();
+        bool ok = true;
+        next_value = evalConstExpr(value.get(), &ok);
+        if (!ok) {
+          diags_.error(peek().location, "parse",
+                       "enumerator value must be constant");
+        }
+      }
+      assert(!scopes_.empty());
+      scopes_.back().enum_constants[name] = next_value;
+      ++next_value;
+      if (!accept(TokenKind::kComma)) break;
+    }
+    expect(TokenKind::kRBrace, "to close enum definition");
+  }
+  return types_.intType();
+}
+
+bool Parser::parseDeclarator(const Type* base, Declarator& out) {
+  const Type* type = base;
+  while (accept(TokenKind::kStar)) {
+    type = types_.pointerTo(type);
+    while (check(TokenKind::kKwConst) || check(TokenKind::kKwVolatile)) {
+      advance();
+    }
+  }
+
+  // Function pointer declarator: (*name)(params)
+  if (check(TokenKind::kLParen) && peek(1).is(TokenKind::kStar)) {
+    advance();  // (
+    advance();  // *
+    if (!check(TokenKind::kIdentifier)) {
+      diags_.error(peek().location, "parse",
+                   "expected name in function-pointer declarator");
+      return false;
+    }
+    out.name = peek().text;
+    out.loc = peek().location;
+    advance();
+    if (!expect(TokenKind::kRParen, "after function-pointer name")) {
+      return false;
+    }
+    if (!expect(TokenKind::kLParen, "to start parameter list")) return false;
+    std::vector<const Type*> params;
+    bool variadic = false;
+    if (!check(TokenKind::kRParen)) {
+      do {
+        if (accept(TokenKind::kEllipsis)) {
+          variadic = true;
+          break;
+        }
+        DeclSpec spec;
+        if (!parseDeclSpec(spec)) {
+          diags_.error(peek().location, "parse", "expected parameter type");
+          return false;
+        }
+        Declarator d;
+        if (!parseDeclarator(spec.base, d)) return false;
+        if (!(d.type->isVoid() && d.name.empty())) {
+          params.push_back(decay(d.type));
+        }
+      } while (accept(TokenKind::kComma));
+    }
+    if (!expect(TokenKind::kRParen, "to close parameter list")) return false;
+    const FunctionType* ft =
+        types_.functionType(type, std::move(params), variadic);
+    out.type = types_.pointerTo(ft);
+    return true;
+  }
+
+  if (check(TokenKind::kIdentifier)) {
+    out.name = peek().text;
+    out.loc = peek().location;
+    advance();
+  } else {
+    out.loc = peek().location;  // abstract declarator (e.g. in casts)
+  }
+
+  // Function declarator.
+  if (check(TokenKind::kLParen) && !out.name.empty()) {
+    advance();
+    std::vector<const Type*> param_types;
+    bool variadic = false;
+    std::vector<std::unique_ptr<VarDecl>> params;
+    if (!check(TokenKind::kRParen)) {
+      do {
+        if (accept(TokenKind::kEllipsis)) {
+          variadic = true;
+          break;
+        }
+        DeclSpec spec;
+        if (!parseDeclSpec(spec)) {
+          diags_.error(peek().location, "parse", "expected parameter type");
+          return false;
+        }
+        Declarator d;
+        if (!parseDeclarator(spec.base, d)) return false;
+        if (d.type->isVoid() && d.name.empty()) break;  // f(void)
+        const Type* pt = decay(d.type);
+        param_types.push_back(pt);
+        params.push_back(std::make_unique<VarDecl>(
+            d.name, pt, StorageKind::kParam,
+            d.loc.valid() ? d.loc : out.loc));
+      } while (accept(TokenKind::kComma));
+    }
+    if (!expect(TokenKind::kRParen, "to close parameter list")) return false;
+    out.type = types_.functionType(type, std::move(param_types), variadic);
+    out.is_function = true;
+    out.params = std::move(params);
+    return true;
+  }
+
+  // Array suffixes (possibly multi-dimensional).
+  std::vector<std::uint64_t> dims;
+  while (accept(TokenKind::kLBracket)) {
+    if (check(TokenKind::kRBracket)) {
+      dims.push_back(0);  // incomplete array (extern decl / param)
+    } else {
+      ExprPtr size = parseConditional();
+      bool ok = true;
+      const std::int64_t n = evalConstExpr(size.get(), &ok);
+      if (!ok || n < 0) {
+        diags_.error(out.loc, "parse", "array size must be a non-negative "
+                                       "integer constant");
+        dims.push_back(0);
+      } else {
+        dims.push_back(static_cast<std::uint64_t>(n));
+      }
+    }
+    if (!expect(TokenKind::kRBracket, "to close array bound")) return false;
+  }
+  for (auto it = dims.rbegin(); it != dims.rend(); ++it) {
+    type = types_.arrayOf(type, *it);
+  }
+
+  out.type = type;
+  return true;
+}
+
+const Type* Parser::decay(const Type* t) {
+  if (t->isArray()) {
+    return types_.pointerTo(static_cast<const ArrayType*>(t)->element());
+  }
+  if (t->isFunction()) return types_.pointerTo(t);
+  return t;
+}
+
+const Type* Parser::arithmeticResult(const Type* a, const Type* b) {
+  if (a->isFloat() || b->isFloat()) {
+    return (a->size() == 8 || b->size() == 8) ? types_.doubleType()
+                                              : types_.floatType();
+  }
+  // Integer promotion: at least int, widest wins, unsigned wins ties.
+  const std::uint64_t bytes = std::max<std::uint64_t>(
+      4, std::max(a->size(), b->size()));
+  const bool a_signed =
+      a->isInteger() && static_cast<const IntegerType*>(a)->isSigned();
+  const bool b_signed =
+      b->isInteger() && static_cast<const IntegerType*>(b)->isSigned();
+  return types_.integerType(bytes, a_signed && b_signed);
+}
+
+bool Parser::parseTranslationUnit(TranslationUnit& tu) {
+  tu_ = &tu;
+  scopes_.clear();
+  pushScope();
+  // Pre-register previously parsed decls (multi-file analysis reuses the
+  // same TU), so later files see earlier globals/functions/typedefs.
+  for (const auto& g : tu.globals()) declareValue(g->name(), g.get());
+  for (const auto& f : tu.functions()) declareValue(f->name(), f.get());
+  for (const auto& [name, type] : tu.typedefs()) typedefs_[name] = type;
+
+  std::vector<RawAnnotation> pending;
+  while (!check(TokenKind::kEof) && !fatal_) {
+    if (check(TokenKind::kAnnotation)) {
+      const Token& t = advance();
+      pending.push_back(RawAnnotation{t.text, t.location});
+      continue;
+    }
+    if (!parseExternalDeclaration(tu, pending)) {
+      synchronizeToSemi();
+    }
+  }
+  popScope();
+  return !fatal_ && !diags_.hasErrors();
+}
+
+bool Parser::parseExternalDeclaration(TranslationUnit& tu,
+                                      std::vector<RawAnnotation>& pending) {
+  if (accept(TokenKind::kSemi)) return true;
+
+  DeclSpec spec;
+  if (!parseDeclSpec(spec)) {
+    diags_.error(peek().location, "parse",
+                 "expected declaration, found '" + peek().text + "'");
+    advance();
+    return false;
+  }
+
+  // `struct S { ... };` or `enum {...};` alone.
+  if (accept(TokenKind::kSemi)) return true;
+
+  bool first = true;
+  do {
+    Declarator d;
+    if (!parseDeclarator(spec.base, d)) return false;
+    if (d.name.empty()) {
+      diags_.error(d.loc, "parse", "expected declarator name");
+      return false;
+    }
+
+    if (spec.is_typedef) {
+      typedefs_[d.name] = d.type;
+      tu.addTypedef(d.name, d.type);
+      continue;
+    }
+
+    if (d.is_function) {
+      auto fn = std::make_unique<FunctionDecl>(
+          d.name, static_cast<const FunctionType*>(d.type),
+          std::move(d.params), d.loc);
+      FunctionDecl* fn_raw = fn.get();
+      for (RawAnnotation& a : pending) fn_raw->addEntryAnnotation(std::move(a));
+      pending.clear();
+      // Annotations between the signature and the body.
+      while (check(TokenKind::kAnnotation)) {
+        const Token& t = advance();
+        fn_raw->addEntryAnnotation(RawAnnotation{t.text, t.location});
+      }
+      if (first && check(TokenKind::kLBrace)) {
+        tu.addFunction(std::move(fn));
+        declareValue(d.name, fn_raw);
+        pushScope();
+        for (const auto& p : fn_raw->params()) {
+          if (!p->name().empty()) declareValue(p->name(), p.get());
+        }
+        StmtPtr body = parseCompound();
+        popScope();
+        if (body == nullptr) return false;
+        fn_raw->setBody(std::move(body));
+        return true;
+      }
+      tu.addFunction(std::move(fn));
+      declareValue(d.name, fn_raw);
+      continue;
+    }
+
+    // Global variable.
+    const StorageKind storage =
+        spec.is_extern ? StorageKind::kExtern : StorageKind::kGlobal;
+    auto var = std::make_unique<VarDecl>(d.name, d.type, storage, d.loc);
+    if (accept(TokenKind::kAssign)) {
+      var->setInit(parseInitializer(d.type));
+    }
+    VarDecl* raw = tu.addGlobal(std::move(var));
+    declareValue(d.name, raw);
+    first = false;
+  } while (accept(TokenKind::kComma));
+
+  if (!pending.empty()) {
+    diags_.warning(pending.front().location, "annotation",
+                   "annotation not attached to a function; ignored");
+    pending.clear();
+  }
+  return expect(TokenKind::kSemi, "after declaration");
+}
+
+StmtPtr Parser::parseLocalDeclaration() {
+  const SourceLocation loc = peek().location;
+  DeclSpec spec;
+  if (!parseDeclSpec(spec)) return nullptr;
+  if (spec.is_typedef) {
+    // Local typedefs resolve like globals; rare in corpora but harmless.
+    do {
+      Declarator d;
+      if (!parseDeclarator(spec.base, d)) break;
+      typedefs_[d.name] = d.type;
+      tu_->addTypedef(d.name, d.type);
+    } while (accept(TokenKind::kComma));
+    expect(TokenKind::kSemi, "after typedef");
+    return std::make_unique<NullStmt>(loc);
+  }
+  std::vector<std::unique_ptr<VarDecl>> decls;
+  do {
+    Declarator d;
+    if (!parseDeclarator(spec.base, d)) break;
+    if (d.name.empty()) {
+      diags_.error(d.loc, "parse", "expected variable name");
+      break;
+    }
+    auto var = std::make_unique<VarDecl>(
+        d.name, d.type,
+        spec.is_extern ? StorageKind::kExtern : StorageKind::kLocal, d.loc);
+    if (accept(TokenKind::kAssign)) var->setInit(parseInitializer(d.type));
+    declareValue(d.name, var.get());
+    decls.push_back(std::move(var));
+  } while (accept(TokenKind::kComma));
+  expect(TokenKind::kSemi, "after declaration");
+  return std::make_unique<DeclStmt>(std::move(decls), loc);
+}
+
+StmtPtr Parser::parseCompound() {
+  const SourceLocation loc = peek().location;
+  if (!expect(TokenKind::kLBrace, "to open block")) return nullptr;
+  pushScope();
+  std::vector<StmtPtr> stmts;
+  while (!check(TokenKind::kRBrace) && !check(TokenKind::kEof)) {
+    StmtPtr s = parseStatement();
+    if (s != nullptr) stmts.push_back(std::move(s));
+  }
+  popScope();
+  expect(TokenKind::kRBrace, "to close block");
+  return std::make_unique<CompoundStmt>(std::move(stmts), loc);
+}
+
+StmtPtr Parser::parseStatement() {
+  const SourceLocation loc = peek().location;
+  switch (peek().kind) {
+    case TokenKind::kLBrace:
+      return parseCompound();
+    case TokenKind::kSemi:
+      advance();
+      return std::make_unique<NullStmt>(loc);
+    case TokenKind::kAnnotation: {
+      const Token& t = advance();
+      return std::make_unique<AnnotationStmt>(
+          RawAnnotation{t.text, t.location}, loc);
+    }
+    case TokenKind::kKwIf: {
+      advance();
+      expect(TokenKind::kLParen, "after 'if'");
+      ExprPtr cond = parseExpr();
+      expect(TokenKind::kRParen, "after if condition");
+      StmtPtr then = parseStatement();
+      StmtPtr otherwise;
+      if (accept(TokenKind::kKwElse)) otherwise = parseStatement();
+      return std::make_unique<IfStmt>(std::move(cond), std::move(then),
+                                      std::move(otherwise), loc);
+    }
+    case TokenKind::kKwWhile: {
+      advance();
+      expect(TokenKind::kLParen, "after 'while'");
+      ExprPtr cond = parseExpr();
+      expect(TokenKind::kRParen, "after while condition");
+      StmtPtr body = parseStatement();
+      return std::make_unique<WhileStmt>(std::move(cond), std::move(body),
+                                         loc);
+    }
+    case TokenKind::kKwDo: {
+      advance();
+      StmtPtr body = parseStatement();
+      expect(TokenKind::kKwWhile, "after do body");
+      expect(TokenKind::kLParen, "after 'while'");
+      ExprPtr cond = parseExpr();
+      expect(TokenKind::kRParen, "after do-while condition");
+      expect(TokenKind::kSemi, "after do-while");
+      return std::make_unique<DoStmt>(std::move(body), std::move(cond), loc);
+    }
+    case TokenKind::kKwFor: {
+      advance();
+      expect(TokenKind::kLParen, "after 'for'");
+      pushScope();
+      StmtPtr init;
+      if (!accept(TokenKind::kSemi)) {
+        if (startsType()) {
+          init = parseLocalDeclaration();
+        } else {
+          ExprPtr e = parseExpr();
+          expect(TokenKind::kSemi, "after for initializer");
+          init = std::make_unique<ExprStmt>(std::move(e), loc);
+        }
+      }
+      ExprPtr cond;
+      if (!check(TokenKind::kSemi)) cond = parseExpr();
+      expect(TokenKind::kSemi, "after for condition");
+      ExprPtr step;
+      if (!check(TokenKind::kRParen)) step = parseExpr();
+      expect(TokenKind::kRParen, "to close for header");
+      StmtPtr body = parseStatement();
+      popScope();
+      return std::make_unique<ForStmt>(std::move(init), std::move(cond),
+                                       std::move(step), std::move(body), loc);
+    }
+    case TokenKind::kKwReturn: {
+      advance();
+      ExprPtr value;
+      if (!check(TokenKind::kSemi)) value = parseExpr();
+      expect(TokenKind::kSemi, "after return");
+      return std::make_unique<ReturnStmt>(std::move(value), loc);
+    }
+    case TokenKind::kKwBreak:
+      advance();
+      expect(TokenKind::kSemi, "after break");
+      return std::make_unique<BreakStmt>(loc);
+    case TokenKind::kKwContinue:
+      advance();
+      expect(TokenKind::kSemi, "after continue");
+      return std::make_unique<ContinueStmt>(loc);
+    case TokenKind::kKwSwitch: {
+      advance();
+      expect(TokenKind::kLParen, "after 'switch'");
+      ExprPtr cond = parseExpr();
+      expect(TokenKind::kRParen, "after switch condition");
+      StmtPtr body = parseStatement();
+      return std::make_unique<SwitchStmt>(std::move(cond), std::move(body),
+                                          loc);
+    }
+    case TokenKind::kKwCase: {
+      advance();
+      ExprPtr value = parseConditional();
+      bool ok = true;
+      const std::int64_t v = evalConstExpr(value.get(), &ok);
+      if (!ok) diags_.error(loc, "parse", "case label must be constant");
+      expect(TokenKind::kColon, "after case label");
+      return std::make_unique<CaseStmt>(v, loc);
+    }
+    case TokenKind::kKwDefault:
+      advance();
+      expect(TokenKind::kColon, "after 'default'");
+      return std::make_unique<CaseStmt>(std::nullopt, loc);
+    case TokenKind::kKwGoto:
+      diags_.error(loc, "parse", "goto is outside the supported C subset");
+      synchronizeToSemi();
+      return std::make_unique<NullStmt>(loc);
+    default:
+      break;
+  }
+
+  if (startsType()) return parseLocalDeclaration();
+
+  ExprPtr e = parseExpr();
+  expect(TokenKind::kSemi, "after expression statement");
+  return std::make_unique<ExprStmt>(std::move(e), loc);
+}
+
+ExprPtr Parser::parseInitializer(const Type* type) {
+  if (!check(TokenKind::kLBrace)) return parseAssignment();
+  const SourceLocation loc = advance().location;
+  std::vector<ExprPtr> items;
+  if (!check(TokenKind::kRBrace)) {
+    // Element type for nested typing: array element or struct field.
+    do {
+      if (check(TokenKind::kRBrace)) break;  // trailing comma
+      const Type* elem = types_.intType();
+      if (type != nullptr && type->isArray()) {
+        elem = static_cast<const ArrayType*>(type)->element();
+      } else if (type != nullptr && type->isStruct()) {
+        const auto* st = static_cast<const StructType*>(type);
+        if (items.size() < st->fields().size()) {
+          elem = st->fields()[items.size()].type;
+        }
+      }
+      items.push_back(parseInitializer(elem));
+    } while (accept(TokenKind::kComma));
+  }
+  expect(TokenKind::kRBrace, "to close initializer list");
+  return std::make_unique<InitListExpr>(
+      std::move(items), type != nullptr ? type : types_.intType(), loc);
+}
+
+ExprPtr Parser::parseExpr() {
+  ExprPtr lhs = parseAssignment();
+  while (check(TokenKind::kComma)) {
+    const SourceLocation loc = advance().location;
+    ExprPtr rhs = parseAssignment();
+    const Type* t = rhs ? rhs->type() : types_.intType();
+    lhs = std::make_unique<BinaryExpr>(BinaryOp::kComma, std::move(lhs),
+                                       std::move(rhs), t, loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseAssignment() {
+  ExprPtr lhs = parseConditional();
+  if (lhs == nullptr) return nullptr;
+  const TokenKind k = peek().kind;
+  if (k == TokenKind::kAssign || compoundOpFor(k).has_value()) {
+    const SourceLocation loc = advance().location;
+    ExprPtr rhs = parseAssignment();
+    const Type* t = lhs->type();
+    return std::make_unique<AssignExpr>(std::move(lhs), std::move(rhs),
+                                        compoundOpFor(k), t, loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseConditional() {
+  ExprPtr cond = parseBinary(1);
+  if (cond == nullptr || !check(TokenKind::kQuestion)) return cond;
+  const SourceLocation loc = advance().location;
+  ExprPtr then = parseExpr();
+  expect(TokenKind::kColon, "in conditional expression");
+  ExprPtr otherwise = parseConditional();
+  const Type* t = then ? then->type() : types_.intType();
+  if (then != nullptr && otherwise != nullptr &&
+      then->type()->isArithmetic() && otherwise->type()->isArithmetic()) {
+    t = arithmeticResult(then->type(), otherwise->type());
+  }
+  return std::make_unique<ConditionalExpr>(std::move(cond), std::move(then),
+                                           std::move(otherwise), t, loc);
+}
+
+ExprPtr Parser::parseBinary(int min_prec) {
+  ExprPtr lhs = parseUnary();
+  while (lhs != nullptr) {
+    const int prec = binaryPrecedence(peek().kind);
+    if (prec < min_prec) break;
+    const TokenKind k = peek().kind;
+    const SourceLocation loc = advance().location;
+    ExprPtr rhs = parseBinary(prec + 1);
+    if (rhs == nullptr) break;
+    const BinaryOp op = binaryOpFor(k);
+    const Type* t = types_.intType();
+    switch (op) {
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+        if (lhs->type()->isPointer() || lhs->type()->isArray()) {
+          t = decay(lhs->type());
+        } else if (rhs->type()->isPointer() || rhs->type()->isArray()) {
+          t = decay(rhs->type());
+        } else {
+          t = arithmeticResult(lhs->type(), rhs->type());
+        }
+        break;
+      case BinaryOp::kMul:
+      case BinaryOp::kDiv:
+      case BinaryOp::kRem:
+        t = arithmeticResult(lhs->type(), rhs->type());
+        break;
+      case BinaryOp::kBitAnd:
+      case BinaryOp::kBitOr:
+      case BinaryOp::kBitXor:
+      case BinaryOp::kShl:
+      case BinaryOp::kShr:
+        t = arithmeticResult(lhs->type(), rhs->type());
+        break;
+      default:
+        t = types_.intType();  // comparisons, logical ops
+        break;
+    }
+    lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs), t,
+                                       loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseUnary() {
+  const SourceLocation loc = peek().location;
+  switch (peek().kind) {
+    case TokenKind::kPlus:
+      advance();
+      return parseUnary();
+    case TokenKind::kMinus: {
+      advance();
+      ExprPtr e = parseUnary();
+      const Type* t = e ? e->type() : types_.intType();
+      return std::make_unique<UnaryExpr>(UnaryOp::kNeg, std::move(e), t, loc);
+    }
+    case TokenKind::kBang: {
+      advance();
+      ExprPtr e = parseUnary();
+      return std::make_unique<UnaryExpr>(UnaryOp::kLogNot, std::move(e),
+                                         types_.intType(), loc);
+    }
+    case TokenKind::kTilde: {
+      advance();
+      ExprPtr e = parseUnary();
+      const Type* t = e ? e->type() : types_.intType();
+      return std::make_unique<UnaryExpr>(UnaryOp::kBitNot, std::move(e), t,
+                                         loc);
+    }
+    case TokenKind::kStar: {
+      advance();
+      ExprPtr e = parseUnary();
+      const Type* t = types_.intType();
+      if (e != nullptr) {
+        const Type* et = decay(e->type());
+        if (et->isPointer()) {
+          t = static_cast<const PointerType*>(et)->pointee();
+        } else {
+          diags_.error(loc, "type", "cannot dereference non-pointer");
+        }
+      }
+      return std::make_unique<UnaryExpr>(UnaryOp::kDeref, std::move(e), t,
+                                         loc);
+    }
+    case TokenKind::kAmp: {
+      advance();
+      ExprPtr e = parseUnary();
+      const Type* t =
+          e ? types_.pointerTo(e->type()) : types_.pointerTo(types_.intType());
+      return std::make_unique<UnaryExpr>(UnaryOp::kAddrOf, std::move(e), t,
+                                         loc);
+    }
+    case TokenKind::kPlusPlus: {
+      advance();
+      ExprPtr e = parseUnary();
+      const Type* t = e ? e->type() : types_.intType();
+      return std::make_unique<UnaryExpr>(UnaryOp::kPreInc, std::move(e), t,
+                                         loc);
+    }
+    case TokenKind::kMinusMinus: {
+      advance();
+      ExprPtr e = parseUnary();
+      const Type* t = e ? e->type() : types_.intType();
+      return std::make_unique<UnaryExpr>(UnaryOp::kPreDec, std::move(e), t,
+                                         loc);
+    }
+    case TokenKind::kKwSizeof: {
+      advance();
+      if (check(TokenKind::kLParen)) {
+        // Could be sizeof(type) or sizeof(expr).
+        const std::size_t save = pos_;
+        advance();
+        if (startsType()) {
+          const Type* t = parseTypeName();
+          expect(TokenKind::kRParen, "after sizeof type");
+          return std::make_unique<SizeofExpr>(t ? t->size() : 0, t,
+                                              types_.ulongType(), loc);
+        }
+        pos_ = save;
+      }
+      ExprPtr e = parseUnary();
+      const Type* t = e ? e->type() : types_.intType();
+      return std::make_unique<SizeofExpr>(t->size(), t, types_.ulongType(),
+                                          loc);
+    }
+    case TokenKind::kLParen: {
+      // Cast vs parenthesized expression.
+      if (startsTypeAt(1)) {
+        advance();
+        const Type* t = parseTypeName();
+        expect(TokenKind::kRParen, "after cast type");
+        ExprPtr e = parseUnary();
+        return std::make_unique<CastExpr>(std::move(e),
+                                          t ? t : types_.intType(), loc);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr e = parsePrimary();
+  while (e != nullptr) {
+    const SourceLocation loc = peek().location;
+    if (accept(TokenKind::kLBracket)) {
+      ExprPtr index = parseExpr();
+      expect(TokenKind::kRBracket, "after array index");
+      const Type* base_t = decay(e->type());
+      const Type* t = types_.intType();
+      if (base_t->isPointer()) {
+        t = static_cast<const PointerType*>(base_t)->pointee();
+      } else {
+        diags_.error(loc, "type", "subscript of non-pointer/array");
+      }
+      e = std::make_unique<SubscriptExpr>(std::move(e), std::move(index), t,
+                                          loc);
+      continue;
+    }
+    if (check(TokenKind::kDot) || check(TokenKind::kArrow)) {
+      const bool is_arrow = peek().is(TokenKind::kArrow);
+      advance();
+      if (!check(TokenKind::kIdentifier)) {
+        diags_.error(loc, "parse", "expected member name");
+        return e;
+      }
+      const std::string member = advance().text;
+      const Type* base_t = e->type();
+      if (is_arrow) {
+        base_t = decay(base_t);
+        base_t = base_t->isPointer()
+                     ? static_cast<const PointerType*>(base_t)->pointee()
+                     : nullptr;
+      }
+      const Type* t = types_.intType();
+      if (base_t != nullptr && base_t->isStruct()) {
+        const auto* st = static_cast<const StructType*>(base_t);
+        if (const StructField* f = st->findField(member)) {
+          t = f->type;
+        } else {
+          diags_.error(loc, "type", "no field '" + member + "' in " +
+                                        st->str());
+        }
+      } else {
+        diags_.error(loc, "type", "member access on non-struct");
+      }
+      e = std::make_unique<MemberExpr>(std::move(e), member, is_arrow, t,
+                                       loc);
+      continue;
+    }
+    if (accept(TokenKind::kLParen)) {
+      std::vector<ExprPtr> args;
+      if (!check(TokenKind::kRParen)) {
+        do {
+          args.push_back(parseAssignment());
+        } while (accept(TokenKind::kComma));
+      }
+      expect(TokenKind::kRParen, "to close call");
+      const Type* callee_t = e->type();
+      if (callee_t->isPointer()) {
+        callee_t = static_cast<const PointerType*>(callee_t)->pointee();
+      }
+      const Type* ret = types_.intType();
+      if (callee_t->isFunction()) {
+        ret = static_cast<const FunctionType*>(callee_t)->returnType();
+      } else {
+        diags_.error(loc, "type", "call of non-function");
+      }
+      e = std::make_unique<CallExpr>(std::move(e), std::move(args), ret, loc);
+      continue;
+    }
+    if (check(TokenKind::kPlusPlus) || check(TokenKind::kMinusMinus)) {
+      const bool inc = peek().is(TokenKind::kPlusPlus);
+      advance();
+      const Type* t = e->type();
+      e = std::make_unique<UnaryExpr>(
+          inc ? UnaryOp::kPostInc : UnaryOp::kPostDec, std::move(e), t, loc);
+      continue;
+    }
+    break;
+  }
+  return e;
+}
+
+ExprPtr Parser::parsePrimary() {
+  const Token& t = peek();
+  const SourceLocation loc = t.location;
+  switch (t.kind) {
+    case TokenKind::kIntLiteral: {
+      const std::int64_t v = parseIntText(t.text);
+      advance();
+      return std::make_unique<IntLitExpr>(v, types_.intType(), loc);
+    }
+    case TokenKind::kFloatLiteral: {
+      const double v = std::strtod(t.text.c_str(), nullptr);
+      advance();
+      return std::make_unique<FloatLitExpr>(v, types_.doubleType(), loc);
+    }
+    case TokenKind::kCharLiteral: {
+      const std::int64_t v = charLiteralValue(t.text);
+      advance();
+      return std::make_unique<IntLitExpr>(v, types_.intType(), loc);
+    }
+    case TokenKind::kStringLiteral: {
+      std::string s = t.text;
+      advance();
+      // Adjacent string literal concatenation.
+      while (check(TokenKind::kStringLiteral)) s += advance().text;
+      return std::make_unique<StringLitExpr>(
+          std::move(s), types_.pointerTo(types_.charType()), loc);
+    }
+    case TokenKind::kLParen: {
+      advance();
+      ExprPtr e = parseExpr();
+      expect(TokenKind::kRParen, "to close parenthesized expression");
+      return e;
+    }
+    case TokenKind::kIdentifier: {
+      const std::string name = t.text;
+      if (const std::int64_t* ev = lookupEnumConstant(name)) {
+        advance();
+        return std::make_unique<IntLitExpr>(*ev, types_.intType(), loc);
+      }
+      if (const ValueDecl* decl = lookupValue(name)) {
+        advance();
+        return std::make_unique<DeclRefExpr>(decl, decl->type(), loc);
+      }
+      // Implicit function declaration (classic C): `name(...)` with no
+      // prior declaration becomes `extern int name(...)`.
+      if (peek(1).is(TokenKind::kLParen)) {
+        advance();
+        const FunctionType* ft =
+            types_.functionType(types_.intType(), {}, /*variadic=*/true);
+        auto fn = std::make_unique<FunctionDecl>(name, ft,
+                                                 std::vector<std::unique_ptr<VarDecl>>{},
+                                                 loc);
+        FunctionDecl* raw = tu_->addFunction(std::move(fn));
+        // Declare at file scope so later uses resolve to the same decl.
+        scopes_.front().values[name] = raw;
+        diags_.warning(loc, "sema",
+                       "implicit declaration of function '" + name + "'");
+        return std::make_unique<DeclRefExpr>(raw, ft, loc);
+      }
+      advance();
+      diags_.error(loc, "sema", "use of undeclared identifier '" + name +
+                                    "'");
+      return std::make_unique<IntLitExpr>(0, types_.intType(), loc);
+    }
+    default:
+      diags_.error(loc, "parse",
+                   "expected expression, found '" + t.text + "' (" +
+                       std::string(tokenKindName(t.kind)) + ")");
+      advance();
+      if (check(TokenKind::kEof)) fatal_ = true;
+      return std::make_unique<IntLitExpr>(0, types_.intType(), loc);
+  }
+}
+
+const Type* Parser::parseTypeName() {
+  DeclSpec spec;
+  if (!parseDeclSpec(spec)) {
+    diags_.error(peek().location, "parse", "expected type name");
+    return nullptr;
+  }
+  Declarator d;
+  if (!parseDeclarator(spec.base, d)) return spec.base;
+  if (!d.name.empty()) {
+    diags_.error(d.loc, "parse", "unexpected name in type");
+  }
+  return d.type;
+}
+
+std::int64_t Parser::evalConstExpr(const Expr* e, bool* ok) {
+  bool dummy = true;
+  bool& good = ok ? *ok : dummy;
+  if (e == nullptr) {
+    good = false;
+    return 0;
+  }
+  switch (e->kind()) {
+    case Expr::Kind::kIntLit:
+      return static_cast<const IntLitExpr*>(e)->value();
+    case Expr::Kind::kSizeof:
+      return static_cast<std::int64_t>(
+          static_cast<const SizeofExpr*>(e)->value());
+    case Expr::Kind::kUnary: {
+      const auto* u = static_cast<const UnaryExpr*>(e);
+      const std::int64_t v = evalConstExpr(u->operand(), &good);
+      switch (u->op()) {
+        case UnaryOp::kNeg: return -v;
+        case UnaryOp::kLogNot: return v == 0 ? 1 : 0;
+        case UnaryOp::kBitNot: return ~v;
+        default: good = false; return 0;
+      }
+    }
+    case Expr::Kind::kBinary: {
+      const auto* b = static_cast<const BinaryExpr*>(e);
+      const std::int64_t l = evalConstExpr(b->lhs(), &good);
+      const std::int64_t r = evalConstExpr(b->rhs(), &good);
+      if (!good) return 0;
+      switch (b->op()) {
+        case BinaryOp::kAdd: return l + r;
+        case BinaryOp::kSub: return l - r;
+        case BinaryOp::kMul: return l * r;
+        case BinaryOp::kDiv: return r == 0 ? (good = false, 0) : l / r;
+        case BinaryOp::kRem: return r == 0 ? (good = false, 0) : l % r;
+        case BinaryOp::kBitAnd: return l & r;
+        case BinaryOp::kBitOr: return l | r;
+        case BinaryOp::kBitXor: return l ^ r;
+        case BinaryOp::kShl: return l << r;
+        case BinaryOp::kShr: return l >> r;
+        case BinaryOp::kLt: return l < r;
+        case BinaryOp::kGt: return l > r;
+        case BinaryOp::kLe: return l <= r;
+        case BinaryOp::kGe: return l >= r;
+        case BinaryOp::kEq: return l == r;
+        case BinaryOp::kNe: return l != r;
+        case BinaryOp::kLogAnd: return (l != 0 && r != 0) ? 1 : 0;
+        case BinaryOp::kLogOr: return (l != 0 || r != 0) ? 1 : 0;
+        default: good = false; return 0;
+      }
+    }
+    case Expr::Kind::kCast:
+      return evalConstExpr(static_cast<const CastExpr*>(e)->operand(), &good);
+    default:
+      good = false;
+      return 0;
+  }
+}
+
+}  // namespace safeflow::cfront

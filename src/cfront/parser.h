@@ -1,0 +1,117 @@
+// Recursive-descent parser for the C subset, producing a typed AST.
+// Declarator syntax covers pointers, arrays, and function-pointer
+// parameters; typedefs are resolved during parsing. Enum constants are
+// folded to integer literals. SafeFlow annotation tokens become either
+// function entry annotations or AnnotationStmts.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cfront/ast.h"
+#include "cfront/token.h"
+#include "cfront/types.h"
+#include "support/diagnostics.h"
+
+namespace safeflow::cfront {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, TypeContext& types,
+         support::DiagnosticEngine& diags);
+
+  /// Parses the whole token stream into `tu`. Returns false when a fatal
+  /// syntax error stopped the parse early.
+  bool parseTranslationUnit(TranslationUnit& tu);
+
+ private:
+  // -- token cursor ---------------------------------------------------------
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const;
+  const Token& advance();
+  [[nodiscard]] bool check(TokenKind k) const { return peek().is(k); }
+  bool accept(TokenKind k);
+  bool expect(TokenKind k, std::string_view context);
+  void synchronizeToSemi();
+
+  // -- scopes ---------------------------------------------------------------
+  struct Scope {
+    std::map<std::string, const ValueDecl*> values;
+    std::map<std::string, std::int64_t> enum_constants;
+  };
+  void pushScope() { scopes_.emplace_back(); }
+  void popScope() { scopes_.pop_back(); }
+  void declareValue(const std::string& name, const ValueDecl* decl);
+  [[nodiscard]] const ValueDecl* lookupValue(const std::string& name) const;
+  [[nodiscard]] const std::int64_t* lookupEnumConstant(
+      const std::string& name) const;
+
+  // -- declarations ---------------------------------------------------------
+  /// True when the token `ahead` positions away starts a type (keyword,
+  /// typedef name, struct/enum).
+  [[nodiscard]] bool startsTypeAt(std::size_t ahead) const;
+  [[nodiscard]] bool startsType() const { return startsTypeAt(0); }
+  /// Parses declaration specifiers: base type, typedef/extern/static flags.
+  struct DeclSpec {
+    const Type* base = nullptr;
+    bool is_typedef = false;
+    bool is_extern = false;
+    bool is_static = false;
+  };
+  bool parseDeclSpec(DeclSpec& spec);
+  /// Parses one declarator: pointers, name, arrays, function params.
+  struct Declarator {
+    const Type* type = nullptr;
+    std::string name;
+    SourceLocation loc;
+    // Set when this declarator declared a function (param names captured).
+    bool is_function = false;
+    std::vector<std::unique_ptr<VarDecl>> params;
+    bool variadic = false;
+  };
+  bool parseDeclarator(const Type* base, Declarator& out);
+  const Type* parseStructSpecifier();
+  const Type* parseEnumSpecifier();
+  bool parseExternalDeclaration(TranslationUnit& tu,
+                                std::vector<RawAnnotation>& pending);
+  StmtPtr parseLocalDeclaration();
+
+  // -- statements -----------------------------------------------------------
+  StmtPtr parseStatement();
+  StmtPtr parseCompound();
+
+  /// Parses an initializer: a brace list (possibly nested) or an
+  /// assignment expression. `type` is the declared type (for list typing).
+  ExprPtr parseInitializer(const Type* type);
+
+  // -- expressions (precedence climbing) -------------------------------------
+  ExprPtr parseExpr();            // comma
+  ExprPtr parseAssignment();
+  ExprPtr parseConditional();
+  ExprPtr parseBinary(int min_prec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+  /// Parses `(type-name)` after '(' when it is a cast/sizeof type.
+  const Type* parseTypeName();
+
+  /// Folds an integer constant expression (array sizes, case labels);
+  /// reports an error and returns 0 when not constant.
+  std::int64_t evalConstExpr(const Expr* e, bool* ok = nullptr);
+
+  // -- typing helpers --------------------------------------------------------
+  const Type* decay(const Type* t);
+  const Type* arithmeticResult(const Type* a, const Type* b);
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  TypeContext& types_;
+  support::DiagnosticEngine& diags_;
+  std::vector<Scope> scopes_;
+  std::map<std::string, const Type*> typedefs_;
+  TranslationUnit* tu_ = nullptr;
+  bool fatal_ = false;
+};
+
+}  // namespace safeflow::cfront

@@ -1,0 +1,84 @@
+// Token-level mini preprocessor. Supports the directive subset used by
+// embedded control code bases:
+//   #include "file"      (relative to the including file, then -I dirs)
+//   #define NAME ...     (object-like)
+//   #define NAME(a,b) .. (function-like, no # or ## operators)
+//   #undef NAME
+//   #ifdef / #ifndef / #else / #endif
+//   #if 0 / #if 1 / #if defined(X) / #if !defined(X)
+//   #pragma once
+// Backslash line continuations inside directives are not supported; the
+// corpora do not use them.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cfront/lexer.h"
+#include "cfront/token.h"
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+
+namespace safeflow::cfront {
+
+class Preprocessor {
+ public:
+  Preprocessor(support::SourceManager& sm, support::DiagnosticEngine& diags,
+               std::vector<std::string> include_dirs = {});
+
+  /// Defines an object-like macro before processing (like -DNAME=value).
+  void predefine(std::string name, std::string value);
+
+  /// Fully preprocesses the file, returning the expanded token stream
+  /// terminated by a single kEof token.
+  std::vector<Token> run(support::FileId root);
+
+ private:
+  struct Macro {
+    bool function_like = false;
+    std::vector<std::string> params;
+    std::vector<Token> body;
+  };
+
+  struct Frame {
+    Lexer lexer;
+    std::string directory;  // for relative #include resolution
+    // Tokens pushed back while this frame was on top; consumed before the
+    // frame's lexer, and *after* any frames stacked above (so an #include
+    // splices its file before the rest of the including line's successors).
+    std::vector<Token> pushback;
+  };
+
+  // Raw token stream with pushback local to the top frame.
+  Token rawNext();
+  void pushBack(Token t);
+
+  void handleDirective(const Token& hash);
+  void handleInclude(std::uint32_t line);
+  void handleDefine(std::uint32_t line);
+  void handleIf(std::uint32_t line, bool is_ifdef, bool negate);
+  void skipToEndOfLine(std::uint32_t line);
+  /// Reads remaining raw tokens on `line` (same file as top frame).
+  std::vector<Token> readRestOfLine(std::uint32_t line);
+
+  /// If `tok` names a macro not painted on the token, expands it by pushing
+  /// the substituted (painted) tokens back onto the stream and returns
+  /// true; the main loop then rescans them naturally.
+  bool maybeExpand(const Token& tok);
+
+  [[nodiscard]] bool active() const;
+
+  support::SourceManager& sm_;
+  support::DiagnosticEngine& diags_;
+  std::vector<std::string> include_dirs_;
+  std::map<std::string, Macro> macros_;
+  std::set<std::string> pragma_once_files_;
+  std::vector<Frame> frames_;
+  // Conditional stack: each entry is (this branch active, any branch taken).
+  std::vector<std::pair<bool, bool>> conditionals_;
+};
+
+}  // namespace safeflow::cfront

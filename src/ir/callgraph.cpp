@@ -1,0 +1,139 @@
+#include "ir/callgraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace safeflow::ir {
+
+namespace {
+constexpr std::string_view kFnAddrPrefix = "@fnaddr.";
+}
+
+CallGraph::CallGraph(const Module& module) : module_(module) {
+  // Address-taken functions (represented by @fnaddr.<name> globals created
+  // during lowering).
+  for (const auto& g : module.globals()) {
+    const std::string& name = g->name();
+    if (name.rfind(kFnAddrPrefix, 0) == 0) {
+      if (const Function* f =
+              module.findFunction(name.substr(kFnAddrPrefix.size()))) {
+        address_taken_.push_back(f);
+      }
+    }
+  }
+
+  for (const auto& fn : module.functions()) {
+    callees_[fn.get()];  // ensure node exists
+    if (!fn->isDefined()) continue;
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->opcode() != Opcode::kCall) continue;
+        for (const Function* target : targets(*inst)) {
+          callees_[fn.get()].insert(target);
+          callers_[target].insert(fn.get());
+        }
+      }
+    }
+  }
+  computeSccs();
+}
+
+std::vector<const Function*> CallGraph::targets(
+    const Instruction& call) const {
+  assert(call.opcode() == Opcode::kCall);
+  if (call.direct_callee != nullptr) return {call.direct_callee};
+  return address_taken_;  // conservative indirect resolution
+}
+
+const std::set<const Function*>& CallGraph::callees(
+    const Function* fn) const {
+  auto it = callees_.find(fn);
+  return it == callees_.end() ? empty_ : it->second;
+}
+
+const std::set<const Function*>& CallGraph::callers(
+    const Function* fn) const {
+  auto it = callers_.find(fn);
+  return it == callers_.end() ? empty_ : it->second;
+}
+
+void CallGraph::computeSccs() {
+  // Tarjan's algorithm, iterative to survive deep graphs.
+  std::map<const Function*, int> index;
+  std::map<const Function*, int> lowlink;
+  std::map<const Function*, bool> on_stack;
+  std::vector<const Function*> stack;
+  int next_index = 0;
+
+  struct Frame {
+    const Function* fn;
+    std::vector<const Function*> succs;
+    std::size_t next_succ = 0;
+  };
+
+  auto strongConnect = [&](const Function* root) {
+    std::vector<Frame> frames;
+    auto open = [&](const Function* fn) {
+      index[fn] = lowlink[fn] = next_index++;
+      stack.push_back(fn);
+      on_stack[fn] = true;
+      const auto& succ_set = callees(fn);
+      frames.push_back(
+          Frame{fn, {succ_set.begin(), succ_set.end()}, 0});
+    };
+    open(root);
+    while (!frames.empty()) {
+      Frame& top = frames.back();
+      if (top.next_succ < top.succs.size()) {
+        const Function* succ = top.succs[top.next_succ++];
+        if (!index.contains(succ)) {
+          open(succ);
+        } else if (on_stack[succ]) {
+          lowlink[top.fn] = std::min(lowlink[top.fn], index[succ]);
+        }
+        continue;
+      }
+      // Close this frame.
+      if (lowlink[top.fn] == index[top.fn]) {
+        std::vector<const Function*> scc;
+        while (true) {
+          const Function* v = stack.back();
+          stack.pop_back();
+          on_stack[v] = false;
+          scc.push_back(v);
+          if (v == top.fn) break;
+        }
+        if (scc.size() > 1) {
+          for (const Function* f : scc) recursive_.insert(f);
+        } else if (callees(scc[0]).contains(scc[0])) {
+          recursive_.insert(scc[0]);  // self-recursion
+        }
+        sccs_.push_back(std::move(scc));
+      }
+      const Function* closed = top.fn;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().fn] =
+            std::min(lowlink[frames.back().fn], lowlink[closed]);
+      }
+    }
+  };
+
+  for (const auto& fn : module_.functions()) {
+    if (!index.contains(fn.get())) strongConnect(fn.get());
+  }
+  // Tarjan emits SCCs in reverse topological order of the condensation,
+  // which for a call graph is exactly callee-before-caller (bottom-up).
+}
+
+std::vector<std::vector<const Function*>> CallGraph::sccsTopDown() const {
+  std::vector<std::vector<const Function*>> out(sccs_.rbegin(),
+                                                sccs_.rend());
+  return out;
+}
+
+bool CallGraph::isRecursive(const Function* fn) const {
+  return recursive_.contains(fn);
+}
+
+}  // namespace safeflow::ir

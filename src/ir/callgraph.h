@@ -1,0 +1,51 @@
+// Call graph with Tarjan SCCs, providing the bottom-up / top-down
+// traversal orders used by the paper's interprocedural phases.
+// Indirect calls (through function pointers) are resolved conservatively
+// to every address-taken function.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace safeflow::ir {
+
+class CallGraph {
+ public:
+  explicit CallGraph(const Module& module);
+
+  [[nodiscard]] const std::set<const Function*>& callees(
+      const Function* fn) const;
+  [[nodiscard]] const std::set<const Function*>& callers(
+      const Function* fn) const;
+
+  /// Possible targets of one call instruction (singleton for direct calls).
+  [[nodiscard]] std::vector<const Function*> targets(
+      const Instruction& call) const;
+
+  /// Strongly connected components in bottom-up (callee-first) order.
+  [[nodiscard]] const std::vector<std::vector<const Function*>>&
+  sccsBottomUp() const {
+    return sccs_;
+  }
+  /// The same SCCs in top-down (caller-first) order.
+  [[nodiscard]] std::vector<std::vector<const Function*>> sccsTopDown() const;
+
+  /// True when fn participates in a cycle (including self-recursion).
+  [[nodiscard]] bool isRecursive(const Function* fn) const;
+
+ private:
+  void computeSccs();
+
+  const Module& module_;
+  std::map<const Function*, std::set<const Function*>> callees_;
+  std::map<const Function*, std::set<const Function*>> callers_;
+  std::vector<const Function*> address_taken_;
+  std::vector<std::vector<const Function*>> sccs_;
+  std::set<const Function*> recursive_;
+  std::set<const Function*> empty_;
+};
+
+}  // namespace safeflow::ir

@@ -1,0 +1,47 @@
+// Dominator and post-dominator trees (iterative Cooper–Harvey–Kennedy),
+// plus dominance frontiers — the ingredients for SSA construction and for
+// control-dependence analysis.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace safeflow::ir {
+
+class DominatorTree {
+ public:
+  /// Forward dominators rooted at the entry block.
+  static DominatorTree compute(const Function& fn);
+  /// Post-dominators; a virtual exit joins all Ret blocks (and, for
+  /// infinite loops, blocks with no path to any exit are parented to the
+  /// virtual exit as a conservative fallback).
+  static DominatorTree computePost(const Function& fn);
+
+  /// Immediate dominator; nullptr for the root (or for blocks whose idom
+  /// is the virtual exit in the post-dominator tree).
+  [[nodiscard]] const BasicBlock* idom(const BasicBlock* bb) const;
+  /// Reflexive dominance query.
+  [[nodiscard]] bool dominates(const BasicBlock* a,
+                               const BasicBlock* b) const;
+  /// Dominance frontier of each block.
+  [[nodiscard]] const std::map<const BasicBlock*,
+                               std::set<const BasicBlock*>>&
+  frontiers() const {
+    return frontiers_;
+  }
+
+  /// Children in the dominator tree.
+  [[nodiscard]] std::vector<const BasicBlock*> children(
+      const BasicBlock* bb) const;
+
+ private:
+  static DominatorTree computeImpl(const Function& fn, bool post);
+
+  std::map<const BasicBlock*, const BasicBlock*> idom_;
+  std::map<const BasicBlock*, std::set<const BasicBlock*>> frontiers_;
+};
+
+}  // namespace safeflow::ir

@@ -1,0 +1,1008 @@
+#include "ir/lowering.h"
+
+#include <cassert>
+
+namespace safeflow::ir {
+
+namespace {
+
+using cfront::Expr;
+using cfront::Stmt;
+
+BinOp lowerBinOp(cfront::BinaryOp op) {
+  switch (op) {
+    case cfront::BinaryOp::kAdd: return BinOp::kAdd;
+    case cfront::BinaryOp::kSub: return BinOp::kSub;
+    case cfront::BinaryOp::kMul: return BinOp::kMul;
+    case cfront::BinaryOp::kDiv: return BinOp::kDiv;
+    case cfront::BinaryOp::kRem: return BinOp::kRem;
+    case cfront::BinaryOp::kBitAnd: return BinOp::kAnd;
+    case cfront::BinaryOp::kBitOr: return BinOp::kOr;
+    case cfront::BinaryOp::kBitXor: return BinOp::kXor;
+    case cfront::BinaryOp::kShl: return BinOp::kShl;
+    case cfront::BinaryOp::kShr: return BinOp::kShr;
+    default: assert(false && "not an arithmetic op"); return BinOp::kAdd;
+  }
+}
+
+CmpOp lowerCmpOp(cfront::BinaryOp op) {
+  switch (op) {
+    case cfront::BinaryOp::kLt: return CmpOp::kLt;
+    case cfront::BinaryOp::kGt: return CmpOp::kGt;
+    case cfront::BinaryOp::kLe: return CmpOp::kLe;
+    case cfront::BinaryOp::kGe: return CmpOp::kGe;
+    case cfront::BinaryOp::kEq: return CmpOp::kEq;
+    case cfront::BinaryOp::kNe: return CmpOp::kNe;
+    default: assert(false && "not a comparison"); return CmpOp::kEq;
+  }
+}
+
+bool isComparison(cfront::BinaryOp op) {
+  switch (op) {
+    case cfront::BinaryOp::kLt:
+    case cfront::BinaryOp::kGt:
+    case cfront::BinaryOp::kLe:
+    case cfront::BinaryOp::kGe:
+    case cfront::BinaryOp::kEq:
+    case cfront::BinaryOp::kNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Lowering::Lowering(const cfront::TranslationUnit& tu, Module& module,
+                   support::DiagnosticEngine& diags)
+    : tu_(tu),
+      module_(module),
+      diags_(diags),
+      annot_parser_(tu.types(), tu.typedefs(), diags) {}
+
+bool Lowering::run() {
+  const std::size_t errors_before = diags_.errorCount();
+  lowerGlobals();
+  // Declare every function first so calls resolve without ordering issues.
+  for (const auto& fd : tu_.functions()) functionFor(*fd);
+  for (const auto& fd : tu_.functions()) {
+    if (fd->isDefined()) lowerFunction(*fd);
+  }
+  return diags_.errorCount() == errors_before;
+}
+
+void Lowering::lowerGlobals() {
+  for (const auto& g : tu_.globals()) {
+    module_.getOrCreateGlobal(g->name(), g->type(), g->location());
+  }
+}
+
+Function* Lowering::functionFor(const cfront::FunctionDecl& fd) {
+  Function* fn = module_.getOrCreateFunction(fd.name(), fd.functionType());
+  if (fn->args().empty() && !fd.params().empty()) {
+    for (const auto& p : fd.params()) fn->addArg(p->type(), p->name());
+  }
+  if (fn->location == SourceLocation{}) fn->location = fd.location();
+  return fn;
+}
+
+Function* Lowering::intrinsic(std::string_view name) {
+  const cfront::FunctionType* ft = module_.types().functionType(
+      module_.types().voidType(), {}, /*variadic=*/true);
+  return module_.getOrCreateFunction(std::string(name), ft);
+}
+
+Instruction* Lowering::emit(Opcode op, const Type* type, SourceLocation loc) {
+  assert(block_ != nullptr);
+  auto inst = std::make_unique<Instruction>(op, type, loc);
+  return block_->append(std::move(inst));
+}
+
+Value* Lowering::emitLoad(Value* ptr, SourceLocation loc) {
+  const Type* pointee = module_.types().intType();
+  if (ptr->type()->isPointer()) {
+    pointee = static_cast<const cfront::PointerType*>(ptr->type())->pointee();
+  }
+  Instruction* load = emit(Opcode::kLoad, pointee, loc);
+  load->addOperand(ptr);
+  return load;
+}
+
+void Lowering::emitStore(Value* value, Value* ptr, SourceLocation loc) {
+  Instruction* store = emit(Opcode::kStore, module_.types().voidType(), loc);
+  store->addOperand(value);
+  store->addOperand(ptr);
+}
+
+Value* Lowering::emitCast(Value* v, const Type* to, SourceLocation loc) {
+  Instruction* cast = emit(Opcode::kCast, to, loc);
+  cast->addOperand(v);
+  return cast;
+}
+
+Value* Lowering::coerce(Value* v, const Type* to, SourceLocation loc) {
+  if (v->type() == to || to == nullptr || to->isVoid()) return v;
+  if (!v->type()->isScalar() || !to->isScalar()) return v;
+  return emitCast(v, to, loc);
+}
+
+bool Lowering::blockTerminated() const {
+  return block_ == nullptr || block_->terminator() != nullptr;
+}
+
+void Lowering::branchTo(BasicBlock* target, SourceLocation loc) {
+  if (blockTerminated()) return;
+  Instruction* br = emit(Opcode::kBr, module_.types().voidType(), loc);
+  br->block_refs.push_back(target);
+}
+
+void Lowering::condBranch(Value* cond, BasicBlock* then_bb,
+                          BasicBlock* else_bb, SourceLocation loc) {
+  if (blockTerminated()) return;
+  Instruction* br = emit(Opcode::kCondBr, module_.types().voidType(), loc);
+  br->addOperand(cond);
+  br->block_refs.push_back(then_bb);
+  br->block_refs.push_back(else_bb);
+}
+
+Instruction* Lowering::createLocalSlot(const cfront::VarDecl& vd) {
+  auto inst = std::make_unique<Instruction>(
+      Opcode::kAlloca, module_.types().pointerTo(vd.type()), vd.location());
+  inst->allocated_type = vd.type();
+  inst->setName(vd.name());
+  Instruction* slot = entry_->prepend(std::move(inst));
+  slots_[&vd] = slot;
+  return slot;
+}
+
+void Lowering::lowerFunction(const cfront::FunctionDecl& fd) {
+  fn_ = functionFor(fd);
+  if (fn_->isDefined()) return;  // already lowered (duplicate definition)
+  slots_.clear();
+  break_targets_.clear();
+  continue_targets_.clear();
+  label_counter_ = 0;
+
+  entry_ = fn_->createBlock("entry");
+  block_ = entry_;
+
+  // Parameters: spill each Argument into a local slot so the body can take
+  // addresses / reassign; mem2reg re-promotes the scalar ones.
+  for (std::size_t i = 0; i < fd.params().size(); ++i) {
+    const cfront::VarDecl* p = fd.params()[i].get();
+    Instruction* slot = createLocalSlot(*p);
+    if (i < fn_->args().size()) {
+      emitStore(fn_->args()[i].get(), slot, p->location());
+    }
+  }
+
+  lowerEntryAnnotations(fd, *fn_);
+
+  assert(fd.body() != nullptr);
+  lowerStmt(*fd.body());
+
+  // Seal dangling blocks with a return.
+  for (const auto& bb : fn_->blocks()) {
+    if (bb->terminator() == nullptr) {
+      BasicBlock* saved = block_;
+      block_ = bb.get();
+      Instruction* ret =
+          emit(Opcode::kRet, module_.types().voidType(), fd.location());
+      const Type* ret_t = fd.functionType()->returnType();
+      if (!ret_t->isVoid()) ret->addOperand(module_.undef(ret_t));
+      block_ = saved;
+    }
+  }
+  fn_ = nullptr;
+  block_ = nullptr;
+}
+
+void Lowering::lowerEntryAnnotations(const cfront::FunctionDecl& fd,
+                                     Function& fn) {
+  for (const cfront::RawAnnotation& raw : fd.entryAnnotations()) {
+    const auto parsed = annot_parser_.parse(raw);
+    if (!parsed.has_value()) continue;
+    switch (parsed->kind) {
+      case annotations::AnnotationKind::kShmInit:
+        fn.annotations.is_shminit = true;
+        break;
+      case annotations::AnnotationKind::kAssumeCore: {
+        fn.annotations.is_monitor = true;
+        Value* addr = addressOfNamed(parsed->pointer_name, raw.location);
+        if (addr == nullptr) break;
+        Value* ptr = emitLoad(addr, raw.location);
+        Instruction* call =
+            emit(Opcode::kCall, module_.types().voidType(), raw.location);
+        call->direct_callee = intrinsic(kIntrinsicAssumeCore);
+        call->addOperand(ptr);
+        call->addOperand(module_.constantInt(parsed->offset,
+                                             module_.types().longType()));
+        call->addOperand(
+            module_.constantInt(parsed->size, module_.types().longType()));
+        break;
+      }
+      default:
+        // shmvar/noncore/assert make sense in statement position; accept
+        // them here too for flexibility.
+        lowerAnnotation(raw);
+        break;
+    }
+  }
+}
+
+void Lowering::lowerAnnotation(const cfront::RawAnnotation& raw) {
+  const auto parsed = annot_parser_.parse(raw);
+  if (!parsed.has_value()) return;
+  switch (parsed->kind) {
+    case annotations::AnnotationKind::kAssertSafe: {
+      Value* addr = addressOfNamed(parsed->value_name, raw.location);
+      if (addr == nullptr) return;
+      Value* v = emitLoad(addr, raw.location);
+      Instruction* call =
+          emit(Opcode::kCall, module_.types().voidType(), raw.location);
+      call->direct_callee = intrinsic(kIntrinsicAssertSafe);
+      call->addOperand(v);
+      // Keep the source-level name of the asserted variable on the call so
+      // reports can say which critical value was checked.
+      call->setName(parsed->value_name);
+      return;
+    }
+    case annotations::AnnotationKind::kShmVar: {
+      Value* addr = addressOfNamed(parsed->pointer_name, raw.location);
+      if (addr == nullptr) return;
+      Value* ptr = emitLoad(addr, raw.location);
+      Instruction* call =
+          emit(Opcode::kCall, module_.types().voidType(), raw.location);
+      call->direct_callee = intrinsic(kIntrinsicShmVar);
+      call->addOperand(ptr);
+      call->addOperand(
+          module_.constantInt(parsed->size, module_.types().longType()));
+      return;
+    }
+    case annotations::AnnotationKind::kNonCore: {
+      Value* addr = addressOfNamed(parsed->pointer_name, raw.location);
+      if (addr == nullptr) return;
+      Value* ptr = emitLoad(addr, raw.location);
+      Instruction* call =
+          emit(Opcode::kCall, module_.types().voidType(), raw.location);
+      call->direct_callee = intrinsic(kIntrinsicNonCore);
+      call->addOperand(ptr);
+      return;
+    }
+    case annotations::AnnotationKind::kShmInit:
+      fn_->annotations.is_shminit = true;
+      return;
+    case annotations::AnnotationKind::kAssumeCore: {
+      fn_->annotations.is_monitor = true;
+      Value* addr = addressOfNamed(parsed->pointer_name, raw.location);
+      if (addr == nullptr) return;
+      Value* ptr = emitLoad(addr, raw.location);
+      Instruction* call =
+          emit(Opcode::kCall, module_.types().voidType(), raw.location);
+      call->direct_callee = intrinsic(kIntrinsicAssumeCore);
+      call->addOperand(ptr);
+      call->addOperand(
+          module_.constantInt(parsed->offset, module_.types().longType()));
+      call->addOperand(
+          module_.constantInt(parsed->size, module_.types().longType()));
+      return;
+    }
+  }
+}
+
+Value* Lowering::addressOfNamed(const std::string& name,
+                                SourceLocation loc) {
+  for (const auto& [decl, slot] : slots_) {
+    if (decl->name() == name) return slot;
+  }
+  if (GlobalVar* g = module_.findGlobal(name)) return g;
+  diags_.error(loc, "annotation",
+               "annotation references unknown variable '" + name + "'");
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+void Lowering::lowerStmt(const Stmt& stmt) {
+  if (block_ == nullptr) {
+    // Unreachable code after return/break; keep lowering into a detached
+    // block so diagnostics and def-use stay well-formed.
+    block_ = fn_->createBlock("unreachable." + std::to_string(label_counter_++));
+  }
+  switch (stmt.kind()) {
+    case Stmt::Kind::kCompound:
+      lowerCompound(static_cast<const cfront::CompoundStmt&>(stmt));
+      return;
+    case Stmt::Kind::kDecl:
+      lowerDecl(static_cast<const cfront::DeclStmt&>(stmt));
+      return;
+    case Stmt::Kind::kExpr:
+      if (const auto* e = static_cast<const cfront::ExprStmt&>(stmt).expr()) {
+        rvalue(*e);
+      }
+      return;
+    case Stmt::Kind::kIf:
+      lowerIf(static_cast<const cfront::IfStmt&>(stmt));
+      return;
+    case Stmt::Kind::kWhile:
+      lowerWhile(static_cast<const cfront::WhileStmt&>(stmt));
+      return;
+    case Stmt::Kind::kDo:
+      lowerDo(static_cast<const cfront::DoStmt&>(stmt));
+      return;
+    case Stmt::Kind::kFor:
+      lowerFor(static_cast<const cfront::ForStmt&>(stmt));
+      return;
+    case Stmt::Kind::kSwitch:
+      lowerSwitch(static_cast<const cfront::SwitchStmt&>(stmt));
+      return;
+    case Stmt::Kind::kReturn:
+      lowerReturn(static_cast<const cfront::ReturnStmt&>(stmt));
+      return;
+    case Stmt::Kind::kBreak:
+      if (!break_targets_.empty()) {
+        branchTo(break_targets_.back(), stmt.location());
+      } else {
+        diags_.error(stmt.location(), "lower", "break outside loop/switch");
+      }
+      block_ = nullptr;
+      return;
+    case Stmt::Kind::kContinue:
+      if (!continue_targets_.empty()) {
+        branchTo(continue_targets_.back(), stmt.location());
+      } else {
+        diags_.error(stmt.location(), "lower", "continue outside loop");
+      }
+      block_ = nullptr;
+      return;
+    case Stmt::Kind::kCase:
+      // Handled inside lowerSwitch; elsewhere it is a stray label.
+      diags_.error(stmt.location(), "lower", "case label outside switch");
+      return;
+    case Stmt::Kind::kNull:
+      return;
+    case Stmt::Kind::kAnnotation:
+      lowerAnnotation(
+          static_cast<const cfront::AnnotationStmt&>(stmt).annotation());
+      return;
+  }
+}
+
+void Lowering::lowerCompound(const cfront::CompoundStmt& s) {
+  for (const auto& sub : s.stmts()) lowerStmt(*sub);
+}
+
+void Lowering::lowerDecl(const cfront::DeclStmt& s) {
+  for (const auto& vd : s.decls()) {
+    Instruction* slot = createLocalSlot(*vd);
+    if (vd->init() == nullptr) continue;
+    if (vd->init()->kind() == Expr::Kind::kInitList) {
+      lowerInitList(slot,
+                    static_cast<const cfront::InitListExpr&>(*vd->init()),
+                    vd->type());
+      continue;
+    }
+    Value* v = rvalue(*vd->init());
+    emitStore(coerce(v, vd->type(), vd->location()), slot, vd->location());
+  }
+}
+
+void Lowering::lowerInitList(Value* addr,
+                             const cfront::InitListExpr& list,
+                             const cfront::Type* type) {
+  if (type->isArray()) {
+    const auto* at = static_cast<const cfront::ArrayType*>(type);
+    // View the array storage as a pointer to its element type.
+    Value* base = emitCast(
+        addr, module_.types().pointerTo(at->element()), list.location());
+    for (std::size_t i = 0; i < list.items().size(); ++i) {
+      Instruction* gep = emit(Opcode::kIndexAddr, base->type(),
+                              list.location());
+      gep->addOperand(base);
+      gep->addOperand(module_.constantInt(static_cast<std::int64_t>(i),
+                                          module_.types().intType()));
+      const cfront::Expr* item = list.items()[i].get();
+      if (item->kind() == Expr::Kind::kInitList) {
+        lowerInitList(gep, static_cast<const cfront::InitListExpr&>(*item),
+                      at->element());
+      } else {
+        Value* v = rvalue(*item);
+        emitStore(coerce(v, at->element(), item->location()), gep,
+                  item->location());
+      }
+    }
+    return;
+  }
+  if (type->isStruct()) {
+    const auto* st = static_cast<const cfront::StructType*>(type);
+    for (std::size_t i = 0;
+         i < list.items().size() && i < st->fields().size(); ++i) {
+      const cfront::StructField& field = st->fields()[i];
+      Instruction* gep = emit(Opcode::kFieldAddr,
+                              module_.types().pointerTo(field.type),
+                              list.location());
+      gep->field_index = static_cast<unsigned>(i);
+      gep->addOperand(addr);
+      const cfront::Expr* item = list.items()[i].get();
+      if (item->kind() == Expr::Kind::kInitList) {
+        lowerInitList(gep, static_cast<const cfront::InitListExpr&>(*item),
+                      field.type);
+      } else {
+        Value* v = rvalue(*item);
+        emitStore(coerce(v, field.type, item->location()), gep,
+                  item->location());
+      }
+    }
+    return;
+  }
+  // Scalar initialized with a (possibly singleton) brace list.
+  if (!list.items().empty()) {
+    Value* v = rvalue(*list.items().front());
+    emitStore(coerce(v, type, list.location()), addr, list.location());
+  }
+}
+
+void Lowering::lowerIf(const cfront::IfStmt& s) {
+  const unsigned n = label_counter_++;
+  BasicBlock* then_bb = fn_->createBlock("if.then." + std::to_string(n));
+  BasicBlock* end_bb = fn_->createBlock("if.end." + std::to_string(n));
+  BasicBlock* else_bb =
+      s.elseStmt() ? fn_->createBlock("if.else." + std::to_string(n)) : end_bb;
+
+  Value* cond = rvalue(*s.cond());
+  condBranch(cond, then_bb, else_bb, s.location());
+
+  setBlock(then_bb);
+  if (s.thenStmt() != nullptr) lowerStmt(*s.thenStmt());
+  branchTo(end_bb, s.location());
+
+  if (s.elseStmt() != nullptr) {
+    setBlock(else_bb);
+    lowerStmt(*s.elseStmt());
+    branchTo(end_bb, s.location());
+  }
+  setBlock(end_bb);
+}
+
+void Lowering::lowerWhile(const cfront::WhileStmt& s) {
+  const unsigned n = label_counter_++;
+  BasicBlock* cond_bb = fn_->createBlock("while.cond." + std::to_string(n));
+  BasicBlock* body_bb = fn_->createBlock("while.body." + std::to_string(n));
+  BasicBlock* end_bb = fn_->createBlock("while.end." + std::to_string(n));
+
+  branchTo(cond_bb, s.location());
+  setBlock(cond_bb);
+  Value* cond = rvalue(*s.cond());
+  condBranch(cond, body_bb, end_bb, s.location());
+
+  break_targets_.push_back(end_bb);
+  continue_targets_.push_back(cond_bb);
+  setBlock(body_bb);
+  if (s.body() != nullptr) lowerStmt(*s.body());
+  branchTo(cond_bb, s.location());
+  break_targets_.pop_back();
+  continue_targets_.pop_back();
+
+  setBlock(end_bb);
+}
+
+void Lowering::lowerDo(const cfront::DoStmt& s) {
+  const unsigned n = label_counter_++;
+  BasicBlock* body_bb = fn_->createBlock("do.body." + std::to_string(n));
+  BasicBlock* cond_bb = fn_->createBlock("do.cond." + std::to_string(n));
+  BasicBlock* end_bb = fn_->createBlock("do.end." + std::to_string(n));
+
+  branchTo(body_bb, s.location());
+  break_targets_.push_back(end_bb);
+  continue_targets_.push_back(cond_bb);
+  setBlock(body_bb);
+  if (s.body() != nullptr) lowerStmt(*s.body());
+  branchTo(cond_bb, s.location());
+  break_targets_.pop_back();
+  continue_targets_.pop_back();
+
+  setBlock(cond_bb);
+  Value* cond = rvalue(*s.cond());
+  condBranch(cond, body_bb, end_bb, s.location());
+  setBlock(end_bb);
+}
+
+void Lowering::lowerFor(const cfront::ForStmt& s) {
+  const unsigned n = label_counter_++;
+  BasicBlock* cond_bb = fn_->createBlock("for.cond." + std::to_string(n));
+  BasicBlock* body_bb = fn_->createBlock("for.body." + std::to_string(n));
+  BasicBlock* step_bb = fn_->createBlock("for.step." + std::to_string(n));
+  BasicBlock* end_bb = fn_->createBlock("for.end." + std::to_string(n));
+
+  if (s.init() != nullptr) lowerStmt(*s.init());
+  branchTo(cond_bb, s.location());
+
+  setBlock(cond_bb);
+  if (s.cond() != nullptr) {
+    Value* cond = rvalue(*s.cond());
+    condBranch(cond, body_bb, end_bb, s.location());
+  } else {
+    branchTo(body_bb, s.location());
+  }
+
+  break_targets_.push_back(end_bb);
+  continue_targets_.push_back(step_bb);
+  setBlock(body_bb);
+  if (s.body() != nullptr) lowerStmt(*s.body());
+  branchTo(step_bb, s.location());
+  break_targets_.pop_back();
+  continue_targets_.pop_back();
+
+  setBlock(step_bb);
+  if (s.step() != nullptr) rvalue(*s.step());
+  branchTo(cond_bb, s.location());
+
+  setBlock(end_bb);
+}
+
+void Lowering::lowerSwitch(const cfront::SwitchStmt& s) {
+  const unsigned n = label_counter_++;
+  Value* cond = rvalue(*s.cond());
+  BasicBlock* dispatch = block_;
+  BasicBlock* end_bb = fn_->createBlock("switch.end." + std::to_string(n));
+
+  if (s.body() == nullptr || s.body()->kind() != Stmt::Kind::kCompound) {
+    diags_.error(s.location(), "lower",
+                 "switch body must be a compound statement");
+    setBlock(end_bb);
+    return;
+  }
+  const auto& body = static_cast<const cfront::CompoundStmt&>(*s.body());
+
+  // Lower the body into a chain of blocks, one starting at each case
+  // label; record (value, block) pairs. Fallthrough is the natural edge.
+  struct CaseTarget {
+    std::optional<std::int64_t> value;
+    BasicBlock* block;
+  };
+  std::vector<CaseTarget> cases;
+  break_targets_.push_back(end_bb);
+  block_ = nullptr;
+  for (const auto& sub : body.stmts()) {
+    if (sub->kind() == Stmt::Kind::kCase) {
+      const auto& cs = static_cast<const cfront::CaseStmt&>(*sub);
+      BasicBlock* case_bb = fn_->createBlock(
+          "switch.case." + std::to_string(n) + "." +
+          std::to_string(cases.size()));
+      if (block_ != nullptr) branchTo(case_bb, cs.location());  // fallthrough
+      setBlock(case_bb);
+      cases.push_back(CaseTarget{
+          cs.isDefault() ? std::nullopt : std::optional(cs.value()),
+          case_bb});
+      continue;
+    }
+    lowerStmt(*sub);
+  }
+  if (block_ != nullptr) branchTo(end_bb, s.location());
+  break_targets_.pop_back();
+
+  // Emit the dispatch chain in the block where the switch appeared.
+  setBlock(dispatch);
+  BasicBlock* default_bb = end_bb;
+  for (const CaseTarget& c : cases) {
+    if (!c.value.has_value()) default_bb = c.block;
+  }
+  for (const CaseTarget& c : cases) {
+    if (!c.value.has_value()) continue;
+    Instruction* cmp =
+        emit(Opcode::kCmp, module_.types().intType(), s.location());
+    cmp->cmp_op = CmpOp::kEq;
+    cmp->addOperand(cond);
+    cmp->addOperand(
+        module_.constantInt(*c.value, module_.types().longType()));
+    BasicBlock* next =
+        fn_->createBlock("switch.test." + std::to_string(n) + "." +
+                         std::to_string(label_counter_++));
+    condBranch(cmp, c.block, next, s.location());
+    setBlock(next);
+  }
+  branchTo(default_bb, s.location());
+  setBlock(end_bb);
+}
+
+void Lowering::lowerReturn(const cfront::ReturnStmt& s) {
+  Instruction* ret =
+      emit(Opcode::kRet, module_.types().voidType(), s.location());
+  if (s.value() != nullptr) {
+    // Emit the value first, then attach (emit order: value before ret).
+    block_->erase(ret);
+    Value* v = rvalue(*s.value());
+    v = coerce(v, fn_->functionType()->returnType(), s.location());
+    Instruction* ret2 =
+        emit(Opcode::kRet, module_.types().voidType(), s.location());
+    ret2->addOperand(v);
+  }
+  block_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+Value* Lowering::rvalue(const Expr& e) {
+  switch (e.kind()) {
+    case Expr::Kind::kIntLit:
+      return module_.constantInt(
+          static_cast<const cfront::IntLitExpr&>(e).value(), e.type());
+    case Expr::Kind::kFloatLit:
+      return module_.constantFloat(
+          static_cast<const cfront::FloatLitExpr&>(e).value(), e.type());
+    case Expr::Kind::kStringLit:
+      return module_.constantString(
+          static_cast<const cfront::StringLitExpr&>(e).value());
+    case Expr::Kind::kSizeof:
+      return module_.constantInt(
+          static_cast<std::int64_t>(
+              static_cast<const cfront::SizeofExpr&>(e).value()),
+          e.type());
+    case Expr::Kind::kDeclRef: {
+      const auto& ref = static_cast<const cfront::DeclRefExpr&>(e);
+      if (ref.decl()->kind() == cfront::ValueDecl::Kind::kFunction) {
+        const auto& fd =
+            static_cast<const cfront::FunctionDecl&>(*ref.decl());
+        // Taking a function as a value: resolve to the IR function; it is
+        // represented as itself (pointer semantics handled by caller).
+        Function* target = module_.findFunction(fd.name());
+        if (target == nullptr) target = functionFor(fd);
+        // Functions are not Values in this IR; represent the address as a
+        // ConstantString-like unique token via a dedicated global.
+        GlobalVar* fn_addr = module_.getOrCreateGlobal(
+            "@fnaddr." + fd.name(), fd.type(), fd.location());
+        return fn_addr;
+      }
+      const auto& vd = static_cast<const cfront::VarDecl&>(*ref.decl());
+      Value* addr = lvalue(e);
+      if (addr == nullptr) return module_.undef(e.type());
+      if (vd.type()->isArray()) return addr;  // decay: address of first elt
+      return emitLoad(addr, e.location());
+    }
+    case Expr::Kind::kUnary: {
+      const auto& u = static_cast<const cfront::UnaryExpr&>(e);
+      switch (u.op()) {
+        case cfront::UnaryOp::kAddrOf:
+          return lvalue(*u.operand());
+        case cfront::UnaryOp::kDeref: {
+          Value* addr = lvalue(e);
+          if (addr == nullptr) return module_.undef(e.type());
+          if (e.type()->isArray() || e.type()->isStruct()) return addr;
+          return emitLoad(addr, e.location());
+        }
+        case cfront::UnaryOp::kPreInc:
+        case cfront::UnaryOp::kPreDec:
+        case cfront::UnaryOp::kPostInc:
+        case cfront::UnaryOp::kPostDec:
+          return lowerIncDec(u);
+        case cfront::UnaryOp::kNeg: {
+          Value* v = rvalue(*u.operand());
+          Instruction* inst = emit(Opcode::kUnOp, e.type(), e.location());
+          inst->un_op = UnOp::kNeg;
+          inst->addOperand(v);
+          return inst;
+        }
+        case cfront::UnaryOp::kLogNot: {
+          Value* v = rvalue(*u.operand());
+          Instruction* inst = emit(Opcode::kUnOp, e.type(), e.location());
+          inst->un_op = UnOp::kNot;
+          inst->addOperand(v);
+          return inst;
+        }
+        case cfront::UnaryOp::kBitNot: {
+          Value* v = rvalue(*u.operand());
+          Instruction* inst = emit(Opcode::kUnOp, e.type(), e.location());
+          inst->un_op = UnOp::kBitNot;
+          inst->addOperand(v);
+          return inst;
+        }
+      }
+      return module_.undef(e.type());
+    }
+    case Expr::Kind::kBinary:
+      return lowerBinary(static_cast<const cfront::BinaryExpr&>(e));
+    case Expr::Kind::kAssign:
+      return lowerAssign(static_cast<const cfront::AssignExpr&>(e));
+    case Expr::Kind::kConditional:
+      return lowerConditional(
+          static_cast<const cfront::ConditionalExpr&>(e));
+    case Expr::Kind::kCall:
+      return lowerCall(static_cast<const cfront::CallExpr&>(e));
+    case Expr::Kind::kSubscript:
+    case Expr::Kind::kMember: {
+      Value* addr = lvalue(e);
+      if (addr == nullptr) return module_.undef(e.type());
+      if (e.type()->isArray() || e.type()->isStruct()) return addr;
+      return emitLoad(addr, e.location());
+    }
+    case Expr::Kind::kCast: {
+      const auto& c = static_cast<const cfront::CastExpr&>(e);
+      Value* v = rvalue(*c.operand());
+      return emitCast(v, e.type(), e.location());
+    }
+    case Expr::Kind::kInitList:
+      diags_.error(e.location(), "lower",
+                   "initializer list only allowed in declarations");
+      return module_.undef(e.type());
+  }
+  return module_.undef(e.type());
+}
+
+Value* Lowering::lvalue(const Expr& e) {
+  switch (e.kind()) {
+    case Expr::Kind::kDeclRef: {
+      const auto& ref = static_cast<const cfront::DeclRefExpr&>(e);
+      auto it = slots_.find(ref.decl());
+      if (it != slots_.end()) return it->second;
+      if (GlobalVar* g = module_.findGlobal(ref.decl()->name())) return g;
+      diags_.error(e.location(), "lower",
+                   "no storage for '" + ref.decl()->name() + "'");
+      return nullptr;
+    }
+    case Expr::Kind::kUnary: {
+      const auto& u = static_cast<const cfront::UnaryExpr&>(e);
+      if (u.op() == cfront::UnaryOp::kDeref) return rvalue(*u.operand());
+      break;
+    }
+    case Expr::Kind::kSubscript: {
+      const auto& s = static_cast<const cfront::SubscriptExpr&>(e);
+      Value* base = rvalue(*s.base());  // decayed pointer
+      Value* index = rvalue(*s.index());
+      Instruction* gep = emit(Opcode::kIndexAddr,
+                              module_.types().pointerTo(e.type()),
+                              e.location());
+      gep->addOperand(base);
+      gep->addOperand(index);
+      return gep;
+    }
+    case Expr::Kind::kMember: {
+      const auto& m = static_cast<const cfront::MemberExpr&>(e);
+      Value* base_addr =
+          m.isArrow() ? rvalue(*m.base()) : lvalue(*m.base());
+      if (base_addr == nullptr) return nullptr;
+      // Find the struct type to resolve the field index.
+      const Type* base_t = m.base()->type();
+      if (m.isArrow() && base_t->isPointer()) {
+        base_t = static_cast<const cfront::PointerType*>(base_t)->pointee();
+      }
+      if (!base_t->isStruct()) return nullptr;
+      const auto* st = static_cast<const cfront::StructType*>(base_t);
+      const int idx = st->fieldIndex(m.member());
+      if (idx < 0) return nullptr;
+      Instruction* gep = emit(Opcode::kFieldAddr,
+                              module_.types().pointerTo(e.type()),
+                              e.location());
+      gep->field_index = static_cast<unsigned>(idx);
+      gep->addOperand(base_addr);
+      return gep;
+    }
+    case Expr::Kind::kCast: {
+      // (T*)p used as lvalue target — lower operand as lvalue.
+      const auto& c = static_cast<const cfront::CastExpr&>(e);
+      return lvalue(*c.operand());
+    }
+    default:
+      break;
+  }
+  diags_.error(e.location(), "lower", "expression is not an lvalue");
+  return nullptr;
+}
+
+Value* Lowering::lowerBinary(const cfront::BinaryExpr& e) {
+  if (e.op() == cfront::BinaryOp::kLogAnd ||
+      e.op() == cfront::BinaryOp::kLogOr) {
+    return lowerShortCircuit(e);
+  }
+  if (e.op() == cfront::BinaryOp::kComma) {
+    rvalue(*e.lhs());
+    return rvalue(*e.rhs());
+  }
+  Value* lhs = rvalue(*e.lhs());
+  Value* rhs = rvalue(*e.rhs());
+
+  if (isComparison(e.op())) {
+    Instruction* cmp = emit(Opcode::kCmp, e.type(), e.location());
+    cmp->cmp_op = lowerCmpOp(e.op());
+    cmp->addOperand(lhs);
+    cmp->addOperand(rhs);
+    return cmp;
+  }
+
+  // Pointer arithmetic lowers to IndexAddr so shm offsets stay trackable.
+  const bool lhs_ptr = lhs->type()->isPointer();
+  const bool rhs_ptr = rhs->type()->isPointer();
+  if ((e.op() == cfront::BinaryOp::kAdd ||
+       e.op() == cfront::BinaryOp::kSub) &&
+      (lhs_ptr || rhs_ptr) && !(lhs_ptr && rhs_ptr)) {
+    Value* ptr = lhs_ptr ? lhs : rhs;
+    Value* idx = lhs_ptr ? rhs : lhs;
+    if (e.op() == cfront::BinaryOp::kSub) {
+      Instruction* neg =
+          emit(Opcode::kUnOp, idx->type(), e.location());
+      neg->un_op = UnOp::kNeg;
+      neg->addOperand(idx);
+      idx = neg;
+    }
+    Instruction* gep = emit(Opcode::kIndexAddr, ptr->type(), e.location());
+    gep->addOperand(ptr);
+    gep->addOperand(idx);
+    return gep;
+  }
+  if (lhs_ptr && rhs_ptr && e.op() == cfront::BinaryOp::kSub) {
+    // Pointer difference: representable as casts to long + subtraction.
+    Value* li = emitCast(lhs, module_.types().longType(), e.location());
+    Value* ri = emitCast(rhs, module_.types().longType(), e.location());
+    Instruction* sub = emit(Opcode::kBinOp, e.type(), e.location());
+    sub->bin_op = BinOp::kSub;
+    sub->addOperand(li);
+    sub->addOperand(ri);
+    return sub;
+  }
+
+  lhs = coerce(lhs, e.type(), e.location());
+  rhs = coerce(rhs, e.type(), e.location());
+  Instruction* inst = emit(Opcode::kBinOp, e.type(), e.location());
+  inst->bin_op = lowerBinOp(e.op());
+  inst->addOperand(lhs);
+  inst->addOperand(rhs);
+  return inst;
+}
+
+Value* Lowering::lowerShortCircuit(const cfront::BinaryExpr& e) {
+  const unsigned n = label_counter_++;
+  const bool is_and = e.op() == cfront::BinaryOp::kLogAnd;
+  // Temp slot holding the boolean result; mem2reg turns it into a phi.
+  auto tmp = std::make_unique<Instruction>(
+      Opcode::kAlloca, module_.types().pointerTo(module_.types().intType()),
+      e.location());
+  tmp->allocated_type = module_.types().intType();
+  tmp->setName("sc.tmp." + std::to_string(n));
+  Instruction* slot = entry_->prepend(std::move(tmp));
+
+  BasicBlock* rhs_bb = fn_->createBlock("sc.rhs." + std::to_string(n));
+  BasicBlock* end_bb = fn_->createBlock("sc.end." + std::to_string(n));
+
+  Value* lhs = rvalue(*e.lhs());
+  // Normalize to 0/1 and store as the result if we short-circuit.
+  Instruction* lhs_bool = emit(Opcode::kCmp, e.type(), e.location());
+  lhs_bool->cmp_op = CmpOp::kNe;
+  lhs_bool->addOperand(lhs);
+  lhs_bool->addOperand(module_.constantInt(0, module_.types().intType()));
+  emitStore(lhs_bool, slot, e.location());
+  if (is_and) {
+    condBranch(lhs_bool, rhs_bb, end_bb, e.location());
+  } else {
+    condBranch(lhs_bool, end_bb, rhs_bb, e.location());
+  }
+
+  setBlock(rhs_bb);
+  Value* rhs = rvalue(*e.rhs());
+  Instruction* rhs_bool = emit(Opcode::kCmp, e.type(), e.location());
+  rhs_bool->cmp_op = CmpOp::kNe;
+  rhs_bool->addOperand(rhs);
+  rhs_bool->addOperand(module_.constantInt(0, module_.types().intType()));
+  emitStore(rhs_bool, slot, e.location());
+  branchTo(end_bb, e.location());
+
+  setBlock(end_bb);
+  return emitLoad(slot, e.location());
+}
+
+Value* Lowering::lowerConditional(const cfront::ConditionalExpr& e) {
+  const unsigned n = label_counter_++;
+  auto tmp = std::make_unique<Instruction>(
+      Opcode::kAlloca, module_.types().pointerTo(e.type()), e.location());
+  tmp->allocated_type = e.type();
+  tmp->setName("cond.tmp." + std::to_string(n));
+  Instruction* slot = entry_->prepend(std::move(tmp));
+
+  BasicBlock* then_bb = fn_->createBlock("cond.then." + std::to_string(n));
+  BasicBlock* else_bb = fn_->createBlock("cond.else." + std::to_string(n));
+  BasicBlock* end_bb = fn_->createBlock("cond.end." + std::to_string(n));
+
+  Value* cond = rvalue(*e.cond());
+  condBranch(cond, then_bb, else_bb, e.location());
+
+  setBlock(then_bb);
+  Value* tv = rvalue(*e.thenExpr());
+  emitStore(coerce(tv, e.type(), e.location()), slot, e.location());
+  branchTo(end_bb, e.location());
+
+  setBlock(else_bb);
+  Value* ev = rvalue(*e.elseExpr());
+  emitStore(coerce(ev, e.type(), e.location()), slot, e.location());
+  branchTo(end_bb, e.location());
+
+  setBlock(end_bb);
+  return emitLoad(slot, e.location());
+}
+
+Value* Lowering::lowerAssign(const cfront::AssignExpr& e) {
+  Value* addr = lvalue(*e.lhs());
+  if (addr == nullptr) return module_.undef(e.type());
+  Value* result = nullptr;
+  if (e.compoundOp().has_value()) {
+    Value* old = emitLoad(addr, e.location());
+    Value* rhs = rvalue(*e.rhs());
+    const cfront::BinaryOp op = *e.compoundOp();
+    if (old->type()->isPointer() &&
+        (op == cfront::BinaryOp::kAdd || op == cfront::BinaryOp::kSub)) {
+      if (op == cfront::BinaryOp::kSub) {
+        Instruction* neg = emit(Opcode::kUnOp, rhs->type(), e.location());
+        neg->un_op = UnOp::kNeg;
+        neg->addOperand(rhs);
+        rhs = neg;
+      }
+      Instruction* gep = emit(Opcode::kIndexAddr, old->type(), e.location());
+      gep->addOperand(old);
+      gep->addOperand(rhs);
+      result = gep;
+    } else {
+      rhs = coerce(rhs, e.type(), e.location());
+      Instruction* inst = emit(Opcode::kBinOp, e.type(), e.location());
+      inst->bin_op = lowerBinOp(op);
+      inst->addOperand(old);
+      inst->addOperand(rhs);
+      result = inst;
+    }
+  } else {
+    result = coerce(rvalue(*e.rhs()), e.type(), e.location());
+  }
+  emitStore(result, addr, e.location());
+  return result;
+}
+
+Value* Lowering::lowerIncDec(const cfront::UnaryExpr& e) {
+  Value* addr = lvalue(*e.operand());
+  if (addr == nullptr) return module_.undef(e.type());
+  Value* old = emitLoad(addr, e.location());
+  const bool inc = e.op() == cfront::UnaryOp::kPreInc ||
+                   e.op() == cfront::UnaryOp::kPostInc;
+  Value* updated = nullptr;
+  if (old->type()->isPointer()) {
+    Instruction* gep = emit(Opcode::kIndexAddr, old->type(), e.location());
+    gep->addOperand(old);
+    gep->addOperand(
+        module_.constantInt(inc ? 1 : -1, module_.types().intType()));
+    updated = gep;
+  } else {
+    Instruction* inst = emit(Opcode::kBinOp, old->type(), e.location());
+    inst->bin_op = inc ? BinOp::kAdd : BinOp::kSub;
+    inst->addOperand(old);
+    inst->addOperand(module_.constantInt(1, old->type()));
+    updated = inst;
+  }
+  emitStore(updated, addr, e.location());
+  const bool is_pre = e.op() == cfront::UnaryOp::kPreInc ||
+                      e.op() == cfront::UnaryOp::kPreDec;
+  return is_pre ? updated : old;
+}
+
+Value* Lowering::lowerCall(const cfront::CallExpr& e) {
+  Function* direct = nullptr;
+  Value* indirect = nullptr;
+  if (e.callee()->kind() == Expr::Kind::kDeclRef) {
+    const auto& ref = static_cast<const cfront::DeclRefExpr&>(*e.callee());
+    if (ref.decl()->kind() == cfront::ValueDecl::Kind::kFunction) {
+      const auto& fd = static_cast<const cfront::FunctionDecl&>(*ref.decl());
+      direct = functionFor(fd);
+    }
+  }
+  if (direct == nullptr) indirect = rvalue(*e.callee());
+
+  std::vector<Value*> args;
+  args.reserve(e.args().size());
+  for (const auto& a : e.args()) args.push_back(rvalue(*a));
+
+  Instruction* call = emit(Opcode::kCall, e.type(), e.location());
+  call->direct_callee = direct;
+  if (indirect != nullptr) call->addOperand(indirect);
+  for (Value* a : args) call->addOperand(a);
+  return call;
+}
+
+}  // namespace safeflow::ir

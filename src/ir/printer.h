@@ -1,0 +1,13 @@
+// Textual IR dump for debugging and golden tests.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace safeflow::ir {
+
+[[nodiscard]] std::string print(const Module& module);
+[[nodiscard]] std::string print(const Function& fn);
+
+}  // namespace safeflow::ir

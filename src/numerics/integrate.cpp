@@ -1,0 +1,37 @@
+#include "numerics/integrate.h"
+
+#include <cassert>
+
+namespace safeflow::numerics {
+
+namespace {
+StateVector axpy(const StateVector& x, const StateVector& d, double s) {
+  StateVector out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + s * d[i];
+  return out;
+}
+}  // namespace
+
+StateVector rk4Step(const Dynamics& f, const StateVector& x, double u,
+                    double dt) {
+  const StateVector k1 = f(x, u);
+  const StateVector k2 = f(axpy(x, k1, dt / 2.0), u);
+  const StateVector k3 = f(axpy(x, k2, dt / 2.0), u);
+  const StateVector k4 = f(axpy(x, k3, dt), u);
+  StateVector out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = x[i] + dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  }
+  return out;
+}
+
+StateVector rk4StepSub(const Dynamics& f, const StateVector& x, double u,
+                       double dt, unsigned substeps) {
+  assert(substeps > 0);
+  StateVector cur = x;
+  const double h = dt / substeps;
+  for (unsigned i = 0; i < substeps; ++i) cur = rk4Step(f, cur, u, h);
+  return cur;
+}
+
+}  // namespace safeflow::numerics

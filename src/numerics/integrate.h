@@ -1,0 +1,22 @@
+// Fixed-step Runge–Kutta 4 integration for plant simulation.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace safeflow::numerics {
+
+using StateVector = std::vector<double>;
+/// dx/dt = f(x, u) for a scalar input u.
+using Dynamics =
+    std::function<StateVector(const StateVector& x, double u)>;
+
+/// One RK4 step of length dt.
+[[nodiscard]] StateVector rk4Step(const Dynamics& f, const StateVector& x,
+                                  double u, double dt);
+
+/// n sub-steps of dt/n each (improves accuracy for stiff-ish plants).
+[[nodiscard]] StateVector rk4StepSub(const Dynamics& f, const StateVector& x,
+                                     double u, double dt, unsigned substeps);
+
+}  // namespace safeflow::numerics

@@ -1,0 +1,185 @@
+#include "numerics/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace safeflow::numerics {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows.begin() == rows.end() ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("ragged matrix initializer");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::columnVector(std::initializer_list<double> values) {
+  Matrix m(values.size(), 1);
+  std::size_t i = 0;
+  for (double v : values) m(i++, 0) = v;
+  return m;
+}
+
+Matrix Matrix::columnVector(const std::vector<double>& values) {
+  Matrix m(values.size(), 1);
+  for (std::size_t i = 0; i < values.size(); ++i) m(i, 0) = values[i];
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("matrix index");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("matrix index");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::operator+(const Matrix& o) const {
+  if (!sameShape(o)) throw std::invalid_argument("shape mismatch in +");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] + o.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& o) const {
+  if (!sameShape(o)) throw std::invalid_argument("shape mismatch in -");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] - o.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& o) const {
+  if (cols_ != o.rows_) throw std::invalid_argument("shape mismatch in *");
+  Matrix out(rows_, o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = data_[i * cols_ + k];
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < o.cols_; ++j) {
+        out.data_[i * o.cols_ + j] += a * o.data_[k * o.cols_ + j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * s;
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  if (!sameShape(o)) throw std::invalid_argument("shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix operator*(double s, const Matrix& m) { return m * s; }
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out(j, i) = (*this)(i, j);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::inverse() const {
+  if (!isSquare()) throw std::invalid_argument("inverse of non-square");
+  const std::size_t n = rows_;
+  Matrix aug(n, 2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) aug(i, j) = (*this)(i, j);
+    aug(i, n + i) = 1.0;
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(aug(r, col)) > std::abs(aug(pivot, col))) pivot = r;
+    }
+    if (std::abs(aug(pivot, col)) < 1e-12) {
+      throw std::runtime_error("singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < 2 * n; ++j) {
+        std::swap(aug(col, j), aug(pivot, j));
+      }
+    }
+    const double d = aug(col, col);
+    for (std::size_t j = 0; j < 2 * n; ++j) aug(col, j) /= d;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = aug(r, col);
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < 2 * n; ++j) {
+        aug(r, j) -= f * aug(col, j);
+      }
+    }
+  }
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) out(i, j) = aug(i, n + j);
+  }
+  return out;
+}
+
+Matrix Matrix::solve(const Matrix& b) const { return inverse() * b; }
+
+double Matrix::norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::maxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double Matrix::quadraticForm(const Matrix& x, const Matrix& y) const {
+  const Matrix r = x.transpose() * (*this) * y;
+  return r(0, 0);
+}
+
+bool Matrix::approxEquals(const Matrix& o, double tol) const {
+  if (!sameShape(o)) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - o.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::str() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    out << (i == 0 ? "[" : " ");
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out << (j == 0 ? "" : ", ") << (*this)(i, j);
+    }
+    out << (i + 1 == rows_ ? "]" : ";\n");
+  }
+  return out.str();
+}
+
+}  // namespace safeflow::numerics

@@ -1,0 +1,70 @@
+// Small dense-matrix library for the control-engineering substrate: the
+// LQR/Riccati synthesis and Lyapunov-envelope monitors only need a few
+// 4x4..6x6 operations, so this favours clarity over BLAS-grade speed.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace safeflow::numerics {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  /// Row-major brace construction: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+  static Matrix zeros(std::size_t rows, std::size_t cols) {
+    return Matrix(rows, cols);
+  }
+  /// Column vector from values.
+  static Matrix columnVector(std::initializer_list<double> values);
+  static Matrix columnVector(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool isSquare() const { return rows_ == cols_; }
+  [[nodiscard]] bool sameShape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  Matrix operator+(const Matrix& o) const;
+  Matrix operator-(const Matrix& o) const;
+  Matrix operator*(const Matrix& o) const;
+  Matrix operator*(double s) const;
+  Matrix& operator+=(const Matrix& o);
+
+  [[nodiscard]] Matrix transpose() const;
+  /// Gauss-Jordan inverse; throws std::runtime_error on singularity.
+  [[nodiscard]] Matrix inverse() const;
+  /// Solves A x = b for x (this is A).
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double norm() const;
+  /// Max absolute element.
+  [[nodiscard]] double maxAbs() const;
+  /// x' * M * y for column vectors (quadratic form when x == y).
+  [[nodiscard]] double quadraticForm(const Matrix& x, const Matrix& y) const;
+
+  [[nodiscard]] bool approxEquals(const Matrix& o, double tol = 1e-9) const;
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator*(double s, const Matrix& m);
+
+}  // namespace safeflow::numerics

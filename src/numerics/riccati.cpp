@@ -1,0 +1,52 @@
+#include "numerics/riccati.h"
+
+namespace safeflow::numerics {
+
+LqrResult solveDiscreteLqr(const Matrix& A, const Matrix& B, const Matrix& Q,
+                           const Matrix& R, std::size_t max_iterations,
+                           double tolerance) {
+  LqrResult out;
+  Matrix P = Q;
+  const Matrix At = A.transpose();
+  const Matrix Bt = B.transpose();
+  for (std::size_t i = 0; i < max_iterations; ++i) {
+    const Matrix BtP = Bt * P;
+    const Matrix gain_denominator = R + BtP * B;
+    const Matrix K = gain_denominator.inverse() * BtP * A;
+    const Matrix next = At * P * A - At * P * B * K + Q;
+    const double delta = (next - P).maxAbs();
+    P = next;
+    if (delta < tolerance) {
+      out.converged = true;
+      out.iterations = i + 1;
+      break;
+    }
+    out.iterations = i + 1;
+  }
+  const Matrix BtP = B.transpose() * P;
+  out.gain = (R + BtP * B).inverse() * BtP * A;
+  out.cost_to_go = P;
+  return out;
+}
+
+std::optional<Matrix> solveDiscreteLyapunov(const Matrix& A, const Matrix& Q,
+                                            std::size_t max_iterations,
+                                            double tolerance) {
+  Matrix P = Q;
+  Matrix term = Q;
+  Matrix Ak = A;  // A^(k)
+  for (std::size_t i = 0; i < max_iterations; ++i) {
+    term = Ak.transpose() * Q * Ak;
+    P += term;
+    if (term.maxAbs() < tolerance) return P;
+    Ak = Ak * A;
+    if (Ak.maxAbs() > 1e12) return std::nullopt;  // diverging: A unstable
+  }
+  return std::nullopt;
+}
+
+Discretized discretize(const Matrix& A, const Matrix& B, double dt) {
+  return Discretized{Matrix::identity(A.rows()) + A * dt, B * dt};
+}
+
+}  // namespace safeflow::numerics

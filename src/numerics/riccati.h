@@ -1,0 +1,45 @@
+// Discrete-time LQR synthesis (iterated Riccati difference equation) and
+// the discrete Lyapunov equation — the mathematics behind the Simplex
+// architecture's safety controller and its stability-envelope monitor
+// (paper §1: "the Lyapunov stability envelope proposed by the Simplex
+// architecture [22] as a run-time monitor").
+#pragma once
+
+#include <optional>
+
+#include "numerics/matrix.h"
+
+namespace safeflow::numerics {
+
+struct LqrResult {
+  Matrix gain;          // K: u = -K x
+  Matrix cost_to_go;    // P from the Riccati fixed point
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Solves the infinite-horizon discrete LQR problem for x' = A x + B u
+/// with stage cost x'Qx + u'Ru by iterating the Riccati difference
+/// equation to a fixed point.
+[[nodiscard]] LqrResult solveDiscreteLqr(const Matrix& A, const Matrix& B,
+                                         const Matrix& Q, const Matrix& R,
+                                         std::size_t max_iterations = 10000,
+                                         double tolerance = 1e-10);
+
+/// Solves the discrete Lyapunov equation  P = A' P A + Q  by the
+/// converging series sum A'^k Q A^k (requires A Schur-stable). Returns
+/// nullopt when the series fails to converge.
+[[nodiscard]] std::optional<Matrix> solveDiscreteLyapunov(
+    const Matrix& A, const Matrix& Q, std::size_t max_iterations = 20000,
+    double tolerance = 1e-12);
+
+/// Euler discretization of continuous dynamics xdot = A x + B u:
+/// Ad = I + A dt, Bd = B dt.
+struct Discretized {
+  Matrix A;
+  Matrix B;
+};
+[[nodiscard]] Discretized discretize(const Matrix& A, const Matrix& B,
+                                     double dt);
+
+}  // namespace safeflow::numerics

@@ -1,0 +1,130 @@
+#include "safeflow/corpus_info.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/loc_counter.h"
+#include "support/text_diff.h"
+
+namespace safeflow {
+
+namespace {
+
+std::vector<std::string> prefixAll(const std::string& dir,
+                                   std::vector<std::string> files) {
+  for (std::string& f : files) f = dir + "/" + f;
+  return files;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+std::vector<CorpusSystem> corpusSystems(const std::string& corpus_dir) {
+  std::vector<CorpusSystem> systems;
+
+  {
+    CorpusSystem ip;
+    ip.name = "ip";
+    ip.display_name = "IP";
+    const std::string root = corpus_dir + "/ip";
+    ip.core_files = prefixAll(
+        root, {"core/comm.c", "core/safety.c", "core/filter.c",
+               "core/telemetry.c", "core/selftest.c", "core/decision.c",
+               "core/main.c"});
+    ip.all_files = prefixAll(
+        root, {"core/comm.c", "core/safety.c", "core/filter.c",
+               "core/telemetry.c", "core/selftest.c", "core/decision.c",
+               "core/main.c", "common/ipc_types.h", "common/sys.h",
+               "noncore/ncctrl.c", "noncore/ui.c", "noncore/trace.c"});
+    ip.refactor_pairs = {{root + "/original/decision.c",
+                          root + "/core/decision.c"}};
+    ip.paper = PaperRow{7079, 820, 7, 86, 1, 11, 1, 7, 2};
+    systems.push_back(std::move(ip));
+  }
+
+  {
+    CorpusSystem gs;
+    gs.name = "generic_simplex";
+    gs.display_name = "Generic Simplex";
+    const std::string root = corpus_dir + "/generic_simplex";
+    gs.core_files = prefixAll(
+        root, {"core/comm.c", "core/config.c", "core/safety.c",
+               "core/profile.c", "core/watchdog.c", "core/estimator.c",
+               "core/monitors.c", "core/main.c"});
+    gs.all_files = prefixAll(
+        root, {"core/comm.c", "core/config.c", "core/safety.c",
+               "core/profile.c", "core/watchdog.c", "core/estimator.c",
+               "core/monitors.c", "core/main.c", "common/gs_types.h",
+               "common/sys.h", "noncore/adaptive.c", "noncore/tuner.c",
+               "noncore/logger.c", "noncore/console.c"});
+    gs.refactor_pairs = {};  // no source changes were needed (Table 1)
+    gs.paper = PaperRow{8057, 1020, 0, 0, 0, 22, 2, 7, 6};
+    systems.push_back(std::move(gs));
+  }
+
+  {
+    CorpusSystem dip;
+    dip.name = "double_ip";
+    dip.display_name = "Double IP";
+    const std::string root = corpus_dir + "/double_ip";
+    dip.core_files = prefixAll(
+        root, {"core/comm.c", "core/safety.c", "core/estimator.c",
+               "core/trajectory.c", "core/decision.c", "core/modes.c",
+               "core/main.c"});
+    dip.all_files = prefixAll(
+        root, {"core/comm.c", "core/safety.c", "core/estimator.c",
+               "core/trajectory.c", "core/decision.c", "core/modes.c",
+               "core/main.c", "common/dip_types.h",
+               "common/sys.h", "noncore/swingup.c", "noncore/ncctrl2.c",
+               "noncore/console.c", "noncore/replay.c"});
+    dip.refactor_pairs = {{root + "/original/decision.c",
+                           root + "/core/decision.c"}};
+    dip.paper = PaperRow{7188, 929, 7, 88, 1, 23, 2, 8, 2};
+    systems.push_back(std::move(dip));
+  }
+
+  return systems;
+}
+
+SafeFlowOptions corpusAnalysisOptions() {
+  SafeFlowOptions options;
+  options.taint.implicit_critical_calls = {{"kill", 0}};
+  return options;
+}
+
+MeasuredRow measureSystem(const CorpusSystem& system) {
+  MeasuredRow row;
+
+  SafeFlowDriver driver(corpusAnalysisOptions());
+  for (const std::string& f : system.core_files) driver.addFile(f);
+  driver.analyze();
+
+  row.frontend_clean = !driver.hasFrontendErrors();
+  row.loc_core = static_cast<int>(driver.stats().loc.code_lines);
+  row.annotation_lines = static_cast<int>(driver.stats().annotation_lines);
+  row.warnings = static_cast<int>(driver.report().warnings.size());
+  row.error_dependencies = static_cast<int>(driver.report().dataErrorCount());
+  row.false_positives =
+      static_cast<int>(driver.report().controlErrorCount());
+  row.restriction_violations =
+      static_cast<int>(driver.report().restriction_violations.size());
+  row.analysis_seconds = driver.stats().analysis_seconds;
+
+  for (const std::string& f : system.all_files) {
+    const auto loc = support::countLoc(slurp(f));
+    row.loc_total += static_cast<int>(loc.code_lines);
+  }
+  for (const auto& [original, shipped] : system.refactor_pairs) {
+    const auto d = support::diffLines(slurp(original), slurp(shipped));
+    row.source_changes += static_cast<int>(d.changed());
+  }
+  return row;
+}
+
+}  // namespace safeflow

@@ -1,0 +1,62 @@
+// Manifest of the reconstructed evaluation corpora (paper §4, Table 1):
+// which files make up each system, which of them form the analyzed core
+// component, and the numbers the paper reports for comparison.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "safeflow/driver.h"
+
+namespace safeflow {
+
+struct PaperRow {
+  int loc_total = 0;
+  int loc_core = 0;
+  int source_changes = 0;  // changed lines (0 when no refactor was needed)
+  int source_diff_lines = 0;  // the paper's "(diff output)" figure
+  int changed_functions = 0;
+  int annotation_lines = 0;
+  int error_dependencies = 0;
+  int warnings = 0;
+  int false_positives = 0;
+};
+
+struct CorpusSystem {
+  std::string name;
+  std::string display_name;
+  /// Files handed to the SafeFlow driver (the core component).
+  std::vector<std::string> core_files;
+  /// Everything that makes up the system (for the total-LOC column).
+  std::vector<std::string> all_files;
+  /// (original, shipped) pairs diffed for the source-changes column.
+  std::vector<std::pair<std::string, std::string>> refactor_pairs;
+  PaperRow paper;
+};
+
+/// The three evaluation systems rooted at `corpus_dir`.
+[[nodiscard]] std::vector<CorpusSystem> corpusSystems(
+    const std::string& corpus_dir);
+
+/// Options used for all corpus analyses: the pid argument of kill is
+/// critical in every system (paper §4).
+[[nodiscard]] SafeFlowOptions corpusAnalysisOptions();
+
+/// Row of Table 1 measured on one system.
+struct MeasuredRow {
+  int loc_total = 0;
+  int loc_core = 0;
+  int source_changes = 0;
+  int annotation_lines = 0;
+  int error_dependencies = 0;
+  int warnings = 0;
+  int false_positives = 0;
+  int restriction_violations = 0;
+  bool frontend_clean = false;
+  double analysis_seconds = 0.0;
+};
+
+/// Runs the full pipeline on one system and fills a measured row.
+[[nodiscard]] MeasuredRow measureSystem(const CorpusSystem& system);
+
+}  // namespace safeflow

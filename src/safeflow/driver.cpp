@@ -1,0 +1,193 @@
+#include "safeflow/driver.h"
+
+#include <algorithm>
+
+#include "analysis/alias.h"
+#include "analysis/shm_propagation.h"
+#include "analysis/shm_regions.h"
+#include "ir/callgraph.h"
+#include "ir/lowering.h"
+#include "ir/ssa.h"
+
+namespace safeflow {
+
+namespace {
+
+std::size_t lineSpan(const std::string& text) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.end(), '\n'));
+}
+
+void countAnnotationsInStmt(const cfront::Stmt* stmt, SafeFlowStats& stats) {
+  if (stmt == nullptr) return;
+  switch (stmt->kind()) {
+    case cfront::Stmt::Kind::kAnnotation: {
+      const auto& a =
+          static_cast<const cfront::AnnotationStmt*>(stmt)->annotation();
+      ++stats.annotation_count;
+      stats.annotation_lines += lineSpan(a.text);
+      return;
+    }
+    case cfront::Stmt::Kind::kCompound:
+      for (const auto& s :
+           static_cast<const cfront::CompoundStmt*>(stmt)->stmts()) {
+        countAnnotationsInStmt(s.get(), stats);
+      }
+      return;
+    case cfront::Stmt::Kind::kIf: {
+      const auto* s = static_cast<const cfront::IfStmt*>(stmt);
+      countAnnotationsInStmt(s->thenStmt(), stats);
+      countAnnotationsInStmt(s->elseStmt(), stats);
+      return;
+    }
+    case cfront::Stmt::Kind::kWhile:
+      countAnnotationsInStmt(
+          static_cast<const cfront::WhileStmt*>(stmt)->body(), stats);
+      return;
+    case cfront::Stmt::Kind::kDo:
+      countAnnotationsInStmt(
+          static_cast<const cfront::DoStmt*>(stmt)->body(), stats);
+      return;
+    case cfront::Stmt::Kind::kFor: {
+      const auto* s = static_cast<const cfront::ForStmt*>(stmt);
+      countAnnotationsInStmt(s->init(), stats);
+      countAnnotationsInStmt(s->body(), stats);
+      return;
+    }
+    case cfront::Stmt::Kind::kSwitch:
+      countAnnotationsInStmt(
+          static_cast<const cfront::SwitchStmt*>(stmt)->body(), stats);
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+SafeFlowDriver::SafeFlowDriver(SafeFlowOptions options)
+    : options_(std::move(options)), frontend_(options_.include_dirs) {
+  for (const auto& [name, value] : options_.defines) {
+    frontend_.predefine(name, value);
+  }
+}
+
+SafeFlowDriver::~SafeFlowDriver() = default;
+
+bool SafeFlowDriver::addFile(const std::string& path) {
+  ++stats_.files;
+  const bool ok = frontend_.parseFile(path);
+  if (!ok) frontend_errors_ = true;
+  // Aggregate LOC over the file as it exists on disk.
+  support::SourceManager probe;
+  if (auto id = probe.addFile(path)) {
+    const auto loc = support::countLoc(probe.contents(*id));
+    stats_.loc.total_lines += loc.total_lines;
+    stats_.loc.code_lines += loc.code_lines;
+    stats_.loc.comment_lines += loc.comment_lines;
+    stats_.loc.blank_lines += loc.blank_lines;
+  }
+  return ok;
+}
+
+bool SafeFlowDriver::addSource(std::string name, std::string text) {
+  ++stats_.files;
+  const auto loc = support::countLoc(text);
+  stats_.loc.total_lines += loc.total_lines;
+  stats_.loc.code_lines += loc.code_lines;
+  stats_.loc.comment_lines += loc.comment_lines;
+  stats_.loc.blank_lines += loc.blank_lines;
+  const bool ok = frontend_.parseBuffer(std::move(name), std::move(text));
+  if (!ok) frontend_errors_ = true;
+  return ok;
+}
+
+const support::SourceManager& SafeFlowDriver::sources() const {
+  return frontend_.sources();
+}
+
+const support::DiagnosticEngine& SafeFlowDriver::diagnostics() const {
+  return frontend_.diagnostics();
+}
+
+void SafeFlowDriver::countAnnotations() {
+  for (const auto& fn : frontend_.unit().functions()) {
+    for (const auto& a : fn->entryAnnotations()) {
+      ++stats_.annotation_count;
+      stats_.annotation_lines += lineSpan(a.text);
+    }
+    countAnnotationsInStmt(fn->body(), stats_);
+  }
+}
+
+const analysis::SafeFlowReport& SafeFlowDriver::analyze() {
+  if (analyzed_) return report_;
+  analyzed_ = true;
+  const auto start = std::chrono::steady_clock::now();
+
+  auto& diags = frontend_.diagnostics();
+
+  module_ = std::make_unique<ir::Module>(frontend_.types());
+  ir::Lowering lowering(frontend_.unit(), *module_, diags);
+  if (!lowering.run()) {
+    frontend_errors_ = true;
+    return report_;
+  }
+  ir::promoteModuleToSsa(*module_);
+
+  countAnnotations();
+  stats_.functions = module_->functions().size();
+  for (const auto& fn : module_->functions()) {
+    if (fn->annotations.is_monitor) ++stats_.monitor_functions;
+    if (fn->annotations.is_shminit) ++stats_.init_functions;
+  }
+
+  const auto regions = analysis::ShmRegionTable::build(*module_, diags);
+  stats_.shm_regions = regions.regions().size();
+  stats_.noncore_regions = regions.noncoreCount();
+
+  ir::CallGraph callgraph(*module_);
+
+  analysis::ShmPointerAnalysis shm(*module_, regions, callgraph);
+  shm.run();
+  stats_.shm_iterations = shm.iterations();
+
+  analysis::RestrictionChecker restrictions(*module_, regions, shm,
+                                            options_.restrictions);
+  report_.restriction_violations = restrictions.run(diags);
+
+  analysis::AliasAnalysis alias(*module_, regions, callgraph,
+                                options_.alias);
+  alias.run();
+
+  analysis::TaintAnalysis taint(*module_, regions, shm, alias, callgraph,
+                                options_.taint);
+  taint.run(report_);
+  stats_.taint_body_analyses = taint.bodyAnalyses();
+
+  // Mirror report entries into the diagnostic stream so tooling that only
+  // consumes diagnostics sees everything.
+  for (const auto& w : report_.warnings) {
+    diags.warning(w.location, "safeflow.warning",
+                  "unmonitored read of non-core region '" + w.region_name +
+                      "' in " + w.function);
+  }
+  for (const auto& e : report_.errors) {
+    const bool data = e.kind ==
+                      analysis::CriticalDependencyError::Kind::kData;
+    diags.report(
+        data ? support::Severity::kError : support::Severity::kWarning,
+        e.assert_location,
+        data ? "safeflow.error" : "safeflow.control-dep",
+        "critical value '" + e.critical_value +
+            "' depends on unmonitored non-core values" +
+            (data ? "" : " (control dependence only: review manually)"));
+  }
+
+  stats_.analysis_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report_;
+}
+
+}  // namespace safeflow

@@ -1,0 +1,90 @@
+// SafeFlow public entry point. Typical use:
+//
+//   safeflow::SafeFlowDriver driver;
+//   driver.addFile("core/controller.c");
+//   driver.addFile("core/decision.c");
+//   const auto& report = driver.analyze();
+//   std::cout << report.render(driver.sources());
+//
+// The driver owns the whole pipeline: C front end, IR lowering + SSA,
+// shared-memory region discovery, phase 1 pointer propagation, phase 2
+// restriction checking, the alias analysis, and the phase 3 value-flow /
+// critical-data analysis.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "analysis/restrictions.h"
+#include "analysis/taint.h"
+#include "cfront/frontend.h"
+#include "ir/ir.h"
+#include "support/loc_counter.h"
+
+namespace safeflow {
+
+struct SafeFlowOptions {
+  std::vector<std::string> include_dirs;
+  std::vector<std::pair<std::string, std::string>> defines;
+  analysis::TaintOptions taint;
+  analysis::AliasOptions alias;
+  analysis::RestrictionOptions restrictions;
+};
+
+struct SafeFlowStats {
+  std::size_t files = 0;
+  support::LocStats loc;  // aggregated over added files
+  std::size_t annotation_count = 0;
+  std::size_t annotation_lines = 0;
+  std::size_t functions = 0;
+  std::size_t monitor_functions = 0;
+  std::size_t init_functions = 0;
+  std::size_t shm_regions = 0;
+  std::size_t noncore_regions = 0;
+  std::size_t shm_iterations = 0;
+  std::size_t taint_body_analyses = 0;
+  double analysis_seconds = 0.0;
+};
+
+class SafeFlowDriver {
+ public:
+  explicit SafeFlowDriver(SafeFlowOptions options = {});
+  ~SafeFlowDriver();
+  SafeFlowDriver(const SafeFlowDriver&) = delete;
+  SafeFlowDriver& operator=(const SafeFlowDriver&) = delete;
+
+  /// Adds a core-component source file (or buffer) to the analysis set.
+  bool addFile(const std::string& path);
+  bool addSource(std::string name, std::string text);
+
+  /// Runs every phase and returns the report. Idempotent: repeated calls
+  /// return the same report.
+  const analysis::SafeFlowReport& analyze();
+
+  [[nodiscard]] const analysis::SafeFlowReport& report() const {
+    return report_;
+  }
+  [[nodiscard]] const SafeFlowStats& stats() const { return stats_; }
+  [[nodiscard]] const support::SourceManager& sources() const;
+  [[nodiscard]] const support::DiagnosticEngine& diagnostics() const;
+  [[nodiscard]] bool hasFrontendErrors() const { return frontend_errors_; }
+  /// The lowered module (valid after analyze()).
+  [[nodiscard]] const ir::Module* module() const { return module_.get(); }
+
+ private:
+  void countAnnotations();
+
+  SafeFlowOptions options_;
+  cfront::Frontend frontend_;
+  std::unique_ptr<ir::Module> module_;
+  analysis::SafeFlowReport report_;
+  SafeFlowStats stats_;
+  bool analyzed_ = false;
+  bool frontend_errors_ = false;
+};
+
+}  // namespace safeflow

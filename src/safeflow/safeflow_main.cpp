@@ -1,0 +1,136 @@
+// The `safeflow` command-line tool: run the analysis over a core
+// component's C files.
+//
+//   safeflow [options] file.c [file2.c ...]
+//
+//   -I <dir>            add an include directory
+//   -D NAME[=VALUE]     predefine a macro
+//   --mode=summaries    ESP-style parameterized summaries (default)
+//   --mode=call-strings the prototype's context-cloning algorithm
+//   --no-control-deps   do not track control dependence
+//   --kill-critical     treat kill's pid argument as implicitly critical
+//   --dot <file>        write the value-flow graph (Graphviz) to <file>
+//   --quiet             print only the summary line
+//
+// Exit status: 0 clean, 1 error dependencies found, 2 usage/front-end
+// errors.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "safeflow/driver.h"
+
+namespace {
+
+void usage() {
+  std::cerr
+      << "usage: safeflow [options] file.c [file2.c ...]\n"
+         "  -I <dir>            add an include directory\n"
+         "  -D NAME[=VALUE]     predefine a macro\n"
+         "  --mode=summaries|call-strings   interprocedural engine\n"
+         "  --no-control-deps   disable control-dependence tracking\n"
+         "  --kill-critical     kill's pid argument is critical data\n"
+         "  --dot <file>        write the value-flow graph to <file>\n"
+         "  --json              print the report as JSON\n"
+         "  --quiet             print only the summary line\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace safeflow;
+
+  SafeFlowOptions options;
+  std::vector<std::string> files;
+  std::string dot_path;
+  bool quiet = false;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-I" && i + 1 < argc) {
+      options.include_dirs.emplace_back(argv[++i]);
+    } else if (arg == "-D" && i + 1 < argc) {
+      const std::string def = argv[++i];
+      const std::size_t eq = def.find('=');
+      if (eq == std::string::npos) {
+        options.defines.emplace_back(def, "1");
+      } else {
+        options.defines.emplace_back(def.substr(0, eq),
+                                     def.substr(eq + 1));
+      }
+    } else if (arg == "--mode=summaries") {
+      options.taint.mode = analysis::TaintOptions::Mode::kSummaries;
+    } else if (arg == "--mode=call-strings") {
+      options.taint.mode = analysis::TaintOptions::Mode::kCallStrings;
+    } else if (arg == "--no-control-deps") {
+      options.taint.track_control_deps = false;
+    } else if (arg == "--kill-critical") {
+      options.taint.implicit_critical_calls.emplace_back("kill", 0u);
+    } else if (arg == "--dot" && i + 1 < argc) {
+      dot_path = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option '" << arg << "'\n";
+      usage();
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    usage();
+    return 2;
+  }
+
+  SafeFlowDriver driver(options);
+  for (const std::string& f : files) {
+    if (!driver.addFile(f)) {
+      std::cerr << driver.diagnostics().render(driver.sources());
+      return 2;
+    }
+  }
+  const auto& report = driver.analyze();
+  if (driver.hasFrontendErrors()) {
+    std::cerr << driver.diagnostics().render(driver.sources());
+    return 2;
+  }
+
+  if (json) {
+    std::cout << report.renderJson(driver.sources());
+    if (!dot_path.empty()) {
+      std::ofstream out(dot_path);
+      out << report.renderValueFlowDot(driver.sources());
+    }
+    return report.dataErrorCount() > 0 ? 1 : 0;
+  }
+  if (!quiet) {
+    std::cout << report.render(driver.sources());
+  }
+  std::cout << "safeflow: " << report.warnings.size() << " warning(s), "
+            << report.dataErrorCount() << " error dependency(ies), "
+            << report.controlErrorCount()
+            << " control-only (review manually), "
+            << report.restriction_violations.size()
+            << " restriction violation(s)\n";
+
+  if (!dot_path.empty()) {
+    std::ofstream out(dot_path);
+    if (!out) {
+      std::cerr << "cannot write " << dot_path << "\n";
+      return 2;
+    }
+    out << report.renderValueFlowDot(driver.sources());
+    std::cout << "value-flow graph written to " << dot_path << "\n";
+  }
+
+  return report.dataErrorCount() > 0 ? 1 : 0;
+}

@@ -1,0 +1,123 @@
+#include "simplex/controllers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "numerics/riccati.h"
+
+namespace safeflow::simplex {
+
+using numerics::Matrix;
+
+namespace {
+
+Matrix synthesizeGain(const Plant& plant, const LqrWeights& weights,
+                      double dt, double rate_weight_scale = 1.0) {
+  const std::size_t n = plant.stateDim();
+  Matrix Q = Matrix::zeros(n, n);
+  if (n == 4) {
+    Q(0, 0) = weights.position;
+    Q(1, 1) = weights.rates;
+    Q(2, 2) = weights.angle;
+    Q(3, 3) = weights.rates * rate_weight_scale;
+  } else {
+    // Double pendulum layout [x, th1, th2, xdot, th1dot, th2dot].
+    Q(0, 0) = weights.position;
+    Q(1, 1) = weights.angle;
+    Q(2, 2) = weights.angle;
+    for (std::size_t i = 3; i < n; ++i) Q(i, i) = weights.rates;
+  }
+  Matrix R{{weights.input}};
+  const auto disc = numerics::discretize(plant.linearA(), plant.linearB(),
+                                         dt);
+  const auto lqr = numerics::solveDiscreteLqr(disc.A, disc.B, Q, R);
+  return lqr.gain;
+}
+
+}  // namespace
+
+LqrController::LqrController(const Plant& plant, LqrWeights weights,
+                             double dt, double output_limit_volts,
+                             std::string name)
+    : gain_(synthesizeGain(plant, weights, dt)),
+      output_limit_(output_limit_volts),
+      name_(std::move(name)) {}
+
+double LqrController::compute(const numerics::StateVector& x) {
+  double u = 0.0;
+  for (std::size_t i = 0; i < x.size() && i < gain_.cols(); ++i) {
+    u -= gain_(0, i) * x[i];
+  }
+  return std::clamp(u, -output_limit_, output_limit_);
+}
+
+std::string_view faultModeName(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kNone: return "none";
+    case FaultMode::kOverdrive: return "overdrive";
+    case FaultMode::kRail: return "rail";
+    case FaultMode::kNaN: return "nan";
+    case FaultMode::kStuck: return "stuck";
+    case FaultMode::kNoisy: return "noisy";
+    case FaultMode::kDelayed: return "delayed";
+  }
+  return "?";
+}
+
+ExperimentalController::ExperimentalController(const Plant& plant, double dt,
+                                               FaultMode fault,
+                                               std::uint32_t seed)
+    : gain_(synthesizeGain(plant,
+                           LqrWeights{/*position=*/5.0, /*angle=*/60.0,
+                                      /*rates=*/1.0, /*input=*/0.5},
+                           dt)),
+      fault_(fault),
+      stale_state_(plant.stateDim(), 0.0),
+      rng_(seed) {}
+
+double ExperimentalController::compute(const numerics::StateVector& x) {
+  ++calls_;
+  const bool fault_active =
+      fault_ != FaultMode::kNone && calls_ > fault_onset_;
+
+  numerics::StateVector effective = x;
+  if (fault_active && fault_ == FaultMode::kDelayed) {
+    effective = stale_state_;
+  }
+  stale_state_ = x;
+
+  double u = 0.0;
+  for (std::size_t i = 0; i < effective.size() && i < gain_.cols(); ++i) {
+    u -= gain_(0, i) * effective[i];
+  }
+
+  if (fault_active) {
+    switch (fault_) {
+      case FaultMode::kOverdrive:
+        u = 12.0;  // well past the +/-5V actuator range
+        break;
+      case FaultMode::kRail:
+        u = 5.0;  // maximum in-range command, constantly
+        break;
+      case FaultMode::kNaN:
+        u = std::numeric_limits<double>::quiet_NaN();
+        break;
+      case FaultMode::kStuck:
+        u = last_output_;
+        break;
+      case FaultMode::kNoisy: {
+        std::normal_distribution<double> noise(0.0, 6.0);
+        u += noise(rng_);
+        break;
+      }
+      case FaultMode::kDelayed:
+      case FaultMode::kNone:
+        break;
+    }
+  }
+  last_output_ = u;
+  return u;
+}
+
+}  // namespace safeflow::simplex

@@ -1,0 +1,93 @@
+// Controllers for the Simplex runtime: the well-tested safety (core)
+// controller and the higher-performance experimental (non-core)
+// controller, both LQR-synthesized but with different cost weights. The
+// experimental controller can be configured with fault modes that model
+// the misbehaviour classes the paper's evaluation discovered.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "numerics/matrix.h"
+#include "simplex/plant.h"
+
+namespace safeflow::simplex {
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+  /// Control output (volts) for the given plant state.
+  virtual double compute(const numerics::StateVector& x) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+struct LqrWeights {
+  double position = 1.0;
+  double angle = 10.0;
+  double rates = 0.1;
+  double input = 1.0;
+};
+
+/// LQR state feedback u = -Kx synthesized from the plant's linearization.
+class LqrController final : public Controller {
+ public:
+  LqrController(const Plant& plant, LqrWeights weights, double dt,
+                double output_limit_volts = 5.0, std::string name = "lqr");
+
+  double compute(const numerics::StateVector& x) override;
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] const numerics::Matrix& gain() const { return gain_; }
+  [[nodiscard]] double outputLimit() const { return output_limit_; }
+
+ private:
+  numerics::Matrix gain_;
+  double output_limit_;
+  std::string name_;
+};
+
+/// Misbehaviour classes for the experimental controller — each maps to a
+/// defect the paper's evaluation section discusses.
+enum class FaultMode {
+  kNone,         // correct high-performance controller
+  kOverdrive,    // saturates past the actuator range (caught by the
+                 // monitor's range check alone)
+  kRail,         // pins the +5V rail: in range but destabilizing — only
+                 // the stability envelope can reject it
+  kNaN,          // emits non-finite output
+  kStuck,        // repeats its last output forever
+  kNoisy,        // adds heavy random noise
+  kDelayed,      // outputs the command computed for a stale state
+};
+
+[[nodiscard]] std::string_view faultModeName(FaultMode mode);
+
+/// The non-core, aggressive controller: tighter weights (better jitter,
+/// per the paper's motivation) but configurable to misbehave.
+class ExperimentalController final : public Controller {
+ public:
+  ExperimentalController(const Plant& plant, double dt,
+                         FaultMode fault = FaultMode::kNone,
+                         std::uint32_t seed = 1234);
+
+  double compute(const numerics::StateVector& x) override;
+  [[nodiscard]] std::string name() const override {
+    return "experimental(" + std::string(faultModeName(fault_)) + ")";
+  }
+  void setFault(FaultMode fault) { fault_ = fault; }
+  [[nodiscard]] FaultMode fault() const { return fault_; }
+  /// Fault activates after this many compute() calls (default: active
+  /// immediately).
+  void setFaultOnset(std::size_t calls) { fault_onset_ = calls; }
+
+ private:
+  numerics::Matrix gain_;
+  FaultMode fault_;
+  std::size_t fault_onset_ = 0;
+  std::size_t calls_ = 0;
+  double last_output_ = 0.0;
+  numerics::StateVector stale_state_;
+  std::mt19937 rng_;
+};
+
+}  // namespace safeflow::simplex

@@ -1,0 +1,45 @@
+#include "simplex/fault_injection.h"
+
+namespace safeflow::simplex {
+
+std::string_view shmFaultName(ShmFault fault) {
+  switch (fault) {
+    case ShmFault::kNone: return "none";
+    case ShmFault::kRigFeedback: return "rig-feedback";
+    case ShmFault::kWritePid: return "write-pid";
+    case ShmFault::kStaleSeq: return "stale-seq";
+  }
+  return "?";
+}
+
+void ShmFaultInjector::afterNonCorePublish(SharedMemoryRegion& shm,
+                                           std::uint64_t step) {
+  switch (fault_) {
+    case ShmFault::kNone:
+      return;
+    case ShmFault::kRigFeedback: {
+      // Overwrite the published plant feedback with values that look
+      // perfectly balanced, so any recoverability check that re-reads
+      // feedback from shared memory is rigged into accepting.
+      FeedbackSlot fake;
+      fake.position = 0.0;
+      fake.angle = 0.0;
+      fake.angle2 = 0.0;
+      fake.rate = 0.0;
+      fake.seq = step;
+      shm.writeFeedback(Party::kNonCore, fake);
+      return;
+    }
+    case ShmFault::kWritePid:
+      shm.writePid(Party::kNonCore, core_pid_);
+      return;
+    case ShmFault::kStaleSeq: {
+      ControlSlot ctl = shm.readControl();
+      ctl.seq = 0;  // never advances
+      shm.writeControl(Party::kNonCore, ctl);
+      return;
+    }
+  }
+}
+
+}  // namespace safeflow::simplex

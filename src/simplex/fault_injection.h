@@ -1,0 +1,47 @@
+// Fault injectors acting on the shared-memory channel, modelling the
+// defect classes of the paper's §4 evaluation:
+//   kRigFeedback  non-core overwrites the (supposedly read-only) feedback
+//                 slot so the recoverability check passes on bad data —
+//                 the Generic Simplex error dependency;
+//   kWritePid     non-core replaces the supervisor pid with the core's
+//                 own pid, so the core kills itself — the error found in
+//                 all three systems;
+//   kStaleSeq     non-core never advances the control sequence number,
+//                 modelling the synchronization assumptions the paper
+//                 warns cannot be verified.
+#pragma once
+
+#include <cstdint>
+
+#include "simplex/shared_memory.h"
+
+namespace safeflow::simplex {
+
+enum class ShmFault {
+  kNone,
+  kRigFeedback,
+  kWritePid,
+  kStaleSeq,
+};
+
+[[nodiscard]] std::string_view shmFaultName(ShmFault fault);
+
+class ShmFaultInjector {
+ public:
+  explicit ShmFaultInjector(ShmFault fault = ShmFault::kNone,
+                            std::int32_t core_pid = 4242)
+      : fault_(fault), core_pid_(core_pid) {}
+
+  /// Invoked after each non-core controller publication; mutates the
+  /// region according to the configured fault.
+  void afterNonCorePublish(SharedMemoryRegion& shm, std::uint64_t step);
+
+  void setFault(ShmFault fault) { fault_ = fault; }
+  [[nodiscard]] ShmFault fault() const { return fault_; }
+
+ private:
+  ShmFault fault_;
+  std::int32_t core_pid_;
+};
+
+}  // namespace safeflow::simplex

@@ -1,0 +1,101 @@
+#include "simplex/monitor.h"
+
+#include <cmath>
+
+#include "numerics/riccati.h"
+
+namespace safeflow::simplex {
+
+using numerics::Matrix;
+
+StabilityEnvelopeMonitor::StabilityEnvelopeMonitor(
+    const Plant& plant, const LqrController& safety, double dt,
+    double output_limit_volts)
+    : output_limit_(output_limit_volts), dt_(dt) {
+  const auto disc =
+      numerics::discretize(plant.linearA(), plant.linearB(), dt);
+  Ad_ = disc.A;
+  Bd_ = disc.B;
+  // Closed loop under the safety controller.
+  const Matrix& K = safety.gain();
+  Matrix Acl = Ad_ - Bd_ * K;
+  const std::size_t n = plant.stateDim();
+  const auto P = numerics::solveDiscreteLyapunov(Acl, Matrix::identity(n));
+  if (!P.has_value()) {
+    P_ = Matrix::identity(n);
+    level_ = 0.0;
+    valid_ = false;
+    return;
+  }
+  P_ = *P;
+  valid_ = true;
+
+  // Calibrate the envelope level so the plant's hard limits are outside:
+  // evaluate x'Px at states sitting on each limit and take the minimum.
+  double level = 1e18;
+  numerics::StateVector probe(n, 0.0);
+  const auto probe_level = [&](std::size_t idx, double value) {
+    numerics::StateVector x(n, 0.0);
+    x[idx] = value;
+    const Matrix xv = Matrix::columnVector(x);
+    level = std::min(level, P_.quadraticForm(xv, xv));
+  };
+  if (n == 4) {
+    const auto* ip = dynamic_cast<const InvertedPendulum*>(&plant);
+    const double track = ip ? ip->params().track_limit : 0.4;
+    const double angle = ip ? ip->params().angle_limit : 0.6;
+    probe_level(0, track);
+    probe_level(2, angle);
+  } else {
+    probe_level(0, 0.5);
+    probe_level(1, 0.35);
+    probe_level(2, 0.35);
+  }
+  level_ = level * 0.81;  // keep a 10% state margin inside the hard limits
+}
+
+double StabilityEnvelopeMonitor::evaluate(
+    const numerics::StateVector& x) const {
+  const Matrix xv = Matrix::columnVector(x);
+  return P_.quadraticForm(xv, xv);
+}
+
+MonitorDecision StabilityEnvelopeMonitor::check(
+    const numerics::StateVector& x, double u) const {
+  MonitorDecision d;
+  d.envelope_value_now = evaluate(x);
+
+  if (!valid_) {
+    d.reason = "monitor invalid: Lyapunov equation did not converge";
+    return d;
+  }
+  if (!std::isfinite(u)) {
+    d.reason = "non-finite control output";
+    return d;
+  }
+  if (std::abs(u) > output_limit_) {
+    d.reason = "control output exceeds actuator range";
+    return d;
+  }
+
+  // One-step prediction under u using the linearized plant.
+  const std::size_t n = x.size();
+  numerics::StateVector next(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) acc += Ad_(i, j) * x[j];
+    acc += Bd_(i, 0) * u;
+    next[i] = acc;
+  }
+  d.envelope_value_next = evaluate(next);
+
+  if (d.envelope_value_next > level_) {
+    d.reason = "would leave the stability envelope";
+    return d;
+  }
+  d.accepted = true;
+  d.reason = "recoverable";
+  return d;
+}
+
+}  // namespace safeflow::simplex

@@ -1,0 +1,54 @@
+// The run-time monitor of the Simplex architecture (paper §1): a Lyapunov
+// stability envelope for the closed loop under the *safety* controller.
+// A non-core control output is recoverable if applying it for one period
+// leaves the state inside the envelope — i.e. the safety controller can
+// still take over and stabilize. This is exactly the check the SafeFlow
+// annotations designate as a monitoring function.
+#pragma once
+
+#include <optional>
+
+#include "numerics/matrix.h"
+#include "simplex/controllers.h"
+#include "simplex/plant.h"
+
+namespace safeflow::simplex {
+
+struct MonitorDecision {
+  bool accepted = false;
+  double envelope_value_now = 0.0;    // x' P x at the current state
+  double envelope_value_next = 0.0;   // after one period under u
+  const char* reason = "";
+};
+
+class StabilityEnvelopeMonitor {
+ public:
+  /// Builds the envelope from the closed-loop dynamics under the safety
+  /// controller: P solves the discrete Lyapunov equation for
+  /// (Ad - Bd K); the envelope level is calibrated so the plant's safety
+  /// limits sit on the boundary.
+  StabilityEnvelopeMonitor(const Plant& plant, const LqrController& safety,
+                           double dt, double output_limit_volts = 5.0);
+
+  /// Checks whether applying `u` for one period keeps the system
+  /// recoverable by the safety controller.
+  [[nodiscard]] MonitorDecision check(const numerics::StateVector& x,
+                                      double u) const;
+
+  [[nodiscard]] double envelopeLevel() const { return level_; }
+  [[nodiscard]] const numerics::Matrix& lyapunovMatrix() const { return P_; }
+  [[nodiscard]] bool valid() const { return valid_; }
+
+ private:
+  [[nodiscard]] double evaluate(const numerics::StateVector& x) const;
+
+  numerics::Matrix Ad_;
+  numerics::Matrix Bd_;
+  numerics::Matrix P_;
+  double level_ = 0.0;
+  double output_limit_;
+  double dt_;
+  bool valid_ = false;
+};
+
+}  // namespace safeflow::simplex

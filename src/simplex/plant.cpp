@@ -1,0 +1,153 @@
+#include "simplex/plant.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace safeflow::simplex {
+
+using numerics::Matrix;
+using numerics::StateVector;
+
+// ---------------------------------------------------------------------------
+// Single inverted pendulum (nonlinear cart-pole)
+// ---------------------------------------------------------------------------
+
+InvertedPendulum::InvertedPendulum(PendulumParams params)
+    : params_(params) {}
+
+void InvertedPendulum::setState(StateVector x) {
+  if (x.size() != 4) throw std::invalid_argument("state must be 4-d");
+  state_ = std::move(x);
+}
+
+StateVector InvertedPendulum::dynamics(const StateVector& x,
+                                       double u) const {
+  const double M = params_.cart_mass;
+  const double m = params_.pole_mass;
+  const double l = params_.pole_length;
+  const double g = params_.gravity;
+  const double F = params_.force_per_volt * u;
+
+  const double theta = x[2];
+  const double thetadot = x[3];
+  const double sin_t = std::sin(theta);
+  const double cos_t = std::cos(theta);
+
+  // Standard cart-pole equations (theta measured from upright).
+  const double denom = M + m * sin_t * sin_t;
+  const double xdd =
+      (F + m * sin_t * (l * thetadot * thetadot - g * cos_t)) / denom;
+  const double thetadd =
+      (-F * cos_t - m * l * thetadot * thetadot * sin_t * cos_t +
+       (M + m) * g * sin_t) /
+      (l * denom);
+
+  return StateVector{x[1], xdd, thetadot, thetadd};
+}
+
+void InvertedPendulum::step(double u, double dt) {
+  if (!std::isfinite(u)) u = 0.0;  // a NaN command moves nothing
+  state_ = numerics::rk4StepSub(
+      [this](const StateVector& x, double input) {
+        return dynamics(x, input);
+      },
+      state_, u, dt, 4);
+}
+
+Matrix InvertedPendulum::linearA() const {
+  const double M = params_.cart_mass;
+  const double m = params_.pole_mass;
+  const double l = params_.pole_length;
+  const double g = params_.gravity;
+  // Linearized about theta = 0 (upright), thetadot = 0.
+  return Matrix{{0, 1, 0, 0},
+                {0, 0, -m * g / M, 0},
+                {0, 0, 0, 1},
+                {0, 0, (M + m) * g / (M * l), 0}};
+}
+
+Matrix InvertedPendulum::linearB() const {
+  const double M = params_.cart_mass;
+  const double l = params_.pole_length;
+  const double kf = params_.force_per_volt;
+  return Matrix{{0}, {kf / M}, {0}, {-kf / (M * l)}};
+}
+
+bool InvertedPendulum::isSafe() const {
+  return std::abs(state_[0]) <= params_.track_limit &&
+         std::abs(state_[2]) <= params_.angle_limit &&
+         std::isfinite(state_[0]) && std::isfinite(state_[2]);
+}
+
+// ---------------------------------------------------------------------------
+// Double inverted pendulum (linearized about upright)
+// ---------------------------------------------------------------------------
+
+DoubleInvertedPendulum::DoubleInvertedPendulum(DoublePendulumParams params)
+    : params_(params) {
+  buildLinearization();
+}
+
+void DoubleInvertedPendulum::buildLinearization() {
+  // Linearized dynamics: D qdd + G q = H u with q = [x, th1, th2].
+  const double M = params_.cart_mass;
+  const double m1 = params_.mass1;
+  const double m2 = params_.mass2;
+  const double l1 = params_.length1;
+  const double l2 = params_.length2;
+  const double g = params_.gravity;
+
+  // Mass matrix about the upright equilibrium.
+  Matrix D{{M + m1 + m2, (m1 + 2 * m2) * l1, m2 * l2},
+           {(m1 + 2 * m2) * l1, (m1 + 4 * m2) * l1 * l1, 2 * m2 * l1 * l2},
+           {m2 * l2, 2 * m2 * l1 * l2, (4.0 / 3.0) * m2 * l2 * l2}};
+  // Gravity stiffness (destabilizing, hence positive feedback on angles).
+  Matrix G{{0, 0, 0},
+           {0, -(m1 + 2 * m2) * g * l1, 0},
+           {0, 0, -m2 * g * l2}};
+  Matrix H{{params_.force_per_volt}, {0}, {0}};
+
+  const Matrix Dinv = D.inverse();
+  const Matrix DG = Dinv * G * -1.0;  // qdd = -Dinv G q + Dinv H u
+  const Matrix DH = Dinv * H;
+
+  A_ = Matrix::zeros(6, 6);
+  B_ = Matrix::zeros(6, 1);
+  for (std::size_t i = 0; i < 3; ++i) {
+    A_(i, i + 3) = 1.0;  // position derivatives
+    for (std::size_t j = 0; j < 3; ++j) A_(i + 3, j) = DG(i, j);
+    B_(i + 3, 0) = DH(i, 0);
+  }
+}
+
+void DoubleInvertedPendulum::setState(StateVector x) {
+  if (x.size() != 6) throw std::invalid_argument("state must be 6-d");
+  state_ = std::move(x);
+}
+
+void DoubleInvertedPendulum::step(double u, double dt) {
+  if (!std::isfinite(u)) u = 0.0;
+  // Linear dynamics integrated with RK4 for consistency with the plant
+  // interface.
+  const auto f = [this](const StateVector& x, double input) {
+    StateVector dx(6, 0.0);
+    for (std::size_t i = 0; i < 6; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < 6; ++j) acc += A_(i, j) * x[j];
+      acc += B_(i, 0) * input;
+      dx[i] = acc;
+    }
+    return dx;
+  };
+  state_ = numerics::rk4StepSub(f, state_, u, dt, 4);
+}
+
+bool DoubleInvertedPendulum::isSafe() const {
+  return std::abs(state_[0]) <= params_.track_limit &&
+         std::abs(state_[1]) <= params_.angle_limit &&
+         std::abs(state_[2]) <= params_.angle_limit &&
+         std::isfinite(state_[0]) && std::isfinite(state_[1]) &&
+         std::isfinite(state_[2]);
+}
+
+}  // namespace safeflow::simplex

@@ -1,0 +1,118 @@
+// Plant models for the Simplex runtime: the inverted pendulum on a cart
+// (the paper's Fig. 1 system) and a double inverted pendulum on a cart
+// (the paper's third evaluation system). The single pendulum integrates
+// its full nonlinear dynamics with RK4; the double pendulum uses the
+// standard linearization about the upright equilibrium — the paper's
+// plants are physical lab rigs, and these simulations stand in for them
+// (see DESIGN.md substitution table).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "numerics/integrate.h"
+#include "numerics/matrix.h"
+
+namespace safeflow::simplex {
+
+class Plant {
+ public:
+  virtual ~Plant() = default;
+
+  [[nodiscard]] virtual std::size_t stateDim() const = 0;
+  [[nodiscard]] virtual const numerics::StateVector& state() const = 0;
+  virtual void setState(numerics::StateVector x) = 0;
+
+  /// Advances the plant by dt under control input u (volts).
+  virtual void step(double u, double dt) = 0;
+
+  /// Linearization about the upright equilibrium (for LQR synthesis).
+  [[nodiscard]] virtual numerics::Matrix linearA() const = 0;
+  [[nodiscard]] virtual numerics::Matrix linearB() const = 0;
+
+  /// True while the plant is within its physically safe operating range
+  /// (pendulum near upright, track position within limits).
+  [[nodiscard]] virtual bool isSafe() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+struct PendulumParams {
+  double cart_mass = 0.455;      // kg
+  double pole_mass = 0.21;       // kg
+  double pole_length = 0.305;    // m (to center of mass)
+  double gravity = 9.81;         // m/s^2
+  double force_per_volt = 1.74;  // N/V actuator constant
+  double track_limit = 0.4;      // m, |x| beyond this is unsafe
+  double angle_limit = 0.6;      // rad, |theta| beyond this is unsafe
+};
+
+/// Cart-pole with full nonlinear dynamics. State: [x, xdot, theta,
+/// thetadot]; theta = 0 is upright.
+class InvertedPendulum final : public Plant {
+ public:
+  explicit InvertedPendulum(PendulumParams params = {});
+
+  [[nodiscard]] std::size_t stateDim() const override { return 4; }
+  [[nodiscard]] const numerics::StateVector& state() const override {
+    return state_;
+  }
+  void setState(numerics::StateVector x) override;
+  void step(double u, double dt) override;
+  [[nodiscard]] numerics::Matrix linearA() const override;
+  [[nodiscard]] numerics::Matrix linearB() const override;
+  [[nodiscard]] bool isSafe() const override;
+  [[nodiscard]] std::string name() const override {
+    return "inverted-pendulum";
+  }
+
+  [[nodiscard]] const PendulumParams& params() const { return params_; }
+
+ private:
+  [[nodiscard]] numerics::StateVector dynamics(
+      const numerics::StateVector& x, double u) const;
+
+  PendulumParams params_;
+  numerics::StateVector state_{0.0, 0.0, 0.05, 0.0};
+};
+
+struct DoublePendulumParams {
+  double cart_mass = 0.6;
+  double mass1 = 0.2;
+  double mass2 = 0.15;
+  double length1 = 0.25;
+  double length2 = 0.25;
+  double gravity = 9.81;
+  double force_per_volt = 1.74;
+  double track_limit = 0.5;
+  double angle_limit = 0.35;  // rad for either link
+};
+
+/// Double inverted pendulum on a cart, linearized about upright. State:
+/// [x, th1, th2, xdot, th1dot, th2dot].
+class DoubleInvertedPendulum final : public Plant {
+ public:
+  explicit DoubleInvertedPendulum(DoublePendulumParams params = {});
+
+  [[nodiscard]] std::size_t stateDim() const override { return 6; }
+  [[nodiscard]] const numerics::StateVector& state() const override {
+    return state_;
+  }
+  void setState(numerics::StateVector x) override;
+  void step(double u, double dt) override;
+  [[nodiscard]] numerics::Matrix linearA() const override { return A_; }
+  [[nodiscard]] numerics::Matrix linearB() const override { return B_; }
+  [[nodiscard]] bool isSafe() const override;
+  [[nodiscard]] std::string name() const override {
+    return "double-inverted-pendulum";
+  }
+
+ private:
+  void buildLinearization();
+
+  DoublePendulumParams params_;
+  numerics::Matrix A_;
+  numerics::Matrix B_;
+  numerics::StateVector state_{0.0, 0.02, -0.02, 0.0, 0.0, 0.0};
+};
+
+}  // namespace safeflow::simplex

@@ -1,0 +1,138 @@
+#include "simplex/runtime.h"
+
+#include <cmath>
+#include <random>
+#include <sstream>
+
+namespace safeflow::simplex {
+
+std::string RuntimeStats::summary() const {
+  std::ostringstream out;
+  out << "steps=" << steps << " noncore_used=" << noncore_used
+      << " rejected=" << noncore_rejected
+      << " takeovers=" << safety_takeovers
+      << " max|angle|=" << max_abs_angle << " max|x|=" << max_abs_position
+      << (remained_safe ? " SAFE" : " UNSAFE")
+      << (core_killed_itself ? " CORE-KILLED-ITSELF" : "");
+  return out.str();
+}
+
+SimplexRuntime::SimplexRuntime(Plant& plant, RuntimeConfig config)
+    : plant_(plant), config_(config) {}
+
+RuntimeStats SimplexRuntime::run() {
+  RuntimeStats stats;
+  std::mt19937 rng(config_.seed);
+  std::normal_distribution<double> noise(0.0, config_.sensor_noise);
+
+  LqrController safety(plant_, LqrWeights{}, config_.dt, 5.0, "safety");
+  ExperimentalController experimental(plant_, config_.dt,
+                                      config_.controller_fault);
+  experimental.setFaultOnset(config_.fault_onset_steps);
+  StabilityEnvelopeMonitor monitor(plant_, safety, config_.dt);
+  ShmFaultInjector injector(config_.shm_fault, config_.core_pid);
+
+  shm_.writePid(Party::kCore, config_.supervisor_pid);
+
+  const std::size_t total_steps =
+      static_cast<std::size_t>(config_.duration / config_.dt);
+  bool last_was_rejection = false;
+
+  for (std::size_t step = 0; step < total_steps; ++step) {
+    // --- Core: sample the sensor, publish feedback -----------------------
+    numerics::StateVector sensed = plant_.state();
+    for (double& v : sensed) v += noise(rng);
+
+    FeedbackSlot fb;
+    fb.position = sensed[0];
+    if (sensed.size() == 4) {
+      fb.angle = sensed[2];
+      fb.rate = sensed[3];
+    } else {
+      fb.angle = sensed[1];
+      fb.angle2 = sensed[2];
+      fb.rate = sensed[3];
+    }
+    fb.seq = step;
+    shm_.writeFeedback(Party::kCore, fb);
+
+    // --- Non-core: read feedback, publish its control --------------------
+    const FeedbackSlot nc_view = shm_.readFeedback();
+    numerics::StateVector nc_state = sensed;
+    nc_state[0] = nc_view.position;  // non-core sees shm, not the sensor
+    ControlSlot ctl;
+    ctl.control = experimental.compute(nc_state);
+    ctl.seq = step;
+    shm_.writeControl(Party::kNonCore, ctl);
+    injector.afterNonCorePublish(shm_, step);
+
+    // --- Core: decision module -------------------------------------------
+    const double safe_u = safety.compute(sensed);
+    const ControlSlot published = shm_.readControl();
+
+    numerics::StateVector monitor_state = sensed;
+    if (config_.vulnerable_decision) {
+      // BUG variant: recoverability is evaluated against feedback re-read
+      // from shared memory — riggable by the non-core component.
+      const FeedbackSlot rigged = shm_.readFeedback();
+      monitor_state[0] = rigged.position;
+      if (monitor_state.size() == 4) {
+        monitor_state[2] = rigged.angle;
+        monitor_state[3] = rigged.rate;
+      } else {
+        monitor_state[1] = rigged.angle;
+        monitor_state[2] = rigged.angle2;
+        monitor_state[3] = rigged.rate;
+      }
+    }
+
+    const MonitorDecision decision =
+        monitor.check(monitor_state, published.control);
+    double u = safe_u;
+    if (decision.accepted) {
+      u = published.control;
+      ++stats.noncore_used;
+      last_was_rejection = false;
+    } else {
+      ++stats.noncore_rejected;
+      if (!last_was_rejection) ++stats.safety_takeovers;
+      last_was_rejection = true;
+    }
+
+    // --- Core: mode-change signal (the kill defect) -----------------------
+    if (config_.simulate_kill_signal && step > 0 && step % 100 == 0) {
+      const std::int32_t pid = shm_.readControl().supervisor_pid;
+      if (pid == config_.core_pid) {
+        // kill(pid, SIGUSR1) would terminate the core itself.
+        stats.core_killed_itself = true;
+        stats.steps = step + 1;
+        stats.remained_safe = plant_.isSafe();
+        return stats;
+      }
+    }
+
+    // --- Plant ------------------------------------------------------------
+    plant_.step(u, config_.dt);
+    stats.control_effort += std::abs(u) * config_.dt;
+    ++stats.steps;
+
+    const auto& x = plant_.state();
+    const double angle =
+        x.size() == 4 ? std::abs(x[2])
+                      : std::max(std::abs(x[1]), std::abs(x[2]));
+    stats.max_abs_angle = std::max(stats.max_abs_angle, angle);
+    stats.max_abs_position = std::max(stats.max_abs_position,
+                                      std::abs(x[0]));
+    if (step % stats.trace_stride == 0) {
+      stats.angle_trace.push_back(angle);
+    }
+    if (!plant_.isSafe()) {
+      stats.remained_safe = false;
+      return stats;
+    }
+  }
+  stats.remained_safe = plant_.isSafe();
+  return stats;
+}
+
+}  // namespace safeflow::simplex

@@ -1,0 +1,77 @@
+// The Simplex runtime: periodic core loop (sensor → safety control →
+// decision → actuate) with the non-core controller publishing through
+// shared memory — an executable rendition of the paper's Fig. 1/2 system.
+// The decision module exists in two variants:
+//
+//   safe        the monitor evaluates recoverability against the core's
+//               locally-held sensor copy (the paper's recommended fix);
+//   vulnerable  the monitor re-reads feedback from shared memory — the
+//               exact unmonitored access SafeFlow flags in the running
+//               example, exploitable by the rig-feedback injector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simplex/controllers.h"
+#include "simplex/fault_injection.h"
+#include "simplex/monitor.h"
+#include "simplex/plant.h"
+#include "simplex/shared_memory.h"
+
+namespace safeflow::simplex {
+
+struct RuntimeConfig {
+  double dt = 0.02;        // 50 Hz control period
+  double duration = 30.0;  // seconds of simulated time
+  FaultMode controller_fault = FaultMode::kNone;
+  std::size_t fault_onset_steps = 250;  // controller misbehaves after 5 s
+  ShmFault shm_fault = ShmFault::kNone;
+  bool vulnerable_decision = false;
+  /// Simulate the mode-change signal: the core "kills" the process whose
+  /// pid sits in shared memory. With the write-pid fault this becomes the
+  /// core killing itself.
+  bool simulate_kill_signal = false;
+  double sensor_noise = 0.0005;
+  std::uint32_t seed = 99;
+  std::int32_t core_pid = 4242;
+  std::int32_t supervisor_pid = 777;
+};
+
+struct RuntimeStats {
+  std::size_t steps = 0;
+  std::size_t noncore_used = 0;
+  std::size_t noncore_rejected = 0;
+  std::size_t safety_takeovers = 0;  // rejection streak starts
+  bool remained_safe = true;
+  bool core_killed_itself = false;
+  double max_abs_angle = 0.0;
+  double max_abs_position = 0.0;
+  double control_effort = 0.0;  // sum |u| dt
+  /// |angle| sampled every `trace_stride` steps (for the Fig.1 series).
+  std::vector<double> angle_trace;
+  std::size_t trace_stride = 25;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+class SimplexRuntime {
+ public:
+  SimplexRuntime(Plant& plant, RuntimeConfig config);
+
+  /// Runs the closed loop for the configured duration (or until the plant
+  /// leaves its safe range / the core kills itself).
+  RuntimeStats run();
+
+  [[nodiscard]] const SharedMemoryRegion& sharedMemory() const {
+    return shm_;
+  }
+
+ private:
+  Plant& plant_;
+  RuntimeConfig config_;
+  SharedMemoryRegion shm_;
+};
+
+}  // namespace safeflow::simplex

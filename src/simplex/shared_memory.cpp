@@ -1,0 +1,79 @@
+#include "simplex/shared_memory.h"
+
+#include <algorithm>
+
+namespace safeflow::simplex {
+
+SharedMemoryRegion::SharedMemoryRegion() = default;
+
+void SharedMemoryRegion::writeFeedback(Party who, const FeedbackSlot& fb) {
+  feedback_ = fb;
+  if (who == Party::kCore) {
+    ++core_writes_;
+  } else {
+    ++noncore_writes_;
+    feedback_tampered_ = true;
+  }
+}
+
+void SharedMemoryRegion::writeControl(Party who, const ControlSlot& ctl) {
+  // Preserve the pid slot unless the writer set it explicitly (pid 0 means
+  // "leave as is"), so control updates do not clear supervisor wiring.
+  const std::int32_t old_pid = control_.supervisor_pid;
+  control_ = ctl;
+  if (ctl.supervisor_pid == 0) control_.supervisor_pid = old_pid;
+  if (who == Party::kCore) {
+    ++core_writes_;
+  } else {
+    ++noncore_writes_;
+    if (ctl.supervisor_pid != 0 && ctl.supervisor_pid != old_pid) {
+      pid_tampered_ = true;
+    }
+  }
+}
+
+void SharedMemoryRegion::writePid(Party who, std::int32_t pid) {
+  control_.supervisor_pid = pid;
+  if (who == Party::kCore) {
+    ++core_writes_;
+  } else {
+    ++noncore_writes_;
+    pid_tampered_ = true;
+  }
+}
+
+std::size_t SharedMemoryRegion::writesBy(Party who) const {
+  return who == Party::kCore ? core_writes_ : noncore_writes_;
+}
+
+bool SharedMemoryRegion::initCheck(const std::vector<Extent>& extents,
+                                   std::size_t total_size,
+                                   std::string* error) {
+  std::vector<Extent> sorted = extents;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Extent& a, const Extent& b) {
+              return a.offset < b.offset;
+            });
+  std::size_t prev_end = 0;
+  std::string prev_name;
+  for (const Extent& e : sorted) {
+    if (e.offset < prev_end) {
+      if (error != nullptr) {
+        *error = "region '" + e.name + "' overlaps region '" + prev_name +
+                 "'";
+      }
+      return false;
+    }
+    if (e.offset + e.size > total_size) {
+      if (error != nullptr) {
+        *error = "region '" + e.name + "' exceeds the shared segment";
+      }
+      return false;
+    }
+    prev_end = e.offset + e.size;
+    prev_name = e.name;
+  }
+  return true;
+}
+
+}  // namespace safeflow::simplex

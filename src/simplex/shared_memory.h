@@ -1,0 +1,77 @@
+// In-process emulation of the shared-memory channel between the core and
+// non-core components (standing in for SysV shmget/shmat segments). The
+// region records which side wrote each slot, enabling the fault injectors
+// to model the paper's defect classes — e.g. the non-core component
+// overwriting the (supposedly read-only) feedback slot to rig the
+// recoverability check, or replacing a pid with the core's own.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace safeflow::simplex {
+
+enum class Party { kCore, kNonCore };
+
+/// The layout both components map: mirrors the SHMData pair of the
+/// paper's Fig. 2/3 (feedback published by core, control published by
+/// non-core), plus the pid slot exercised by the kill defect.
+struct FeedbackSlot {
+  double position = 0.0;
+  double angle = 0.0;
+  double angle2 = 0.0;  // used by the double pendulum
+  double rate = 0.0;
+  std::uint64_t seq = 0;
+};
+
+struct ControlSlot {
+  double control = 0.0;
+  std::uint64_t seq = 0;
+  std::int32_t supervisor_pid = 0;  // pid the core signals on mode change
+};
+
+class SharedMemoryRegion {
+ public:
+  SharedMemoryRegion();
+
+  // -- typed accessors, with per-party write accounting -------------------
+  void writeFeedback(Party who, const FeedbackSlot& fb);
+  [[nodiscard]] FeedbackSlot readFeedback() const { return feedback_; }
+
+  void writeControl(Party who, const ControlSlot& ctl);
+  [[nodiscard]] ControlSlot readControl() const { return control_; }
+
+  /// Writes the pid slot only (the kill-defect channel).
+  void writePid(Party who, std::int32_t pid);
+
+  // -- accounting -----------------------------------------------------------
+  [[nodiscard]] std::size_t writesBy(Party who) const;
+  /// True when the non-core side ever wrote the feedback slot — the
+  /// "rigged feedback" interaction the Generic Simplex error describes.
+  [[nodiscard]] bool feedbackTamperedByNonCore() const {
+    return feedback_tampered_;
+  }
+  [[nodiscard]] bool pidTamperedByNonCore() const { return pid_tampered_; }
+
+  /// The paper's InitCheck: verifies declared slot extents are disjoint.
+  /// Our typed layout is disjoint by construction; the check validates
+  /// explicit (offset, size) declarations, as the analyzer demands.
+  struct Extent {
+    std::string name;
+    std::size_t offset;
+    std::size_t size;
+  };
+  static bool initCheck(const std::vector<Extent>& extents,
+                        std::size_t total_size, std::string* error);
+
+ private:
+  FeedbackSlot feedback_;
+  ControlSlot control_;
+  std::size_t core_writes_ = 0;
+  std::size_t noncore_writes_ = 0;
+  bool feedback_tampered_ = false;
+  bool pid_tampered_ = false;
+};
+
+}  // namespace safeflow::simplex

@@ -1,0 +1,53 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+#include "support/source_manager.h"
+
+namespace safeflow::support {
+
+std::string_view severityName(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+    case Severity::kFatal:
+      return "fatal";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::report(Severity sev, SourceLocation loc,
+                              std::string category, std::string message) {
+  if (sev == Severity::kError || sev == Severity::kFatal) ++errors_;
+  diags_.push_back(
+      Diagnostic{sev, loc, std::move(message), std::move(category)});
+}
+
+std::size_t DiagnosticEngine::countCategoryPrefix(
+    std::string_view prefix) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (std::string_view(d.category).substr(0, prefix.size()) == prefix) ++n;
+  }
+  return n;
+}
+
+std::string DiagnosticEngine::render(const SourceManager& sm) const {
+  std::ostringstream ss;
+  for (const Diagnostic& d : diags_) {
+    ss << sm.describe(d.location) << ": " << severityName(d.severity) << " ["
+       << d.category << "] " << d.message << '\n';
+  }
+  return ss.str();
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  errors_ = 0;
+}
+
+}  // namespace safeflow::support

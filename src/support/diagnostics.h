@@ -1,0 +1,67 @@
+// Diagnostic engine shared by the front end and the analyses. Diagnostics
+// are accumulated, never thrown; analyses inspect and render them at the
+// end of a run.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/source_location.h"
+
+namespace safeflow::support {
+
+class SourceManager;
+
+enum class Severity {
+  kNote,
+  kWarning,  // e.g. an unmonitored non-core access (paper's "warning")
+  kError,    // e.g. a critical-data dependency or a parse error
+  kFatal,    // front end cannot continue
+};
+
+[[nodiscard]] std::string_view severityName(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLocation location;
+  std::string message;
+  /// Machine-readable tag, e.g. "parse", "restriction.P2", "taint.unsafe".
+  std::string category;
+};
+
+class DiagnosticEngine {
+ public:
+  void report(Severity sev, SourceLocation loc, std::string category,
+              std::string message);
+
+  void note(SourceLocation loc, std::string msg) {
+    report(Severity::kNote, loc, "note", std::move(msg));
+  }
+  void warning(SourceLocation loc, std::string category, std::string msg) {
+    report(Severity::kWarning, loc, std::move(category), std::move(msg));
+  }
+  void error(SourceLocation loc, std::string category, std::string msg) {
+    report(Severity::kError, loc, std::move(category), std::move(msg));
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  [[nodiscard]] std::size_t errorCount() const { return errors_; }
+  [[nodiscard]] bool hasErrors() const { return errors_ != 0; }
+
+  [[nodiscard]] std::size_t countCategoryPrefix(std::string_view prefix) const;
+
+  /// Renders all diagnostics, one per line, using the source manager for
+  /// locations.
+  [[nodiscard]] std::string render(const SourceManager& sm) const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t errors_ = 0;
+};
+
+}  // namespace safeflow::support

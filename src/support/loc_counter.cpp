@@ -1,0 +1,83 @@
+#include "support/loc_counter.h"
+
+namespace safeflow::support {
+
+LocStats countLoc(std::string_view src) {
+  LocStats stats;
+  bool in_block_comment = false;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  while (i <= n) {
+    // Scan one line.
+    bool saw_code = false;
+    bool saw_comment = in_block_comment;
+    bool in_line_comment = false;
+    char string_delim = 0;  // '"' or '\'' when inside a literal
+    bool line_seen = i < n;
+
+    while (i < n && src[i] != '\n') {
+      const char c = src[i];
+      const char next = (i + 1 < n) ? src[i + 1] : 0;
+      if (in_line_comment) {
+        ++i;
+        continue;
+      }
+      if (in_block_comment) {
+        saw_comment = true;
+        if (c == '*' && next == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        ++i;
+        continue;
+      }
+      if (string_delim != 0) {
+        saw_code = true;
+        if (c == '\\') {
+          i += 2;
+          continue;
+        }
+        if (c == string_delim) string_delim = 0;
+        ++i;
+        continue;
+      }
+      if (c == '/' && next == '/') {
+        in_line_comment = true;
+        saw_comment = true;
+        i += 2;
+        continue;
+      }
+      if (c == '/' && next == '*') {
+        in_block_comment = true;
+        saw_comment = true;
+        i += 2;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        string_delim = c;
+        saw_code = true;
+        ++i;
+        continue;
+      }
+      if (c != ' ' && c != '\t' && c != '\r') saw_code = true;
+      ++i;
+    }
+
+    if (line_seen) {
+      ++stats.total_lines;
+      if (saw_code) {
+        ++stats.code_lines;
+      } else if (saw_comment) {
+        ++stats.comment_lines;
+      } else {
+        ++stats.blank_lines;
+      }
+    }
+    if (i >= n) break;
+    ++i;  // skip the newline
+  }
+  return stats;
+}
+
+}  // namespace safeflow::support

@@ -1,0 +1,21 @@
+// Counts non-blank, non-comment lines of C source — the "LOC" metric used
+// by Table 1 of the paper.
+#pragma once
+
+#include <string_view>
+
+namespace safeflow::support {
+
+struct LocStats {
+  std::size_t total_lines = 0;
+  std::size_t code_lines = 0;     // non-blank, non-comment
+  std::size_t comment_lines = 0;  // lines that are entirely comment
+  std::size_t blank_lines = 0;
+};
+
+/// Scans C source text, honouring /* */ and // comments and string/char
+/// literals (a quote inside a string does not open a comment and vice
+/// versa).
+[[nodiscard]] LocStats countLoc(std::string_view source);
+
+}  // namespace safeflow::support

@@ -1,0 +1,36 @@
+// Source coordinates shared by the lexer, parser, and every analysis
+// diagnostic. A SourceLocation is a (file, line, column) triple; line and
+// column are 1-based, with 0 meaning "unknown".
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace safeflow::support {
+
+/// Opaque identifier of a file registered with a SourceManager.
+struct FileId {
+  std::uint32_t index = UINT32_MAX;
+
+  [[nodiscard]] bool valid() const { return index != UINT32_MAX; }
+  auto operator<=>(const FileId&) const = default;
+};
+
+struct SourceLocation {
+  FileId file;
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const { return file.valid() && line != 0; }
+  auto operator<=>(const SourceLocation&) const = default;
+};
+
+struct SourceRange {
+  SourceLocation begin;
+  SourceLocation end;
+
+  [[nodiscard]] bool valid() const { return begin.valid(); }
+};
+
+}  // namespace safeflow::support

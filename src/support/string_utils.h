@@ -1,0 +1,19 @@
+// Small string helpers used across the front end and annotation parser.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace safeflow::support {
+
+[[nodiscard]] std::string_view trim(std::string_view s);
+[[nodiscard]] bool startsWith(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool endsWith(std::string_view s, std::string_view suffix);
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s,
+                                                  char sep);
+/// Joins parts with the separator; empty input yields "".
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+}  // namespace safeflow::support

@@ -1,0 +1,45 @@
+#include "support/text_diff.h"
+
+#include <algorithm>
+
+namespace safeflow::support {
+
+std::vector<std::string_view> splitLines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      if (start < text.size()) lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+DiffStats diffLines(std::string_view before, std::string_view after) {
+  const std::vector<std::string_view> a = splitLines(before);
+  const std::vector<std::string_view> b = splitLines(after);
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+
+  // Classic O(n*m) LCS table; the corpora are a few thousand lines, which
+  // is comfortably within range.
+  std::vector<std::vector<std::uint32_t>> lcs(
+      n + 1, std::vector<std::uint32_t>(m + 1, 0));
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t j = m; j-- > 0;) {
+      lcs[i][j] = (a[i] == b[j]) ? lcs[i + 1][j + 1] + 1
+                                 : std::max(lcs[i + 1][j], lcs[i][j + 1]);
+    }
+  }
+  const std::size_t common = lcs[0][0];
+  DiffStats stats;
+  stats.removed = n - common;
+  stats.added = m - common;
+  return stats;
+}
+
+}  // namespace safeflow::support

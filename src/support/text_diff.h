@@ -1,0 +1,26 @@
+// Line-oriented diff (LCS-based) used to reproduce the "Source Changes"
+// column of Table 1: the number of lines that differ between the shipped
+// corpus and its pre-refactor "original" variant.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace safeflow::support {
+
+struct DiffStats {
+  std::size_t added = 0;
+  std::size_t removed = 0;
+  /// Total changed lines, the metric Table 1 reports (added + removed).
+  [[nodiscard]] std::size_t changed() const { return added + removed; }
+};
+
+/// Splits on '\n'; a trailing newline does not create an empty last line.
+[[nodiscard]] std::vector<std::string_view> splitLines(std::string_view text);
+
+/// Computes added/removed line counts between two texts.
+[[nodiscard]] DiffStats diffLines(std::string_view before,
+                                  std::string_view after);
+
+}  // namespace safeflow::support

@@ -1,0 +1,632 @@
+// Unit tests for the SafeFlow analysis phases, including the paper's
+// running example (Fig. 2/3: the inverted-pendulum core controller).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "safeflow/driver.h"
+
+namespace {
+
+using namespace safeflow;
+using analysis::CriticalDependencyError;
+
+/// Common prelude: shared types and the initializing function from Fig. 3.
+const char* kPrelude = R"(
+typedef struct SHM { float control; float position; float angle; int seq; } SHMData;
+
+SHMData *feedback;
+SHMData *noncoreCtrl;
+
+extern void *shmat(int shmid, void *addr, int flags);
+extern int shmget(int key, int size, int flags);
+
+/*** SafeFlow Annotation shminit ***/
+void initComm(void)
+{
+  void *shmStart;
+  int shmid;
+  shmid = shmget(42, 2 * sizeof(SHMData), 0);
+  shmStart = shmat(shmid, 0, 0);
+  feedback = (SHMData *) shmStart;
+  noncoreCtrl = feedback + 1;
+  /*** SafeFlow Annotation assume(shmvar(feedback, sizeof(SHMData))) ***/
+  /*** SafeFlow Annotation assume(shmvar(noncoreCtrl, sizeof(SHMData))) ***/
+  /*** SafeFlow Annotation assume(noncore(feedback)) ***/
+  /*** SafeFlow Annotation assume(noncore(noncoreCtrl)) ***/
+}
+)";
+
+std::unique_ptr<SafeFlowDriver> analyze(const std::string& body,
+                                        SafeFlowOptions options = {}) {
+  auto driver = std::make_unique<SafeFlowDriver>(std::move(options));
+  driver->addSource("test.c", std::string(kPrelude) + body);
+  driver->analyze();
+  EXPECT_FALSE(driver->hasFrontendErrors())
+      << driver->diagnostics().render(driver->sources());
+  return driver;
+}
+
+// ---------------------------------------------------------------------------
+// Region discovery
+// ---------------------------------------------------------------------------
+
+TEST(ShmRegions, DiscoversDeclaredRegions) {
+  const auto d = analyze("int main(void) { initComm(); return 0; }");
+  EXPECT_EQ(d->stats().shm_regions, 2u);
+  EXPECT_EQ(d->stats().noncore_regions, 2u);
+  EXPECT_EQ(d->stats().init_functions, 1u);
+}
+
+TEST(ShmRegions, RegionSizesFromAnnotations) {
+  const auto d = analyze("int main(void) { initComm(); return 0; }");
+  // SHMData = 3 floats + int = 16 bytes; InitCheck is demanded.
+  ASSERT_FALSE(d->report().required_runtime_checks.empty());
+  EXPECT_NE(d->report().required_runtime_checks[0].find("InitCheck"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The running example (paper Fig. 2): the feedback deref inside decision
+// is unmonitored; the critical value `output` becomes unsafe.
+// ---------------------------------------------------------------------------
+
+const char* kRunningExample = R"(
+extern void sendControl(float v);
+extern void getFeedback(SHMData *fb);
+extern float computeSafe(float pos, float ang);
+
+int checkSafety(SHMData *fb, SHMData *nc)
+{
+  /* BUG (per the paper): dereferencing the unmonitored feedback region
+     inside the monitoring function for noncoreCtrl only. */
+  if (fb->angle < 0.5f && nc->control < 5.0f && nc->control > -5.0f)
+    return 1;
+  return 0;
+}
+
+float decision(SHMData *fb, float safeControl, SHMData *nc)
+/*** SafeFlow Annotation assume(core(nc, 0, sizeof(SHMData))) ***/
+{
+  if (checkSafety(fb, nc))
+    return nc->control;
+  return safeControl;
+}
+
+int main(void)
+{
+  float safeControl;
+  float output;
+  initComm();
+  while (1) {
+    getFeedback(feedback);
+    safeControl = computeSafe(1.0f, 2.0f);
+    output = decision(feedback, safeControl, noncoreCtrl);
+    /*** SafeFlow Annotation assert(safe(output)); ***/
+    sendControl(output);
+  }
+  return 0;
+}
+)";
+
+TEST(RunningExample, DecisionIsMonitorFunction) {
+  const auto d = analyze(kRunningExample);
+  EXPECT_EQ(d->stats().monitor_functions, 1u);
+}
+
+TEST(RunningExample, UnmonitoredFeedbackAccessWarned) {
+  const auto d = analyze(kRunningExample);
+  bool feedback_warning = false;
+  for (const auto& w : d->report().warnings) {
+    if (w.region_name == "feedback" && w.function == "checkSafety") {
+      feedback_warning = true;
+    }
+  }
+  EXPECT_TRUE(feedback_warning)
+      << d->report().render(d->sources());
+}
+
+TEST(RunningExample, NoWarningForMonitoredNoncoreCtrl) {
+  const auto d = analyze(kRunningExample);
+  for (const auto& w : d->report().warnings) {
+    EXPECT_NE(w.region_name, "noncoreCtrl")
+        << "monitored region must not warn: " << w.function;
+  }
+}
+
+TEST(RunningExample, CriticalOutputFlagged) {
+  const auto d = analyze(kRunningExample);
+  ASSERT_EQ(d->report().asserts_checked, 1u);
+  ASSERT_FALSE(d->report().errors.empty())
+      << d->report().render(d->sources());
+  const auto& e = d->report().errors.front();
+  EXPECT_EQ(e.critical_value, "output");
+  EXPECT_EQ(e.function, "main");
+  EXPECT_FALSE(e.source_loads.empty());
+}
+
+TEST(RunningExample, FixedVersionIsClean) {
+  // The paper's suggested fix: pass a local copy of the feedback values
+  // instead of the shared pointer; monitor checks only nc.
+  const char* fixed = R"(
+extern void sendControl(float v);
+extern float computeSafe(float pos, float ang);
+
+int checkSafety(float angle, SHMData *nc)
+{
+  if (angle < 0.5f && nc->control < 5.0f && nc->control > -5.0f)
+    return 1;
+  return 0;
+}
+
+float decision(float angle, float safeControl, SHMData *nc)
+/*** SafeFlow Annotation assume(core(nc, 0, sizeof(SHMData))) ***/
+{
+  if (checkSafety(angle, nc))
+    return nc->control;
+  return safeControl;
+}
+
+int main(void)
+{
+  float safeControl;
+  float output;
+  float localAngle;
+  initComm();
+  localAngle = 0.1f;
+  while (1) {
+    safeControl = computeSafe(1.0f, 2.0f);
+    output = decision(localAngle, safeControl, noncoreCtrl);
+    /*** SafeFlow Annotation assert(safe(output)); ***/
+    sendControl(output);
+  }
+  return 0;
+}
+)";
+  const auto d = analyze(fixed);
+  EXPECT_TRUE(d->report().errors.empty())
+      << d->report().render(d->sources());
+}
+
+// ---------------------------------------------------------------------------
+// Monitoring semantics
+// ---------------------------------------------------------------------------
+
+TEST(Monitoring, AssumptionExtendsToCallees) {
+  // checkSafety has no annotation but is only called from the monitor, so
+  // its nc deref is covered ("in any function invoked recursively").
+  const char* src = R"(
+extern void sendControl(float v);
+
+int helper(SHMData *nc) { return nc->control > 0.0f; }
+
+float decision(SHMData *nc)
+/*** SafeFlow Annotation assume(core(nc, 0, sizeof(SHMData))) ***/
+{
+  if (helper(nc)) return nc->control;
+  return 0.0f;
+}
+
+int main(void)
+{
+  float output;
+  initComm();
+  output = decision(noncoreCtrl);
+  /*** SafeFlow Annotation assert(safe(output)); ***/
+  sendControl(output);
+  return 0;
+}
+)";
+  const auto d = analyze(src);
+  EXPECT_TRUE(d->report().errors.empty())
+      << d->report().render(d->sources());
+  EXPECT_TRUE(d->report().warnings.empty())
+      << d->report().render(d->sources());
+}
+
+TEST(Monitoring, HelperCalledFromUnmonitoredContextWarns) {
+  const char* src = R"(
+extern void sendControl(float v);
+
+int helper(SHMData *nc) { return nc->control > 0.0f; }
+
+float decision(SHMData *nc)
+/*** SafeFlow Annotation assume(core(nc, 0, sizeof(SHMData))) ***/
+{
+  if (helper(nc)) return nc->control;
+  return 0.0f;
+}
+
+int unmonitored(void) { return helper(noncoreCtrl); }
+
+int main(void)
+{
+  float output;
+  initComm();
+  output = decision(noncoreCtrl);
+  unmonitored();
+  /*** SafeFlow Annotation assert(safe(output)); ***/
+  sendControl(output);
+  return 0;
+}
+)";
+  const auto d = analyze(src);
+  bool helper_warned = false;
+  for (const auto& w : d->report().warnings) {
+    if (w.function == "helper") helper_warned = true;
+  }
+  EXPECT_TRUE(helper_warned) << d->report().render(d->sources());
+}
+
+TEST(Monitoring, PartialOffsetCoverage) {
+  // Monitoring only the first field leaves the rest of the struct unsafe.
+  const char* src = R"(
+extern void sendControl(float v);
+
+float decision(SHMData *nc)
+/*** SafeFlow Annotation assume(core(nc, 0, 4)) ***/
+{
+  return nc->position; /* offset 4..8: OUTSIDE the monitored range */
+}
+
+int main(void)
+{
+  float output;
+  initComm();
+  output = decision(noncoreCtrl);
+  /*** SafeFlow Annotation assert(safe(output)); ***/
+  sendControl(output);
+  return 0;
+}
+)";
+  const auto d = analyze(src);
+  EXPECT_FALSE(d->report().errors.empty())
+      << d->report().render(d->sources());
+  EXPECT_FALSE(d->report().warnings.empty());
+}
+
+TEST(Monitoring, CoveredOffsetWithinRange) {
+  const char* src = R"(
+extern void sendControl(float v);
+
+float decision(SHMData *nc)
+/*** SafeFlow Annotation assume(core(nc, 0, sizeof(SHMData))) ***/
+{
+  return nc->position;
+}
+
+int main(void)
+{
+  float output;
+  initComm();
+  output = decision(noncoreCtrl);
+  /*** SafeFlow Annotation assert(safe(output)); ***/
+  sendControl(output);
+  return 0;
+}
+)";
+  const auto d = analyze(src);
+  EXPECT_TRUE(d->report().errors.empty())
+      << d->report().render(d->sources());
+}
+
+// ---------------------------------------------------------------------------
+// Write-then-read through shared memory stays unsafe (§2: writes do not
+// change core/noncore status — the Generic Simplex "rigged feedback" bug).
+// ---------------------------------------------------------------------------
+
+TEST(Semantics, CoreWriteDoesNotMakeRegionSafe) {
+  const char* src = R"(
+extern void sendControl(float v);
+extern float readSensor(void);
+
+int main(void)
+{
+  float output;
+  float sensor;
+  initComm();
+  sensor = readSensor();
+  feedback->position = sensor;   /* core writes the sensor value */
+  output = feedback->position;   /* reads it back via shm: riggable! */
+  /*** SafeFlow Annotation assert(safe(output)); ***/
+  sendControl(output);
+  return 0;
+}
+)";
+  const auto d = analyze(src);
+  ASSERT_FALSE(d->report().errors.empty())
+      << d->report().render(d->sources());
+  EXPECT_EQ(d->report().errors.front().kind,
+            CriticalDependencyError::Kind::kData);
+}
+
+// ---------------------------------------------------------------------------
+// Taint propagation mechanics
+// ---------------------------------------------------------------------------
+
+TEST(Taint, FlowsThroughArithmetic) {
+  const char* src = R"(
+extern void sendControl(float v);
+int main(void)
+{
+  float output;
+  initComm();
+  output = noncoreCtrl->control * 2.0f + 1.0f;
+  /*** SafeFlow Annotation assert(safe(output)); ***/
+  sendControl(output);
+  return 0;
+}
+)";
+  const auto d = analyze(src);
+  EXPECT_EQ(d->report().dataErrorCount(), 1u);
+}
+
+TEST(Taint, FlowsThroughLocalMemory) {
+  const char* src = R"(
+extern void sendControl(float v);
+void stash(float *dst, float v) { *dst = v; }
+int main(void)
+{
+  float output;
+  float buffer;
+  initComm();
+  stash(&buffer, noncoreCtrl->control);
+  output = buffer;
+  /*** SafeFlow Annotation assert(safe(output)); ***/
+  sendControl(output);
+  return 0;
+}
+)";
+  const auto d = analyze(src);
+  EXPECT_EQ(d->report().dataErrorCount(), 1u)
+      << d->report().render(d->sources());
+}
+
+TEST(Taint, FlowsThroughReturnValues) {
+  const char* src = R"(
+extern void sendControl(float v);
+float fetch(void) { return noncoreCtrl->control; }
+int main(void)
+{
+  float output;
+  initComm();
+  output = fetch();
+  /*** SafeFlow Annotation assert(safe(output)); ***/
+  sendControl(output);
+  return 0;
+}
+)";
+  const auto d = analyze(src);
+  EXPECT_EQ(d->report().dataErrorCount(), 1u);
+}
+
+TEST(Taint, CleanValueHasNoError) {
+  const char* src = R"(
+extern void sendControl(float v);
+extern float computeSafe(void);
+int main(void)
+{
+  float output;
+  initComm();
+  output = computeSafe();
+  /*** SafeFlow Annotation assert(safe(output)); ***/
+  sendControl(output);
+  return 0;
+}
+)";
+  const auto d = analyze(src);
+  EXPECT_TRUE(d->report().errors.empty());
+}
+
+TEST(Taint, ControlDependenceFlaggedSeparately) {
+  // The paper's false-positive class: critical data control dependent on
+  // a non-core configuration word, while both arms are individually safe.
+  const char* src = R"(
+extern void sendControl(float v);
+extern float safeA(void);
+extern float safeB(void);
+int main(void)
+{
+  float output;
+  initComm();
+  if (noncoreCtrl->seq > 0)
+    output = safeA();
+  else
+    output = safeB();
+  /*** SafeFlow Annotation assert(safe(output)); ***/
+  sendControl(output);
+  return 0;
+}
+)";
+  const auto d = analyze(src);
+  ASSERT_EQ(d->report().errors.size(), 1u)
+      << d->report().render(d->sources());
+  EXPECT_EQ(d->report().errors.front().kind,
+            CriticalDependencyError::Kind::kControl);
+  EXPECT_EQ(d->report().dataErrorCount(), 0u);
+  EXPECT_EQ(d->report().controlErrorCount(), 1u);
+}
+
+TEST(Taint, ControlTrackingCanBeDisabled) {
+  const char* src = R"(
+extern void sendControl(float v);
+extern float safeA(void);
+extern float safeB(void);
+int main(void)
+{
+  float output;
+  initComm();
+  if (noncoreCtrl->seq > 0)
+    output = safeA();
+  else
+    output = safeB();
+  /*** SafeFlow Annotation assert(safe(output)); ***/
+  sendControl(output);
+  return 0;
+}
+)";
+  SafeFlowOptions options;
+  options.taint.track_control_deps = false;
+  const auto d = analyze(src, options);
+  EXPECT_TRUE(d->report().errors.empty());
+}
+
+TEST(Taint, CallStringModeMatchesSummaries) {
+  // Both interprocedural engines must agree on the running example: one
+  // error dependency (through the checkSafety gate: a control dependence)
+  // and the unmonitored feedback warning.
+  analysis::SafeFlowReport summary_report;
+  {
+    const auto d = analyze(kRunningExample);
+    summary_report = d->report();
+  }
+  SafeFlowOptions options;
+  options.taint.mode = analysis::TaintOptions::Mode::kCallStrings;
+  const auto d = analyze(kRunningExample, options);
+  EXPECT_EQ(d->report().errors.size(), summary_report.errors.size());
+  ASSERT_EQ(d->report().errors.size(), 1u)
+      << d->report().render(d->sources());
+  EXPECT_EQ(d->report().errors.front().kind,
+            summary_report.errors.front().kind);
+  EXPECT_EQ(d->report().warnings.size(), summary_report.warnings.size());
+  bool feedback_warning = false;
+  for (const auto& w : d->report().warnings) {
+    if (w.region_name == "feedback") feedback_warning = true;
+  }
+  EXPECT_TRUE(feedback_warning);
+}
+
+TEST(Taint, DirectDataFlowFromUnmonitoredRegionIsDataKind) {
+  const char* src = R"(
+extern void sendControl(float v);
+int main(void)
+{
+  float output;
+  initComm();
+  output = feedback->position;  /* raw unmonitored read, direct data flow */
+  /*** SafeFlow Annotation assert(safe(output)); ***/
+  sendControl(output);
+  return 0;
+}
+)";
+  const auto d = analyze(src);
+  ASSERT_EQ(d->report().errors.size(), 1u);
+  EXPECT_EQ(d->report().errors.front().kind,
+            CriticalDependencyError::Kind::kData);
+}
+
+// ---------------------------------------------------------------------------
+// The kill(pid) defect class (paper §4: all three systems)
+// ---------------------------------------------------------------------------
+
+TEST(Taint, KillPidFromSharedMemory) {
+  const char* src = R"(
+extern int kill(int pid, int sig);
+int main(void)
+{
+  int pid;
+  initComm();
+  pid = noncoreCtrl->seq;  /* non-core component can write our own pid! */
+  /*** SafeFlow Annotation assert(safe(pid)); ***/
+  kill(pid, 9);
+  return 0;
+}
+)";
+  const auto d = analyze(src);
+  ASSERT_EQ(d->report().dataErrorCount(), 1u)
+      << d->report().render(d->sources());
+  EXPECT_EQ(d->report().errors.front().critical_value, "pid");
+}
+
+// ---------------------------------------------------------------------------
+// Restrictions P1-P3
+// ---------------------------------------------------------------------------
+
+TEST(Restrictions, P1ShmdtOutsideMainEnd) {
+  const char* src = R"(
+extern int shmdt(void *addr);
+void teardown(void) { shmdt(feedback); }
+int main(void) { initComm(); teardown(); return 0; }
+)";
+  const auto d = analyze(src);
+  bool p1 = false;
+  for (const auto& v : d->report().restriction_violations) {
+    if (v.rule == "P1") p1 = true;
+  }
+  EXPECT_TRUE(p1) << d->report().render(d->sources());
+}
+
+TEST(Restrictions, P1ShmdtAtMainEndAllowed) {
+  const char* src = R"(
+extern int shmdt(void *addr);
+int main(void) { initComm(); shmdt(feedback); return 0; }
+)";
+  const auto d = analyze(src);
+  for (const auto& v : d->report().restriction_violations) {
+    EXPECT_NE(v.rule, "P1") << v.message;
+  }
+}
+
+TEST(Restrictions, P2StoringShmPointerIntoMemory) {
+  const char* src = R"(
+SHMData *stash[4];
+void alias_it(void) { stash[0] = noncoreCtrl; }
+int main(void) { initComm(); alias_it(); return 0; }
+)";
+  const auto d = analyze(src);
+  bool p2 = false;
+  for (const auto& v : d->report().restriction_violations) {
+    if (v.rule == "P2") p2 = true;
+  }
+  EXPECT_TRUE(p2) << d->report().render(d->sources());
+}
+
+TEST(Restrictions, P3IncompatibleCast) {
+  const char* src = R"(
+typedef struct Other { double a; double b; double c; } Other;
+float peek(void) { Other *o = (Other *)noncoreCtrl; return (float)o->a; }
+int main(void) { initComm(); peek(); return 0; }
+)";
+  const auto d = analyze(src);
+  bool p3 = false;
+  for (const auto& v : d->report().restriction_violations) {
+    if (v.rule == "P3") p3 = true;
+  }
+  EXPECT_TRUE(p3) << d->report().render(d->sources());
+}
+
+TEST(Restrictions, P3CastToInteger) {
+  const char* src = R"(
+long addr_of_shm(void) { return (long)noncoreCtrl; }
+int main(void) { initComm(); addr_of_shm(); return 0; }
+)";
+  const auto d = analyze(src);
+  bool p3 = false;
+  for (const auto& v : d->report().restriction_violations) {
+    if (v.rule == "P3") p3 = true;
+  }
+  EXPECT_TRUE(p3);
+}
+
+TEST(Restrictions, CompatibleCastAllowed) {
+  const char* src = R"(
+void use(void *p);
+void pass_as_void(void) { use(noncoreCtrl); }
+int main(void) { initComm(); pass_as_void(); return 0; }
+)";
+  const auto d = analyze(src);
+  for (const auto& v : d->report().restriction_violations) {
+    EXPECT_NE(v.rule, "P3") << v.message;
+  }
+}
+
+TEST(Restrictions, ShminitExemptFromP3) {
+  // initComm itself performs (SHMData*)shmStart casts; no P3 expected.
+  const auto d = analyze("int main(void) { initComm(); return 0; }");
+  for (const auto& v : d->report().restriction_violations) {
+    EXPECT_NE(v.function->name(), "initComm") << v.message;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Direct unit tests for the SafeFlow annotation parser (paper §3.1,
+// §3.2.1): grammar coverage, sizeof arithmetic, and malformed inputs.
+#include <gtest/gtest.h>
+
+#include "annotations/annotation.h"
+#include "cfront/frontend.h"
+
+namespace {
+
+using namespace safeflow;
+using annotations::AnnotationKind;
+using annotations::AnnotationParser;
+using annotations::ParsedAnnotation;
+
+class AnnotationTest : public ::testing::Test {
+ protected:
+  AnnotationTest() {
+    // Register a struct and a typedef so sizeof(...) resolves.
+    fe_.parseBuffer("types.c",
+                    "typedef struct SHM { float control; float position; "
+                    "float angle; int seq; } SHMData;\n"
+                    "struct Pair { double a; double b; };\n");
+  }
+
+  std::optional<ParsedAnnotation> parse(const std::string& text) {
+    AnnotationParser parser(fe_.types(), fe_.unit().typedefs(),
+                            fe_.diagnostics());
+    return parser.parse(cfront::RawAnnotation{text, {}});
+  }
+
+  cfront::Frontend fe_;
+};
+
+TEST_F(AnnotationTest, ShmInit) {
+  const auto a = parse("shminit");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->kind, AnnotationKind::kShmInit);
+}
+
+TEST_F(AnnotationTest, AssumeCoreBasic) {
+  const auto a = parse("assume(core(ptr, 0, 16))");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->kind, AnnotationKind::kAssumeCore);
+  EXPECT_EQ(a->pointer_name, "ptr");
+  EXPECT_EQ(a->offset, 0);
+  EXPECT_EQ(a->size, 16);
+}
+
+TEST_F(AnnotationTest, AssumeCoreWithSizeofTypedef) {
+  const auto a = parse("assume(core(nc, 0, sizeof(SHMData)))");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->size, 16);  // 3 floats + int
+}
+
+TEST_F(AnnotationTest, AssumeCoreWithSizeofStructTag) {
+  const auto a = parse("assume(core(p, 0, sizeof(struct Pair)))");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->size, 16);
+}
+
+TEST_F(AnnotationTest, SizeofArithmetic) {
+  const auto a = parse("assume(shmvar(ring, 8 * sizeof(SHMData)))");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->kind, AnnotationKind::kShmVar);
+  EXPECT_EQ(a->size, 8 * 16);
+}
+
+TEST_F(AnnotationTest, SizeofSumAndDifference) {
+  const auto a = parse("assume(shmvar(p, sizeof(SHMData) + 4 - 2))");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->size, 18);
+}
+
+TEST_F(AnnotationTest, ParenthesizedExpression) {
+  const auto a = parse("assume(shmvar(p, 2 * (sizeof(SHMData) + 8)))");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->size, 48);
+}
+
+TEST_F(AnnotationTest, SizeofBuiltins) {
+  EXPECT_EQ(parse("assume(shmvar(p, sizeof(int)))")->size, 4);
+  EXPECT_EQ(parse("assume(shmvar(p, sizeof(double)))")->size, 8);
+  EXPECT_EQ(parse("assume(shmvar(p, sizeof(char)))")->size, 1);
+}
+
+TEST_F(AnnotationTest, SizeofPointer) {
+  const auto a = parse("assume(shmvar(p, sizeof(SHMData *)))");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->size, 8);
+}
+
+TEST_F(AnnotationTest, NonCore) {
+  const auto a = parse("assume(noncore(feedback))");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->kind, AnnotationKind::kNonCore);
+  EXPECT_EQ(a->pointer_name, "feedback");
+}
+
+TEST_F(AnnotationTest, AssertSafe) {
+  const auto a = parse("assert(safe(output));");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->kind, AnnotationKind::kAssertSafe);
+  EXPECT_EQ(a->value_name, "output");
+}
+
+TEST_F(AnnotationTest, AssertSafeWithoutSemicolon) {
+  const auto a = parse("assert(safe(pid))");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value_name, "pid");
+}
+
+TEST_F(AnnotationTest, WhitespaceTolerant) {
+  const auto a = parse("  assume ( core ( nc , 4 , 12 ) )  ");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->offset, 4);
+  EXPECT_EQ(a->size, 12);
+}
+
+// -- malformed inputs -------------------------------------------------------
+
+TEST_F(AnnotationTest, UnknownHeadRejected) {
+  EXPECT_FALSE(parse("expect(core(p, 0, 4))").has_value());
+}
+
+TEST_F(AnnotationTest, UnknownPredicateRejected) {
+  EXPECT_FALSE(parse("assume(trusted(p))").has_value());
+}
+
+TEST_F(AnnotationTest, MissingArgumentsRejected) {
+  EXPECT_FALSE(parse("assume(core(p))").has_value());
+  EXPECT_FALSE(parse("assume(core(p, 0))").has_value());
+  EXPECT_FALSE(parse("assume(shmvar(p))").has_value());
+}
+
+TEST_F(AnnotationTest, NonConstantSizeRejected) {
+  EXPECT_FALSE(parse("assume(core(p, 0, n))").has_value());
+}
+
+TEST_F(AnnotationTest, UnknownTypeInSizeofRejected) {
+  EXPECT_FALSE(parse("assume(shmvar(p, sizeof(Mystery)))").has_value());
+}
+
+TEST_F(AnnotationTest, UnbalancedParensRejected) {
+  EXPECT_FALSE(parse("assume(core(p, 0, 4)").has_value());
+  EXPECT_FALSE(parse("assert(safe(x)").has_value());
+}
+
+TEST_F(AnnotationTest, AssertOnlySupportsSafe) {
+  EXPECT_FALSE(parse("assert(unsafe(x))").has_value());
+}
+
+TEST_F(AnnotationTest, MalformedInputsReportDiagnostics) {
+  const std::size_t before = fe_.diagnostics().errorCount();
+  parse("assume(core(p, 0)");
+  EXPECT_GT(fe_.diagnostics().errorCount(), before);
+}
+
+TEST_F(AnnotationTest, DivisionInConstExpr) {
+  const auto a = parse("assume(shmvar(p, sizeof(SHMData) / 2))");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->size, 8);
+}
+
+TEST_F(AnnotationTest, KindNames) {
+  EXPECT_EQ(annotations::annotationKindName(AnnotationKind::kShmInit),
+            "shminit");
+  EXPECT_EQ(annotations::annotationKindName(AnnotationKind::kAssertSafe),
+            "assert(safe)");
+}
+
+}  // namespace

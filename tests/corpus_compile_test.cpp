@@ -1,0 +1,126 @@
+// Validates that the reconstructed IP corpus is genuine, working C: it
+// must compile under the system C compiler together with the simulation
+// shim (corpus/harness/ip_shim.c) and run to a clean envelope exit, with
+// its power-on self test passing. Skipped when no `cc` is available.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+std::string corpusDir() { return SAFEFLOW_CORPUS_DIR; }
+
+bool haveCompiler() {
+  return std::system("cc --version > /dev/null 2>&1") == 0;
+}
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult runCommand(const std::string& cmd) {
+  RunResult r;
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return r;
+  std::array<char, 512> buf{};
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    r.output += buf.data();
+  }
+  const int status = pclose(pipe);
+  r.exit_code = status;
+  return r;
+}
+
+TEST(CorpusCompile, IpCoreCompilesAndRunsUnderRealCc) {
+  if (!haveCompiler()) GTEST_SKIP() << "no system C compiler";
+
+  const std::string bin = ::testing::TempDir() + "/sf_ip_corpus";
+  const std::string dir = corpusDir() + "/ip/core";
+  const std::string compile =
+      "cc -O1 -o " + bin + " " + dir + "/comm.c " + dir + "/safety.c " +
+      dir + "/filter.c " + dir + "/telemetry.c " + dir + "/selftest.c " +
+      dir + "/decision.c " + dir + "/main.c " + corpusDir() +
+      "/harness/ip_shim.c -lm";
+  const RunResult cr = runCommand(compile);
+  ASSERT_EQ(cr.exit_code, 0) << cr.output;
+
+  const RunResult rr = runCommand("timeout 20 " + bin);
+  EXPECT_EQ(rr.exit_code, 0) << rr.output;
+  // The self test must pass and the run must end with the envelope exit.
+  EXPECT_NE(rr.output.find("[selftest] all checks passed"),
+            std::string::npos)
+      << rr.output;
+  EXPECT_NE(rr.output.find("left the envelope"), std::string::npos)
+      << rr.output;
+}
+
+TEST(CorpusCompile, RunningExampleCompilesUnderRealCc) {
+  if (!haveCompiler()) GTEST_SKIP() << "no system C compiler";
+  // Syntax-only: the running example references externals the shim does
+  // not provide, so compile without linking.
+  const std::string obj = ::testing::TempDir() + "/sf_running_example.o";
+  const RunResult cr = runCommand("cc -c -o " + obj + " " + corpusDir() +
+                                  "/running_example/core.c");
+  EXPECT_EQ(cr.exit_code, 0) << cr.output;
+}
+
+TEST(CorpusCompile, GenericSimplexRiggedFeedbackDefectIsLiveInC) {
+  // The seeded Generic Simplex defect, exploited in the corpus C itself:
+  // the gs_shim's GS_TAMPER build rigs the feedback region in the window
+  // after the core releases its lock; the core's safety law (which reads
+  // the plant state back from shared memory — the defect SafeFlow flags)
+  // then drives the real plant out of range. The benign build tracks the
+  // setpoint and stays in range.
+  if (!haveCompiler()) GTEST_SKIP() << "no system C compiler";
+
+  const std::string dir = corpusDir() + "/generic_simplex/core";
+  const std::string sources =
+      dir + "/comm.c " + dir + "/config.c " + dir + "/safety.c " + dir +
+      "/profile.c " + dir + "/watchdog.c " + dir + "/estimator.c " + dir +
+      "/monitors.c " + dir + "/main.c " + corpusDir() +
+      "/harness/gs_shim.c -lm";
+
+  const std::string benign = ::testing::TempDir() + "/sf_gs_benign";
+  const std::string tampered = ::testing::TempDir() + "/sf_gs_tampered";
+  ASSERT_EQ(runCommand("cc -O1 -o " + benign + " " + sources).exit_code, 0);
+  ASSERT_EQ(runCommand("cc -O1 -DGS_TAMPER -o " + tampered + " " + sources)
+                .exit_code,
+            0);
+
+  const RunResult b = runCommand("timeout 20 " + benign);
+  const RunResult t = runCommand("timeout 20 " + tampered);
+  EXPECT_NE(b.output.find("escaped=0"), std::string::npos) << b.output;
+  EXPECT_NE(t.output.find("escaped=1"), std::string::npos) << t.output;
+}
+
+TEST(CorpusCompile, GenericSimplexCoreIsValidC) {
+  if (!haveCompiler()) GTEST_SKIP() << "no system C compiler";
+  const std::string dir = corpusDir() + "/generic_simplex/core";
+  for (const char* f :
+       {"/comm.c", "/config.c", "/safety.c", "/profile.c", "/watchdog.c",
+        "/estimator.c", "/monitors.c", "/main.c"}) {
+    const std::string obj = ::testing::TempDir() + "/sf_gs.o";
+    const RunResult cr =
+        runCommand("cc -c -o " + obj + " " + dir + f);
+    EXPECT_EQ(cr.exit_code, 0) << f << ": " << cr.output;
+  }
+}
+
+TEST(CorpusCompile, DoubleIpCoreIsValidC) {
+  if (!haveCompiler()) GTEST_SKIP() << "no system C compiler";
+  const std::string dir = corpusDir() + "/double_ip/core";
+  for (const char* f :
+       {"/comm.c", "/safety.c", "/estimator.c", "/trajectory.c",
+        "/decision.c", "/modes.c", "/main.c"}) {
+    const std::string obj = ::testing::TempDir() + "/sf_dip.o";
+    const RunResult cr =
+        runCommand("cc -c -o " + obj + " " + dir + f);
+    EXPECT_EQ(cr.exit_code, 0) << f << ": " << cr.output;
+  }
+}
+
+}  // namespace

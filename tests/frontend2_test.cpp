@@ -1,0 +1,260 @@
+// Second frontend suite: brace initializers, declarator corner cases,
+// and lowering of initializer lists.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cfront/frontend.h"
+#include "ir/ir.h"
+#include "ir/lowering.h"
+#include "ir/printer.h"
+#include "ir/ssa.h"
+
+namespace {
+
+using namespace safeflow;
+using namespace safeflow::cfront;
+
+struct Parsed {
+  std::unique_ptr<Frontend> fe;
+  bool ok;
+};
+
+Parsed parse(const std::string& src, bool expect_ok = true) {
+  auto fe = std::make_unique<Frontend>();
+  const bool ok = fe->parseBuffer("t.c", src);
+  if (expect_ok) {
+    EXPECT_TRUE(ok) << fe->diagnostics().render(fe->sources());
+  }
+  return Parsed{std::move(fe), ok};
+}
+
+TEST(InitLists, GlobalArrayInitializer) {
+  const auto p = parse("float taps[4] = {0.1f, 0.2f, 0.3f, 0.4f};");
+  const auto* g = p.fe->unit().findGlobal("taps");
+  ASSERT_NE(g, nullptr);
+  ASSERT_NE(g->init(), nullptr);
+  ASSERT_EQ(g->init()->kind(), Expr::Kind::kInitList);
+  EXPECT_EQ(static_cast<const InitListExpr*>(g->init())->items().size(),
+            4u);
+}
+
+TEST(InitLists, LocalArrayLowersToStores) {
+  const auto p = parse(
+      "float sum(void) {\n"
+      "  float w[3] = {1.0f, 2.0f, 3.0f};\n"
+      "  return w[0] + w[1] + w[2];\n"
+      "}");
+  ir::Module m(p.fe->types());
+  ir::Lowering lowering(p.fe->unit(), m, p.fe->diagnostics());
+  ASSERT_TRUE(lowering.run())
+      << p.fe->diagnostics().render(p.fe->sources());
+  const ir::Function* f = m.findFunction("sum");
+  std::size_t stores = 0;
+  for (const auto& bb : f->blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() == ir::Opcode::kStore) ++stores;
+    }
+  }
+  EXPECT_EQ(stores, 3u);
+}
+
+TEST(InitLists, StructInitializer) {
+  const auto p = parse(
+      "struct P { float x; float y; };\n"
+      "float f(void) { struct P p = {1.5f, 2.5f}; return p.x + p.y; }");
+  ir::Module m(p.fe->types());
+  ir::Lowering lowering(p.fe->unit(), m, p.fe->diagnostics());
+  ASSERT_TRUE(lowering.run());
+  const ir::Function* f = m.findFunction("f");
+  std::size_t fieldaddrs = 0;
+  for (const auto& bb : f->blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() == ir::Opcode::kFieldAddr) ++fieldaddrs;
+    }
+  }
+  EXPECT_GE(fieldaddrs, 4u);  // 2 init stores + 2 reads
+}
+
+TEST(InitLists, NestedInitializer) {
+  const auto p = parse(
+      "int grid[2][2] = {{1, 2}, {3, 4}};\n"
+      "int f(void) { return grid[1][0]; }");
+  EXPECT_TRUE(p.ok);
+}
+
+TEST(InitLists, TrailingCommaAccepted) {
+  const auto p = parse("int a[2] = {1, 2,};");
+  EXPECT_TRUE(p.ok);
+}
+
+TEST(InitLists, EmptyBracesAccepted) {
+  const auto p = parse("int f(void) { int a[4] = {}; return a[0]; }");
+  EXPECT_TRUE(p.ok);
+}
+
+TEST(InitLists, ScalarBraceInit) {
+  const auto p = parse("int f(void) { int x = {7}; return x; }");
+  ir::Module m(p.fe->types());
+  ir::Lowering lowering(p.fe->unit(), m, p.fe->diagnostics());
+  ASSERT_TRUE(lowering.run());
+  ir::promoteModuleToSsa(m);
+  EXPECT_EQ(ir::verifySsa(*m.findFunction("f")), "");
+}
+
+// ---------------------------------------------------------------------------
+// Declarators and misc
+// ---------------------------------------------------------------------------
+
+TEST(Declarators, MultipleDeclaratorsPerLine) {
+  const auto p = parse("int a, b, c;");
+  EXPECT_NE(p.fe->unit().findGlobal("a"), nullptr);
+  EXPECT_NE(p.fe->unit().findGlobal("b"), nullptr);
+  EXPECT_NE(p.fe->unit().findGlobal("c"), nullptr);
+}
+
+TEST(Declarators, MixedPointersPerLine) {
+  const auto p = parse("int *a, b;");
+  EXPECT_TRUE(p.fe->unit().findGlobal("a")->type()->isPointer());
+  EXPECT_TRUE(p.fe->unit().findGlobal("b")->type()->isInteger());
+}
+
+TEST(Declarators, UnsignedVariants) {
+  const auto p = parse(
+      "unsigned int u1; unsigned u2; unsigned char uc; unsigned long ul;");
+  EXPECT_EQ(p.fe->unit().findGlobal("u1")->type()->size(), 4u);
+  EXPECT_EQ(p.fe->unit().findGlobal("uc")->type()->size(), 1u);
+  EXPECT_EQ(p.fe->unit().findGlobal("ul")->type()->size(), 8u);
+}
+
+TEST(Declarators, ShortAndLong) {
+  const auto p = parse("short s; long l; long long ll;");
+  EXPECT_EQ(p.fe->unit().findGlobal("s")->type()->size(), 2u);
+  EXPECT_EQ(p.fe->unit().findGlobal("l")->type()->size(), 8u);
+  EXPECT_EQ(p.fe->unit().findGlobal("ll")->type()->size(), 8u);
+}
+
+TEST(Declarators, ConstVolatileIgnoredButAccepted) {
+  const auto p = parse("const int k = 5; volatile float v;");
+  EXPECT_TRUE(p.ok);
+}
+
+TEST(Declarators, SelfReferentialStruct) {
+  const auto p = parse(
+      "struct Node { int value; struct Node *next; };\n"
+      "int sum(struct Node *head) {\n"
+      "  int total = 0;\n"
+      "  while (head) { total += head->value; head = head->next; }\n"
+      "  return total;\n"
+      "}");
+  EXPECT_TRUE(p.ok);
+}
+
+TEST(Declarators, UnionParsedAsStructLayout) {
+  const auto p = parse(
+      "union U { int i; float f; };\n"
+      "union U g;");
+  EXPECT_TRUE(p.ok);
+}
+
+TEST(ConstExpr, MacroArithmeticInArrayBound) {
+  const auto p = parse(
+      "#define N 4\n"
+      "int table[N * 2 + 1];");
+  const auto* g = p.fe->unit().findGlobal("table");
+  ASSERT_TRUE(g->type()->isArray());
+  EXPECT_EQ(static_cast<const ArrayType*>(g->type())->count(), 9u);
+}
+
+TEST(ConstExpr, SizeofInArrayBound) {
+  const auto p = parse(
+      "struct S { double a; };\n"
+      "char raw[sizeof(struct S) * 2];");
+  const auto* g = p.fe->unit().findGlobal("raw");
+  EXPECT_EQ(static_cast<const ArrayType*>(g->type())->count(), 16u);
+}
+
+TEST(ConstExpr, TernaryInCaseLabelRejectedGracefully) {
+  // Conditional expressions are not folded; must report, not crash.
+  const auto p = parse(
+      "int f(int m, int k) {\n"
+      "  switch (m) { case 1: return k; }\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_TRUE(p.ok);
+}
+
+TEST(Lowering2, DoWhileSsaValid) {
+  const auto p = parse(
+      "int f(int n) { int i = 0; do { i++; } while (i < n); return i; }");
+  ir::Module m(p.fe->types());
+  ir::Lowering lowering(p.fe->unit(), m, p.fe->diagnostics());
+  ASSERT_TRUE(lowering.run());
+  ir::promoteModuleToSsa(m);
+  EXPECT_EQ(ir::verifySsa(*m.findFunction("f")), "");
+}
+
+TEST(Lowering2, NestedLoopsSsaValid) {
+  const auto p = parse(
+      "int f(int n) {\n"
+      "  int total = 0;\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    for (int j = 0; j < i; j++) {\n"
+      "      if (j % 2) { total += j; } else { total -= 1; }\n"
+      "      if (total > 1000) { break; }\n"
+      "    }\n"
+      "    if (total < -1000) { continue; }\n"
+      "    total += i;\n"
+      "  }\n"
+      "  return total;\n"
+      "}");
+  ir::Module m(p.fe->types());
+  ir::Lowering lowering(p.fe->unit(), m, p.fe->diagnostics());
+  ASSERT_TRUE(lowering.run());
+  ir::promoteModuleToSsa(m);
+  EXPECT_EQ(ir::verifySsa(*m.findFunction("f")), "");
+}
+
+TEST(Lowering2, CompoundAssignOnPointerDeref) {
+  const auto p = parse(
+      "void bump(float *p, float dv) { *p += dv; }");
+  ir::Module m(p.fe->types());
+  ir::Lowering lowering(p.fe->unit(), m, p.fe->diagnostics());
+  ASSERT_TRUE(lowering.run());
+}
+
+TEST(Lowering2, StringLiteralAsCallArgument) {
+  const auto p = parse(
+      "extern int printf(char *fmt, ...);\n"
+      "void hello(void) { printf(\"hello %d\\n\", 42); }");
+  ir::Module m(p.fe->types());
+  ir::Lowering lowering(p.fe->unit(), m, p.fe->diagnostics());
+  ASSERT_TRUE(lowering.run());
+}
+
+// Parameterized SSA sweep: every generated diamond/loop mix must verify.
+class SsaSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SsaSweep, GeneratedFunctionsVerify) {
+  const int n = GetParam();
+  std::string body = "int f(int x) {\n  int a = x;\n";
+  for (int i = 0; i < n; ++i) {
+    body += "  if (a % " + std::to_string(i + 2) + ") { a += " +
+            std::to_string(i) + "; } else { a -= 1; }\n";
+    body += "  while (a > " + std::to_string(100 * (i + 1)) +
+            ") { a /= 2; }\n";
+  }
+  body += "  return a;\n}\n";
+  auto fe = std::make_unique<Frontend>();
+  ASSERT_TRUE(fe->parseBuffer("gen.c", body));
+  ir::Module m(fe->types());
+  ir::Lowering lowering(fe->unit(), m, fe->diagnostics());
+  ASSERT_TRUE(lowering.run());
+  ir::promoteModuleToSsa(m);
+  EXPECT_EQ(ir::verifySsa(*m.findFunction("f")), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, SsaSweep,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cfront/lexer.h"
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+
+namespace {
+
+using safeflow::cfront::Lexer;
+using safeflow::cfront::Token;
+using safeflow::cfront::TokenKind;
+
+std::vector<Token> lexAll(const std::string& src,
+                          safeflow::support::DiagnosticEngine* diags_out =
+                              nullptr) {
+  static safeflow::support::SourceManager sm;
+  static safeflow::support::DiagnosticEngine diags;
+  diags.clear();
+  const auto id = sm.addBuffer("test.c", src);
+  Lexer lex(id, sm.contents(id), diags);
+  std::vector<Token> out;
+  for (Token t = lex.next(); !t.is(TokenKind::kEof); t = lex.next()) {
+    out.push_back(std::move(t));
+  }
+  if (diags_out != nullptr) *diags_out = diags;
+  return out;
+}
+
+TEST(Lexer, Keywords) {
+  const auto toks = lexAll("int float while struct return");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kKwInt);
+  EXPECT_EQ(toks[1].kind, TokenKind::kKwFloat);
+  EXPECT_EQ(toks[2].kind, TokenKind::kKwWhile);
+  EXPECT_EQ(toks[3].kind, TokenKind::kKwStruct);
+  EXPECT_EQ(toks[4].kind, TokenKind::kKwReturn);
+}
+
+TEST(Lexer, Identifiers) {
+  const auto toks = lexAll("foo _bar baz42");
+  ASSERT_EQ(toks.size(), 3u);
+  for (const auto& t : toks) EXPECT_EQ(t.kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks[0].text, "foo");
+  EXPECT_EQ(toks[1].text, "_bar");
+  EXPECT_EQ(toks[2].text, "baz42");
+}
+
+TEST(Lexer, IntegerLiterals) {
+  const auto toks = lexAll("42 0x1F 0 077 42u 42L");
+  ASSERT_EQ(toks.size(), 6u);
+  for (const auto& t : toks) EXPECT_EQ(t.kind, TokenKind::kIntLiteral);
+  EXPECT_EQ(toks[0].text, "42");
+  EXPECT_EQ(toks[1].text, "0x1F");
+}
+
+TEST(Lexer, FloatLiterals) {
+  const auto toks = lexAll("3.14 1e5 2.5e-3 1.0f");
+  ASSERT_EQ(toks.size(), 4u);
+  for (const auto& t : toks) EXPECT_EQ(t.kind, TokenKind::kFloatLiteral);
+}
+
+TEST(Lexer, FloatSuffixOnInt) {
+  const auto toks = lexAll("5f");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kFloatLiteral);
+}
+
+TEST(Lexer, CharAndStringLiterals) {
+  const auto toks = lexAll("'a' '\\n' \"hello\" \"a\\\"b\"");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kCharLiteral);
+  EXPECT_EQ(toks[1].kind, TokenKind::kCharLiteral);
+  EXPECT_EQ(toks[2].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ(toks[2].text, "hello");
+  EXPECT_EQ(toks[3].kind, TokenKind::kStringLiteral);
+}
+
+TEST(Lexer, Operators) {
+  const auto toks = lexAll("+ ++ += - -- -= -> << <<= <= < == = && &");
+  const std::vector<TokenKind> expected = {
+      TokenKind::kPlus,   TokenKind::kPlusPlus,  TokenKind::kPlusAssign,
+      TokenKind::kMinus,  TokenKind::kMinusMinus, TokenKind::kMinusAssign,
+      TokenKind::kArrow,  TokenKind::kShl,       TokenKind::kShlAssign,
+      TokenKind::kLessEq, TokenKind::kLess,      TokenKind::kEqEq,
+      TokenKind::kAssign, TokenKind::kAmpAmp,    TokenKind::kAmp,
+  };
+  ASSERT_EQ(toks.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(toks[i].kind, expected[i]) << "token " << i;
+  }
+}
+
+TEST(Lexer, Ellipsis) {
+  const auto toks = lexAll("f(...) .");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[2].kind, TokenKind::kEllipsis);
+  EXPECT_EQ(toks[4].kind, TokenKind::kDot);
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+  const auto toks = lexAll("a // comment\nb");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, BlockCommentsSkipped) {
+  const auto toks = lexAll("a /* multi\nline */ b");
+  ASSERT_EQ(toks.size(), 2u);
+}
+
+TEST(Lexer, AnnotationCommentRecognized) {
+  const auto toks =
+      lexAll("/*** SafeFlow Annotation\n  assert(safe(output)); ***/ x");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kAnnotation);
+  EXPECT_NE(toks[0].text.find("assert(safe(output))"), std::string::npos);
+  EXPECT_EQ(toks[1].text, "x");
+}
+
+TEST(Lexer, AnnotationPaperStyle) {
+  // The paper writes annotations as /**SafeFlow Annotation ... /***/
+  const auto toks = lexAll(
+      "/**SafeFlow Annotation\n"
+      "   assume(core(noncoreCtrl, 0, sizeof(SHMData))) /***/ int x;");
+  ASSERT_GE(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kAnnotation);
+  EXPECT_NE(toks[0].text.find("assume(core(noncoreCtrl"), std::string::npos);
+}
+
+TEST(Lexer, PlainCommentNotAnnotation) {
+  const auto toks = lexAll("/* ordinary comment */ x");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].text, "x");
+}
+
+TEST(Lexer, SourceLocations) {
+  const auto toks = lexAll("a\n  b");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].location.line, 1u);
+  EXPECT_EQ(toks[0].location.column, 1u);
+  EXPECT_EQ(toks[1].location.line, 2u);
+  EXPECT_EQ(toks[1].location.column, 3u);
+}
+
+TEST(Lexer, AtLineStartFlag) {
+  const auto toks = lexAll("a b\n# define");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_TRUE(toks[0].at_line_start);
+  EXPECT_FALSE(toks[1].at_line_start);
+  EXPECT_TRUE(toks[2].at_line_start);  // the '#'
+  EXPECT_FALSE(toks[3].at_line_start);
+}
+
+TEST(Lexer, UnterminatedString) {
+  safeflow::support::DiagnosticEngine diags;
+  lexAll("\"open", &diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(Lexer, UnterminatedBlockComment) {
+  safeflow::support::DiagnosticEngine diags;
+  lexAll("/* never closed", &diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(Lexer, UnexpectedCharacterRecovers) {
+  safeflow::support::DiagnosticEngine diags;
+  const auto toks = lexAll("a @ b", &diags);
+  EXPECT_TRUE(diags.hasErrors());
+  ASSERT_EQ(toks.size(), 2u);  // @ reported, a and b survive
+}
+
+TEST(Lexer, HexAndOctal) {
+  const auto toks = lexAll("0xFF 0x0");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kIntLiteral);
+}
+
+}  // namespace

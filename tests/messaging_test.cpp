@@ -1,0 +1,196 @@
+// Tests for the message-passing extension (paper §3.4.3): noncore(socket)
+// annotations, recv-style receive calls, and monitoring of received data.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "safeflow/driver.h"
+
+namespace {
+
+using namespace safeflow;
+using analysis::CriticalDependencyError;
+
+const char* kSocketPrelude = R"(
+typedef struct Msg { float value; int kind; } Msg;
+
+int ncSocket;
+int coreSocket;
+
+extern int recv(int socket, void *buffer, int length, int flags);
+extern int socketOpen(int port);
+extern void actuate(float v);
+
+void initSockets(void)
+{
+    ncSocket = socketOpen(9000);
+    coreSocket = socketOpen(9001);
+    /*** SafeFlow Annotation assume(noncore(ncSocket)) ***/
+}
+)";
+
+std::unique_ptr<SafeFlowDriver> analyze(const std::string& body) {
+  auto driver = std::make_unique<SafeFlowDriver>();
+  driver->addSource("msg.c", std::string(kSocketPrelude) + body);
+  driver->analyze();
+  EXPECT_FALSE(driver->hasFrontendErrors())
+      << driver->diagnostics().render(driver->sources());
+  return driver;
+}
+
+TEST(Messaging, UnmonitoredReceiveTaintsCriticalData) {
+  const auto d = analyze(R"(
+int main(void)
+{
+    Msg m;
+    float command;
+    initSockets();
+    recv(ncSocket, &m, sizeof(Msg), 0);
+    command = m.value;
+    /*** SafeFlow Annotation assert(safe(command)); ***/
+    actuate(command);
+    return 0;
+}
+)");
+  ASSERT_EQ(d->report().errors.size(), 1u)
+      << d->report().render(d->sources());
+  EXPECT_EQ(d->report().errors.front().kind,
+            CriticalDependencyError::Kind::kData);
+  ASSERT_FALSE(d->report().errors.front().region_names.empty());
+  EXPECT_EQ(d->report().errors.front().region_names.front(), "ncSocket");
+}
+
+TEST(Messaging, CoreSocketIsTrusted) {
+  const auto d = analyze(R"(
+int main(void)
+{
+    Msg m;
+    float command;
+    initSockets();
+    recv(coreSocket, &m, sizeof(Msg), 0);
+    command = m.value;
+    /*** SafeFlow Annotation assert(safe(command)); ***/
+    actuate(command);
+    return 0;
+}
+)");
+  EXPECT_TRUE(d->report().errors.empty())
+      << d->report().render(d->sources());
+}
+
+TEST(Messaging, MonitoringFunctionMakesReceivedDataSafe) {
+  const auto d = analyze(R"(
+float checkMessage(Msg *m)
+/*** SafeFlow Annotation assume(core(m, 0, sizeof(Msg))) ***/
+{
+    if (m->value > -5.0f && m->value < 5.0f && m->kind == 1) {
+        return m->value;
+    }
+    return 0.0f;
+}
+
+int main(void)
+{
+    Msg m;
+    float command;
+    initSockets();
+    recv(ncSocket, &m, sizeof(Msg), 0);
+    command = checkMessage(&m);
+    /*** SafeFlow Annotation assert(safe(command)); ***/
+    actuate(command);
+    return 0;
+}
+)");
+  EXPECT_TRUE(d->report().errors.empty())
+      << d->report().render(d->sources());
+}
+
+TEST(Messaging, UnmonitoredReadWarnsWithChannelName) {
+  const auto d = analyze(R"(
+int main(void)
+{
+    Msg m;
+    float command;
+    initSockets();
+    recv(ncSocket, &m, sizeof(Msg), 0);
+    command = m.value;
+    /*** SafeFlow Annotation assert(safe(command)); ***/
+    actuate(command);
+    return 0;
+}
+)");
+  bool warned = false;
+  for (const auto& w : d->report().warnings) {
+    if (w.region_name == "ncSocket") warned = true;
+  }
+  EXPECT_TRUE(warned) << d->report().render(d->sources());
+}
+
+TEST(Messaging, ReceiveReturnValueIsTainted) {
+  const auto d = analyze(R"(
+int main(void)
+{
+    Msg m;
+    int n;
+    initSockets();
+    n = recv(ncSocket, &m, sizeof(Msg), 0);
+    /*** SafeFlow Annotation assert(safe(n)); ***/
+    return n;
+}
+)");
+  ASSERT_EQ(d->report().errors.size(), 1u);
+}
+
+TEST(Messaging, MixedShmAndSockets) {
+  // Shared memory and message channels coexist: each taints its own
+  // critical sink independently.
+  const auto d = analyze(R"(
+typedef struct Cell { float v; } Cell;
+Cell *cellShm;
+extern void *shmat(int id, void *a, int f);
+extern int shmget(int k, int s, int f);
+
+/*** SafeFlow Annotation shminit ***/
+void initShm(void)
+{
+    cellShm = (Cell *) shmat(shmget(3, sizeof(Cell), 0), 0, 0);
+    /*** SafeFlow Annotation assume(shmvar(cellShm, sizeof(Cell))) ***/
+    /*** SafeFlow Annotation assume(noncore(cellShm)) ***/
+}
+
+int main(void)
+{
+    Msg m;
+    float a;
+    float b;
+    initSockets();
+    initShm();
+    recv(ncSocket, &m, sizeof(Msg), 0);
+    a = m.value;
+    b = cellShm->v;
+    /*** SafeFlow Annotation assert(safe(a)); ***/
+    /*** SafeFlow Annotation assert(safe(b)); ***/
+    actuate(a + b);
+    return 0;
+}
+)");
+  ASSERT_EQ(d->report().errors.size(), 2u)
+      << d->report().render(d->sources());
+  std::set<std::string> regions;
+  for (const auto& e : d->report().errors) {
+    for (const auto& r : e.region_names) regions.insert(r);
+  }
+  EXPECT_TRUE(regions.contains("ncSocket"));
+  EXPECT_TRUE(regions.contains("cellShm"));
+}
+
+TEST(Messaging, ChannelCountReported) {
+  const auto d = analyze(R"(
+int main(void) { initSockets(); return 0; }
+)");
+  // One channel (ncSocket); coreSocket is unannotated and trusted.
+  EXPECT_GE(d->stats().shm_regions, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/integrate.h"
+#include "numerics/matrix.h"
+#include "numerics/riccati.h"
+
+namespace {
+
+using namespace safeflow::numerics;
+
+// ---------------------------------------------------------------------------
+// Matrix
+// ---------------------------------------------------------------------------
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  m(1, 0) = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 9.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, OutOfRangeThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), std::out_of_range);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix I = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(I(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(I(0, 1), 0.0);
+}
+
+TEST(Matrix, AddSub) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  const Matrix s = a + b;
+  EXPECT_DOUBLE_EQ(s(0, 0), 5.0);
+  const Matrix d = a - b;
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_THROW(a + Matrix(3, 3), std::invalid_argument);
+}
+
+TEST(Matrix, Multiply) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix p = a * b;
+  EXPECT_DOUBLE_EQ(p(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 50.0);
+}
+
+TEST(Matrix, ScalarMultiply) {
+  Matrix a{{1, -2}};
+  const Matrix p = 2.0 * a;
+  EXPECT_DOUBLE_EQ(p(0, 1), -4.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, InverseRoundTrip) {
+  Matrix a{{4, 7}, {2, 6}};
+  const Matrix inv = a.inverse();
+  EXPECT_TRUE((a * inv).approxEquals(Matrix::identity(2), 1e-9));
+}
+
+TEST(Matrix, SingularInverseThrows) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW(a.inverse(), std::runtime_error);
+}
+
+TEST(Matrix, InverseWithPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a{{0, 1}, {1, 0}};
+  const Matrix inv = a.inverse();
+  EXPECT_TRUE((a * inv).approxEquals(Matrix::identity(2)));
+}
+
+TEST(Matrix, Solve) {
+  Matrix a{{2, 0}, {0, 4}};
+  const Matrix b = Matrix::columnVector({6.0, 8.0});
+  const Matrix x = a.solve(b);
+  EXPECT_DOUBLE_EQ(x(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(x(1, 0), 2.0);
+}
+
+TEST(Matrix, QuadraticForm) {
+  Matrix p{{2, 0}, {0, 3}};
+  const Matrix x = Matrix::columnVector({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(p.quadraticForm(x, x), 2.0 + 12.0);
+}
+
+TEST(Matrix, NormAndMaxAbs) {
+  Matrix a{{3, -4}};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.maxAbs(), 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Riccati / Lyapunov
+// ---------------------------------------------------------------------------
+
+TEST(Riccati, ScalarLqrMatchesClosedForm) {
+  // x' = a x + b u, scalar: known fixed point of the Riccati recursion.
+  Matrix A{{0.9}};
+  Matrix B{{1.0}};
+  Matrix Q{{1.0}};
+  Matrix R{{1.0}};
+  const auto lqr = solveDiscreteLqr(A, B, Q, R);
+  ASSERT_TRUE(lqr.converged);
+  // Verify the fixed point satisfies the DARE residual.
+  const double P = lqr.cost_to_go(0, 0);
+  const double residual =
+      0.9 * P * 0.9 - P - (0.9 * P) * (0.9 * P) / (1.0 + P) + 1.0;
+  EXPECT_NEAR(residual, 0.0, 1e-8);
+}
+
+TEST(Riccati, GainStabilizesUnstableSystem) {
+  Matrix A{{1.2, 0.1}, {0.0, 1.1}};  // unstable
+  Matrix B{{0.0}, {1.0}};
+  Matrix Q = Matrix::identity(2);
+  Matrix R{{1.0}};
+  const auto lqr = solveDiscreteLqr(A, B, Q, R);
+  ASSERT_TRUE(lqr.converged);
+  // Closed-loop state must decay from any initial condition.
+  const Matrix Acl = A - B * lqr.gain;
+  Matrix x = Matrix::columnVector({1.0, -1.0});
+  for (int i = 0; i < 200; ++i) x = Acl * x;
+  EXPECT_LT(x.norm(), 1e-3);
+}
+
+TEST(Lyapunov, SolvesForStableSystem) {
+  Matrix A{{0.5, 0.1}, {0.0, 0.4}};
+  Matrix Q = Matrix::identity(2);
+  const auto P = solveDiscreteLyapunov(A, Q);
+  ASSERT_TRUE(P.has_value());
+  // Residual of P = A'PA + Q.
+  const Matrix residual = *P - (A.transpose() * (*P) * A + Q);
+  EXPECT_LT(residual.maxAbs(), 1e-8);
+}
+
+TEST(Lyapunov, FailsForUnstableSystem) {
+  Matrix A{{1.5}};
+  Matrix Q{{1.0}};
+  EXPECT_FALSE(solveDiscreteLyapunov(A, Q).has_value());
+}
+
+TEST(Lyapunov, ResultIsPositiveDefiniteOnProbes) {
+  Matrix A{{0.8, 0.05}, {-0.02, 0.7}};
+  const auto P = solveDiscreteLyapunov(A, Matrix::identity(2));
+  ASSERT_TRUE(P.has_value());
+  for (double a : {1.0, -1.0, 0.5}) {
+    for (double b : {0.0, 1.0, -2.0}) {
+      if (a == 0.0 && b == 0.0) continue;
+      const Matrix x = Matrix::columnVector({a, b});
+      EXPECT_GT(P->quadraticForm(x, x), 0.0);
+    }
+  }
+}
+
+TEST(Discretize, EulerForm) {
+  Matrix A{{0.0, 1.0}, {0.0, 0.0}};
+  Matrix B{{0.0}, {1.0}};
+  const auto d = discretize(A, B, 0.1);
+  EXPECT_DOUBLE_EQ(d.A(0, 1), 0.1);
+  EXPECT_DOUBLE_EQ(d.A(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d.B(1, 0), 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// RK4
+// ---------------------------------------------------------------------------
+
+TEST(Rk4, ExponentialDecay) {
+  // dx/dt = -x: x(t) = e^-t.
+  const Dynamics f = [](const StateVector& x, double) {
+    return StateVector{-x[0]};
+  };
+  StateVector x{1.0};
+  const double dt = 0.01;
+  for (int i = 0; i < 100; ++i) x = rk4Step(f, x, 0.0, dt);
+  EXPECT_NEAR(x[0], std::exp(-1.0), 1e-8);
+}
+
+TEST(Rk4, HarmonicOscillatorEnergy) {
+  // dx = v, dv = -x: energy conserved to 4th order.
+  const Dynamics f = [](const StateVector& x, double) {
+    return StateVector{x[1], -x[0]};
+  };
+  StateVector x{1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) x = rk4Step(f, x, 0.0, 0.01);
+  const double energy = x[0] * x[0] + x[1] * x[1];
+  EXPECT_NEAR(energy, 1.0, 1e-6);
+}
+
+TEST(Rk4, ControlInputReachesDynamics) {
+  const Dynamics f = [](const StateVector&, double u) {
+    return StateVector{u};
+  };
+  StateVector x{0.0};
+  x = rk4Step(f, x, 2.0, 0.5);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+}
+
+TEST(Rk4, SubsteppingMatchesSingleStepOnLinearSystem) {
+  const Dynamics f = [](const StateVector& x, double) {
+    return StateVector{-2.0 * x[0]};
+  };
+  const StateVector one = rk4Step(f, {1.0}, 0.0, 0.1);
+  const StateVector sub = rk4StepSub(f, {1.0}, 0.0, 0.1, 4);
+  // Substepping is more accurate; both agree to the single-step error
+  // bound O(dt^5) ~ 1e-5.
+  EXPECT_NEAR(one[0], sub[0], 1e-5);
+  EXPECT_NEAR(sub[0], std::exp(-0.2), 1e-7);
+}
+
+}  // namespace

@@ -1,0 +1,306 @@
+// Property-style sweeps over randomized (deterministically seeded)
+// inputs: matrix algebra round-trips, Riccati/Lyapunov invariants, LOC
+// counter vs a reference implementation, diff metric properties, and
+// monitor safety over random initial states.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "numerics/matrix.h"
+#include "numerics/riccati.h"
+#include "simplex/controllers.h"
+#include "simplex/monitor.h"
+#include "simplex/plant.h"
+#include "support/loc_counter.h"
+#include "support/text_diff.h"
+
+namespace {
+
+using namespace safeflow;
+using numerics::Matrix;
+
+// ---------------------------------------------------------------------------
+// Matrix properties
+// ---------------------------------------------------------------------------
+
+Matrix randomMatrix(std::mt19937& rng, std::size_t n,
+                    double diag_boost = 0.0) {
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = dist(rng);
+    m(i, i) += diag_boost;
+  }
+  return m;
+}
+
+class MatrixSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixSweep, InverseRoundTrip) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(trial % 4);
+    // Diagonally dominant matrices are safely invertible.
+    const Matrix a = randomMatrix(rng, n, 5.0);
+    const Matrix inv = a.inverse();
+    EXPECT_TRUE((a * inv).approxEquals(Matrix::identity(n), 1e-8))
+        << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+TEST_P(MatrixSweep, TransposeIsInvolution) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) + 1000);
+  const Matrix a = randomMatrix(rng, 5);
+  EXPECT_TRUE(a.transpose().transpose().approxEquals(a));
+}
+
+TEST_P(MatrixSweep, MultiplicationAssociates) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) + 2000);
+  const Matrix a = randomMatrix(rng, 4);
+  const Matrix b = randomMatrix(rng, 4);
+  const Matrix c = randomMatrix(rng, 4);
+  EXPECT_TRUE(((a * b) * c).approxEquals(a * (b * c), 1e-9));
+}
+
+TEST_P(MatrixSweep, QuadraticFormMatchesExpansion) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) + 3000);
+  const Matrix p = randomMatrix(rng, 3, 2.0);
+  const Matrix x = randomMatrix(rng, 3).transpose() *
+                   Matrix::columnVector({1.0, 0.0, 0.0});
+  const double direct = p.quadraticForm(x, x);
+  const Matrix full = x.transpose() * p * x;
+  EXPECT_NEAR(direct, full(0, 0), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatrixSweep, ::testing::Values(1, 7, 42));
+
+// ---------------------------------------------------------------------------
+// Riccati / Lyapunov invariants
+// ---------------------------------------------------------------------------
+
+class RiccatiSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RiccatiSweep, ClosedLoopIsStableAndCostPositive) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<double> dist(-0.4, 0.4);
+  // Random near-unstable 2x2 system with scalar input.
+  Matrix A{{1.05 + dist(rng) * 0.05, dist(rng)},
+           {dist(rng), 0.95 + dist(rng) * 0.05}};
+  Matrix B{{dist(rng) + 1.0}, {dist(rng) + 0.5}};
+  Matrix Q = Matrix::identity(2);
+  Matrix R{{1.0}};
+  const auto lqr = numerics::solveDiscreteLqr(A, B, Q, R);
+  ASSERT_TRUE(lqr.converged);
+
+  // Closed loop must contract some trajectory bundle.
+  const Matrix Acl = A - B * lqr.gain;
+  Matrix x = Matrix::columnVector({1.0, 1.0});
+  for (int i = 0; i < 400; ++i) x = Acl * x;
+  EXPECT_LT(x.norm(), 1e-2) << "seed " << GetParam();
+
+  // Cost-to-go is positive on probes.
+  for (double a : {1.0, -0.5}) {
+    const Matrix probe = Matrix::columnVector({a, 0.3});
+    EXPECT_GT(lqr.cost_to_go.quadraticForm(probe, probe), 0.0);
+  }
+
+  // And the closed loop admits a Lyapunov certificate.
+  const auto P = numerics::solveDiscreteLyapunov(Acl, Matrix::identity(2));
+  EXPECT_TRUE(P.has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RiccatiSweep,
+                         ::testing::Values(3, 11, 19, 27));
+
+// ---------------------------------------------------------------------------
+// LOC counter vs reference
+// ---------------------------------------------------------------------------
+
+/// Slow but obviously-correct reference: strip comments first, then
+/// classify lines.
+support::LocStats referenceLoc(const std::string& src) {
+  std::string stripped;
+  bool in_block = false;
+  bool in_line = false;
+  char in_str = 0;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char n = i + 1 < src.size() ? src[i + 1] : 0;
+    if (in_line) {
+      if (c == '\n') {
+        in_line = false;
+        stripped += '\n';
+      }
+      continue;
+    }
+    if (in_block) {
+      if (c == '\n') {
+        stripped += '\x01';  // the line contained comment content
+        stripped += '\n';
+      }
+      if (c == '*' && n == '/') {
+        in_block = false;
+        stripped += '\x01';  // the closing line is a comment line too
+        ++i;
+      }
+      continue;
+    }
+    if (in_str != 0) {
+      stripped += c;
+      if (c == '\\') {
+        if (i + 1 < src.size()) stripped += src[++i];
+        continue;
+      }
+      if (c == in_str) in_str = 0;
+      continue;
+    }
+    if (c == '/' && n == '/') {
+      in_line = true;
+      stripped += '\x01';
+      ++i;
+      continue;
+    }
+    if (c == '/' && n == '*') {
+      in_block = true;
+      stripped += '\x01';
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') in_str = c;
+    stripped += c;
+  }
+  support::LocStats stats;
+  std::istringstream lines(stripped);
+  std::string line;
+  // istringstream drops a trailing empty line, matching countLoc.
+  while (std::getline(lines, line)) {
+    ++stats.total_lines;
+    bool code = false;
+    bool comment = false;
+    for (char c : line) {
+      if (c == '\x01') {
+        comment = true;
+      } else if (c != ' ' && c != '\t' && c != '\r') {
+        code = true;
+      }
+    }
+    if (code) {
+      ++stats.code_lines;
+    } else if (comment) {
+      ++stats.comment_lines;
+    } else {
+      ++stats.blank_lines;
+    }
+  }
+  return stats;
+}
+
+class LocSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LocSweep, MatchesReferenceOnRandomSources) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  const char* fragments[] = {
+      "int x = 1;\n",    "/* block */\n",  "// line\n",
+      "\n",              "   \n",          "char *s = \"a/*b*/c\";\n",
+      "/* multi\n",      "still */\n",     "int y; // tail\n",
+      "f(); /* t */\n",
+  };
+  std::uniform_int_distribution<std::size_t> pick(0, 9);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string src;
+    // Track block-comment parity so fragments stay well-formed.
+    bool open = false;
+    for (int i = 0; i < 40; ++i) {
+      const std::size_t f = pick(rng);
+      if (!open && f == 7) continue;       // "still */" needs open
+      if (open && f != 7) continue;        // must close first
+      src += fragments[f];
+      if (f == 6) open = true;
+      if (f == 7) open = false;
+    }
+    if (open) src += "done */\n";
+    const auto fast = support::countLoc(src);
+    const auto ref = referenceLoc(src);
+    EXPECT_EQ(fast.code_lines, ref.code_lines) << src;
+    EXPECT_EQ(fast.comment_lines, ref.comment_lines) << src;
+    EXPECT_EQ(fast.blank_lines, ref.blank_lines) << src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocSweep, ::testing::Values(5, 13, 99));
+
+// ---------------------------------------------------------------------------
+// Diff metric properties
+// ---------------------------------------------------------------------------
+
+class DiffSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffSweep, MetricProperties) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::uniform_int_distribution<int> word(0, 5);
+  auto random_text = [&](int lines) {
+    std::string out;
+    for (int i = 0; i < lines; ++i) {
+      out += "line" + std::to_string(word(rng)) + "\n";
+    }
+    return out;
+  };
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::string a = random_text(12);
+    const std::string b = random_text(12);
+    // Identity.
+    EXPECT_EQ(support::diffLines(a, a).changed(), 0u);
+    // Symmetry of the magnitude.
+    const auto ab = support::diffLines(a, b);
+    const auto ba = support::diffLines(b, a);
+    EXPECT_EQ(ab.changed(), ba.changed());
+    EXPECT_EQ(ab.added, ba.removed);
+    // Bounded by total size.
+    EXPECT_LE(ab.changed(), 24u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffSweep, ::testing::Values(2, 8));
+
+// ---------------------------------------------------------------------------
+// Monitor safety over random initial states
+// ---------------------------------------------------------------------------
+
+class MonitorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonitorSweep, AcceptedCommandsNeverEscapeTheEnvelope) {
+  using namespace safeflow::simplex;
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<double> angle(-0.2, 0.2);
+  std::uniform_real_distribution<double> pos(-0.2, 0.2);
+  std::uniform_real_distribution<double> volts(-5.0, 5.0);
+
+  InvertedPendulum plant;
+  LqrController safety(plant, LqrWeights{}, 0.02);
+  StabilityEnvelopeMonitor monitor(plant, safety, 0.02);
+  ASSERT_TRUE(monitor.valid());
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const numerics::StateVector x{pos(rng), pos(rng), angle(rng),
+                                  angle(rng)};
+    const double u = volts(rng);
+    const auto decision = monitor.check(x, u);
+    if (decision.accepted) {
+      // The one-step prediction the monitor itself made must stay under
+      // the level — the defining property of "accepted".
+      EXPECT_LE(decision.envelope_value_next, monitor.envelopeLevel());
+    }
+    // The safety controller's own command from a mild state is accepted.
+    if (decision.envelope_value_now < monitor.envelopeLevel() * 0.25) {
+      const auto own = monitor.check(x, safety.compute(x));
+      EXPECT_TRUE(own.accepted)
+          << "safety command rejected at mild state, trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonitorSweep,
+                         ::testing::Values(21, 34, 55));
+
+}  // namespace

@@ -1,0 +1,383 @@
+// Behavioural tests for the Simplex control substrate: the safety
+// controller balances the plants, the stability-envelope monitor rejects
+// dangerous non-core outputs, and the fault injectors make the paper's
+// defect classes observable at run time.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simplex/controllers.h"
+#include "simplex/fault_injection.h"
+#include "simplex/monitor.h"
+#include "simplex/plant.h"
+#include "simplex/runtime.h"
+#include "simplex/shared_memory.h"
+
+namespace {
+
+using namespace safeflow::simplex;
+using safeflow::numerics::StateVector;
+
+constexpr double kDt = 0.02;
+
+// ---------------------------------------------------------------------------
+// Plants
+// ---------------------------------------------------------------------------
+
+TEST(Pendulum, FallsOverWithoutControl) {
+  InvertedPendulum plant;
+  plant.setState({0.0, 0.0, 0.05, 0.0});
+  for (int i = 0; i < 500 && plant.isSafe(); ++i) plant.step(0.0, kDt);
+  EXPECT_FALSE(plant.isSafe());
+}
+
+TEST(Pendulum, LinearizationShapes) {
+  InvertedPendulum plant;
+  EXPECT_EQ(plant.linearA().rows(), 4u);
+  EXPECT_EQ(plant.linearB().rows(), 4u);
+  EXPECT_EQ(plant.linearB().cols(), 1u);
+  // Upright equilibrium: gravity destabilizes the angle.
+  EXPECT_GT(plant.linearA()(3, 2), 0.0);
+}
+
+TEST(Pendulum, NanInputTreatedAsZero) {
+  InvertedPendulum plant;
+  plant.step(std::nan(""), kDt);
+  EXPECT_TRUE(std::isfinite(plant.state()[0]));
+}
+
+TEST(Pendulum, StateDimensionEnforced) {
+  InvertedPendulum plant;
+  EXPECT_THROW(plant.setState({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(DoublePendulum, FallsOverWithoutControl) {
+  DoubleInvertedPendulum plant;
+  for (int i = 0; i < 800 && plant.isSafe(); ++i) plant.step(0.0, kDt);
+  EXPECT_FALSE(plant.isSafe());
+}
+
+TEST(DoublePendulum, LinearizationShapes) {
+  DoubleInvertedPendulum plant;
+  EXPECT_EQ(plant.linearA().rows(), 6u);
+  EXPECT_EQ(plant.linearB().rows(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Controllers
+// ---------------------------------------------------------------------------
+
+TEST(Lqr, BalancesPendulum) {
+  InvertedPendulum plant;
+  plant.setState({0.05, 0.0, 0.08, 0.0});
+  LqrController ctl(plant, LqrWeights{}, kDt);
+  for (int i = 0; i < 1500; ++i) {
+    plant.step(ctl.compute(plant.state()), kDt);
+    ASSERT_TRUE(plant.isSafe()) << "diverged at step " << i;
+  }
+  EXPECT_LT(std::abs(plant.state()[2]), 0.02);
+}
+
+TEST(Lqr, BalancesDoublePendulum) {
+  DoubleInvertedPendulum plant;
+  LqrController ctl(plant, LqrWeights{}, kDt, 12.0);
+  for (int i = 0; i < 1500; ++i) {
+    plant.step(ctl.compute(plant.state()), kDt);
+    ASSERT_TRUE(plant.isSafe()) << "diverged at step " << i;
+  }
+  EXPECT_LT(std::abs(plant.state()[1]), 0.02);
+}
+
+TEST(Lqr, RespectsOutputLimit) {
+  InvertedPendulum plant;
+  LqrController ctl(plant, LqrWeights{}, kDt, 5.0);
+  const double u = ctl.compute({10.0, 10.0, 10.0, 10.0});
+  EXPECT_LE(std::abs(u), 5.0);
+}
+
+TEST(Experimental, HealthyModeBalancesWithLowerJitter) {
+  // The paper motivates the non-core controller as minimizing jitter;
+  // verify the aggressive gains damp the angle faster than the safety
+  // controller from the same initial condition.
+  const StateVector x0{0.0, 0.0, 0.12, 0.0};
+  auto settle_time = [&](Controller& ctl, Plant& plant) {
+    int settled = 0;
+    for (int i = 0; i < 2000; ++i) {
+      plant.step(ctl.compute(plant.state()), kDt);
+      const double angle = std::abs(plant.state()[2]);
+      if (angle < 0.01) {
+        if (++settled > 50) return i;
+      } else {
+        settled = 0;
+      }
+    }
+    return 2000;
+  };
+  InvertedPendulum p1;
+  p1.setState(x0);
+  LqrController safety(p1, LqrWeights{}, kDt);
+  const int t_safety = settle_time(safety, p1);
+
+  InvertedPendulum p2;
+  p2.setState(x0);
+  ExperimentalController experimental(p2, kDt);
+  const int t_experimental = settle_time(experimental, p2);
+
+  EXPECT_LT(t_experimental, t_safety);
+}
+
+TEST(Experimental, FaultModesProduceBadOutput) {
+  InvertedPendulum plant;
+  ExperimentalController nan_ctl(plant, kDt, FaultMode::kNaN);
+  EXPECT_TRUE(std::isnan(nan_ctl.compute(plant.state())));
+
+  ExperimentalController over(plant, kDt, FaultMode::kOverdrive);
+  EXPECT_GT(std::abs(over.compute(plant.state())), 5.0);
+}
+
+TEST(Experimental, FaultOnsetDelaysMisbehaviour) {
+  InvertedPendulum plant;
+  ExperimentalController ctl(plant, kDt, FaultMode::kOverdrive);
+  ctl.setFaultOnset(10);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_LE(std::abs(ctl.compute(plant.state())), 12.0);
+  }
+  EXPECT_DOUBLE_EQ(ctl.compute(plant.state()), 12.0);
+}
+
+// ---------------------------------------------------------------------------
+// Monitor
+// ---------------------------------------------------------------------------
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest()
+      : safety_(plant_, LqrWeights{}, kDt),
+        monitor_(plant_, safety_, kDt) {}
+
+  InvertedPendulum plant_;
+  LqrController safety_;
+  StabilityEnvelopeMonitor monitor_;
+};
+
+TEST_F(MonitorTest, EnvelopeConstructed) {
+  EXPECT_TRUE(monitor_.valid());
+  EXPECT_GT(monitor_.envelopeLevel(), 0.0);
+}
+
+TEST_F(MonitorTest, AcceptsReasonableControlNearUpright) {
+  const StateVector x{0.0, 0.0, 0.02, 0.0};
+  const double u = safety_.compute(x);
+  const auto d = monitor_.check(x, u);
+  EXPECT_TRUE(d.accepted) << d.reason;
+}
+
+TEST_F(MonitorTest, RejectsNaN) {
+  const auto d = monitor_.check({0, 0, 0, 0}, std::nan(""));
+  EXPECT_FALSE(d.accepted);
+  EXPECT_NE(std::string(d.reason).find("non-finite"), std::string::npos);
+}
+
+TEST_F(MonitorTest, RejectsOverdrive) {
+  const auto d = monitor_.check({0, 0, 0, 0}, 12.0);
+  EXPECT_FALSE(d.accepted);
+}
+
+TEST_F(MonitorTest, RejectsDestabilizingCommandAtEnvelopeEdge) {
+  // Near the envelope boundary, a hard push outward must be rejected.
+  StateVector x{0.3, 0.4, 0.3, 0.8};
+  const auto push = monitor_.check(x, 5.0);
+  const auto recover = monitor_.check(x, safety_.compute(x));
+  EXPECT_FALSE(push.accepted && !recover.accepted)
+      << "monitor accepted outward push but rejected recovery";
+}
+
+// ---------------------------------------------------------------------------
+// Shared memory + fault injection
+// ---------------------------------------------------------------------------
+
+TEST(SharedMemory, AccountsWritesByParty) {
+  SharedMemoryRegion shm;
+  FeedbackSlot fb;
+  shm.writeFeedback(Party::kCore, fb);
+  ControlSlot ctl;
+  shm.writeControl(Party::kNonCore, ctl);
+  EXPECT_EQ(shm.writesBy(Party::kCore), 1u);
+  EXPECT_EQ(shm.writesBy(Party::kNonCore), 1u);
+}
+
+TEST(SharedMemory, DetectsFeedbackTampering) {
+  SharedMemoryRegion shm;
+  FeedbackSlot fb;
+  shm.writeFeedback(Party::kCore, fb);
+  EXPECT_FALSE(shm.feedbackTamperedByNonCore());
+  shm.writeFeedback(Party::kNonCore, fb);
+  EXPECT_TRUE(shm.feedbackTamperedByNonCore());
+}
+
+TEST(SharedMemory, InitCheckAcceptsDisjointRegions) {
+  std::string err;
+  EXPECT_TRUE(SharedMemoryRegion::initCheck(
+      {{"feedback", 0, 40}, {"control", 40, 16}}, 64, &err))
+      << err;
+}
+
+TEST(SharedMemory, InitCheckRejectsOverlap) {
+  std::string err;
+  EXPECT_FALSE(SharedMemoryRegion::initCheck(
+      {{"feedback", 0, 48}, {"control", 40, 16}}, 64, &err));
+  EXPECT_NE(err.find("overlaps"), std::string::npos);
+}
+
+TEST(SharedMemory, InitCheckRejectsOverrun) {
+  std::string err;
+  EXPECT_FALSE(SharedMemoryRegion::initCheck(
+      {{"feedback", 0, 40}, {"control", 40, 40}}, 64, &err));
+  EXPECT_NE(err.find("exceeds"), std::string::npos);
+}
+
+TEST(FaultInjector, RigFeedbackOverwritesSlot) {
+  SharedMemoryRegion shm;
+  FeedbackSlot fb;
+  fb.angle = 0.5;
+  shm.writeFeedback(Party::kCore, fb);
+  ShmFaultInjector injector(ShmFault::kRigFeedback);
+  injector.afterNonCorePublish(shm, 1);
+  EXPECT_DOUBLE_EQ(shm.readFeedback().angle, 0.0);
+  EXPECT_TRUE(shm.feedbackTamperedByNonCore());
+}
+
+TEST(FaultInjector, WritePidPlantsCorePid) {
+  SharedMemoryRegion shm;
+  shm.writePid(Party::kCore, 777);
+  ShmFaultInjector injector(ShmFault::kWritePid, /*core_pid=*/4242);
+  injector.afterNonCorePublish(shm, 1);
+  EXPECT_EQ(shm.readControl().supervisor_pid, 4242);
+  EXPECT_TRUE(shm.pidTamperedByNonCore());
+}
+
+// ---------------------------------------------------------------------------
+// Full runtime: the Fig. 1 architecture end to end
+// ---------------------------------------------------------------------------
+
+TEST(Runtime, HealthyNonCoreControllerIsUsed) {
+  InvertedPendulum plant;
+  RuntimeConfig config;
+  config.duration = 20.0;
+  SimplexRuntime rt(plant, config);
+  const auto stats = rt.run();
+  EXPECT_TRUE(stats.remained_safe) << stats.summary();
+  EXPECT_GT(stats.noncore_used, stats.steps / 2) << stats.summary();
+}
+
+TEST(Runtime, MonitorSavesPlantFromOverdriveFault) {
+  InvertedPendulum plant;
+  RuntimeConfig config;
+  config.duration = 20.0;
+  config.controller_fault = FaultMode::kOverdrive;
+  SimplexRuntime rt(plant, config);
+  const auto stats = rt.run();
+  EXPECT_TRUE(stats.remained_safe) << stats.summary();
+  EXPECT_GT(stats.noncore_rejected, 0u);
+  EXPECT_GE(stats.safety_takeovers, 1u);
+}
+
+TEST(Runtime, MonitorSavesPlantFromNaNFault) {
+  InvertedPendulum plant;
+  RuntimeConfig config;
+  config.duration = 20.0;
+  config.controller_fault = FaultMode::kNaN;
+  SimplexRuntime rt(plant, config);
+  const auto stats = rt.run();
+  EXPECT_TRUE(stats.remained_safe) << stats.summary();
+  EXPECT_GT(stats.noncore_rejected, 0u);
+}
+
+TEST(Runtime, MonitorSavesPlantFromNoisyFault) {
+  InvertedPendulum plant;
+  RuntimeConfig config;
+  config.duration = 20.0;
+  config.controller_fault = FaultMode::kNoisy;
+  SimplexRuntime rt(plant, config);
+  const auto stats = rt.run();
+  EXPECT_TRUE(stats.remained_safe) << stats.summary();
+}
+
+TEST(Runtime, KillDefectFiresUnderPidFault) {
+  InvertedPendulum plant;
+  RuntimeConfig config;
+  config.duration = 20.0;
+  config.shm_fault = ShmFault::kWritePid;
+  config.simulate_kill_signal = true;
+  SimplexRuntime rt(plant, config);
+  const auto stats = rt.run();
+  EXPECT_TRUE(stats.core_killed_itself) << stats.summary();
+}
+
+TEST(Runtime, KillSignalHarmlessWithoutFault) {
+  InvertedPendulum plant;
+  RuntimeConfig config;
+  config.duration = 10.0;
+  config.simulate_kill_signal = true;
+  SimplexRuntime rt(plant, config);
+  const auto stats = rt.run();
+  EXPECT_FALSE(stats.core_killed_itself);
+}
+
+TEST(Runtime, RiggedFeedbackDefeatsVulnerableDecision) {
+  // The Generic Simplex defect, live: with the decision module re-reading
+  // feedback from shared memory, the rig-feedback injector can make a
+  // faulty controller's output pass the recoverability check.
+  auto run_variant = [](bool vulnerable) {
+    InvertedPendulum plant;
+    RuntimeConfig config;
+    config.duration = 20.0;
+    // The rail fault stays within the actuator range, so only the
+    // stability-envelope check can stop it — and that check is what the
+    // rigged feedback defeats.
+    config.controller_fault = FaultMode::kRail;
+    config.shm_fault = ShmFault::kRigFeedback;
+    config.vulnerable_decision = vulnerable;
+    SimplexRuntime rt(plant, config);
+    return rt.run();
+  };
+  const auto vulnerable = run_variant(true);
+  const auto fixed = run_variant(false);
+  EXPECT_FALSE(vulnerable.remained_safe) << vulnerable.summary();
+  EXPECT_TRUE(fixed.remained_safe) << fixed.summary();
+}
+
+TEST(Runtime, DoublePendulumRunsUnderSimplex) {
+  DoubleInvertedPendulum plant;
+  RuntimeConfig config;
+  config.duration = 15.0;
+  SimplexRuntime rt(plant, config);
+  const auto stats = rt.run();
+  EXPECT_TRUE(stats.remained_safe) << stats.summary();
+}
+
+// Parameterized sweep: the monitor must keep the plant safe for every
+// fault mode of the experimental controller.
+class FaultSweep : public ::testing::TestWithParam<FaultMode> {};
+
+TEST_P(FaultSweep, PlantStaysSafeUnderAnyControllerFault) {
+  InvertedPendulum plant;
+  RuntimeConfig config;
+  config.duration = 20.0;
+  config.controller_fault = GetParam();
+  SimplexRuntime rt(plant, config);
+  const auto stats = rt.run();
+  EXPECT_TRUE(stats.remained_safe)
+      << faultModeName(GetParam()) << ": " << stats.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaults, FaultSweep,
+    ::testing::Values(FaultMode::kNone, FaultMode::kOverdrive,
+                      FaultMode::kRail, FaultMode::kNaN, FaultMode::kStuck,
+                      FaultMode::kNoisy, FaultMode::kDelayed),
+    [](const auto& info) {
+      return std::string(faultModeName(info.param));
+    });
+
+}  // namespace

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+#include "support/loc_counter.h"
+#include "support/source_manager.h"
+#include "support/string_utils.h"
+#include "support/text_diff.h"
+
+namespace sf = safeflow::support;
+
+// ---------------------------------------------------------------------------
+// SourceManager
+// ---------------------------------------------------------------------------
+
+TEST(SourceManager, AddBufferAndLookup) {
+  sf::SourceManager sm;
+  const sf::FileId id = sm.addBuffer("a.c", "int x;\nint y;\n");
+  EXPECT_EQ(sm.name(id), "a.c");
+  EXPECT_EQ(sm.contents(id), "int x;\nint y;\n");
+  EXPECT_EQ(sm.fileCount(), 1u);
+}
+
+TEST(SourceManager, LineText) {
+  sf::SourceManager sm;
+  const sf::FileId id = sm.addBuffer("a.c", "line one\nline two\nlast");
+  EXPECT_EQ(sm.lineText(id, 1), "line one");
+  EXPECT_EQ(sm.lineText(id, 2), "line two");
+  EXPECT_EQ(sm.lineText(id, 3), "last");
+  EXPECT_EQ(sm.lineText(id, 4), "");
+  EXPECT_EQ(sm.lineText(id, 0), "");
+}
+
+TEST(SourceManager, LineTextCrLf) {
+  sf::SourceManager sm;
+  const sf::FileId id = sm.addBuffer("a.c", "one\r\ntwo\r\n");
+  EXPECT_EQ(sm.lineText(id, 1), "one");
+  EXPECT_EQ(sm.lineText(id, 2), "two");
+}
+
+TEST(SourceManager, Describe) {
+  sf::SourceManager sm;
+  const sf::FileId id = sm.addBuffer("dir/a.c", "x");
+  EXPECT_EQ(sm.describe({id, 3, 7}), "dir/a.c:3:7");
+  EXPECT_EQ(sm.describe({}), "<unknown>");
+}
+
+TEST(SourceManager, MissingFileReturnsNullopt) {
+  sf::SourceManager sm;
+  EXPECT_FALSE(sm.addFile("/nonexistent/definitely/missing.c").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// DiagnosticEngine
+// ---------------------------------------------------------------------------
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  sf::DiagnosticEngine de;
+  de.note({}, "info");
+  de.warning({}, "w", "careful");
+  EXPECT_FALSE(de.hasErrors());
+  de.error({}, "e", "boom");
+  EXPECT_TRUE(de.hasErrors());
+  EXPECT_EQ(de.errorCount(), 1u);
+  EXPECT_EQ(de.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, CategoryPrefixCounting) {
+  sf::DiagnosticEngine de;
+  de.warning({}, "restriction.P2", "a");
+  de.warning({}, "restriction.P3", "b");
+  de.error({}, "taint.unsafe", "c");
+  EXPECT_EQ(de.countCategoryPrefix("restriction."), 2u);
+  EXPECT_EQ(de.countCategoryPrefix("taint."), 1u);
+  EXPECT_EQ(de.countCategoryPrefix("nothing"), 0u);
+}
+
+TEST(Diagnostics, RenderContainsSeverityAndCategory) {
+  sf::SourceManager sm;
+  const sf::FileId id = sm.addBuffer("f.c", "x\n");
+  sf::DiagnosticEngine de;
+  de.error({id, 1, 2}, "parse", "bad token");
+  const std::string out = de.render(sm);
+  EXPECT_NE(out.find("f.c:1:2"), std::string::npos);
+  EXPECT_NE(out.find("error"), std::string::npos);
+  EXPECT_NE(out.find("[parse]"), std::string::npos);
+  EXPECT_NE(out.find("bad token"), std::string::npos);
+}
+
+TEST(Diagnostics, ClearResets) {
+  sf::DiagnosticEngine de;
+  de.error({}, "e", "x");
+  de.clear();
+  EXPECT_FALSE(de.hasErrors());
+  EXPECT_TRUE(de.diagnostics().empty());
+}
+
+// ---------------------------------------------------------------------------
+// LOC counter
+// ---------------------------------------------------------------------------
+
+TEST(LocCounter, SimpleCode) {
+  const auto stats = sf::countLoc("int main() {\n  return 0;\n}\n");
+  EXPECT_EQ(stats.code_lines, 3u);
+  EXPECT_EQ(stats.blank_lines, 0u);
+  EXPECT_EQ(stats.comment_lines, 0u);
+}
+
+TEST(LocCounter, CommentsAndBlanks) {
+  const auto stats = sf::countLoc(
+      "// header\n"
+      "\n"
+      "/* block\n"
+      "   continues */\n"
+      "int x; // trailing\n");
+  EXPECT_EQ(stats.comment_lines, 3u);
+  EXPECT_EQ(stats.blank_lines, 1u);
+  EXPECT_EQ(stats.code_lines, 1u);
+  EXPECT_EQ(stats.total_lines, 5u);
+}
+
+TEST(LocCounter, CommentMarkersInsideStrings) {
+  const auto stats = sf::countLoc("char* s = \"/* not a comment */\";\n");
+  EXPECT_EQ(stats.code_lines, 1u);
+  EXPECT_EQ(stats.comment_lines, 0u);
+}
+
+TEST(LocCounter, QuoteInsideComment) {
+  const auto stats = sf::countLoc("/* it's fine */\nint x;\n");
+  EXPECT_EQ(stats.comment_lines, 1u);
+  EXPECT_EQ(stats.code_lines, 1u);
+}
+
+TEST(LocCounter, CodeBeforeBlockComment) {
+  const auto stats = sf::countLoc("int x; /* tail\nstill comment */\n");
+  EXPECT_EQ(stats.code_lines, 1u);
+  EXPECT_EQ(stats.comment_lines, 1u);
+}
+
+TEST(LocCounter, EmptyInput) {
+  const auto stats = sf::countLoc("");
+  EXPECT_EQ(stats.total_lines, 0u);
+}
+
+TEST(LocCounter, NoTrailingNewline) {
+  const auto stats = sf::countLoc("int x;");
+  EXPECT_EQ(stats.total_lines, 1u);
+  EXPECT_EQ(stats.code_lines, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Text diff
+// ---------------------------------------------------------------------------
+
+TEST(TextDiff, IdenticalTextsHaveNoChanges) {
+  const auto d = sf::diffLines("a\nb\nc\n", "a\nb\nc\n");
+  EXPECT_EQ(d.changed(), 0u);
+}
+
+TEST(TextDiff, PureAddition) {
+  const auto d = sf::diffLines("a\nc\n", "a\nb\nc\n");
+  EXPECT_EQ(d.added, 1u);
+  EXPECT_EQ(d.removed, 0u);
+}
+
+TEST(TextDiff, PureRemoval) {
+  const auto d = sf::diffLines("a\nb\nc\n", "a\nc\n");
+  EXPECT_EQ(d.added, 0u);
+  EXPECT_EQ(d.removed, 1u);
+}
+
+TEST(TextDiff, Replacement) {
+  const auto d = sf::diffLines("a\nold\nc\n", "a\nnew\nc\n");
+  EXPECT_EQ(d.added, 1u);
+  EXPECT_EQ(d.removed, 1u);
+  EXPECT_EQ(d.changed(), 2u);
+}
+
+TEST(TextDiff, SplitLinesNoTrailingEmpty) {
+  const auto lines = sf::splitLines("a\nb\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+}
+
+// ---------------------------------------------------------------------------
+// String utils
+// ---------------------------------------------------------------------------
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(sf::trim("  x  "), "x");
+  EXPECT_EQ(sf::trim("\t\na\r"), "a");
+  EXPECT_EQ(sf::trim(""), "");
+  EXPECT_EQ(sf::trim("   "), "");
+}
+
+TEST(StringUtils, StartsEndsWith) {
+  EXPECT_TRUE(sf::startsWith("SafeFlow Annotation x", "SafeFlow"));
+  EXPECT_FALSE(sf::startsWith("Safe", "SafeFlow"));
+  EXPECT_TRUE(sf::endsWith("file.c", ".c"));
+  EXPECT_FALSE(sf::endsWith(".c", "file.c"));
+}
+
+TEST(StringUtils, Split) {
+  const auto parts = sf::split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtils, Join) {
+  EXPECT_EQ(sf::join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(sf::join({}, ","), "");
+}

@@ -1,0 +1,351 @@
+// Focused tests for the phase-3 value-flow engine: parameterized
+// summaries (per-call-site context sensitivity), effective-assumption
+// intersection, implicit critical calls, and provenance.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "safeflow/driver.h"
+
+namespace {
+
+using namespace safeflow;
+using analysis::CriticalDependencyError;
+
+const char* kPrelude = R"(
+typedef struct Cell { float value; int flag; } Cell;
+Cell *nc;
+extern void *shmat(int id, void *a, int f);
+extern int shmget(int k, int s, int f);
+extern void sink(float v);
+extern int kill(int pid, int sig);
+/*** SafeFlow Annotation shminit ***/
+void initShm(void)
+{
+    nc = (Cell *) shmat(shmget(1, sizeof(Cell), 0), 0, 0);
+    /*** SafeFlow Annotation assume(shmvar(nc, sizeof(Cell))) ***/
+    /*** SafeFlow Annotation assume(noncore(nc)) ***/
+}
+)";
+
+std::unique_ptr<SafeFlowDriver> analyze(const std::string& body,
+                                        SafeFlowOptions options = {}) {
+  auto d = std::make_unique<SafeFlowDriver>(std::move(options));
+  d->addSource("t.c", std::string(kPrelude) + body);
+  d->analyze();
+  EXPECT_FALSE(d->hasFrontendErrors())
+      << d->diagnostics().render(d->sources());
+  return d;
+}
+
+TEST(ParamSummaries, SharedHelperDoesNotSmearAcrossCallSites) {
+  // Regression: `clamp` is called with both tainted and clean arguments.
+  // Parameterized summaries must keep the clean call site clean.
+  const auto d = analyze(R"(
+float clamp(float v)
+{
+    if (v > 5.0f) { return 5.0f; }
+    if (v < -5.0f) { return -5.0f; }
+    return v;
+}
+int main(void)
+{
+    float dirty;
+    float clean;
+    initShm();
+    dirty = clamp(nc->value);
+    clean = clamp(1.25f);
+    /*** SafeFlow Annotation assert(safe(dirty)); ***/
+    /*** SafeFlow Annotation assert(safe(clean)); ***/
+    sink(dirty + clean);
+    return 0;
+}
+)");
+  ASSERT_EQ(d->report().errors.size(), 1u)
+      << d->report().render(d->sources());
+  EXPECT_EQ(d->report().errors.front().critical_value, "dirty");
+}
+
+TEST(ParamSummaries, TwoLevelHelperChain) {
+  const auto d = analyze(R"(
+float inner(float v) { return v * 2.0f; }
+float outer(float v) { return inner(v) + 1.0f; }
+int main(void)
+{
+    float dirty;
+    float clean;
+    initShm();
+    dirty = outer(nc->value);
+    clean = outer(3.0f);
+    /*** SafeFlow Annotation assert(safe(dirty)); ***/
+    /*** SafeFlow Annotation assert(safe(clean)); ***/
+    sink(dirty + clean);
+    return 0;
+}
+)");
+  ASSERT_EQ(d->report().errors.size(), 1u)
+      << d->report().render(d->sources());
+  EXPECT_EQ(d->report().errors.front().critical_value, "dirty");
+}
+
+TEST(ParamSummaries, ControlFlowInsideHelperStaysPerCallSite) {
+  // The helper branches on its parameter; only the tainted call site's
+  // result may carry control taint.
+  const auto d = analyze(R"(
+int classify(float v)
+{
+    if (v > 0.0f) { return 1; }
+    return 0;
+}
+int main(void)
+{
+    int dirty;
+    int clean;
+    initShm();
+    dirty = classify(nc->value);
+    clean = classify(-2.0f);
+    /*** SafeFlow Annotation assert(safe(dirty)); ***/
+    /*** SafeFlow Annotation assert(safe(clean)); ***/
+    return dirty + clean;
+}
+)");
+  ASSERT_EQ(d->report().errors.size(), 1u)
+      << d->report().render(d->sources());
+  EXPECT_EQ(d->report().errors.front().critical_value, "dirty");
+  EXPECT_EQ(d->report().errors.front().kind,
+            CriticalDependencyError::Kind::kControl);
+}
+
+TEST(ParamSummaries, EscapeThroughMemoryUsesMergedTaint) {
+  // When a parameter escapes into memory, the merged (concrete) taint is
+  // used — conservative across call sites.
+  const auto d = analyze(R"(
+float box;
+void stash(float v) { box = v; }
+int main(void)
+{
+    float out;
+    initShm();
+    stash(nc->value);
+    stash(0.5f);
+    out = box;
+    /*** SafeFlow Annotation assert(safe(out)); ***/
+    sink(out);
+    return 0;
+}
+)");
+  ASSERT_EQ(d->report().errors.size(), 1u);
+  EXPECT_EQ(d->report().errors.front().kind,
+            CriticalDependencyError::Kind::kData);
+}
+
+TEST(Assumptions, IntersectionOverCallers) {
+  // helper is called from a monitor and from an unmonitored function: its
+  // effective assumptions are the intersection (empty), so its read
+  // warns once.
+  const auto d = analyze(R"(
+float helper(void) { return nc->value; }
+float monitor(void)
+/*** SafeFlow Annotation assume(core(nc, 0, sizeof(Cell))) ***/
+{
+    return helper();
+}
+float unmonitored(void) { return helper(); }
+int main(void)
+{
+    float a;
+    initShm();
+    a = monitor() + unmonitored();
+    sink(a);
+    return 0;
+}
+)");
+  std::size_t helper_warnings = 0;
+  for (const auto& w : d->report().warnings) {
+    if (w.function == "helper") ++helper_warnings;
+  }
+  EXPECT_EQ(helper_warnings, 1u) << d->report().render(d->sources());
+}
+
+TEST(Assumptions, AllCallersMonitoredMeansCovered) {
+  const auto d = analyze(R"(
+float helper(void) { return nc->value; }
+float monitorA(void)
+/*** SafeFlow Annotation assume(core(nc, 0, sizeof(Cell))) ***/
+{
+    return helper();
+}
+float monitorB(void)
+/*** SafeFlow Annotation assume(core(nc, 0, sizeof(Cell))) ***/
+{
+    return helper() * 2.0f;
+}
+int main(void)
+{
+    float a;
+    initShm();
+    a = monitorA() + monitorB();
+    /*** SafeFlow Annotation assert(safe(a)); ***/
+    sink(a);
+    return 0;
+}
+)");
+  EXPECT_TRUE(d->report().warnings.empty())
+      << d->report().render(d->sources());
+  EXPECT_TRUE(d->report().errors.empty());
+}
+
+TEST(Assumptions, RecursiveMonitorCoversItself) {
+  const auto d = analyze(R"(
+float walk(int depth)
+/*** SafeFlow Annotation assume(core(nc, 0, sizeof(Cell))) ***/
+{
+    if (depth <= 0) { return nc->value; }
+    return walk(depth - 1) * 0.5f;
+}
+int main(void)
+{
+    float a;
+    initShm();
+    a = walk(3);
+    /*** SafeFlow Annotation assert(safe(a)); ***/
+    sink(a);
+    return 0;
+}
+)");
+  EXPECT_TRUE(d->report().errors.empty())
+      << d->report().render(d->sources());
+}
+
+TEST(ImplicitCritical, KillWithoutAnnotation) {
+  SafeFlowOptions options;
+  options.taint.implicit_critical_calls = {{"kill", 0}};
+  const auto d = analyze(R"(
+int main(void)
+{
+    initShm();
+    kill(nc->flag, 9);
+    return 0;
+}
+)",
+                         options);
+  ASSERT_EQ(d->report().errors.size(), 1u);
+  EXPECT_EQ(d->report().errors.front().critical_value, "kill(arg0)");
+}
+
+TEST(ImplicitCritical, DisabledByDefault) {
+  const auto d = analyze(R"(
+int main(void)
+{
+    initShm();
+    kill(nc->flag, 9);
+    return 0;
+}
+)");
+  EXPECT_TRUE(d->report().errors.empty());
+}
+
+TEST(Provenance, ErrorCitesTheExactLoad) {
+  const auto d = analyze(R"(
+int main(void)
+{
+    float out;
+    initShm();
+    out = nc->value;
+    /*** SafeFlow Annotation assert(safe(out)); ***/
+    sink(out);
+    return 0;
+}
+)");
+  ASSERT_EQ(d->report().errors.size(), 1u);
+  ASSERT_EQ(d->report().errors.front().source_loads.size(), 1u);
+  // The load and the single warning must be the same site.
+  ASSERT_EQ(d->report().warnings.size(), 1u);
+  EXPECT_EQ(d->report().errors.front().source_loads.front(),
+            d->report().warnings.front().location);
+}
+
+TEST(Provenance, MultipleLoadsAllCited) {
+  const auto d = analyze(R"(
+int main(void)
+{
+    float out;
+    initShm();
+    out = nc->value + (float)nc->flag;
+    /*** SafeFlow Annotation assert(safe(out)); ***/
+    sink(out);
+    return 0;
+}
+)");
+  ASSERT_EQ(d->report().errors.size(), 1u);
+  EXPECT_EQ(d->report().errors.front().source_loads.size(), 2u);
+}
+
+TEST(Sanitization, OverwritingWithCleanValueClearsTaint) {
+  // SSA flow sensitivity: after reassignment, the old taint is gone.
+  const auto d = analyze(R"(
+int main(void)
+{
+    float out;
+    initShm();
+    out = nc->value;
+    out = 1.0f;
+    /*** SafeFlow Annotation assert(safe(out)); ***/
+    sink(out);
+    return 0;
+}
+)");
+  EXPECT_TRUE(d->report().errors.empty())
+      << d->report().render(d->sources());
+}
+
+TEST(Sanitization, PartialOverwriteOnOneBranchKeepsTaint) {
+  const auto d = analyze(R"(
+extern int flip(void);
+int main(void)
+{
+    float out;
+    initShm();
+    out = nc->value;
+    if (flip()) { out = 1.0f; }
+    /*** SafeFlow Annotation assert(safe(out)); ***/
+    sink(out);
+    return 0;
+}
+)");
+  ASSERT_EQ(d->report().errors.size(), 1u);
+  EXPECT_EQ(d->report().errors.front().kind,
+            CriticalDependencyError::Kind::kData);
+}
+
+TEST(CallStrings, ContextSplitsAssumptions) {
+  // In call-strings mode, helper's load is safe in the monitored context
+  // and unsafe in the unmonitored one; the unmonitored result must be
+  // flagged, the monitored one must not.
+  SafeFlowOptions options;
+  options.taint.mode = analysis::TaintOptions::Mode::kCallStrings;
+  const auto d = analyze(R"(
+float helper(void) { return nc->value; }
+float monitor(void)
+/*** SafeFlow Annotation assume(core(nc, 0, sizeof(Cell))) ***/
+{
+    return helper();
+}
+int main(void)
+{
+    float bad;
+    initShm();
+    bad = helper();
+    /*** SafeFlow Annotation assert(safe(bad)); ***/
+    sink(bad + monitor());
+    return 0;
+}
+)",
+                         options);
+  ASSERT_EQ(d->report().errors.size(), 1u)
+      << d->report().render(d->sources());
+  EXPECT_EQ(d->report().errors.front().critical_value, "bad");
+}
+
+}  // namespace
