@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_summaries.dir/ablation_summaries.cpp.o"
+  "CMakeFiles/ablation_summaries.dir/ablation_summaries.cpp.o.d"
+  "ablation_summaries"
+  "ablation_summaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_summaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_micro.dir/analysis_micro.cpp.o"
+  "CMakeFiles/analysis_micro.dir/analysis_micro.cpp.o.d"
+  "analysis_micro"
+  "analysis_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

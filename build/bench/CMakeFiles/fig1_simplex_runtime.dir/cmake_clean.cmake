@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_simplex_runtime.dir/fig1_simplex_runtime.cpp.o"
+  "CMakeFiles/fig1_simplex_runtime.dir/fig1_simplex_runtime.cpp.o.d"
+  "fig1_simplex_runtime"
+  "fig1_simplex_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_simplex_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

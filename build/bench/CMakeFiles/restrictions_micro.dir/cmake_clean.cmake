@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restrictions_micro.dir/restrictions_micro.cpp.o"
+  "CMakeFiles/restrictions_micro.dir/restrictions_micro.cpp.o.d"
+  "restrictions_micro"
+  "restrictions_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restrictions_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

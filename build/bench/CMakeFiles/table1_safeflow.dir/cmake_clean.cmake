@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_safeflow.dir/table1_safeflow.cpp.o"
+  "CMakeFiles/table1_safeflow.dir/table1_safeflow.cpp.o.d"
+  "table1_safeflow"
+  "table1_safeflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_safeflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_corpus.dir/analyze_corpus.cpp.o"
+  "CMakeFiles/analyze_corpus.dir/analyze_corpus.cpp.o.d"
+  "analyze_corpus"
+  "analyze_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

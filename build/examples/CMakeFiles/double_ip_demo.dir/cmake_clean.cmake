@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/double_ip_demo.dir/double_ip_demo.cpp.o"
+  "CMakeFiles/double_ip_demo.dir/double_ip_demo.cpp.o.d"
+  "double_ip_demo"
+  "double_ip_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/double_ip_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_simplex_demo.dir/ip_simplex_demo.cpp.o"
+  "CMakeFiles/ip_simplex_demo.dir/ip_simplex_demo.cpp.o.d"
+  "ip_simplex_demo"
+  "ip_simplex_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_simplex_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_passing_demo.dir/message_passing_demo.cpp.o"
+  "CMakeFiles/message_passing_demo.dir/message_passing_demo.cpp.o.d"
+  "message_passing_demo"
+  "message_passing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_passing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

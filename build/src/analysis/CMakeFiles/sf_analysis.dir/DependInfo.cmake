@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/affine.cpp" "src/analysis/CMakeFiles/sf_analysis.dir/affine.cpp.o" "gcc" "src/analysis/CMakeFiles/sf_analysis.dir/affine.cpp.o.d"
+  "/root/repo/src/analysis/alias.cpp" "src/analysis/CMakeFiles/sf_analysis.dir/alias.cpp.o" "gcc" "src/analysis/CMakeFiles/sf_analysis.dir/alias.cpp.o.d"
+  "/root/repo/src/analysis/control_dep.cpp" "src/analysis/CMakeFiles/sf_analysis.dir/control_dep.cpp.o" "gcc" "src/analysis/CMakeFiles/sf_analysis.dir/control_dep.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/sf_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/sf_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/restrictions.cpp" "src/analysis/CMakeFiles/sf_analysis.dir/restrictions.cpp.o" "gcc" "src/analysis/CMakeFiles/sf_analysis.dir/restrictions.cpp.o.d"
+  "/root/repo/src/analysis/shm_propagation.cpp" "src/analysis/CMakeFiles/sf_analysis.dir/shm_propagation.cpp.o" "gcc" "src/analysis/CMakeFiles/sf_analysis.dir/shm_propagation.cpp.o.d"
+  "/root/repo/src/analysis/shm_regions.cpp" "src/analysis/CMakeFiles/sf_analysis.dir/shm_regions.cpp.o" "gcc" "src/analysis/CMakeFiles/sf_analysis.dir/shm_regions.cpp.o.d"
+  "/root/repo/src/analysis/taint.cpp" "src/analysis/CMakeFiles/sf_analysis.dir/taint.cpp.o" "gcc" "src/analysis/CMakeFiles/sf_analysis.dir/taint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/sf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/annotations/CMakeFiles/sf_annotations.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfront/CMakeFiles/sf_cfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_analysis.dir/affine.cpp.o"
+  "CMakeFiles/sf_analysis.dir/affine.cpp.o.d"
+  "CMakeFiles/sf_analysis.dir/alias.cpp.o"
+  "CMakeFiles/sf_analysis.dir/alias.cpp.o.d"
+  "CMakeFiles/sf_analysis.dir/control_dep.cpp.o"
+  "CMakeFiles/sf_analysis.dir/control_dep.cpp.o.d"
+  "CMakeFiles/sf_analysis.dir/report.cpp.o"
+  "CMakeFiles/sf_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/sf_analysis.dir/restrictions.cpp.o"
+  "CMakeFiles/sf_analysis.dir/restrictions.cpp.o.d"
+  "CMakeFiles/sf_analysis.dir/shm_propagation.cpp.o"
+  "CMakeFiles/sf_analysis.dir/shm_propagation.cpp.o.d"
+  "CMakeFiles/sf_analysis.dir/shm_regions.cpp.o"
+  "CMakeFiles/sf_analysis.dir/shm_regions.cpp.o.d"
+  "CMakeFiles/sf_analysis.dir/taint.cpp.o"
+  "CMakeFiles/sf_analysis.dir/taint.cpp.o.d"
+  "libsf_analysis.a"
+  "libsf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

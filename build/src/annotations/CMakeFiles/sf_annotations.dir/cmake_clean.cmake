@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_annotations.dir/annotation.cpp.o"
+  "CMakeFiles/sf_annotations.dir/annotation.cpp.o.d"
+  "libsf_annotations.a"
+  "libsf_annotations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_annotations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfront/ast.cpp" "src/cfront/CMakeFiles/sf_cfront.dir/ast.cpp.o" "gcc" "src/cfront/CMakeFiles/sf_cfront.dir/ast.cpp.o.d"
+  "/root/repo/src/cfront/frontend.cpp" "src/cfront/CMakeFiles/sf_cfront.dir/frontend.cpp.o" "gcc" "src/cfront/CMakeFiles/sf_cfront.dir/frontend.cpp.o.d"
+  "/root/repo/src/cfront/lexer.cpp" "src/cfront/CMakeFiles/sf_cfront.dir/lexer.cpp.o" "gcc" "src/cfront/CMakeFiles/sf_cfront.dir/lexer.cpp.o.d"
+  "/root/repo/src/cfront/parser.cpp" "src/cfront/CMakeFiles/sf_cfront.dir/parser.cpp.o" "gcc" "src/cfront/CMakeFiles/sf_cfront.dir/parser.cpp.o.d"
+  "/root/repo/src/cfront/preprocessor.cpp" "src/cfront/CMakeFiles/sf_cfront.dir/preprocessor.cpp.o" "gcc" "src/cfront/CMakeFiles/sf_cfront.dir/preprocessor.cpp.o.d"
+  "/root/repo/src/cfront/types.cpp" "src/cfront/CMakeFiles/sf_cfront.dir/types.cpp.o" "gcc" "src/cfront/CMakeFiles/sf_cfront.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

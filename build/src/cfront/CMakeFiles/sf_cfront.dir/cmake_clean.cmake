@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_cfront.dir/ast.cpp.o"
+  "CMakeFiles/sf_cfront.dir/ast.cpp.o.d"
+  "CMakeFiles/sf_cfront.dir/frontend.cpp.o"
+  "CMakeFiles/sf_cfront.dir/frontend.cpp.o.d"
+  "CMakeFiles/sf_cfront.dir/lexer.cpp.o"
+  "CMakeFiles/sf_cfront.dir/lexer.cpp.o.d"
+  "CMakeFiles/sf_cfront.dir/parser.cpp.o"
+  "CMakeFiles/sf_cfront.dir/parser.cpp.o.d"
+  "CMakeFiles/sf_cfront.dir/preprocessor.cpp.o"
+  "CMakeFiles/sf_cfront.dir/preprocessor.cpp.o.d"
+  "CMakeFiles/sf_cfront.dir/types.cpp.o"
+  "CMakeFiles/sf_cfront.dir/types.cpp.o.d"
+  "libsf_cfront.a"
+  "libsf_cfront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_cfront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/callgraph.cpp" "src/ir/CMakeFiles/sf_ir.dir/callgraph.cpp.o" "gcc" "src/ir/CMakeFiles/sf_ir.dir/callgraph.cpp.o.d"
+  "/root/repo/src/ir/dominators.cpp" "src/ir/CMakeFiles/sf_ir.dir/dominators.cpp.o" "gcc" "src/ir/CMakeFiles/sf_ir.dir/dominators.cpp.o.d"
+  "/root/repo/src/ir/ir.cpp" "src/ir/CMakeFiles/sf_ir.dir/ir.cpp.o" "gcc" "src/ir/CMakeFiles/sf_ir.dir/ir.cpp.o.d"
+  "/root/repo/src/ir/lowering.cpp" "src/ir/CMakeFiles/sf_ir.dir/lowering.cpp.o" "gcc" "src/ir/CMakeFiles/sf_ir.dir/lowering.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/ir/CMakeFiles/sf_ir.dir/printer.cpp.o" "gcc" "src/ir/CMakeFiles/sf_ir.dir/printer.cpp.o.d"
+  "/root/repo/src/ir/ssa.cpp" "src/ir/CMakeFiles/sf_ir.dir/ssa.cpp.o" "gcc" "src/ir/CMakeFiles/sf_ir.dir/ssa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfront/CMakeFiles/sf_cfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/annotations/CMakeFiles/sf_annotations.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

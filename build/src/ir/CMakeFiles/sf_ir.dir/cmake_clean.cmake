@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_ir.dir/callgraph.cpp.o"
+  "CMakeFiles/sf_ir.dir/callgraph.cpp.o.d"
+  "CMakeFiles/sf_ir.dir/dominators.cpp.o"
+  "CMakeFiles/sf_ir.dir/dominators.cpp.o.d"
+  "CMakeFiles/sf_ir.dir/ir.cpp.o"
+  "CMakeFiles/sf_ir.dir/ir.cpp.o.d"
+  "CMakeFiles/sf_ir.dir/lowering.cpp.o"
+  "CMakeFiles/sf_ir.dir/lowering.cpp.o.d"
+  "CMakeFiles/sf_ir.dir/printer.cpp.o"
+  "CMakeFiles/sf_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/sf_ir.dir/ssa.cpp.o"
+  "CMakeFiles/sf_ir.dir/ssa.cpp.o.d"
+  "libsf_ir.a"
+  "libsf_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

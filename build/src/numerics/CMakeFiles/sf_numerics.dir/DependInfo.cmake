@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/integrate.cpp" "src/numerics/CMakeFiles/sf_numerics.dir/integrate.cpp.o" "gcc" "src/numerics/CMakeFiles/sf_numerics.dir/integrate.cpp.o.d"
+  "/root/repo/src/numerics/matrix.cpp" "src/numerics/CMakeFiles/sf_numerics.dir/matrix.cpp.o" "gcc" "src/numerics/CMakeFiles/sf_numerics.dir/matrix.cpp.o.d"
+  "/root/repo/src/numerics/riccati.cpp" "src/numerics/CMakeFiles/sf_numerics.dir/riccati.cpp.o" "gcc" "src/numerics/CMakeFiles/sf_numerics.dir/riccati.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

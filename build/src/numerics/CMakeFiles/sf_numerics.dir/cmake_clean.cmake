@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_numerics.dir/integrate.cpp.o"
+  "CMakeFiles/sf_numerics.dir/integrate.cpp.o.d"
+  "CMakeFiles/sf_numerics.dir/matrix.cpp.o"
+  "CMakeFiles/sf_numerics.dir/matrix.cpp.o.d"
+  "CMakeFiles/sf_numerics.dir/riccati.cpp.o"
+  "CMakeFiles/sf_numerics.dir/riccati.cpp.o.d"
+  "libsf_numerics.a"
+  "libsf_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

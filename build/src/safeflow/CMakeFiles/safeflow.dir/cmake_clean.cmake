@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safeflow.dir/safeflow_main.cpp.o"
+  "CMakeFiles/safeflow.dir/safeflow_main.cpp.o.d"
+  "safeflow"
+  "safeflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safeflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

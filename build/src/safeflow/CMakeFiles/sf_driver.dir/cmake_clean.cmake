@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_driver.dir/corpus_info.cpp.o"
+  "CMakeFiles/sf_driver.dir/corpus_info.cpp.o.d"
+  "CMakeFiles/sf_driver.dir/driver.cpp.o"
+  "CMakeFiles/sf_driver.dir/driver.cpp.o.d"
+  "libsf_driver.a"
+  "libsf_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simplex/controllers.cpp" "src/simplex/CMakeFiles/sf_simplex.dir/controllers.cpp.o" "gcc" "src/simplex/CMakeFiles/sf_simplex.dir/controllers.cpp.o.d"
+  "/root/repo/src/simplex/fault_injection.cpp" "src/simplex/CMakeFiles/sf_simplex.dir/fault_injection.cpp.o" "gcc" "src/simplex/CMakeFiles/sf_simplex.dir/fault_injection.cpp.o.d"
+  "/root/repo/src/simplex/monitor.cpp" "src/simplex/CMakeFiles/sf_simplex.dir/monitor.cpp.o" "gcc" "src/simplex/CMakeFiles/sf_simplex.dir/monitor.cpp.o.d"
+  "/root/repo/src/simplex/plant.cpp" "src/simplex/CMakeFiles/sf_simplex.dir/plant.cpp.o" "gcc" "src/simplex/CMakeFiles/sf_simplex.dir/plant.cpp.o.d"
+  "/root/repo/src/simplex/runtime.cpp" "src/simplex/CMakeFiles/sf_simplex.dir/runtime.cpp.o" "gcc" "src/simplex/CMakeFiles/sf_simplex.dir/runtime.cpp.o.d"
+  "/root/repo/src/simplex/shared_memory.cpp" "src/simplex/CMakeFiles/sf_simplex.dir/shared_memory.cpp.o" "gcc" "src/simplex/CMakeFiles/sf_simplex.dir/shared_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numerics/CMakeFiles/sf_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_simplex.dir/controllers.cpp.o"
+  "CMakeFiles/sf_simplex.dir/controllers.cpp.o.d"
+  "CMakeFiles/sf_simplex.dir/fault_injection.cpp.o"
+  "CMakeFiles/sf_simplex.dir/fault_injection.cpp.o.d"
+  "CMakeFiles/sf_simplex.dir/monitor.cpp.o"
+  "CMakeFiles/sf_simplex.dir/monitor.cpp.o.d"
+  "CMakeFiles/sf_simplex.dir/plant.cpp.o"
+  "CMakeFiles/sf_simplex.dir/plant.cpp.o.d"
+  "CMakeFiles/sf_simplex.dir/runtime.cpp.o"
+  "CMakeFiles/sf_simplex.dir/runtime.cpp.o.d"
+  "CMakeFiles/sf_simplex.dir/shared_memory.cpp.o"
+  "CMakeFiles/sf_simplex.dir/shared_memory.cpp.o.d"
+  "libsf_simplex.a"
+  "libsf_simplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_simplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

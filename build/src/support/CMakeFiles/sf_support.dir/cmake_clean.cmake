@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/sf_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/sf_support.dir/loc_counter.cpp.o"
+  "CMakeFiles/sf_support.dir/loc_counter.cpp.o.d"
+  "CMakeFiles/sf_support.dir/source_manager.cpp.o"
+  "CMakeFiles/sf_support.dir/source_manager.cpp.o.d"
+  "CMakeFiles/sf_support.dir/string_utils.cpp.o"
+  "CMakeFiles/sf_support.dir/string_utils.cpp.o.d"
+  "CMakeFiles/sf_support.dir/text_diff.cpp.o"
+  "CMakeFiles/sf_support.dir/text_diff.cpp.o.d"
+  "libsf_support.a"
+  "libsf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_unit_test.dir/analysis_unit_test.cpp.o"
+  "CMakeFiles/analysis_unit_test.dir/analysis_unit_test.cpp.o.d"
+  "analysis_unit_test"
+  "analysis_unit_test.pdb"
+  "analysis_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_compile_test.dir/corpus_compile_test.cpp.o"
+  "CMakeFiles/corpus_compile_test.dir/corpus_compile_test.cpp.o.d"
+  "corpus_compile_test"
+  "corpus_compile_test.pdb"
+  "corpus_compile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_compile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_reduction_test.dir/fp_reduction_test.cpp.o"
+  "CMakeFiles/fp_reduction_test.dir/fp_reduction_test.cpp.o.d"
+  "fp_reduction_test"
+  "fp_reduction_test.pdb"
+  "fp_reduction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_reduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

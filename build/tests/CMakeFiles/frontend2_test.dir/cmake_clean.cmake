@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend2_test.dir/frontend2_test.cpp.o"
+  "CMakeFiles/frontend2_test.dir/frontend2_test.cpp.o.d"
+  "frontend2_test"
+  "frontend2_test.pdb"
+  "frontend2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

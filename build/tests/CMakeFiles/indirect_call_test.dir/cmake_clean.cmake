@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indirect_call_test.dir/indirect_call_test.cpp.o"
+  "CMakeFiles/indirect_call_test.dir/indirect_call_test.cpp.o.d"
+  "indirect_call_test"
+  "indirect_call_test.pdb"
+  "indirect_call_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indirect_call_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/initcheck_test.dir/initcheck_test.cpp.o"
+  "CMakeFiles/initcheck_test.dir/initcheck_test.cpp.o.d"
+  "initcheck_test"
+  "initcheck_test.pdb"
+  "initcheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/initcheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taint_unit_test.dir/taint_unit_test.cpp.o"
+  "CMakeFiles/taint_unit_test.dir/taint_unit_test.cpp.o.d"
+  "taint_unit_test"
+  "taint_unit_test.pdb"
+  "taint_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taint_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

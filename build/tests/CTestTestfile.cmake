@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/preprocessor_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/affine_test[1]_include.cmake")
+include("/root/repo/build/tests/numerics_test[1]_include.cmake")
+include("/root/repo/build/tests/simplex_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/messaging_test[1]_include.cmake")
+include("/root/repo/build/tests/annotation_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend2_test[1]_include.cmake")
+include("/root/repo/build/tests/taint_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/initcheck_test[1]_include.cmake")
+include("/root/repo/build/tests/indirect_call_test[1]_include.cmake")
+include("/root/repo/build/tests/fp_reduction_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_compile_test[1]_include.cmake")
