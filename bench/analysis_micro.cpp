@@ -11,10 +11,27 @@
 #include "ir/ssa.h"
 #include "safeflow/corpus_info.h"
 #include "safeflow/driver.h"
+#include "support/metrics.h"
 
 namespace {
 
 using namespace safeflow;
+
+/// Copies the driver's registry-backed per-phase wall times and key work
+/// counters into the benchmark's counter set, so bench output reports the
+/// same numbers `safeflow --stats-json` does instead of hand-rolled
+/// timing.
+void exportPipelineCounters(benchmark::State& state,
+                            const SafeFlowDriver& driver) {
+  for (const auto& [phase, seconds] : driver.stats().phase_seconds) {
+    state.counters[phase + "_ms"] = seconds * 1e3;
+  }
+  const support::MetricsRegistry& metrics = driver.metrics();
+  state.counters["taint_body_analyses"] = static_cast<double>(
+      metrics.counterValue("taint.body_analyses"));
+  state.counters["shm_worklist_pushes"] = static_cast<double>(
+      metrics.counterValue("shm_propagation.worklist_pushes"));
+}
 
 void BM_FrontendParse(benchmark::State& state) {
   const std::string source =
@@ -38,6 +55,11 @@ void BM_LoweringAndSsa(benchmark::State& state) {
     state.SkipWithError("parse failed");
     return;
   }
+  // Register the phase durations the passes report themselves instead of
+  // timing them by hand here.
+  support::MetricsRegistry registry;
+  support::PipelineObserver observer{&registry, nullptr};
+  const support::ScopedObserver install(&observer);
   for (auto _ : state) {
     ir::Module module(fe.types());
     ir::Lowering lowering(fe.unit(), module, fe.diagnostics());
@@ -46,6 +68,11 @@ void BM_LoweringAndSsa(benchmark::State& state) {
     benchmark::DoNotOptimize(stats.phis_inserted);
   }
   state.counters["functions"] = static_cast<double>(state.range(0));
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["lowering_ms"] =
+      registry.durationTotalSeconds("phase.lowering") * 1e3 / iters;
+  state.counters["ssa_ms"] =
+      registry.durationTotalSeconds("phase.ssa") * 1e3 / iters;
 }
 BENCHMARK(BM_LoweringAndSsa)->Arg(8)->Arg(32)->Arg(128);
 
@@ -56,6 +83,7 @@ void BM_FullPipeline(benchmark::State& state) {
     SafeFlowDriver driver;
     driver.addSource("scaling.c", source);
     benchmark::DoNotOptimize(driver.analyze().warnings.size());
+    exportPipelineCounters(state, driver);
   }
   state.counters["functions"] = static_cast<double>(state.range(0));
 }
@@ -69,6 +97,7 @@ void BM_CorpusFullAnalysis(benchmark::State& state) {
     SafeFlowDriver driver(options);
     for (const auto& f : sys.core_files) driver.addFile(f);
     benchmark::DoNotOptimize(driver.analyze().errors.size());
+    exportPipelineCounters(state, driver);
   }
   state.SetLabel(sys.name);
 }

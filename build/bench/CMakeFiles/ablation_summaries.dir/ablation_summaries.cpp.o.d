@@ -240,4 +240,6 @@ bench/CMakeFiles/ablation_summaries.dir/ablation_summaries.cpp.o: \
  /root/repo/src/safeflow/../cfront/preprocessor.h \
  /root/repo/src/safeflow/../cfront/lexer.h \
  /root/repo/src/safeflow/../support/source_manager.h \
- /root/repo/src/safeflow/../support/loc_counter.h
+ /root/repo/src/safeflow/../support/loc_counter.h \
+ /root/repo/src/safeflow/../support/metrics.h /usr/include/c++/12/array \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h

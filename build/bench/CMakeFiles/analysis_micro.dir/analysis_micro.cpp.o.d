@@ -241,4 +241,6 @@ bench/CMakeFiles/analysis_micro.dir/analysis_micro.cpp.o: \
  /root/repo/src/safeflow/../analysis/alias.h \
  /root/repo/src/safeflow/../analysis/control_dep.h \
  /root/repo/src/safeflow/../ir/dominators.h \
- /root/repo/src/safeflow/../support/loc_counter.h
+ /root/repo/src/safeflow/../support/loc_counter.h \
+ /root/repo/src/safeflow/../support/metrics.h /usr/include/c++/12/array \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h

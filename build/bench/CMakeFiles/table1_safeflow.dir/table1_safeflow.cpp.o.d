@@ -232,4 +232,7 @@ bench/CMakeFiles/table1_safeflow.dir/table1_safeflow.cpp.o: \
  /root/repo/src/safeflow/../cfront/preprocessor.h \
  /root/repo/src/safeflow/../cfront/lexer.h \
  /root/repo/src/safeflow/../support/source_manager.h \
- /root/repo/src/safeflow/../support/loc_counter.h
+ /root/repo/src/safeflow/../support/loc_counter.h \
+ /root/repo/src/safeflow/../support/metrics.h /usr/include/c++/12/array \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h

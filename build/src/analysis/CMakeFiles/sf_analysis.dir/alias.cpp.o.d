@@ -213,4 +213,12 @@ src/analysis/CMakeFiles/sf_analysis.dir/alias.cpp.o: \
  /root/repo/src/analysis/../cfront/types.h \
  /root/repo/src/analysis/../support/source_location.h \
  /root/repo/src/analysis/../support/diagnostics.h \
- /usr/include/c++/12/cstddef /root/repo/src/analysis/../ir/callgraph.h
+ /usr/include/c++/12/cstddef /root/repo/src/analysis/../ir/callgraph.h \
+ /root/repo/src/analysis/../support/metrics.h /usr/include/c++/12/array \
+ /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h

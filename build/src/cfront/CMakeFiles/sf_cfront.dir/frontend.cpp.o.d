@@ -215,4 +215,12 @@ src/cfront/CMakeFiles/sf_cfront.dir/frontend.cpp.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/cfront/../cfront/lexer.h \
- /root/repo/src/cfront/../support/source_manager.h
+ /root/repo/src/cfront/../support/source_manager.h \
+ /root/repo/src/cfront/../support/metrics.h /usr/include/c++/12/array \
+ /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h

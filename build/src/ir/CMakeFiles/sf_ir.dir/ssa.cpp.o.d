@@ -215,4 +215,10 @@ src/ir/CMakeFiles/sf_ir.dir/ssa.cpp.o: /root/repo/src/ir/ssa.cpp \
  /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/ir/../ir/dominators.h
+ /root/repo/src/ir/../ir/dominators.h \
+ /root/repo/src/ir/../support/metrics.h /usr/include/c++/12/array \
+ /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h

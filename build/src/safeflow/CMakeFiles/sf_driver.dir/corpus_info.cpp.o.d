@@ -234,7 +234,10 @@ src/safeflow/CMakeFiles/sf_driver.dir/corpus_info.cpp.o: \
  /root/repo/src/safeflow/../cfront/lexer.h \
  /root/repo/src/safeflow/../support/source_manager.h \
  /root/repo/src/safeflow/../support/loc_counter.h \
- /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /root/repo/src/safeflow/../support/metrics.h /usr/include/c++/12/array \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc \

@@ -233,7 +233,10 @@ src/safeflow/CMakeFiles/sf_driver.dir/driver.cpp.o: \
  /root/repo/src/safeflow/../cfront/lexer.h \
  /root/repo/src/safeflow/../support/source_manager.h \
  /root/repo/src/safeflow/../support/loc_counter.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/safeflow/../support/metrics.h /usr/include/c++/12/array \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/diagnostics.cpp" "src/support/CMakeFiles/sf_support.dir/diagnostics.cpp.o" "gcc" "src/support/CMakeFiles/sf_support.dir/diagnostics.cpp.o.d"
   "/root/repo/src/support/loc_counter.cpp" "src/support/CMakeFiles/sf_support.dir/loc_counter.cpp.o" "gcc" "src/support/CMakeFiles/sf_support.dir/loc_counter.cpp.o.d"
+  "/root/repo/src/support/metrics.cpp" "src/support/CMakeFiles/sf_support.dir/metrics.cpp.o" "gcc" "src/support/CMakeFiles/sf_support.dir/metrics.cpp.o.d"
   "/root/repo/src/support/source_manager.cpp" "src/support/CMakeFiles/sf_support.dir/source_manager.cpp.o" "gcc" "src/support/CMakeFiles/sf_support.dir/source_manager.cpp.o.d"
   "/root/repo/src/support/string_utils.cpp" "src/support/CMakeFiles/sf_support.dir/string_utils.cpp.o" "gcc" "src/support/CMakeFiles/sf_support.dir/string_utils.cpp.o.d"
   "/root/repo/src/support/text_diff.cpp" "src/support/CMakeFiles/sf_support.dir/text_diff.cpp.o" "gcc" "src/support/CMakeFiles/sf_support.dir/text_diff.cpp.o.d"

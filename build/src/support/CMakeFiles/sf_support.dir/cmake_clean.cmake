@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/sf_support.dir/diagnostics.cpp.o.d"
   "CMakeFiles/sf_support.dir/loc_counter.cpp.o"
   "CMakeFiles/sf_support.dir/loc_counter.cpp.o.d"
+  "CMakeFiles/sf_support.dir/metrics.cpp.o"
+  "CMakeFiles/sf_support.dir/metrics.cpp.o.d"
   "CMakeFiles/sf_support.dir/source_manager.cpp.o"
   "CMakeFiles/sf_support.dir/source_manager.cpp.o.d"
   "CMakeFiles/sf_support.dir/string_utils.cpp.o"

@@ -318,4 +318,6 @@ tests/CMakeFiles/analysis_unit_test.dir/analysis_unit_test.cpp.o: \
  /root/repo/src/safeflow/../analysis/report.h \
  /root/repo/src/safeflow/../analysis/restrictions.h \
  /root/repo/src/safeflow/../analysis/taint.h \
- /root/repo/src/safeflow/../support/loc_counter.h
+ /root/repo/src/safeflow/../support/loc_counter.h \
+ /root/repo/src/safeflow/../support/metrics.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h

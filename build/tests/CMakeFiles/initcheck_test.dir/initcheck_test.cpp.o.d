@@ -315,4 +315,6 @@ tests/CMakeFiles/initcheck_test.dir/initcheck_test.cpp.o: \
  /root/repo/src/safeflow/../cfront/preprocessor.h \
  /root/repo/src/safeflow/../cfront/lexer.h \
  /root/repo/src/safeflow/../support/source_manager.h \
- /root/repo/src/safeflow/../support/loc_counter.h
+ /root/repo/src/safeflow/../support/loc_counter.h \
+ /root/repo/src/safeflow/../support/metrics.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/metrics_test.cpp" "tests/CMakeFiles/metrics_test.dir/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/metrics_test.dir/metrics_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/safeflow/CMakeFiles/sf_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/annotations/CMakeFiles/sf_annotations.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfront/CMakeFiles/sf_cfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/simplex/CMakeFiles/sf_simplex.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/sf_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -24,5 +24,6 @@ include("/root/repo/build/tests/initcheck_test[1]_include.cmake")
 include("/root/repo/build/tests/indirect_call_test[1]_include.cmake")
 include("/root/repo/build/tests/fp_reduction_test[1]_include.cmake")
 include("/root/repo/build/tests/driver_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
 include("/root/repo/build/tests/robustness_test[1]_include.cmake")
 include("/root/repo/build/tests/corpus_compile_test[1]_include.cmake")

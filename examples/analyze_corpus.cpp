@@ -47,15 +47,8 @@ int main(int argc, char** argv) {
   }
   std::cout << report.render(driver.sources());
 
-  const auto& stats = driver.stats();
-  std::cout << "\nstatistics:\n"
-            << "  files analyzed        " << stats.files << "\n"
-            << "  core LOC              " << stats.loc.code_lines << "\n"
-            << "  annotation lines      " << stats.annotation_lines << "\n"
-            << "  shm regions           " << stats.shm_regions << " ("
-            << stats.noncore_regions << " non-core)\n"
-            << "  monitoring functions  " << stats.monitor_functions << "\n"
-            << "  analysis time         " << stats.analysis_seconds
-            << " s\n";
+  // The registry-backed stats table: per-phase wall times and every
+  // pipeline counter, the same numbers `safeflow --stats` prints.
+  std::cout << "\n" << driver.stats().renderTable();
   return 0;
 }

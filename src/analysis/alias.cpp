@@ -1,5 +1,7 @@
 #include "analysis/alias.h"
 
+#include "support/metrics.h"
+
 namespace safeflow::analysis {
 
 AliasAnalysis::AliasAnalysis(const ir::Module& module,
@@ -84,6 +86,8 @@ bool AliasAnalysis::addAll(const ir::Value* v, const std::set<ObjId>& objs) {
 }
 
 void AliasAnalysis::run() {
+  const support::ScopedTimer timer("phase.alias");
+  std::size_t rounds = 0;
   // Region objects.
   for (const ShmRegion& r : regions_.regions()) {
     ObjInfo info;
@@ -102,6 +106,7 @@ void AliasAnalysis::run() {
   bool changed = true;
   while (changed) {
     changed = false;
+    ++rounds;
     for (const auto& fn : module_.functions()) {
       if (!fn->isDefined()) continue;
       for (const auto& bb : fn->blocks()) {
@@ -224,6 +229,11 @@ void AliasAnalysis::run() {
       }
     }
   }
+  std::size_t edges = 0;
+  for (const auto& [v, objs] : points_to_) edges += objs.size();
+  SAFEFLOW_COUNT_N("alias.fixpoint_rounds", rounds);
+  SAFEFLOW_COUNT_N("alias.points_to_edges", edges);
+  SAFEFLOW_GAUGE("alias.objects", infos_.size());
 }
 
 const std::set<ObjId>& AliasAnalysis::pointsTo(const ir::Value* v) const {

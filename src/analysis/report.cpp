@@ -52,9 +52,9 @@ std::string jsonEscape(const std::string& s) {
 }  // namespace
 
 std::string SafeFlowReport::renderJson(
-    const support::SourceManager& sm) const {
+    const support::SourceManager& sm, const std::string& stats_json) const {
   std::ostringstream out;
-  out << "{\n  \"warnings\": [";
+  out << "{\n  \"schema_version\": 1,\n  \"warnings\": [";
   for (std::size_t i = 0; i < warnings.size(); ++i) {
     const UnsafeAccessWarning& w = warnings[i];
     out << (i == 0 ? "\n" : ",\n") << "    {\"location\": \""
@@ -101,7 +101,18 @@ std::string SafeFlowReport::renderJson(
   out << (restriction_violations.empty() ? "]" : "\n  ]");
   out << ",\n  \"asserts_checked\": " << asserts_checked
       << ",\n  \"data_errors\": " << dataErrorCount()
-      << ",\n  \"control_only\": " << controlErrorCount() << "\n}\n";
+      << ",\n  \"control_only\": " << controlErrorCount();
+  if (!stats_json.empty()) {
+    // Indent the embedded object to match the surrounding document.
+    std::string indented;
+    indented.reserve(stats_json.size());
+    for (char c : stats_json) {
+      indented += c;
+      if (c == '\n') indented += "  ";
+    }
+    out << ",\n  \"stats\": " << indented;
+  }
+  out << "\n}\n";
   return out.str();
 }
 

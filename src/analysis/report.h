@@ -69,9 +69,14 @@ struct SafeFlowReport {
   [[nodiscard]] std::string renderValueFlowDot(
       const support::SourceManager& sm) const;
 
-  /// Machine-readable JSON rendering of the whole report.
+  /// Machine-readable JSON rendering of the whole report (snake_case
+  /// keys, schema_version field). When `stats_json` is non-empty it must
+  /// be a pre-rendered JSON object (SafeFlowStats::renderJson()); it is
+  /// embedded verbatim as the report's "stats" member so `--json` output
+  /// carries the same stats object `--stats-json` writes.
   [[nodiscard]] std::string renderJson(
-      const support::SourceManager& sm) const;
+      const support::SourceManager& sm,
+      const std::string& stats_json = {}) const;
 };
 
 }  // namespace safeflow::analysis

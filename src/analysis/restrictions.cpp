@@ -4,6 +4,7 @@
 #include <set>
 
 #include "analysis/affine.h"
+#include "support/metrics.h"
 
 namespace safeflow::analysis {
 
@@ -51,13 +52,16 @@ RestrictionChecker::RestrictionChecker(const ir::Module& module,
 
 std::vector<RestrictionViolation> RestrictionChecker::run(
     support::DiagnosticEngine& diags) {
+  const support::ScopedTimer timer("phase.restrictions");
   std::vector<RestrictionViolation> out;
   for (const auto& fn : module_.functions()) {
     if (!fn->isDefined()) continue;
     if (regions_.isInitFunction(fn.get())) continue;  // shminit is exempt
+    SAFEFLOW_COUNT("restrictions.functions_checked");
     checkFunction(*fn, out);
   }
   for (const RestrictionViolation& v : out) {
+    SAFEFLOW_COUNT("restrictions." + v.rule + ".violations");
     diags.warning(v.location, "restriction." + v.rule, v.message);
   }
   return out;
@@ -150,6 +154,7 @@ void RestrictionChecker::checkIndexAddr(
     std::vector<RestrictionViolation>& out) {
   const ShmPtrInfo* base = shm_.info(gep.operand(0));
   if (base == nullptr) return;
+  SAFEFLOW_COUNT("restrictions.index_checks");
   std::int64_t elem_size = 1;
   if (gep.type()->isPointer()) {
     elem_size = static_cast<std::int64_t>(
@@ -230,6 +235,7 @@ void RestrictionChecker::checkIndexAddr(
       }
       c.constant = -affine.constant - base_elems - 1;
       low.add(std::move(c));
+      SAFEFLOW_COUNT("restrictions.a2_solver_calls");
       if (low.isFeasible()) {
         out.push_back(RestrictionViolation{
             "A2", gep.location(),
@@ -248,6 +254,7 @@ void RestrictionChecker::checkIndexAddr(
       }
       c.constant = affine.constant + base_elems - count;
       high.add(std::move(c));
+      SAFEFLOW_COUNT("restrictions.a2_solver_calls");
       if (high.isFeasible()) {
         out.push_back(RestrictionViolation{
             "A2", gep.location(),

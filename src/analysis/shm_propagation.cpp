@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "support/metrics.h"
+
 namespace safeflow::analysis {
 
 namespace {
@@ -74,7 +76,10 @@ bool ShmPointerAnalysis::update(const ir::Value* v,
 }
 
 void ShmPointerAnalysis::run() {
+  const support::ScopedTimer timer("phase.shm_propagation");
   if (regions_.empty()) return;
+  support::MetricsRegistry::Counter* pushes =
+      support::counterHandle("shm_propagation.worklist_pushes");
 
   std::deque<const ir::Function*> worklist;
   std::set<const ir::Function*> queued;
@@ -84,6 +89,7 @@ void ShmPointerAnalysis::run() {
       if (fn->isDefined() && !regions_.isInitFunction(fn)) {
         worklist.push_back(fn);
         queued.insert(fn);
+        if (pushes != nullptr) pushes->add();
       }
     }
   }
@@ -93,12 +99,18 @@ void ShmPointerAnalysis::run() {
     worklist.pop_front();
     queued.erase(fn);
     ++iterations_;
-    const bool ret_changed = analyzeFunction(*fn);
+    bool ret_changed;
+    {
+      support::ScopedSpan span("shm_propagation.function");
+      span.arg("fn", fn->name());
+      ret_changed = analyzeFunction(*fn);
+    }
     if (ret_changed) {
       for (const ir::Function* caller : callgraph_.callers(fn)) {
         if (caller->isDefined() && !regions_.isInitFunction(caller) &&
             queued.insert(caller).second) {
           worklist.push_back(caller);
+          if (pushes != nullptr) pushes->add();
         }
       }
     }
@@ -117,9 +129,12 @@ void ShmPointerAnalysis::run() {
       }
       if (has_arg_fact && queued.insert(callee).second) {
         worklist.push_back(callee);
+        if (pushes != nullptr) pushes->add();
       }
     }
   }
+  SAFEFLOW_COUNT_N("shm_propagation.iterations", iterations_);
+  SAFEFLOW_COUNT_N("shm_propagation.values_tracked", facts_.size());
 }
 
 bool ShmPointerAnalysis::analyzeFunction(const ir::Function& fn) {

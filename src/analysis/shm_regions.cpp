@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/metrics.h"
+
 namespace safeflow::analysis {
 
 std::int64_t ShmRegion::elementCount() const {
@@ -34,6 +36,7 @@ const ir::GlobalVar* traceToGlobal(const ir::Value* v) {
 
 ShmRegionTable ShmRegionTable::build(const ir::Module& module,
                                      support::DiagnosticEngine& diags) {
+  const support::ScopedTimer timer("phase.shm_regions");
   ShmRegionTable table;
   for (const auto& fn : module.functions()) {
     if (fn->annotations.is_shminit) table.init_functions_.push_back(fn.get());
@@ -118,6 +121,9 @@ ShmRegionTable ShmRegionTable::build(const ir::Module& module,
     }
   }
   table.verifyInitCheck(module, diags);
+  SAFEFLOW_GAUGE("shm_regions.count", table.regions_.size());
+  SAFEFLOW_GAUGE("shm_regions.noncore", table.noncoreCount());
+  SAFEFLOW_GAUGE("shm_regions.init_functions", table.init_functions_.size());
   return table;
 }
 

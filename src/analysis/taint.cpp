@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "support/metrics.h"
+
 namespace safeflow::analysis {
 
 bool Taint::merge(const Taint& other) {
@@ -325,6 +327,9 @@ bool TaintAnalysis::analyzeFunction(const ir::Function& fn,
                                     const AssumptionSet& assumptions,
                                     unsigned depth) {
   ++body_analyses_;
+  SAFEFLOW_COUNT("taint.body_analyses");
+  support::ScopedSpan span("taint.function");
+  span.arg("fn", fn.name());
   if (options_.track_control_deps && !control_dep_.contains(&fn)) {
     control_dep_.emplace(&fn, ControlDependence::compute(fn));
   }
@@ -406,7 +411,11 @@ bool TaintAnalysis::analyzeFunction(const ir::Function& fn,
             if (inst->numOperands() == 1) {
               TaintPair rt = operandTaint(inst->operand(0));
               rt.control.merge(block_control);
-              changed |= return_taint_[&fn].merge(rt);
+              {
+                const bool grew = return_taint_[&fn].merge(rt);
+                if (grew) SAFEFLOW_COUNT("taint.summaries_computed");
+                changed |= grew;
+              }
             }
             continue;
           }
@@ -541,7 +550,11 @@ TaintPair TaintAnalysis::analyzeInContext(const ir::Function& fn,
                                           unsigned depth) {
   const auto key = std::make_pair(&fn, ctx);
   auto it = context_memo_.find(key);
-  if (it != context_memo_.end()) return it->second;
+  if (it != context_memo_.end()) {
+    SAFEFLOW_COUNT("taint.context_cache_hits");
+    return it->second;
+  }
+  SAFEFLOW_COUNT("taint.context_clones");
   context_memo_[key] = TaintPair{};  // break recursion
 
   // Run the body fixpoint under ctx; value/object taints accumulate
@@ -555,13 +568,18 @@ TaintPair TaintAnalysis::analyzeInContext(const ir::Function& fn,
 }
 
 void TaintAnalysis::run(SafeFlowReport& report) {
-  computeLocalAssumptions();
-  computeEffectiveAssumptions();
+  const support::ScopedTimer timer("phase.taint");
+  {
+    const support::ScopedSpan span("taint.assumptions");
+    computeLocalAssumptions();
+    computeEffectiveAssumptions();
+  }
 
   if (options_.mode == TaintOptions::Mode::kSummaries) {
     bool changed = true;
     while (changed) {
       changed = false;
+      SAFEFLOW_COUNT("taint.sweep_rounds");
       for (const auto& scc : callgraph_.sccsBottomUp()) {
         for (const ir::Function* fn : scc) {
           if (!fn->isDefined() || regions_.isInitFunction(fn)) continue;
@@ -574,6 +592,7 @@ void TaintAnalysis::run(SafeFlowReport& report) {
     bool changed = true;
     while (changed) {
       changed = false;
+      SAFEFLOW_COUNT("taint.sweep_rounds");
       for (const auto& fn : module_.functions()) {
         if (!fn->isDefined() || regions_.isInitFunction(fn.get())) continue;
         const bool is_root = callgraph_.callers(fn.get()).empty() ||
@@ -586,6 +605,7 @@ void TaintAnalysis::run(SafeFlowReport& report) {
     }
   }
 
+  const support::ScopedSpan report_span("taint.report");
   reportWarnings(report);
   reportAsserts(report);
   if (!regions_.empty()) {

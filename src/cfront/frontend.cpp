@@ -1,5 +1,7 @@
 #include "cfront/frontend.h"
 
+#include "support/metrics.h"
+
 namespace safeflow::cfront {
 
 Frontend::Frontend(std::vector<std::string> include_dirs)
@@ -11,24 +13,42 @@ void Frontend::predefine(std::string name, std::string value) {
 }
 
 bool Frontend::parseFile(const std::string& path) {
+  support::ScopedTimer timer("phase.frontend");
+  timer.arg("file", path);
   const std::optional<support::FileId> id = sm_.addFile(path);
   if (!id.has_value()) {
     diags_.error({}, "io", "cannot open file '" + path + "'");
     return false;
   }
-  Preprocessor pp(sm_, diags_, include_dirs_);
-  for (const auto& [name, value] : predefines_) pp.predefine(name, value);
-  return parseTokens(pp.run(*id));
+  SAFEFLOW_COUNT("frontend.files");
+  std::vector<Token> tokens;
+  {
+    const support::ScopedSpan span("frontend.preprocess");
+    Preprocessor pp(sm_, diags_, include_dirs_);
+    for (const auto& [name, value] : predefines_) pp.predefine(name, value);
+    tokens = pp.run(*id);
+  }
+  return parseTokens(std::move(tokens));
 }
 
 bool Frontend::parseBuffer(std::string name, std::string text) {
+  support::ScopedTimer timer("phase.frontend");
+  timer.arg("file", name);
   const support::FileId id = sm_.addBuffer(std::move(name), std::move(text));
-  Preprocessor pp(sm_, diags_, include_dirs_);
-  for (const auto& [macro, value] : predefines_) pp.predefine(macro, value);
-  return parseTokens(pp.run(id));
+  SAFEFLOW_COUNT("frontend.files");
+  std::vector<Token> tokens;
+  {
+    const support::ScopedSpan span("frontend.preprocess");
+    Preprocessor pp(sm_, diags_, include_dirs_);
+    for (const auto& [macro, value] : predefines_) pp.predefine(macro, value);
+    tokens = pp.run(id);
+  }
+  return parseTokens(std::move(tokens));
 }
 
 bool Frontend::parseTokens(std::vector<Token> tokens) {
+  const support::ScopedSpan span("frontend.parse");
+  SAFEFLOW_COUNT_N("frontend.tokens", tokens.size());
   const std::size_t errors_before = diags_.errorCount();
   Parser parser(std::move(tokens), types_, diags_);
   parser.parseTranslationUnit(*tu_);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "support/metrics.h"
+
 namespace safeflow::ir {
 
 namespace {
@@ -10,6 +12,7 @@ constexpr std::string_view kFnAddrPrefix = "@fnaddr.";
 }
 
 CallGraph::CallGraph(const Module& module) : module_(module) {
+  const support::ScopedTimer timer("phase.callgraph");
   // Address-taken functions (represented by @fnaddr.<name> globals created
   // during lowering).
   for (const auto& g : module.globals()) {
@@ -36,6 +39,12 @@ CallGraph::CallGraph(const Module& module) : module_(module) {
     }
   }
   computeSccs();
+  std::size_t edges = 0;
+  for (const auto& [fn, cs] : callees_) edges += cs.size();
+  SAFEFLOW_COUNT_N("callgraph.edges", edges);
+  SAFEFLOW_COUNT_N("callgraph.address_taken", address_taken_.size());
+  SAFEFLOW_GAUGE("callgraph.sccs", sccs_.size());
+  SAFEFLOW_GAUGE("callgraph.recursive_functions", recursive_.size());
 }
 
 std::vector<const Function*> CallGraph::targets(

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "support/metrics.h"
+
 namespace safeflow::ir {
 
 namespace {
@@ -61,12 +63,16 @@ Lowering::Lowering(const cfront::TranslationUnit& tu, Module& module,
       annot_parser_(tu.types(), tu.typedefs(), diags) {}
 
 bool Lowering::run() {
+  const support::ScopedTimer timer("phase.lowering");
   const std::size_t errors_before = diags_.errorCount();
   lowerGlobals();
   // Declare every function first so calls resolve without ordering issues.
   for (const auto& fd : tu_.functions()) functionFor(*fd);
   for (const auto& fd : tu_.functions()) {
-    if (fd->isDefined()) lowerFunction(*fd);
+    if (fd->isDefined()) {
+      SAFEFLOW_COUNT("lowering.functions");
+      lowerFunction(*fd);
+    }
   }
   return diags_.errorCount() == errors_before;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ir/dominators.h"
+#include "support/metrics.h"
 
 namespace safeflow::ir {
 
@@ -187,6 +188,7 @@ SsaStats promoteToSsa(Function& fn, Module& module) {
 }
 
 SsaStats promoteModuleToSsa(Module& module) {
+  const support::ScopedTimer timer("phase.ssa");
   SsaStats total;
   for (const auto& fn : module.functions()) {
     if (!fn->isDefined()) continue;
@@ -196,6 +198,10 @@ SsaStats promoteModuleToSsa(Module& module) {
     total.loads_removed += s.loads_removed;
     total.stores_removed += s.stores_removed;
   }
+  SAFEFLOW_COUNT_N("ssa.promoted_allocas", total.promoted_allocas);
+  SAFEFLOW_COUNT_N("ssa.phis_inserted", total.phis_inserted);
+  SAFEFLOW_COUNT_N("ssa.loads_removed", total.loads_removed);
+  SAFEFLOW_COUNT_N("ssa.stores_removed", total.stores_removed);
   return total;
 }
 

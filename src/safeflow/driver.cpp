@@ -1,6 +1,8 @@
 #include "safeflow/driver.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <sstream>
 
 #include "analysis/alias.h"
 #include "analysis/shm_propagation.h"
@@ -12,6 +14,14 @@
 namespace safeflow {
 
 namespace {
+
+/// Pipeline phases in execution order; phase durations are recorded under
+/// "phase.<name>" by each stage itself (see support/metrics.h).
+constexpr const char* kPhaseOrder[] = {
+    "frontend",     "lowering",        "ssa",   "shm_regions",
+    "callgraph",    "shm_propagation", "restrictions",
+    "alias",        "taint",           "report",
+};
 
 std::size_t lineSpan(const std::string& text) {
   return 1 + static_cast<std::size_t>(
@@ -67,6 +77,11 @@ void countAnnotationsInStmt(const cfront::Stmt* stmt, SafeFlowStats& stats) {
 
 SafeFlowDriver::SafeFlowDriver(SafeFlowOptions options)
     : options_(std::move(options)), frontend_(options_.include_dirs) {
+  if (options_.collect_trace) {
+    trace_ = std::make_unique<support::TraceCollector>();
+  }
+  observer_.metrics = &metrics_;
+  observer_.trace = trace_.get();
   for (const auto& [name, value] : options_.defines) {
     frontend_.predefine(name, value);
   }
@@ -74,7 +89,15 @@ SafeFlowDriver::SafeFlowDriver(SafeFlowOptions options)
 
 SafeFlowDriver::~SafeFlowDriver() = default;
 
+void SafeFlowDriver::beginPipeline() {
+  if (pipeline_started_) return;
+  pipeline_started_ = true;
+  if (trace_ != nullptr) root_span_ = trace_->beginSpan("safeflow.pipeline");
+}
+
 bool SafeFlowDriver::addFile(const std::string& path) {
+  const support::ScopedObserver install(&observer_);
+  beginPipeline();
   ++stats_.files;
   const bool ok = frontend_.parseFile(path);
   if (!ok) frontend_errors_ = true;
@@ -91,6 +114,8 @@ bool SafeFlowDriver::addFile(const std::string& path) {
 }
 
 bool SafeFlowDriver::addSource(std::string name, std::string text) {
+  const support::ScopedObserver install(&observer_);
+  beginPipeline();
   ++stats_.files;
   const auto loc = support::countLoc(text);
   stats_.loc.total_lines += loc.total_lines;
@@ -123,6 +148,8 @@ void SafeFlowDriver::countAnnotations() {
 const analysis::SafeFlowReport& SafeFlowDriver::analyze() {
   if (analyzed_) return report_;
   analyzed_ = true;
+  const support::ScopedObserver install(&observer_);
+  beginPipeline();
   const auto start = std::chrono::steady_clock::now();
 
   auto& diags = frontend_.diagnostics();
@@ -131,11 +158,15 @@ const analysis::SafeFlowReport& SafeFlowDriver::analyze() {
   ir::Lowering lowering(frontend_.unit(), *module_, diags);
   if (!lowering.run()) {
     frontend_errors_ = true;
+    stats_.analysis_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    finishPipeline();
     return report_;
   }
   ir::promoteModuleToSsa(*module_);
 
-  countAnnotations();
   stats_.functions = module_->functions().size();
   for (const auto& fn : module_->functions()) {
     if (fn->annotations.is_monitor) ++stats_.monitor_functions;
@@ -167,27 +198,163 @@ const analysis::SafeFlowReport& SafeFlowDriver::analyze() {
 
   // Mirror report entries into the diagnostic stream so tooling that only
   // consumes diagnostics sees everything.
-  for (const auto& w : report_.warnings) {
-    diags.warning(w.location, "safeflow.warning",
-                  "unmonitored read of non-core region '" + w.region_name +
-                      "' in " + w.function);
-  }
-  for (const auto& e : report_.errors) {
-    const bool data = e.kind ==
-                      analysis::CriticalDependencyError::Kind::kData;
-    diags.report(
-        data ? support::Severity::kError : support::Severity::kWarning,
-        e.assert_location,
-        data ? "safeflow.error" : "safeflow.control-dep",
-        "critical value '" + e.critical_value +
-            "' depends on unmonitored non-core values" +
-            (data ? "" : " (control dependence only: review manually)"));
+  {
+    const support::ScopedTimer timer("phase.report");
+    countAnnotations();
+    for (const auto& w : report_.warnings) {
+      diags.warning(w.location, "safeflow.warning",
+                    "unmonitored read of non-core region '" + w.region_name +
+                        "' in " + w.function);
+    }
+    for (const auto& e : report_.errors) {
+      const bool data =
+          e.kind == analysis::CriticalDependencyError::Kind::kData;
+      diags.report(
+          data ? support::Severity::kError : support::Severity::kWarning,
+          e.assert_location,
+          data ? "safeflow.error" : "safeflow.control-dep",
+          "critical value '" + e.critical_value +
+              "' depends on unmonitored non-core values" +
+              (data ? "" : " (control dependence only: review manually)"));
+    }
   }
 
   stats_.analysis_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  finishPipeline();
   return report_;
+}
+
+void SafeFlowDriver::finishPipeline() {
+  if (trace_ != nullptr && pipeline_started_) trace_->endSpan(root_span_);
+
+  stats_.frontend_seconds = metrics_.durationTotalSeconds("phase.frontend");
+  stats_.total_seconds = stats_.frontend_seconds + stats_.analysis_seconds;
+
+  metrics_.gauge("ir.functions").set(static_cast<double>(stats_.functions));
+  metrics_.gauge("shm.regions").set(static_cast<double>(stats_.shm_regions));
+  metrics_.gauge("shm.noncore_regions")
+      .set(static_cast<double>(stats_.noncore_regions));
+
+  stats_.phase_seconds.clear();
+  for (const char* phase : kPhaseOrder) {
+    const std::string key = std::string("phase.") + phase;
+    if (metrics_.durationCount(key) == 0) continue;
+    stats_.phase_seconds.emplace_back(phase,
+                                      metrics_.durationTotalSeconds(key));
+  }
+  const auto snap = metrics_.snapshot();
+  stats_.counters = snap.counters;
+  stats_.gauges = snap.gauges;
+}
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string jsonDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string SafeFlowStats::renderTable() const {
+  std::ostringstream out;
+  out << "== SafeFlow pipeline statistics ==\n";
+  out << "files analyzed        " << files << "\n"
+      << "core LOC              " << loc.code_lines << " (of "
+      << loc.total_lines << " total lines)\n"
+      << "annotations           " << annotation_count << " ("
+      << annotation_lines << " lines)\n"
+      << "functions             " << functions << " ("
+      << monitor_functions << " monitor, " << init_functions << " init)\n"
+      << "shm regions           " << shm_regions << " (" << noncore_regions
+      << " non-core)\n";
+  out << "phase breakdown:\n";
+  char buf[128];
+  for (const auto& [name, seconds] : phase_seconds) {
+    const double share =
+        total_seconds > 0.0 ? 100.0 * seconds / total_seconds : 0.0;
+    std::snprintf(buf, sizeof buf, "  %-20s %10.3f ms  %5.1f%%\n",
+                  name.c_str(), seconds * 1e3, share);
+    out << buf;
+  }
+  std::snprintf(buf, sizeof buf, "  %-20s %10.3f ms\n", "total",
+                total_seconds * 1e3);
+  out << buf;
+  if (!counters.empty()) {
+    out << "counters:\n";
+    for (const auto& [name, value] : counters) {
+      std::snprintf(buf, sizeof buf, "  %-38s %12llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out << buf;
+    }
+  }
+  return out.str();
+}
+
+std::string SafeFlowStats::renderJson() const {
+  std::ostringstream out;
+  out << "{\n  \"schema_version\": 1,\n  \"files\": " << files
+      << ",\n  \"loc\": {\"total_lines\": " << loc.total_lines
+      << ", \"code_lines\": " << loc.code_lines
+      << ", \"comment_lines\": " << loc.comment_lines
+      << ", \"blank_lines\": " << loc.blank_lines << "}"
+      << ",\n  \"annotation_count\": " << annotation_count
+      << ",\n  \"annotation_lines\": " << annotation_lines
+      << ",\n  \"functions\": " << functions
+      << ",\n  \"monitor_functions\": " << monitor_functions
+      << ",\n  \"init_functions\": " << init_functions
+      << ",\n  \"shm_regions\": " << shm_regions
+      << ",\n  \"noncore_regions\": " << noncore_regions
+      << ",\n  \"shm_iterations\": " << shm_iterations
+      << ",\n  \"taint_body_analyses\": " << taint_body_analyses
+      << ",\n  \"frontend_seconds\": " << jsonDouble(frontend_seconds)
+      << ",\n  \"analysis_seconds\": " << jsonDouble(analysis_seconds)
+      << ",\n  \"total_seconds\": " << jsonDouble(total_seconds);
+  out << ",\n  \"phases\": [";
+  for (std::size_t i = 0; i < phase_seconds.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
+        << jsonEscape(phase_seconds[i].first) << "\", \"seconds\": "
+        << jsonDouble(phase_seconds[i].second) << "}";
+  }
+  out << (phase_seconds.empty() ? "]" : "\n  ]");
+  out << ",\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "\"" << jsonEscape(counters[i].first)
+        << "\": " << counters[i].second;
+  }
+  out << "}";
+  out << ",\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "\"" << jsonEscape(gauges[i].first)
+        << "\": " << jsonDouble(gauges[i].second);
+  }
+  out << "}\n}";
+  return out.str();
 }
 
 }  // namespace safeflow

@@ -24,6 +24,7 @@
 #include "cfront/frontend.h"
 #include "ir/ir.h"
 #include "support/loc_counter.h"
+#include "support/metrics.h"
 
 namespace safeflow {
 
@@ -33,6 +34,10 @@ struct SafeFlowOptions {
   analysis::TaintOptions taint;
   analysis::AliasOptions alias;
   analysis::RestrictionOptions restrictions;
+  /// Record hierarchical spans for the whole pipeline (Chrome trace /
+  /// Perfetto export via SafeFlowDriver::trace()). Counters and per-phase
+  /// wall times are always collected; only span recording is optional.
+  bool collect_trace = false;
 };
 
 struct SafeFlowStats {
@@ -47,7 +52,27 @@ struct SafeFlowStats {
   std::size_t noncore_regions = 0;
   std::size_t shm_iterations = 0;
   std::size_t taint_body_analyses = 0;
+  /// Wall time spent in the front end (preprocess + parse, all files).
+  double frontend_seconds = 0.0;
+  /// Wall time of analyze() (lowering through reporting).
   double analysis_seconds = 0.0;
+  /// frontend_seconds + analysis_seconds.
+  double total_seconds = 0.0;
+  /// Per-phase wall time in pipeline order ("frontend", "lowering", "ssa",
+  /// "shm_regions", "callgraph", "shm_propagation", "restrictions",
+  /// "alias", "taint", "report"), backed by the metrics registry.
+  std::vector<std::pair<std::string, double>> phase_seconds;
+  /// Snapshot of every named pipeline counter (e.g.
+  /// "taint.body_analyses"), sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  /// Snapshot of every named gauge (e.g. "alias.objects"), sorted by name.
+  std::vector<std::pair<std::string, double>> gauges;
+
+  /// Human-readable statistics table (what `safeflow --stats` prints).
+  [[nodiscard]] std::string renderTable() const;
+  /// Machine-readable JSON object (snake_case keys, schema_version field);
+  /// the same object `safeflow --stats-json` writes and `--json` embeds.
+  [[nodiscard]] std::string renderJson() const;
 };
 
 class SafeFlowDriver {
@@ -75,16 +100,35 @@ class SafeFlowDriver {
   /// The lowered module (valid after analyze()).
   [[nodiscard]] const ir::Module* module() const { return module_.get(); }
 
+  /// Every counter/gauge/duration the pipeline reported for this driver.
+  [[nodiscard]] const support::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+  [[nodiscard]] support::MetricsRegistry& metrics() { return metrics_; }
+  /// The span collector, or nullptr unless options.collect_trace was set.
+  [[nodiscard]] const support::TraceCollector* trace() const {
+    return trace_.get();
+  }
+
  private:
   void countAnnotations();
+  /// Opens the root span / starts the pipeline clock on first use.
+  void beginPipeline();
+  /// Closes the root span and snapshots the registry into stats_.
+  void finishPipeline();
 
   SafeFlowOptions options_;
+  support::MetricsRegistry metrics_;
+  std::unique_ptr<support::TraceCollector> trace_;
+  support::PipelineObserver observer_;
   cfront::Frontend frontend_;
   std::unique_ptr<ir::Module> module_;
   analysis::SafeFlowReport report_;
   SafeFlowStats stats_;
   bool analyzed_ = false;
   bool frontend_errors_ = false;
+  bool pipeline_started_ = false;
+  std::size_t root_span_ = 0;
 };
 
 }  // namespace safeflow

@@ -10,6 +10,9 @@
 //   --no-control-deps   do not track control dependence
 //   --kill-critical     treat kill's pid argument as implicitly critical
 //   --dot <file>        write the value-flow graph (Graphviz) to <file>
+//   --trace <file>      write a Chrome trace-event JSON of the pipeline
+//   --stats             print the pipeline statistics table to stderr
+//   --stats-json <file> write pipeline statistics as JSON ("-" = stdout)
 //   --quiet             print only the summary line
 //
 // Exit status: 0 clean, 1 error dependencies found, 2 usage/front-end
@@ -34,7 +37,21 @@ void usage() {
          "  --kill-critical     kill's pid argument is critical data\n"
          "  --dot <file>        write the value-flow graph to <file>\n"
          "  --json              print the report as JSON\n"
+         "  --trace <file>      write a Chrome trace (chrome://tracing,\n"
+         "                      Perfetto) of the analysis pipeline\n"
+         "  --stats             print the statistics table to stderr\n"
+         "  --stats-json <file> write statistics as JSON ('-' = stdout)\n"
          "  --quiet             print only the summary line\n";
+}
+
+bool writeFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  out << contents;
+  return true;
 }
 
 }  // namespace
@@ -45,8 +62,11 @@ int main(int argc, char** argv) {
   SafeFlowOptions options;
   std::vector<std::string> files;
   std::string dot_path;
+  std::string trace_path;
+  std::string stats_json_path;
   bool quiet = false;
   bool json = false;
+  bool stats_table = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -71,6 +91,13 @@ int main(int argc, char** argv) {
       options.taint.implicit_critical_calls.emplace_back("kill", 0u);
     } else if (arg == "--dot" && i + 1 < argc) {
       dot_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+      options.collect_trace = true;
+    } else if (arg == "--stats") {
+      stats_table = true;
+    } else if (arg == "--stats-json" && i + 1 < argc) {
+      stats_json_path = argv[++i];
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--quiet") {
@@ -94,18 +121,42 @@ int main(int argc, char** argv) {
   SafeFlowDriver driver(options);
   for (const std::string& f : files) {
     if (!driver.addFile(f)) {
+      // A partial trace still shows where the time went before the
+      // failure.
+      if (!trace_path.empty() && driver.trace() != nullptr) {
+        writeFile(trace_path, driver.trace()->toChromeTraceJson());
+      }
       std::cerr << driver.diagnostics().render(driver.sources());
       return 2;
     }
   }
   const auto& report = driver.analyze();
+  if (!trace_path.empty() && driver.trace() != nullptr) {
+    if (!writeFile(trace_path, driver.trace()->toChromeTraceJson())) return 2;
+  }
+  if (!stats_json_path.empty()) {
+    const std::string stats_json = driver.stats().renderJson() + "\n";
+    if (stats_json_path == "-") {
+      std::cout << stats_json;
+    } else if (!writeFile(stats_json_path, stats_json)) {
+      return 2;
+    }
+  }
+  if (stats_table) {
+    std::cerr << driver.stats().renderTable();
+  }
+  // Keep stdout pure JSON when the stats document goes there.
+  std::ostream& text_out =
+      stats_json_path == "-" ? std::cerr : std::cout;
+
   if (driver.hasFrontendErrors()) {
     std::cerr << driver.diagnostics().render(driver.sources());
     return 2;
   }
 
   if (json) {
-    std::cout << report.renderJson(driver.sources());
+    std::cout << report.renderJson(driver.sources(),
+                                   driver.stats().renderJson());
     if (!dot_path.empty()) {
       std::ofstream out(dot_path);
       out << report.renderValueFlowDot(driver.sources());
@@ -113,9 +164,9 @@ int main(int argc, char** argv) {
     return report.dataErrorCount() > 0 ? 1 : 0;
   }
   if (!quiet) {
-    std::cout << report.render(driver.sources());
+    text_out << report.render(driver.sources());
   }
-  std::cout << "safeflow: " << report.warnings.size() << " warning(s), "
+  text_out << "safeflow: " << report.warnings.size() << " warning(s), "
             << report.dataErrorCount() << " error dependency(ies), "
             << report.controlErrorCount()
             << " control-only (review manually), "
@@ -129,7 +180,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << report.renderValueFlowDot(driver.sources());
-    std::cout << "value-flow graph written to " << dot_path << "\n";
+    text_out << "value-flow graph written to " << dot_path << "\n";
   }
 
   return report.dataErrorCount() > 0 ? 1 : 0;

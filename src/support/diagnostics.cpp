@@ -1,6 +1,9 @@
 #include "support/diagnostics.h"
 
+#include <algorithm>
+#include <set>
 #include <sstream>
+#include <vector>
 
 #include "support/source_manager.h"
 
@@ -37,10 +40,47 @@ std::size_t DiagnosticEngine::countCategoryPrefix(
 }
 
 std::string DiagnosticEngine::render(const SourceManager& sm) const {
+  // Deterministic output regardless of the order files were added or
+  // phases ran: sort by (file name, line, column, severity). The sort is
+  // stable so diagnostics at the same location keep emission order.
+  std::vector<const Diagnostic*> ordered;
+  ordered.reserve(diags_.size());
+  for (const Diagnostic& d : diags_) ordered.push_back(&d);
+  std::stable_sort(
+      ordered.begin(), ordered.end(),
+      [&sm](const Diagnostic* a, const Diagnostic* b) {
+        const std::string_view fa = a->location.file.valid()
+                                        ? sm.name(a->location.file)
+                                        : std::string_view();
+        const std::string_view fb = b->location.file.valid()
+                                        ? sm.name(b->location.file)
+                                        : std::string_view();
+        if (fa != fb) return fa < fb;
+        if (a->location.line != b->location.line) {
+          return a->location.line < b->location.line;
+        }
+        if (a->location.column != b->location.column) {
+          return a->location.column < b->location.column;
+        }
+        return a->severity < b->severity;
+      });
+
   std::ostringstream ss;
-  for (const Diagnostic& d : diags_) {
-    ss << sm.describe(d.location) << ": " << severityName(d.severity) << " ["
-       << d.category << "] " << d.message << '\n';
+  for (const Diagnostic* d : ordered) {
+    ss << sm.describe(d->location) << ": " << severityName(d->severity)
+       << " [" << d->category << "] " << d->message << '\n';
+  }
+  if (!diags_.empty()) {
+    // Per-category totals, grouped by top-level category prefix.
+    std::set<std::string> prefixes;
+    for (const Diagnostic& d : diags_) {
+      prefixes.insert(d.category.substr(0, d.category.find('.')));
+    }
+    ss << diags_.size() << " diagnostic(s):";
+    for (const std::string& prefix : prefixes) {
+      ss << ' ' << prefix << '=' << countCategoryPrefix(prefix);
+    }
+    ss << '\n';
   }
   return ss.str();
 }

@@ -1,0 +1,452 @@
+// Observability layer tests: MetricsRegistry semantics, TraceCollector
+// span nesting and Chrome-trace serialization, observer plumbing, and the
+// driver-level guarantee that every pipeline phase shows up in the trace
+// and the stats breakdown.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "safeflow/driver.h"
+#include "support/metrics.h"
+
+namespace {
+
+using namespace safeflow;
+using support::MetricsRegistry;
+using support::TraceCollector;
+
+// -- minimal JSON well-formedness checker -----------------------------------
+// Recursive-descent validator (values only, no DOM): enough to prove the
+// exported trace/stats documents parse back.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    skipWs();
+    if (!value()) return false;
+    skipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skipWs();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skipWs();
+      if (!string()) return false;
+      skipWs();
+      if (peek() != ':') return false;
+      ++pos_;
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skipWs();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// -- MetricsRegistry --------------------------------------------------------
+
+TEST(MetricsRegistry, CounterSemantics) {
+  MetricsRegistry registry;
+  registry.counter("a").add();
+  registry.counter("a").add(4);
+  registry.counter("b").add(2);
+  EXPECT_EQ(registry.counterValue("a"), 5u);
+  EXPECT_EQ(registry.counterValue("b"), 2u);
+  EXPECT_EQ(registry.counterValue("missing"), 0u);
+}
+
+TEST(MetricsRegistry, CounterReferencesAreStable) {
+  MetricsRegistry registry;
+  MetricsRegistry::Counter& a = registry.counter("a");
+  // Interning more names must not move existing counters.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("filler." + std::to_string(i)).add();
+  }
+  a.add(7);
+  EXPECT_EQ(registry.counterValue("a"), 7u);
+}
+
+TEST(MetricsRegistry, GaugeOverwrites) {
+  MetricsRegistry registry;
+  registry.gauge("g").set(1.5);
+  registry.gauge("g").set(-3.0);
+  EXPECT_DOUBLE_EQ(registry.gaugeValue("g"), -3.0);
+  EXPECT_DOUBLE_EQ(registry.gaugeValue("missing"), 0.0);
+}
+
+TEST(MetricsRegistry, DurationHistogram) {
+  MetricsRegistry registry;
+  MetricsRegistry::DurationStat& d = registry.duration("d");
+  d.record(0.010);
+  d.record(0.002);
+  d.record(0.030);
+  EXPECT_EQ(d.count(), 3u);
+  EXPECT_NEAR(d.totalSeconds(), 0.042, 1e-12);
+  EXPECT_NEAR(d.minSeconds(), 0.002, 1e-12);
+  EXPECT_NEAR(d.maxSeconds(), 0.030, 1e-12);
+  const auto buckets = d.buckets();
+  std::uint64_t in_buckets = 0;
+  for (const std::uint64_t b : buckets) in_buckets += b;
+  EXPECT_EQ(in_buckets, 3u);
+  EXPECT_EQ(registry.durationCount("d"), 3u);
+  EXPECT_EQ(registry.durationCount("missing"), 0u);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.counter("z.last").add();
+  registry.counter("a.first").add();
+  registry.counter("m.middle").add();
+  registry.gauge("beta").set(1);
+  registry.gauge("alpha").set(2);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      snap.counters.begin(), snap.counters.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+  ASSERT_EQ(snap.gauges.size(), 2u);
+  EXPECT_EQ(snap.gauges[0].first, "alpha");
+}
+
+TEST(MetricsRegistry, ClearDropsEverything) {
+  MetricsRegistry registry;
+  registry.counter("c").add();
+  registry.gauge("g").set(1);
+  registry.duration("d").record(0.001);
+  registry.clear();
+  const auto snap = registry.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.durations.empty());
+}
+
+// -- TraceCollector ---------------------------------------------------------
+
+TEST(TraceCollector, NestedSpansBalanceAndParent) {
+  TraceCollector trace;
+  const std::size_t outer = trace.beginSpan("outer");
+  const std::size_t inner = trace.beginSpan("inner");
+  EXPECT_EQ(trace.openSpanCount(), 2u);
+  trace.endSpan(inner);
+  trace.endSpan(outer);
+  EXPECT_EQ(trace.openSpanCount(), 0u);
+
+  const auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_GE(spans[1].start_us, spans[0].start_us);
+  EXPECT_GE(spans[0].dur_us, spans[1].dur_us);
+}
+
+TEST(TraceCollector, EndingParentClosesOpenChildren) {
+  TraceCollector trace;
+  const std::size_t outer = trace.beginSpan("outer");
+  (void)trace.beginSpan("leaked-child");
+  trace.endSpan(outer);  // early return in the instrumented code
+  EXPECT_EQ(trace.openSpanCount(), 0u);
+}
+
+TEST(TraceCollector, ChromeTraceJsonIsWellFormed) {
+  TraceCollector trace;
+  const std::size_t outer = trace.beginSpan("pipeline");
+  trace.setArg(outer, "file", "core \"quoted\".c");
+  const std::size_t inner = trace.beginSpan("parse");
+  trace.endSpan(inner);
+  trace.endSpan(outer);
+
+  const std::string json = trace.toChromeTraceJson();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pipeline\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST(TraceCollector, SelfTimeTableListsEverySpanName) {
+  TraceCollector trace;
+  const std::size_t outer = trace.beginSpan("outer");
+  const std::size_t inner = trace.beginSpan("inner");
+  trace.endSpan(inner);
+  trace.endSpan(outer);
+  const std::string table = trace.selfTimeTable();
+  EXPECT_NE(table.find("outer"), std::string::npos);
+  EXPECT_NE(table.find("inner"), std::string::npos);
+}
+
+// -- observer plumbing ------------------------------------------------------
+
+TEST(Observer, MacrosNoOpWithoutObserver) {
+  ASSERT_EQ(support::currentObserver(), nullptr);
+  SAFEFLOW_COUNT("nobody.listening");  // must not crash
+  SAFEFLOW_GAUGE("nobody.gauge", 1.0);
+  EXPECT_EQ(support::counterHandle("nobody.listening"), nullptr);
+}
+
+TEST(Observer, ScopedObserverInstallsAndRestores) {
+  MetricsRegistry registry;
+  support::PipelineObserver obs{&registry, nullptr};
+  {
+    const support::ScopedObserver install(&obs);
+    EXPECT_EQ(support::currentObserver(), &obs);
+    SAFEFLOW_COUNT("seen");
+    {
+      const support::ScopedObserver suppress(nullptr);
+      SAFEFLOW_COUNT("not.seen");
+    }
+    SAFEFLOW_COUNT("seen");
+  }
+  EXPECT_EQ(support::currentObserver(), nullptr);
+  EXPECT_EQ(registry.counterValue("seen"), 2u);
+  EXPECT_EQ(registry.counterValue("not.seen"), 0u);
+}
+
+TEST(Observer, ScopedSpanRecordsIntoCurrentTrace) {
+  TraceCollector trace;
+  support::PipelineObserver obs{nullptr, &trace};
+  {
+    const support::ScopedObserver install(&obs);
+    support::ScopedSpan span("scoped");
+    span.arg("k", "v");
+  }
+  ASSERT_EQ(trace.spanCount(), 1u);
+  EXPECT_EQ(trace.openSpanCount(), 0u);
+  EXPECT_EQ(trace.spans()[0].name, "scoped");
+  ASSERT_EQ(trace.spans()[0].args.size(), 1u);
+  EXPECT_EQ(trace.spans()[0].args[0].first, "k");
+}
+
+// -- driver-level pipeline coverage -----------------------------------------
+
+constexpr const char* kShmProgram = R"(
+struct state { int mode; float speed; };
+struct state *cell;
+void sink(float v);
+int shmat(int id, int addr, int flags);
+
+void init(void)
+{
+    cell = (struct state *) shmat(1, 0, 0);
+    /*** SafeFlow Annotation assume(shmvar(cell, sizeof(struct state))) ***/
+    /*** SafeFlow Annotation assume(noncore(cell)) ***/
+}
+
+float helper(float x)
+{
+    return x * 2.0f;
+}
+
+int main(void)
+{
+    float out;
+    init();
+    out = helper(cell->speed);
+    /*** SafeFlow Annotation assert(safe(out)); ***/
+    sink(out);
+    return 0;
+}
+)";
+
+TEST(DriverObservability, EveryPhaseAppearsExactlyOnceAsSpan) {
+  SafeFlowOptions options;
+  options.collect_trace = true;
+  SafeFlowDriver driver(options);
+  ASSERT_TRUE(driver.addSource("core.c", kShmProgram));
+  driver.analyze();
+
+  ASSERT_NE(driver.trace(), nullptr);
+  EXPECT_EQ(driver.trace()->openSpanCount(), 0u);
+  const auto spans = driver.trace()->spans();
+
+  const auto count = [&spans](std::string_view name) {
+    return std::count_if(spans.begin(), spans.end(),
+                         [name](const TraceCollector::Span& s) {
+                           return s.name == name;
+                         });
+  };
+  EXPECT_EQ(count("safeflow.pipeline"), 1);
+  for (const char* phase :
+       {"phase.frontend", "phase.lowering", "phase.ssa", "phase.shm_regions",
+        "phase.callgraph", "phase.shm_propagation", "phase.restrictions",
+        "phase.alias", "phase.taint", "phase.report"}) {
+    EXPECT_EQ(count(phase), 1) << phase;
+  }
+
+  // Phase spans are children of the root pipeline span.
+  for (const auto& span : spans) {
+    if (span.name.rfind("phase.", 0) == 0) {
+      EXPECT_EQ(span.parent, 0) << span.name;
+    }
+  }
+
+  const std::string json = driver.trace()->toChromeTraceJson();
+  EXPECT_TRUE(JsonChecker(json).valid());
+}
+
+TEST(DriverObservability, StatsBreakdownCoversThePipeline) {
+  SafeFlowOptions options;
+  options.collect_trace = true;
+  SafeFlowDriver driver(options);
+  ASSERT_TRUE(driver.addSource("core.c", kShmProgram));
+  driver.analyze();
+
+  const SafeFlowStats& stats = driver.stats();
+  EXPECT_GT(stats.total_seconds, 0.0);
+  EXPECT_FALSE(stats.phase_seconds.empty());
+
+  double phase_sum = 0.0;
+  for (const auto& [name, seconds] : stats.phase_seconds) {
+    EXPECT_GE(seconds, 0.0) << name;
+    phase_sum += seconds;
+  }
+  // The per-phase breakdown accounts for the bulk of the root span: the
+  // phases cover everything except cheap glue in the driver.
+  const auto spans = driver.trace()->spans();
+  ASSERT_FALSE(spans.empty());
+  const double root_seconds = spans[0].dur_us / 1e6;
+  EXPECT_GT(phase_sum, 0.0);
+  EXPECT_LE(phase_sum, root_seconds * 1.20);
+  EXPECT_GE(phase_sum, root_seconds * 0.50);
+
+  // Registry counters surfaced in the stats snapshot.
+  EXPECT_EQ(driver.metrics().counterValue("taint.body_analyses"),
+            stats.taint_body_analyses);
+  const auto has_counter = [&stats](std::string_view name) {
+    return std::any_of(stats.counters.begin(), stats.counters.end(),
+                       [name](const auto& kv) { return kv.first == name; });
+  };
+  EXPECT_TRUE(has_counter("frontend.files"));
+  EXPECT_TRUE(has_counter("lowering.functions"));
+  EXPECT_TRUE(has_counter("taint.body_analyses"));
+}
+
+TEST(DriverObservability, StatsJsonIsWellFormedSnakeCase) {
+  SafeFlowDriver driver;
+  ASSERT_TRUE(driver.addSource("core.c", kShmProgram));
+  driver.analyze();
+
+  const std::string json = driver.stats().renderJson();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"analysis_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"phases\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  // snake_case only: no camelCase keys.
+  EXPECT_EQ(json.find("\"analysisSeconds\""), std::string::npos);
+
+  const std::string table = driver.stats().renderTable();
+  EXPECT_NE(table.find("phase breakdown"), std::string::npos);
+  EXPECT_NE(table.find("taint"), std::string::npos);
+}
+
+TEST(DriverObservability, ReportJsonEmbedsStatsWithSharedSchema) {
+  SafeFlowDriver driver;
+  ASSERT_TRUE(driver.addSource("core.c", kShmProgram));
+  const auto& report = driver.analyze();
+
+  const std::string json =
+      report.renderJson(driver.sources(), driver.stats().renderJson());
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"stats\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_seconds\""), std::string::npos);
+
+  // Without the stats object the report stays valid and carries its own
+  // schema_version.
+  const std::string bare = report.renderJson(driver.sources());
+  EXPECT_TRUE(JsonChecker(bare).valid()) << bare;
+  EXPECT_NE(bare.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_EQ(bare.find("\"stats\""), std::string::npos);
+}
+
+TEST(DriverObservability, TracingOffByDefault) {
+  SafeFlowDriver driver;
+  ASSERT_TRUE(driver.addSource("core.c", kShmProgram));
+  driver.analyze();
+  EXPECT_EQ(driver.trace(), nullptr);
+  // Counters are still collected.
+  EXPECT_GT(driver.metrics().counterValue("frontend.files"), 0u);
+}
+
+}  // namespace
