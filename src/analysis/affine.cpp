@@ -75,7 +75,7 @@ bool constantsFeasible(const std::vector<LinearConstraint>& cs) {
 
 }  // namespace
 
-bool LinearSystem::isFeasible() const {
+bool LinearSystem::isFeasible(support::AnalysisBudget* budget) const {
   std::vector<LinearConstraint> work = constraints_;
 
   for (int var = 0; var < num_vars_; ++var) {
@@ -109,6 +109,9 @@ bool LinearSystem::isFeasible() const {
     for (const LinearConstraint& lo : lowers) {
       const std::int64_t a = lo.coeffs.at(var);
       for (const LinearConstraint& up : uppers) {
+        // Out of budget mid-elimination: the system is unprovable, which
+        // the contract maps to "feasible" (violation gets reported).
+        if (!support::budgetStep(budget)) return true;
         const std::int64_t b = -up.coeffs.at(var);
         LinearConstraint combined;
         for (const auto& [v, coeff] : lo.coeffs) {

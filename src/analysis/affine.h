@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "support/limits.h"
+
 namespace safeflow::analysis {
 
 /// sum(coeff[i] * var[i]) + constant >= 0
@@ -44,8 +46,13 @@ class LinearSystem {
   /// tightening; exact for the two-variables-per-inequality systems the
   /// restriction checker generates, conservative (may report feasible) in
   /// the general case — conservative here means a bounds *violation* may
-  /// be reported that cannot actually occur, never the reverse.
-  [[nodiscard]] bool isFeasible() const;
+  /// be reported that cannot actually occur, never the reverse. Each
+  /// derived constraint accounts one budget step; if the budget trips
+  /// mid-elimination the answer is "feasible" (the constraint system is
+  /// unprovable, so the checker reports the violation), which errs the
+  /// same safe direction.
+  [[nodiscard]] bool isFeasible(
+      support::AnalysisBudget* budget = nullptr) const;
 
   [[nodiscard]] std::string str() const;
 

@@ -7,11 +7,13 @@ namespace safeflow::analysis {
 AliasAnalysis::AliasAnalysis(const ir::Module& module,
                              const ShmRegionTable& regions,
                              const ir::CallGraph& callgraph,
-                             AliasOptions options)
+                             AliasOptions options,
+                             support::AnalysisBudget* budget)
     : module_(module),
       regions_(regions),
       callgraph_(callgraph),
-      options_(options) {
+      options_(options),
+      budget_(budget) {
   ObjInfo unknown;
   unknown.kind = ObjInfo::Kind::kUnknown;
   unknown.name = "<unknown>";
@@ -87,7 +89,9 @@ bool AliasAnalysis::addAll(const ir::Value* v, const std::set<ObjId>& objs) {
 
 void AliasAnalysis::run() {
   const support::ScopedTimer timer("phase.alias");
+  support::budgetBeginPhase(budget_, "alias");
   std::size_t rounds = 0;
+  bool live = true;
   // Region objects.
   for (const ShmRegion& r : regions_.regions()) {
     ObjInfo info;
@@ -104,13 +108,19 @@ void AliasAnalysis::run() {
   }
 
   bool changed = true;
-  while (changed) {
+  while (changed && live) {
     changed = false;
     ++rounds;
     for (const auto& fn : module_.functions()) {
+      if (!live) break;
       if (!fn->isDefined()) continue;
       for (const auto& bb : fn->blocks()) {
+        if (!live) break;
         for (const auto& inst : bb->instructions()) {
+          if (!support::budgetStep(budget_)) {
+            live = false;
+            break;
+          }
           switch (inst->opcode()) {
             case ir::Opcode::kAlloca:
               changed |= addPointsTo(inst.get(),
@@ -228,6 +238,13 @@ void AliasAnalysis::run() {
         }
       }
     }
+  }
+  if (!live) {
+    // Fixpoint cut short: points-to sets may under-approximate. Make every
+    // partially-resolved pointer also point at the unknown object so
+    // consumers fall back to their external/unresolved (unsafe) handling.
+    for (auto& [v, objs] : points_to_) objs.insert(unknown_);
+    for (auto& [obj, objs] : contents_) objs.insert(unknown_);
   }
   std::size_t edges = 0;
   for (const auto& [v, objs] : points_to_) edges += objs.size();

@@ -14,6 +14,7 @@
 #include "analysis/shm_regions.h"
 #include "ir/callgraph.h"
 #include "ir/ir.h"
+#include "support/limits.h"
 
 namespace safeflow::analysis {
 
@@ -26,8 +27,12 @@ struct AliasOptions {
 class AliasAnalysis {
  public:
   AliasAnalysis(const ir::Module& module, const ShmRegionTable& regions,
-                const ir::CallGraph& callgraph, AliasOptions options = {});
+                const ir::CallGraph& callgraph, AliasOptions options = {},
+                support::AnalysisBudget* budget = nullptr);
 
+  /// Runs to a fixpoint, or until the budget trips. On exhaustion every
+  /// tracked pointer additionally points at the unknown object, so
+  /// consumers treat partially-resolved pointers as unresolved (unsafe).
   void run();
 
   /// Objects the pointer value may point at (empty when not a pointer or
@@ -74,6 +79,7 @@ class AliasAnalysis {
   const ShmRegionTable& regions_;
   const ir::CallGraph& callgraph_;
   AliasOptions options_;
+  support::AnalysisBudget* budget_ = nullptr;
 
   std::vector<ObjInfo> infos_;
   std::map<const ir::Value*, ObjId> value_objects_;

@@ -102,6 +102,24 @@ std::string SafeFlowReport::renderJson(
   out << ",\n  \"asserts_checked\": " << asserts_checked
       << ",\n  \"data_errors\": " << dataErrorCount()
       << ",\n  \"control_only\": " << controlErrorCount();
+  // Degradation markers are emitted only when present so a full run's
+  // report stays byte-identical to builds without the budget layer.
+  if (!degraded_phases.empty()) {
+    out << ",\n  \"degraded\": true,\n  \"degraded_phases\": [";
+    for (std::size_t i = 0; i < degraded_phases.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << "\"" << jsonEscape(degraded_phases[i])
+          << "\"";
+    }
+    out << "]";
+  }
+  if (!failed_files.empty()) {
+    out << ",\n  \"failed_files\": [";
+    for (std::size_t i = 0; i < failed_files.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << "\"" << jsonEscape(failed_files[i])
+          << "\"";
+    }
+    out << "]";
+  }
   if (!stats_json.empty()) {
     // Indent the embedded object to match the surrounding document.
     std::string indented;
@@ -206,6 +224,17 @@ std::string SafeFlowReport::render(const support::SourceManager& sm) const {
   }
   for (const std::string& check : required_runtime_checks) {
     out << "  [runtime-check] " << check << "\n";
+  }
+  for (const std::string& f : failed_files) {
+    out << "  [partial] '" << f
+        << "' had parse errors; results cover the declarations that "
+           "survived recovery\n";
+  }
+  if (!degraded_phases.empty()) {
+    out << "DEGRADED: analysis budget exhausted in";
+    for (const std::string& p : degraded_phases) out << " " << p;
+    out << "; results are conservative (findings valid, absences "
+           "unproven)\n";
   }
   return out.str();
 }

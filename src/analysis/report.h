@@ -53,6 +53,14 @@ struct SafeFlowReport {
   std::size_t asserts_checked = 0;
   /// Runtime checks the tool requires at bootstrap (paper's InitCheck).
   std::vector<std::string> required_runtime_checks;
+  /// Phases whose analysis budget tripped (--time-budget/--step-budget).
+  /// Non-empty means the run degraded: findings above are still valid but
+  /// the absence of a finding proves nothing. Empty on a full run, and
+  /// then absent from every rendering.
+  std::vector<std::string> degraded_phases;
+  /// Input files the front end could not fully parse (per-file isolation:
+  /// analysis continued on the declarations that survived recovery).
+  std::vector<std::string> failed_files;
 
   [[nodiscard]] std::size_t dataErrorCount() const;
   [[nodiscard]] std::size_t controlErrorCount() const;

@@ -44,19 +44,25 @@ bool reachableAvoiding(const ir::BasicBlock* from,
 RestrictionChecker::RestrictionChecker(const ir::Module& module,
                                        const ShmRegionTable& regions,
                                        const ShmPointerAnalysis& shm,
-                                       RestrictionOptions options)
+                                       RestrictionOptions options,
+                                       support::AnalysisBudget* budget)
     : module_(module),
       regions_(regions),
       shm_(shm),
-      options_(std::move(options)) {}
+      options_(std::move(options)),
+      budget_(budget) {}
 
 std::vector<RestrictionViolation> RestrictionChecker::run(
     support::DiagnosticEngine& diags) {
   const support::ScopedTimer timer("phase.restrictions");
+  support::budgetBeginPhase(budget_, "restrictions");
   std::vector<RestrictionViolation> out;
   for (const auto& fn : module_.functions()) {
     if (!fn->isDefined()) continue;
     if (regions_.isInitFunction(fn.get())) continue;  // shminit is exempt
+    // Out of budget: remaining functions go unchecked, so the run must
+    // not certify — the driver flags the phase degraded and exits nonzero.
+    if (!support::budgetStep(budget_)) break;
     SAFEFLOW_COUNT("restrictions.functions_checked");
     checkFunction(*fn, out);
   }
@@ -236,7 +242,7 @@ void RestrictionChecker::checkIndexAddr(
       c.constant = -affine.constant - base_elems - 1;
       low.add(std::move(c));
       SAFEFLOW_COUNT("restrictions.a2_solver_calls");
-      if (low.isFeasible()) {
+      if (low.isFeasible(budget_)) {
         out.push_back(RestrictionViolation{
             "A2", gep.location(),
             "index into shared array '" + region->name +
@@ -255,7 +261,7 @@ void RestrictionChecker::checkIndexAddr(
       c.constant = affine.constant + base_elems - count;
       high.add(std::move(c));
       SAFEFLOW_COUNT("restrictions.a2_solver_calls");
-      if (high.isFeasible()) {
+      if (high.isFeasible(budget_)) {
         out.push_back(RestrictionViolation{
             "A2", gep.location(),
             "index into shared array '" + region->name +

@@ -22,6 +22,7 @@
 #include "analysis/shm_regions.h"
 #include "ir/ir.h"
 #include "support/diagnostics.h"
+#include "support/limits.h"
 
 namespace safeflow::analysis {
 
@@ -42,7 +43,8 @@ class RestrictionChecker {
  public:
   RestrictionChecker(const ir::Module& module, const ShmRegionTable& regions,
                      const ShmPointerAnalysis& shm,
-                     RestrictionOptions options = {});
+                     RestrictionOptions options = {},
+                     support::AnalysisBudget* budget = nullptr);
 
   /// Runs all checks; violations are returned and also reported as
   /// "restriction.<rule>" diagnostics.
@@ -75,6 +77,7 @@ class RestrictionChecker {
   const ShmRegionTable& regions_;
   const ShmPointerAnalysis& shm_;
   RestrictionOptions options_;
+  support::AnalysisBudget* budget_ = nullptr;
 };
 
 }  // namespace safeflow::analysis

@@ -43,8 +43,12 @@ bool ShmPtrInfo::merge(const ShmPtrInfo& other) {
 
 ShmPointerAnalysis::ShmPointerAnalysis(const ir::Module& module,
                                        const ShmRegionTable& regions,
-                                       const ir::CallGraph& callgraph)
-    : module_(module), regions_(regions), callgraph_(callgraph) {}
+                                       const ir::CallGraph& callgraph,
+                                       support::AnalysisBudget* budget)
+    : module_(module),
+      regions_(regions),
+      callgraph_(callgraph),
+      budget_(budget) {}
 
 ShmPtrInfo ShmPointerAnalysis::get(const ir::Value* v) const {
   auto it = facts_.find(v);
@@ -78,6 +82,7 @@ bool ShmPointerAnalysis::update(const ir::Value* v,
 void ShmPointerAnalysis::run() {
   const support::ScopedTimer timer("phase.shm_propagation");
   if (regions_.empty()) return;
+  support::budgetBeginPhase(budget_, "shm_propagation");
   support::MetricsRegistry::Counter* pushes =
       support::counterHandle("shm_propagation.worklist_pushes");
 
@@ -95,6 +100,7 @@ void ShmPointerAnalysis::run() {
   }
 
   while (!worklist.empty()) {
+    if (!support::budgetStep(budget_)) break;
     const ir::Function* fn = worklist.front();
     worklist.pop_front();
     queued.erase(fn);
@@ -133,6 +139,14 @@ void ShmPointerAnalysis::run() {
       }
     }
   }
+  if (budget_ != nullptr && budget_->exhausted()) {
+    // The fixpoint was cut short, so remaining facts may under-approximate
+    // offsets. Widen every fact to "anywhere within its regions": coverage
+    // checks then flag (rather than certify) every access the partial
+    // analysis could not pin down.
+    for (auto& [value, info] : facts_) widen(info);
+    for (auto& [fn, info] : returns_) widen(info);
+  }
   SAFEFLOW_COUNT_N("shm_propagation.iterations", iterations_);
   SAFEFLOW_COUNT_N("shm_propagation.values_tracked", facts_.size());
 }
@@ -146,6 +160,7 @@ bool ShmPointerAnalysis::analyzeFunction(const ir::Function& fn) {
     any_change = false;
     for (const auto& bb : fn.blocks()) {
       for (const auto& inst : bb->instructions()) {
+        if (!support::budgetStep(budget_)) return ret_changed;
         switch (inst->opcode()) {
           case ir::Opcode::kLoad: {
             // Loading the region's global pointer variable yields a pointer

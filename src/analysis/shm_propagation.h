@@ -14,6 +14,7 @@
 #include "analysis/shm_regions.h"
 #include "ir/callgraph.h"
 #include "ir/ir.h"
+#include "support/limits.h"
 
 namespace safeflow::analysis {
 
@@ -34,8 +35,12 @@ struct ShmPtrInfo {
 class ShmPointerAnalysis {
  public:
   ShmPointerAnalysis(const ir::Module& module, const ShmRegionTable& regions,
-                     const ir::CallGraph& callgraph);
+                     const ir::CallGraph& callgraph,
+                     support::AnalysisBudget* budget = nullptr);
 
+  /// Runs to a fixpoint, or until the budget trips. On exhaustion every
+  /// recorded fact is widened to "anywhere within its regions" so
+  /// downstream coverage checks degrade toward reporting, not certifying.
   void run();
 
   /// Shm info for a value, or nullptr when the value cannot point into
@@ -60,6 +65,7 @@ class ShmPointerAnalysis {
   const ir::Module& module_;
   const ShmRegionTable& regions_;
   const ir::CallGraph& callgraph_;
+  support::AnalysisBudget* budget_ = nullptr;
 
   std::map<const ir::Value*, ShmPtrInfo> facts_;
   std::map<const ir::Value*, unsigned> update_counts_;

@@ -45,13 +45,15 @@ TaintAnalysis::TaintAnalysis(const ir::Module& module,
                              const ShmPointerAnalysis& shm,
                              const AliasAnalysis& alias,
                              const ir::CallGraph& callgraph,
-                             TaintOptions options)
+                             TaintOptions options,
+                             support::AnalysisBudget* budget)
     : module_(module),
       regions_(regions),
       shm_(shm),
       alias_(alias),
       callgraph_(callgraph),
-      options_(options) {}
+      options_(options),
+      budget_(budget) {}
 
 // ---------------------------------------------------------------------------
 // Assumptions
@@ -326,6 +328,9 @@ Taint TaintAnalysis::blockControlTaint(const ir::BasicBlock* bb) const {
 bool TaintAnalysis::analyzeFunction(const ir::Function& fn,
                                     const AssumptionSet& assumptions,
                                     unsigned depth) {
+  // Once the budget trips, report "no change" so every enclosing fixpoint
+  // (the SCC sweep, the per-context while loop) terminates immediately.
+  if (budget_ != nullptr && budget_->exhausted()) return false;
   ++body_analyses_;
   SAFEFLOW_COUNT("taint.body_analyses");
   support::ScopedSpan span("taint.function");
@@ -351,6 +356,7 @@ bool TaintAnalysis::analyzeFunction(const ir::Function& fn,
         block_control = blockControlTaint(bb.get());
       }
       for (const auto& inst : bb->instructions()) {
+        if (!support::budgetStep(budget_)) return false;
         TaintPair result;
         switch (inst->opcode()) {
           case ir::Opcode::kLoad:
@@ -569,6 +575,7 @@ TaintPair TaintAnalysis::analyzeInContext(const ir::Function& fn,
 
 void TaintAnalysis::run(SafeFlowReport& report) {
   const support::ScopedTimer timer("phase.taint");
+  support::budgetBeginPhase(budget_, "taint");
   {
     const support::ScopedSpan span("taint.assumptions");
     computeLocalAssumptions();

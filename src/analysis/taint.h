@@ -36,6 +36,7 @@
 #include "analysis/shm_regions.h"
 #include "ir/callgraph.h"
 #include "ir/ir.h"
+#include "support/limits.h"
 
 namespace safeflow::analysis {
 
@@ -104,9 +105,14 @@ class TaintAnalysis {
  public:
   TaintAnalysis(const ir::Module& module, const ShmRegionTable& regions,
                 const ShmPointerAnalysis& shm, const AliasAnalysis& alias,
-                const ir::CallGraph& callgraph, TaintOptions options = {});
+                const ir::CallGraph& callgraph, TaintOptions options = {},
+                support::AnalysisBudget* budget = nullptr);
 
-  /// Runs the analysis and fills in warnings and errors.
+  /// Runs the analysis and fills in warnings and errors. Under an
+  /// exhausted budget the propagation fixpoint stops early: taints found
+  /// so far are still reported, and the driver marks the run degraded
+  /// (budget diagnostic, non-zero exit) because unprocessed flows may be
+  /// missing — a degraded run never certifies (see DESIGN.md).
   void run(SafeFlowReport& report);
 
   [[nodiscard]] const AssumptionSet& effectiveAssumptions(
@@ -176,6 +182,7 @@ class TaintAnalysis {
   const AliasAnalysis& alias_;
   const ir::CallGraph& callgraph_;
   TaintOptions options_;
+  support::AnalysisBudget* budget_ = nullptr;
 
   std::map<const ir::Function*, AssumptionSet> local_assumptions_;
   std::map<const ir::Function*, AssumptionSet> effective_;

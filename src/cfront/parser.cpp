@@ -43,7 +43,7 @@ int binaryPrecedence(TokenKind k) {
   }
 }
 
-BinaryOp binaryOpFor(TokenKind k) {
+std::optional<BinaryOp> binaryOpFor(TokenKind k) {
   switch (k) {
     case TokenKind::kStar: return BinaryOp::kMul;
     case TokenKind::kSlash: return BinaryOp::kDiv;
@@ -63,7 +63,10 @@ BinaryOp binaryOpFor(TokenKind k) {
     case TokenKind::kPipe: return BinaryOp::kBitOr;
     case TokenKind::kAmpAmp: return BinaryOp::kLogAnd;
     case TokenKind::kPipePipe: return BinaryOp::kLogOr;
-    default: assert(false); return BinaryOp::kAdd;
+    // A token kind with a binary precedence but no mapping here is a
+    // parser-table bug; report it instead of asserting so release builds
+    // degrade to a diagnostic rather than UB.
+    default: return std::nullopt;
   }
 }
 
@@ -108,7 +111,12 @@ std::int64_t charLiteralValue(const std::string& text) {
 Parser::Parser(std::vector<Token> tokens, TypeContext& types,
                support::DiagnosticEngine& diags)
     : tokens_(std::move(tokens)), types_(types), diags_(diags) {
-  assert(!tokens_.empty() && tokens_.back().is(TokenKind::kEof));
+  // peek()/advance() rely on a trailing EOF sentinel; repair the stream
+  // rather than asserting so a truncated token vector (e.g. from a
+  // mutated/fuzzed input path) cannot index out of bounds.
+  if (tokens_.empty() || !tokens_.back().is(TokenKind::kEof)) {
+    tokens_.push_back(Token{});  // default Token is an EOF token
+  }
 }
 
 const Token& Parser::peek(std::size_t ahead) const {
@@ -142,12 +150,19 @@ bool Parser::expect(TokenKind k, std::string_view context) {
 void Parser::synchronizeToSemi() {
   int depth = 0;
   while (!check(TokenKind::kEof)) {
-    if (check(TokenKind::kLBrace)) ++depth;
-    if (check(TokenKind::kRBrace)) {
+    if (check(TokenKind::kLBrace)) {
+      ++depth;
+    } else if (check(TokenKind::kRBrace)) {
+      // A close brace at depth 0 belongs to an enclosing block; leave it
+      // for the caller. One that balances a brace we skipped most likely
+      // ends the bad definition's body — resume right after it so the
+      // declarations that follow still parse.
       if (depth == 0) return;
       --depth;
-    }
-    if (check(TokenKind::kSemi) && depth == 0) {
+      advance();
+      if (depth == 0) return;
+      continue;
+    } else if (check(TokenKind::kSemi) && depth == 0) {
       advance();
       return;
     }
@@ -156,7 +171,8 @@ void Parser::synchronizeToSemi() {
 }
 
 void Parser::declareValue(const std::string& name, const ValueDecl* decl) {
-  assert(!scopes_.empty());
+  if (scopes_.empty()) scopes_.emplace_back();  // error recovery may have
+                                                // unwound the file scope
   scopes_.back().values[name] = decl;
 }
 
@@ -334,7 +350,7 @@ const Type* Parser::parseEnumSpecifier() {
                        "enumerator value must be constant");
         }
       }
-      assert(!scopes_.empty());
+      if (scopes_.empty()) scopes_.emplace_back();
       scopes_.back().enum_constants[name] = next_value;
       ++next_value;
       if (!accept(TokenKind::kComma)) break;
@@ -837,7 +853,14 @@ ExprPtr Parser::parseBinary(int min_prec) {
     const SourceLocation loc = advance().location;
     ExprPtr rhs = parseBinary(prec + 1);
     if (rhs == nullptr) break;
-    const BinaryOp op = binaryOpFor(k);
+    const std::optional<BinaryOp> mapped = binaryOpFor(k);
+    if (!mapped.has_value()) {
+      diags_.error(loc, "parse",
+                   "unsupported binary operator '" +
+                       std::string(tokenKindName(k)) + "'");
+      break;
+    }
+    const BinaryOp op = *mapped;
     const Type* t = types_.intType();
     switch (op) {
       case BinaryOp::kAdd:

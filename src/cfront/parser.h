@@ -41,7 +41,11 @@ class Parser {
     std::map<std::string, std::int64_t> enum_constants;
   };
   void pushScope() { scopes_.emplace_back(); }
-  void popScope() { scopes_.pop_back(); }
+  void popScope() {
+    // Unbalanced pops can happen during panic-mode recovery; popping an
+    // empty stack would be UB.
+    if (!scopes_.empty()) scopes_.pop_back();
+  }
   void declareValue(const std::string& name, const ValueDecl* decl);
   [[nodiscard]] const ValueDecl* lookupValue(const std::string& name) const;
   [[nodiscard]] const std::int64_t* lookupEnumConstant(

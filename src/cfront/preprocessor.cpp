@@ -54,7 +54,9 @@ Token Preprocessor::rawNext() {
 }
 
 void Preprocessor::pushBack(Token t) {
-  assert(!frames_.empty() && "pushback with no active file");
+  // With every file frame already popped (truncated input), the stream is
+  // at EOF and the pushed-back token can only be dropped.
+  if (frames_.empty()) return;
   frames_.back().pushback.push_back(std::move(t));
 }
 

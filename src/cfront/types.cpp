@@ -43,7 +43,10 @@ int StructType::fieldIndex(std::string_view name) const {
 }
 
 void StructType::complete(std::vector<StructField> fields) {
-  assert(!complete_ && "struct completed twice");
+  // A struct redefinition reaches here only on an already-diagnosed TU
+  // (the parser checks isComplete() first); keep the first layout so
+  // existing field offsets stay stable.
+  if (complete_) return;
   std::uint64_t offset = 0;
   std::uint64_t align = 1;
   for (StructField& f : fields) {

@@ -23,7 +23,9 @@ BinOp lowerBinOp(cfront::BinaryOp op) {
     case cfront::BinaryOp::kBitXor: return BinOp::kXor;
     case cfront::BinaryOp::kShl: return BinOp::kShl;
     case cfront::BinaryOp::kShr: return BinOp::kShr;
-    default: assert(false && "not an arithmetic op"); return BinOp::kAdd;
+    // Unexpected op (possible on error-recovery AST): fall back to kAdd —
+    // wrong arithmetic on an already-diagnosed TU, never UB.
+    default: return BinOp::kAdd;
   }
 }
 
@@ -35,7 +37,8 @@ CmpOp lowerCmpOp(cfront::BinaryOp op) {
     case cfront::BinaryOp::kGe: return CmpOp::kGe;
     case cfront::BinaryOp::kEq: return CmpOp::kEq;
     case cfront::BinaryOp::kNe: return CmpOp::kNe;
-    default: assert(false && "not a comparison"); return CmpOp::kEq;
+    // Same rationale as lowerBinOp's default.
+    default: return CmpOp::kEq;
   }
 }
 
@@ -99,7 +102,13 @@ Function* Lowering::intrinsic(std::string_view name) {
 }
 
 Instruction* Lowering::emit(Opcode op, const Type* type, SourceLocation loc) {
-  assert(block_ != nullptr);
+  if (block_ == nullptr) {
+    // Error recovery can reach an expression with no live block (e.g. a
+    // recovered statement after a terminator); absorb the instructions
+    // into a detached block instead of dereferencing null.
+    block_ =
+        fn_->createBlock("unreachable." + std::to_string(label_counter_++));
+  }
   auto inst = std::make_unique<Instruction>(op, type, loc);
   return block_->append(std::move(inst));
 }
@@ -672,8 +681,12 @@ Value* Lowering::rvalue(const Expr& e) {
     case Expr::Kind::kUnary: {
       const auto& u = static_cast<const cfront::UnaryExpr&>(e);
       switch (u.op()) {
-        case cfront::UnaryOp::kAddrOf:
-          return lvalue(*u.operand());
+        case cfront::UnaryOp::kAddrOf: {
+          // lvalue() returns null for storage-less operands (already
+          // diagnosed); an undef address keeps the operand list dense.
+          Value* addr = lvalue(*u.operand());
+          return addr == nullptr ? module_.undef(e.type()) : addr;
+        }
         case cfront::UnaryOp::kDeref: {
           Value* addr = lvalue(e);
           if (addr == nullptr) return module_.undef(e.type());

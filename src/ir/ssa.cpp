@@ -55,10 +55,11 @@ struct Renamer {
         }
         continue;
       }
-      if (inst->opcode() == Opcode::kLoad && inst->numOperands() == 1) {
+      if (inst->opcode() == Opcode::kLoad && inst->numOperands() == 1 &&
+          inst->operand(0)->isInstruction()) {
         auto it = alloca_index.find(
             static_cast<const Instruction*>(inst->operand(0)));
-        if (inst->operand(0)->isInstruction() && it != alloca_index.end()) {
+        if (it != alloca_index.end()) {
           Value* reaching = current[it->second];
           if (reaching == nullptr) {
             reaching = module.undef(inst->type());
@@ -173,6 +174,33 @@ SsaStats promoteToSsa(Function& fn, Module& module) {
   // Rename along the dominator tree.
   renamer.renameBlock(fn.entry(),
                       std::vector<Value*>(allocas.size(), nullptr));
+
+  // Blocks unreachable from the entry (error-recovery artifacts, code
+  // after a return) are outside the dominator tree, so the walk above
+  // never renamed them. Their accesses to promoted allocas must still be
+  // rewritten — the allocas are about to be deleted, and a surviving use
+  // would dangle. Unreachable code never executes, so undef is sound.
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst_ptr : bb->instructions()) {
+      Instruction* inst = inst_ptr.get();
+      if (renamer.dead.contains(inst)) continue;
+      if (inst->opcode() == Opcode::kLoad && inst->numOperands() == 1 &&
+          inst->operand(0)->isInstruction() &&
+          renamer.alloca_index.contains(
+              static_cast<const Instruction*>(inst->operand(0)))) {
+        renamer.replaceEverywhere(inst, module.undef(inst->type()));
+        renamer.dead.insert(inst);
+        ++renamer.stats.loads_removed;
+      } else if (inst->opcode() == Opcode::kStore &&
+                 inst->numOperands() == 2 &&
+                 inst->operand(1)->isInstruction() &&
+                 renamer.alloca_index.contains(
+                     static_cast<const Instruction*>(inst->operand(1)))) {
+        renamer.dead.insert(inst);
+        ++renamer.stats.stores_removed;
+      }
+    }
+  }
 
   // Delete dead loads/stores and the promoted allocas.
   for (const auto& bb : fn.blocks()) {

@@ -76,7 +76,9 @@ void countAnnotationsInStmt(const cfront::Stmt* stmt, SafeFlowStats& stats) {
 }  // namespace
 
 SafeFlowDriver::SafeFlowDriver(SafeFlowOptions options)
-    : options_(std::move(options)), frontend_(options_.include_dirs) {
+    : options_(std::move(options)),
+      budget_(options_.budget),
+      frontend_(options_.include_dirs) {
   if (options_.collect_trace) {
     trace_ = std::make_unique<support::TraceCollector>();
   }
@@ -92,6 +94,7 @@ SafeFlowDriver::~SafeFlowDriver() = default;
 void SafeFlowDriver::beginPipeline() {
   if (pipeline_started_) return;
   pipeline_started_ = true;
+  budget_.start();  // the wall-clock budget covers the whole pipeline
   if (trace_ != nullptr) root_span_ = trace_->beginSpan("safeflow.pipeline");
 }
 
@@ -100,7 +103,10 @@ bool SafeFlowDriver::addFile(const std::string& path) {
   beginPipeline();
   ++stats_.files;
   const bool ok = frontend_.parseFile(path);
-  if (!ok) frontend_errors_ = true;
+  if (!ok) {
+    frontend_errors_ = true;
+    failed_files_.push_back(path);
+  }
   // Aggregate LOC over the file as it exists on disk.
   support::SourceManager probe;
   if (auto id = probe.addFile(path)) {
@@ -122,8 +128,12 @@ bool SafeFlowDriver::addSource(std::string name, std::string text) {
   stats_.loc.code_lines += loc.code_lines;
   stats_.loc.comment_lines += loc.comment_lines;
   stats_.loc.blank_lines += loc.blank_lines;
+  const std::string display_name = name;
   const bool ok = frontend_.parseBuffer(std::move(name), std::move(text));
-  if (!ok) frontend_errors_ = true;
+  if (!ok) {
+    frontend_errors_ = true;
+    failed_files_.push_back(display_name);
+  }
   return ok;
 }
 
@@ -157,13 +167,10 @@ const analysis::SafeFlowReport& SafeFlowDriver::analyze() {
   module_ = std::make_unique<ir::Module>(frontend_.types());
   ir::Lowering lowering(frontend_.unit(), *module_, diags);
   if (!lowering.run()) {
+    // Per-file isolation: lowering recovers from bad constructs with
+    // undef values and seals every block, so the partial module is
+    // structurally sound. Keep going and report what can be analyzed.
     frontend_errors_ = true;
-    stats_.analysis_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
-    finishPipeline();
-    return report_;
   }
   ir::promoteModuleToSsa(*module_);
 
@@ -179,20 +186,20 @@ const analysis::SafeFlowReport& SafeFlowDriver::analyze() {
 
   ir::CallGraph callgraph(*module_);
 
-  analysis::ShmPointerAnalysis shm(*module_, regions, callgraph);
+  analysis::ShmPointerAnalysis shm(*module_, regions, callgraph, &budget_);
   shm.run();
   stats_.shm_iterations = shm.iterations();
 
-  analysis::RestrictionChecker restrictions(*module_, regions, shm,
-                                            options_.restrictions);
+  analysis::RestrictionChecker restrictions(
+      *module_, regions, shm, options_.restrictions, &budget_);
   report_.restriction_violations = restrictions.run(diags);
 
   analysis::AliasAnalysis alias(*module_, regions, callgraph,
-                                options_.alias);
+                                options_.alias, &budget_);
   alias.run();
 
   analysis::TaintAnalysis taint(*module_, regions, shm, alias, callgraph,
-                                options_.taint);
+                                options_.taint, &budget_);
   taint.run(report_);
   stats_.taint_body_analyses = taint.bodyAnalyses();
 
@@ -201,6 +208,15 @@ const analysis::SafeFlowReport& SafeFlowDriver::analyze() {
   {
     const support::ScopedTimer timer("phase.report");
     countAnnotations();
+    report_.failed_files = failed_files_;
+    for (const support::BudgetEvent& e : budget_.events()) {
+      report_.degraded_phases.push_back(e.phase);
+      diags.warning(
+          support::SourceLocation{}, "budget",
+          "analysis budget exhausted in phase '" + e.phase + "' (" +
+              e.reason + " limit, after " + std::to_string(e.steps) +
+              " steps); results for this phase are conservative");
+    }
     for (const auto& w : report_.warnings) {
       diags.warning(w.location, "safeflow.warning",
                     "unmonitored read of non-core region '" + w.region_name +
@@ -247,6 +263,8 @@ void SafeFlowDriver::finishPipeline() {
   const auto snap = metrics_.snapshot();
   stats_.counters = snap.counters;
   stats_.gauges = snap.gauges;
+  stats_.budget_events = budget_.events();
+  stats_.failed_files = failed_files_;
 }
 
 namespace {
@@ -305,6 +323,19 @@ std::string SafeFlowStats::renderTable() const {
   std::snprintf(buf, sizeof buf, "  %-20s %10.3f ms\n", "total",
                 total_seconds * 1e3);
   out << buf;
+  if (!budget_events.empty()) {
+    out << "degraded phases (budget exhausted):\n";
+    for (const auto& e : budget_events) {
+      std::snprintf(buf, sizeof buf, "  %-20s %s limit after %llu steps\n",
+                    e.phase.c_str(), e.reason.c_str(),
+                    static_cast<unsigned long long>(e.steps));
+      out << buf;
+    }
+  }
+  if (!failed_files.empty()) {
+    out << "files with parse errors (partial results):\n";
+    for (const std::string& f : failed_files) out << "  " << f << "\n";
+  }
   if (!counters.empty()) {
     out << "counters:\n";
     for (const auto& [name, value] : counters) {
@@ -335,6 +366,26 @@ std::string SafeFlowStats::renderJson() const {
       << ",\n  \"frontend_seconds\": " << jsonDouble(frontend_seconds)
       << ",\n  \"analysis_seconds\": " << jsonDouble(analysis_seconds)
       << ",\n  \"total_seconds\": " << jsonDouble(total_seconds);
+  // Degradation markers appear only when a limit tripped, keeping full
+  // runs byte-identical to builds without the budget layer.
+  if (!budget_events.empty()) {
+    out << ",\n  \"degraded\": true,\n  \"degraded_phases\": [";
+    for (std::size_t i = 0; i < budget_events.size(); ++i) {
+      const auto& e = budget_events[i];
+      out << (i == 0 ? "\n" : ",\n") << "    {\"phase\": \""
+          << jsonEscape(e.phase) << "\", \"reason\": \""
+          << jsonEscape(e.reason) << "\", \"steps\": " << e.steps << "}";
+    }
+    out << "\n  ]";
+  }
+  if (!failed_files.empty()) {
+    out << ",\n  \"failed_files\": [";
+    for (std::size_t i = 0; i < failed_files.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << "\"" << jsonEscape(failed_files[i])
+          << "\"";
+    }
+    out << "]";
+  }
   out << ",\n  \"phases\": [";
   for (std::size_t i = 0; i < phase_seconds.size(); ++i) {
     out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""

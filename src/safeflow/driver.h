@@ -23,6 +23,7 @@
 #include "analysis/taint.h"
 #include "cfront/frontend.h"
 #include "ir/ir.h"
+#include "support/limits.h"
 #include "support/loc_counter.h"
 #include "support/metrics.h"
 
@@ -38,6 +39,10 @@ struct SafeFlowOptions {
   /// Perfetto export via SafeFlowDriver::trace()). Counters and per-phase
   /// wall times are always collected; only span recording is optional.
   bool collect_trace = false;
+  /// Analysis budget (--time-budget / --step-budget / --max-depth). The
+  /// default is unlimited; see support/limits.h and DESIGN.md for the
+  /// degradation semantics when a limit trips.
+  support::BudgetLimits budget;
 };
 
 struct SafeFlowStats {
@@ -67,6 +72,13 @@ struct SafeFlowStats {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   /// Snapshot of every named gauge (e.g. "alias.objects"), sorted by name.
   std::vector<std::pair<std::string, double>> gauges;
+  /// Phases whose budget tripped, in trip order (empty on a full run).
+  /// Mirrored into the report and the JSON renderings; a non-empty list
+  /// means the run degraded and must not be read as certifying.
+  std::vector<support::BudgetEvent> budget_events;
+  /// Input files the front end could not fully parse; analysis continued
+  /// on the declarations that survived recovery (empty on a clean run).
+  std::vector<std::string> failed_files;
 
   /// Human-readable statistics table (what `safeflow --stats` prints).
   [[nodiscard]] std::string renderTable() const;
@@ -97,6 +109,16 @@ class SafeFlowDriver {
   [[nodiscard]] const support::SourceManager& sources() const;
   [[nodiscard]] const support::DiagnosticEngine& diagnostics() const;
   [[nodiscard]] bool hasFrontendErrors() const { return frontend_errors_; }
+  /// True when any phase ran out of budget (results are conservative).
+  [[nodiscard]] bool degraded() const { return budget_.anyDegraded(); }
+  [[nodiscard]] const support::AnalysisBudget& budget() const {
+    return budget_;
+  }
+  /// Files addFile() could not fully parse (analysis continued without
+  /// the unparsed declarations).
+  [[nodiscard]] const std::vector<std::string>& failedFiles() const {
+    return failed_files_;
+  }
   /// The lowered module (valid after analyze()).
   [[nodiscard]] const ir::Module* module() const { return module_.get(); }
 
@@ -118,6 +140,8 @@ class SafeFlowDriver {
   void finishPipeline();
 
   SafeFlowOptions options_;
+  support::AnalysisBudget budget_;
+  std::vector<std::string> failed_files_;
   support::MetricsRegistry metrics_;
   std::unique_ptr<support::TraceCollector> trace_;
   support::PipelineObserver observer_;

@@ -13,10 +13,19 @@
 //   --trace <file>      write a Chrome trace-event JSON of the pipeline
 //   --stats             print the pipeline statistics table to stderr
 //   --stats-json <file> write pipeline statistics as JSON ("-" = stdout)
+//   --time-budget <dur> wall-clock budget for the pipeline (e.g. 250ms)
+//   --step-budget <n>   per-phase work-unit cap
+//   --max-depth <n>     recursion / call-string context-depth cap
 //   --quiet             print only the summary line
 //
+// A file that fails to parse does not abort the run: the remaining files
+// are analyzed and the report covers what survived (exit 2 still signals
+// the parse failure unless data errors take precedence).
+//
 // Exit status: 0 clean, 1 error dependencies found, 2 usage/front-end
-// errors.
+// errors, 3 clean-but-degraded (an analysis budget tripped; findings are
+// valid but absences are unproven).
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -24,6 +33,7 @@
 #include <vector>
 
 #include "safeflow/driver.h"
+#include "support/limits.h"
 
 namespace {
 
@@ -41,6 +51,9 @@ void usage() {
          "                      Perfetto) of the analysis pipeline\n"
          "  --stats             print the statistics table to stderr\n"
          "  --stats-json <file> write statistics as JSON ('-' = stdout)\n"
+         "  --time-budget <dur> wall-clock budget (e.g. 250ms, 2s)\n"
+         "  --step-budget <n>   per-phase work-unit cap\n"
+         "  --max-depth <n>     recursion/context-depth cap\n"
          "  --quiet             print only the summary line\n";
 }
 
@@ -100,6 +113,29 @@ int main(int argc, char** argv) {
       stats_json_path = argv[++i];
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--time-budget" && i + 1 < argc) {
+      if (!support::parseDuration(argv[++i],
+                                  &options.budget.time_seconds)) {
+        std::cerr << "invalid --time-budget '" << argv[i] << "'\n";
+        return 2;
+      }
+    } else if (arg == "--step-budget" && i + 1 < argc) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::cerr << "invalid --step-budget '" << argv[i] << "'\n";
+        return 2;
+      }
+      options.budget.phase_steps = n;
+    } else if (arg == "--max-depth" && i + 1 < argc) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n == 0) {
+        std::cerr << "invalid --max-depth '" << argv[i] << "'\n";
+        return 2;
+      }
+      options.budget.max_depth = static_cast<unsigned>(n);
+      options.taint.max_context_depth = static_cast<unsigned>(n);
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -119,16 +155,20 @@ int main(int argc, char** argv) {
   }
 
   SafeFlowDriver driver(options);
+  std::size_t files_ok = 0;
   for (const std::string& f : files) {
-    if (!driver.addFile(f)) {
-      // A partial trace still shows where the time went before the
-      // failure.
-      if (!trace_path.empty() && driver.trace() != nullptr) {
-        writeFile(trace_path, driver.trace()->toChromeTraceJson());
-      }
-      std::cerr << driver.diagnostics().render(driver.sources());
-      return 2;
+    // Per-file isolation: a file that fails to parse yields diagnostics
+    // and is skipped; the rest of the corpus is still analyzed.
+    if (driver.addFile(f)) ++files_ok;
+  }
+  if (files_ok == 0) {
+    // Nothing parsed at all; a partial trace still shows where the time
+    // went before the failure.
+    if (!trace_path.empty() && driver.trace() != nullptr) {
+      writeFile(trace_path, driver.trace()->toChromeTraceJson());
     }
+    std::cerr << driver.diagnostics().render(driver.sources());
+    return 2;
   }
   const auto& report = driver.analyze();
   if (!trace_path.empty() && driver.trace() != nullptr) {
@@ -150,9 +190,17 @@ int main(int argc, char** argv) {
       stats_json_path == "-" ? std::cerr : std::cout;
 
   if (driver.hasFrontendErrors()) {
+    // Diagnostics go to stderr, but partial results are still reported
+    // below; the exit code keeps signalling the parse failure.
     std::cerr << driver.diagnostics().render(driver.sources());
-    return 2;
   }
+
+  // Exit-code precedence: data errors (1) > front-end errors (2) >
+  // budget degradation (3) > clean (0).
+  const int exit_code = report.dataErrorCount() > 0 ? 1
+                        : driver.hasFrontendErrors() ? 2
+                        : driver.degraded()          ? 3
+                                                     : 0;
 
   if (json) {
     std::cout << report.renderJson(driver.sources(),
@@ -161,7 +209,7 @@ int main(int argc, char** argv) {
       std::ofstream out(dot_path);
       out << report.renderValueFlowDot(driver.sources());
     }
-    return report.dataErrorCount() > 0 ? 1 : 0;
+    return exit_code;
   }
   if (!quiet) {
     text_out << report.render(driver.sources());
@@ -183,5 +231,5 @@ int main(int argc, char** argv) {
     text_out << "value-flow graph written to " << dot_path << "\n";
   }
 
-  return report.dataErrorCount() > 0 ? 1 : 0;
+  return exit_code;
 }

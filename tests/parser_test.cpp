@@ -344,4 +344,48 @@ TEST(Parser, StaticAndExternAccepted) {
   EXPECT_TRUE(p.ok);
 }
 
+// -- panic-mode recovery ------------------------------------------------------
+
+TEST(ParserRecovery, ThreeIndependentErrorsAllDiagnosed) {
+  // Three unrelated syntax errors interleaved with three well-formed
+  // functions: recovery must report every error AND keep every good
+  // function, instead of dying at the first bad declaration.
+  const auto p = parse(
+      "int good1(void) { return 1; }\n"
+      "int bad1( { return 0; }\n"               // error 1: bad param list
+      "int good2(void) { return 2; }\n"
+      "int bad2(void) { int x = ; return x; }\n"  // error 2: missing expr
+      "int good3(void) { return 3; }\n"
+      "@#! $garbage$ ~~~\n",                    // error 3: token soup
+      /*expect_ok=*/false);
+  EXPECT_FALSE(p.ok);
+  EXPECT_GE(p.fe->diagnostics().errorCount(), 3u);
+
+  const auto& fns = p.fe->unit().functions();
+  std::size_t good = 0;
+  for (const auto& fn : fns) {
+    const std::string& n = fn->name();
+    if ((n == "good1" || n == "good2" || n == "good3") &&
+        fn->isDefined()) {
+      ++good;
+    }
+  }
+  EXPECT_EQ(good, 3u) << "well-formed functions must survive recovery";
+}
+
+TEST(ParserRecovery, BadDeclarationDoesNotPoisonNextFile) {
+  // Multi-file front end: a TU with errors must leave the parser in a
+  // state where the next buffer still parses cleanly.
+  auto fe = std::make_unique<Frontend>();
+  EXPECT_FALSE(fe->parseBuffer("broken.c", "int f( { oops"));
+  EXPECT_TRUE(fe->parseBuffer("fine.c", "int g(void) { return 42; }"))
+      << fe->diagnostics().render(fe->sources());
+}
+
+TEST(ParserRecovery, UnbalancedBracesTerminate) {
+  const auto p = parse("int f(void) { { { return 1; }\nint g(void);",
+                       /*expect_ok=*/false);
+  EXPECT_FALSE(p.ok);  // diagnostics, but no hang and no crash
+}
+
 }  // namespace
