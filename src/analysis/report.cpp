@@ -51,8 +51,52 @@ std::string jsonEscape(const std::string& s) {
 }
 }  // namespace
 
+void SafeFlowReport::deduplicate(const support::SourceManager& sm) {
+  std::set<std::string> seen;
+  auto fresh = [&seen](std::string key) {
+    return seen.insert(std::move(key)).second;
+  };
+
+  std::vector<UnsafeAccessWarning> kept_warnings;
+  kept_warnings.reserve(warnings.size());
+  for (UnsafeAccessWarning& w : warnings) {
+    std::string key = sm.describe(w.location) + ":warning:" + w.function +
+                      ":" + w.region_name;
+    if (w.offset_known) {
+      key += ":" + std::to_string(w.offset_lo) + ":" +
+             std::to_string(w.offset_hi);
+    }
+    if (fresh(std::move(key))) kept_warnings.push_back(std::move(w));
+  }
+  warnings = std::move(kept_warnings);
+
+  std::vector<CriticalDependencyError> kept_errors;
+  kept_errors.reserve(errors.size());
+  for (CriticalDependencyError& e : errors) {
+    std::string key =
+        sm.describe(e.assert_location) +
+        (e.kind == CriticalDependencyError::Kind::kData ? ":error:"
+                                                        : ":control:") +
+        e.function + ":" + e.critical_value;
+    for (const std::string& r : e.region_names) key += ":" + r;
+    for (const auto& loc : e.source_loads) key += ":" + sm.describe(loc);
+    if (fresh(std::move(key))) kept_errors.push_back(std::move(e));
+  }
+  errors = std::move(kept_errors);
+
+  std::vector<RestrictionViolation> kept_violations;
+  kept_violations.reserve(restriction_violations.size());
+  for (RestrictionViolation& v : restriction_violations) {
+    std::string key =
+        sm.describe(v.location) + ":" + v.rule + ":" + v.message;
+    if (fresh(std::move(key))) kept_violations.push_back(std::move(v));
+  }
+  restriction_violations = std::move(kept_violations);
+}
+
 std::string SafeFlowReport::renderJson(
-    const support::SourceManager& sm, const std::string& stats_json) const {
+    const support::SourceManager& sm, const std::string& stats_json,
+    bool worker_protocol) const {
   std::ostringstream out;
   out << "{\n  \"schema_version\": 1,\n  \"warnings\": [";
   for (std::size_t i = 0; i < warnings.size(); ++i) {
@@ -117,6 +161,16 @@ std::string SafeFlowReport::renderJson(
     for (std::size_t i = 0; i < failed_files.size(); ++i) {
       out << (i == 0 ? "" : ", ") << "\"" << jsonEscape(failed_files[i])
           << "\"";
+    }
+    out << "]";
+  }
+  if (worker_protocol) {
+    // Worker-protocol extras: fields the public schema omits but the
+    // supervisor needs to reconstruct the in-process text rendering.
+    out << ",\n  \"required_runtime_checks\": [";
+    for (std::size_t i = 0; i < required_runtime_checks.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << "\""
+          << jsonEscape(required_runtime_checks[i]) << "\"";
     }
     out << "]";
   }

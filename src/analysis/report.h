@@ -65,6 +65,16 @@ struct SafeFlowReport {
   [[nodiscard]] std::size_t dataErrorCount() const;
   [[nodiscard]] std::size_t controlErrorCount() const;
 
+  /// Drops entries that are duplicates of an earlier entry, keyed by
+  /// file:line:category:message content. Headers included by several
+  /// translation units can make each including TU emit the identical
+  /// warning/violation; one finding per distinct location+message is
+  /// enough for consumers. First occurrence wins, relative order of the
+  /// survivors is unchanged. The driver calls this once before
+  /// rendering; the supervisor applies the same key when merging
+  /// per-worker reports.
+  void deduplicate(const support::SourceManager& sm);
+
   /// Human-readable rendering (locations resolved by the caller's source
   /// manager via pre-rendered strings inside the entries).
   [[nodiscard]] std::string render(
@@ -81,10 +91,15 @@ struct SafeFlowReport {
   /// keys, schema_version field). When `stats_json` is non-empty it must
   /// be a pre-rendered JSON object (SafeFlowStats::renderJson()); it is
   /// embedded verbatim as the report's "stats" member so `--json` output
-  /// carries the same stats object `--stats-json` writes.
+  /// carries the same stats object `--stats-json` writes. When
+  /// `worker_protocol` is set (the `--worker` path only) the document
+  /// additionally carries "required_runtime_checks", which the public
+  /// schema omits; the supervisor needs it to reproduce the in-process
+  /// text report from per-worker documents.
   [[nodiscard]] std::string renderJson(
       const support::SourceManager& sm,
-      const std::string& stats_json = {}) const;
+      const std::string& stats_json = {},
+      bool worker_protocol = false) const;
 };
 
 }  // namespace safeflow::analysis

@@ -10,6 +10,7 @@
 #include "ir/callgraph.h"
 #include "ir/lowering.h"
 #include "ir/ssa.h"
+#include "support/fault_inject.h"
 
 namespace safeflow {
 
@@ -102,6 +103,7 @@ bool SafeFlowDriver::addFile(const std::string& path) {
   const support::ScopedObserver install(&observer_);
   beginPipeline();
   ++stats_.files;
+  support::faultInjectionPoint("frontend");
   const bool ok = frontend_.parseFile(path);
   if (!ok) {
     frontend_errors_ = true;
@@ -165,6 +167,7 @@ const analysis::SafeFlowReport& SafeFlowDriver::analyze() {
   auto& diags = frontend_.diagnostics();
 
   module_ = std::make_unique<ir::Module>(frontend_.types());
+  support::faultInjectionPoint("lowering");
   ir::Lowering lowering(frontend_.unit(), *module_, diags);
   if (!lowering.run()) {
     // Per-file isolation: lowering recovers from bad constructs with
@@ -172,6 +175,7 @@ const analysis::SafeFlowReport& SafeFlowDriver::analyze() {
     // structurally sound. Keep going and report what can be analyzed.
     frontend_errors_ = true;
   }
+  support::faultInjectionPoint("ssa");
   ir::promoteModuleToSsa(*module_);
 
   stats_.functions = module_->functions().size();
@@ -180,24 +184,30 @@ const analysis::SafeFlowReport& SafeFlowDriver::analyze() {
     if (fn->annotations.is_shminit) ++stats_.init_functions;
   }
 
+  support::faultInjectionPoint("shm_regions");
   const auto regions = analysis::ShmRegionTable::build(*module_, diags);
   stats_.shm_regions = regions.regions().size();
   stats_.noncore_regions = regions.noncoreCount();
 
+  support::faultInjectionPoint("callgraph");
   ir::CallGraph callgraph(*module_);
 
+  support::faultInjectionPoint("shm_propagation");
   analysis::ShmPointerAnalysis shm(*module_, regions, callgraph, &budget_);
   shm.run();
   stats_.shm_iterations = shm.iterations();
 
+  support::faultInjectionPoint("restrictions");
   analysis::RestrictionChecker restrictions(
       *module_, regions, shm, options_.restrictions, &budget_);
   report_.restriction_violations = restrictions.run(diags);
 
+  support::faultInjectionPoint("alias");
   analysis::AliasAnalysis alias(*module_, regions, callgraph,
                                 options_.alias, &budget_);
   alias.run();
 
+  support::faultInjectionPoint("taint");
   analysis::TaintAnalysis taint(*module_, regions, shm, alias, callgraph,
                                 options_.taint, &budget_);
   taint.run(report_);
@@ -206,8 +216,12 @@ const analysis::SafeFlowReport& SafeFlowDriver::analyze() {
   // Mirror report entries into the diagnostic stream so tooling that only
   // consumes diagnostics sees everything.
   {
+    support::faultInjectionPoint("report");
     const support::ScopedTimer timer("phase.report");
     countAnnotations();
+    // One finding per distinct location+message: headers included by
+    // several TUs would otherwise repeat their diagnostics verbatim.
+    report_.deduplicate(frontend_.sources());
     report_.failed_files = failed_files_;
     for (const support::BudgetEvent& e : budget_.events()) {
       report_.degraded_phases.push_back(e.phase);

@@ -29,6 +29,24 @@
 
 namespace safeflow {
 
+/// The exit-code ladder, shared by the in-process CLI path and the
+/// supervised (worker-pool) path so the two can never disagree:
+///
+///   1  error dependencies found (data errors)
+///   2  usage / front-end errors (including worker crashes: the file was
+///      not fully analyzed)
+///   3  clean but degraded (an analysis budget tripped; findings are
+///      valid, absences unproven)
+///   0  clean
+[[nodiscard]] constexpr int exitCodeFor(std::size_t data_errors,
+                                        bool frontend_errors,
+                                        bool degraded) {
+  if (data_errors > 0) return 1;
+  if (frontend_errors) return 2;
+  if (degraded) return 3;
+  return 0;
+}
+
 struct SafeFlowOptions {
   std::vector<std::string> include_dirs;
   std::vector<std::pair<std::string, std::string>> defines;

@@ -16,15 +16,23 @@
 //   --time-budget <dur> wall-clock budget for the pipeline (e.g. 250ms)
 //   --step-budget <n>   per-phase work-unit cap
 //   --max-depth <n>     recursion / call-string context-depth cap
+//   --jobs <n>          shard per-TU across n crash-isolated workers
+//   --isolate           force worker isolation even with --jobs 1
+//   --no-isolate        force the single-process whole-program path
+//   --worker-timeout <dur>  watchdog deadline per worker (default 60s)
+//   --retries <n>       crash/timeout retries per shard (default 2)
+//   --worker            (internal) single-shard worker protocol mode
 //   --quiet             print only the summary line
 //
 // A file that fails to parse does not abort the run: the remaining files
 // are analyzed and the report covers what survived (exit 2 still signals
 // the parse failure unless data errors take precedence).
 //
-// Exit status: 0 clean, 1 error dependencies found, 2 usage/front-end
-// errors, 3 clean-but-degraded (an analysis budget tripped; findings are
-// valid but absences are unproven).
+// Exit-code ladder (shared by the in-process and supervised paths; see
+// exitCodeFor in driver.h): 1 error dependencies found > 2 usage/
+// front-end errors (including crashed workers) > 3 clean-but-degraded
+// (an analysis budget tripped; findings are valid but absences are
+// unproven) > 0 clean.
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -32,7 +40,11 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "safeflow/driver.h"
+#include "safeflow/supervisor.h"
+#include "support/fault_inject.h"
 #include "support/limits.h"
 
 namespace {
@@ -54,6 +66,12 @@ void usage() {
          "  --time-budget <dur> wall-clock budget (e.g. 250ms, 2s)\n"
          "  --step-budget <n>   per-phase work-unit cap\n"
          "  --max-depth <n>     recursion/context-depth cap\n"
+         "  --jobs <n>          analyze per-TU in n crash-isolated\n"
+         "                      worker processes (implies --isolate)\n"
+         "  --isolate           worker isolation even with --jobs 1\n"
+         "  --no-isolate        single-process whole-program analysis\n"
+         "  --worker-timeout <dur>  per-worker watchdog (default 60s)\n"
+         "  --retries <n>       crash/timeout retries per shard\n"
          "  --quiet             print only the summary line\n";
 }
 
@@ -65,6 +83,18 @@ bool writeFile(const std::string& path, const std::string& contents) {
   }
   out << contents;
   return true;
+}
+
+/// The path workers are spawned from: /proc/self/exe when available (the
+/// binary may have been moved since exec), argv[0] otherwise.
+std::string selfExePath(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
 }
 
 }  // namespace
@@ -80,13 +110,25 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool json = false;
   bool stats_table = false;
+  bool worker_mode = false;
+  bool isolate_forced = false;
+  bool isolate_disabled = false;
+  std::size_t jobs = 1;
+  SupervisorOptions sup_options;
+  // Analysis options forwarded verbatim to workers in supervised mode.
+  std::vector<std::string> passthrough;
+  auto forward = [&passthrough](std::initializer_list<const char*> args) {
+    for (const char* a : args) passthrough.emplace_back(a);
+  };
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-I" && i + 1 < argc) {
       options.include_dirs.emplace_back(argv[++i]);
+      forward({"-I", argv[i]});
     } else if (arg == "-D" && i + 1 < argc) {
       const std::string def = argv[++i];
+      forward({"-D", argv[i]});
       const std::size_t eq = def.find('=');
       if (eq == std::string::npos) {
         options.defines.emplace_back(def, "1");
@@ -96,12 +138,16 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--mode=summaries") {
       options.taint.mode = analysis::TaintOptions::Mode::kSummaries;
+      forward({"--mode=summaries"});
     } else if (arg == "--mode=call-strings") {
       options.taint.mode = analysis::TaintOptions::Mode::kCallStrings;
+      forward({"--mode=call-strings"});
     } else if (arg == "--no-control-deps") {
       options.taint.track_control_deps = false;
+      forward({"--no-control-deps"});
     } else if (arg == "--kill-critical") {
       options.taint.implicit_critical_calls.emplace_back("kill", 0u);
+      forward({"--kill-critical"});
     } else if (arg == "--dot" && i + 1 < argc) {
       dot_path = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
@@ -119,6 +165,7 @@ int main(int argc, char** argv) {
         std::cerr << "invalid --time-budget '" << argv[i] << "'\n";
         return 2;
       }
+      forward({"--time-budget", argv[i]});
     } else if (arg == "--step-budget" && i + 1 < argc) {
       char* end = nullptr;
       const unsigned long long n = std::strtoull(argv[++i], &end, 10);
@@ -127,6 +174,7 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.budget.phase_steps = n;
+      forward({"--step-budget", argv[i]});
     } else if (arg == "--max-depth" && i + 1 < argc) {
       char* end = nullptr;
       const unsigned long long n = std::strtoull(argv[++i], &end, 10);
@@ -136,6 +184,35 @@ int main(int argc, char** argv) {
       }
       options.budget.max_depth = static_cast<unsigned>(n);
       options.taint.max_context_depth = static_cast<unsigned>(n);
+      forward({"--max-depth", argv[i]});
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n == 0) {
+        std::cerr << "invalid --jobs '" << argv[i] << "'\n";
+        return 2;
+      }
+      jobs = static_cast<std::size_t>(n);
+    } else if (arg == "--isolate") {
+      isolate_forced = true;
+    } else if (arg == "--no-isolate") {
+      isolate_disabled = true;
+    } else if (arg == "--worker-timeout" && i + 1 < argc) {
+      if (!support::parseDuration(argv[++i],
+                                  &sup_options.worker_timeout_seconds)) {
+        std::cerr << "invalid --worker-timeout '" << argv[i] << "'\n";
+        return 2;
+      }
+    } else if (arg == "--retries" && i + 1 < argc) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::cerr << "invalid --retries '" << argv[i] << "'\n";
+        return 2;
+      }
+      sup_options.max_retries = static_cast<int>(n);
+    } else if (arg == "--worker") {
+      worker_mode = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -152,6 +229,82 @@ int main(int argc, char** argv) {
   if (files.empty()) {
     usage();
     return 2;
+  }
+
+  if (isolate_forced && isolate_disabled) {
+    std::cerr << "--isolate and --no-isolate are mutually exclusive\n";
+    return 2;
+  }
+  const bool supervised =
+      !worker_mode && !isolate_disabled && (isolate_forced || jobs > 1);
+
+  if (worker_mode) {
+    // Single-shard worker protocol: emit the machine-readable report
+    // (with worker extras) on stdout, diagnostics on stderr, and never
+    // take the early no-files-parsed exit — the supervisor wants the
+    // report of whatever survived recovery, like the in-process
+    // multi-file path would have used. Fault injection arms only here.
+    support::armWorkerFaultInjection(files.empty() ? "" : files.front());
+    SafeFlowDriver driver(options);
+    for (const std::string& f : files) driver.addFile(f);
+    const auto& report = driver.analyze();
+    std::cout << report.renderJson(driver.sources(),
+                                   driver.stats().renderJson(),
+                                   /*worker_protocol=*/true);
+    if (driver.hasFrontendErrors()) {
+      std::cerr << driver.diagnostics().render(driver.sources());
+    }
+    return exitCodeFor(report.dataErrorCount(), driver.hasFrontendErrors(),
+                       driver.degraded());
+  }
+
+  if (supervised) {
+    if (!dot_path.empty() || !trace_path.empty()) {
+      std::cerr << "--dot/--trace are not supported with --isolate/--jobs "
+                   "(per-worker traces lose the cross-shard picture; run "
+                   "--no-isolate for them)\n";
+      return 2;
+    }
+    sup_options.jobs = jobs;
+    sup_options.worker_exe = selfExePath(argv[0]);
+    sup_options.worker_args = passthrough;
+    sup_options.base_time_budget_seconds = options.budget.time_seconds;
+
+    support::MetricsRegistry registry;
+    Supervisor supervisor(sup_options, &registry);
+    const MergedReport merged = supervisor.run(files);
+
+    const std::string stats_json = merged.stats.renderJson() + "\n";
+    if (!stats_json_path.empty()) {
+      if (stats_json_path == "-") {
+        std::cout << stats_json;
+      } else if (!writeFile(stats_json_path, stats_json)) {
+        return 2;
+      }
+    }
+    if (stats_table) {
+      std::cerr << merged.stats.renderTable();
+    }
+    std::ostream& text_out =
+        stats_json_path == "-" ? std::cerr : std::cout;
+    if (!merged.diagnostics_text.empty()) {
+      std::cerr << merged.diagnostics_text;
+    }
+    const int exit_code = merged.exitCode();
+    if (json) {
+      std::cout << merged.renderJson(merged.stats.renderJson());
+      return exit_code;
+    }
+    if (!quiet) {
+      text_out << merged.render();
+    }
+    text_out << "safeflow: " << merged.warnings.size() << " warning(s), "
+             << merged.dataErrorCount() << " error dependency(ies), "
+             << merged.controlErrorCount()
+             << " control-only (review manually), "
+             << merged.restriction_violations.size()
+             << " restriction violation(s)\n";
+    return exit_code;
   }
 
   SafeFlowDriver driver(options);
@@ -195,12 +348,8 @@ int main(int argc, char** argv) {
     std::cerr << driver.diagnostics().render(driver.sources());
   }
 
-  // Exit-code precedence: data errors (1) > front-end errors (2) >
-  // budget degradation (3) > clean (0).
-  const int exit_code = report.dataErrorCount() > 0 ? 1
-                        : driver.hasFrontendErrors() ? 2
-                        : driver.degraded()          ? 3
-                                                     : 0;
+  const int exit_code = exitCodeFor(
+      report.dataErrorCount(), driver.hasFrontendErrors(), driver.degraded());
 
   if (json) {
     std::cout << report.renderJson(driver.sources(),

@@ -1,0 +1,574 @@
+#include "safeflow/supervisor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "support/json.h"
+#include "support/subprocess.h"
+
+namespace safeflow {
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string tail(const std::string& text, std::size_t max_bytes = 2000) {
+  if (text.size() <= max_bytes) return text;
+  return "..." + text.substr(text.size() - max_bytes);
+}
+
+}  // namespace
+
+std::size_t MergedReport::dataErrorCount() const {
+  return static_cast<std::size_t>(std::count_if(
+      errors.begin(), errors.end(), [](const Error& e) { return e.data; }));
+}
+
+std::size_t MergedReport::controlErrorCount() const {
+  return errors.size() - dataErrorCount();
+}
+
+struct Supervisor::ShardResult {
+  bool accepted = false;          // a JSON report was obtained
+  support::json::Value report;    // valid when accepted
+  int exit_code = -1;             // worker exit code when accepted
+  int attempts = 0;
+  std::string failure_reason;     // non-empty when !accepted
+  std::string stderr_text;        // last attempt's stderr
+};
+
+Supervisor::Supervisor(SupervisorOptions options,
+                       support::MetricsRegistry* metrics)
+    : options_(std::move(options)), metrics_(metrics) {
+  if (options_.jobs == 0) options_.jobs = 1;
+}
+
+void Supervisor::runShard(const std::string& file, ShardResult* result) {
+  const int max_attempts = 1 + std::max(0, options_.max_retries);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    result->attempts = attempt;
+    if (attempt > 1) {
+      // Exponential backoff before the retry (first retry waits the
+      // base, each further retry doubles it).
+      const double wait =
+          options_.backoff_base_seconds * std::ldexp(1.0, attempt - 2);
+      if (wait > 0.0) {
+        metrics_->counter("supervisor.backoff_waits").add();
+        std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+      }
+      metrics_->counter("supervisor.workers_retried").add();
+    }
+
+    std::vector<std::string> argv;
+    argv.reserve(options_.worker_args.size() + 4);
+    argv.push_back(options_.worker_exe);
+    argv.push_back("--worker");
+    argv.insert(argv.end(), options_.worker_args.begin(),
+                options_.worker_args.end());
+    if (attempt > 1) {
+      // Tighten the analysis budget on retries: if the worker died or
+      // hung, the productive outcome is a conservative degraded report,
+      // not a second identical death. Last --time-budget wins in the
+      // worker's CLI parse, so appending overrides the original.
+      double base = options_.base_time_budget_seconds;
+      if (base <= 0.0 && options_.worker_timeout_seconds > 0.0) {
+        base = options_.worker_timeout_seconds * 0.5;
+      }
+      if (base > 0.0) {
+        const double tightened =
+            base * std::pow(options_.retry_budget_factor, attempt - 1);
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.6g", tightened);
+        argv.emplace_back("--time-budget");
+        argv.emplace_back(buf);
+      }
+    }
+    argv.push_back(file);
+
+    support::SubprocessOptions sub;
+    sub.timeout_seconds = options_.worker_timeout_seconds;
+    sub.extra_env = options_.extra_env;
+    sub.extra_env.emplace_back("SAFEFLOW_WORKER_ATTEMPT",
+                               std::to_string(attempt));
+
+    metrics_->counter("supervisor.workers_spawned").add();
+    const auto t0 = std::chrono::steady_clock::now();
+    const support::SubprocessResult run = support::runSubprocess(argv, sub);
+    metrics_->duration("supervisor.worker_wall")
+        .record(std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+    result->stderr_text = run.err_text;
+
+    using Status = support::SubprocessResult::Status;
+    switch (run.status) {
+      case Status::kExited: {
+        if (run.exit_code == 0 || run.exit_code == 1 ||
+            run.exit_code == 2 || run.exit_code == 3) {
+          support::json::Value doc;
+          std::string err;
+          if (support::json::parse(run.out_text, &doc, &err) &&
+              doc.isObject()) {
+            result->accepted = true;
+            result->report = std::move(doc);
+            result->exit_code = run.exit_code;
+            return;
+          }
+          if (run.exit_code == 2) {
+            // A frontend-style exit without a report is deterministic
+            // (the injected "exit2" fault and hard usage errors look
+            // like this): retrying cannot help.
+            result->failure_reason = "exit 2 (no report)";
+            return;
+          }
+          result->failure_reason =
+              "unparseable report (exit " +
+              std::to_string(run.exit_code) + ": " + err + ")";
+          break;  // torn stdout: worth a retry
+        }
+        result->failure_reason = "exit " + std::to_string(run.exit_code);
+        if (run.exit_code == 127) return;  // exec failure: deterministic
+        break;
+      }
+      case Status::kSignaled:
+        metrics_->counter("supervisor.worker_crashes").add();
+        result->failure_reason = support::signalName(run.signal_number);
+        break;
+      case Status::kTimedOut:
+        metrics_->counter("supervisor.workers_killed").add();
+        result->failure_reason = "timeout";
+        break;
+      case Status::kSpawnFailed:
+        result->failure_reason = "spawn failed: " + run.spawn_error;
+        return;  // environment problem, not input-dependent
+    }
+  }
+}
+
+MergedReport Supervisor::run(const std::vector<std::string>& files) {
+  std::vector<ShardResult> shards(files.size());
+  metrics_->gauge("supervisor.jobs")
+      .set(static_cast<double>(options_.jobs));
+
+  const std::size_t nthreads =
+      std::min<std::size_t>(options_.jobs, files.size());
+  std::atomic<std::size_t> next{0};
+  auto pump = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= files.size()) return;
+      runShard(files[i], &shards[i]);
+    }
+  };
+  if (nthreads <= 1) {
+    pump();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (std::size_t t = 0; t < nthreads; ++t) pool.emplace_back(pump);
+    for (std::thread& t : pool) t.join();
+  }
+
+  const auto merge_start = std::chrono::steady_clock::now();
+  MergedReport merged = merge(files, shards);
+  const double merge_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    merge_start)
+          .count();
+  metrics_->duration("supervisor.merge").record(merge_seconds);
+  metrics_->gauge("supervisor.merge_seconds").set(merge_seconds);
+  metrics_->counter("supervisor.shards_failed")
+      .add(merged.worker_failures.size());
+
+  // Fold the supervisor's own registry into the merged stats so
+  // --stats-json reports the orchestration alongside the analysis.
+  const auto snap = metrics_->snapshot();
+  std::map<std::string, std::uint64_t> counters(
+      merged.stats.counters.begin(), merged.stats.counters.end());
+  for (const auto& [name, value] : snap.counters) counters[name] += value;
+  merged.stats.counters.assign(counters.begin(), counters.end());
+  std::map<std::string, double> gauges(merged.stats.gauges.begin(),
+                                       merged.stats.gauges.end());
+  for (const auto& [name, value] : snap.gauges) gauges[name] = value;
+  merged.stats.gauges.assign(gauges.begin(), gauges.end());
+  return merged;
+}
+
+MergedReport Supervisor::merge(const std::vector<std::string>& files,
+                               std::vector<ShardResult>& shards) {
+  using support::json::Value;
+  MergedReport merged;
+  std::set<std::string> seen;        // finding dedup (headers in many TUs)
+  std::set<std::string> seen_checks; // runtime checks repeat per TU
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::vector<std::string> phase_order;  // first-seen = pipeline order
+  std::map<std::string, double> phase_seconds;
+  std::ostringstream diag;
+
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    ShardResult& shard = shards[i];
+    if (!shard.accepted) {
+      WorkerFailure failure;
+      failure.file = files[i];
+      failure.reason = shard.failure_reason;
+      failure.attempts = shard.attempts;
+      failure.stderr_tail = tail(shard.stderr_text);
+      merged.failed_files.push_back(files[i]);
+      merged.frontend_errors = true;
+      diag << "--- worker stderr: " << files[i] << " ("
+           << failure.reason << ", " << failure.attempts
+           << " attempt(s)) ---\n"
+           << failure.stderr_tail;
+      if (!failure.stderr_tail.empty() &&
+          failure.stderr_tail.back() != '\n') {
+        diag << '\n';
+      }
+      merged.worker_failures.push_back(std::move(failure));
+      continue;
+    }
+
+    const Value& doc = shard.report;
+    if (shard.exit_code == 2) {
+      merged.frontend_errors = true;
+      diag << "--- worker stderr: " << files[i]
+           << " (frontend errors) ---\n"
+           << tail(shard.stderr_text);
+      if (!shard.stderr_text.empty() && shard.stderr_text.back() != '\n') {
+        diag << '\n';
+      }
+    }
+
+    if (const Value* ws = doc.find("warnings"); ws != nullptr) {
+      for (const Value& w : ws->array) {
+        MergedReport::Warning out;
+        out.location = w.memberString("location");
+        out.function = w.memberString("function");
+        out.region = w.memberString("region");
+        std::string key =
+            out.location + ":warning:" + out.function + ":" + out.region;
+        if (const Value* bytes = w.find("bytes");
+            bytes != nullptr && bytes->array.size() == 2) {
+          out.bytes_known = true;
+          out.lo = static_cast<std::int64_t>(bytes->array[0].numberOr(0));
+          out.hi = static_cast<std::int64_t>(bytes->array[1].numberOr(0));
+          key += ":" + std::to_string(out.lo) + ":" + std::to_string(out.hi);
+        }
+        if (seen.insert(std::move(key)).second) {
+          merged.warnings.push_back(std::move(out));
+        }
+      }
+    }
+    if (const Value* es = doc.find("errors"); es != nullptr) {
+      for (const Value& e : es->array) {
+        MergedReport::Error out;
+        out.data = e.memberString("kind") == "data";
+        out.location = e.memberString("location");
+        out.function = e.memberString("function");
+        out.critical = e.memberString("critical");
+        std::string key = out.location +
+                          (out.data ? ":error:" : ":control:") +
+                          out.function + ":" + out.critical;
+        if (const Value* rs = e.find("regions"); rs != nullptr) {
+          for (const Value& r : rs->array) {
+            out.regions.push_back(r.stringOr({}));
+            key += ":" + out.regions.back();
+          }
+        }
+        if (const Value* ss = e.find("sources"); ss != nullptr) {
+          for (const Value& s : ss->array) {
+            out.sources.push_back(s.stringOr({}));
+            key += ":" + out.sources.back();
+          }
+        }
+        if (seen.insert(std::move(key)).second) {
+          merged.errors.push_back(std::move(out));
+        }
+      }
+    }
+    if (const Value* vs = doc.find("restriction_violations");
+        vs != nullptr) {
+      for (const Value& v : vs->array) {
+        MergedReport::Violation out;
+        out.rule = v.memberString("rule");
+        out.location = v.memberString("location");
+        out.message = v.memberString("message");
+        std::string key = out.location + ":" + out.rule + ":" + out.message;
+        if (seen.insert(std::move(key)).second) {
+          merged.restriction_violations.push_back(std::move(out));
+        }
+      }
+    }
+    merged.asserts_checked += doc.memberUint("asserts_checked");
+    if (const Value* checks = doc.find("required_runtime_checks");
+        checks != nullptr) {
+      for (const Value& c : checks->array) {
+        if (seen_checks.insert(c.stringOr({})).second) {
+          merged.required_runtime_checks.push_back(c.stringOr({}));
+        }
+      }
+    }
+    if (const Value* phases = doc.find("degraded_phases");
+        phases != nullptr) {
+      for (const Value& p : phases->array) {
+        const std::string name = p.stringOr({});
+        if (std::find(merged.degraded_phases.begin(),
+                      merged.degraded_phases.end(),
+                      name) == merged.degraded_phases.end()) {
+          merged.degraded_phases.push_back(name);
+        }
+      }
+    }
+    if (const Value* failed = doc.find("failed_files"); failed != nullptr) {
+      for (const Value& f : failed->array) {
+        merged.failed_files.push_back(f.stringOr({}));
+        merged.frontend_errors = true;
+      }
+    }
+
+    // Fold the worker's embedded stats document.
+    if (const Value* stats = doc.find("stats"); stats != nullptr) {
+      SafeFlowStats& s = merged.stats;
+      s.files += stats->memberUint("files");
+      if (const Value* loc = stats->find("loc"); loc != nullptr) {
+        s.loc.total_lines += loc->memberUint("total_lines");
+        s.loc.code_lines += loc->memberUint("code_lines");
+        s.loc.comment_lines += loc->memberUint("comment_lines");
+        s.loc.blank_lines += loc->memberUint("blank_lines");
+      }
+      s.annotation_count += stats->memberUint("annotation_count");
+      s.annotation_lines += stats->memberUint("annotation_lines");
+      s.functions += stats->memberUint("functions");
+      s.monitor_functions += stats->memberUint("monitor_functions");
+      s.init_functions += stats->memberUint("init_functions");
+      s.shm_regions += stats->memberUint("shm_regions");
+      s.noncore_regions += stats->memberUint("noncore_regions");
+      s.shm_iterations += stats->memberUint("shm_iterations");
+      s.taint_body_analyses += stats->memberUint("taint_body_analyses");
+      s.frontend_seconds += stats->memberNumber("frontend_seconds");
+      s.analysis_seconds += stats->memberNumber("analysis_seconds");
+      s.total_seconds += stats->memberNumber("total_seconds");
+      if (const Value* events = stats->find("degraded_phases");
+          events != nullptr) {
+        for (const Value& e : events->array) {
+          support::BudgetEvent event;
+          event.phase = e.memberString("phase");
+          event.reason = e.memberString("reason");
+          event.steps = e.memberUint("steps");
+          s.budget_events.push_back(std::move(event));
+        }
+      }
+      if (const Value* failed = stats->find("failed_files");
+          failed != nullptr) {
+        for (const Value& f : failed->array) {
+          s.failed_files.push_back(f.stringOr({}));
+        }
+      }
+      if (const Value* phases = stats->find("phases"); phases != nullptr) {
+        for (const Value& p : phases->array) {
+          const std::string name = p.memberString("name");
+          if (phase_seconds.find(name) == phase_seconds.end()) {
+            phase_order.push_back(name);
+          }
+          phase_seconds[name] += p.memberNumber("seconds");
+        }
+      }
+      if (const Value* cs = stats->find("counters"); cs != nullptr) {
+        for (const auto& [name, value] : cs->members) {
+          counters[name] += value.uintOr(0);
+        }
+      }
+      if (const Value* gs = stats->find("gauges"); gs != nullptr) {
+        for (const auto& [name, value] : gs->members) {
+          gauges[name] += value.numberOr(0.0);
+        }
+      }
+    }
+  }
+
+  // Dead shards also appear in the stats-level failed list so the two
+  // documents agree.
+  for (const WorkerFailure& f : merged.worker_failures) {
+    merged.stats.failed_files.push_back(f.file);
+  }
+
+  // Workers all run the same pipeline, so first-seen order is pipeline
+  // order; merging preserves it.
+  for (const std::string& name : phase_order) {
+    merged.stats.phase_seconds.emplace_back(name, phase_seconds[name]);
+  }
+  merged.stats.counters.assign(counters.begin(), counters.end());
+  merged.stats.gauges.assign(gauges.begin(), gauges.end());
+  merged.diagnostics_text = diag.str();
+  return merged;
+}
+
+std::string MergedReport::render() const {
+  std::ostringstream out;
+  out << "== SafeFlow report ==\n";
+  out << "warnings (unmonitored non-core accesses): " << warnings.size()
+      << "\n";
+  for (const Warning& w : warnings) {
+    out << "  [warning] " << w.location << " in " << w.function
+        << ": unmonitored read of non-core region '" << w.region << "'";
+    if (w.bytes_known) out << " bytes [" << w.lo << ", " << w.hi << ")";
+    out << "\n";
+  }
+  out << "error dependencies: " << errors.size() << " (" << dataErrorCount()
+      << " data, " << controlErrorCount()
+      << " control-only; control-only entries require manual review)\n";
+  for (const Error& e : errors) {
+    out << "  [error/" << (e.data ? "data" : "control") << "] "
+        << e.location << " in " << e.function << ": critical value '"
+        << e.critical << "' depends on non-core region(s):";
+    for (const std::string& r : e.regions) out << " " << r;
+    out << "\n";
+    for (const std::string& s : e.sources) {
+      out << "      via unmonitored load at " << s << "\n";
+    }
+  }
+  out << "restriction violations: " << restriction_violations.size() << "\n";
+  for (const Violation& v : restriction_violations) {
+    out << "  [" << v.rule << "] " << v.location << ": " << v.message
+        << "\n";
+  }
+  for (const std::string& check : required_runtime_checks) {
+    out << "  [runtime-check] " << check << "\n";
+  }
+  std::set<std::string> dead;
+  for (const WorkerFailure& f : worker_failures) dead.insert(f.file);
+  for (const std::string& f : failed_files) {
+    if (dead.count(f) != 0) continue;
+    out << "  [partial] '" << f
+        << "' had parse errors; results cover the declarations that "
+           "survived recovery\n";
+  }
+  for (const WorkerFailure& f : worker_failures) {
+    out << "  [failed] '" << f.file << "': worker " << f.reason
+        << " after " << f.attempts
+        << " attempt(s); shard not analyzed\n";
+  }
+  if (!degraded_phases.empty()) {
+    out << "DEGRADED: analysis budget exhausted in";
+    for (const std::string& p : degraded_phases) out << " " << p;
+    out << "; results are conservative (findings valid, absences "
+           "unproven)\n";
+  }
+  return out.str();
+}
+
+std::string MergedReport::renderJson(const std::string& stats_json) const {
+  std::ostringstream out;
+  out << "{\n  \"schema_version\": 1,\n  \"warnings\": [";
+  for (std::size_t i = 0; i < warnings.size(); ++i) {
+    const Warning& w = warnings[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"location\": \""
+        << jsonEscape(w.location) << "\", \"function\": \""
+        << jsonEscape(w.function) << "\", \"region\": \""
+        << jsonEscape(w.region) << "\"";
+    if (w.bytes_known) {
+      out << ", \"bytes\": [" << w.lo << ", " << w.hi << "]";
+    }
+    out << "}";
+  }
+  out << (warnings.empty() ? "]" : "\n  ]");
+  out << ",\n  \"errors\": [";
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    const Error& e = errors[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"kind\": \""
+        << (e.data ? "data" : "control") << "\", \"location\": \""
+        << jsonEscape(e.location) << "\", \"function\": \""
+        << jsonEscape(e.function) << "\", \"critical\": \""
+        << jsonEscape(e.critical) << "\", \"regions\": [";
+    for (std::size_t r = 0; r < e.regions.size(); ++r) {
+      out << (r == 0 ? "" : ", ") << "\"" << jsonEscape(e.regions[r])
+          << "\"";
+    }
+    out << "], \"sources\": [";
+    for (std::size_t s = 0; s < e.sources.size(); ++s) {
+      out << (s == 0 ? "" : ", ") << "\"" << jsonEscape(e.sources[s])
+          << "\"";
+    }
+    out << "]}";
+  }
+  out << (errors.empty() ? "]" : "\n  ]");
+  out << ",\n  \"restriction_violations\": [";
+  for (std::size_t i = 0; i < restriction_violations.size(); ++i) {
+    const Violation& v = restriction_violations[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"rule\": \""
+        << jsonEscape(v.rule) << "\", \"location\": \""
+        << jsonEscape(v.location) << "\", \"message\": \""
+        << jsonEscape(v.message) << "\"}";
+  }
+  out << (restriction_violations.empty() ? "]" : "\n  ]");
+  out << ",\n  \"asserts_checked\": " << asserts_checked
+      << ",\n  \"data_errors\": " << dataErrorCount()
+      << ",\n  \"control_only\": " << controlErrorCount();
+  if (!degraded_phases.empty()) {
+    out << ",\n  \"degraded\": true,\n  \"degraded_phases\": [";
+    for (std::size_t i = 0; i < degraded_phases.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << "\"" << jsonEscape(degraded_phases[i])
+          << "\"";
+    }
+    out << "]";
+  }
+  if (!failed_files.empty()) {
+    out << ",\n  \"failed_files\": [";
+    for (std::size_t i = 0; i < failed_files.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << "\"" << jsonEscape(failed_files[i])
+          << "\"";
+    }
+    out << "]";
+  }
+  if (!worker_failures.empty()) {
+    out << ",\n  \"worker_failures\": [";
+    for (std::size_t i = 0; i < worker_failures.size(); ++i) {
+      const WorkerFailure& f = worker_failures[i];
+      out << (i == 0 ? "\n" : ",\n") << "    {\"file\": \""
+          << jsonEscape(f.file) << "\", \"reason\": \""
+          << jsonEscape(f.reason) << "\", \"attempts\": " << f.attempts
+          << "}";
+    }
+    out << "\n  ]";
+  }
+  if (!stats_json.empty()) {
+    std::string indented;
+    indented.reserve(stats_json.size());
+    for (char c : stats_json) {
+      indented += c;
+      if (c == '\n') indented += "  ";
+    }
+    out << ",\n  \"stats\": " << indented;
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+}  // namespace safeflow

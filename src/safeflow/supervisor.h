@@ -1,0 +1,159 @@
+// Out-of-process analysis supervisor: shards a multi-file invocation
+// into per-TU `safeflow --worker` child processes so that a hard crash
+// (SIGSEGV in the frontend, a runaway loop, an OOM kill) on one
+// pathological translation unit cannot take down the whole run.
+//
+// Scheduling: a pool of up to `jobs` concurrent workers, each analyzing
+// one input file. Every worker runs under a wall-clock watchdog
+// (SIGKILL on deadline) and its exit is classified: a normal exit in
+// {0,1,2,3} with a parseable JSON report is accepted; a signal death,
+// watchdog kill, or torn report is retried up to `max_retries` times
+// with exponential backoff and a tightened analysis time budget (the
+// retry hypothesis is "the input is pathological, degrade instead of
+// dying"). A shard that exhausts its retries is recorded in
+// `failed_files` with the signal name and captured stderr; every other
+// shard is unaffected.
+//
+// Merging: per-worker JSON reports (worker protocol =
+// SafeFlowReport::renderJson with worker extras) and per-worker stats
+// documents are merged in *input file order* — never completion order —
+// so the merged report is byte-identical for any --jobs value; only
+// wall-clock fields differ. Duplicate findings from headers included by
+// several TUs are dropped with the same file:line:category:message key
+// the in-process path uses. Exit-code semantics follow the shared
+// ladder in driver.h (exitCodeFor), and `degraded` / `failed_files`
+// carry the PR 2 meanings.
+//
+// Note on semantics: per-TU sharding analyzes each file as its own
+// program, like running `safeflow` once per file. Cross-TU value flow
+// (a region initialized in one file and read in another) is only seen
+// by the default whole-program in-process mode; `--isolate` trades that
+// for crash isolation and parallelism. See DESIGN.md §10.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "safeflow/driver.h"
+#include "support/metrics.h"
+
+namespace safeflow {
+
+struct SupervisorOptions {
+  /// Maximum concurrent workers (>= 1).
+  std::size_t jobs = 1;
+  /// Retries after the first attempt for crash/timeout/torn-report
+  /// failures (attempts = 1 + max_retries).
+  int max_retries = 2;
+  /// First backoff sleep before a retry; doubles per further retry.
+  double backoff_base_seconds = 0.05;
+  /// Watchdog deadline per worker attempt; <= 0 disables the watchdog.
+  double worker_timeout_seconds = 60.0;
+  /// Factor applied to the analysis time budget on each retry (the
+  /// retried attempt runs with `--time-budget` tightened so a
+  /// pathological input degrades conservatively instead of dying again).
+  double retry_budget_factor = 0.5;
+  /// The run's original --time-budget in seconds (0 = none); used as the
+  /// base the retry budget tightens from. When 0, retries tighten from
+  /// half the watchdog deadline instead.
+  double base_time_budget_seconds = 0.0;
+  /// Path to the safeflow executable to use as the worker.
+  std::string worker_exe;
+  /// Analysis options forwarded verbatim to every worker (e.g. "-I",
+  /// "dir", "--mode=call-strings", "--time-budget", "250ms").
+  std::vector<std::string> worker_args;
+  /// Extra environment for every worker (tests use this to aim
+  /// SAFEFLOW_INJECT_FAULT at one shard without mutating global env).
+  std::vector<std::pair<std::string, std::string>> extra_env;
+};
+
+/// One shard that exhausted its retries (or failed unretryably).
+struct WorkerFailure {
+  std::string file;
+  /// "SIGSEGV", "timeout", "exit 2 (no report)", "unparseable report",
+  /// "spawn failed: ...".
+  std::string reason;
+  int attempts = 0;
+  /// Tail of the last attempt's captured stderr.
+  std::string stderr_tail;
+};
+
+/// The merged result of a supervised run. Field meanings mirror
+/// analysis::SafeFlowReport; entries are pre-rendered strings because
+/// they crossed the worker JSON protocol.
+struct MergedReport {
+  struct Warning {
+    std::string location, function, region;
+    bool bytes_known = false;
+    std::int64_t lo = 0, hi = 0;
+  };
+  struct Error {
+    bool data = true;
+    std::string location, function, critical;
+    std::vector<std::string> regions;
+    std::vector<std::string> sources;
+  };
+  struct Violation {
+    std::string rule, location, message;
+  };
+
+  std::vector<Warning> warnings;
+  std::vector<Error> errors;
+  std::vector<Violation> restriction_violations;
+  std::size_t asserts_checked = 0;
+  std::vector<std::string> required_runtime_checks;
+  std::vector<std::string> degraded_phases;
+  /// Files that failed: worker parse failures (from the worker's own
+  /// failed_files) and shards whose worker died (see worker_failures).
+  std::vector<std::string> failed_files;
+  std::vector<WorkerFailure> worker_failures;
+
+  /// Merged pipeline statistics (sums over workers + supervisor.*
+  /// counters); wall-clock fields are sums of per-worker wall time.
+  SafeFlowStats stats;
+  /// Captured stderr of shards with frontend errors or failures, in
+  /// input order, each block preceded by a "--- worker stderr ..."
+  /// header line. Printed to stderr by the CLI, never part of stdout.
+  std::string diagnostics_text;
+
+  bool frontend_errors = false;
+  [[nodiscard]] bool degraded() const { return !degraded_phases.empty(); }
+  [[nodiscard]] std::size_t dataErrorCount() const;
+  [[nodiscard]] std::size_t controlErrorCount() const;
+  [[nodiscard]] int exitCode() const {
+    return exitCodeFor(dataErrorCount(), frontend_errors, degraded());
+  }
+
+  /// Text rendering in the in-process report format (plus `[failed]`
+  /// lines for dead shards).
+  [[nodiscard]] std::string render() const;
+  /// JSON rendering in the in-process `--json` schema (plus a
+  /// "worker_failures" array when shards died); embeds `stats_json`
+  /// verbatim when non-empty.
+  [[nodiscard]] std::string renderJson(const std::string& stats_json) const;
+};
+
+class Supervisor {
+ public:
+  /// `metrics` receives supervisor.* counters/durations and may be the
+  /// registry whose snapshot lands in the merged stats; must outlive
+  /// run().
+  Supervisor(SupervisorOptions options, support::MetricsRegistry* metrics);
+
+  /// Analyzes `files`, one worker per file. Blocking; never throws on
+  /// worker misbehavior (a dead worker becomes a WorkerFailure).
+  [[nodiscard]] MergedReport run(const std::vector<std::string>& files);
+
+ private:
+  struct ShardResult;
+  void runShard(const std::string& file, ShardResult* result);
+  MergedReport merge(const std::vector<std::string>& files,
+                     std::vector<ShardResult>& shards);
+
+  SupervisorOptions options_;
+  support::MetricsRegistry* metrics_;
+};
+
+}  // namespace safeflow

@@ -1,0 +1,223 @@
+#include "support/subprocess.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace safeflow::support {
+
+namespace {
+
+/// Closes an fd unless it was already handed off / closed (-1).
+struct Fd {
+  int fd = -1;
+  Fd() = default;
+  explicit Fd(int f) : fd(f) {}
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() { reset(); }
+  void reset() {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  [[nodiscard]] int release() {
+    const int f = fd;
+    fd = -1;
+    return f;
+  }
+};
+
+bool makePipe(Fd* read_end, Fd* write_end) {
+  int fds[2];
+#if defined(__linux__)
+  if (::pipe2(fds, O_CLOEXEC) != 0) return false;
+#else
+  if (::pipe(fds) != 0) return false;
+  ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+#endif
+  read_end->reset();
+  write_end->reset();
+  read_end->fd = fds[0];
+  write_end->fd = fds[1];
+  return true;
+}
+
+/// Reads whatever is available on `fd` into `out`, bounded by `cap`
+/// (bytes beyond the cap are read and dropped so the child never blocks
+/// on a full pipe). Returns false on EOF.
+bool drainOnce(int fd, std::string* out, std::size_t cap) {
+  char buf[8192];
+  const ssize_t n = ::read(fd, buf, sizeof buf);
+  if (n == 0) return false;                               // EOF
+  if (n < 0) return errno == EINTR || errno == EAGAIN;    // transient
+  if (out->size() < cap) {
+    out->append(buf, buf + std::min<std::size_t>(
+                              static_cast<std::size_t>(n),
+                              cap - out->size()));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string signalName(int signal_number) {
+  switch (signal_number) {
+    case SIGHUP: return "SIGHUP";
+    case SIGINT: return "SIGINT";
+    case SIGQUIT: return "SIGQUIT";
+    case SIGILL: return "SIGILL";
+    case SIGABRT: return "SIGABRT";
+    case SIGFPE: return "SIGFPE";
+    case SIGKILL: return "SIGKILL";
+    case SIGBUS: return "SIGBUS";
+    case SIGSEGV: return "SIGSEGV";
+    case SIGPIPE: return "SIGPIPE";
+    case SIGALRM: return "SIGALRM";
+    case SIGTERM: return "SIGTERM";
+    case SIGXCPU: return "SIGXCPU";
+    case SIGXFSZ: return "SIGXFSZ";
+    default: return "SIG" + std::to_string(signal_number);
+  }
+}
+
+SubprocessResult runSubprocess(const std::vector<std::string>& argv,
+                               const SubprocessOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  SubprocessResult result;
+  if (argv.empty()) {
+    result.spawn_error = "empty argv";
+    return result;
+  }
+
+  Fd out_r, out_w, err_r, err_w;
+  if (!makePipe(&out_r, &out_w) || !makePipe(&err_r, &err_w)) {
+    result.spawn_error = std::string("pipe: ") + std::strerror(errno);
+    return result;
+  }
+
+  const Clock::time_point start = Clock::now();
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    result.spawn_error = std::string("fork: ") + std::strerror(errno);
+    return result;
+  }
+
+  if (pid == 0) {
+    // Child. Only async-signal-safe calls between fork and exec.
+    const int devnull = ::open("/dev/null", O_RDONLY);
+    if (devnull >= 0) ::dup2(devnull, STDIN_FILENO);
+    ::dup2(out_w.fd, STDOUT_FILENO);
+    ::dup2(err_w.fd, STDERR_FILENO);
+    // CLOEXEC closes the pipe fds themselves across exec.
+    for (const auto& [name, value] : options.extra_env) {
+      ::setenv(name.c_str(), value.c_str(), 1);
+    }
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv) {
+      cargv.push_back(const_cast<char*>(a.c_str()));
+    }
+    cargv.push_back(nullptr);
+    ::execvp(cargv[0], cargv.data());
+    // exec failed: report on the (still-open) stderr pipe and die with a
+    // conventional "command not runnable" status.
+    const char* msg = "safeflow-subprocess: exec failed: ";
+    (void)!::write(STDERR_FILENO, msg, std::strlen(msg));
+    const char* err = std::strerror(errno);
+    (void)!::write(STDERR_FILENO, err, std::strlen(err));
+    (void)!::write(STDERR_FILENO, "\n", 1);
+    ::_exit(127);
+  }
+
+  // Parent: close write ends so EOF propagates when the child exits.
+  out_w.reset();
+  err_w.reset();
+
+  const bool has_deadline = options.timeout_seconds > 0.0;
+  Clock::time_point deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.timeout_seconds));
+  bool killed_on_deadline = false;
+
+  bool out_open = true, err_open = true;
+  while (out_open || err_open) {
+    struct pollfd fds[2];
+    nfds_t nfds = 0;
+    if (out_open) fds[nfds++] = {out_r.fd, POLLIN, 0};
+    if (err_open) fds[nfds++] = {err_r.fd, POLLIN, 0};
+
+    int timeout_ms = -1;
+    if (has_deadline) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      timeout_ms = static_cast<int>(std::max<long long>(0, left.count()));
+    }
+    const int rc = ::poll(fds, nfds, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;  // unexpected; fall through to reap
+    }
+    if (rc == 0) {
+      if (killed_on_deadline) {
+        // Grace period over. The child is dead but something it spawned
+        // still holds a pipe write end; abandon the pipes rather than
+        // wait on a grandchild we never asked for.
+        break;
+      }
+      // Deadline expired with the child still holding its pipes open.
+      // Kill it, then keep draining briefly so its last output is not
+      // lost — but only under a short grace deadline, since an orphaned
+      // grandchild can keep the pipes open indefinitely.
+      ::kill(pid, SIGKILL);
+      killed_on_deadline = true;
+      deadline = Clock::now() + std::chrono::seconds(2);
+      continue;
+    }
+    for (nfds_t i = 0; i < nfds; ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const bool is_out = fds[i].fd == out_r.fd;
+      std::string* sink = is_out ? &result.out_text : &result.err_text;
+      if (!drainOnce(fds[i].fd, sink, options.max_capture_bytes)) {
+        if (is_out) {
+          out_open = false;
+          out_r.reset();
+        } else {
+          err_open = false;
+          err_r.reset();
+        }
+      }
+    }
+  }
+
+  // Reap exactly once; retry on EINTR so no zombie survives.
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  if (killed_on_deadline) {
+    result.status = SubprocessResult::Status::kTimedOut;
+    result.signal_number = SIGKILL;
+  } else if (WIFSIGNALED(status)) {
+    result.status = SubprocessResult::Status::kSignaled;
+    result.signal_number = WTERMSIG(status);
+  } else if (WIFEXITED(status)) {
+    result.status = SubprocessResult::Status::kExited;
+    result.exit_code = WEXITSTATUS(status);
+  } else {
+    result.status = SubprocessResult::Status::kSignaled;
+    result.signal_number = 0;
+  }
+  return result;
+}
+
+}  // namespace safeflow::support

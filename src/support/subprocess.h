@@ -1,0 +1,63 @@
+// Minimal POSIX subprocess runner for the analysis supervisor: fork/exec
+// with full stdout/stderr capture, an optional wall-clock deadline that
+// kills the child (SIGKILL — the watchdog must terminate even a child
+// stuck in an uninterruptible loop), and exit/signal classification.
+//
+// Hygiene guarantees the supervisor and the ASan CI job rely on:
+//   - every spawned child is reaped exactly once (no zombies survive a
+//     call, even on the timeout and spawn-failure paths);
+//   - every pipe descriptor is closed before returning (no fd leaks);
+//   - capture is bounded by `max_capture_bytes` so a worker spewing
+//     unbounded output cannot OOM the supervisor (excess is discarded,
+//     the child keeps running until EOF/deadline).
+//
+// The child's stdin is /dev/null; the parent never writes to the child,
+// so no SIGPIPE handling is needed on this side.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace safeflow::support {
+
+struct SubprocessOptions {
+  /// Wall-clock deadline in seconds; <= 0 means no watchdog.
+  double timeout_seconds = 0.0;
+  /// Cap on captured bytes per stream; excess output is discarded.
+  std::size_t max_capture_bytes = 16u << 20;
+  /// Extra environment variables set in the child (on top of the
+  /// inherited environment).
+  std::vector<std::pair<std::string, std::string>> extra_env;
+};
+
+struct SubprocessResult {
+  enum class Status {
+    kExited,       // normal termination; exit_code is valid
+    kSignaled,     // killed by a signal; signal_number is valid
+    kTimedOut,     // watchdog deadline hit; the child was SIGKILLed
+    kSpawnFailed,  // fork/exec failed; spawn_error explains
+  };
+  Status status = Status::kSpawnFailed;
+  int exit_code = -1;
+  int signal_number = 0;
+  std::string out_text;
+  std::string err_text;
+  double wall_seconds = 0.0;
+  std::string spawn_error;
+
+  [[nodiscard]] bool exitedWith(int code) const {
+    return status == Status::kExited && exit_code == code;
+  }
+};
+
+/// Runs `argv` (argv[0] is the executable, resolved via PATH when it
+/// contains no '/') to completion or deadline. Blocking; reaps the child
+/// before returning.
+SubprocessResult runSubprocess(const std::vector<std::string>& argv,
+                               const SubprocessOptions& options = {});
+
+/// "SIGSEGV", "SIGKILL", ... for common signals, "SIG<n>" otherwise.
+std::string signalName(int signal_number);
+
+}  // namespace safeflow::support

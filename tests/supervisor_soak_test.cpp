@@ -1,0 +1,132 @@
+// Fault-injection soak for the analysis supervisor: many iterations of
+// randomized fault kind / pipeline phase / target shard / job count,
+// asserting the supervisor itself never crashes, failures are
+// attributed to exactly the faulted file, every other shard is still
+// analyzed, and the merged report stays deterministic.
+//
+// Iteration count defaults low so the suite stays fast locally; CI sets
+// SAFEFLOW_SOAK_ITERS=200 for the long soak. The random stream is a
+// seeded LCG, so a given iteration count is fully reproducible.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+
+#include "safeflow/supervisor.h"
+#include "support/metrics.h"
+
+namespace {
+
+using namespace safeflow;
+
+const std::string kCorpus = SAFEFLOW_CORPUS_DIR;
+
+/// Deterministic 64-bit LCG (MMIX constants) — no std::random so runs
+/// are identical across libstdc++ versions.
+struct Lcg {
+  std::uint64_t state;
+  explicit Lcg(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 17;
+  }
+  std::size_t below(std::size_t n) { return n == 0 ? 0 : next() % n; }
+};
+
+std::size_t soakIterations() {
+  if (const char* env = std::getenv("SAFEFLOW_SOAK_ITERS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 12;
+}
+
+TEST(SupervisorSoak, RandomizedFaultsNeverTakeDownTheSupervisor) {
+  const std::vector<std::string> files = {
+      kCorpus + "/ip/core/comm.c",      kCorpus + "/ip/core/decision.c",
+      kCorpus + "/ip/core/filter.c",    kCorpus + "/ip/core/main.c",
+      kCorpus + "/ip/core/safety.c",    kCorpus + "/ip/core/selftest.c",
+      kCorpus + "/ip/core/telemetry.c",
+  };
+  // Fault menu: `hang` rides on a short watchdog so soak time stays
+  // bounded; the others die instantly.
+  const char* kinds[] = {"crash", "oom", "exit2", "hang"};
+  const char* phases[] = {"frontend", "lowering",     "ssa",
+                          "callgraph", "shm_propagation", "taint",
+                          "report"};
+
+  // Fault-free baseline to compare shard survival against.
+  std::size_t clean_files = 0;
+  {
+    SupervisorOptions opts;
+    opts.worker_exe = SAFEFLOW_EXE;
+    support::MetricsRegistry registry;
+    const MergedReport clean = Supervisor(opts, &registry).run(files);
+    ASSERT_TRUE(clean.worker_failures.empty());
+    clean_files = clean.stats.files;
+  }
+
+  Lcg rng(0x5afef10e);
+  const std::size_t iters = soakIterations();
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    const char* kind = kinds[rng.below(4)];
+    const char* phase = phases[rng.below(7)];
+    const std::string& target = files[rng.below(files.size())];
+    const bool hang = std::string(kind) == "hang";
+    const bool exit2 = std::string(kind) == "exit2";
+
+    SupervisorOptions opts;
+    opts.worker_exe = SAFEFLOW_EXE;
+    opts.jobs = 1 + rng.below(8);  // 1..8
+    opts.backoff_base_seconds = 0.001;
+    // Hangs burn the full watchdog per attempt; keep both short.
+    opts.max_retries = hang ? 0 : static_cast<int>(rng.below(3));
+    opts.worker_timeout_seconds = hang ? 2.0 : 30.0;
+    opts.extra_env = {
+        {"SAFEFLOW_INJECT_FAULT", std::string(kind) + "@" + phase},
+        {"SAFEFLOW_INJECT_FAULT_FILE", target},
+    };
+
+    support::MetricsRegistry registry;
+    Supervisor sup(opts, &registry);
+    const MergedReport merged = sup.run(files);
+
+    SCOPED_TRACE("iter " + std::to_string(iter) + ": " + kind + "@" +
+                 phase + " -> " + target + " jobs=" +
+                 std::to_string(opts.jobs));
+    // Exactly the faulted shard died, with the right attribution.
+    ASSERT_EQ(merged.worker_failures.size(), 1u);
+    EXPECT_EQ(merged.worker_failures[0].file, target);
+    // A deterministic exit 2 is never retried; crash/oom/hang use the
+    // full retry budget.
+    EXPECT_EQ(merged.worker_failures[0].attempts,
+              exit2 ? 1 : 1 + opts.max_retries);
+    ASSERT_EQ(merged.failed_files.size(), 1u);
+    EXPECT_EQ(merged.failed_files[0], target);
+    // A dead worker is a frontend-class loss: exit 2 unless data errors
+    // from surviving shards outrank it.
+    EXPECT_TRUE(merged.frontend_errors);
+    EXPECT_EQ(merged.exitCode(),
+              merged.dataErrorCount() > 0 ? 1 : 2);
+    // Every other shard completed its analysis.
+    EXPECT_EQ(merged.stats.files, clean_files - 1);
+    // The report renders without throwing and names the loss.
+    EXPECT_NE(merged.render().find("[failed]"), std::string::npos);
+    EXPECT_NE(merged.renderJson(merged.stats.renderJson())
+                  .find("\"worker_failures\""),
+              std::string::npos);
+  }
+
+  // After the whole soak: every child reaped, no zombies left behind.
+  errno = 0;
+  const pid_t reaped = ::waitpid(-1, nullptr, WNOHANG);
+  EXPECT_TRUE(reaped == -1 && errno == ECHILD)
+      << "zombie child survived the soak";
+}
+
+}  // namespace

@@ -1,0 +1,313 @@
+// Tests for the out-of-process analysis supervisor: worker exit/signal
+// classification, watchdog kills, retry policy (then-succeed and
+// exhausted), merge determinism across --jobs values, finding dedup,
+// the shared exit-code ladder, and the JSON reader the merge rests on.
+//
+// These spawn the real `safeflow` binary (path injected by CMake as
+// SAFEFLOW_EXE) as workers, with faults aimed via the supervisor's
+// extra_env so the global test environment is never mutated.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+
+#include "analysis/report.h"
+#include "safeflow/supervisor.h"
+#include "support/json.h"
+#include "support/source_manager.h"
+
+namespace {
+
+using namespace safeflow;
+
+const std::string kCorpus = SAFEFLOW_CORPUS_DIR;
+
+std::vector<std::string> ipCoreFiles() {
+  return {
+      kCorpus + "/ip/core/comm.c",      kCorpus + "/ip/core/decision.c",
+      kCorpus + "/ip/core/filter.c",    kCorpus + "/ip/core/main.c",
+      kCorpus + "/ip/core/safety.c",    kCorpus + "/ip/core/selftest.c",
+      kCorpus + "/ip/core/telemetry.c",
+  };
+}
+
+SupervisorOptions fastOptions() {
+  SupervisorOptions opts;
+  opts.worker_exe = SAFEFLOW_EXE;
+  opts.worker_timeout_seconds = 30.0;
+  opts.backoff_base_seconds = 0.001;  // keep retry tests fast
+  return opts;
+}
+
+/// Drops every line containing a wall-clock field so two documents can
+/// be compared for deterministic content ("modulo wall-clock fields").
+std::string stripTimes(const std::string& text) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    if (line.find("seconds") == std::string::npos &&
+        line.find("\"gauges\"") == std::string::npos) {
+      out += line;
+      out += '\n';
+    }
+    pos = eol + 1;
+  }
+  return out;
+}
+
+TEST(ExitCodeLadder, FrontendErrorsBeatDegraded) {
+  // The documented ladder: 1 > 2 > 3 > 0, shared by both paths.
+  EXPECT_EQ(exitCodeFor(2, true, true), 1);
+  EXPECT_EQ(exitCodeFor(1, false, false), 1);
+  EXPECT_EQ(exitCodeFor(0, true, true), 2);   // frontend beats degraded
+  EXPECT_EQ(exitCodeFor(0, true, false), 2);
+  EXPECT_EQ(exitCodeFor(0, false, true), 3);
+  EXPECT_EQ(exitCodeFor(0, false, false), 0);
+}
+
+TEST(Json, ParsesTheDocumentsTheToolEmits) {
+  support::json::Value v;
+  std::string err;
+  ASSERT_TRUE(support::json::parse(
+      R"({"a": 1, "b": [true, null, "x\ny"], "c": {"d": -2.5e1}})", &v,
+      &err))
+      << err;
+  EXPECT_EQ(v.memberUint("a"), 1u);
+  const auto* b = v.find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->array.size(), 3u);
+  EXPECT_TRUE(b->array[0].boolOr(false));
+  EXPECT_EQ(b->array[2].stringOr(""), "x\ny");
+  ASSERT_NE(v.find("c"), nullptr);
+  EXPECT_EQ(v.find("c")->memberNumber("d"), -25.0);
+}
+
+TEST(Json, RejectsMalformedAndTornInput) {
+  support::json::Value v;
+  EXPECT_FALSE(support::json::parse("", &v));
+  EXPECT_FALSE(support::json::parse("{\"a\": ", &v));
+  EXPECT_FALSE(support::json::parse("{\"a\": 1} trailing", &v));
+  EXPECT_FALSE(support::json::parse("{\"a\": 1e999}", &v));
+  // Deep nesting must fail the depth cap, not the stack.
+  std::string deep(500, '[');
+  deep += std::string(500, ']');
+  EXPECT_FALSE(support::json::parse(deep, &v));
+}
+
+TEST(ReportDedup, DropsRepeatedFindingsKeepsFirst) {
+  support::SourceManager sm;
+  analysis::SafeFlowReport report;
+  analysis::UnsafeAccessWarning w;
+  w.function = "f";
+  w.region_name = "r";
+  report.warnings = {w, w, w};
+  analysis::RestrictionViolation v;
+  v.rule = "A1";
+  v.message = "same message";
+  report.restriction_violations = {v, v};
+  analysis::CriticalDependencyError e;
+  e.function = "g";
+  e.critical_value = "cmd";
+  report.errors = {e, e};
+  report.deduplicate(sm);
+  EXPECT_EQ(report.warnings.size(), 1u);
+  EXPECT_EQ(report.restriction_violations.size(), 1u);
+  EXPECT_EQ(report.errors.size(), 1u);
+
+  // Different content at the same location survives.
+  analysis::RestrictionViolation v2 = v;
+  v2.message = "different message";
+  report.restriction_violations = {v, v2};
+  report.deduplicate(sm);
+  EXPECT_EQ(report.restriction_violations.size(), 2u);
+}
+
+TEST(Supervisor, CleanRunMatchesAcrossJobCounts) {
+  const auto files = ipCoreFiles();
+  std::string renders[2];
+  std::string stats[2];
+  const std::size_t job_counts[2] = {1, 8};
+  for (int i = 0; i < 2; ++i) {
+    SupervisorOptions opts = fastOptions();
+    opts.jobs = job_counts[i];
+    support::MetricsRegistry registry;
+    Supervisor sup(opts, &registry);
+    const MergedReport merged = sup.run(files);
+    EXPECT_EQ(merged.exitCode(), 0);
+    EXPECT_TRUE(merged.worker_failures.empty());
+    EXPECT_EQ(merged.stats.files, files.size());
+    renders[i] = merged.render() +
+                 merged.renderJson(merged.stats.renderJson());
+    stats[i] = merged.stats.renderJson();
+    EXPECT_EQ(registry.counterValue("supervisor.workers_spawned"),
+              files.size());
+    EXPECT_EQ(registry.counterValue("supervisor.workers_retried"), 0u);
+  }
+  EXPECT_EQ(stripTimes(renders[0]), stripTimes(renders[1]));
+  EXPECT_EQ(stripTimes(stats[0]), stripTimes(stats[1]));
+}
+
+TEST(Supervisor, WorkerSigsegvIsClassifiedAndAttributed) {
+  const auto files = ipCoreFiles();
+  SupervisorOptions opts = fastOptions();
+  opts.jobs = 4;
+  opts.max_retries = 1;
+  opts.extra_env = {{"SAFEFLOW_INJECT_FAULT", "crash@taint"},
+                    {"SAFEFLOW_INJECT_FAULT_FILE", "decision.c"}};
+  support::MetricsRegistry registry;
+  Supervisor sup(opts, &registry);
+  const MergedReport merged = sup.run(files);
+
+  ASSERT_EQ(merged.worker_failures.size(), 1u);
+  EXPECT_NE(merged.worker_failures[0].file.find("decision.c"),
+            std::string::npos);
+  EXPECT_EQ(merged.worker_failures[0].reason, "SIGSEGV");
+  EXPECT_EQ(merged.worker_failures[0].attempts, 2);  // 1 + max_retries
+  ASSERT_EQ(merged.failed_files.size(), 1u);
+  EXPECT_TRUE(merged.frontend_errors);
+  EXPECT_EQ(merged.exitCode(), 2);
+  // Every other shard was analyzed to completion.
+  EXPECT_EQ(merged.stats.files, files.size() - 1);
+  EXPECT_GE(registry.counterValue("supervisor.worker_crashes"), 2u);
+  EXPECT_EQ(registry.counterValue("supervisor.shards_failed"), 1u);
+}
+
+TEST(Supervisor, OomEmulationIsClassifiedAsSigkill) {
+  const std::vector<std::string> files = {kCorpus +
+                                          "/running_example/core.c"};
+  SupervisorOptions opts = fastOptions();
+  opts.max_retries = 0;
+  opts.extra_env = {{"SAFEFLOW_INJECT_FAULT", "oom@alias"}};
+  support::MetricsRegistry registry;
+  Supervisor sup(opts, &registry);
+  const MergedReport merged = sup.run(files);
+  ASSERT_EQ(merged.worker_failures.size(), 1u);
+  EXPECT_EQ(merged.worker_failures[0].reason, "SIGKILL");
+}
+
+TEST(Supervisor, WatchdogKillsHangingWorker) {
+  const std::vector<std::string> files = {kCorpus +
+                                          "/running_example/core.c"};
+  SupervisorOptions opts = fastOptions();
+  opts.max_retries = 0;
+  opts.worker_timeout_seconds = 0.5;
+  opts.extra_env = {{"SAFEFLOW_INJECT_FAULT", "hang@taint"}};
+  support::MetricsRegistry registry;
+  Supervisor sup(opts, &registry);
+  const MergedReport merged = sup.run(files);
+  ASSERT_EQ(merged.worker_failures.size(), 1u);
+  EXPECT_EQ(merged.worker_failures[0].reason, "timeout");
+  EXPECT_EQ(registry.counterValue("supervisor.workers_killed"), 1u);
+}
+
+TEST(Supervisor, InjectedExit2WithoutReportIsNotRetried) {
+  const std::vector<std::string> files = {kCorpus +
+                                          "/running_example/core.c"};
+  SupervisorOptions opts = fastOptions();
+  opts.max_retries = 3;
+  opts.extra_env = {{"SAFEFLOW_INJECT_FAULT", "exit2@frontend"}};
+  support::MetricsRegistry registry;
+  Supervisor sup(opts, &registry);
+  const MergedReport merged = sup.run(files);
+  ASSERT_EQ(merged.worker_failures.size(), 1u);
+  EXPECT_EQ(merged.worker_failures[0].reason, "exit 2 (no report)");
+  EXPECT_EQ(merged.worker_failures[0].attempts, 1);  // deterministic: no retry
+  EXPECT_EQ(merged.exitCode(), 2);
+}
+
+TEST(Supervisor, RetryAfterCrashSucceeds) {
+  const std::vector<std::string> files = {kCorpus +
+                                          "/running_example/core.c"};
+  SupervisorOptions opts = fastOptions();
+  opts.max_retries = 2;
+  opts.extra_env = {{"SAFEFLOW_INJECT_FAULT", "crash@taint"},
+                    {"SAFEFLOW_INJECT_FAULT_ATTEMPTS", "1"}};
+  support::MetricsRegistry registry;
+  Supervisor sup(opts, &registry);
+  const MergedReport merged = sup.run(files);
+  EXPECT_TRUE(merged.worker_failures.empty());
+  EXPECT_TRUE(merged.failed_files.empty());
+  EXPECT_EQ(merged.stats.files, 1u);
+  EXPECT_EQ(registry.counterValue("supervisor.workers_retried"), 1u);
+  EXPECT_EQ(registry.counterValue("supervisor.workers_spawned"), 2u);
+  EXPECT_GE(registry.counterValue("supervisor.backoff_waits"), 1u);
+}
+
+TEST(Supervisor, RetryExhaustedRecordsFailureWithStderr) {
+  const std::vector<std::string> files = {kCorpus +
+                                          "/running_example/core.c"};
+  SupervisorOptions opts = fastOptions();
+  opts.max_retries = 2;
+  opts.extra_env = {{"SAFEFLOW_INJECT_FAULT", "crash@lowering"}};
+  support::MetricsRegistry registry;
+  Supervisor sup(opts, &registry);
+  const MergedReport merged = sup.run(files);
+  ASSERT_EQ(merged.worker_failures.size(), 1u);
+  EXPECT_EQ(merged.worker_failures[0].attempts, 3);
+  EXPECT_EQ(registry.counterValue("supervisor.workers_spawned"), 3u);
+  // The captured-stderr channel and the text report both carry the loss.
+  EXPECT_NE(merged.diagnostics_text.find("worker stderr"),
+            std::string::npos);
+  EXPECT_NE(merged.render().find("[failed]"), std::string::npos);
+  EXPECT_NE(merged.renderJson({}).find("\"worker_failures\""),
+            std::string::npos);
+}
+
+TEST(Supervisor, SpawnFailureIsReportedNotRetried) {
+  SupervisorOptions opts = fastOptions();
+  opts.worker_exe = "/definitely/not/safeflow";
+  opts.max_retries = 3;
+  support::MetricsRegistry registry;
+  Supervisor sup(opts, &registry);
+  const MergedReport merged =
+      sup.run({kCorpus + "/running_example/core.c"});
+  ASSERT_EQ(merged.worker_failures.size(), 1u);
+  EXPECT_EQ(merged.worker_failures[0].attempts, 1);
+  EXPECT_EQ(merged.exitCode(), 2);
+}
+
+TEST(Supervisor, ParseFailureFileIsPartialNotDead) {
+  // A file with a syntax error: the worker exits 2 *with* a report
+  // (parser recovery), so the shard merges as [partial], not [failed].
+  const std::string bad = ::testing::TempDir() + "/sup_bad.c";
+  {
+    FILE* f = fopen(bad.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("int main( { return 0; }\n", f);
+    fclose(f);
+  }
+  SupervisorOptions opts = fastOptions();
+  support::MetricsRegistry registry;
+  Supervisor sup(opts, &registry);
+  const MergedReport merged =
+      sup.run({bad, kCorpus + "/running_example/core.c"});
+  EXPECT_TRUE(merged.worker_failures.empty());
+  ASSERT_EQ(merged.failed_files.size(), 1u);
+  EXPECT_EQ(merged.failed_files[0], bad);
+  EXPECT_TRUE(merged.frontend_errors);
+  EXPECT_EQ(merged.exitCode(), 2);
+  EXPECT_NE(merged.render().find("[partial]"), std::string::npos);
+  // The good shard still analyzed.
+  EXPECT_EQ(merged.stats.files, 2u);
+  ::remove(bad.c_str());
+}
+
+TEST(Supervisor, NoZombiesSurviveARun) {
+  SupervisorOptions opts = fastOptions();
+  opts.jobs = 4;
+  support::MetricsRegistry registry;
+  Supervisor sup(opts, &registry);
+  (void)sup.run(ipCoreFiles());
+  errno = 0;
+  const pid_t reaped = ::waitpid(-1, nullptr, WNOHANG);
+  EXPECT_TRUE(reaped == -1 && errno == ECHILD);
+}
+
+}  // namespace
