@@ -1,0 +1,280 @@
+#include "safeflow/cache_manager.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include <sys/stat.h>
+
+#include "safeflow/driver.h"
+
+namespace safeflow {
+
+namespace {
+
+/// Envelope schema; bumped independently of kAnalyzerVersion when the
+/// entry layout itself changes.
+constexpr std::uint64_t kCacheSchema = 1;
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool fileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+std::string directoryOf(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  return path.substr(0, slash);
+}
+
+/// Extracts every `#include "name"` target from `text`, conditional
+/// compilation ignored (see the soundness note in cache_manager.h:
+/// hashing a superset of the real closure is safe, a subset is not).
+std::vector<std::string> scanIncludes(std::string_view text) {
+  std::vector<std::string> names;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+
+    std::size_t i = 0;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i >= line.size() || line[i] != '#') continue;
+    ++i;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    constexpr std::string_view kInclude = "include";
+    if (line.substr(i, kInclude.size()) != kInclude) continue;
+    i += kInclude.size();
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i >= line.size() || line[i] != '"') continue;  // <...> ignored
+    const std::size_t close = line.find('"', i + 1);
+    if (close == std::string::npos) continue;
+    names.emplace_back(line.substr(i + 1, close - i - 1));
+  }
+  return names;
+}
+
+}  // namespace
+
+CacheManager::CacheManager(CacheOptions options,
+                           support::MetricsRegistry* metrics)
+    : options_(std::move(options)),
+      disk_({options_.dir, options_.max_bytes}),
+      metrics_(metrics) {
+  // Injected faults make runs non-deterministic: never serve or record
+  // results while the fault hook is armed.
+  if (std::getenv("SAFEFLOW_INJECT_FAULT") != nullptr) {
+    options_.enabled = false;
+  }
+}
+
+void CacheManager::count(const char* name, std::uint64_t delta) {
+  if (metrics_ != nullptr) metrics_->counter(name).add(delta);
+}
+
+void CacheManager::hashFileClosure(const std::string& path,
+                                   const std::string& display_name,
+                                   support::Fnv1a& hasher,
+                                   std::vector<std::string>& visited) const {
+  for (const std::string& seen : visited) {
+    if (seen == path) return;
+  }
+  visited.push_back(path);
+
+  const std::optional<std::string> contents = readFile(path);
+  if (!contents.has_value()) {
+    hasher.update("missing:");
+    hasher.update(display_name);
+    hasher.update("\n");
+    return;
+  }
+  hasher.update("file:");
+  hasher.update(display_name);
+  hasher.update(":");
+  hasher.update(std::to_string(contents->size()));
+  hasher.update("\n");
+  hasher.update(*contents);
+
+  const std::string dir = directoryOf(path);
+  for (const std::string& name : scanIncludes(*contents)) {
+    // Resolution order mirrors Preprocessor::handleInclude: the
+    // including file's directory first, then -I dirs in order.
+    std::string resolved;
+    if (const std::string local = dir + "/" + name; fileExists(local)) {
+      resolved = local;
+    } else {
+      for (const std::string& inc : options_.include_dirs) {
+        if (std::string candidate = inc + "/" + name;
+            fileExists(candidate)) {
+          resolved = std::move(candidate);
+          break;
+        }
+      }
+    }
+    if (resolved.empty()) {
+      // Unresolvable today; if the header appears tomorrow the marker
+      // disappears and the key changes.
+      hasher.update("unresolved-include:");
+      hasher.update(name);
+      hasher.update("\n");
+      continue;
+    }
+    hashFileClosure(resolved, resolved, hasher, visited);
+  }
+}
+
+std::string CacheManager::keyFor(
+    const std::vector<std::string>& files) const {
+  support::Fnv1a hasher;
+  hasher.update("safeflow-cache-schema:");
+  hasher.update(std::to_string(kCacheSchema));
+  hasher.update("\n");
+  hasher.update("analyzer:");
+  hasher.update(kAnalyzerVersion);
+  hasher.update("\n");
+  for (const std::string& flag : options_.analysis_flags) {
+    hasher.update("flag:");
+    hasher.update(flag);
+    hasher.update("\n");
+  }
+  for (const std::string& file : files) {
+    hasher.update("tu:");
+    hasher.update(file);
+    hasher.update("\n");
+    std::vector<std::string> visited;
+    hashFileClosure(file, file, hasher, visited);
+  }
+  return hasher.hex();
+}
+
+std::optional<CachedResult> CacheManager::lookup(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::optional<std::string> payload = disk_.lookup(key);
+  if (!payload.has_value()) {
+    count("cache.misses");
+    return std::nullopt;
+  }
+
+  // Anything short of a fully valid envelope is "corrupt": diagnose,
+  // purge, and fall back to a cold run. Never a crash, never a wrong
+  // report.
+  std::string why;
+  support::json::Value doc;
+  CachedResult result;
+  std::string parse_error;
+  if (!support::json::parse(*payload, &doc, &parse_error) ||
+      !doc.isObject()) {
+    why = "unparseable payload (" + parse_error + ")";
+  } else if (doc.memberUint("cache_schema") != kCacheSchema) {
+    why = "unknown cache_schema";
+  } else if (doc.memberString("analyzer_version") != kAnalyzerVersion) {
+    why = "analyzer version mismatch";
+  } else if (doc.memberString("key") != key) {
+    why = "key echo mismatch";
+  } else if (const support::json::Value* exit_code = doc.find("exit_code");
+             exit_code == nullptr || !exit_code->isNumber() ||
+             exit_code->number_value < 0 || exit_code->number_value > 3) {
+    why = "exit code out of range";
+  } else if (const support::json::Value* report = doc.find("report");
+             report == nullptr || !report->isObject() ||
+             report->find("schema_version") == nullptr) {
+    why = "missing report document";
+  } else {
+    result.exit_code = static_cast<int>(doc.memberNumber("exit_code"));
+    result.stderr_text = doc.memberString("stderr");
+    for (auto& [name, value] : doc.members) {
+      if (name == "report") {
+        result.report = std::move(value);
+        break;
+      }
+    }
+  }
+
+  if (!why.empty()) {
+    std::cerr << "safeflow: cache entry " << disk_.entryPath(key)
+              << " is corrupt (" << why
+              << "); falling back to cold analysis\n";
+    disk_.remove(key);
+    count("cache.corrupt");
+    count("cache.misses");
+    return std::nullopt;
+  }
+  count("cache.hits");
+  return result;
+}
+
+void CacheManager::store(const std::string& key,
+                         const std::string& report_json, int exit_code,
+                         const std::string& stderr_text) {
+  if (exit_code < 0 || exit_code > 3) return;  // not a ladder outcome
+  std::ostringstream out;
+  out << "{\n  \"cache_schema\": " << kCacheSchema
+      << ",\n  \"analyzer_version\": \"" << jsonEscape(kAnalyzerVersion)
+      << "\",\n  \"key\": \"" << jsonEscape(key)
+      << "\",\n  \"exit_code\": " << exit_code << ",\n  \"stderr\": \""
+      << jsonEscape(stderr_text) << "\",\n  \"report\": " << report_json
+      << "\n}\n";
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  const support::DiskCache::StoreResult stored = disk_.store(key, out.str());
+  if (!stored.ok) {
+    std::cerr << "safeflow: cannot write cache entry for key " << key
+              << ": " << stored.error << "\n";
+    return;
+  }
+  count("cache.writes");
+  if (stored.evicted > 0) count("cache.evictions", stored.evicted);
+  if (metrics_ != nullptr) {
+    metrics_->gauge("cache.size_bytes")
+        .set(static_cast<double>(disk_.totalBytes()));
+  }
+}
+
+std::string CacheManager::statsLine() const {
+  const auto value = [this](const char* name) -> std::uint64_t {
+    return metrics_ == nullptr ? 0 : metrics_->counterValue(name);
+  };
+  std::ostringstream out;
+  out << "safeflow cache: " << value("cache.hits") << " hit(s), "
+      << value("cache.misses") << " miss(es), " << value("cache.writes")
+      << " write(s), " << value("cache.evictions") << " eviction(s), "
+      << value("cache.corrupt") << " corrupt, " << disk_.totalBytes()
+      << " bytes in " << options_.dir << "\n";
+  return out.str();
+}
+
+}  // namespace safeflow

@@ -1,0 +1,126 @@
+// Content-addressed incremental analysis cache (DESIGN.md §11).
+//
+// SafeFlow's pipeline is deterministic per input set: the same sources
+// (including every resolved header), the same analyzer version, and the
+// same analysis-relevant configuration always produce the same report.
+// The CacheManager exploits that by keying an on-disk entry (a
+// support::DiskCache under --cache-dir) with a 64-bit FNV-1a digest
+// over exactly those inputs and storing the run's worker-protocol JSON
+// report, exit code, and rendered diagnostics. A warm run replays the
+// entry through the same merge path the supervisor uses, so cached and
+// live runs are byte-identical (modulo the cache counters inside the
+// stats document).
+//
+// Key composition (any difference => different key => miss):
+//   - cache envelope schema version;
+//   - kAnalyzerVersion (driver.h; bumped on analysis-semantics changes);
+//   - the analysis-relevant CLI flags, canonically the same passthrough
+//     vector the supervisor forwards to workers (-I/-D/--mode/
+//     --no-control-deps/--kill-critical/--time-budget/--step-budget/
+//     --max-depth). Observability (--trace/--stats*/--dot/--json) and
+//     scheduling (--jobs/--isolate/--worker-timeout/--retries) flags
+//     are deliberately excluded: they cannot change findings;
+//   - per input file, in input order: its path (reports embed path
+//     strings, so equal content at a different path must not hit) and
+//     the bytes of the file plus its transitive `#include "..."`
+//     closure, resolved exactly like the preprocessor (including-file
+//     directory first, then -I dirs in order). The closure scan ignores
+//     conditional compilation, i.e. hashes a superset of what the
+//     preprocessor may include — that can only cause spurious misses,
+//     never a wrong hit. Unresolvable includes hash as a marker so a
+//     header appearing later changes the key.
+//
+// Robustness: entries are written atomically by DiskCache (temp +
+// rename); lookup() validates the envelope (JSON parse, schema, key
+// echo, analyzer version, exit code range) and treats any mismatch as
+// "corrupt": one diagnostic on stderr, a cache.corrupt count, the entry
+// purged, and the caller falls back to a cold run. Corruption is never
+// a crash and never a wrong report. The whole cache is disabled when
+// SAFEFLOW_INJECT_FAULT is armed: injected faults make runs
+// non-deterministic, which violates the cache's core assumption.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/cache.h"
+#include "support/json.h"
+#include "support/metrics.h"
+
+namespace safeflow {
+
+struct CacheOptions {
+  bool enabled = false;
+  /// Created on demand, parents included (--cache-dir).
+  std::string dir = ".safeflow-cache";
+  /// LRU size cap (--cache-max-mb, default 256 MiB).
+  std::uint64_t max_bytes = 256ull << 20;
+  /// Include search path, needed to resolve the header closure the way
+  /// the preprocessor will.
+  std::vector<std::string> include_dirs;
+  /// Canonical analysis-relevant flag identity, in command-line order
+  /// (the supervisor's worker passthrough vector).
+  std::vector<std::string> analysis_flags;
+};
+
+/// A decoded cache entry: everything needed to reproduce the run's
+/// observable behavior without re-analyzing.
+struct CachedResult {
+  /// The worker-protocol report document (public --json schema plus
+  /// required_runtime_checks and the embedded stats object).
+  support::json::Value report;
+  /// Exit code of the original run (the shared ladder in driver.h).
+  int exit_code = 0;
+  /// Rendered diagnostics of the original run (worker stderr).
+  std::string stderr_text;
+};
+
+class CacheManager {
+ public:
+  /// `metrics` receives cache.hits/misses/writes/evictions/corrupt and
+  /// the cache.size_bytes gauge; may be null (counting disabled). Must
+  /// outlive the manager. Thread-safe: the supervisor calls lookup/
+  /// store from its worker pool.
+  CacheManager(CacheOptions options, support::MetricsRegistry* metrics);
+
+  [[nodiscard]] bool enabled() const { return options_.enabled; }
+  [[nodiscard]] const std::string& dir() const { return options_.dir; }
+
+  /// Stable content key (16 hex chars) for analyzing `files` as one
+  /// unit. The supervisor keys each shard with a single-file vector;
+  /// the in-process whole-program path keys the full input set.
+  [[nodiscard]] std::string keyFor(
+      const std::vector<std::string>& files) const;
+
+  /// Hit: decoded entry, LRU-refreshed. Miss (absent, unreadable, or
+  /// corrupt): nullopt; corrupt entries are additionally purged and
+  /// reported once on stderr.
+  [[nodiscard]] std::optional<CachedResult> lookup(const std::string& key);
+
+  /// Persists a finished run under `key`. `report_json` must be the
+  /// worker-protocol rendering; failures to write are diagnosed on
+  /// stderr but never fail the run.
+  void store(const std::string& key, const std::string& report_json,
+             int exit_code, const std::string& stderr_text);
+
+  /// One-line human summary for --cache-stats.
+  [[nodiscard]] std::string statsLine() const;
+
+ private:
+  void count(const char* name, std::uint64_t delta = 1);
+  /// Hashes `path` and its transitive include closure into `hasher`.
+  void hashFileClosure(const std::string& path,
+                       const std::string& display_name,
+                       support::Fnv1a& hasher,
+                       std::vector<std::string>& visited) const;
+
+  CacheOptions options_;
+  support::DiskCache disk_;
+  support::MetricsRegistry* metrics_;
+  std::mutex mu_;  // serializes disk I/O from pool threads
+};
+
+}  // namespace safeflow

@@ -29,6 +29,16 @@
 
 namespace safeflow {
 
+/// Analyzer identity: printed by `safeflow --version` and hashed into
+/// every incremental-cache key (see safeflow/cache_manager.h).
+///
+/// BUMP THIS on any change that can alter analysis results, the report
+/// or stats JSON schema, or the worker protocol — macro expansion,
+/// propagation, restriction rules, taint, rendering, defaults. The bump
+/// is what invalidates every stale cache entry; forgetting it means an
+/// upgraded analyzer can replay a report the old version produced.
+inline constexpr const char kAnalyzerVersion[] = "0.4.0";
+
 /// The exit-code ladder, shared by the in-process CLI path and the
 /// supervised (worker-pool) path so the two can never disagree:
 ///

@@ -22,6 +22,12 @@
 //   --worker-timeout <dur>  watchdog deadline per worker (default 60s)
 //   --retries <n>       crash/timeout retries per shard (default 2)
 //   --worker            (internal) single-shard worker protocol mode
+//   --cache             enable the result cache at .safeflow-cache/
+//   --cache-dir <dir>   enable the result cache at <dir> (parents created)
+//   --no-cache          force the cache off
+//   --cache-max-mb <n>  cache size cap before LRU eviction (default 256)
+//   --cache-stats       print cache hit/miss/write/eviction line to stderr
+//   --version           print the analyzer version and exit
 //   --quiet             print only the summary line
 //
 // A file that fails to parse does not abort the run: the remaining files
@@ -42,9 +48,11 @@
 
 #include <unistd.h>
 
+#include "safeflow/cache_manager.h"
 #include "safeflow/driver.h"
 #include "safeflow/supervisor.h"
 #include "support/fault_inject.h"
+#include "support/json.h"
 #include "support/limits.h"
 
 namespace {
@@ -72,6 +80,15 @@ void usage() {
          "  --no-isolate        single-process whole-program analysis\n"
          "  --worker-timeout <dur>  per-worker watchdog (default 60s)\n"
          "  --retries <n>       crash/timeout retries per shard\n"
+         "  --cache             enable the incremental result cache at\n"
+         "                      .safeflow-cache/\n"
+         "  --cache-dir <dir>   enable the cache at <dir> (directories\n"
+         "                      are created as needed)\n"
+         "  --no-cache          force the cache off\n"
+         "  --cache-max-mb <n>  size cap before LRU eviction (default 256,\n"
+         "                      0 = unlimited)\n"
+         "  --cache-stats       print the cache hit/miss line to stderr\n"
+         "  --version           print the analyzer version and exit\n"
          "  --quiet             print only the summary line\n";
 }
 
@@ -83,6 +100,45 @@ bool writeFile(const std::string& path, const std::string& contents) {
   }
   out << contents;
   return true;
+}
+
+/// Emits a MergedReport the way the CLI emits any report: stats
+/// documents, diagnostics on stderr, then JSON or text + the summary
+/// line on stdout. Shared by the supervised path and the in-process
+/// cache path so the two can never disagree on formatting.
+int emitMergedOutputs(const safeflow::MergedReport& merged,
+                      const std::string& stats_json_path, bool stats_table,
+                      bool json, bool quiet) {
+  const std::string stats_json = merged.stats.renderJson() + "\n";
+  if (!stats_json_path.empty()) {
+    if (stats_json_path == "-") {
+      std::cout << stats_json;
+    } else if (!writeFile(stats_json_path, stats_json)) {
+      return 2;
+    }
+  }
+  if (stats_table) {
+    std::cerr << merged.stats.renderTable();
+  }
+  std::ostream& text_out = stats_json_path == "-" ? std::cerr : std::cout;
+  if (!merged.diagnostics_text.empty()) {
+    std::cerr << merged.diagnostics_text;
+  }
+  const int exit_code = merged.exitCode();
+  if (json) {
+    std::cout << merged.renderJson(merged.stats.renderJson());
+    return exit_code;
+  }
+  if (!quiet) {
+    text_out << merged.render();
+  }
+  text_out << "safeflow: " << merged.warnings.size() << " warning(s), "
+           << merged.dataErrorCount() << " error dependency(ies), "
+           << merged.controlErrorCount()
+           << " control-only (review manually), "
+           << merged.restriction_violations.size()
+           << " restriction violation(s)\n";
+  return exit_code;
 }
 
 /// The path workers are spawned from: /proc/self/exe when available (the
@@ -113,6 +169,11 @@ int main(int argc, char** argv) {
   bool worker_mode = false;
   bool isolate_forced = false;
   bool isolate_disabled = false;
+  bool cache_enabled = false;
+  bool cache_disabled = false;
+  bool cache_stats = false;
+  std::string cache_dir = ".safeflow-cache";
+  std::uint64_t cache_max_mb = 256;
   std::size_t jobs = 1;
   SupervisorOptions sup_options;
   // Analysis options forwarded verbatim to workers in supervised mode.
@@ -213,6 +274,26 @@ int main(int argc, char** argv) {
       sup_options.max_retries = static_cast<int>(n);
     } else if (arg == "--worker") {
       worker_mode = true;
+    } else if (arg == "--cache") {
+      cache_enabled = true;
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      cache_enabled = true;
+      cache_dir = argv[++i];
+    } else if (arg == "--no-cache") {
+      cache_disabled = true;
+    } else if (arg == "--cache-stats") {
+      cache_stats = true;
+    } else if (arg == "--cache-max-mb" && i + 1 < argc) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::cerr << "invalid --cache-max-mb '" << argv[i] << "'\n";
+        return 2;
+      }
+      cache_max_mb = n;
+    } else if (arg == "--version") {
+      std::cout << "safeflow " << kAnalyzerVersion << "\n";
+      return 0;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -237,6 +318,23 @@ int main(int argc, char** argv) {
   }
   const bool supervised =
       !worker_mode && !isolate_disabled && (isolate_forced || jobs > 1);
+
+  // Workers never consult the cache themselves — the supervisor does,
+  // before spawning them. --dot/--trace need a live pipeline, so they
+  // bypass the cache on the in-process path.
+  bool use_cache = cache_enabled && !cache_disabled && !worker_mode;
+  if (use_cache && !supervised &&
+      (!dot_path.empty() || !trace_path.empty())) {
+    std::cerr << "safeflow: --dot/--trace need a live pipeline; result "
+                 "cache disabled for this run\n";
+    use_cache = false;
+  }
+  CacheOptions cache_options;
+  cache_options.enabled = use_cache;
+  cache_options.dir = cache_dir;
+  cache_options.max_bytes = cache_max_mb << 20;
+  cache_options.include_dirs = options.include_dirs;
+  cache_options.analysis_flags = passthrough;
 
   if (worker_mode) {
     // Single-shard worker protocol: emit the machine-readable report
@@ -271,40 +369,82 @@ int main(int argc, char** argv) {
     sup_options.base_time_budget_seconds = options.budget.time_seconds;
 
     support::MetricsRegistry registry;
+    CacheManager cache(cache_options, &registry);
+    if (cache.enabled()) sup_options.cache = &cache;
     Supervisor supervisor(sup_options, &registry);
     const MergedReport merged = supervisor.run(files);
+    if (cache_stats) std::cerr << cache.statsLine();
+    return emitMergedOutputs(merged, stats_json_path, stats_table, json,
+                             quiet);
+  }
 
-    const std::string stats_json = merged.stats.renderJson() + "\n";
-    if (!stats_json_path.empty()) {
-      if (stats_json_path == "-") {
-        std::cout << stats_json;
-      } else if (!writeFile(stats_json_path, stats_json)) {
-        return 2;
+  if (use_cache) {
+    // In-process incremental path: one cache entry keyed over the whole
+    // input set (whole-program analysis does not decompose per TU — use
+    // --jobs/--isolate for per-file granularity). Cold runs execute the
+    // ordinary pipeline and persist the worker-protocol document; warm
+    // runs replay it through the same merge/rendering path the
+    // supervisor uses, so cold and warm output are byte-identical.
+    support::MetricsRegistry registry;
+    CacheManager cache(cache_options, &registry);
+    // The manager can disarm itself (fault injection); fall through to
+    // the ordinary path below when it does.
+    if (cache.enabled()) {
+      const std::string key = cache.keyFor(files);
+      std::optional<CachedResult> cached = cache.lookup(key);
+      bool internal_error = false;
+      if (!cached.has_value()) {
+        SafeFlowDriver driver(options);
+        std::size_t files_ok = 0;
+        for (const std::string& f : files) {
+          if (driver.addFile(f)) ++files_ok;
+        }
+        if (files_ok == 0) {
+          // Mirror the ordinary path: nothing parsed, nothing cached.
+          std::cerr << driver.diagnostics().render(driver.sources());
+          return 2;
+        }
+        const auto& report = driver.analyze();
+        const std::string doc =
+            report.renderJson(driver.sources(),
+                              driver.stats().renderJson(),
+                              /*worker_protocol=*/true);
+        CachedResult live;
+        live.exit_code =
+            exitCodeFor(report.dataErrorCount(),
+                        driver.hasFrontendErrors(), driver.degraded());
+        if (driver.hasFrontendErrors()) {
+          live.stderr_text =
+              driver.diagnostics().render(driver.sources());
+        }
+        cache.store(key, doc, live.exit_code, live.stderr_text);
+        std::string err;
+        if (support::json::parse(doc, &live.report, &err) &&
+            live.report.isObject()) {
+          cached = std::move(live);
+        } else {
+          internal_error = true;  // cannot happen for our own writer
+        }
       }
+      if (!internal_error) {
+        std::vector<std::string> units = {files.front()};
+        std::vector<WorkerOutcome> outcomes(1);
+        outcomes[0].accepted = true;
+        outcomes[0].report = std::move(cached->report);
+        outcomes[0].exit_code = cached->exit_code;
+        MergedReport merged = mergeWorkerOutcomes(
+            units, outcomes, /*emit_stderr_headers=*/false);
+        // The original run's diagnostics, replayed verbatim (no worker
+        // headers on the in-process path).
+        merged.diagnostics_text = cached->stderr_text;
+        foldRegistrySnapshot(registry, &merged.stats);
+        if (cache_stats) std::cerr << cache.statsLine();
+        return emitMergedOutputs(merged, stats_json_path, stats_table,
+                                 json, quiet);
+      }
+      // Fall through to a plain cold run on the impossible round-trip
+      // failure; correctness beats the wasted parse.
     }
-    if (stats_table) {
-      std::cerr << merged.stats.renderTable();
-    }
-    std::ostream& text_out =
-        stats_json_path == "-" ? std::cerr : std::cout;
-    if (!merged.diagnostics_text.empty()) {
-      std::cerr << merged.diagnostics_text;
-    }
-    const int exit_code = merged.exitCode();
-    if (json) {
-      std::cout << merged.renderJson(merged.stats.renderJson());
-      return exit_code;
-    }
-    if (!quiet) {
-      text_out << merged.render();
-    }
-    text_out << "safeflow: " << merged.warnings.size() << " warning(s), "
-             << merged.dataErrorCount() << " error dependency(ies), "
-             << merged.controlErrorCount()
-             << " control-only (review manually), "
-             << merged.restriction_violations.size()
-             << " restriction violation(s)\n";
-    return exit_code;
   }
 
   SafeFlowDriver driver(options);

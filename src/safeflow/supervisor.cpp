@@ -10,6 +10,7 @@
 #include <sstream>
 #include <thread>
 
+#include "safeflow/cache_manager.h"
 #include "support/json.h"
 #include "support/subprocess.h"
 
@@ -55,22 +56,44 @@ std::size_t MergedReport::controlErrorCount() const {
   return errors.size() - dataErrorCount();
 }
 
-struct Supervisor::ShardResult {
-  bool accepted = false;          // a JSON report was obtained
-  support::json::Value report;    // valid when accepted
-  int exit_code = -1;             // worker exit code when accepted
-  int attempts = 0;
-  std::string failure_reason;     // non-empty when !accepted
-  std::string stderr_text;        // last attempt's stderr
-};
-
 Supervisor::Supervisor(SupervisorOptions options,
                        support::MetricsRegistry* metrics)
     : options_(std::move(options)), metrics_(metrics) {
   if (options_.jobs == 0) options_.jobs = 1;
 }
 
-void Supervisor::runShard(const std::string& file, ShardResult* result) {
+void Supervisor::analyzeShard(const std::string& file,
+                              WorkerOutcome* result) {
+  CacheManager* cache =
+      options_.cache != nullptr && options_.cache->enabled()
+          ? options_.cache
+          : nullptr;
+  std::string key;
+  if (cache != nullptr) {
+    key = cache->keyFor({file});
+    if (std::optional<CachedResult> hit = cache->lookup(key)) {
+      // Cache hit: no worker is spawned at all. The cached document
+      // joins the input-order merge exactly like a live shard would.
+      result->accepted = true;
+      result->from_cache = true;
+      result->report = std::move(hit->report);
+      result->exit_code = hit->exit_code;
+      result->stderr_text = std::move(hit->stderr_text);
+      return;
+    }
+  }
+  runShard(file, result);
+  // Only first-attempt successes are stored: a retried attempt ran with
+  // a tightened --time-budget, i.e. a different effective configuration
+  // whose (possibly degraded) report must not be replayed for the
+  // original one.
+  if (cache != nullptr && result->accepted && result->attempts == 1) {
+    cache->store(key, result->raw_stdout, result->exit_code,
+                 result->stderr_text);
+  }
+}
+
+void Supervisor::runShard(const std::string& file, WorkerOutcome* result) {
   const int max_attempts = 1 + std::max(0, options_.max_retries);
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     result->attempts = attempt;
@@ -138,6 +161,7 @@ void Supervisor::runShard(const std::string& file, ShardResult* result) {
               doc.isObject()) {
             result->accepted = true;
             result->report = std::move(doc);
+            result->raw_stdout = run.out_text;
             result->exit_code = run.exit_code;
             return;
           }
@@ -173,7 +197,7 @@ void Supervisor::runShard(const std::string& file, ShardResult* result) {
 }
 
 MergedReport Supervisor::run(const std::vector<std::string>& files) {
-  std::vector<ShardResult> shards(files.size());
+  std::vector<WorkerOutcome> shards(files.size());
   metrics_->gauge("supervisor.jobs")
       .set(static_cast<double>(options_.jobs));
 
@@ -184,7 +208,7 @@ MergedReport Supervisor::run(const std::vector<std::string>& files) {
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= files.size()) return;
-      runShard(files[i], &shards[i]);
+      analyzeShard(files[i], &shards[i]);
     }
   };
   if (nthreads <= 1) {
@@ -197,7 +221,7 @@ MergedReport Supervisor::run(const std::vector<std::string>& files) {
   }
 
   const auto merge_start = std::chrono::steady_clock::now();
-  MergedReport merged = merge(files, shards);
+  MergedReport merged = mergeWorkerOutcomes(files, shards);
   const double merge_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     merge_start)
@@ -207,22 +231,29 @@ MergedReport Supervisor::run(const std::vector<std::string>& files) {
   metrics_->counter("supervisor.shards_failed")
       .add(merged.worker_failures.size());
 
-  // Fold the supervisor's own registry into the merged stats so
-  // --stats-json reports the orchestration alongside the analysis.
-  const auto snap = metrics_->snapshot();
-  std::map<std::string, std::uint64_t> counters(
-      merged.stats.counters.begin(), merged.stats.counters.end());
-  for (const auto& [name, value] : snap.counters) counters[name] += value;
-  merged.stats.counters.assign(counters.begin(), counters.end());
-  std::map<std::string, double> gauges(merged.stats.gauges.begin(),
-                                       merged.stats.gauges.end());
-  for (const auto& [name, value] : snap.gauges) gauges[name] = value;
-  merged.stats.gauges.assign(gauges.begin(), gauges.end());
+  // Fold the supervisor's own registry (including cache.* counters when
+  // a cache is attached) into the merged stats so --stats-json reports
+  // the orchestration alongside the analysis.
+  foldRegistrySnapshot(*metrics_, &merged.stats);
   return merged;
 }
 
-MergedReport Supervisor::merge(const std::vector<std::string>& files,
-                               std::vector<ShardResult>& shards) {
+void foldRegistrySnapshot(const support::MetricsRegistry& metrics,
+                          SafeFlowStats* stats) {
+  const auto snap = metrics.snapshot();
+  std::map<std::string, std::uint64_t> counters(stats->counters.begin(),
+                                                stats->counters.end());
+  for (const auto& [name, value] : snap.counters) counters[name] += value;
+  stats->counters.assign(counters.begin(), counters.end());
+  std::map<std::string, double> gauges(stats->gauges.begin(),
+                                       stats->gauges.end());
+  for (const auto& [name, value] : snap.gauges) gauges[name] = value;
+  stats->gauges.assign(gauges.begin(), gauges.end());
+}
+
+MergedReport mergeWorkerOutcomes(const std::vector<std::string>& files,
+                                 std::vector<WorkerOutcome>& shards,
+                                 bool emit_stderr_headers) {
   using support::json::Value;
   MergedReport merged;
   std::set<std::string> seen;        // finding dedup (headers in many TUs)
@@ -234,7 +265,7 @@ MergedReport Supervisor::merge(const std::vector<std::string>& files,
   std::ostringstream diag;
 
   for (std::size_t i = 0; i < files.size(); ++i) {
-    ShardResult& shard = shards[i];
+    WorkerOutcome& shard = shards[i];
     if (!shard.accepted) {
       WorkerFailure failure;
       failure.file = files[i];
@@ -243,13 +274,15 @@ MergedReport Supervisor::merge(const std::vector<std::string>& files,
       failure.stderr_tail = tail(shard.stderr_text);
       merged.failed_files.push_back(files[i]);
       merged.frontend_errors = true;
-      diag << "--- worker stderr: " << files[i] << " ("
-           << failure.reason << ", " << failure.attempts
-           << " attempt(s)) ---\n"
-           << failure.stderr_tail;
-      if (!failure.stderr_tail.empty() &&
-          failure.stderr_tail.back() != '\n') {
-        diag << '\n';
+      if (emit_stderr_headers) {
+        diag << "--- worker stderr: " << files[i] << " ("
+             << failure.reason << ", " << failure.attempts
+             << " attempt(s)) ---\n"
+             << failure.stderr_tail;
+        if (!failure.stderr_tail.empty() &&
+            failure.stderr_tail.back() != '\n') {
+          diag << '\n';
+        }
       }
       merged.worker_failures.push_back(std::move(failure));
       continue;
@@ -258,11 +291,14 @@ MergedReport Supervisor::merge(const std::vector<std::string>& files,
     const Value& doc = shard.report;
     if (shard.exit_code == 2) {
       merged.frontend_errors = true;
-      diag << "--- worker stderr: " << files[i]
-           << " (frontend errors) ---\n"
-           << tail(shard.stderr_text);
-      if (!shard.stderr_text.empty() && shard.stderr_text.back() != '\n') {
-        diag << '\n';
+      if (emit_stderr_headers) {
+        diag << "--- worker stderr: " << files[i]
+             << " (frontend errors) ---\n"
+             << tail(shard.stderr_text);
+        if (!shard.stderr_text.empty() &&
+            shard.stderr_text.back() != '\n') {
+          diag << '\n';
+        }
       }
     }
 

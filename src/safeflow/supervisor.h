@@ -37,9 +37,12 @@
 #include <vector>
 
 #include "safeflow/driver.h"
+#include "support/json.h"
 #include "support/metrics.h"
 
 namespace safeflow {
+
+class CacheManager;
 
 struct SupervisorOptions {
   /// Maximum concurrent workers (>= 1).
@@ -67,6 +70,27 @@ struct SupervisorOptions {
   /// Extra environment for every worker (tests use this to aim
   /// SAFEFLOW_INJECT_FAULT at one shard without mutating global env).
   std::vector<std::pair<std::string, std::string>> extra_env;
+  /// Optional incremental result cache (DESIGN.md §11). On a hit the
+  /// supervisor skips spawning the shard's worker entirely and feeds the
+  /// cached worker-protocol document into the same input-order merge;
+  /// first-attempt accepted shards are stored back. May be null; must
+  /// outlive run().
+  CacheManager* cache = nullptr;
+};
+
+/// The outcome of obtaining one shard's worker-protocol document,
+/// whether from a live worker or the incremental cache. This is the
+/// unit the merge consumes; the in-process cache path builds one by
+/// hand to reuse the exact same merge/rendering machinery.
+struct WorkerOutcome {
+  bool accepted = false;          // a JSON report was obtained
+  support::json::Value report;    // valid when accepted
+  int exit_code = -1;             // ladder exit code when accepted
+  int attempts = 0;               // 0 when served from cache
+  bool from_cache = false;
+  std::string raw_stdout;         // worker stdout verbatim (cache store)
+  std::string failure_reason;     // non-empty when !accepted
+  std::string stderr_text;        // last attempt's (or cached) stderr
 };
 
 /// One shard that exhausted its retries (or failed unretryably).
@@ -135,6 +159,22 @@ struct MergedReport {
   [[nodiscard]] std::string renderJson(const std::string& stats_json) const;
 };
 
+/// Merges per-shard outcomes in input order (files[i] produced
+/// outcomes[i]; the two must be the same length). Findings are
+/// deduplicated with the in-process keys, stats documents are summed,
+/// failures become WorkerFailure entries. When `emit_stderr_headers` is
+/// false the "--- worker stderr ---" blocks are suppressed
+/// (merged.diagnostics_text stays empty) — the in-process cache path
+/// prints its own diagnostics verbatim instead.
+[[nodiscard]] MergedReport mergeWorkerOutcomes(
+    const std::vector<std::string>& files,
+    std::vector<WorkerOutcome>& outcomes, bool emit_stderr_headers = true);
+
+/// Folds a registry snapshot into `stats` the way the supervisor does
+/// before rendering: counters add, gauges overwrite.
+void foldRegistrySnapshot(const support::MetricsRegistry& metrics,
+                          SafeFlowStats* stats);
+
 class Supervisor {
  public:
   /// `metrics` receives supervisor.* counters/durations and may be the
@@ -147,10 +187,8 @@ class Supervisor {
   [[nodiscard]] MergedReport run(const std::vector<std::string>& files);
 
  private:
-  struct ShardResult;
-  void runShard(const std::string& file, ShardResult* result);
-  MergedReport merge(const std::vector<std::string>& files,
-                     std::vector<ShardResult>& shards);
+  void analyzeShard(const std::string& file, WorkerOutcome* result);
+  void runShard(const std::string& file, WorkerOutcome* result);
 
   SupervisorOptions options_;
   support::MetricsRegistry* metrics_;

@@ -1,0 +1,233 @@
+#include "support/cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace safeflow::support {
+
+namespace {
+
+constexpr const char kEntrySuffix[] = ".json";
+
+bool isEntryName(const std::string& name) {
+  const std::size_t suffix_len = sizeof(kEntrySuffix) - 1;
+  return name.size() > suffix_len &&
+         name.compare(name.size() - suffix_len, suffix_len, kEntrySuffix) ==
+             0;
+}
+
+bool isTempName(const std::string& name) {
+  return name.find(".tmp.") != std::string::npos;
+}
+
+/// mkdir -p: creates every missing component of `dir`.
+bool makeDirs(const std::string& dir, std::string* error) {
+  if (dir.empty()) {
+    if (error != nullptr) *error = "empty cache directory path";
+    return false;
+  }
+  std::string prefix;
+  prefix.reserve(dir.size());
+  std::size_t pos = 0;
+  while (pos <= dir.size()) {
+    const std::size_t slash = dir.find('/', pos);
+    const std::size_t end = slash == std::string::npos ? dir.size() : slash;
+    prefix.assign(dir, 0, end);
+    pos = end + 1;
+    if (prefix.empty() || prefix == ".") continue;  // leading '/' or './'
+    if (::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST) {
+      if (error != nullptr) {
+        *error = "cannot create directory '" + prefix +
+                 "': " + std::strerror(errno);
+      }
+      return false;
+    }
+    if (slash == std::string::npos) break;
+  }
+  return true;
+}
+
+struct EntryInfo {
+  std::string path;
+  std::uint64_t bytes = 0;
+  // Seconds + nanoseconds of the last-use stamp (mtime).
+  std::int64_t mtime_sec = 0;
+  std::int64_t mtime_nsec = 0;
+};
+
+/// Lists entry files (and stray temp files, which count as garbage to
+/// sweep) under `dir` with their sizes and recency stamps.
+std::vector<EntryInfo> listEntries(const std::string& dir,
+                                   bool include_temps) {
+  std::vector<EntryInfo> entries;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return entries;
+  while (const dirent* ent = ::readdir(handle)) {
+    const std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    const bool temp = isTempName(name);
+    if (!isEntryName(name) && !temp) continue;
+    if (temp && !include_temps) continue;
+    EntryInfo info;
+    info.path = dir + "/" + name;
+    struct stat st{};
+    if (::stat(info.path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) {
+      continue;
+    }
+    info.bytes = static_cast<std::uint64_t>(st.st_size);
+    info.mtime_sec = static_cast<std::int64_t>(st.st_mtim.tv_sec);
+    info.mtime_nsec = static_cast<std::int64_t>(st.st_mtim.tv_nsec);
+    entries.push_back(std::move(info));
+  }
+  ::closedir(handle);
+  return entries;
+}
+
+}  // namespace
+
+std::string Fnv1a::hex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(state_));
+  return buf;
+}
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  Fnv1a hasher;
+  hasher.update(bytes);
+  return hasher.digest();
+}
+
+DiskCache::DiskCache(DiskCacheOptions options)
+    : options_(std::move(options)) {}
+
+bool DiskCache::ensureDir(std::string* error) {
+  return makeDirs(options_.dir, error);
+}
+
+std::string DiskCache::entryPath(std::string_view key_hex) const {
+  std::string path = options_.dir;
+  path += '/';
+  path.append(key_hex);
+  path += kEntrySuffix;
+  return path;
+}
+
+std::optional<std::string> DiskCache::lookup(std::string_view key_hex) {
+  const std::string path = entryPath(key_hex);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  // Refresh the LRU stamp; best-effort (a read-only cache dir still
+  // serves hits, it just loses recency precision).
+  ::utimensat(AT_FDCWD, path.c_str(), nullptr, 0);
+  return buffer.str();
+}
+
+DiskCache::StoreResult DiskCache::store(std::string_view key_hex,
+                                        std::string_view payload) {
+  StoreResult result;
+  if (!ensureDir(&result.error)) return result;
+
+  // Temp name unique per process and call: a concurrent writer of the
+  // same key loses nothing, rename() makes last-writer-wins atomic.
+  static std::atomic<std::uint64_t> sequence{0};
+  const std::string final_path = entryPath(key_hex);
+  std::ostringstream temp_name;
+  temp_name << final_path << ".tmp." << ::getpid() << "."
+            << sequence.fetch_add(1, std::memory_order_relaxed);
+  const std::string temp_path = temp_name.str();
+
+  const int fd = ::open(temp_path.c_str(),
+                        O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0666);
+  if (fd < 0) {
+    result.error =
+        "cannot create '" + temp_path + "': " + std::strerror(errno);
+    return result;
+  }
+  std::size_t written = 0;
+  while (written < payload.size()) {
+    const ssize_t n =
+        ::write(fd, payload.data() + written, payload.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      result.error =
+          "cannot write '" + temp_path + "': " + std::strerror(errno);
+      ::close(fd);
+      ::unlink(temp_path.c_str());
+      return result;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  if (::rename(temp_path.c_str(), final_path.c_str()) != 0) {
+    result.error = "cannot rename '" + temp_path + "' to '" + final_path +
+                   "': " + std::strerror(errno);
+    ::unlink(temp_path.c_str());
+    return result;
+  }
+  result.ok = true;
+  result.evicted = evictOverCap(key_hex);
+  return result;
+}
+
+void DiskCache::remove(std::string_view key_hex) {
+  ::unlink(entryPath(key_hex).c_str());
+}
+
+std::uint64_t DiskCache::totalBytes() const {
+  std::uint64_t total = 0;
+  for (const EntryInfo& e : listEntries(options_.dir, false)) {
+    total += e.bytes;
+  }
+  return total;
+}
+
+std::uint64_t DiskCache::evictOverCap(std::string_view keep_key_hex) {
+  if (options_.max_bytes == 0) return 0;
+  // Temp files are abandoned write attempts (a killed process); they are
+  // never valid entries, so sweep them alongside the LRU pass.
+  std::vector<EntryInfo> entries = listEntries(options_.dir, true);
+  std::uint64_t total = 0;
+  for (const EntryInfo& e : entries) total += e.bytes;
+  if (total <= options_.max_bytes) return 0;
+
+  std::sort(entries.begin(), entries.end(),
+            [](const EntryInfo& a, const EntryInfo& b) {
+              if (a.mtime_sec != b.mtime_sec) {
+                return a.mtime_sec < b.mtime_sec;
+              }
+              if (a.mtime_nsec != b.mtime_nsec) {
+                return a.mtime_nsec < b.mtime_nsec;
+              }
+              return a.path < b.path;  // total order for equal stamps
+            });
+
+  const std::string keep = entryPath(keep_key_hex);
+  std::uint64_t evicted = 0;
+  for (const EntryInfo& e : entries) {
+    if (total <= options_.max_bytes) break;
+    if (e.path == keep) continue;  // never evict the entry just written
+    if (::unlink(e.path.c_str()) == 0) {
+      total -= e.bytes;
+      ++evicted;
+    }
+  }
+  return evicted;
+}
+
+}  // namespace safeflow::support

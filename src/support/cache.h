@@ -1,0 +1,104 @@
+// On-disk content-addressed cache primitives for the incremental
+// analysis layer: a hand-rolled 64-bit FNV-1a hasher (no external
+// dependency, stable across platforms and builds) and a DiskCache that
+// maps hex keys to payload files under one directory.
+//
+// Durability contract the cache manager relies on:
+//   - store() writes to a private temp file and rename()s it into place,
+//     so a killed process never leaves a torn entry under a valid key —
+//     a crash leaves either the old payload, the new payload, or no
+//     entry at all (stray *.tmp files are ignored and swept by eviction);
+//   - lookup() refreshes the entry's mtime, so recency == mtime and
+//     eviction can be plain oldest-mtime-first LRU;
+//   - store() enforces the byte cap by evicting least-recently-used
+//     entries after each write (never the entry just written).
+//
+// The payload is opaque bytes here; validation (JSON parse, key echo,
+// analyzer version) is the caller's job, because only the caller knows
+// what a well-formed entry looks like.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace safeflow::support {
+
+/// Incremental 64-bit FNV-1a. Stable, dependency-free, and good enough
+/// for content addressing: collisions require adversarial inputs, and a
+/// wrong hit is additionally guarded by the key echoed inside the entry.
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  void update(std::string_view bytes) {
+    for (const char c : bytes) {
+      state_ ^= static_cast<unsigned char>(c);
+      state_ *= kPrime;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+  /// 16 lowercase hex characters (zero-padded).
+  [[nodiscard]] std::string hex() const;
+
+ private:
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+/// One-shot convenience.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view bytes);
+
+struct DiskCacheOptions {
+  std::string dir;
+  /// Total payload byte cap; exceeding it evicts oldest-mtime entries.
+  /// 0 disables eviction.
+  std::uint64_t max_bytes = 256ull << 20;
+};
+
+class DiskCache {
+ public:
+  explicit DiskCache(DiskCacheOptions options);
+
+  /// Creates the cache directory and any missing parents (mkdir -p).
+  /// Idempotent; returns false with a description on failure.
+  bool ensureDir(std::string* error = nullptr);
+
+  /// Reads the entry for `key_hex` and marks it most-recently-used.
+  /// nullopt when absent or unreadable (the caller treats both as a
+  /// miss).
+  [[nodiscard]] std::optional<std::string> lookup(std::string_view key_hex);
+
+  struct StoreResult {
+    bool ok = false;
+    /// Entries removed by the post-write LRU sweep.
+    std::uint64_t evicted = 0;
+    std::string error;  // set when !ok
+  };
+  /// Atomically creates or replaces the entry (temp file + rename), then
+  /// evicts least-recently-used entries until the directory is back
+  /// under max_bytes.
+  StoreResult store(std::string_view key_hex, std::string_view payload);
+
+  /// Deletes the entry if present (used to purge corrupt payloads so
+  /// they are not re-parsed on every run).
+  void remove(std::string_view key_hex);
+
+  /// Absolute-or-relative path of the entry file for `key_hex`.
+  [[nodiscard]] std::string entryPath(std::string_view key_hex) const;
+
+  /// Sum of entry payload sizes currently on disk (scans the directory).
+  [[nodiscard]] std::uint64_t totalBytes() const;
+
+  [[nodiscard]] const std::string& dir() const { return options_.dir; }
+  [[nodiscard]] std::uint64_t maxBytes() const { return options_.max_bytes; }
+
+ private:
+  std::uint64_t evictOverCap(std::string_view keep_key_hex);
+
+  DiskCacheOptions options_;
+};
+
+}  // namespace safeflow::support

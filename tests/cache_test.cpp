@@ -1,0 +1,475 @@
+// Tests for the incremental analysis cache: the FNV-1a hasher against
+// known vectors, DiskCache durability and LRU eviction, CacheManager
+// key sensitivity (content, headers, flags, order, search path),
+// corrupt-entry fallback, and end-to-end warm runs through the real
+// supervisor (SAFEFLOW_EXE workers) including the edit-one-TU case.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "safeflow/cache_manager.h"
+#include "safeflow/supervisor.h"
+#include "support/cache.h"
+#include "support/metrics.h"
+
+namespace {
+
+using namespace safeflow;
+
+const std::string kCorpus = SAFEFLOW_CORPUS_DIR;
+
+std::string freshDir(const std::string& leaf) {
+  // Suffix with the pid: ctest runs each discovered test as its own
+  // process, possibly in parallel, and fixed names would collide.
+  const std::string dir = ::testing::TempDir() + "/" + leaf + "." +
+                          std::to_string(::getpid());
+  std::string cmd = "rm -rf '" + dir + "'";
+  EXPECT_EQ(std::system(cmd.c_str()), 0);
+  return dir;
+}
+
+void writeFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << path;
+  out << contents;
+}
+
+std::string readFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return text;
+}
+
+void setMtime(const std::string& path, time_t seconds) {
+  struct timespec times[2];
+  times[0].tv_sec = seconds;
+  times[0].tv_nsec = 0;
+  times[1].tv_sec = seconds;
+  times[1].tv_nsec = 0;
+  ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), times, 0), 0) << path;
+}
+
+TEST(Fnv1a, MatchesPublishedVectors) {
+  // Reference vectors for 64-bit FNV-1a.
+  EXPECT_EQ(support::fnv1a(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(support::fnv1a("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(support::fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a, IncrementalEqualsOneShotAndHexIsPadded) {
+  support::Fnv1a h;
+  h.update("foo");
+  h.update("");
+  h.update("bar");
+  EXPECT_EQ(h.digest(), support::fnv1a("foobar"));
+  EXPECT_EQ(h.hex().size(), 16u);
+  EXPECT_EQ(h.hex(), "85944171f73967e8");
+
+  // Embedded NUL bytes participate in the digest.
+  support::Fnv1a with_nul;
+  with_nul.update(std::string_view("a\0b", 3));
+  EXPECT_NE(with_nul.digest(), support::fnv1a("ab"));
+}
+
+TEST(DiskCache, StoreLookupOverwriteRemove) {
+  support::DiskCache cache({freshDir("disk_basic"), 0});
+  ASSERT_TRUE(cache.ensureDir());
+  EXPECT_FALSE(cache.lookup("00aa").has_value());
+
+  EXPECT_TRUE(cache.store("00aa", "payload one").ok);
+  ASSERT_TRUE(cache.lookup("00aa").has_value());
+  EXPECT_EQ(*cache.lookup("00aa"), "payload one");
+  EXPECT_EQ(cache.totalBytes(), std::string("payload one").size());
+
+  // Overwrite replaces atomically; no second entry appears.
+  EXPECT_TRUE(cache.store("00aa", "two").ok);
+  EXPECT_EQ(*cache.lookup("00aa"), "two");
+  EXPECT_EQ(cache.totalBytes(), 3u);
+
+  cache.remove("00aa");
+  EXPECT_FALSE(cache.lookup("00aa").has_value());
+  EXPECT_EQ(cache.totalBytes(), 0u);
+}
+
+TEST(DiskCache, EnsureDirCreatesMissingParents) {
+  const std::string root = freshDir("disk_parents");
+  support::DiskCache cache({root + "/a/b/c", 0});
+  std::string error;
+  ASSERT_TRUE(cache.ensureDir(&error)) << error;
+  struct stat st{};
+  EXPECT_EQ(::stat((root + "/a/b/c").c_str(), &st), 0);
+  EXPECT_TRUE(S_ISDIR(st.st_mode));
+  // Idempotent.
+  EXPECT_TRUE(cache.ensureDir());
+}
+
+TEST(DiskCache, EvictsOldestMtimeFirstAndSparesTheFreshWrite) {
+  // Cap fits two 10-byte payloads; the third write must evict exactly
+  // the entry with the oldest mtime, never the entry just written.
+  support::DiskCache cache({freshDir("disk_lru"), 20});
+  ASSERT_TRUE(cache.ensureDir());
+  ASSERT_TRUE(cache.store("aaaa", "0123456789").ok);
+  ASSERT_TRUE(cache.store("bbbb", "0123456789").ok);
+  // Pin recency explicitly so the test never races the clock:
+  // aaaa is old, bbbb is recent.
+  setMtime(cache.entryPath("aaaa"), 1000);
+  setMtime(cache.entryPath("bbbb"), 2000);
+
+  const auto stored = cache.store("cccc", "0123456789");
+  ASSERT_TRUE(stored.ok);
+  EXPECT_EQ(stored.evicted, 1u);
+  EXPECT_FALSE(cache.lookup("aaaa").has_value());  // LRU victim
+  EXPECT_TRUE(cache.lookup("bbbb").has_value());
+  EXPECT_TRUE(cache.lookup("cccc").has_value());
+  EXPECT_LE(cache.totalBytes(), 20u);
+}
+
+TEST(DiskCache, LookupRefreshesRecency) {
+  support::DiskCache cache({freshDir("disk_touch"), 20});
+  ASSERT_TRUE(cache.ensureDir());
+  ASSERT_TRUE(cache.store("aaaa", "0123456789").ok);
+  ASSERT_TRUE(cache.store("bbbb", "0123456789").ok);
+  setMtime(cache.entryPath("aaaa"), 1000);
+  setMtime(cache.entryPath("bbbb"), 2000);
+  // Touch aaaa: its mtime moves to "now", far past 2000, so bbbb
+  // becomes the LRU victim.
+  ASSERT_TRUE(cache.lookup("aaaa").has_value());
+  const auto stored = cache.store("cccc", "0123456789");
+  ASSERT_TRUE(stored.ok);
+  EXPECT_EQ(stored.evicted, 1u);
+  EXPECT_TRUE(cache.lookup("aaaa").has_value());
+  EXPECT_FALSE(cache.lookup("bbbb").has_value());
+}
+
+TEST(DiskCache, StrayTempFilesAreIgnoredAndSwept) {
+  const std::string dir = freshDir("disk_tmp");
+  support::DiskCache cache({dir, 5});
+  ASSERT_TRUE(cache.ensureDir());
+  // Simulate a crash mid-store: a temp file with no final entry. It is
+  // never a valid entry (not counted, not served) and the next LRU pass
+  // reclaims its bytes.
+  writeFile(dir + "/dead.tmp.12345.1", "torn bytes");
+  EXPECT_EQ(cache.totalBytes(), 0u);  // temps never count
+  EXPECT_FALSE(cache.lookup("dead").has_value());
+  const auto stored = cache.store("aaaa", "x");
+  ASSERT_TRUE(stored.ok);
+  EXPECT_EQ(stored.evicted, 1u);  // the swept temp
+  EXPECT_TRUE(cache.lookup("aaaa").has_value());
+  struct stat st{};
+  EXPECT_NE(::stat((dir + "/dead.tmp.12345.1").c_str(), &st), 0);  // gone
+}
+
+// --- CacheManager key composition -----------------------------------
+
+struct KeyFixture {
+  std::string src_dir = freshDir("key_src");
+  std::string inc_dir;
+  CacheOptions options;
+
+  KeyFixture() {
+    EXPECT_EQ(std::system(("mkdir -p '" + src_dir + "'").c_str()), 0);
+    inc_dir = src_dir + "/inc";
+    EXPECT_EQ(std::system(("mkdir -p '" + inc_dir + "'").c_str()), 0);
+    writeFile(src_dir + "/a.c",
+              "#include \"shared.h\"\nint core_main(void) { return 0; }\n");
+    writeFile(src_dir + "/shared.h", "int shared_value;\n");
+    options.enabled = true;
+    options.dir = freshDir("key_cache");
+    options.include_dirs = {inc_dir};
+    options.analysis_flags = {"--mode=taint"};
+  }
+
+  [[nodiscard]] std::string key() const {
+    support::MetricsRegistry registry;
+    CacheManager manager(options, &registry);
+    return manager.keyFor({src_dir + "/a.c"});
+  }
+};
+
+TEST(CacheKey, StableAcrossRepeatedComputation) {
+  KeyFixture fx;
+  const std::string first = fx.key();
+  EXPECT_EQ(first.size(), 16u);
+  EXPECT_EQ(first, fx.key());
+}
+
+TEST(CacheKey, ChangesWithTuContent) {
+  KeyFixture fx;
+  const std::string before = fx.key();
+  writeFile(fx.src_dir + "/a.c",
+            "#include \"shared.h\"\nint core_main(void) { return 1; }\n");
+  EXPECT_NE(fx.key(), before);
+}
+
+TEST(CacheKey, ChangesWithIncludedHeaderContent) {
+  KeyFixture fx;
+  const std::string before = fx.key();
+  writeFile(fx.src_dir + "/shared.h", "int shared_value; /* edited */\n");
+  EXPECT_NE(fx.key(), before);
+}
+
+TEST(CacheKey, ChangesWithTransitiveHeaderContent) {
+  KeyFixture fx;
+  writeFile(fx.src_dir + "/shared.h",
+            "#include \"nested.h\"\nint shared_value;\n");
+  writeFile(fx.src_dir + "/nested.h", "int nested_value;\n");
+  const std::string before = fx.key();
+  writeFile(fx.src_dir + "/nested.h", "int nested_value; /* edited */\n");
+  EXPECT_NE(fx.key(), before);
+}
+
+TEST(CacheKey, ChangesWithAnalysisFlags) {
+  KeyFixture fx;
+  const std::string before = fx.key();
+  fx.options.analysis_flags = {"--mode=call-strings"};
+  EXPECT_NE(fx.key(), before);
+  fx.options.analysis_flags = {"--mode=taint", "--time-budget", "250ms"};
+  EXPECT_NE(fx.key(), before);
+}
+
+TEST(CacheKey, ChangesWhenAnUnresolvedHeaderAppears) {
+  // While `later.h` is missing the key carries an unresolved marker; the
+  // header appearing must change the key (the cold result may differ).
+  KeyFixture fx;
+  writeFile(fx.src_dir + "/a.c",
+            "#include \"later.h\"\nint core_main(void) { return 0; }\n");
+  const std::string before = fx.key();
+  writeFile(fx.inc_dir + "/later.h", "int later_value;\n");
+  EXPECT_NE(fx.key(), before);
+}
+
+TEST(CacheKey, ChangesWithFilePathAndInputOrder) {
+  // Reports embed path strings, so identical bytes under a different
+  // name or a different input order must not hit.
+  KeyFixture fx;
+  const std::string a = fx.src_dir + "/a.c";
+  const std::string b = fx.src_dir + "/b.c";
+  writeFile(b, readFileOrEmpty(a));
+
+  support::MetricsRegistry registry;
+  CacheManager manager(fx.options, &registry);
+  EXPECT_NE(manager.keyFor({a}), manager.keyFor({b}));
+  EXPECT_NE(manager.keyFor({a, b}), manager.keyFor({b, a}));
+}
+
+TEST(CacheKey, CyclicIncludesTerminate) {
+  KeyFixture fx;
+  writeFile(fx.src_dir + "/x.h", "#include \"y.h\"\nint xv;\n");
+  writeFile(fx.src_dir + "/y.h", "#include \"x.h\"\nint yv;\n");
+  writeFile(fx.src_dir + "/a.c", "#include \"x.h\"\nint core_main(void);\n");
+  EXPECT_EQ(fx.key().size(), 16u);  // no infinite recursion
+}
+
+// --- CacheManager store/lookup robustness ---------------------------
+
+const char kMinimalReport[] =
+    "{\"schema_version\": 1, \"warnings\": [], \"errors\": [],"
+    " \"restriction_violations\": [], \"asserts_checked\": 0,"
+    " \"data_errors\": 0, \"control_only\": 0,"
+    " \"required_runtime_checks\": []}";
+
+TEST(CacheManagerTest, StoreThenLookupReturnsTheDecodedEntry) {
+  CacheOptions options;
+  options.enabled = true;
+  options.dir = freshDir("mgr_basic");
+  support::MetricsRegistry registry;
+  CacheManager manager(options, &registry);
+
+  manager.store("deadbeefdeadbeef", kMinimalReport, 3, "some stderr\n");
+  const auto hit = manager.lookup("deadbeefdeadbeef");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->exit_code, 3);
+  EXPECT_EQ(hit->stderr_text, "some stderr\n");
+  EXPECT_TRUE(hit->report.isObject());
+  EXPECT_EQ(hit->report.memberUint("schema_version"), 1u);
+  EXPECT_EQ(registry.counterValue("cache.writes"), 1u);
+  EXPECT_EQ(registry.counterValue("cache.hits"), 1u);
+  EXPECT_EQ(registry.counterValue("cache.misses"), 0u);
+}
+
+TEST(CacheManagerTest, TruncatedEntryIsPurgedAndCounted) {
+  CacheOptions options;
+  options.enabled = true;
+  options.dir = freshDir("mgr_corrupt");
+  support::MetricsRegistry registry;
+  CacheManager manager(options, &registry);
+  manager.store("deadbeefdeadbeef", kMinimalReport, 0, "");
+
+  // Truncate the entry the way a full disk or a kill -9 mid-copy would.
+  const support::DiskCache disk_view({options.dir, 0});
+  ASSERT_EQ(::truncate(disk_view.entryPath("deadbeefdeadbeef").c_str(), 5),
+            0);
+
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(manager.lookup("deadbeefdeadbeef").has_value());
+  const std::string diag = testing::internal::GetCapturedStderr();
+  EXPECT_NE(diag.find("is corrupt"), std::string::npos);
+  EXPECT_NE(diag.find("falling back to cold analysis"), std::string::npos);
+  EXPECT_EQ(registry.counterValue("cache.corrupt"), 1u);
+  EXPECT_EQ(registry.counterValue("cache.misses"), 1u);
+  // The poisoned entry was purged: the next lookup is a plain miss, not
+  // another corruption report.
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(manager.lookup("deadbeefdeadbeef").has_value());
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  EXPECT_EQ(registry.counterValue("cache.corrupt"), 1u);
+}
+
+TEST(CacheManagerTest, WrongKeyEchoAndVersionMismatchAreCorrupt) {
+  CacheOptions options;
+  options.enabled = true;
+  options.dir = freshDir("mgr_echo");
+  support::MetricsRegistry registry;
+  CacheManager manager(options, &registry);
+  manager.store("aaaaaaaaaaaaaaaa", kMinimalReport, 0, "");
+
+  // Copy the valid entry under a different key: the echoed key inside
+  // no longer matches, so a (hash-collision-like) wrong hit is refused.
+  support::DiskCache disk_view({options.dir, 0});
+  const std::string payload =
+      readFileOrEmpty(disk_view.entryPath("aaaaaaaaaaaaaaaa"));
+  ASSERT_FALSE(payload.empty());
+  ASSERT_TRUE(disk_view.store("bbbbbbbbbbbbbbbb", payload).ok);
+
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(manager.lookup("bbbbbbbbbbbbbbbb").has_value());
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("key echo"),
+            std::string::npos);
+  EXPECT_EQ(registry.counterValue("cache.corrupt"), 1u);
+}
+
+TEST(CacheManagerTest, FaultInjectionEnvDisablesTheCache) {
+  // Injected faults make runs non-deterministic; caching them would
+  // replay a faulted result into healthy runs.
+  ASSERT_EQ(::setenv("SAFEFLOW_INJECT_FAULT", "crash@taint", 1), 0);
+  CacheOptions options;
+  options.enabled = true;
+  options.dir = freshDir("mgr_fault");
+  support::MetricsRegistry registry;
+  const CacheManager manager(options, &registry);
+  ASSERT_EQ(::unsetenv("SAFEFLOW_INJECT_FAULT"), 0);
+  EXPECT_FALSE(manager.enabled());
+}
+
+// --- End-to-end through the real supervisor -------------------------
+
+SupervisorOptions supervisedOptions(CacheManager* cache) {
+  SupervisorOptions opts;
+  opts.worker_exe = SAFEFLOW_EXE;
+  opts.jobs = 4;
+  opts.worker_timeout_seconds = 60.0;
+  opts.cache = cache;
+  return opts;
+}
+
+TEST(SupervisedCache, WarmRunHitsEveryShardAndSpawnsNoWorkers) {
+  const std::vector<std::string> files = {
+      kCorpus + "/ip/core/comm.c", kCorpus + "/ip/core/decision.c",
+      kCorpus + "/ip/core/safety.c"};
+  CacheOptions cache_options;
+  cache_options.enabled = true;
+  cache_options.dir = freshDir("sup_warm");
+
+  std::string renders[2];
+  std::uint64_t hits[2], spawned[2];
+  for (int run = 0; run < 2; ++run) {
+    support::MetricsRegistry registry;
+    CacheManager cache(cache_options, &registry);
+    Supervisor sup(supervisedOptions(&cache), &registry);
+    const MergedReport merged = sup.run(files);
+    EXPECT_EQ(merged.exitCode(), 0);
+    renders[run] = merged.render();
+    hits[run] = registry.counterValue("cache.hits");
+    spawned[run] = registry.counterValue("supervisor.workers_spawned");
+  }
+  EXPECT_EQ(hits[0], 0u);
+  EXPECT_EQ(spawned[0], files.size());
+  EXPECT_EQ(hits[1], files.size());  // 100% warm
+  EXPECT_EQ(spawned[1], 0u);        // no workers at all
+  EXPECT_EQ(renders[0], renders[1]);
+}
+
+TEST(SupervisedCache, EditingOneTuMissesExactlyThatShard) {
+  const std::string dir = freshDir("sup_edit");
+  ASSERT_EQ(std::system(("mkdir -p '" + dir + "'").c_str()), 0);
+  const std::string one = dir + "/one.c";
+  const std::string two = dir + "/two.c";
+  writeFile(one, "int first_unit(void) { return 1; }\n");
+  writeFile(two, "int second_unit(void) { return 2; }\n");
+
+  CacheOptions cache_options;
+  cache_options.enabled = true;
+  cache_options.dir = freshDir("sup_edit_cache");
+  {
+    support::MetricsRegistry registry;
+    CacheManager cache(cache_options, &registry);
+    Supervisor sup(supervisedOptions(&cache), &registry);
+    (void)sup.run({one, two});
+    EXPECT_EQ(registry.counterValue("cache.writes"), 2u);
+  }
+  writeFile(one, "int first_unit(void) { return 3; }\n");
+  {
+    support::MetricsRegistry registry;
+    CacheManager cache(cache_options, &registry);
+    Supervisor sup(supervisedOptions(&cache), &registry);
+    (void)sup.run({one, two});
+    EXPECT_EQ(registry.counterValue("cache.misses"), 1u);
+    EXPECT_EQ(registry.counterValue("cache.hits"), 1u);
+    EXPECT_EQ(registry.counterValue("supervisor.workers_spawned"), 1u);
+  }
+}
+
+TEST(SupervisedCache, CorruptShardEntryFallsBackToColdAnalysis) {
+  const std::vector<std::string> files = {kCorpus +
+                                          "/running_example/core.c"};
+  CacheOptions cache_options;
+  cache_options.enabled = true;
+  cache_options.dir = freshDir("sup_corrupt");
+
+  std::string cold_render;
+  {
+    support::MetricsRegistry registry;
+    CacheManager cache(cache_options, &registry);
+    Supervisor sup(supervisedOptions(&cache), &registry);
+    cold_render = sup.run(files).render();
+  }
+  // Truncate the single entry on disk.
+  const std::string cmd = "for f in '" + cache_options.dir +
+                          "'/*.json; do truncate -s 5 \"$f\"; done";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  {
+    support::MetricsRegistry registry;
+    CacheManager cache(cache_options, &registry);
+    Supervisor sup(supervisedOptions(&cache), &registry);
+    testing::internal::CaptureStderr();
+    const MergedReport merged = sup.run(files);
+    EXPECT_NE(testing::internal::GetCapturedStderr().find("is corrupt"),
+              std::string::npos);
+    EXPECT_EQ(merged.render(), cold_render);  // cold fallback, same result
+    EXPECT_EQ(registry.counterValue("cache.corrupt"), 1u);
+    EXPECT_EQ(registry.counterValue("supervisor.workers_spawned"), 1u);
+    EXPECT_EQ(registry.counterValue("cache.writes"), 1u);  // re-stored
+  }
+}
+
+TEST(SupervisedCache, VersionFlagPrintsTheAnalyzerVersion) {
+  const std::string cmd = std::string(SAFEFLOW_EXE) + " --version";
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  char buffer[128] = {};
+  ASSERT_NE(::fgets(buffer, sizeof buffer, pipe), nullptr);
+  EXPECT_EQ(::pclose(pipe), 0);
+  EXPECT_EQ(std::string(buffer),
+            std::string("safeflow ") + kAnalyzerVersion + "\n");
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Round-trip tests for the worker-protocol JSON serialization of
+// SafeFlowReport: every finding category, escape-heavy strings, and the
+// empty report must survive render -> parse -> merge with the text
+// rendering byte-identical to the in-process one. This is the contract
+// the incremental cache rests on — a cached entry replays through
+// mergeWorkerOutcomes, so anything the JSON loses the cache loses.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "safeflow/driver.h"
+#include "safeflow/supervisor.h"
+#include "support/json.h"
+#include "support/source_manager.h"
+
+namespace {
+
+using namespace safeflow;
+
+/// Renders `report` the way a worker does, parses it back, and merges
+/// it as a single accepted shard — the exact path a cache hit takes.
+MergedReport roundTrip(const analysis::SafeFlowReport& report,
+                       const support::SourceManager& sm) {
+  SafeFlowStats stats;
+  stats.files = 1;
+  const std::string doc_text =
+      report.renderJson(sm, stats.renderJson(), /*worker_protocol=*/true);
+
+  support::json::Value doc;
+  std::string err;
+  EXPECT_TRUE(support::json::parse(doc_text, &doc, &err)) << err;
+
+  WorkerOutcome outcome;
+  outcome.accepted = true;
+  outcome.report = std::move(doc);
+  outcome.exit_code = exitCodeFor(report.dataErrorCount(),
+                                  !report.failed_files.empty(),
+                                  !report.degraded_phases.empty());
+  outcome.attempts = 1;
+  std::vector<WorkerOutcome> outcomes;
+  outcomes.push_back(std::move(outcome));
+  return mergeWorkerOutcomes({"roundtrip.c"}, outcomes,
+                             /*emit_stderr_headers=*/false);
+}
+
+analysis::SafeFlowReport fullReport() {
+  analysis::SafeFlowReport report;
+
+  analysis::UnsafeAccessWarning w1;
+  w1.function = "control_loop";
+  w1.region_name = "telemetry_buf";
+  w1.offset_known = true;
+  w1.offset_lo = 4;
+  w1.offset_hi = 12;
+  analysis::UnsafeAccessWarning w2;
+  w2.function = "isr_handler";
+  w2.region_name = "shared_flags";  // bytes unknown: no "bytes" member
+  report.warnings = {w1, w2};
+
+  analysis::CriticalDependencyError data_err;
+  data_err.kind = analysis::CriticalDependencyError::Kind::kData;
+  data_err.function = "apply_command";
+  data_err.critical_value = "thrust_cmd";
+  data_err.region_names = {"ground_link", "param_table"};
+  data_err.source_loads.resize(2);  // invalid locations -> "<unknown>"
+  analysis::CriticalDependencyError ctrl_err;
+  ctrl_err.kind = analysis::CriticalDependencyError::Kind::kControl;
+  ctrl_err.function = "mode_switch";
+  ctrl_err.critical_value = "mode";
+  ctrl_err.region_names = {"debug_port"};
+  report.errors = {data_err, ctrl_err};
+
+  analysis::RestrictionViolation v;
+  v.rule = "R2";
+  v.message = "function pointer escapes core";
+  report.restriction_violations = {v};
+
+  report.asserts_checked = 7;
+  report.required_runtime_checks = {"InitCheck(region 'param_table')"};
+  report.degraded_phases = {"taint"};
+  report.failed_files = {"bad_input.c"};
+  return report;
+}
+
+TEST(ReportRoundTrip, AllCategoriesSurviveTheWorkerProtocol) {
+  support::SourceManager sm;
+  analysis::SafeFlowReport report = fullReport();
+  report.deduplicate(sm);  // the driver always dedups before rendering
+
+  const MergedReport merged = roundTrip(report, sm);
+  EXPECT_EQ(merged.warnings.size(), 2u);
+  EXPECT_TRUE(merged.warnings[0].bytes_known);
+  EXPECT_EQ(merged.warnings[0].lo, 4);
+  EXPECT_EQ(merged.warnings[0].hi, 12);
+  EXPECT_FALSE(merged.warnings[1].bytes_known);
+  ASSERT_EQ(merged.errors.size(), 2u);
+  EXPECT_TRUE(merged.errors[0].data);
+  EXPECT_FALSE(merged.errors[1].data);
+  EXPECT_EQ(merged.errors[0].regions,
+            (std::vector<std::string>{"ground_link", "param_table"}));
+  EXPECT_EQ(merged.errors[0].sources.size(), 2u);
+  EXPECT_EQ(merged.restriction_violations.size(), 1u);
+  EXPECT_EQ(merged.asserts_checked, 7u);
+  EXPECT_EQ(merged.required_runtime_checks.size(), 1u);
+  EXPECT_EQ(merged.degraded_phases,
+            (std::vector<std::string>{"taint"}));
+  EXPECT_TRUE(merged.frontend_errors);  // failed_files => frontend errors
+  EXPECT_EQ(merged.dataErrorCount(), 1u);
+  EXPECT_EQ(merged.controlErrorCount(), 1u);
+
+  // The decisive check: the merged text rendering is byte-identical to
+  // the in-process rendering of the same report.
+  EXPECT_EQ(merged.render(), report.render(sm));
+  // Exit ladder: 1 data error beats frontend errors and degradation.
+  EXPECT_EQ(merged.exitCode(), 1);
+}
+
+TEST(ReportRoundTrip, EscapeHeavyStringsAreLossless) {
+  support::SourceManager sm;
+  analysis::SafeFlowReport report;
+
+  analysis::UnsafeAccessWarning w;
+  w.function = "fn\"with\\quotes";
+  w.region_name = "tab\there\nnewline";
+  report.warnings = {w};
+
+  analysis::RestrictionViolation v;
+  v.rule = "R1";
+  v.message = std::string("ctrl:\x01\x1f end") + "\tand \"both\" \\ kinds";
+  report.restriction_violations = {v};
+
+  analysis::CriticalDependencyError e;
+  e.function = "f";
+  e.critical_value = "value\nwith\nnewlines";
+  e.region_names = {"region\\back\\slash"};
+  report.errors = {e};
+  report.required_runtime_checks = {"check \"quoted\"\tname"};
+
+  const MergedReport merged = roundTrip(report, sm);
+  ASSERT_EQ(merged.warnings.size(), 1u);
+  EXPECT_EQ(merged.warnings[0].function, "fn\"with\\quotes");
+  EXPECT_EQ(merged.warnings[0].region, "tab\there\nnewline");
+  ASSERT_EQ(merged.restriction_violations.size(), 1u);
+  EXPECT_EQ(merged.restriction_violations[0].message,
+            std::string("ctrl:\x01\x1f end") + "\tand \"both\" \\ kinds");
+  ASSERT_EQ(merged.errors.size(), 1u);
+  EXPECT_EQ(merged.errors[0].critical, "value\nwith\nnewlines");
+  EXPECT_EQ(merged.errors[0].regions[0], "region\\back\\slash");
+  ASSERT_EQ(merged.required_runtime_checks.size(), 1u);
+  EXPECT_EQ(merged.required_runtime_checks[0], "check \"quoted\"\tname");
+  EXPECT_EQ(merged.render(), report.render(sm));
+}
+
+TEST(ReportRoundTrip, EmptyReportStaysEmptyAndClean) {
+  support::SourceManager sm;
+  const analysis::SafeFlowReport report;
+  const MergedReport merged = roundTrip(report, sm);
+  EXPECT_TRUE(merged.warnings.empty());
+  EXPECT_TRUE(merged.errors.empty());
+  EXPECT_TRUE(merged.restriction_violations.empty());
+  EXPECT_TRUE(merged.required_runtime_checks.empty());
+  EXPECT_TRUE(merged.degraded_phases.empty());
+  EXPECT_TRUE(merged.failed_files.empty());
+  EXPECT_FALSE(merged.frontend_errors);
+  EXPECT_EQ(merged.exitCode(), 0);
+  EXPECT_EQ(merged.render(), report.render(sm));
+}
+
+TEST(ReportRoundTrip, LocationsResolveThroughTheSourceManager) {
+  // With a live source manager the pre-rendered "file:line:col" strings
+  // must match what the in-process path prints.
+  support::SourceManager sm;
+  const auto file = sm.addBuffer("unit.c", "int x;\nint y;\n");
+  analysis::SafeFlowReport report;
+  analysis::UnsafeAccessWarning w;
+  w.location = {file, 2, 5};
+  w.function = "f";
+  w.region_name = "r";
+  report.warnings = {w};
+
+  const MergedReport merged = roundTrip(report, sm);
+  ASSERT_EQ(merged.warnings.size(), 1u);
+  EXPECT_EQ(merged.warnings[0].location, "unit.c:2:5");
+  EXPECT_EQ(merged.render(), report.render(sm));
+}
+
+}  // namespace
