@@ -1,0 +1,25 @@
+/* Shared-memory layout of the range-analysis laboratory system: a small
+ * smoothing controller whose array accesses are bounded by clamped
+ * arguments rather than literal loop constants — the shapes only the
+ * interprocedural value-range analysis can discharge.
+ *
+ *   samples - RL_SAMPLES plant samples published by the core side
+ *   status  - bookkeeping published by the non-core supervisor
+ */
+#ifndef RL_TYPES_H
+#define RL_TYPES_H
+
+#define RL_SHM_KEY 6502
+#define RL_SAMPLES 16
+
+typedef struct RlSample {
+    float v;             /* conditioned plant sample */
+} RlSample;
+
+typedef struct RlStatus {
+    int active;          /* non-core supervisor heartbeat   */
+    int seq;             /* publication sequence number     */
+    int window;          /* requested smoothing window size */
+} RlStatus;
+
+#endif /* RL_TYPES_H */

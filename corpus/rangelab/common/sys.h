@@ -1,0 +1,19 @@
+/* Declarations of the system interfaces the rangelab controller uses.
+ * The SafeFlow analyzer models these by signature only. */
+#ifndef RL_SYS_H
+#define RL_SYS_H
+
+extern int   shmget(int key, int size, int flags);
+extern void *shmat(int shmid, void *addr, int flags);
+extern int   printf(char *fmt, ...);
+extern void  usleep(int usec);
+
+extern void  lockShm(void);
+extern void  unlockShm(void);
+extern void  sendControl(float volts);
+extern float readSetpoint(void);
+
+#define IPC_CREAT 512
+#define RL_PERIOD_US 10000
+
+#endif /* RL_SYS_H */

@@ -1,0 +1,33 @@
+/* Shared-memory initialization for the rangelab core controller. The
+ * initializing function performs the one untyped shmat cast and carves
+ * the segment into the sample ring and the status block; the
+ * shmvar/noncore post-conditions declare the regions for the analysis.
+ */
+#include "../common/rl.h"
+#include "../common/sys.h"
+
+RlSample *samples;
+RlStatus *status;
+
+static int shmSegmentId;
+
+/*** SafeFlow Annotation shminit ***/
+void initRl(void)
+{
+    void *shmStart;
+    char *cursor;
+    int total;
+
+    total = RL_SAMPLES * sizeof(RlSample) + sizeof(RlStatus);
+    shmSegmentId = shmget(RL_SHM_KEY, total, IPC_CREAT);
+    shmStart = shmat(shmSegmentId, 0, 0);
+
+    cursor = (char *) shmStart;
+    samples = (RlSample *) cursor;
+    cursor = cursor + RL_SAMPLES * sizeof(RlSample);
+    status = (RlStatus *) cursor;
+
+    /*** SafeFlow Annotation assume(shmvar(samples, 16 * sizeof(RlSample))) ***/
+    /*** SafeFlow Annotation assume(shmvar(status, sizeof(RlStatus))) ***/
+    /*** SafeFlow Annotation assume(noncore(status)) ***/
+}

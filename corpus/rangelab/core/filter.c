@@ -1,0 +1,54 @@
+/* Sample smoothing for the rangelab controller. The smoothing window is
+ * clamped by windowSize rather than a literal loop bound, so the A2
+ * array obligation in rlSmooth is only dischargeable with the
+ * interprocedural value-range analysis; rlTail deliberately walks past
+ * the ring and must be reported in every configuration.
+ */
+#include "../common/rl.h"
+#include "../common/sys.h"
+
+extern RlSample *samples;
+
+/* Clamp the requested smoothing window to the supported [4, 12] range. */
+static int windowSize(int request)
+{
+    if (request < 4) {
+        return 4;
+    }
+    if (request > 12) {
+        return 12;
+    }
+    return request;
+}
+
+/* Mean of the first windowSize(request) samples. The loop bound n is not
+ * a compile-time constant; its provable range [4, 12] bounds the index
+ * to [0, 11], inside the RL_SAMPLES-element ring. */
+float rlSmooth(int request)
+{
+    float acc;
+    int n;
+    int i;
+
+    n = windowSize(request);
+    acc = 0.0f;
+    for (i = 0; i < n; i++) {
+        acc = acc + samples[i].v;
+    }
+    return acc / (float) n;
+}
+
+/* Diagnostic "tail energy": reads four slots past the end of the ring.
+ * The index range [16, 19] provably exceeds the region, so this is both
+ * an A2 violation and a shm-bounds-const finding. */
+float rlTail(void)
+{
+    float acc;
+    int j;
+
+    acc = 0.0f;
+    for (j = 16; j < 20; j++) {
+        acc = acc + samples[j].v;
+    }
+    return acc;
+}

@@ -1,0 +1,51 @@
+/* Core loop of the rangelab controller. The supervisor's sequence number
+ * is an unmonitored non-core read; masking it to [0, 7] makes the mode
+ * branch statically decided, so the control dependence of `output` on
+ * the tainted band is a false positive the range analysis prunes.
+ */
+#include "../common/rl.h"
+#include "../common/sys.h"
+
+extern RlSample *samples;
+extern RlStatus *status;
+
+extern void initRl(void);
+extern float rlSmooth(int request);
+extern float rlTail(void);
+
+/* Fallback control value, independent of shared state. */
+static float computeSafe(void)
+{
+    return 0.5f;
+}
+
+int main(void)
+{
+    float output;
+    int raw;
+    int band;
+
+    initRl();
+    while (1) {
+        lockShm();
+        raw = status->seq;      /* unmonitored non-core read (warning) */
+        unlockShm();
+        band = raw & 7;         /* provably in [0, 7] */
+        if (band < 8) {
+            band = band + 1;    /* 1-based band; the skip edge is dead */
+        }
+
+        if (band < 16) {
+            output = rlSmooth(4);
+        } else {
+            output = computeSafe();
+        }
+
+        /*** SafeFlow Annotation assert(safe(output)); ***/
+        sendControl(output);
+
+        printf("[rangelab] tail energy %f\n", rlTail());
+        usleep(RL_PERIOD_US);
+    }
+    return 0;
+}

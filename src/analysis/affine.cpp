@@ -113,14 +113,33 @@ bool LinearSystem::isFeasible(support::AnalysisBudget* budget) const {
         // the contract maps to "feasible" (violation gets reported).
         if (!support::budgetStep(budget)) return true;
         const std::int64_t b = -up.coeffs.at(var);
+        // The shadow coefficients are products of input coefficients; with
+        // extreme inputs these can exceed int64. An overflowed shadow is
+        // garbage either way, so treat the pairing as unprovable —
+        // "feasible", the direction that reports a violation rather than
+        // hiding one.
+        bool overflow = false;
+        const auto mulAdd = [&overflow](std::int64_t acc, std::int64_t x,
+                                        std::int64_t y) {
+          std::int64_t prod = 0;
+          std::int64_t sum = 0;
+          if (__builtin_mul_overflow(x, y, &prod) ||
+              __builtin_add_overflow(acc, prod, &sum)) {
+            overflow = true;
+            return acc;
+          }
+          return sum;
+        };
         LinearConstraint combined;
         for (const auto& [v, coeff] : lo.coeffs) {
-          if (v != var) combined.coeffs[v] += b * coeff;
+          if (v != var) combined.coeffs[v] = mulAdd(combined.coeffs[v], b, coeff);
         }
         for (const auto& [v, coeff] : up.coeffs) {
-          if (v != var) combined.coeffs[v] += a * coeff;
+          if (v != var) combined.coeffs[v] = mulAdd(combined.coeffs[v], a, coeff);
         }
-        combined.constant = b * lo.constant + a * up.constant;
+        combined.constant = mulAdd(0, b, lo.constant);
+        combined.constant = mulAdd(combined.constant, a, up.constant);
+        if (overflow) return true;
         // Real-shadow elimination: exact when a==1 or b==1 (all constraints
         // the restriction checker emits are in that normalized form), and
         // over-approximates feasibility otherwise — which errs toward

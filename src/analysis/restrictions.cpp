@@ -4,6 +4,7 @@
 #include <set>
 
 #include "analysis/affine.h"
+#include "analysis/ranges.h"
 #include "support/metrics.h"
 
 namespace safeflow::analysis {
@@ -45,12 +46,14 @@ RestrictionChecker::RestrictionChecker(const ir::Module& module,
                                        const ShmRegionTable& regions,
                                        const ShmPointerAnalysis& shm,
                                        RestrictionOptions options,
-                                       support::AnalysisBudget* budget)
+                                       support::AnalysisBudget* budget,
+                                       const RangeAnalysis* ranges)
     : module_(module),
       regions_(regions),
       shm_(shm),
       options_(std::move(options)),
-      budget_(budget) {}
+      budget_(budget),
+      ranges_(ranges) {}
 
 std::vector<RestrictionViolation> RestrictionChecker::run(
     support::DiagnosticEngine& diags) {
@@ -210,12 +213,17 @@ void RestrictionChecker::checkIndexAddr(
     LinearSystem sys;
     std::map<const ir::Value*, int> vars;
     bool bounded = true;
+    bool ranged = false;
     for (const auto& [sym, coeff] : affine.terms) {
-      const SymbolBounds b = boundsFor(sym, fn);
+      bool used_ranges = false;
+      const SymbolBounds b =
+          boundsFor(sym, fn, gep.parent(), &used_ranges);
       if (!b.valid) {
         bounded = false;
         break;
       }
+      ranged |= used_ranges;
+      if (used_ranges) SAFEFLOW_COUNT("ranges.bounds_seeded");
       const int var = sys.addVariable(sym->name());
       vars[sym] = var;
       sys.addLowerBound(var, b.lo);
@@ -268,8 +276,13 @@ void RestrictionChecker::checkIndexAddr(
                 "' may exceed its " + std::to_string(count) +
                 " elements (rule A2)",
             &fn});
+        continue;
       }
     }
+    // Both violation systems infeasible. When range-derived bounds made
+    // the difference this is an obligation the syntactic induction
+    // pattern alone could not discharge.
+    if (ranged) SAFEFLOW_COUNT("ranges.a2_discharged");
   }
 }
 
@@ -345,103 +358,144 @@ RestrictionChecker::AffineIndex RestrictionChecker::decompose(
 }
 
 RestrictionChecker::SymbolBounds RestrictionChecker::boundsFor(
-    const ir::Value* sym, const ir::Function& fn) const {
+    const ir::Value* sym, const ir::Function& fn,
+    const ir::BasicBlock* use_block, bool* used_ranges) const {
   (void)fn;  // reserved for future per-function bound refinement
-  SymbolBounds out;
-  if (!sym->isInstruction()) return out;
-  const auto* phi = static_cast<const ir::Instruction*>(sym);
-  if (phi->opcode() != ir::Opcode::kPhi) return out;
+  bool bound_from_ranges = false;
+  const SymbolBounds induction = [&]() -> SymbolBounds {
+    SymbolBounds out;
+    if (!sym->isInstruction()) return out;
+    const auto* phi = static_cast<const ir::Instruction*>(sym);
+    if (phi->opcode() != ir::Opcode::kPhi) return out;
 
-  // Induction pattern: one incoming constant (init), one incoming
-  // add/sub of the phi itself with a positive constant step.
-  std::optional<std::int64_t> init;
-  std::optional<std::int64_t> step;
-  for (std::size_t i = 0; i < phi->numOperands(); ++i) {
-    const ir::Value* in = phi->operand(i);
-    if (in->kind() == ir::Value::Kind::kConstantInt) {
-      init = static_cast<const ir::ConstantInt*>(in)->value();
-      continue;
-    }
-    if (in->isInstruction()) {
-      const auto* add = static_cast<const ir::Instruction*>(in);
-      if (add->opcode() == ir::Opcode::kBinOp &&
-          (add->bin_op == ir::BinOp::kAdd ||
-           add->bin_op == ir::BinOp::kSub) &&
-          add->numOperands() == 2 && add->operand(0) == phi &&
-          add->operand(1)->kind() == ir::Value::Kind::kConstantInt) {
-        std::int64_t s =
-            static_cast<const ir::ConstantInt*>(add->operand(1))->value();
-        if (add->bin_op == ir::BinOp::kSub) s = -s;
-        step = s;
+    // Induction pattern: one incoming constant (init), one incoming
+    // add/sub of the phi itself with a positive constant step.
+    std::optional<std::int64_t> init;
+    std::optional<std::int64_t> step;
+    for (std::size_t i = 0; i < phi->numOperands(); ++i) {
+      const ir::Value* in = phi->operand(i);
+      if (in->kind() == ir::Value::Kind::kConstantInt) {
+        init = static_cast<const ir::ConstantInt*>(in)->value();
         continue;
       }
+      if (in->isInstruction()) {
+        const auto* add = static_cast<const ir::Instruction*>(in);
+        if (add->opcode() == ir::Opcode::kBinOp &&
+            (add->bin_op == ir::BinOp::kAdd ||
+             add->bin_op == ir::BinOp::kSub) &&
+            add->numOperands() == 2 && add->operand(0) == phi &&
+            add->operand(1)->kind() == ir::Value::Kind::kConstantInt) {
+          std::int64_t s =
+              static_cast<const ir::ConstantInt*>(add->operand(1))->value();
+          if (add->bin_op == ir::BinOp::kSub) s = -s;
+          step = s;
+          continue;
+        }
+      }
+      return out;  // unrecognized incoming edge
     }
-    return out;  // unrecognized incoming edge
-  }
-  if (!init.has_value() || !step.has_value() || *step == 0) return out;
+    if (!init.has_value() || !step.has_value() || *step == 0) return out;
 
-  // Find the loop-header comparison guarding the body: a CondBr in the
-  // phi's block whose condition compares the phi against a constant.
-  const ir::BasicBlock* header = phi->parent();
-  const ir::Instruction* term = header->terminator();
-  if (term == nullptr || term->opcode() != ir::Opcode::kCondBr) return out;
-  const ir::Value* cond = term->operand(0);
-  if (!cond->isInstruction()) return out;
-  const auto* cmp = static_cast<const ir::Instruction*>(cond);
-  if (cmp->opcode() != ir::Opcode::kCmp) return out;
-  if (cmp->operand(0) != phi ||
-      cmp->operand(1)->kind() != ir::Value::Kind::kConstantInt) {
+    // Find the loop-header comparison guarding the body: a CondBr in the
+    // phi's block whose condition compares the phi against a constant —
+    // or, with the range analysis available, against any value whose
+    // interval is known at the header (`i < n` with n in [4, 12]).
+    const ir::BasicBlock* header = phi->parent();
+    const ir::Instruction* term = header->terminator();
+    if (term == nullptr || term->opcode() != ir::Opcode::kCondBr) return out;
+    const ir::Value* cond = term->operand(0);
+    if (!cond->isInstruction()) return out;
+    const auto* cmp = static_cast<const ir::Instruction*>(cond);
+    if (cmp->opcode() != ir::Opcode::kCmp) return out;
+    if (cmp->operand(0) != phi) return out;
+    // The loop bound as an interval: a constant is the singleton case.
+    std::optional<std::int64_t> bound_lo;
+    std::optional<std::int64_t> bound_hi;
+    if (cmp->operand(1)->kind() == ir::Value::Kind::kConstantInt) {
+      const std::int64_t b =
+          static_cast<const ir::ConstantInt*>(cmp->operand(1))->value();
+      bound_lo = b;
+      bound_hi = b;
+    } else if (ranges_ != nullptr) {
+      const Interval r = ranges_->rangeAt(cmp->operand(1), header);
+      if (r.boundedBelow()) bound_lo = r.lo;
+      if (r.boundedAbove()) bound_hi = r.hi;
+      bound_from_ranges = true;
+    } else {
+      return out;
+    }
+
+    // The body is the successor from which the phi's increment flows back;
+    // determine which CondBr edge enters the body (reaches the increment's
+    // block without re-entering the header).
+    const ir::Instruction* inc = nullptr;
+    for (std::size_t i = 0; i < phi->numOperands(); ++i) {
+      const ir::Value* in = phi->operand(i);
+      if (in->isInstruction() &&
+          static_cast<const ir::Instruction*>(in)->opcode() ==
+              ir::Opcode::kBinOp) {
+        inc = static_cast<const ir::Instruction*>(in);
+      }
+    }
+    if (inc == nullptr) return out;
+    const bool body_on_true = reachableAvoiding(term->block_refs[0],
+                                                inc->parent(), header);
+    ir::CmpOp op = cmp->cmp_op;
+    if (!body_on_true) {
+      // Invert the comparison when the loop body hangs off the false edge.
+      switch (op) {
+        case ir::CmpOp::kLt: op = ir::CmpOp::kGe; break;
+        case ir::CmpOp::kLe: op = ir::CmpOp::kGt; break;
+        case ir::CmpOp::kGt: op = ir::CmpOp::kLe; break;
+        case ir::CmpOp::kGe: op = ir::CmpOp::kLt; break;
+        case ir::CmpOp::kEq: op = ir::CmpOp::kNe; break;
+        case ir::CmpOp::kNe: op = ir::CmpOp::kEq; break;
+      }
+    }
+
+    if (*step > 0) {
+      // Counting up: the comparison caps the index from above, so the
+      // largest possible loop bound is what matters.
+      if (!bound_hi.has_value()) return out;
+      out.lo = *init;
+      switch (op) {
+        case ir::CmpOp::kLt: out.hi = *bound_hi - 1; break;
+        case ir::CmpOp::kLe: out.hi = *bound_hi; break;
+        case ir::CmpOp::kNe: out.hi = *bound_hi - 1; break;  // i != N, i += s
+        default: return out;
+      }
+      out.valid = out.hi >= out.lo;
+    } else {
+      if (!bound_lo.has_value()) return out;
+      out.hi = *init;
+      switch (op) {
+        case ir::CmpOp::kGt: out.lo = *bound_lo + 1; break;
+        case ir::CmpOp::kGe: out.lo = *bound_lo; break;
+        case ir::CmpOp::kNe: out.lo = *bound_lo + 1; break;
+        default: return out;
+      }
+      out.valid = out.hi >= out.lo;
+    }
     return out;
-  }
-  const std::int64_t bound =
-      static_cast<const ir::ConstantInt*>(cmp->operand(1))->value();
-
-  // The body is the successor from which the phi's increment flows back;
-  // determine which CondBr edge enters the body (reaches the increment's
-  // block without re-entering the header).
-  const ir::Instruction* inc = nullptr;
-  for (std::size_t i = 0; i < phi->numOperands(); ++i) {
-    const ir::Value* in = phi->operand(i);
-    if (in->isInstruction() &&
-        static_cast<const ir::Instruction*>(in)->opcode() ==
-            ir::Opcode::kBinOp) {
-      inc = static_cast<const ir::Instruction*>(in);
-    }
-  }
-  if (inc == nullptr) return out;
-  const bool body_on_true = reachableAvoiding(term->block_refs[0],
-                                              inc->parent(), header);
-  ir::CmpOp op = cmp->cmp_op;
-  if (!body_on_true) {
-    // Invert the comparison when the loop body hangs off the false edge.
-    switch (op) {
-      case ir::CmpOp::kLt: op = ir::CmpOp::kGe; break;
-      case ir::CmpOp::kLe: op = ir::CmpOp::kGt; break;
-      case ir::CmpOp::kGt: op = ir::CmpOp::kLe; break;
-      case ir::CmpOp::kGe: op = ir::CmpOp::kLt; break;
-      case ir::CmpOp::kEq: op = ir::CmpOp::kNe; break;
-      case ir::CmpOp::kNe: op = ir::CmpOp::kEq; break;
-    }
+  }();
+  if (induction.valid) {
+    if (bound_from_ranges && used_ranges != nullptr) *used_ranges = true;
+    return induction;
   }
 
-  if (*step > 0) {
-    out.lo = *init;
-    switch (op) {
-      case ir::CmpOp::kLt: out.hi = bound - 1; break;
-      case ir::CmpOp::kLe: out.hi = bound; break;
-      case ir::CmpOp::kNe: out.hi = bound - 1; break;  // i != N, i += s
-      default: return out;
+  // Fallback: the symbol is not a recognizable induction variable (or its
+  // loop bound is unknown), but the value-range analysis may still bound
+  // it outright — e.g. an argument clamped by early returns, or a value
+  // masked to a small range before use.
+  SymbolBounds out;
+  if (ranges_ != nullptr && use_block != nullptr) {
+    const Interval r = ranges_->rangeAt(sym, use_block);
+    if (r.boundedBelow() && r.boundedAbove()) {
+      out.valid = true;
+      out.lo = r.lo;
+      out.hi = r.hi;
+      if (used_ranges != nullptr) *used_ranges = true;
     }
-    out.valid = out.hi >= out.lo;
-  } else {
-    out.hi = *init;
-    switch (op) {
-      case ir::CmpOp::kGt: out.lo = bound + 1; break;
-      case ir::CmpOp::kGe: out.lo = bound; break;
-      case ir::CmpOp::kNe: out.lo = bound + 1; break;
-      default: return out;
-    }
-    out.valid = out.hi >= out.lo;
   }
   return out;
 }

@@ -26,6 +26,8 @@
 
 namespace safeflow::analysis {
 
+class RangeAnalysis;
+
 struct RestrictionViolation {
   std::string rule;  // "P1", "P2", "P3", "A1", "A2"
   support::SourceLocation location;
@@ -41,10 +43,14 @@ struct RestrictionOptions {
 
 class RestrictionChecker {
  public:
+  /// `ranges` (optional) strengthens the A2 check: proven value ranges
+  /// seed the LinearSystem, so indices guarded by non-affine conditions
+  /// (`if (i < n)` with n's range known) discharge instead of warning.
   RestrictionChecker(const ir::Module& module, const ShmRegionTable& regions,
                      const ShmPointerAnalysis& shm,
                      RestrictionOptions options = {},
-                     support::AnalysisBudget* budget = nullptr);
+                     support::AnalysisBudget* budget = nullptr,
+                     const RangeAnalysis* ranges = nullptr);
 
   /// Runs all checks; violations are returned and also reported as
   /// "restriction.<rule>" diagnostics.
@@ -71,13 +77,19 @@ class RestrictionChecker {
     std::int64_t lo = 0;
     std::int64_t hi = 0;
   };
-  SymbolBounds boundsFor(const ir::Value* sym, const ir::Function& fn) const;
+  /// `use_block` is where the index is consumed (branch refinements that
+  /// dominate it apply); `used_ranges` is set when the bounds came from
+  /// the value-range analysis rather than the syntactic induction pattern.
+  SymbolBounds boundsFor(const ir::Value* sym, const ir::Function& fn,
+                         const ir::BasicBlock* use_block,
+                         bool* used_ranges) const;
 
   const ir::Module& module_;
   const ShmRegionTable& regions_;
   const ShmPointerAnalysis& shm_;
   RestrictionOptions options_;
   support::AnalysisBudget* budget_ = nullptr;
+  const RangeAnalysis* ranges_ = nullptr;
 };
 
 }  // namespace safeflow::analysis

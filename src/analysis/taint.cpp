@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "analysis/ranges.h"
 #include "support/metrics.h"
 
 namespace safeflow::analysis {
@@ -46,14 +47,16 @@ TaintAnalysis::TaintAnalysis(const ir::Module& module,
                              const AliasAnalysis& alias,
                              const ir::CallGraph& callgraph,
                              TaintOptions options,
-                             support::AnalysisBudget* budget)
+                             support::AnalysisBudget* budget,
+                             const RangeAnalysis* ranges)
     : module_(module),
       regions_(regions),
       shm_(shm),
       alias_(alias),
       callgraph_(callgraph),
       options_(options),
-      budget_(budget) {}
+      budget_(budget),
+      ranges_(ranges) {}
 
 // ---------------------------------------------------------------------------
 // Assumptions
@@ -318,6 +321,14 @@ Taint TaintAnalysis::blockControlTaint(const ir::BasicBlock* bb) const {
   for (const ir::BasicBlock* branch : fn_it->second.controllers(bb)) {
     const ir::Instruction* term = branch->terminator();
     if (term == nullptr || term->opcode() != ir::Opcode::kCondBr) continue;
+    // A branch the range analysis decides always goes one way exerts no
+    // runtime control over this block: its condition cannot leak here.
+    if (ranges_ != nullptr && ranges_->decidedBranch(term).has_value()) {
+      if (pruned_branches_.insert(term).second) {
+        SAFEFLOW_COUNT("ranges.control_edges_pruned");
+      }
+      continue;
+    }
     const TaintPair cond = operandTaint(term->operand(0));
     out.merge(cond.data);
     out.merge(cond.control);
@@ -390,6 +401,15 @@ bool TaintAnalysis::analyzeFunction(const ir::Function& fn,
             break;
           case ir::Opcode::kPhi: {
             for (std::size_t i = 0; i < inst->numOperands(); ++i) {
+              // Values arriving over a statically-infeasible edge can
+              // never flow at runtime: skip the operand entirely.
+              if (ranges_ != nullptr && i < inst->block_refs.size() &&
+                  ranges_->edgeInfeasible(inst->block_refs[i], bb.get())) {
+                if (pruned_phi_edges_.insert({inst.get(), i}).second) {
+                  SAFEFLOW_COUNT("ranges.phi_edges_pruned");
+                }
+                continue;
+              }
               result.merge(operandTaint(inst->operand(i)));
               // The choice of incoming edge leaks the branch condition.
               if (options_.track_control_deps &&
@@ -397,7 +417,9 @@ bool TaintAnalysis::analyzeFunction(const ir::Function& fn,
                 const ir::Instruction* pterm =
                     inst->block_refs[i]->terminator();
                 if (pterm != nullptr &&
-                    pterm->opcode() == ir::Opcode::kCondBr) {
+                    pterm->opcode() == ir::Opcode::kCondBr &&
+                    !(ranges_ != nullptr &&
+                      ranges_->decidedBranch(pterm).has_value())) {
                   const TaintPair cond = operandTaint(pterm->operand(0));
                   result.control.merge(cond.data);
                   result.control.merge(cond.control);

@@ -40,6 +40,8 @@
 
 namespace safeflow::analysis {
 
+class RangeAnalysis;
+
 /// region id -> the unmonitored loads that sourced it, plus symbolic
 /// references to the enclosing function's parameters ("this value is
 /// tainted iff argument i is"). Parameter symbols make function summaries
@@ -103,10 +105,16 @@ struct TaintOptions {
 
 class TaintAnalysis {
  public:
+  /// `ranges` (optional) prunes statically-infeasible branch edges from
+  /// control-dependence propagation: a branch the range analysis decides
+  /// contributes no control taint, and phi operands arriving over
+  /// infeasible edges are skipped. Every pruned edge is counted in the
+  /// ranges.* metrics family.
   TaintAnalysis(const ir::Module& module, const ShmRegionTable& regions,
                 const ShmPointerAnalysis& shm, const AliasAnalysis& alias,
                 const ir::CallGraph& callgraph, TaintOptions options = {},
-                support::AnalysisBudget* budget = nullptr);
+                support::AnalysisBudget* budget = nullptr,
+                const RangeAnalysis* ranges = nullptr);
 
   /// Runs the analysis and fills in warnings and errors. Under an
   /// exhausted budget the propagation fixpoint stops early: taints found
@@ -183,6 +191,13 @@ class TaintAnalysis {
   const ir::CallGraph& callgraph_;
   TaintOptions options_;
   support::AnalysisBudget* budget_ = nullptr;
+  const RangeAnalysis* ranges_ = nullptr;
+  /// Branches / phi edges pruned via the range analysis. Sets (not raw
+  /// counters) so fixpoint revisits count each edge once and the metric
+  /// totals stay independent of iteration order.
+  mutable std::set<const ir::Instruction*> pruned_branches_;
+  mutable std::set<std::pair<const ir::Instruction*, std::size_t>>
+      pruned_phi_edges_;
 
   std::map<const ir::Function*, AssumptionSet> local_assumptions_;
   std::map<const ir::Function*, AssumptionSet> effective_;

@@ -20,8 +20,8 @@ namespace {
 /// "phase.<name>" by each stage itself (see support/metrics.h).
 constexpr const char* kPhaseOrder[] = {
     "frontend",     "lowering",        "ssa",   "shm_regions",
-    "callgraph",    "shm_propagation", "restrictions",
-    "alias",        "taint",           "report",
+    "callgraph",    "ranges",          "shm_propagation",
+    "restrictions", "alias",           "taint", "report",
 };
 
 std::size_t lineSpan(const std::string& text) {
@@ -192,6 +192,17 @@ const analysis::SafeFlowReport& SafeFlowDriver::analyze() {
   support::faultInjectionPoint("callgraph");
   ir::CallGraph callgraph(*module_);
 
+  // The value-range pass runs right after the call graph so every later
+  // phase can query it; when disabled it is skipped entirely (no fault
+  // point, no phase timer, no counters) so --no-ranges output is
+  // byte-identical to pre-0.5.0 runs.
+  analysis::RangeAnalysis ranges(*module_, callgraph, options_.ranges,
+                                 &budget_);
+  if (options_.ranges.enabled) {
+    support::faultInjectionPoint("ranges");
+    ranges.run();
+  }
+
   support::faultInjectionPoint("shm_propagation");
   analysis::ShmPointerAnalysis shm(*module_, regions, callgraph, &budget_);
   shm.run();
@@ -199,7 +210,7 @@ const analysis::SafeFlowReport& SafeFlowDriver::analyze() {
 
   support::faultInjectionPoint("restrictions");
   analysis::RestrictionChecker restrictions(
-      *module_, regions, shm, options_.restrictions, &budget_);
+      *module_, regions, shm, options_.restrictions, &budget_, &ranges);
   report_.restriction_violations = restrictions.run(diags);
 
   support::faultInjectionPoint("alias");
@@ -207,9 +218,16 @@ const analysis::SafeFlowReport& SafeFlowDriver::analyze() {
                                 options_.alias, &budget_);
   alias.run();
 
+  if (options_.ranges.enabled) {
+    // Consumer 3 needs the alias analysis' region extents, so it runs
+    // here rather than inside the restriction phase.
+    analysis::checkShmConstBounds(*module_, regions, shm, alias, ranges,
+                                  report_, diags);
+  }
+
   support::faultInjectionPoint("taint");
   analysis::TaintAnalysis taint(*module_, regions, shm, alias, callgraph,
-                                options_.taint, &budget_);
+                                options_.taint, &budget_, &ranges);
   taint.run(report_);
   stats_.taint_body_analyses = taint.bodyAnalyses();
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/ranges.h"
 #include "analysis/report.h"
 #include "analysis/restrictions.h"
 #include "analysis/taint.h"
@@ -37,7 +38,7 @@ namespace safeflow {
 /// propagation, restriction rules, taint, rendering, defaults. The bump
 /// is what invalidates every stale cache entry; forgetting it means an
 /// upgraded analyzer can replay a report the old version produced.
-inline constexpr const char kAnalyzerVersion[] = "0.4.0";
+inline constexpr const char kAnalyzerVersion[] = "0.5.0";
 
 /// The exit-code ladder, shared by the in-process CLI path and the
 /// supervised (worker-pool) path so the two can never disagree:
@@ -63,6 +64,10 @@ struct SafeFlowOptions {
   analysis::TaintOptions taint;
   analysis::AliasOptions alias;
   analysis::RestrictionOptions restrictions;
+  /// Value-range analysis (--ranges / --no-ranges). Enabled by default;
+  /// disabling it keeps the whole pipeline byte-identical to pre-0.5.0
+  /// output (no ranges.* counters, no "ranges" phase, no discharges).
+  analysis::RangeOptions ranges;
   /// Record hierarchical spans for the whole pipeline (Chrome trace /
   /// Perfetto export via SafeFlowDriver::trace()). Counters and per-phase
   /// wall times are always collected; only span recording is optional.
@@ -92,8 +97,9 @@ struct SafeFlowStats {
   /// frontend_seconds + analysis_seconds.
   double total_seconds = 0.0;
   /// Per-phase wall time in pipeline order ("frontend", "lowering", "ssa",
-  /// "shm_regions", "callgraph", "shm_propagation", "restrictions",
-  /// "alias", "taint", "report"), backed by the metrics registry.
+  /// "shm_regions", "callgraph", "ranges", "shm_propagation",
+  /// "restrictions", "alias", "taint", "report"), backed by the metrics
+  /// registry.
   std::vector<std::pair<std::string, double>> phase_seconds;
   /// Snapshot of every named pipeline counter (e.g.
   /// "taint.body_analyses"), sorted by name.

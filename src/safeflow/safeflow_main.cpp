@@ -8,6 +8,8 @@
 //   --mode=summaries    ESP-style parameterized summaries (default)
 //   --mode=call-strings the prototype's context-cloning algorithm
 //   --no-control-deps   do not track control dependence
+//   --ranges            interprocedural value-range analysis (default on)
+//   --no-ranges         disable it (pre-0.5.0 pipeline behavior)
 //   --kill-critical     treat kill's pid argument as implicitly critical
 //   --dot <file>        write the value-flow graph (Graphviz) to <file>
 //   --trace <file>      write a Chrome trace-event JSON of the pipeline
@@ -64,6 +66,11 @@ void usage() {
          "  -D NAME[=VALUE]     predefine a macro\n"
          "  --mode=summaries|call-strings   interprocedural engine\n"
          "  --no-control-deps   disable control-dependence tracking\n"
+         "  --ranges            interprocedural value-range analysis\n"
+         "                      (default: on)\n"
+         "  --no-ranges         disable the range analysis (pre-0.5.0\n"
+         "                      behavior: no discharges, no edge pruning,\n"
+         "                      no shm-bounds-const checks)\n"
          "  --kill-critical     kill's pid argument is critical data\n"
          "  --dot <file>        write the value-flow graph to <file>\n"
          "  --json              print the report as JSON\n"
@@ -206,6 +213,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-control-deps") {
       options.taint.track_control_deps = false;
       forward({"--no-control-deps"});
+    } else if (arg == "--ranges") {
+      options.ranges.enabled = true;
+      forward({"--ranges"});
+    } else if (arg == "--no-ranges") {
+      options.ranges.enabled = false;
+      forward({"--no-ranges"});
     } else if (arg == "--kill-critical") {
       options.taint.implicit_critical_calls.emplace_back("kill", 0u);
       forward({"--kill-critical"});

@@ -13,7 +13,7 @@
 //           exit2  _exit(2), emulating a frontend-error exit
 //     phase one of the pipeline phase names ("frontend", "lowering",
 //           "ssa", "shm_regions", "callgraph", "shm_propagation",
-//           "restrictions", "alias", "taint", "report")
+//           "ranges", "restrictions", "alias", "taint", "report")
 //     nth   trigger on the nth entry to that phase (default 1)
 //
 //   SAFEFLOW_INJECT_FAULT_FILE=<substr>

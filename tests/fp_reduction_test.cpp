@@ -48,13 +48,23 @@ float decision(float safe)
 }
 )";
 
-std::unique_ptr<SafeFlowDriver> analyze(const std::string& body) {
-  auto d = std::make_unique<SafeFlowDriver>();
+std::unique_ptr<SafeFlowDriver> analyze(const std::string& body,
+                                        bool ranges_enabled = true) {
+  SafeFlowOptions o;
+  o.ranges.enabled = ranges_enabled;
+  auto d = std::make_unique<SafeFlowDriver>(o);
   d->addSource("fp.c", std::string(kPrelude) + body);
   d->analyze();
   EXPECT_FALSE(d->hasFrontendErrors())
       << d->diagnostics().render(d->sources());
   return d;
+}
+
+std::uint64_t counter(const SafeFlowDriver& d, const std::string& name) {
+  for (const auto& [k, v] : d.stats().counters) {
+    if (k == name) return v;
+  }
+  return 0;
 }
 
 TEST(FalsePositiveReduction, BaselineReportsControlDependence) {
@@ -129,6 +139,98 @@ int main(void)
 )");
   EXPECT_TRUE(d->report().errors.empty())
       << d->report().render(d->sources());
+}
+
+// A third FP-reduction lever (this PR): the range analysis decides
+// branches whose condition is statically fixed, so a mode selector that
+// is tainted but *cannot change the branch outcome* no longer makes the
+// output control-dependent on non-core data.
+const char* kDecidedModeBranch = R"(
+int main(void)
+{
+    float output;
+    int band;
+    initComm();
+    band = statShm->iter & 7;
+    if (band < 16) {
+        output = computeSafe();
+    } else {
+        output = 0.0f;
+    }
+    /*** SafeFlow Annotation assert(safe(output)); ***/
+    sendControl(output);
+    return 0;
+}
+)";
+
+TEST(FalsePositiveReduction, DecidedBranchControlDependencePruned) {
+  // band = iter & 7 is provably in [0, 7], so `band < 16` always takes
+  // the true edge: the branch carries no runtime information and the
+  // control dependence on the tainted band is pruned.
+  const auto d = analyze(kDecidedModeBranch);
+  EXPECT_TRUE(d->report().errors.empty())
+      << d->report().render(d->sources());
+  EXPECT_EQ(d->report().warnings.size(), 1u);  // the non-core read itself
+  EXPECT_GE(counter(*d, "ranges.control_edges_pruned"), 1u);
+}
+
+TEST(FalsePositiveReduction, DecidedBranchStillErrorsWithoutRanges) {
+  const auto d = analyze(kDecidedModeBranch, /*ranges_enabled=*/false);
+  ASSERT_EQ(d->report().errors.size(), 1u)
+      << d->report().render(d->sources());
+  EXPECT_EQ(d->report().errors.front().kind,
+            CriticalDependencyError::Kind::kControl);
+  EXPECT_EQ(counter(*d, "ranges.control_edges_pruned"), 0u);
+}
+
+TEST(FalsePositiveReduction, UndecidedBranchIsNotPruned) {
+  // Pruning must be limited to provably-decided branches: here the full
+  // heartbeat value feeds the condition, the outcome is genuinely
+  // unknown, and the control error must survive with ranges enabled.
+  const auto d = analyze(R"(
+int main(void)
+{
+    float output;
+    initComm();
+    if (statShm->active) {
+        output = computeSafe();
+    } else {
+        output = 0.0f;
+    }
+    /*** SafeFlow Annotation assert(safe(output)); ***/
+    sendControl(output);
+    return 0;
+}
+)");
+  ASSERT_EQ(d->report().errors.size(), 1u)
+      << d->report().render(d->sources());
+  EXPECT_EQ(d->report().errors.front().kind,
+            CriticalDependencyError::Kind::kControl);
+}
+
+TEST(FalsePositiveReduction, InfeasiblePhiEdgeDoesNotPropagateTaint) {
+  // The skip edge of `if (band < 8) band = band + 1;` is dead (band is
+  // already in [0, 7]), so the phi merging the two definitions only sees
+  // the incremented one. The pruned phi edge is counted.
+  const auto d = analyze(R"(
+int main(void)
+{
+    float output;
+    int band;
+    initComm();
+    band = statShm->iter & 7;
+    if (band < 8) {
+        band = band + 1;
+    }
+    output = computeSafe();
+    /*** SafeFlow Annotation assert(safe(output)); ***/
+    sendControl(output);
+    return 0;
+}
+)");
+  EXPECT_TRUE(d->report().errors.empty())
+      << d->report().render(d->sources());
+  EXPECT_GE(counter(*d, "ranges.phi_edges_pruned"), 1u);
 }
 
 }  // namespace

@@ -57,8 +57,8 @@ TEST(SupervisorSoak, RandomizedFaultsNeverTakeDownTheSupervisor) {
   // bounded; the others die instantly.
   const char* kinds[] = {"crash", "oom", "exit2", "hang"};
   const char* phases[] = {"frontend", "lowering",     "ssa",
-                          "callgraph", "shm_propagation", "taint",
-                          "report"};
+                          "callgraph", "shm_propagation", "ranges",
+                          "taint",     "report"};
 
   // Fault-free baseline to compare shard survival against.
   std::size_t clean_files = 0;
@@ -75,7 +75,7 @@ TEST(SupervisorSoak, RandomizedFaultsNeverTakeDownTheSupervisor) {
   const std::size_t iters = soakIterations();
   for (std::size_t iter = 0; iter < iters; ++iter) {
     const char* kind = kinds[rng.below(4)];
-    const char* phase = phases[rng.below(7)];
+    const char* phase = phases[rng.below(8)];
     const std::string& target = files[rng.below(files.size())];
     const bool hang = std::string(kind) == "hang";
     const bool exit2 = std::string(kind) == "exit2";
