@@ -96,7 +96,7 @@ void SafeFlowReport::deduplicate(const support::SourceManager& sm) {
 
 std::string SafeFlowReport::renderJson(
     const support::SourceManager& sm, const std::string& stats_json,
-    bool worker_protocol) const {
+    bool worker_protocol, const std::string& telemetry_json) const {
   std::ostringstream out;
   out << "{\n  \"schema_version\": 1,\n  \"warnings\": [";
   for (std::size_t i = 0; i < warnings.size(); ++i) {
@@ -183,6 +183,15 @@ std::string SafeFlowReport::renderJson(
       if (c == '\n') indented += "  ";
     }
     out << ",\n  \"stats\": " << indented;
+  }
+  if (worker_protocol && !telemetry_json.empty()) {
+    std::string indented;
+    indented.reserve(telemetry_json.size());
+    for (char c : telemetry_json) {
+      indented += c;
+      if (c == '\n') indented += "  ";
+    }
+    out << ",\n  \"telemetry\": " << indented;
   }
   out << "\n}\n";
   return out.str();

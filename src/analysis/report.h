@@ -95,11 +95,16 @@ struct SafeFlowReport {
   /// `worker_protocol` is set (the `--worker` path only) the document
   /// additionally carries "required_runtime_checks", which the public
   /// schema omits; the supervisor needs it to reproduce the in-process
-  /// text report from per-worker documents.
+  /// text report from per-worker documents. `telemetry_json`, when
+  /// non-empty, must be a pre-rendered JSON object and is embedded as
+  /// the document's "telemetry" member (worker protocol only): clock
+  /// epoch, resource usage, and trace spans the supervisor stitches
+  /// into the merged timeline (DESIGN.md §13).
   [[nodiscard]] std::string renderJson(
       const support::SourceManager& sm,
       const std::string& stats_json = {},
-      bool worker_protocol = false) const;
+      bool worker_protocol = false,
+      const std::string& telemetry_json = {}) const;
 };
 
 }  // namespace safeflow::analysis

@@ -3,12 +3,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <iostream>
 #include <sstream>
 
 #include <sys/stat.h>
 
 #include "safeflow/driver.h"
+#include "support/flight_recorder.h"
+#include "support/log.h"
 
 namespace safeflow {
 
@@ -98,8 +99,18 @@ CacheManager::CacheManager(CacheOptions options,
   // Injected faults make runs non-deterministic: never serve or record
   // results while the fault hook is armed.
   if (std::getenv("SAFEFLOW_INJECT_FAULT") != nullptr) {
-    options_.enabled = false;
+    disable("fault-injection");
   }
+}
+
+void CacheManager::disable(std::string reason) {
+  if (!options_.enabled) return;
+  options_.enabled = false;
+  disabled_reason_ = std::move(reason);
+  support::flightRecord("cache", "disabled: " + disabled_reason_);
+  SAFEFLOW_LOG(support::LogLevel::kNote, "cache",
+               "note: incremental cache disabled",
+               {{"reason", disabled_reason_}, {"dir", options_.dir}});
 }
 
 void CacheManager::count(const char* name, std::uint64_t delta) {
@@ -186,6 +197,9 @@ std::optional<CachedResult> CacheManager::lookup(const std::string& key) {
   std::optional<std::string> payload = disk_.lookup(key);
   if (!payload.has_value()) {
     count("cache.misses");
+    support::flightRecord("cache", "miss " + key);
+    SAFEFLOW_LOG(support::LogLevel::kDebug, "cache", "cache miss",
+                 {{"key", key}});
     return std::nullopt;
   }
 
@@ -225,15 +239,22 @@ std::optional<CachedResult> CacheManager::lookup(const std::string& key) {
   }
 
   if (!why.empty()) {
-    std::cerr << "safeflow: cache entry " << disk_.entryPath(key)
-              << " is corrupt (" << why
-              << "); falling back to cold analysis\n";
+    // CI greps for the "falling back to cold analysis" substring; keep
+    // it inside the message whichever log format is active.
+    SAFEFLOW_LOG(support::LogLevel::kWarn, "cache",
+                 "cache entry " + disk_.entryPath(key) + " is corrupt (" +
+                     why + "); falling back to cold analysis",
+                 {{"key", key}});
+    support::flightRecord("cache", "corrupt " + key);
     disk_.remove(key);
     count("cache.corrupt");
     count("cache.misses");
     return std::nullopt;
   }
   count("cache.hits");
+  support::flightRecord("cache", "hit " + key);
+  SAFEFLOW_LOG(support::LogLevel::kDebug, "cache", "cache hit",
+               {{"key", key}});
   return result;
 }
 
@@ -252,11 +273,15 @@ void CacheManager::store(const std::string& key,
   const std::lock_guard<std::mutex> lock(mu_);
   const support::DiskCache::StoreResult stored = disk_.store(key, out.str());
   if (!stored.ok) {
-    std::cerr << "safeflow: cannot write cache entry for key " << key
-              << ": " << stored.error << "\n";
+    SAFEFLOW_LOG(support::LogLevel::kWarn, "cache",
+                 "cannot write cache entry for key " + key + ": " +
+                     stored.error);
     return;
   }
   count("cache.writes");
+  support::flightRecord("cache", "store " + key);
+  SAFEFLOW_LOG(support::LogLevel::kDebug, "cache", "cache store",
+               {{"key", key}});
   if (stored.evicted > 0) count("cache.evictions", stored.evicted);
   if (metrics_ != nullptr) {
     metrics_->gauge("cache.size_bytes")

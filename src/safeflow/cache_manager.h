@@ -89,6 +89,18 @@ class CacheManager {
   [[nodiscard]] bool enabled() const { return options_.enabled; }
   [[nodiscard]] const std::string& dir() const { return options_.dir; }
 
+  /// Non-empty when a cache the user asked for (--cache-dir) was
+  /// disabled anyway; names why ("fault-injection", "trace", "dot").
+  /// Surfaced as a note diagnostic and the cache.disabled_reason stat
+  /// so warm-run expectations are never silently wrong.
+  [[nodiscard]] const std::string& disabledReason() const {
+    return disabled_reason_;
+  }
+
+  /// Disables the cache, recording `reason` (first reason wins). No-op
+  /// when the cache was never enabled.
+  void disable(std::string reason);
+
   /// Stable content key (16 hex chars) for analyzing `files` as one
   /// unit. The supervisor keys each shard with a single-file vector;
   /// the in-process whole-program path keys the full input set.
@@ -120,6 +132,7 @@ class CacheManager {
   CacheOptions options_;
   support::DiskCache disk_;
   support::MetricsRegistry* metrics_;
+  std::string disabled_reason_;
   std::mutex mu_;  // serializes disk I/O from pool threads
 };
 

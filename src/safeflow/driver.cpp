@@ -292,11 +292,13 @@ void SafeFlowDriver::finishPipeline() {
     stats_.phase_seconds.emplace_back(phase,
                                       metrics_.durationTotalSeconds(key));
   }
-  const auto snap = metrics_.snapshot();
+  auto snap = metrics_.snapshot();
   stats_.counters = snap.counters;
   stats_.gauges = snap.gauges;
+  stats_.durations = std::move(snap.durations);
   stats_.budget_events = budget_.events();
   stats_.failed_files = failed_files_;
+  stats_.resource = support::sampleResourceUsage();
 }
 
 namespace {
@@ -368,6 +370,37 @@ std::string SafeFlowStats::renderTable() const {
     out << "files with parse errors (partial results):\n";
     for (const std::string& f : failed_files) out << "  " << f << "\n";
   }
+  if (!durations.empty()) {
+    out << "duration percentiles (bucket-estimated):\n";
+    for (const auto& d : durations) {
+      std::snprintf(buf, sizeof buf,
+                    "  %-28s n=%-6llu p50 %9.3f ms  p90 %9.3f ms  p99 "
+                    "%9.3f ms\n",
+                    d.name.c_str(), static_cast<unsigned long long>(d.count),
+                    d.p50_seconds * 1e3, d.p90_seconds * 1e3,
+                    d.p99_seconds * 1e3);
+      out << buf;
+    }
+  }
+  if (!shards.empty()) {
+    out << "per-shard attribution:\n";
+    for (const auto& s : shards) {
+      std::snprintf(buf, sizeof buf,
+                    "  %-28s %9.3f ms wall  %8llu KiB rss  %d attempt(s)%s\n",
+                    s.file.c_str(), s.wall_seconds * 1e3,
+                    static_cast<unsigned long long>(s.max_rss_kb), s.attempts,
+                    s.from_cache ? "  [cache]" : "");
+      out << buf;
+    }
+  }
+  std::snprintf(buf, sizeof buf,
+                "resource usage: user %.3f s, sys %.3f s, peak RSS %llu KiB\n",
+                resource.user_seconds, resource.sys_seconds,
+                static_cast<unsigned long long>(resource.max_rss_kb));
+  out << buf;
+  if (!cache_disabled_reason.empty()) {
+    out << "cache disabled: " << cache_disabled_reason << "\n";
+  }
   if (!counters.empty()) {
     out << "counters:\n";
     for (const auto& [name, value] : counters) {
@@ -381,7 +414,7 @@ std::string SafeFlowStats::renderTable() const {
 
 std::string SafeFlowStats::renderJson() const {
   std::ostringstream out;
-  out << "{\n  \"schema_version\": 1,\n  \"files\": " << files
+  out << "{\n  \"schema_version\": 2,\n  \"files\": " << files
       << ",\n  \"loc\": {\"total_lines\": " << loc.total_lines
       << ", \"code_lines\": " << loc.code_lines
       << ", \"comment_lines\": " << loc.comment_lines
@@ -436,7 +469,104 @@ std::string SafeFlowStats::renderJson() const {
     out << (i == 0 ? "" : ", ") << "\"" << jsonEscape(gauges[i].first)
         << "\": " << jsonDouble(gauges[i].second);
   }
-  out << "}\n}";
+  out << "}";
+  // Schema v2 telemetry sections. Each array entry / object is rendered
+  // on a single line that contains a "*_seconds" key, so time-stripping
+  // comparators (tests, CI byte-identity checks) drop exactly the
+  // nondeterministic lines and keep the deterministic structure.
+  if (!durations.empty()) {
+    out << ",\n  \"durations\": [";
+    for (std::size_t i = 0; i < durations.size(); ++i) {
+      const auto& d = durations[i];
+      out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
+          << jsonEscape(d.name) << "\", \"count\": " << d.count
+          << ", \"total_seconds\": " << jsonDouble(d.total_seconds)
+          << ", \"min_seconds\": " << jsonDouble(d.min_seconds)
+          << ", \"max_seconds\": " << jsonDouble(d.max_seconds)
+          << ", \"p50_seconds\": " << jsonDouble(d.p50_seconds)
+          << ", \"p90_seconds\": " << jsonDouble(d.p90_seconds)
+          << ", \"p99_seconds\": " << jsonDouble(d.p99_seconds) << "}";
+    }
+    out << "\n  ]";
+  }
+  if (!shards.empty()) {
+    out << ",\n  \"shards\": [";
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      const auto& s = shards[i];
+      out << (i == 0 ? "\n" : ",\n") << "    {\"file\": \""
+          << jsonEscape(s.file) << "\", \"wall_seconds\": "
+          << jsonDouble(s.wall_seconds)
+          << ", \"user_seconds\": " << jsonDouble(s.user_seconds)
+          << ", \"sys_seconds\": " << jsonDouble(s.sys_seconds)
+          << ", \"max_rss_kb\": " << s.max_rss_kb
+          << ", \"attempts\": " << s.attempts << ", \"from_cache\": "
+          << (s.from_cache ? "true" : "false") << "}";
+    }
+    out << "\n  ]";
+  }
+  out << ",\n  \"resource\": {\"user_seconds\": "
+      << jsonDouble(resource.user_seconds)
+      << ", \"sys_seconds\": " << jsonDouble(resource.sys_seconds)
+      << ", \"max_rss_kb\": " << resource.max_rss_kb << "}";
+  if (!cache_disabled_reason.empty()) {
+    out << ",\n  \"cache_disabled_reason\": \""
+        << jsonEscape(cache_disabled_reason) << "\"";
+  }
+  out << "\n}";
+  return out.str();
+}
+
+std::string SafeFlowStats::renderPrometheus() const {
+  // Prometheus text exposition format, version 0.0.4. Metric names keep
+  // the registry's dotted names with '.' mapped to '_' and a `safeflow_`
+  // prefix; duration histograms export as summaries (quantile labels).
+  const auto sanitize = [](const std::string& name) {
+    std::string out = "safeflow_";
+    for (char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9');
+      out += ok ? c : '_';
+    }
+    return out;
+  };
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    const std::string metric = sanitize(name) + "_total";
+    out << "# TYPE " << metric << " counter\n"
+        << metric << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string metric = sanitize(name);
+    out << "# TYPE " << metric << " gauge\n"
+        << metric << " " << jsonDouble(value) << "\n";
+  }
+  for (const auto& d : durations) {
+    const std::string metric = sanitize(d.name) + "_seconds";
+    out << "# TYPE " << metric << " summary\n"
+        << metric << "{quantile=\"0.5\"} " << jsonDouble(d.p50_seconds)
+        << "\n"
+        << metric << "{quantile=\"0.9\"} " << jsonDouble(d.p90_seconds)
+        << "\n"
+        << metric << "{quantile=\"0.99\"} " << jsonDouble(d.p99_seconds)
+        << "\n"
+        << metric << "_sum " << jsonDouble(d.total_seconds) << "\n"
+        << metric << "_count " << d.count << "\n";
+  }
+  out << "# TYPE safeflow_process_user_seconds gauge\n"
+      << "safeflow_process_user_seconds "
+      << jsonDouble(resource.user_seconds) << "\n"
+      << "# TYPE safeflow_process_sys_seconds gauge\n"
+      << "safeflow_process_sys_seconds " << jsonDouble(resource.sys_seconds)
+      << "\n"
+      << "# TYPE safeflow_process_max_rss_kb gauge\n"
+      << "safeflow_process_max_rss_kb " << resource.max_rss_kb << "\n";
+  for (const auto& s : shards) {
+    const std::string label = "{file=\"" + s.file + "\"}";
+    out << "safeflow_shard_wall_seconds" << label << " "
+        << jsonDouble(s.wall_seconds) << "\n"
+        << "safeflow_shard_max_rss_kb" << label << " " << s.max_rss_kb
+        << "\n";
+  }
   return out.str();
 }
 

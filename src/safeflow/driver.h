@@ -38,7 +38,7 @@ namespace safeflow {
 /// propagation, restriction rules, taint, rendering, defaults. The bump
 /// is what invalidates every stale cache entry; forgetting it means an
 /// upgraded analyzer can replay a report the old version produced.
-inline constexpr const char kAnalyzerVersion[] = "0.5.0";
+inline constexpr const char kAnalyzerVersion[] = "0.6.0";
 
 /// The exit-code ladder, shared by the in-process CLI path and the
 /// supervised (worker-pool) path so the two can never disagree:
@@ -113,12 +113,38 @@ struct SafeFlowStats {
   /// Input files the front end could not fully parse; analysis continued
   /// on the declarations that survived recovery (empty on a clean run).
   std::vector<std::string> failed_files;
+  /// Per-duration-histogram digest (count/total/min/max/p50/p90/p99),
+  /// name-sorted; covers every "phase.*" histogram plus supervisor-side
+  /// histograms like "supervisor.shard_seconds" (schema_version 2).
+  std::vector<support::MetricsRegistry::DurationSnapshot> durations;
+  /// Per-shard attribution filled by the supervisor (empty on the
+  /// in-process path): wall clock, CPU split, and peak RSS per worker.
+  struct ShardStat {
+    std::string file;
+    double wall_seconds = 0.0;
+    double user_seconds = 0.0;
+    double sys_seconds = 0.0;
+    std::uint64_t max_rss_kb = 0;
+    int attempts = 1;
+    bool from_cache = false;
+  };
+  std::vector<ShardStat> shards;
+  /// This process's own getrusage sample, taken when stats are finalized.
+  support::ResourceSample resource;
+  /// Why a requested incremental cache was disabled ("" when it ran):
+  /// "fault-injection", "trace", or "dot" (CacheManager::disabledReason).
+  std::string cache_disabled_reason;
 
   /// Human-readable statistics table (what `safeflow --stats` prints).
   [[nodiscard]] std::string renderTable() const;
   /// Machine-readable JSON object (snake_case keys, schema_version field);
   /// the same object `safeflow --stats-json` writes and `--json` embeds.
+  /// Schema history: v1 through analyzer 0.5.0; v2 adds durations
+  /// digests, shards, resource, and cache_disabled_reason.
   [[nodiscard]] std::string renderJson() const;
+  /// Prometheus text exposition (what `--metrics-out <file>` writes):
+  /// counters as safeflow_<name>_total, gauges/timings as safeflow_<name>.
+  [[nodiscard]] std::string renderPrometheus() const;
 };
 
 class SafeFlowDriver {

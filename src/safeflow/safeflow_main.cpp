@@ -23,7 +23,13 @@
 //   --no-isolate        force the single-process whole-program path
 //   --worker-timeout <dur>  watchdog deadline per worker (default 60s)
 //   --retries <n>       crash/timeout retries per shard (default 2)
+//   --worker-stderr-cap <n> cap captured worker stderr at n bytes
+//   --log-level <lvl>   error|warn|note|info|debug (default note)
+//   --log-json          emit stderr logs as NDJSON events
+//   --metrics-out <file> write Prometheus text exposition to <file>
 //   --worker            (internal) single-shard worker protocol mode
+//   --telemetry-spans   (internal) worker embeds trace spans in its
+//                       report's telemetry section for trace stitching
 //   --cache             enable the result cache at .safeflow-cache/
 //   --cache-dir <dir>   enable the result cache at <dir> (parents created)
 //   --no-cache          force the cache off
@@ -45,6 +51,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -54,8 +61,11 @@
 #include "safeflow/driver.h"
 #include "safeflow/supervisor.h"
 #include "support/fault_inject.h"
+#include "support/flight_recorder.h"
 #include "support/json.h"
 #include "support/limits.h"
+#include "support/log.h"
+#include "support/metrics.h"
 
 namespace {
 
@@ -87,6 +97,15 @@ void usage() {
          "  --no-isolate        single-process whole-program analysis\n"
          "  --worker-timeout <dur>  per-worker watchdog (default 60s)\n"
          "  --retries <n>       crash/timeout retries per shard\n"
+         "  --worker-stderr-cap <n>  cap captured worker stderr at n\n"
+         "                      bytes (default 65536; 0 = unlimited)\n"
+         "  --log-level <lvl>   stderr log threshold: error, warn, note\n"
+         "                      (default), info, debug\n"
+         "  --log-json          emit stderr logs as NDJSON (one JSON\n"
+         "                      object per line: ts, pid, level, shard,\n"
+         "                      component, msg, key/values)\n"
+         "  --metrics-out <file> write counters/gauges/percentiles as\n"
+         "                      Prometheus text exposition to <file>\n"
          "  --cache             enable the incremental result cache at\n"
          "                      .safeflow-cache/\n"
          "  --cache-dir <dir>   enable the cache at <dir> (directories\n"
@@ -115,7 +134,8 @@ bool writeFile(const std::string& path, const std::string& contents) {
 /// cache path so the two can never disagree on formatting.
 int emitMergedOutputs(const safeflow::MergedReport& merged,
                       const std::string& stats_json_path, bool stats_table,
-                      bool json, bool quiet) {
+                      bool json, bool quiet,
+                      const std::string& metrics_out_path = {}) {
   const std::string stats_json = merged.stats.renderJson() + "\n";
   if (!stats_json_path.empty()) {
     if (stats_json_path == "-") {
@@ -123,6 +143,10 @@ int emitMergedOutputs(const safeflow::MergedReport& merged,
     } else if (!writeFile(stats_json_path, stats_json)) {
       return 2;
     }
+  }
+  if (!metrics_out_path.empty() &&
+      !writeFile(metrics_out_path, merged.stats.renderPrometheus())) {
+    return 2;
   }
   if (stats_table) {
     std::cerr << merged.stats.renderTable();
@@ -165,15 +189,28 @@ std::string selfExePath(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace safeflow;
 
+  // Real crashes (not fault-injected ones) dump the flight recorder to
+  // stderr before re-raising; in a worker the supervisor attaches the
+  // events to the shard's failure record.
+  support::installCrashDumpHandlers();
+
   SafeFlowOptions options;
   std::vector<std::string> files;
   std::string dot_path;
   std::string trace_path;
   std::string stats_json_path;
+  std::string metrics_out_path;
   bool quiet = false;
   bool json = false;
   bool stats_table = false;
   bool worker_mode = false;
+  bool telemetry_spans = false;
+  support::LogLevel log_level = support::LogLevel::kNote;
+  bool log_json = false;
+  // Observability flags re-forwarded to workers. Kept separate from
+  // `passthrough`: that vector doubles as the cache key's analysis-flag
+  // identity, and log settings must never change cache keys.
+  std::vector<std::string> obs_args;
   bool isolate_forced = false;
   bool isolate_disabled = false;
   bool cache_enabled = false;
@@ -287,6 +324,30 @@ int main(int argc, char** argv) {
       sup_options.max_retries = static_cast<int>(n);
     } else if (arg == "--worker") {
       worker_mode = true;
+    } else if (arg == "--telemetry-spans") {
+      telemetry_spans = true;
+      options.collect_trace = true;
+    } else if (arg == "--worker-stderr-cap" && i + 1 < argc) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::cerr << "invalid --worker-stderr-cap '" << argv[i] << "'\n";
+        return 2;
+      }
+      sup_options.worker_stderr_cap = static_cast<std::size_t>(n);
+    } else if (arg == "--log-level" && i + 1 < argc) {
+      if (!support::parseLogLevel(argv[++i], &log_level)) {
+        std::cerr << "invalid --log-level '" << argv[i]
+                  << "' (expected error|warn|note|info|debug)\n";
+        return 2;
+      }
+      obs_args.emplace_back("--log-level");
+      obs_args.emplace_back(argv[i]);
+    } else if (arg == "--log-json") {
+      log_json = true;
+      obs_args.emplace_back("--log-json");
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out_path = argv[++i];
     } else if (arg == "--cache") {
       cache_enabled = true;
     } else if (arg == "--cache-dir" && i + 1 < argc) {
@@ -332,16 +393,18 @@ int main(int argc, char** argv) {
   const bool supervised =
       !worker_mode && !isolate_disabled && (isolate_forced || jobs > 1);
 
+  // One logger per process; the shard label distinguishes supervisor,
+  // worker (labeled by its input), and plain in-process events.
+  support::Logger::instance().configure(
+      log_level, log_json,
+      worker_mode ? files.front() : (supervised ? "supervisor" : ""));
+
   // Workers never consult the cache themselves — the supervisor does,
-  // before spawning them. --dot/--trace need a live pipeline, so they
-  // bypass the cache on the in-process path.
-  bool use_cache = cache_enabled && !cache_disabled && !worker_mode;
-  if (use_cache && !supervised &&
-      (!dot_path.empty() || !trace_path.empty())) {
-    std::cerr << "safeflow: --dot/--trace need a live pipeline; result "
-                 "cache disabled for this run\n";
-    use_cache = false;
-  }
+  // before spawning them. --dot/--trace need a live pipeline (cached
+  // shards replay a past run: no graph, no spans), so either flag
+  // disables the cache below — with an explicit note and a
+  // cache.disabled_reason stat, never silently.
+  const bool use_cache = cache_enabled && !cache_disabled && !worker_mode;
   CacheOptions cache_options;
   cache_options.enabled = use_cache;
   cache_options.dir = cache_dir;
@@ -359,9 +422,31 @@ int main(int argc, char** argv) {
     SafeFlowDriver driver(options);
     for (const std::string& f : files) driver.addFile(f);
     const auto& report = driver.analyze();
+    // The telemetry section: this worker's pid, rusage, and — when the
+    // supervisor asked via --telemetry-spans — the trace spans plus the
+    // monotonic epoch they are relative to, for cross-process stitching.
+    std::ostringstream telemetry;
+    {
+      const support::ResourceSample rusage = support::sampleResourceUsage();
+      char num[64];
+      telemetry << "{\n  \"telemetry_schema_version\": 1,\n  \"pid\": "
+                << ::getpid();
+      std::snprintf(num, sizeof num, "%.9g", rusage.user_seconds);
+      telemetry << ",\n  \"resource\": {\"user_seconds\": " << num;
+      std::snprintf(num, sizeof num, "%.9g", rusage.sys_seconds);
+      telemetry << ", \"sys_seconds\": " << num
+                << ", \"max_rss_kb\": " << rusage.max_rss_kb << "}";
+      if (telemetry_spans && driver.trace() != nullptr) {
+        telemetry << ",\n  \"epoch_steady_ns\": "
+                  << driver.trace()->epochSteadyNs() << ",\n  \"spans\": "
+                  << driver.trace()->spansToJsonArray();
+      }
+      telemetry << "\n}";
+    }
     std::cout << report.renderJson(driver.sources(),
                                    driver.stats().renderJson(),
-                                   /*worker_protocol=*/true);
+                                   /*worker_protocol=*/true,
+                                   telemetry.str());
     if (driver.hasFrontendErrors()) {
       std::cerr << driver.diagnostics().render(driver.sources());
     }
@@ -370,27 +455,51 @@ int main(int argc, char** argv) {
   }
 
   if (supervised) {
-    if (!dot_path.empty() || !trace_path.empty()) {
-      std::cerr << "--dot/--trace are not supported with --isolate/--jobs "
-                   "(per-worker traces lose the cross-shard picture; run "
-                   "--no-isolate for them)\n";
+    if (!dot_path.empty()) {
+      std::cerr << "--dot is not supported with --isolate/--jobs (the "
+                   "per-TU shards have no whole-program value-flow graph; "
+                   "run --no-isolate for it)\n";
       return 2;
     }
     sup_options.jobs = jobs;
     sup_options.worker_exe = selfExePath(argv[0]);
     sup_options.worker_args = passthrough;
+    sup_options.worker_args.insert(sup_options.worker_args.end(),
+                                   obs_args.begin(), obs_args.end());
     sup_options.base_time_budget_seconds = options.budget.time_seconds;
+
+    // --trace in supervised mode: the supervisor records its own
+    // orchestration spans and asks every worker to report spans back,
+    // then stitches one merged timeline (DESIGN.md §13).
+    support::TraceCollector trace;
+    if (!trace_path.empty()) {
+      sup_options.trace = &trace;
+      sup_options.worker_args.emplace_back("--telemetry-spans");
+    }
 
     support::MetricsRegistry registry;
     CacheManager cache(cache_options, &registry);
+    if (!trace_path.empty()) {
+      // Cached shards replay a past run: no spans, stale clock epochs.
+      // A traced run must see every lane live.
+      cache.disable("trace");
+    }
     if (cache.enabled()) sup_options.cache = &cache;
     Supervisor supervisor(sup_options, &registry);
-    const MergedReport merged = supervisor.run(files);
+    MergedReport merged = supervisor.run(files);
+    merged.stats.cache_disabled_reason = cache.disabledReason();
+    if (!trace_path.empty() &&
+        !writeFile(trace_path, merged.renderStitchedTrace(trace))) {
+      return 2;
+    }
     if (cache_stats) std::cerr << cache.statsLine();
     return emitMergedOutputs(merged, stats_json_path, stats_table, json,
-                             quiet);
+                             quiet, metrics_out_path);
   }
 
+  // Why a requested cache did not run (fault injection, --dot, --trace);
+  // surfaced in the stats document either way.
+  std::string cache_disabled_reason;
   if (use_cache) {
     // In-process incremental path: one cache entry keyed over the whole
     // input set (whole-program analysis does not decompose per TU — use
@@ -400,8 +509,15 @@ int main(int argc, char** argv) {
     // supervisor uses, so cold and warm output are byte-identical.
     support::MetricsRegistry registry;
     CacheManager cache(cache_options, &registry);
-    // The manager can disarm itself (fault injection); fall through to
-    // the ordinary path below when it does.
+    // --dot/--trace need a live pipeline; a replayed entry has no graph
+    // and no spans. The manager can also disarm itself (fault
+    // injection). Fall through to the ordinary path below when disabled.
+    if (!dot_path.empty()) {
+      cache.disable("dot");
+    } else if (!trace_path.empty()) {
+      cache.disable("trace");
+    }
+    cache_disabled_reason = cache.disabledReason();
     if (cache.enabled()) {
       const std::string key = cache.keyFor(files);
       std::optional<CachedResult> cached = cache.lookup(key);
@@ -451,9 +567,10 @@ int main(int argc, char** argv) {
         // headers on the in-process path).
         merged.diagnostics_text = cached->stderr_text;
         foldRegistrySnapshot(registry, &merged.stats);
+        merged.stats.resource = support::sampleResourceUsage();
         if (cache_stats) std::cerr << cache.statsLine();
         return emitMergedOutputs(merged, stats_json_path, stats_table,
-                                 json, quiet);
+                                 json, quiet, metrics_out_path);
       }
       // Fall through to a plain cold run on the impossible round-trip
       // failure; correctness beats the wasted parse.
@@ -480,16 +597,24 @@ int main(int argc, char** argv) {
   if (!trace_path.empty() && driver.trace() != nullptr) {
     if (!writeFile(trace_path, driver.trace()->toChromeTraceJson())) return 2;
   }
+  // The one divergence from driver.stats(): record why a requested
+  // cache did not run (the driver cannot know).
+  SafeFlowStats stats = driver.stats();
+  stats.cache_disabled_reason = cache_disabled_reason;
   if (!stats_json_path.empty()) {
-    const std::string stats_json = driver.stats().renderJson() + "\n";
+    const std::string stats_json = stats.renderJson() + "\n";
     if (stats_json_path == "-") {
       std::cout << stats_json;
     } else if (!writeFile(stats_json_path, stats_json)) {
       return 2;
     }
   }
+  if (!metrics_out_path.empty() &&
+      !writeFile(metrics_out_path, stats.renderPrometheus())) {
+    return 2;
+  }
   if (stats_table) {
-    std::cerr << driver.stats().renderTable();
+    std::cerr << stats.renderTable();
   }
   // Keep stdout pure JSON when the stats document goes there.
   std::ostream& text_out =

@@ -12,6 +12,7 @@
 
 #include "safeflow/cache_manager.h"
 #include "support/json.h"
+#include "support/log.h"
 #include "support/subprocess.h"
 
 namespace safeflow {
@@ -64,6 +65,29 @@ Supervisor::Supervisor(SupervisorOptions options,
 
 void Supervisor::analyzeShard(const std::string& file,
                               WorkerOutcome* result) {
+  const auto shard_start = std::chrono::steady_clock::now();
+  std::size_t shard_span = 0;
+  if (options_.trace != nullptr) {
+    shard_span = options_.trace->beginSpan("supervisor.shard");
+    options_.trace->setArg(shard_span, "file", file);
+  }
+  // Close the shard span and record the shard-latency histogram on
+  // every exit path.
+  struct ShardScope {
+    Supervisor* self;
+    const std::chrono::steady_clock::time_point start;
+    const std::size_t span;
+    ~ShardScope() {
+      self->metrics_->duration("supervisor.shard_seconds")
+          .record(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count());
+      if (self->options_.trace != nullptr) {
+        self->options_.trace->endSpan(span);
+      }
+    }
+  } scope{this, shard_start, shard_span};
+
   CacheManager* cache =
       options_.cache != nullptr && options_.cache->enabled()
           ? options_.cache
@@ -71,7 +95,17 @@ void Supervisor::analyzeShard(const std::string& file,
   std::string key;
   if (cache != nullptr) {
     key = cache->keyFor({file});
-    if (std::optional<CachedResult> hit = cache->lookup(key)) {
+    std::size_t probe_span = 0;
+    if (options_.trace != nullptr) {
+      probe_span = options_.trace->beginSpan("supervisor.cache_probe");
+      options_.trace->setArg(probe_span, "key", key);
+    }
+    std::optional<CachedResult> hit = cache->lookup(key);
+    if (options_.trace != nullptr) {
+      options_.trace->setArg(probe_span, "hit", hit ? "true" : "false");
+      options_.trace->endSpan(probe_span);
+    }
+    if (hit) {
       // Cache hit: no worker is spawned at all. The cached document
       // joins the input-order merge exactly like a live shard would.
       result->accepted = true;
@@ -104,9 +138,21 @@ void Supervisor::runShard(const std::string& file, WorkerOutcome* result) {
           options_.backoff_base_seconds * std::ldexp(1.0, attempt - 2);
       if (wait > 0.0) {
         metrics_->counter("supervisor.backoff_waits").add();
+        std::size_t backoff_span = 0;
+        if (options_.trace != nullptr) {
+          backoff_span = options_.trace->beginSpan("supervisor.backoff");
+          options_.trace->setArg(backoff_span, "file", file);
+        }
         std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+        if (options_.trace != nullptr) {
+          options_.trace->endSpan(backoff_span);
+        }
       }
       metrics_->counter("supervisor.workers_retried").add();
+      SAFEFLOW_LOG(support::LogLevel::kInfo, "supervisor", "retrying shard",
+                   {{"file", file},
+                    {"attempt", std::to_string(attempt)},
+                    {"previous_failure", result->failure_reason}});
     }
 
     std::vector<std::string> argv;
@@ -137,18 +183,35 @@ void Supervisor::runShard(const std::string& file, WorkerOutcome* result) {
 
     support::SubprocessOptions sub;
     sub.timeout_seconds = options_.worker_timeout_seconds;
+    sub.max_stderr_capture_bytes = options_.worker_stderr_cap;
     sub.extra_env = options_.extra_env;
     sub.extra_env.emplace_back("SAFEFLOW_WORKER_ATTEMPT",
                                std::to_string(attempt));
 
     metrics_->counter("supervisor.workers_spawned").add();
+    SAFEFLOW_LOG(support::LogLevel::kDebug, "supervisor", "spawning worker",
+                 {{"file", file}, {"attempt", std::to_string(attempt)}});
+    std::size_t spawn_span = 0;
+    if (options_.trace != nullptr) {
+      spawn_span = options_.trace->beginSpan("supervisor.spawn");
+      options_.trace->setArg(spawn_span, "file", file);
+      options_.trace->setArg(spawn_span, "attempt", std::to_string(attempt));
+    }
     const auto t0 = std::chrono::steady_clock::now();
     const support::SubprocessResult run = support::runSubprocess(argv, sub);
-    metrics_->duration("supervisor.worker_wall")
-        .record(std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count());
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    if (options_.trace != nullptr) options_.trace->endSpan(spawn_span);
+    metrics_->duration("supervisor.worker_wall").record(wall);
+    result->wall_seconds = wall;
     result->stderr_text = run.err_text;
+    if (run.err_truncated) {
+      metrics_->counter("supervisor.worker_stderr_truncated").add();
+      result->stderr_text +=
+          "\n[safeflow: worker stderr truncated at " +
+          std::to_string(options_.worker_stderr_cap) + " bytes]\n";
+    }
 
     using Status = support::SubprocessResult::Status;
     switch (run.status) {
@@ -221,7 +284,12 @@ MergedReport Supervisor::run(const std::vector<std::string>& files) {
   }
 
   const auto merge_start = std::chrono::steady_clock::now();
+  std::size_t merge_span = 0;
+  if (options_.trace != nullptr) {
+    merge_span = options_.trace->beginSpan("supervisor.merge");
+  }
   MergedReport merged = mergeWorkerOutcomes(files, shards);
+  if (options_.trace != nullptr) options_.trace->endSpan(merge_span);
   const double merge_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     merge_start)
@@ -233,14 +301,17 @@ MergedReport Supervisor::run(const std::vector<std::string>& files) {
 
   // Fold the supervisor's own registry (including cache.* counters when
   // a cache is attached) into the merged stats so --stats-json reports
-  // the orchestration alongside the analysis.
+  // the orchestration alongside the analysis. The duration digests and
+  // resource sample are the supervisor's own: per-shard figures live in
+  // stats.shards, so re-folding worker histograms would double-count.
   foldRegistrySnapshot(*metrics_, &merged.stats);
+  merged.stats.resource = support::sampleResourceUsage();
   return merged;
 }
 
 void foldRegistrySnapshot(const support::MetricsRegistry& metrics,
                           SafeFlowStats* stats) {
-  const auto snap = metrics.snapshot();
+  auto snap = metrics.snapshot();
   std::map<std::string, std::uint64_t> counters(stats->counters.begin(),
                                                 stats->counters.end());
   for (const auto& [name, value] : snap.counters) counters[name] += value;
@@ -249,6 +320,10 @@ void foldRegistrySnapshot(const support::MetricsRegistry& metrics,
                                        stats->gauges.end());
   for (const auto& [name, value] : snap.gauges) gauges[name] = value;
   stats->gauges.assign(gauges.begin(), gauges.end());
+  // Histograms do not sum meaningfully across processes; the folded
+  // registry's own digests (supervisor.shard_seconds, worker_wall,
+  // merge) replace whatever was there.
+  stats->durations = std::move(snap.durations);
 }
 
 MergedReport mergeWorkerOutcomes(const std::vector<std::string>& files,
@@ -266,12 +341,25 @@ MergedReport mergeWorkerOutcomes(const std::vector<std::string>& files,
 
   for (std::size_t i = 0; i < files.size(); ++i) {
     WorkerOutcome& shard = shards[i];
+    // Every shard gets a wall/RSS attribution row; resource figures are
+    // filled from the worker's telemetry below when it reported any.
+    SafeFlowStats::ShardStat shard_stat;
+    shard_stat.file = files[i];
+    shard_stat.wall_seconds = shard.wall_seconds;
+    shard_stat.attempts = shard.attempts;
+    shard_stat.from_cache = shard.from_cache;
     if (!shard.accepted) {
       WorkerFailure failure;
       failure.file = files[i];
       failure.reason = shard.failure_reason;
       failure.attempts = shard.attempts;
       failure.stderr_tail = tail(shard.stderr_text);
+      // A dying worker dumps its flight recorder to stderr; decode the
+      // SAFEFLOW-FR lines so the failure entry names the phase and the
+      // events leading up to the death (DESIGN.md §13).
+      failure.flight_events =
+          support::parseFlightRecorderLines(shard.stderr_text);
+      merged.stats.shards.push_back(std::move(shard_stat));
       merged.failed_files.push_back(files[i]);
       merged.frontend_errors = true;
       if (emit_stderr_headers) {
@@ -289,6 +377,31 @@ MergedReport mergeWorkerOutcomes(const std::vector<std::string>& files,
     }
 
     const Value& doc = shard.report;
+    if (const Value* telemetry = doc.find("telemetry");
+        telemetry != nullptr && telemetry->isObject()) {
+      if (const Value* res = telemetry->find("resource");
+          res != nullptr && res->isObject()) {
+        shard_stat.user_seconds = res->memberNumber("user_seconds");
+        shard_stat.sys_seconds = res->memberNumber("sys_seconds");
+        shard_stat.max_rss_kb = res->memberUint("max_rss_kb");
+      }
+      // Cache-hit telemetry carries a previous run's clock epoch, which
+      // cannot be re-based onto this run's timeline: no trace lane.
+      if (!shard.from_cache) {
+        MergedReport::ShardTelemetry lane;
+        lane.shard_index = i;
+        lane.file = files[i];
+        lane.epoch_steady_ns = static_cast<std::int64_t>(
+            telemetry->memberNumber("epoch_steady_ns"));
+        lane.pid = telemetry->memberUint("pid");
+        if (const Value* spans = telemetry->find("spans");
+            spans != nullptr && spans->isArray()) {
+          lane.spans = *spans;
+        }
+        merged.shard_telemetry.push_back(std::move(lane));
+      }
+    }
+    merged.stats.shards.push_back(std::move(shard_stat));
     if (shard.exit_code == 2) {
       merged.frontend_errors = true;
       if (emit_stderr_headers) {
@@ -589,8 +702,18 @@ std::string MergedReport::renderJson(const std::string& stats_json) const {
       const WorkerFailure& f = worker_failures[i];
       out << (i == 0 ? "\n" : ",\n") << "    {\"file\": \""
           << jsonEscape(f.file) << "\", \"reason\": \""
-          << jsonEscape(f.reason) << "\", \"attempts\": " << f.attempts
-          << "}";
+          << jsonEscape(f.reason) << "\", \"attempts\": " << f.attempts;
+      if (!f.flight_events.empty()) {
+        out << ", \"flight_recorder\": [";
+        for (std::size_t e = 0; e < f.flight_events.size(); ++e) {
+          const support::FlightEvent& ev = f.flight_events[e];
+          out << (e == 0 ? "" : ", ") << "{\"seq\": " << ev.seq
+              << ", \"kind\": \"" << jsonEscape(ev.kind)
+              << "\", \"detail\": \"" << jsonEscape(ev.detail) << "\"}";
+        }
+        out << "]";
+      }
+      out << "}";
     }
     out << "\n  ]";
   }
@@ -604,6 +727,87 @@ std::string MergedReport::renderJson(const std::string& stats_json) const {
     out << ",\n  \"stats\": " << indented;
   }
   out << "\n}\n";
+  return out.str();
+}
+
+std::string MergedReport::renderStitchedTrace(
+    const support::TraceCollector& supervisor_trace) const {
+  std::ostringstream out;
+  out << "{\"traceEvents\": [\n";
+  bool first = true;
+  const auto emit = [&](const std::string& event) {
+    out << (first ? "  " : ",\n  ") << event;
+    first = false;
+  };
+  const auto num = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+    return std::string(buf);
+  };
+  const auto meta = [&](std::uint64_t pid, const std::string& label) {
+    emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
+         std::to_string(pid) + ", \"tid\": 0, \"args\": {\"name\": \"" +
+         jsonEscape(label) + "\"}}");
+  };
+
+  // Lane 1: the supervisor's own orchestration spans, already on the
+  // reference clock.
+  meta(1, "safeflow supervisor");
+  for (const support::TraceCollector::Span& s : supervisor_trace.spans()) {
+    std::string event =
+        "{\"name\": \"" + jsonEscape(s.name) +
+        "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " + std::to_string(s.tid) +
+        ", \"ts\": " + num(s.start_us) +
+        ", \"dur\": " + num(s.dur_us < 0.0 ? 0.0 : s.dur_us);
+    if (!s.args.empty()) {
+      event += ", \"args\": {";
+      bool first_arg = true;
+      for (const auto& [key, value] : s.args) {
+        event += (first_arg ? "" : ", ");
+        event += "\"" + jsonEscape(key) + "\": \"" + jsonEscape(value) + "\"";
+        first_arg = false;
+      }
+      event += "}";
+    }
+    event += "}";
+    emit(event);
+  }
+
+  // One lane per live shard, at a deterministic pid (input-order index +
+  // 2) labeled with the file and the worker's real pid. Timestamps are
+  // re-based: both clocks are CLOCK_MONOTONIC readings on this machine,
+  // so the worker's span offsets shift by the epoch difference.
+  const std::int64_t sup_epoch_ns = supervisor_trace.epochSteadyNs();
+  for (const ShardTelemetry& lane : shard_telemetry) {
+    const std::uint64_t pid = static_cast<std::uint64_t>(lane.shard_index) + 2;
+    meta(pid, lane.file + " (pid " + std::to_string(lane.pid) + ")");
+    const double base_us =
+        static_cast<double>(lane.epoch_steady_ns - sup_epoch_ns) / 1000.0;
+    for (const support::json::Value& span : lane.spans.array) {
+      const double dur = span.memberNumber("dur_us");
+      std::string event =
+          "{\"name\": \"" + jsonEscape(span.memberString("name")) +
+          "\", \"ph\": \"X\", \"pid\": " + std::to_string(pid) +
+          ", \"tid\": " + std::to_string(span.memberUint("tid")) +
+          ", \"ts\": " + num(base_us + span.memberNumber("start_us")) +
+          ", \"dur\": " + num(dur < 0.0 ? 0.0 : dur);
+      if (const support::json::Value* args = span.find("args");
+          args != nullptr && args->isObject() && !args->members.empty()) {
+        event += ", \"args\": {";
+        bool first_arg = true;
+        for (const auto& [key, value] : args->members) {
+          event += (first_arg ? "" : ", ");
+          event += "\"" + jsonEscape(key) + "\": \"" +
+                   jsonEscape(value.stringOr({})) + "\"";
+          first_arg = false;
+        }
+        event += "}";
+      }
+      event += "}";
+      emit(event);
+    }
+  }
+  out << "\n]}\n";
   return out.str();
 }
 

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "safeflow/driver.h"
+#include "support/flight_recorder.h"
 #include "support/json.h"
 #include "support/metrics.h"
 
@@ -76,6 +77,15 @@ struct SupervisorOptions {
   /// first-attempt accepted shards are stored back. May be null; must
   /// outlive run().
   CacheManager* cache = nullptr;
+  /// Optional span collector for the supervisor's own orchestration
+  /// spans (shard lifecycle, spawn/wait, backoff, cache probes, merge).
+  /// Its epoch is also the reference timeline worker spans are re-based
+  /// onto in the stitched trace (DESIGN.md §13). May be null.
+  support::TraceCollector* trace = nullptr;
+  /// Cap on captured worker stderr per attempt (--worker-stderr-cap);
+  /// excess is dropped with a truncation marker so one log-spamming
+  /// shard cannot bloat failure records. 0 disables the cap.
+  std::size_t worker_stderr_cap = 64u << 10;
 };
 
 /// The outcome of obtaining one shard's worker-protocol document,
@@ -91,6 +101,7 @@ struct WorkerOutcome {
   std::string raw_stdout;         // worker stdout verbatim (cache store)
   std::string failure_reason;     // non-empty when !accepted
   std::string stderr_text;        // last attempt's (or cached) stderr
+  double wall_seconds = 0.0;      // accepted attempt's wall clock
 };
 
 /// One shard that exhausted its retries (or failed unretryably).
@@ -102,6 +113,10 @@ struct WorkerFailure {
   int attempts = 0;
   /// Tail of the last attempt's captured stderr.
   std::string stderr_tail;
+  /// Flight-recorder events the dying worker dumped to its stderr
+  /// (SAFEFLOW-FR lines), newest-first suffix of its event ring. The
+  /// last "phase" event names where in the pipeline it died.
+  std::vector<support::FlightEvent> flight_events;
 };
 
 /// The merged result of a supervised run. Field meanings mirror
@@ -134,6 +149,19 @@ struct MergedReport {
   std::vector<std::string> failed_files;
   std::vector<WorkerFailure> worker_failures;
 
+  /// Telemetry one live worker reported (the report document's
+  /// "telemetry" member), kept for trace stitching. Cache-hit shards
+  /// contribute none: their recorded epochs belong to a past run and
+  /// cannot be re-based onto this run's timeline.
+  struct ShardTelemetry {
+    std::size_t shard_index = 0;     // lane: input-order position
+    std::string file;
+    std::int64_t epoch_steady_ns = 0;  // worker TraceCollector epoch
+    std::uint64_t pid = 0;             // worker's real pid (lane label)
+    support::json::Value spans;        // worker span array (may be empty)
+  };
+  std::vector<ShardTelemetry> shard_telemetry;
+
   /// Merged pipeline statistics (sums over workers + supervisor.*
   /// counters); wall-clock fields are sums of per-worker wall time.
   SafeFlowStats stats;
@@ -157,6 +185,15 @@ struct MergedReport {
   /// "worker_failures" array when shards died); embeds `stats_json`
   /// verbatim when non-empty.
   [[nodiscard]] std::string renderJson(const std::string& stats_json) const;
+
+  /// One Chrome-trace (Perfetto-loadable) document stitching the
+  /// supervisor's own spans (pid 1) together with every live worker's
+  /// spans, one process lane per shard (pid = shard index + 2, labeled
+  /// with the file and real pid). Worker timestamps are re-based onto
+  /// the supervisor collector's monotonic epoch, so `--trace --jobs 8`
+  /// shows one coherent timeline (DESIGN.md §13).
+  [[nodiscard]] std::string renderStitchedTrace(
+      const support::TraceCollector& supervisor_trace) const;
 };
 
 /// Merges per-shard outcomes in input order (files[i] produced

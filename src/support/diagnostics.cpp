@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "support/flight_recorder.h"
 #include "support/source_manager.h"
 
 namespace safeflow::support {
@@ -26,6 +27,9 @@ std::string_view severityName(Severity s) {
 void DiagnosticEngine::report(Severity sev, SourceLocation loc,
                               std::string category, std::string message) {
   if (sev == Severity::kError || sev == Severity::kFatal) ++errors_;
+  // Postmortem breadcrumb: a crash shortly after a diagnostic often
+  // implicates the construct that produced it.
+  flightRecord("diag", category);
   diags_.push_back(
       Diagnostic{sev, loc, std::move(message), std::move(category)});
 }

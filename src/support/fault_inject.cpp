@@ -7,6 +7,8 @@
 
 #include <unistd.h>
 
+#include "support/flight_recorder.h"
+
 namespace safeflow::support {
 
 namespace {
@@ -24,6 +26,14 @@ std::atomic<bool> g_armed{false};
 FaultSpec g_spec;  // written once by armWorkerFaultInjection, then read-only
 
 [[noreturn]] void trigger(FaultKind kind) {
+  // Deliberate fatal path: flush the flight recorder to stderr first so
+  // the supervisor's postmortem (worker_failures.flight_recorder) names
+  // the phase and the events leading up to the death. For kCrash the
+  // recorder is dumped here because the SIGSEGV below runs with the
+  // default disposition (no handler gets a chance); for kHang the dump
+  // happens before the watchdog's SIGKILL can land.
+  flightRecord("worker", "fault-injection trigger");
+  flightRecorderDump(STDERR_FILENO);
   switch (kind) {
     case FaultKind::kCrash:
       // Restore the default disposition so a sanitizer's SEGV handler
@@ -100,6 +110,10 @@ bool faultInjectionArmed() {
 }
 
 void faultInjectionPoint(const char* phase) {
+  // Every pipeline stage announces itself here, so this is also the
+  // flight recorder's phase-entry hook: the ring always knows which
+  // phase the process died in, fault-injected or not.
+  flightRecord("phase", phase);
   if (!g_armed.load(std::memory_order_relaxed)) return;
   if (g_spec.phase != phase) return;
   if (++g_spec.hits < g_spec.nth) return;

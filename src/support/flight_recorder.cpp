@@ -1,0 +1,189 @@
+#include "support/flight_recorder.h"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace safeflow::support {
+
+namespace {
+
+// Fixed-width slots so recording and dumping never allocate. A slot's
+// `seq` is written twice (before and after the payload copy): the dump
+// treats a mismatch as a torn slot.
+struct Slot {
+  std::atomic<std::uint64_t> seq_pre{0};
+  std::atomic<std::uint64_t> seq_post{0};
+  char kind[16];
+  char detail[72];
+};
+
+Slot g_ring[kFlightRecorderCapacity];
+std::atomic<std::uint64_t> g_next{0};  // total events ever recorded
+
+void copyBounded(char* dst, std::size_t cap, const char* src) {
+  std::size_t i = 0;
+  for (; i + 1 < cap && src[i] != '\0'; ++i) dst[i] = src[i];
+  dst[i] = '\0';
+}
+
+/// Async-signal-safe unsigned decimal formatting; returns chars written.
+std::size_t formatU64(char* buf, std::uint64_t v) {
+  char tmp[24];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+void writeAll(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // best effort: a postmortem must never loop forever
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+extern "C" void crashDumpHandler(int signal_number) {
+  const char* name = signal_number == SIGSEGV   ? "SIGSEGV"
+                     : signal_number == SIGABRT ? "SIGABRT"
+                     : signal_number == SIGBUS  ? "SIGBUS"
+                                                : "signal";
+  char line[96];
+  std::size_t n = 0;
+  const char* head = "SAFEFLOW-FR-DUMP fatal ";
+  for (const char* p = head; *p != '\0'; ++p) line[n++] = *p;
+  for (const char* p = name; *p != '\0'; ++p) line[n++] = *p;
+  line[n++] = '\n';
+  writeAll(STDERR_FILENO, line, n);
+  flightRecorderDump(STDERR_FILENO);
+  // SA_RESETHAND restored the default disposition; re-raise so the
+  // parent still sees WIFSIGNALED with the original signal.
+  ::raise(signal_number);
+}
+
+}  // namespace
+
+void flightRecord(const char* kind, const char* detail) {
+  const std::uint64_t seq =
+      g_next.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = g_ring[(seq - 1) % kFlightRecorderCapacity];
+  slot.seq_pre.store(seq, std::memory_order_relaxed);
+  copyBounded(slot.kind, sizeof slot.kind, kind);
+  copyBounded(slot.detail, sizeof slot.detail, detail);
+  slot.seq_post.store(seq, std::memory_order_release);
+}
+
+void flightRecord(const char* kind, const std::string& detail) {
+  flightRecord(kind, detail.c_str());
+}
+
+std::uint64_t flightRecorderCount() {
+  return g_next.load(std::memory_order_relaxed);
+}
+
+void flightRecorderReset() {
+  g_next.store(0, std::memory_order_relaxed);
+  for (Slot& slot : g_ring) {
+    slot.seq_pre.store(0, std::memory_order_relaxed);
+    slot.seq_post.store(0, std::memory_order_relaxed);
+  }
+}
+
+void flightRecorderDump(int fd) {
+  const std::uint64_t total = g_next.load(std::memory_order_acquire);
+  if (total == 0) return;
+  const std::uint64_t first =
+      total > kFlightRecorderCapacity ? total - kFlightRecorderCapacity + 1
+                                      : 1;
+  for (std::uint64_t seq = first; seq <= total; ++seq) {
+    const Slot& slot = g_ring[(seq - 1) % kFlightRecorderCapacity];
+    const std::uint64_t pre = slot.seq_pre.load(std::memory_order_acquire);
+    const std::uint64_t post =
+        slot.seq_post.load(std::memory_order_acquire);
+    char line[160];
+    std::size_t n = 0;
+    const char* head = "SAFEFLOW-FR ";
+    for (const char* p = head; *p != '\0'; ++p) line[n++] = *p;
+    n += formatU64(line + n, seq);
+    line[n++] = ' ';
+    if (pre != seq || post != seq) {
+      const char* torn = "torn slot\n";
+      for (const char* p = torn; *p != '\0'; ++p) line[n++] = *p;
+      writeAll(fd, line, n);
+      continue;
+    }
+    for (const char* p = slot.kind;
+         *p != '\0' && n < sizeof line - 2; ++p) {
+      line[n++] = *p == '\n' ? ' ' : *p;
+    }
+    line[n++] = ' ';
+    for (const char* p = slot.detail;
+         *p != '\0' && n < sizeof line - 1; ++p) {
+      line[n++] = *p == '\n' ? ' ' : *p;
+    }
+    line[n++] = '\n';
+    writeAll(fd, line, n);
+  }
+}
+
+void installCrashDumpHandlers() {
+  struct sigaction action{};
+  action.sa_handler = crashDumpHandler;
+  sigemptyset(&action.sa_mask);
+  // SA_RESETHAND: one shot, then the default (fatal) disposition, so
+  // the re-raise in the handler terminates with the original signal.
+  // SA_NODEFER: the re-raise is deliverable from inside the handler.
+  action.sa_flags = SA_RESETHAND | SA_NODEFER;
+  ::sigaction(SIGSEGV, &action, nullptr);
+  ::sigaction(SIGABRT, &action, nullptr);
+  ::sigaction(SIGBUS, &action, nullptr);
+}
+
+std::vector<FlightEvent> parseFlightRecorderLines(
+    const std::string& stderr_text) {
+  std::vector<FlightEvent> events;
+  constexpr const char kPrefix[] = "SAFEFLOW-FR ";
+  constexpr std::size_t kPrefixLen = sizeof kPrefix - 1;
+  std::size_t pos = 0;
+  while (pos < stderr_text.size()) {
+    std::size_t eol = stderr_text.find('\n', pos);
+    if (eol == std::string::npos) eol = stderr_text.size();
+    const std::string line = stderr_text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.compare(0, kPrefixLen, kPrefix) != 0) continue;
+
+    FlightEvent event;
+    std::size_t i = kPrefixLen;
+    std::size_t digits = 0;
+    while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+      event.seq = event.seq * 10 + static_cast<std::uint64_t>(line[i] - '0');
+      ++i;
+      ++digits;
+    }
+    if (digits == 0 || i >= line.size() || line[i] != ' ') continue;
+    ++i;
+    const std::size_t kind_end = line.find(' ', i);
+    if (kind_end == std::string::npos) {
+      event.kind = line.substr(i);
+    } else {
+      event.kind = line.substr(i, kind_end - i);
+      event.detail = line.substr(kind_end + 1);
+    }
+    if (event.kind.empty()) continue;
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+}  // namespace safeflow::support

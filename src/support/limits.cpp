@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "support/flight_recorder.h"
 #include "support/metrics.h"
 
 namespace safeflow::support {
@@ -48,6 +49,7 @@ void AnalysisBudget::trip(const char* reason) {
   exhausted_ = true;
   events_.push_back(BudgetEvent{phase_, reason, phase_steps_});
   SAFEFLOW_COUNT("budget.exhausted");
+  flightRecord("budget", phase_ + " " + reason + " limit");
 }
 
 bool AnalysisBudget::phaseDegraded(std::string_view phase) const {

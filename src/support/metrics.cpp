@@ -7,6 +7,8 @@
 #include <sstream>
 #include <thread>
 
+#include <sys/resource.h>
+
 namespace safeflow::support {
 
 // ---------------------------------------------------------------------------
@@ -50,6 +52,28 @@ std::array<std::uint64_t, MetricsRegistry::DurationStat::kBuckets>
 MetricsRegistry::DurationStat::buckets() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return buckets_;
+}
+
+double MetricsRegistry::DurationStat::percentileSeconds(double q) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile sample (1-based, ceil), then walk the
+  // cumulative bucket counts to the bucket holding it.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      // Upper bucket edge in seconds, clamped into the observed range.
+      const double upper_us = static_cast<double>(2ull << i);
+      return std::min(max_, std::max(min_, upper_us * 1e-6));
+    }
+  }
+  return max_;
 }
 
 MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name) {
@@ -118,7 +142,10 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   snap.durations.reserve(durations_.size());
   for (const auto& [name, d] : durations_) {
     snap.durations.push_back({name, d.count(), d.totalSeconds(),
-                              d.minSeconds(), d.maxSeconds()});
+                              d.minSeconds(), d.maxSeconds(),
+                              d.percentileSeconds(0.50),
+                              d.percentileSeconds(0.90),
+                              d.percentileSeconds(0.99)});
   }
   return snap;
 }
@@ -267,6 +294,40 @@ std::string TraceCollector::toChromeTraceJson() const {
   return out.str();
 }
 
+std::int64_t TraceCollector::epochSteadyNs() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             epoch_.time_since_epoch())
+      .count();
+}
+
+std::string TraceCollector::spansToJsonArray() const {
+  const auto now = Clock::now();
+  const std::lock_guard<std::mutex> lock(mu_);
+  const double now_us =
+      std::chrono::duration<double, std::micro>(now - epoch_).count();
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    const double dur = s.dur_us >= 0.0 ? s.dur_us : now_us - s.start_us;
+    out << (i == 0 ? "" : ", ") << "{\"name\": \"" << jsonEscape(s.name)
+        << "\", \"tid\": " << s.tid << ", \"start_us\": "
+        << formatUs(s.start_us) << ", \"dur_us\": " << formatUs(dur);
+    if (!s.args.empty()) {
+      out << ", \"args\": {";
+      for (std::size_t a = 0; a < s.args.size(); ++a) {
+        out << (a == 0 ? "" : ", ") << "\"" << jsonEscape(s.args[a].first)
+            << "\": \"" << jsonEscape(s.args[a].second) << "\"";
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
 std::string TraceCollector::selfTimeTable() const {
   struct Row {
     std::uint64_t count = 0;
@@ -315,6 +376,23 @@ std::string TraceCollector::selfTimeTable() const {
     out << buf;
   }
   return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Resource usage
+
+ResourceSample sampleResourceUsage() {
+  ResourceSample sample;
+  struct rusage usage{};
+  if (::getrusage(RUSAGE_SELF, &usage) != 0) return sample;
+  sample.user_seconds = static_cast<double>(usage.ru_utime.tv_sec) +
+                        static_cast<double>(usage.ru_utime.tv_usec) * 1e-6;
+  sample.sys_seconds = static_cast<double>(usage.ru_stime.tv_sec) +
+                       static_cast<double>(usage.ru_stime.tv_usec) * 1e-6;
+  // Linux reports ru_maxrss in KiB already.
+  sample.max_rss_kb = static_cast<std::uint64_t>(
+      usage.ru_maxrss > 0 ? usage.ru_maxrss : 0);
+  return sample;
 }
 
 // ---------------------------------------------------------------------------

@@ -70,6 +70,11 @@ class MetricsRegistry {
     [[nodiscard]] double minSeconds() const;
     [[nodiscard]] double maxSeconds() const;
     [[nodiscard]] std::array<std::uint64_t, kBuckets> buckets() const;
+    /// Estimated q-quantile (q in [0,1]) from the power-of-two buckets:
+    /// the upper edge of the bucket holding the q*count-th sample,
+    /// clamped to [min, max] so one-sample stats report exactly. 0 when
+    /// empty.
+    [[nodiscard]] double percentileSeconds(double q) const;
 
    private:
     mutable std::mutex mu_;
@@ -98,6 +103,10 @@ class MetricsRegistry {
     double total_seconds = 0.0;
     double min_seconds = 0.0;
     double max_seconds = 0.0;
+    /// Bucket-estimated tail percentiles (see percentileSeconds).
+    double p50_seconds = 0.0;
+    double p90_seconds = 0.0;
+    double p99_seconds = 0.0;
   };
   struct Snapshot {
     std::vector<std::pair<std::string, std::uint64_t>> counters;
@@ -159,6 +168,18 @@ class TraceCollector {
   /// serialized as if they ended now.
   [[nodiscard]] std::string toChromeTraceJson() const;
 
+  /// The collector's epoch as nanoseconds on the shared monotonic clock
+  /// (CLOCK_MONOTONIC on Linux, where steady_clock readings are
+  /// comparable across processes on one machine). The supervisor uses
+  /// worker epochs to re-base worker span timestamps onto its own
+  /// timeline (DESIGN.md §13).
+  [[nodiscard]] std::int64_t epochSteadyNs() const;
+
+  /// The spans as a bare JSON array of objects (name, tid, start_us,
+  /// dur_us, args) — the worker-protocol "telemetry.spans" payload.
+  /// Open spans are serialized as if they ended now.
+  [[nodiscard]] std::string spansToJsonArray() const;
+
   /// Flat per-name summary: count, total wall time, and self time (total
   /// minus enclosed child spans), sorted by self time descending.
   [[nodiscard]] std::string selfTimeTable() const;
@@ -170,6 +191,17 @@ class TraceCollector {
   std::map<std::uint64_t, std::vector<std::size_t>> stacks_;  // per thread
   std::map<std::uint64_t, std::uint32_t> tids_;
 };
+
+/// Point-in-time resource usage of this process via getrusage(2):
+/// cumulative CPU split and the high-water resident set. Workers embed
+/// one in their telemetry section; the supervisor samples its own at
+/// the end of a run.
+struct ResourceSample {
+  double user_seconds = 0.0;
+  double sys_seconds = 0.0;
+  std::uint64_t max_rss_kb = 0;
+};
+[[nodiscard]] ResourceSample sampleResourceUsage();
 
 /// What the pipeline reports into. Either pointer may be null: a null
 /// metrics pointer disables counters, a null trace pointer disables spans.

@@ -52,16 +52,19 @@ bool makePipe(Fd* read_end, Fd* write_end) {
 
 /// Reads whatever is available on `fd` into `out`, bounded by `cap`
 /// (bytes beyond the cap are read and dropped so the child never blocks
-/// on a full pipe). Returns false on EOF.
-bool drainOnce(int fd, std::string* out, std::size_t cap) {
+/// on a full pipe; `truncated` records that drop). Returns false on EOF.
+bool drainOnce(int fd, std::string* out, std::size_t cap, bool* truncated) {
   char buf[8192];
   const ssize_t n = ::read(fd, buf, sizeof buf);
   if (n == 0) return false;                               // EOF
   if (n < 0) return errno == EINTR || errno == EAGAIN;    // transient
   if (out->size() < cap) {
-    out->append(buf, buf + std::min<std::size_t>(
-                              static_cast<std::size_t>(n),
-                              cap - out->size()));
+    const std::size_t keep = std::min<std::size_t>(
+        static_cast<std::size_t>(n), cap - out->size());
+    out->append(buf, buf + keep);
+    if (keep < static_cast<std::size_t>(n)) *truncated = true;
+  } else {
+    *truncated = true;
   }
   return true;
 }
@@ -185,7 +188,14 @@ SubprocessResult runSubprocess(const std::vector<std::string>& argv,
       if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       const bool is_out = fds[i].fd == out_r.fd;
       std::string* sink = is_out ? &result.out_text : &result.err_text;
-      if (!drainOnce(fds[i].fd, sink, options.max_capture_bytes)) {
+      const std::size_t cap =
+          is_out ? options.max_capture_bytes
+                 : (options.max_stderr_capture_bytes > 0
+                        ? options.max_stderr_capture_bytes
+                        : options.max_capture_bytes);
+      bool* truncated =
+          is_out ? &result.out_truncated : &result.err_truncated;
+      if (!drainOnce(fds[i].fd, sink, cap, truncated)) {
         if (is_out) {
           out_open = false;
           out_r.reset();

@@ -26,6 +26,10 @@ struct SubprocessOptions {
   double timeout_seconds = 0.0;
   /// Cap on captured bytes per stream; excess output is discarded.
   std::size_t max_capture_bytes = 16u << 20;
+  /// Tighter cap for stderr only; 0 means "use max_capture_bytes".
+  /// The supervisor sets this (--worker-stderr-cap) so a log-spamming
+  /// worker cannot bloat failure attribution records.
+  std::size_t max_stderr_capture_bytes = 0;
   /// Extra environment variables set in the child (on top of the
   /// inherited environment).
   std::vector<std::pair<std::string, std::string>> extra_env;
@@ -43,6 +47,10 @@ struct SubprocessResult {
   int signal_number = 0;
   std::string out_text;
   std::string err_text;
+  /// True when the respective stream hit its capture cap and bytes were
+  /// dropped (the child kept running; only the capture is truncated).
+  bool out_truncated = false;
+  bool err_truncated = false;
   double wall_seconds = 0.0;
   std::string spawn_error;
 

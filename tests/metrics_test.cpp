@@ -408,7 +408,7 @@ TEST(DriverObservability, StatsJsonIsWellFormedSnakeCase) {
 
   const std::string json = driver.stats().renderJson();
   EXPECT_TRUE(JsonChecker(json).valid()) << json;
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"analysis_seconds\""), std::string::npos);
   EXPECT_NE(json.find("\"phases\""), std::string::npos);
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
@@ -428,12 +428,12 @@ TEST(DriverObservability, ReportJsonEmbedsStatsWithSharedSchema) {
   const std::string json =
       report.renderJson(driver.sources(), driver.stats().renderJson());
   EXPECT_TRUE(JsonChecker(json).valid()) << json;
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"stats\""), std::string::npos);
   EXPECT_NE(json.find("\"total_seconds\""), std::string::npos);
 
   // Without the stats object the report stays valid and carries its own
-  // schema_version.
+  // schema_version (the report schema, still v1).
   const std::string bare = report.renderJson(driver.sources());
   EXPECT_TRUE(JsonChecker(bare).valid()) << bare;
   EXPECT_NE(bare.find("\"schema_version\": 1"), std::string::npos);
