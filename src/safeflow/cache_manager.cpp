@@ -101,6 +101,19 @@ CacheManager::CacheManager(CacheOptions options,
   if (std::getenv("SAFEFLOW_INJECT_FAULT") != nullptr) {
     disable("fault-injection");
   }
+  // Crash recovery: a writer killed between open() and rename() leaves
+  // a *.tmp file behind. Old ones are garbage; the age discipline in
+  // sweepStrayTemps leaves a live concurrent writer's temp alone.
+  if (options_.enabled) {
+    const std::uint64_t swept = disk_.sweepStrayTemps();
+    if (swept > 0) {
+      count("cache.temps_swept", swept);
+      SAFEFLOW_LOG(support::LogLevel::kNote, "cache",
+                   "note: swept stale cache temp files",
+                   {{"count", std::to_string(swept)},
+                    {"dir", options_.dir}});
+    }
+  }
 }
 
 void CacheManager::disable(std::string reason) {

@@ -30,6 +30,13 @@
 //   --worker            (internal) single-shard worker protocol mode
 //   --telemetry-spans   (internal) worker embeds trace spans in its
 //                       report's telemetry section for trace stitching
+//   --connect <sock>    send the analysis to a running safeflowd and
+//                       print its byte-identical response; falls back
+//                       to a local run when the daemon is unreachable
+//   --deadline <dur>    give the daemon this long before the request
+//                       expires (default 300s)
+//   --daemon-status     print the daemon's status document and exit
+//   --daemon-shutdown   ask the daemon to drain and exit
 //   --cache             enable the result cache at .safeflow-cache/
 //   --cache-dir <dir>   enable the result cache at <dir> (parents created)
 //   --no-cache          force the cache off
@@ -47,12 +54,15 @@
 // front-end errors (including crashed workers) > 3 clean-but-degraded
 // (an analysis budget tripped; findings are valid but absences are
 // unproven) > 0 clean.
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
@@ -66,6 +76,8 @@
 #include "support/limits.h"
 #include "support/log.h"
 #include "support/metrics.h"
+#include "support/subprocess.h"
+#include "support/unix_socket.h"
 
 namespace {
 
@@ -151,25 +163,21 @@ int emitMergedOutputs(const safeflow::MergedReport& merged,
   if (stats_table) {
     std::cerr << merged.stats.renderTable();
   }
-  std::ostream& text_out = stats_json_path == "-" ? std::cerr : std::cout;
-  if (!merged.diagnostics_text.empty()) {
-    std::cerr << merged.diagnostics_text;
+  // renderMergedRun is the byte-level contract shared with safeflowd:
+  // whatever it returns is exactly what a daemon client would receive.
+  const safeflow::RenderedRun rendered =
+      safeflow::renderMergedRun(merged, json, quiet);
+  if (!rendered.stderr_text.empty()) {
+    std::cerr << rendered.stderr_text;
   }
-  const int exit_code = merged.exitCode();
   if (json) {
-    std::cout << merged.renderJson(merged.stats.renderJson());
-    return exit_code;
+    std::cout << rendered.stdout_text;
+  } else {
+    // Keep stdout pure JSON when the stats document goes there.
+    (stats_json_path == "-" ? std::cerr : std::cout)
+        << rendered.stdout_text;
   }
-  if (!quiet) {
-    text_out << merged.render();
-  }
-  text_out << "safeflow: " << merged.warnings.size() << " warning(s), "
-           << merged.dataErrorCount() << " error dependency(ies), "
-           << merged.controlErrorCount()
-           << " control-only (review manually), "
-           << merged.restriction_violations.size()
-           << " restriction violation(s)\n";
-  return exit_code;
+  return rendered.exit_code;
 }
 
 /// The path workers are spawned from: /proc/self/exe when available (the
@@ -182,6 +190,61 @@ std::string selfExePath(const char* argv0) {
     return buf;
   }
   return argv0;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One safeflowd round trip: connect, send one NDJSON request line, read
+/// one NDJSON response line. False (with `*error`) on any transport
+/// failure — the caller falls back to a local run.
+bool daemonRoundTrip(const std::string& socket_path,
+                     const std::string& request,
+                     double read_timeout_seconds, std::string* response,
+                     std::string* error) {
+  namespace support = safeflow::support;
+  const int fd = support::connectUnixSocket(socket_path, error);
+  if (fd < 0) return false;
+  if (!support::writeAll(fd, request)) {
+    ::close(fd);
+    *error = "send failed (daemon gone?)";
+    return false;
+  }
+  const support::LineIo rc = support::readLine(
+      fd, response, /*max_bytes=*/64u << 20, read_timeout_seconds);
+  ::close(fd);
+  switch (rc) {
+    case support::LineIo::kOk:
+      return true;
+    case support::LineIo::kTimeout:
+      *error = "daemon response timed out";
+      return false;
+    case support::LineIo::kOversized:
+      *error = "daemon response oversized";
+      return false;
+    default:
+      *error = "daemon closed the connection before responding";
+      return false;
+  }
 }
 
 }  // namespace
@@ -213,6 +276,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> obs_args;
   bool isolate_forced = false;
   bool isolate_disabled = false;
+  std::string connect_path;
+  double client_deadline_seconds = 0.0;
+  bool daemon_status = false;
+  bool daemon_shutdown = false;
   bool cache_enabled = false;
   bool cache_disabled = false;
   bool cache_stats = false;
@@ -308,6 +375,17 @@ int main(int argc, char** argv) {
       isolate_forced = true;
     } else if (arg == "--no-isolate") {
       isolate_disabled = true;
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect_path = argv[++i];
+    } else if (arg == "--deadline" && i + 1 < argc) {
+      if (!support::parseDuration(argv[++i], &client_deadline_seconds)) {
+        std::cerr << "invalid --deadline '" << argv[i] << "'\n";
+        return 2;
+      }
+    } else if (arg == "--daemon-status") {
+      daemon_status = true;
+    } else if (arg == "--daemon-shutdown") {
+      daemon_shutdown = true;
     } else if (arg == "--worker-timeout" && i + 1 < argc) {
       if (!support::parseDuration(argv[++i],
                                   &sup_options.worker_timeout_seconds)) {
@@ -381,6 +459,29 @@ int main(int argc, char** argv) {
       files.push_back(arg);
     }
   }
+  // Daemon control ops need a socket, not input files.
+  if (daemon_status || daemon_shutdown) {
+    if (connect_path.empty()) {
+      std::cerr << "--daemon-status/--daemon-shutdown require "
+                   "--connect <socket>\n";
+      return 2;
+    }
+    const std::string request =
+        daemon_status ? "{\"safeflowd\": 1, \"op\": \"status\"}\n"
+                      : "{\"safeflowd\": 1, \"op\": \"shutdown\"}\n";
+    std::string response, error;
+    if (!daemonRoundTrip(connect_path, request, /*read_timeout_seconds=*/10.0,
+                         &response, &error)) {
+      std::cerr << "safeflow: " << error << "\n";
+      return 2;
+    }
+    std::cout << response << "\n";
+    support::json::Value parsed;
+    std::string parse_error;
+    const bool ok = support::json::parse(response, &parsed, &parse_error) &&
+                    parsed.memberString("status") == "ok";
+    return ok ? 0 : 2;
+  }
   if (files.empty()) {
     usage();
     return 2;
@@ -390,6 +491,95 @@ int main(int argc, char** argv) {
     std::cerr << "--isolate and --no-isolate are mutually exclusive\n";
     return 2;
   }
+
+  // --connect: hand the analysis to a resident safeflowd. The response
+  // carries the exact bytes the one-shot supervised CLI would print, so
+  // the client only relays. Anything the daemon protocol cannot express
+  // (--dot, --trace, stats/metrics documents, local cache control,
+  // --no-isolate whole-program semantics) runs locally instead — with a
+  // note, never silently. Transport failures and busy/draining shedding
+  // also degrade to the local path, which forces --isolate so the
+  // fallback keeps the daemon's per-TU crash-isolation semantics.
+  if (!connect_path.empty() && !worker_mode) {
+    support::Logger::instance().configure(log_level, log_json, "client");
+    const bool expressible =
+        dot_path.empty() && trace_path.empty() && stats_json_path.empty() &&
+        metrics_out_path.empty() && !stats_table && !cache_enabled &&
+        !cache_disabled && !cache_stats && !isolate_disabled;
+    if (!expressible) {
+      SAFEFLOW_LOG(support::LogLevel::kNote, "client",
+                   "--connect cannot express --dot/--trace/--stats/cache "
+                   "flags; analyzing locally");
+    } else {
+      const double deadline_seconds =
+          client_deadline_seconds > 0.0 ? client_deadline_seconds : 300.0;
+      std::ostringstream request;
+      request << "{\"safeflowd\": 1, \"op\": \"analyze\", \"files\": [";
+      for (std::size_t i = 0; i < files.size(); ++i) {
+        request << (i == 0 ? "" : ", ") << '"' << jsonEscape(files[i])
+                << '"';
+      }
+      request << "], \"flags\": [";
+      for (std::size_t i = 0; i < passthrough.size(); ++i) {
+        request << (i == 0 ? "" : ", ") << '"' << jsonEscape(passthrough[i])
+                << '"';
+      }
+      request << "], \"json\": " << (json ? "true" : "false")
+              << ", \"quiet\": " << (quiet ? "true" : "false")
+              << ", \"deadline_ms\": "
+              << static_cast<std::uint64_t>(deadline_seconds * 1000.0)
+              << "}\n";
+      std::string fallback_reason;
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        std::string response;
+        if (!daemonRoundTrip(connect_path, request.str(),
+                             deadline_seconds + 30.0, &response,
+                             &fallback_reason)) {
+          break;
+        }
+        support::json::Value parsed;
+        std::string parse_error;
+        if (!support::json::parse(response, &parsed, &parse_error) ||
+            !parsed.isObject()) {
+          fallback_reason = "unparseable daemon response";
+          break;
+        }
+        const std::string status = parsed.memberString("status");
+        if (status == "ok") {
+          const support::json::Value* err_text = parsed.find("stderr");
+          if (err_text != nullptr && !err_text->stringOr("").empty()) {
+            std::cerr << err_text->stringOr("");
+          }
+          const support::json::Value* out_text = parsed.find("stdout");
+          if (out_text != nullptr) std::cout << out_text->stringOr("");
+          return static_cast<int>(parsed.memberNumber("exit_code", 2.0));
+        }
+        if (status == "busy") {
+          // Shed under load: honor the daemon's retry hint, then give up
+          // and run locally rather than hammer it.
+          const double wait_ms =
+              parsed.memberNumber("retry_after_ms", 250.0);
+          std::this_thread::sleep_for(std::chrono::duration<double,
+                                      std::milli>(wait_ms));
+          fallback_reason = "daemon busy";
+          continue;
+        }
+        if (status == "draining") {
+          fallback_reason = "daemon draining";
+          break;
+        }
+        fallback_reason =
+            "daemon error: " + parsed.memberString("message", "unknown");
+        break;
+      }
+      SAFEFLOW_LOG(support::LogLevel::kNote, "client",
+                   "falling back to local analysis",
+                   {{"reason", fallback_reason}});
+    }
+    // Match the daemon's per-TU isolated semantics in the fallback.
+    if (!isolate_disabled) isolate_forced = true;
+  }
+
   const bool supervised =
       !worker_mode && !isolate_disabled && (isolate_forced || jobs > 1);
 
@@ -485,6 +675,9 @@ int main(int argc, char** argv) {
       cache.disable("trace");
     }
     if (cache.enabled()) sup_options.cache = &cache;
+    // SIGTERM/SIGINT forward to in-flight workers (SIGKILL after grace)
+    // so an interrupted run never leaves orphaned --worker children.
+    support::installTerminationForwarding();
     Supervisor supervisor(sup_options, &registry);
     MergedReport merged = supervisor.run(files);
     merged.stats.cache_disabled_reason = cache.disabledReason();
@@ -493,8 +686,15 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (cache_stats) std::cerr << cache.statsLine();
-    return emitMergedOutputs(merged, stats_json_path, stats_table, json,
-                             quiet, metrics_out_path);
+    const int code = emitMergedOutputs(merged, stats_json_path, stats_table,
+                                       json, quiet, metrics_out_path);
+    // Report the interruption the conventional shell way (128 + signal)
+    // after the partial results are out; a drained run must not look
+    // like a clean one.
+    if (support::terminationRequested()) {
+      return 128 + support::terminationSignal();
+    }
+    return code;
   }
 
   // Why a requested cache did not run (fault injection, --dot, --trace);

@@ -88,6 +88,15 @@ void Supervisor::analyzeShard(const std::string& file,
     }
   } scope{this, shard_start, shard_span};
 
+  // The supervisor is being terminated (SIGTERM/SIGINT forwarded by
+  // installTerminationForwarding): do not start new shards; the pending
+  // ones are reported as interrupted failures so the merged report
+  // never silently omits a file.
+  if (support::terminationRequested()) {
+    result->failure_reason = "interrupted";
+    return;
+  }
+
   CacheManager* cache =
       options_.cache != nullptr && options_.cache->enabled()
           ? options_.cache
@@ -130,6 +139,15 @@ void Supervisor::analyzeShard(const std::string& file,
 void Supervisor::runShard(const std::string& file, WorkerOutcome* result) {
   const int max_attempts = 1 + std::max(0, options_.max_retries);
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (support::terminationRequested()) {
+      // Never retry (or even start an attempt) once the supervisor has
+      // been told to die: the forwarded SIGTERM already killed the
+      // previous attempt's worker.
+      if (result->failure_reason.empty()) {
+        result->failure_reason = "interrupted";
+      }
+      return;
+    }
     result->attempts = attempt;
     if (attempt > 1) {
       // Exponential backoff before the retry (first retry waits the
@@ -206,6 +224,7 @@ void Supervisor::runShard(const std::string& file, WorkerOutcome* result) {
     metrics_->duration("supervisor.worker_wall").record(wall);
     result->wall_seconds = wall;
     result->stderr_text = run.err_text;
+    result->stderr_truncated = run.err_truncated;
     if (run.err_truncated) {
       metrics_->counter("supervisor.worker_stderr_truncated").add();
       result->stderr_text +=
@@ -326,6 +345,26 @@ void foldRegistrySnapshot(const support::MetricsRegistry& metrics,
   stats->durations = std::move(snap.durations);
 }
 
+RenderedRun renderMergedRun(const MergedReport& merged, bool json,
+                            bool quiet) {
+  RenderedRun run;
+  run.stderr_text = merged.diagnostics_text;
+  run.exit_code = merged.exitCode();
+  if (json) {
+    run.stdout_text = merged.renderJson(merged.stats.renderJson());
+    return run;
+  }
+  std::ostringstream out;
+  if (!quiet) out << merged.render();
+  out << "safeflow: " << merged.warnings.size() << " warning(s), "
+      << merged.dataErrorCount() << " error dependency(ies), "
+      << merged.controlErrorCount() << " control-only (review manually), "
+      << merged.restriction_violations.size()
+      << " restriction violation(s)\n";
+  run.stdout_text = out.str();
+  return run;
+}
+
 MergedReport mergeWorkerOutcomes(const std::vector<std::string>& files,
                                  std::vector<WorkerOutcome>& shards,
                                  bool emit_stderr_headers) {
@@ -356,9 +395,11 @@ MergedReport mergeWorkerOutcomes(const std::vector<std::string>& files,
       failure.stderr_tail = tail(shard.stderr_text);
       // A dying worker dumps its flight recorder to stderr; decode the
       // SAFEFLOW-FR lines so the failure entry names the phase and the
-      // events leading up to the death (DESIGN.md §13).
-      failure.flight_events =
-          support::parseFlightRecorderLines(shard.stderr_text);
+      // events leading up to the death (DESIGN.md §13). A capped stderr
+      // capture may have cut the dump mid-line, so the parser drops a
+      // final event it cannot prove complete.
+      failure.flight_events = support::parseFlightRecorderLines(
+          shard.stderr_text, /*assume_truncated=*/shard.stderr_truncated);
       merged.stats.shards.push_back(std::move(shard_stat));
       merged.failed_files.push_back(files[i]);
       merged.frontend_errors = true;

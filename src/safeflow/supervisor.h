@@ -101,6 +101,7 @@ struct WorkerOutcome {
   std::string raw_stdout;         // worker stdout verbatim (cache store)
   std::string failure_reason;     // non-empty when !accepted
   std::string stderr_text;        // last attempt's (or cached) stderr
+  bool stderr_truncated = false;  // stderr hit --worker-stderr-cap
   double wall_seconds = 0.0;      // accepted attempt's wall clock
 };
 
@@ -211,6 +212,19 @@ struct MergedReport {
 /// before rendering: counters add, gauges overwrite.
 void foldRegistrySnapshot(const support::MetricsRegistry& metrics,
                           SafeFlowStats* stats);
+
+/// A merged run rendered to the exact byte streams the CLI emits: the
+/// report document on stdout, worker diagnostics on stderr, and the
+/// ladder exit code. Shared by the one-shot CLI and the daemon so a
+/// daemon-served response is byte-identical to the one-shot output for
+/// the same inputs and flags.
+struct RenderedRun {
+  std::string stdout_text;
+  std::string stderr_text;
+  int exit_code = 0;
+};
+[[nodiscard]] RenderedRun renderMergedRun(const MergedReport& merged,
+                                          bool json, bool quiet);
 
 class Supervisor {
  public:

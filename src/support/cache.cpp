@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -31,6 +32,11 @@ bool isEntryName(const std::string& name) {
 bool isTempName(const std::string& name) {
   return name.find(".tmp.") != std::string::npos;
 }
+
+/// Age below which a temp file may still belong to a live writer in
+/// another process (between its open() and rename()) and must be left
+/// alone. Any real store completes orders of magnitude faster.
+constexpr std::int64_t kTempGraceSeconds = 60;
 
 /// mkdir -p: creates every missing component of `dir`.
 bool makeDirs(const std::string& dir, std::string* error) {
@@ -65,6 +71,7 @@ struct EntryInfo {
   // Seconds + nanoseconds of the last-use stamp (mtime).
   std::int64_t mtime_sec = 0;
   std::int64_t mtime_nsec = 0;
+  bool is_temp = false;
 };
 
 /// Lists entry files (and stray temp files, which count as garbage to
@@ -82,6 +89,7 @@ std::vector<EntryInfo> listEntries(const std::string& dir,
     if (temp && !include_temps) continue;
     EntryInfo info;
     info.path = dir + "/" + name;
+    info.is_temp = temp;
     struct stat st{};
     if (::stat(info.path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) {
       continue;
@@ -197,11 +205,35 @@ std::uint64_t DiskCache::totalBytes() const {
   return total;
 }
 
+std::uint64_t DiskCache::sweepStrayTemps(double min_age_seconds) {
+  std::uint64_t swept = 0;
+  const std::int64_t now = static_cast<std::int64_t>(::time(nullptr));
+  const auto min_age = static_cast<std::int64_t>(min_age_seconds);
+  for (const EntryInfo& e : listEntries(options_.dir, true)) {
+    if (!e.is_temp) continue;
+    if (now - e.mtime_sec < min_age) continue;  // maybe a live writer's
+    if (::unlink(e.path.c_str()) == 0) ++swept;
+  }
+  return swept;
+}
+
 std::uint64_t DiskCache::evictOverCap(std::string_view keep_key_hex) {
   if (options_.max_bytes == 0) return 0;
-  // Temp files are abandoned write attempts (a killed process); they are
-  // never valid entries, so sweep them alongside the LRU pass.
+  // Temp files old enough that no live writer can still own them are
+  // abandoned write attempts (a killed process) and sweep alongside the
+  // LRU pass. A *fresh* temp may belong to a concurrent store() that
+  // has not rename()d yet — unlinking it would make that rename fail
+  // with ENOENT and turn a healthy store into a spurious error, so
+  // fresh temps are invisible here (not counted, never unlinked).
   std::vector<EntryInfo> entries = listEntries(options_.dir, true);
+  const std::int64_t now = static_cast<std::int64_t>(::time(nullptr));
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [now](const EntryInfo& e) {
+                                 return e.is_temp &&
+                                        now - e.mtime_sec <
+                                            kTempGraceSeconds;
+                               }),
+                entries.end());
   std::uint64_t total = 0;
   for (const EntryInfo& e : entries) total += e.bytes;
   if (total <= options_.max_bytes) return 0;

@@ -86,6 +86,14 @@ class DiskCache {
   /// they are not re-parsed on every run).
   void remove(std::string_view key_hex);
 
+  /// Unlinks stray `*.tmp.*` files at least `min_age_seconds` old —
+  /// leftovers of writers killed between open() and rename(). Younger
+  /// temps are left alone: they may belong to a live concurrent store()
+  /// whose rename would fail if its temp vanished. Returns the number
+  /// swept. Run at daemon startup (crash recovery); eviction applies
+  /// the same age discipline.
+  std::uint64_t sweepStrayTemps(double min_age_seconds = 60.0);
+
   /// Absolute-or-relative path of the entry file for `key_hex`.
   [[nodiscard]] std::string entryPath(std::string_view key_hex) const;
 

@@ -135,6 +135,15 @@ void flightRecorderDump(int fd) {
     line[n++] = '\n';
     writeAll(fd, line, n);
   }
+  // Terminator so the parser can distinguish a complete dump from one
+  // cut off by a stderr capture cap or a mid-dump SIGKILL.
+  char end[48];
+  std::size_t n = 0;
+  const char* tail = "SAFEFLOW-FR-END ";
+  for (const char* p = tail; *p != '\0'; ++p) end[n++] = *p;
+  n += formatU64(end + n, total);
+  end[n++] = '\n';
+  writeAll(fd, end, n);
 }
 
 void installCrashDumpHandlers() {
@@ -151,17 +160,34 @@ void installCrashDumpHandlers() {
 }
 
 std::vector<FlightEvent> parseFlightRecorderLines(
-    const std::string& stderr_text) {
+    const std::string& stderr_text, bool assume_truncated) {
   std::vector<FlightEvent> events;
   constexpr const char kPrefix[] = "SAFEFLOW-FR ";
   constexpr std::size_t kPrefixLen = sizeof kPrefix - 1;
+  constexpr const char kEnd[] = "SAFEFLOW-FR-END";
+  constexpr std::size_t kEndLen = sizeof kEnd - 1;
+  // Field widths from the dump format (Slot above): anything longer is
+  // a foreign line that happens to carry the prefix, or an FR line with
+  // another stream's bytes interleaved into it — skip either.
+  constexpr std::size_t kMaxSeqDigits = 20;  // fits any uint64
+  constexpr std::size_t kMaxKind = 15;       // sizeof Slot::kind - 1
+  constexpr std::size_t kMaxDetail = 71;     // sizeof Slot::detail - 1
+  bool end_seen = false;
   std::size_t pos = 0;
   while (pos < stderr_text.size()) {
     std::size_t eol = stderr_text.find('\n', pos);
-    if (eol == std::string::npos) eol = stderr_text.size();
+    const bool terminated = eol != std::string::npos;
+    if (!terminated) eol = stderr_text.size();
     const std::string line = stderr_text.substr(pos, eol - pos);
     pos = eol + 1;
+    if (line.compare(0, kEndLen, kEnd) == 0) {
+      end_seen = true;
+      continue;
+    }
     if (line.compare(0, kPrefixLen, kPrefix) != 0) continue;
+    // A prefix-matching line that is the stream's last and carries no
+    // newline may have been cut mid-write; never trust it.
+    if (!terminated) continue;
 
     FlightEvent event;
     std::size_t i = kPrefixLen;
@@ -171,7 +197,10 @@ std::vector<FlightEvent> parseFlightRecorderLines(
       ++i;
       ++digits;
     }
-    if (digits == 0 || i >= line.size() || line[i] != ' ') continue;
+    if (digits == 0 || digits > kMaxSeqDigits || i >= line.size() ||
+        line[i] != ' ') {
+      continue;
+    }
     ++i;
     const std::size_t kind_end = line.find(' ', i);
     if (kind_end == std::string::npos) {
@@ -180,8 +209,18 @@ std::vector<FlightEvent> parseFlightRecorderLines(
       event.kind = line.substr(i, kind_end - i);
       event.detail = line.substr(kind_end + 1);
     }
-    if (event.kind.empty()) continue;
+    if (event.kind.empty() || event.kind.size() > kMaxKind ||
+        event.detail.size() > kMaxDetail) {
+      continue;
+    }
     events.push_back(std::move(event));
+  }
+  // A capped capture can cut the dump exactly at a line boundary, which
+  // leaves the final event looking complete while its tail bytes are
+  // gone. When the caller knows bytes were dropped and the dump's END
+  // marker never arrived, the last event cannot be proven complete.
+  if (assume_truncated && !end_seen && !events.empty()) {
+    events.pop_back();
   }
   return events;
 }

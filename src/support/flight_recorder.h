@@ -67,8 +67,14 @@ void installCrashDumpHandlers();
 
 /// Extracts `SAFEFLOW-FR` lines from a captured stderr stream (the
 /// supervisor runs this over a dead worker's stderr). Malformed lines
-/// are skipped.
+/// are skipped: bad sequence numbers, fields wider than the dump can
+/// produce (interleaved foreign bytes), and a final prefix-matching
+/// line with no newline (cut mid-write). With `assume_truncated` (the
+/// capture hit --worker-stderr-cap) the last parsed event is dropped
+/// unless the dump's `SAFEFLOW-FR-END` terminator survived — a capture
+/// cut exactly at a line boundary leaves the final event looking
+/// complete while its tail bytes are gone.
 [[nodiscard]] std::vector<FlightEvent> parseFlightRecorderLines(
-    const std::string& stderr_text);
+    const std::string& stderr_text, bool assume_truncated = false);
 
 }  // namespace safeflow::support

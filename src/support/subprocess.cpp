@@ -1,6 +1,7 @@
 #include "support/subprocess.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -14,6 +15,47 @@
 namespace safeflow::support {
 
 namespace {
+
+// -- termination forwarding (installTerminationForwarding) -------------
+//
+// The handler must be async-signal-safe, so live child pids sit in a
+// fixed table of atomics: runSubprocess claims a slot after fork and
+// releases it after the reap. The handler latches the signal and
+// SIGTERMs every registered child; the poll loop in runSubprocess then
+// notices the latch, re-sends SIGTERM (harmless if already delivered),
+// and escalates to SIGKILL after the grace period so even a child
+// ignoring SIGTERM cannot outlive its supervisor.
+
+constexpr std::size_t kMaxTrackedChildren = 256;
+std::atomic<pid_t> g_tracked_children[kMaxTrackedChildren];
+std::atomic<bool> g_forwarding_installed{false};
+std::atomic<int> g_termination_signal{0};
+
+std::size_t trackChild(pid_t pid) {
+  for (std::size_t i = 0; i < kMaxTrackedChildren; ++i) {
+    pid_t expected = 0;
+    if (g_tracked_children[i].compare_exchange_strong(
+            expected, pid, std::memory_order_acq_rel)) {
+      return i;
+    }
+  }
+  return kMaxTrackedChildren;  // table full: child simply not forwarded-to
+}
+
+void untrackChild(std::size_t slot) {
+  if (slot < kMaxTrackedChildren) {
+    g_tracked_children[slot].store(0, std::memory_order_release);
+  }
+}
+
+extern "C" void terminationForwardHandler(int signal_number) {
+  int expected = 0;
+  g_termination_signal.compare_exchange_strong(expected, signal_number);
+  for (std::size_t i = 0; i < kMaxTrackedChildren; ++i) {
+    const pid_t pid = g_tracked_children[i].load(std::memory_order_acquire);
+    if (pid > 0) ::kill(pid, SIGTERM);
+  }
+}
 
 /// Closes an fd unless it was already handed off / closed (-1).
 struct Fd {
@@ -70,6 +112,30 @@ bool drainOnce(int fd, std::string* out, std::size_t cap, bool* truncated) {
 }
 
 }  // namespace
+
+void installTerminationForwarding() {
+  if (g_forwarding_installed.exchange(true)) return;
+  struct sigaction action{};
+  action.sa_handler = terminationForwardHandler;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: poll() in runSubprocess must wake with EINTR so the
+  // forwarding loop notices the request immediately.
+  action.sa_flags = 0;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
+
+bool terminationRequested() {
+  return g_termination_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int terminationSignal() {
+  return g_termination_signal.load(std::memory_order_relaxed);
+}
+
+void clearTerminationRequest() {
+  g_termination_signal.store(0, std::memory_order_relaxed);
+}
 
 std::string signalName(int signal_number) {
   switch (signal_number) {
@@ -144,11 +210,16 @@ SubprocessResult runSubprocess(const std::vector<std::string>& argv,
   out_w.reset();
   err_w.reset();
 
+  // Track the child for SIGTERM/SIGINT forwarding while it is alive.
+  const std::size_t track_slot = trackChild(pid);
+
   const bool has_deadline = options.timeout_seconds > 0.0;
   Clock::time_point deadline =
       start + std::chrono::duration_cast<Clock::duration>(
                   std::chrono::duration<double>(options.timeout_seconds));
   bool killed_on_deadline = false;
+  bool term_forwarded = false;
+  Clock::time_point term_deadline;
 
   bool out_open = true, err_open = true;
   while (out_open || err_open) {
@@ -157,16 +228,49 @@ SubprocessResult runSubprocess(const std::vector<std::string>& argv,
     if (out_open) fds[nfds++] = {out_r.fd, POLLIN, 0};
     if (err_open) fds[nfds++] = {err_r.fd, POLLIN, 0};
 
+    // The supervisor is being terminated: forward to the child, then
+    // escalate to SIGKILL once the grace period lapses.
+    if (g_forwarding_installed.load(std::memory_order_relaxed) &&
+        terminationRequested()) {
+      if (!term_forwarded) {
+        ::kill(pid, SIGTERM);
+        term_forwarded = true;
+        term_deadline =
+            Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(
+                    std::max(0.0, options.termination_grace_seconds)));
+      } else if (Clock::now() >= term_deadline) {
+        ::kill(pid, SIGKILL);
+      }
+    }
+
     int timeout_ms = -1;
     if (has_deadline) {
       const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
           deadline - Clock::now());
       timeout_ms = static_cast<int>(std::max<long long>(0, left.count()));
     }
+    if (g_forwarding_installed.load(std::memory_order_relaxed)) {
+      // Bound every wait so a termination request (or the grace expiry)
+      // is noticed promptly even without a watchdog deadline.
+      timeout_ms = timeout_ms < 0 ? 200 : std::min(timeout_ms, 200);
+    }
     const int rc = ::poll(fds, nfds, timeout_ms);
     if (rc < 0) {
       if (errno == EINTR) continue;
       break;  // unexpected; fall through to reap
+    }
+    if (rc == 0 && term_forwarded && !killed_on_deadline) {
+      continue;  // forwarding poll tick, not the watchdog deadline
+    }
+    if (rc == 0 &&
+        g_forwarding_installed.load(std::memory_order_relaxed) &&
+        has_deadline && Clock::now() < deadline) {
+      continue;  // capped poll tick expired before the real deadline
+    }
+    if (rc == 0 && !has_deadline) {
+      continue;  // capped poll tick with no deadline at all
     }
     if (rc == 0) {
       if (killed_on_deadline) {
@@ -211,6 +315,9 @@ SubprocessResult runSubprocess(const std::vector<std::string>& argv,
   int status = 0;
   while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
   }
+  // Release the forwarding slot only after the reap: a reused pid can
+  // no longer be confused with our (now collected) child.
+  untrackChild(track_slot);
   result.wall_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
 

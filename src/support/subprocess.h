@@ -24,6 +24,10 @@ namespace safeflow::support {
 struct SubprocessOptions {
   /// Wall-clock deadline in seconds; <= 0 means no watchdog.
   double timeout_seconds = 0.0;
+  /// Grace between the forwarded SIGTERM and the follow-up SIGKILL when
+  /// the supervisor itself is being terminated (see
+  /// installTerminationForwarding).
+  double termination_grace_seconds = 2.0;
   /// Cap on captured bytes per stream; excess output is discarded.
   std::size_t max_capture_bytes = 16u << 20;
   /// Tighter cap for stderr only; 0 means "use max_capture_bytes".
@@ -67,5 +71,25 @@ SubprocessResult runSubprocess(const std::vector<std::string>& argv,
 
 /// "SIGSEGV", "SIGKILL", ... for common signals, "SIG<n>" otherwise.
 std::string signalName(int signal_number);
+
+/// Installs SIGTERM/SIGINT handlers that forward the termination to
+/// every child currently inside runSubprocess (async-signal-safe: the
+/// live pids are kept in a fixed lock-free table). After the handler
+/// fires, every in-flight runSubprocess sends its child SIGTERM, waits
+/// `termination_grace_seconds`, escalates to SIGKILL, and returns the
+/// child's death normally — so an interrupted supervised run reaps all
+/// of its workers instead of orphaning them. Idempotent; callers that
+/// never install it (workers, the daemon, library users) see zero
+/// behavior change.
+void installTerminationForwarding();
+
+/// True once a forwarded SIGTERM/SIGINT has been received.
+[[nodiscard]] bool terminationRequested();
+
+/// The terminating signal number (0 when none received yet).
+[[nodiscard]] int terminationSignal();
+
+/// Clears the latched termination request (tests only).
+void clearTerminationRequest();
 
 }  // namespace safeflow::support

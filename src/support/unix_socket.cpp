@@ -1,0 +1,157 @@
+#include "support/unix_socket.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace safeflow::support {
+
+namespace {
+
+void setError(std::string* error, const std::string& what) {
+  if (error != nullptr) {
+    *error = what + ": " + std::strerror(errno);
+  }
+}
+
+/// Fills a sockaddr_un; false when the path does not fit (sun_path is
+/// ~108 bytes and silently truncating would bind the wrong file).
+bool fillAddr(const std::string& path, sockaddr_un* addr,
+              std::string* error) {
+  if (path.empty() || path.size() >= sizeof addr->sun_path) {
+    if (error != nullptr) {
+      *error = "socket path '" + path + "' is empty or too long (max " +
+               std::to_string(sizeof addr->sun_path - 1) + " bytes)";
+    }
+    return false;
+  }
+  std::memset(addr, 0, sizeof *addr);
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+int makeSocket(std::string* error) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) setError(error, "socket");
+  return fd;
+}
+
+}  // namespace
+
+int connectUnixSocket(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  if (!fillAddr(path, &addr, error)) return -1;
+  const int fd = makeSocket(error);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    setError(error, "connect '" + path + "'");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int listenUnixSocket(const std::string& path, int backlog,
+                     std::string* error, bool* was_stale) {
+  if (was_stale != nullptr) *was_stale = false;
+  sockaddr_un addr{};
+  if (!fillAddr(path, &addr, error)) return -1;
+
+  // Crash recovery: a previous daemon killed by SIGKILL leaves its
+  // socket file behind. Probe it — a live daemon accepts, a dead one's
+  // file refuses — and only sweep the dead case.
+  const int probe = connectUnixSocket(path, nullptr);
+  if (probe >= 0) {
+    ::close(probe);
+    if (error != nullptr) {
+      *error = "another daemon is already listening on '" + path + "'";
+    }
+    return -1;
+  }
+  if (errno != ENOENT) {
+    if (::unlink(path.c_str()) == 0 && was_stale != nullptr) {
+      *was_stale = true;
+    }
+  }
+
+  const int fd = makeSocket(error);
+  if (fd < 0) return -1;
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    setError(error, "bind '" + path + "'");
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, backlog) != 0) {
+    setError(error, "listen '" + path + "'");
+    ::close(fd);
+    ::unlink(path.c_str());
+    return -1;
+  }
+  return fd;
+}
+
+LineIo readLine(int fd, std::string* line, std::size_t max_bytes,
+                double timeout_seconds) {
+  using Clock = std::chrono::steady_clock;
+  line->clear();
+  const bool has_deadline = timeout_seconds > 0.0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_seconds));
+  char buf[4096];
+  while (true) {
+    int timeout_ms = -1;
+    if (has_deadline) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) return LineIo::kTimeout;
+      timeout_ms = static_cast<int>(left.count());
+    }
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return LineIo::kError;
+    }
+    if (rc == 0) return LineIo::kTimeout;
+
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n == 0) return LineIo::kEof;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return LineIo::kError;
+    }
+    const char* nl =
+        static_cast<const char*>(std::memchr(buf, '\n', static_cast<std::size_t>(n)));
+    const std::size_t take =
+        nl != nullptr ? static_cast<std::size_t>(nl - buf)
+                      : static_cast<std::size_t>(n);
+    if (line->size() + take > max_bytes) return LineIo::kOversized;
+    line->append(buf, take);
+    if (nl != nullptr) return LineIo::kOk;
+  }
+}
+
+bool writeAll(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace safeflow::support

@@ -1,0 +1,55 @@
+// Unix-domain socket primitives for the resident analysis daemon
+// (safeflowd, DESIGN.md §14): a listener with stale-socket takeover, a
+// blocking client connect, and bounded line-oriented I/O for the NDJSON
+// request/response protocol.
+//
+// Robustness properties the daemon relies on:
+//   - listenUnixSocket probes an existing socket file with a connect()
+//     before binding: a refused connection means the file is a leftover
+//     from a crashed daemon and is swept; an accepted one means a live
+//     daemon owns the path and the bind is refused (never two daemons
+//     behind one socket);
+//   - readLine enforces both a byte cap and a wall-clock deadline, so a
+//     client that dribbles bytes forever or sends an unbounded request
+//     cannot pin a connection thread or balloon memory;
+//   - writeAll uses MSG_NOSIGNAL: a client that disconnects mid-response
+//     surfaces as a false return, never as a fatal SIGPIPE.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace safeflow::support {
+
+/// Binds and listens on `path` (CLOEXEC fd). Returns the listening fd,
+/// or -1 with `*error` describing the failure. `*was_stale` (when
+/// non-null) reports that a dead daemon's socket file was swept first.
+int listenUnixSocket(const std::string& path, int backlog,
+                     std::string* error, bool* was_stale = nullptr);
+
+/// Connects to the daemon at `path`. Returns the fd or -1 (with
+/// `*error` when non-null). A -1 with ECONNREFUSED/ENOENT is the
+/// "no daemon listening" signal the CLI's fallback path keys on.
+int connectUnixSocket(const std::string& path, std::string* error = nullptr);
+
+enum class LineIo {
+  kOk,         // one full '\n'-terminated line read
+  kEof,        // peer closed before the newline (mid-request disconnect)
+  kOversized,  // max_bytes exceeded before the newline
+  kTimeout,    // deadline expired
+  kError,      // read error
+};
+
+/// Reads from `fd` until '\n' (consumed, not stored), `max_bytes`
+/// accumulated, or `timeout_seconds` elapsed. Bytes after the first
+/// newline are ignored (the protocol is one request per connection).
+LineIo readLine(int fd, std::string* line, std::size_t max_bytes,
+                double timeout_seconds);
+
+/// Writes all of `data`, retrying on EINTR / short writes. Returns
+/// false on any terminal error (including a disconnected peer); never
+/// raises SIGPIPE.
+bool writeAll(int fd, std::string_view data);
+
+}  // namespace safeflow::support

@@ -5,14 +5,17 @@
 // supervisor (SAFEFLOW_EXE workers) including the edit-one-TU case.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include <fcntl.h>
 #include <sys/stat.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "safeflow/cache_manager.h"
@@ -150,22 +153,113 @@ TEST(DiskCache, LookupRefreshesRecency) {
   EXPECT_FALSE(cache.lookup("bbbb").has_value());
 }
 
-TEST(DiskCache, StrayTempFilesAreIgnoredAndSwept) {
+TEST(DiskCache, StrayTempFilesAreIgnoredAndSweptOnceAged) {
   const std::string dir = freshDir("disk_tmp");
   support::DiskCache cache({dir, 5});
   ASSERT_TRUE(cache.ensureDir());
   // Simulate a crash mid-store: a temp file with no final entry. It is
-  // never a valid entry (not counted, not served) and the next LRU pass
-  // reclaims its bytes.
-  writeFile(dir + "/dead.tmp.12345.1", "torn bytes");
+  // never a valid entry (not counted, not served). While *fresh* it may
+  // equally belong to a live concurrent store() whose rename would fail
+  // if the temp vanished, so eviction must leave it alone; once it ages
+  // past the grace period the next LRU pass reclaims its bytes.
+  const std::string temp = dir + "/dead.tmp.12345.1";
+  writeFile(temp, "torn bytes");
   EXPECT_EQ(cache.totalBytes(), 0u);  // temps never count
   EXPECT_FALSE(cache.lookup("dead").has_value());
-  const auto stored = cache.store("aaaa", "x");
+  auto stored = cache.store("aaaa", "x");
+  ASSERT_TRUE(stored.ok);
+  EXPECT_EQ(stored.evicted, 0u);  // fresh temp: protected by the grace
+  struct stat st{};
+  EXPECT_EQ(::stat(temp.c_str(), &st), 0);  // still there
+
+  setMtime(temp, ::time(nullptr) - 3600);  // now provably abandoned
+  stored = cache.store("bbbb", "y");
   ASSERT_TRUE(stored.ok);
   EXPECT_EQ(stored.evicted, 1u);  // the swept temp
+  EXPECT_NE(::stat(temp.c_str(), &st), 0);  // gone
   EXPECT_TRUE(cache.lookup("aaaa").has_value());
+  EXPECT_TRUE(cache.lookup("bbbb").has_value());
+}
+
+TEST(DiskCache, SweepStrayTempsHonorsTheAgeFloor) {
+  const std::string dir = freshDir("disk_sweep");
+  support::DiskCache cache({dir, 0});
+  ASSERT_TRUE(cache.ensureDir());
+  writeFile(dir + "/young.tmp.1.1", "live writer");
+  writeFile(dir + "/old.tmp.2.2", "crashed writer");
+  setMtime(dir + "/old.tmp.2.2", ::time(nullptr) - 3600);
+  ASSERT_TRUE(cache.store("aaaa", "entry").ok);
+
+  EXPECT_EQ(cache.sweepStrayTemps(), 1u);
   struct stat st{};
-  EXPECT_NE(::stat((dir + "/dead.tmp.12345.1").c_str(), &st), 0);  // gone
+  EXPECT_EQ(::stat((dir + "/young.tmp.1.1").c_str(), &st), 0);  // spared
+  EXPECT_NE(::stat((dir + "/old.tmp.2.2").c_str(), &st), 0);    // swept
+  // Real entries are never touched, whatever their age.
+  EXPECT_TRUE(cache.lookup("aaaa").has_value());
+  // Idempotent: nothing old remains.
+  EXPECT_EQ(cache.sweepStrayTemps(), 0u);
+}
+
+TEST(DiskCache, ConcurrentMultiProcessStoresStayCoherent) {
+  // Three writer processes hammer one cache dir with a small cap (so
+  // eviction runs constantly) over overlapping LCG key streams, each
+  // payload a pure function of its key. The atomic temp+rename
+  // discipline must keep every lookup either a miss or the exact
+  // payload — never torn bytes — and every store() call succeeding.
+  const std::string dir = freshDir("disk_mp");
+  const auto payloadFor = [](std::uint64_t key) {
+    // Distinct sizes exercise the eviction totals too.
+    return std::string(32 + key % 97, static_cast<char>('a' + key % 23));
+  };
+  const auto keyHex = [](std::uint64_t key) {
+    support::Fnv1a h;
+    h.update(std::to_string(key % 41));  // 41 keys; writers overlap
+    return h.hex();
+  };
+
+  constexpr int kWriters = 3;
+  constexpr std::uint64_t kIters = 300;
+  std::vector<pid_t> children;
+  for (int w = 0; w < kWriters; ++w) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: cap 4 KiB forces eviction nearly every store.
+      support::DiskCache cache({dir, 4096});
+      if (!cache.ensureDir()) ::_exit(2);
+      std::uint64_t state = 0x5afe + static_cast<std::uint64_t>(w);
+      for (std::uint64_t i = 0; i < kIters; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        const std::uint64_t key = state >> 17;
+        if (state % 3 == 0) {
+          const auto found = cache.lookup(keyHex(key));
+          if (found.has_value() && *found != payloadFor(key % 41)) {
+            ::_exit(3);  // torn or foreign payload: the race we fear
+          }
+        } else if (!cache.store(keyHex(key), payloadFor(key % 41)).ok) {
+          ::_exit(4);  // a concurrent writer broke an atomic store
+        }
+      }
+      ::_exit(0);
+    }
+    children.push_back(pid);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0)
+        << "writer failed (3 = torn read, 4 = failed store)";
+  }
+
+  // Whatever survived the eviction storms is well-formed.
+  support::DiskCache cache({dir, 4096});
+  for (std::uint64_t key = 0; key < 41; ++key) {
+    const auto found = cache.lookup(keyHex(key));
+    if (found.has_value()) {
+      EXPECT_EQ(*found, payloadFor(key % 41));
+    }
+  }
 }
 
 // --- CacheManager key composition -----------------------------------

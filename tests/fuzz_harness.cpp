@@ -14,6 +14,12 @@
 // robustness guarantees of DESIGN.md: no crash, no hang (the budget bounds
 // every fixpoint), and well-formed diagnostics.
 //
+// A second fuzzer in this file aims the same LCG at the safeflowd NDJSON
+// protocol: random bytes, structurally-plausible-but-wrong documents,
+// oversized lines, and mid-request disconnects against a live daemon,
+// asserting it answers structurally (or drops the dead connection) and
+// never dies.
+//
 // Tunables (environment, read once):
 //   SAFEFLOW_FUZZ_ITERS  iterations (default 200; CI smoke runs 1000)
 //   SAFEFLOW_FUZZ_SEED   LCG seed (default 20060625)
@@ -22,6 +28,7 @@
 //                        the faulting input (triage aid)
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -29,7 +36,12 @@
 #include <string>
 #include <vector>
 
+#include <signal.h>
+#include <unistd.h>
+
+#include "daemon_test_util.h"
 #include "safeflow/driver.h"
+#include "support/json.h"
 
 namespace {
 
@@ -234,6 +246,107 @@ TEST(FuzzHarness, MutatedCorpusSourcesNeverCrashOrHang) {
                  std::to_string(seed) + ")");
     runOne(seeds, rng, i);
   }
+}
+
+/// One random protocol line: either pure noise or a mutation of a valid
+/// request (member dropped / retyped / renamed, value replaced), which
+/// probes much deeper into the daemon's validation ladder than noise.
+std::string fuzzRequestLine(Lcg& rng) {
+  static const char* const kTemplates[] = {
+      "{\"safeflowd\": 1, \"op\": \"analyze\", \"files\": [\"a.c\"], "
+      "\"flags\": []}",
+      "{\"safeflowd\": 1, \"op\": \"status\"}",
+      "{\"safeflowd\": 1, \"op\": \"analyze\", \"files\": [\"a.c\"], "
+      "\"flags\": [\"-I\", \"dir\"], \"json\": true, \"deadline_ms\": 50}",
+  };
+  static const char* const kSplices[] = {
+      "\"op\"",       "\"files\"",  "\"flags\"",     "\"safeflowd\"",
+      "null",         "-1",         "1e999",         "[[[[",
+      "\"analyze\"",  "{}",         "[]",            "\"\\u0000\"",
+      "999999999999", "true",       ", \"op\": 3",   "\\",
+  };
+  std::string line = kTemplates[rng.below(3)];
+  const std::size_t mutations = 1 + rng.below(4);
+  for (std::size_t m = 0; m < mutations; ++m) {
+    switch (rng.below(4)) {
+      case 0:  // overwrite a byte
+        if (!line.empty()) {
+          line[rng.below(line.size())] =
+              static_cast<char>(' ' + rng.below(95));
+        }
+        break;
+      case 1:  // splice a JSON-ish fragment
+        line.insert(rng.below(line.size() + 1),
+                    kSplices[rng.below(sizeof(kSplices) /
+                                       sizeof(kSplices[0]))]);
+        break;
+      case 2:  // truncate
+        line.resize(rng.below(line.size() + 1));
+        break;
+      default:  // duplicate the whole line (two documents on one line)
+        line += line;
+        break;
+    }
+  }
+  return line;
+}
+
+TEST(FuzzHarness, DaemonProtocolSurvivesRandomAndHostileRequests) {
+  const std::uint64_t iters =
+      std::min<std::uint64_t>(envU64("SAFEFLOW_FUZZ_ITERS", 200), 400);
+  const std::uint64_t seed = envU64("SAFEFLOW_FUZZ_SEED", 20060625);
+
+  const std::string socket = ::testing::TempDir() + "sfd_fuzz_" +
+                             std::to_string(::getpid()) + ".sock";
+  const pid_t pid = daemon_test::spawnDaemon(
+      {"--socket", socket, "--no-cache", "--log-level", "error"});
+  ASSERT_GT(pid, 0);
+  ASSERT_TRUE(daemon_test::waitForSocket(socket));
+
+  Lcg rng(seed ^ 0xdaeb0f);
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    SCOPED_TRACE("protocol fuzz iteration " + std::to_string(i));
+    std::string line = fuzzRequestLine(rng);
+    const std::size_t shape = rng.below(4);
+    if (shape == 3) {
+      // Mid-request disconnect: send without the newline and hang up.
+      const int fd = safeflow::support::connectUnixSocket(socket);
+      ASSERT_GE(fd, 0) << "daemon stopped accepting";
+      safeflow::support::writeAll(fd, line);
+      ::close(fd);
+      continue;
+    }
+    if (shape == 2) line += std::string(1 + rng.below(4096), 'x');
+    line += '\n';
+    safeflow::support::LineIo io = safeflow::support::LineIo::kError;
+    const std::string response =
+        daemon_test::rawRequest(socket, line, 30.0, &io);
+    // Every answered line must be a structured protocol response; a
+    // dropped connection (daemon treated us as a dead peer) is also
+    // acceptable — a dead daemon is not, and shows up as connect
+    // failures on the next iteration.
+    if (io == safeflow::support::LineIo::kOk) {
+      support::json::Value doc;
+      std::string error;
+      ASSERT_TRUE(support::json::parse(response, &doc, &error))
+          << "unstructured response: " << response;
+      EXPECT_EQ(doc.memberUint("safeflowd"), 1u);
+    }
+  }
+
+  // The daemon survived the whole session and still serves cleanly.
+  const std::string status = daemon_test::rawRequest(
+      socket, "{\"safeflowd\": 1, \"op\": \"status\"}\n", 15.0);
+  support::json::Value doc;
+  std::string error;
+  ASSERT_TRUE(support::json::parse(status, &doc, &error));
+  EXPECT_EQ(doc.memberString("status"), "ok");
+
+  ::kill(pid, SIGTERM);
+  const int exit_status = daemon_test::waitForExit(pid);
+  ASSERT_NE(exit_status, -1);
+  EXPECT_TRUE(WIFEXITED(exit_status));
+  EXPECT_EQ(WEXITSTATUS(exit_status), 0);
 }
 
 // The same engine over pathological hand-written shapes — deep nesting

@@ -8,12 +8,21 @@
 // extra_env so the global test environment is never mutated.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <regex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <dirent.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include "analysis/report.h"
 #include "safeflow/supervisor.h"
@@ -297,6 +306,94 @@ TEST(Supervisor, ParseFailureFileIsPartialNotDead) {
   // The good shard still analyzed.
   EXPECT_EQ(merged.stats.files, 2u);
   ::remove(bad.c_str());
+}
+
+/// Pids whose /proc cmdline carries both `--worker` and `marker` — i.e.
+/// analysis workers spawned for our uniquely-named input, regardless of
+/// which supervisor process owns them. Robust against parallel ctest
+/// shards, which never share the marker.
+std::vector<pid_t> workerPidsFor(const std::string& marker) {
+  std::vector<pid_t> pids;
+  DIR* proc = ::opendir("/proc");
+  if (proc == nullptr) return pids;
+  while (dirent* entry = ::readdir(proc)) {
+    char* end = nullptr;
+    const long pid = std::strtol(entry->d_name, &end, 10);
+    if (end == entry->d_name || *end != '\0') continue;
+    std::ifstream in("/proc/" + std::string(entry->d_name) + "/cmdline",
+                     std::ios::binary);
+    std::string cmdline((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    std::replace(cmdline.begin(), cmdline.end(), '\0', ' ');
+    if (cmdline.find("--worker") != std::string::npos &&
+        cmdline.find(marker) != std::string::npos) {
+      pids.push_back(static_cast<pid_t>(pid));
+    }
+  }
+  ::closedir(proc);
+  return pids;
+}
+
+TEST(Supervisor, ForwardedSigtermReapsWorkersAndExits143) {
+  // End-to-end through the real binary: a worker hangs forever (every
+  // attempt faults — no ATTEMPTS cap), the supervisor process takes a
+  // SIGTERM, and the forwarding must (a) kill the hung worker rather
+  // than orphan it and (b) exit promptly with the conventional
+  // 128+SIGTERM after emitting the partial report.
+  const std::string marker =
+      "sigterm_forward_" + std::to_string(::getpid()) + ".c";
+  const std::string input = ::testing::TempDir() + "/" + marker;
+  {
+    std::ofstream out(input, std::ios::trunc);
+    ASSERT_TRUE(out.good());
+    out << "int main(void) { return 0; }\n";
+  }
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::setenv("SAFEFLOW_INJECT_FAULT", "hang@taint", 1);
+    std::string store[] = {SAFEFLOW_EXE, "--isolate", "--jobs", "2",
+                           "--quiet",    input};
+    char* argv[7] = {};
+    for (int i = 0; i < 6; ++i) argv[i] = store[i].data();
+    ::execv(argv[0], argv);
+    ::_exit(127);
+  }
+
+  // Wait until the hung worker is actually alive before terminating.
+  const auto spawn_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (workerPidsFor(marker).empty() &&
+         std::chrono::steady_clock::now() < spawn_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_FALSE(workerPidsFor(marker).empty()) << "worker never spawned";
+
+  ::kill(pid, SIGTERM);
+  // Forwarding grace is 2s (SIGTERM, then SIGKILL); well under 20s even
+  // on a loaded host. A miss here means the supervisor wedged.
+  int status = -1;
+  const auto exit_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < exit_deadline) {
+    if (::waitpid(pid, &status, WNOHANG) == pid) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_NE(status, -1) << "supervisor ignored SIGTERM";
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 128 + SIGTERM);
+
+  // The worker died with (or before) its supervisor — never orphaned.
+  // A tiny settle loop absorbs the kernel's process-table lag.
+  const auto orphan_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!workerPidsFor(marker).empty() &&
+         std::chrono::steady_clock::now() < orphan_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(workerPidsFor(marker).empty()) << "orphaned --worker";
+  ::remove(input.c_str());
 }
 
 TEST(Supervisor, NoZombiesSurviveARun) {

@@ -160,6 +160,54 @@ TEST(FlightRecorder, ParserSkipsForeignAndMalformedLines) {
   EXPECT_EQ(events[1].detail, "miss with spaces kept");
 }
 
+TEST(FlightRecorder, TruncatedCaptureDropsTheUnprovableLastEvent) {
+  // A --worker-stderr-cap capture can end exactly on a line boundary:
+  // the final event parses cleanly, yet its successors (and the END
+  // marker) were dropped, so it cannot be proven complete.
+  const std::string capped =
+      "SAFEFLOW-FR 1 phase frontend\n"
+      "SAFEFLOW-FR 2 phase ssa\n"
+      "SAFEFLOW-FR 3 phase taint\n";
+  const auto trusting = support::parseFlightRecorderLines(capped);
+  ASSERT_EQ(trusting.size(), 3u);
+  const auto wary =
+      support::parseFlightRecorderLines(capped, /*assume_truncated=*/true);
+  ASSERT_EQ(wary.size(), 2u);
+  EXPECT_EQ(wary.back().detail, "ssa");
+}
+
+TEST(FlightRecorder, EndMarkerProvesCompletenessUnderTruncation) {
+  // When the terminator survived the cap, nothing after it was cut and
+  // every parsed event is trustworthy even in assume_truncated mode.
+  const std::string complete =
+      "SAFEFLOW-FR 1 phase frontend\n"
+      "SAFEFLOW-FR 2 phase taint\n"
+      "SAFEFLOW-FR-END 2\n";
+  const auto events =
+      support::parseFlightRecorderLines(complete, /*assume_truncated=*/true);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events.back().detail, "taint");
+}
+
+TEST(FlightRecorder, ParserRejectsCutAndInterleavedLines) {
+  // Hostile stderr shapes the supervisor actually sees from dying
+  // workers: a dump line cut mid-write (no newline), another stream's
+  // bytes spliced into an FR line (fields wider than the dump can
+  // produce), and an absurd sequence field.
+  const std::string oversized_kind(40, 'k');
+  const std::string oversized_detail(200, 'd');
+  const std::string stderr_text =
+      "SAFEFLOW-FR 1 phase frontend\n"
+      "SAFEFLOW-FR 2 " + oversized_kind + " detail\n" +
+      "SAFEFLOW-FR 3 cache " + oversized_detail + "\n" +
+      "SAFEFLOW-FR 123456789012345678901 phase ssa\n"
+      "SAFEFLOW-FR 4 phase report";  // cut mid-write: no newline
+  const auto events = support::parseFlightRecorderLines(stderr_text);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[0].detail, "frontend");
+}
+
 // -- structured log levels --------------------------------------------------
 
 TEST(TelemetryLog, ParseLogLevelAcceptsDocumentedNames) {
