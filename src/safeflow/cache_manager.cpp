@@ -113,6 +113,29 @@ CacheManager::CacheManager(CacheOptions options,
                    {{"count", std::to_string(swept)},
                     {"dir", options_.dir}});
     }
+    // Verify-and-purge: a write torn by a killed process or a power cut
+    // fails its envelope checksum and is removed before it can be
+    // served. Each purge gets the same diagnostic a lookup-time
+    // corruption would, and is counted so the chaos soak can assert
+    // detection happened.
+    if (options_.verify_on_open) {
+      std::vector<std::string> purged_paths;
+      const std::uint64_t purged = disk_.verifyEntries(&purged_paths);
+      if (purged > 0) {
+        count("cache.torn_entries_purged", purged);
+        count("cache.corrupt", purged);
+        support::flightRecord("cache",
+                              "purged " + std::to_string(purged) +
+                                  " torn entr(ies) at open");
+        for (const std::string& path : purged_paths) {
+          SAFEFLOW_LOG(support::LogLevel::kWarn, "cache",
+                       "cache entry " + path +
+                           " is corrupt (torn or truncated on disk); "
+                           "falling back to cold analysis",
+                       {{"dir", options_.dir}});
+        }
+      }
+    }
   }
 }
 
@@ -207,8 +230,8 @@ std::string CacheManager::keyFor(
 
 std::optional<CachedResult> CacheManager::lookup(const std::string& key) {
   const std::lock_guard<std::mutex> lock(mu_);
-  std::optional<std::string> payload = disk_.lookup(key);
-  if (!payload.has_value()) {
+  support::DiskCache::LookupResult checked = disk_.lookupChecked(key);
+  if (checked.status == support::DiskCache::LookupStatus::kMiss) {
     count("cache.misses");
     support::flightRecord("cache", "miss " + key);
     SAFEFLOW_LOG(support::LogLevel::kDebug, "cache", "cache miss",
@@ -218,13 +241,17 @@ std::optional<CachedResult> CacheManager::lookup(const std::string& key) {
 
   // Anything short of a fully valid envelope is "corrupt": diagnose,
   // purge, and fall back to a cold run. Never a crash, never a wrong
-  // report.
+  // report. A storage-layer checksum failure (torn/truncated write) is
+  // additionally counted under cache.torn_entries_purged.
   std::string why;
   support::json::Value doc;
   CachedResult result;
   std::string parse_error;
-  if (!support::json::parse(*payload, &doc, &parse_error) ||
-      !doc.isObject()) {
+  if (checked.status == support::DiskCache::LookupStatus::kTorn) {
+    why = "torn or truncated on disk";
+    count("cache.torn_entries_purged");
+  } else if (!support::json::parse(checked.payload, &doc, &parse_error) ||
+             !doc.isObject()) {
     why = "unparseable payload (" + parse_error + ")";
   } else if (doc.memberUint("cache_schema") != kCacheSchema) {
     why = "unknown cache_schema";

@@ -30,14 +30,19 @@
 //     never a wrong hit. Unresolvable includes hash as a marker so a
 //     header appearing later changes the key.
 //
-// Robustness: entries are written atomically by DiskCache (temp +
-// rename); lookup() validates the envelope (JSON parse, schema, key
-// echo, analyzer version, exit code range) and treats any mismatch as
-// "corrupt": one diagnostic on stderr, a cache.corrupt count, the entry
-// purged, and the caller falls back to a cold run. Corruption is never
-// a crash and never a wrong report. The whole cache is disabled when
-// SAFEFLOW_INJECT_FAULT is armed: injected faults make runs
-// non-deterministic, which violates the cache's core assumption.
+// Robustness: entries are written crash-consistently by DiskCache
+// (checksummed envelope, fsync, temp + rename); lookup() first checks
+// the storage envelope (a torn/truncated entry is counted as
+// cache.torn_entries_purged) and then validates the JSON envelope
+// (parse, schema, key echo, analyzer version, exit code range). Any
+// mismatch is "corrupt": one diagnostic on stderr, a cache.corrupt
+// count, the entry purged, and the caller falls back to a cold run.
+// Corruption is never a crash and never a wrong report. The whole
+// cache is disabled when SAFEFLOW_INJECT_FAULT is armed: injected
+// faults make runs non-deterministic, which violates the cache's core
+// assumption. SAFEFLOW_INJECT_IO, by contrast, keeps the cache ON —
+// surviving injected storage faults is precisely what it exists to
+// prove.
 #pragma once
 
 #include <cstdint>
@@ -64,6 +69,11 @@ struct CacheOptions {
   /// Canonical analysis-relevant flag identity, in command-line order
   /// (the supervisor's worker passthrough vector).
   std::vector<std::string> analysis_flags;
+  /// Run a verify-and-purge sweep over every entry at construction
+  /// (crash recovery after SIGKILL/power loss). The daemon, which
+  /// constructs a manager per request against one shared directory,
+  /// turns this off and sweeps once at startup instead.
+  bool verify_on_open = true;
 };
 
 /// A decoded cache entry: everything needed to reproduce the run's

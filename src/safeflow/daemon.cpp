@@ -10,15 +10,18 @@
 #include <sstream>
 #include <thread>
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/statvfs.h>
 #include <unistd.h>
 
 #include "safeflow/driver.h"
 #include "safeflow/supervisor.h"
 #include "support/cache.h"
 #include "support/flight_recorder.h"
+#include "support/io_faults.h"
 #include "support/limits.h"
 #include "support/log.h"
 #include "support/unix_socket.h"
@@ -67,6 +70,38 @@ std::uint64_t residentBytes() {
   if (!statm) return 0;
   const long page = ::sysconf(_SC_PAGESIZE);
   return resident_pages * static_cast<std::uint64_t>(page > 0 ? page : 4096);
+}
+
+/// Open descriptors of this process via /proc/self/fd (0 off-Linux or
+/// on failure — the fd axis then never reads as pressured).
+std::uint64_t countOpenFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  std::uint64_t count = 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  // ".", "..", and the directory's own fd are not real load.
+  return count > 3 ? count - 3 : 0;
+}
+
+/// Free bytes on the filesystem holding `path`; false when statvfs
+/// fails (unknown free space must not read as pressure).
+bool diskFreeBytes(const std::string& path, std::uint64_t* out) {
+  struct statvfs vfs{};
+  if (::statvfs(path.c_str(), &vfs) != 0) return false;
+  *out = static_cast<std::uint64_t>(vfs.f_bavail) * vfs.f_frsize;
+  return true;
+}
+
+const char* pressureLevelName(int level) {
+  switch (level) {
+    case 0: return "nominal";
+    case 1: return "elevated";
+    case 2: return "shedding";
+    case 3: return "critical";
+    case 4: return "draining";
+  }
+  return "?";
 }
 
 /// Server-side validation of the request's analysis flags. Only the
@@ -139,6 +174,10 @@ Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
 }
 
 Daemon::~Daemon() {
+  if (pressure_thread_.joinable()) {
+    stopping_.store(true, std::memory_order_release);
+    pressure_thread_.join();
+  }
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
   if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);
@@ -151,11 +190,12 @@ bool Daemon::start(std::string* error) {
   for (const char* name :
        {"daemon.requests", "daemon.analyze", "daemon.coalesced",
         "daemon.shed", "daemon.deadline_expired", "daemon.protocol_errors",
-        "daemon.disconnects"}) {
+        "daemon.disconnects", "daemon.pressure.transitions"}) {
     metrics_.counter(name).add(0);
   }
   metrics_.gauge("daemon.queue_depth").set(0.0);
   metrics_.gauge("daemon.in_flight").set(0.0);
+  metrics_.gauge("daemon.pressure.level").set(0.0);
   if (::pipe2(stop_pipe_, O_CLOEXEC) != 0) {
     if (error != nullptr) {
       *error = std::string("pipe: ") + std::strerror(errno);
@@ -173,11 +213,29 @@ bool Daemon::start(std::string* error) {
                  {{"path", options_.socket_path}});
   }
   // Crash recovery half two: age out cache temp files a SIGKILLed
-  // predecessor abandoned mid-store, so the shared dir stays clean.
+  // predecessor abandoned mid-store, and purge entries whose envelopes
+  // no longer verify (torn by a crash racing an unsynced rename). The
+  // sweep runs once here; per-request CacheManagers skip their own
+  // verify-on-open pass so a busy daemon does not rescan the whole dir
+  // on every request.
   if (options_.cache.enabled) {
     support::DiskCache disk({options_.cache.dir, options_.cache.max_bytes});
     const std::uint64_t swept = disk.sweepStrayTemps();
     if (swept > 0) metrics_.counter("daemon.cache_temps_swept").add(swept);
+    std::vector<std::string> purged;
+    const std::uint64_t torn = disk.verifyEntries(&purged);
+    if (torn > 0) {
+      metrics_.counter("cache.torn_entries_purged").add(torn);
+      support::flightRecord("daemon",
+                            "purged " + std::to_string(torn) +
+                                " torn cache entries at startup");
+      for (const std::string& path : purged) {
+        SAFEFLOW_LOG(support::LogLevel::kWarn, "daemon",
+                     "warning: cache entry is corrupt (torn or truncated "
+                     "on disk); purged at startup",
+                     {{"path", path}});
+      }
+    }
   }
   SAFEFLOW_LOG(support::LogLevel::kNote, "daemon", "listening",
                {{"socket", options_.socket_path},
@@ -195,6 +253,9 @@ void Daemon::requestStop() {
 }
 
 int Daemon::serve() {
+  if (options_.pressure_interval_seconds > 0.0) {
+    pressure_thread_ = std::thread([this] { pressureWatchdog(); });
+  }
   while (!stopping_.load(std::memory_order_acquire)) {
     struct pollfd fds[2] = {{listen_fd_, POLLIN, 0},
                             {stop_pipe_[0], POLLIN, 0}};
@@ -230,10 +291,123 @@ int Daemon::serve() {
     slots_cv_.notify_all();
     connections_cv_.wait(lock, [this] { return connections_ == 0; });
   }
+  if (pressure_thread_.joinable()) pressure_thread_.join();
   flushMetrics();
   SAFEFLOW_LOG(support::LogLevel::kNote, "daemon", "drained; exiting",
                {{"socket", options_.socket_path}});
   return 0;
+}
+
+void Daemon::pressureWatchdog() {
+  int sustained_critical = 0;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    (void)samplePressure(&sustained_critical);
+    // Sleep in short slices so a drain request is honored promptly even
+    // under a long sampling interval.
+    double remaining = options_.pressure_interval_seconds;
+    while (remaining > 0.0 && !stopping_.load(std::memory_order_acquire)) {
+      const double slice = std::min(remaining, 0.05);
+      std::this_thread::sleep_for(std::chrono::duration<double>(slice));
+      remaining -= slice;
+    }
+  }
+}
+
+int Daemon::samplePressure(int* sustained_critical) {
+  // Saturated samples before critical escalates to drain: long enough
+  // to ride out one heavy request completing, short enough that a
+  // genuinely wedged process exits before the OOM killer chooses for
+  // it (8 samples = 8s at the default interval).
+  constexpr int kSustainedCriticalSamples = 8;
+
+  const std::uint64_t rss = residentBytes();
+  const std::uint64_t fds = countOpenFds();
+  std::uint64_t disk_free = 0;
+  bool have_disk = false;
+  if (options_.min_disk_free_mb > 0 && options_.cache.enabled) {
+    have_disk = diskFreeBytes(options_.cache.dir, &disk_free);
+  }
+
+  // Ladder level = worst per-resource usage fraction. Each axis is
+  // opt-in: an unset budget contributes nothing.
+  double worst = 0.0;
+  const char* axis = "none";
+  if (options_.max_rss_mb > 0 && rss > 0) {
+    const double frac = static_cast<double>(rss) /
+                        static_cast<double>(options_.max_rss_mb << 20);
+    if (frac > worst) { worst = frac; axis = "rss"; }
+  }
+  if (options_.max_open_fds > 0 && fds > 0) {
+    const double frac = static_cast<double>(fds) /
+                        static_cast<double>(options_.max_open_fds);
+    if (frac > worst) { worst = frac; axis = "fds"; }
+  }
+  if (have_disk) {
+    // Free space below the floor is full saturation; at twice the floor
+    // the axis reads half-used.
+    const double floor_bytes =
+        static_cast<double>(options_.min_disk_free_mb) * 1048576.0;
+    const double frac =
+        floor_bytes / std::max(static_cast<double>(disk_free), 1.0);
+    if (frac > worst) { worst = frac; axis = "disk"; }
+  }
+
+  metrics_.gauge("daemon.pressure.rss_mb")
+      .set(static_cast<double>(rss) / 1048576.0);
+  metrics_.gauge("daemon.pressure.open_fds").set(static_cast<double>(fds));
+  if (have_disk) {
+    metrics_.gauge("daemon.pressure.disk_free_mb")
+        .set(static_cast<double>(disk_free) / 1048576.0);
+  }
+
+  int level = worst >= 1.0 ? 3 : worst >= 0.90 ? 2 : worst >= 0.75 ? 1 : 0;
+  if (level >= 3) {
+    ++*sustained_critical;
+  } else {
+    *sustained_critical = 0;
+  }
+  if (*sustained_critical >= kSustainedCriticalSamples) level = 4;
+
+  const int old_level = pressure_level_.load(std::memory_order_relaxed);
+  if (level == old_level) return level;
+
+  pressure_level_.store(level, std::memory_order_relaxed);
+  metrics_.gauge("daemon.pressure.level").set(static_cast<double>(level));
+  metrics_.counter("daemon.pressure.transitions").add();
+  char frac_text[32];
+  std::snprintf(frac_text, sizeof frac_text, "%.2f", worst);
+  support::flightRecord(
+      "pressure", std::string(pressureLevelName(old_level)) + " -> " +
+                      pressureLevelName(level) + " (" + axis + " at " +
+                      frac_text + ")");
+  SAFEFLOW_LOG(level > old_level ? support::LogLevel::kWarn
+                                 : support::LogLevel::kNote,
+               "daemon", "pressure level changed",
+               {{"from", pressureLevelName(old_level)},
+                {"to", pressureLevelName(level)},
+                {"axis", axis},
+                {"usage", frac_text}});
+
+  // Entering critical: give back disk before anything else — the cache
+  // is the one resource the daemon can shed without failing requests.
+  if (level >= 3 && old_level < 3 && options_.cache.enabled &&
+      options_.cache.max_bytes > 0) {
+    support::DiskCache disk({options_.cache.dir, options_.cache.max_bytes});
+    const std::uint64_t evicted =
+        disk.evictToBytes(options_.cache.max_bytes / 2);
+    metrics_.counter("daemon.pressure.cache_evicted").add(evicted);
+    if (evicted > 0) {
+      SAFEFLOW_LOG(support::LogLevel::kNote, "daemon",
+                   "pressure eviction shrank the disk cache",
+                   {{"entries", std::to_string(evicted)}});
+    }
+  }
+  if (level == 4) {
+    SAFEFLOW_LOG(support::LogLevel::kWarn, "daemon",
+                 "resource pressure stayed critical; draining", {});
+    requestStop();
+  }
+  return level;
 }
 
 void Daemon::handleConnection(int fd) {
@@ -270,8 +444,10 @@ void Daemon::handleConnection(int fd) {
       ::close(fd);
       return;
   }
-  if (!support::writeAll(fd, response)) {
-    // Client went away while we were answering; their loss only.
+  if (!support::writeAll(fd, response, "daemon.socket")) {
+    // Client went away (or the chaos harness failed the write); either
+    // way the client sees a truncated line it must discard, never a
+    // plausible-but-wrong response.
     metrics_.counter("daemon.disconnects").add();
   }
   ::close(fd);
@@ -369,6 +545,11 @@ std::string Daemon::handleAnalyze(const support::json::Value& request) {
       residentBytes() > options_.max_rss_mb << 20) {
     return busyResponse();
   }
+  // Pressure ladder, level 2+: the watchdog found some resource within
+  // 10% of its ceiling — shed new work until it recedes.
+  if (pressure_level_.load(std::memory_order_relaxed) >= 2) {
+    return busyResponse();
+  }
 
   // Coalescing: identical concurrent requests share one analysis. The
   // key is the same identity the cache uses (files + flags) plus the
@@ -408,9 +589,13 @@ std::string Daemon::handleAnalyze(const support::json::Value& request) {
     // Shed only requests that would actually have to wait: total
     // occupancy (running + admitted-but-waiting) is bounded by
     // slots + waiting room, so --max-queue 0 means "no waiting room",
-    // not "no service".
-    if (in_flight_ + queued_ >=
-        options_.max_inflight + options_.max_queue) {
+    // not "no service". Pressure level 1 halves the waiting room —
+    // the first, gentlest rung of the degradation ladder.
+    const std::size_t waiting_room =
+        pressure_level_.load(std::memory_order_relaxed) >= 1
+            ? options_.max_queue / 2
+            : options_.max_queue;
+    if (in_flight_ + queued_ >= options_.max_inflight + waiting_room) {
       lock.unlock();
       return busyResponse();
     }
@@ -489,6 +674,9 @@ std::string Daemon::runAnalysis(const std::vector<std::string>& files,
   CacheOptions cache_options = options_.cache;
   cache_options.include_dirs = include_dirs;
   cache_options.analysis_flags = flags;
+  // start() already ran the verify-and-purge sweep once; rescanning the
+  // whole cache dir per request would turn every analyze into O(cache).
+  cache_options.verify_on_open = false;
   CacheManager cache(cache_options, &registry);
 
   SupervisorOptions sup;
@@ -547,6 +735,8 @@ std::string Daemon::statusResponse() {
   out << "{\"safeflowd\": 1, \"status\": \"ok\", \"version\": \""
       << jsonEscape(kAnalyzerVersion) << "\", \"pid\": " << ::getpid()
       << ", \"queue_depth\": " << queued << ", \"in_flight\": " << in_flight
+      << ", \"pressure_level\": "
+      << pressure_level_.load(std::memory_order_relaxed)
       << ", \"draining\": "
       << (stopping_.load(std::memory_order_acquire) ? "true" : "false")
       << ", \"counters\": {";
@@ -571,8 +761,15 @@ void Daemon::flushMetrics() {
   SafeFlowStats stats;
   foldRegistrySnapshot(metrics_, &stats);
   stats.resource = support::sampleResourceUsage();
-  std::ofstream out(options_.metrics_out_path);
-  if (out) out << stats.renderPrometheus();
+  const support::io::IoStatus status = support::io::writeFile(
+      options_.metrics_out_path, stats.renderPrometheus(), "metrics.out");
+  if (!status.ok) {
+    // The failed file is already unlinked: scrapers see stale-or-absent
+    // metrics, never a truncated exposition.
+    SAFEFLOW_LOG(support::LogLevel::kWarn, "daemon",
+                 "warning: metrics flush failed",
+                 {{"error", status.message}});
+  }
 }
 
 }  // namespace safeflow

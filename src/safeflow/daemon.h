@@ -37,9 +37,18 @@
 //     the response like the one-shot CLI surfaces them;
 //   - malformed/oversized/disconnected requests cost one connection
 //     thread an error path, never the daemon;
+//   - a pressure watchdog samples RSS, open fds, and cache-dir disk
+//     free every pressure_interval_seconds and walks a degradation
+//     ladder (level = worst resource's usage fraction): level 1
+//     (>=75%) halves the waiting room, level 2 (>=90%) sheds new
+//     analyzes with `busy`, level 3 (>=100%) additionally evicts the
+//     disk cache to half its cap, and a level that stays saturated for
+//     ~8 consecutive samples becomes level 4: drain. Every transition
+//     is counted, flight-recorded, and exported as daemon.pressure.*;
 //   - SIGTERM drains: stop accepting, finish in-flight, flush metrics,
 //     exit 0. A SIGKILLed daemon restarts clean: the stale socket file
-//     is probed-then-swept and stale cache temp files are aged out.
+//     is probed-then-swept, stale cache temp files are aged out, and a
+//     verify sweep purges torn cache entries a crash left behind.
 #pragma once
 
 #include <atomic>
@@ -50,6 +59,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "safeflow/cache_manager.h"
@@ -68,8 +78,19 @@ struct DaemonOptions {
   /// which new ones are shed with `busy`.
   std::size_t max_queue = 8;
   /// Shed new analyze requests while the daemon's resident set exceeds
-  /// this many MiB; 0 disables the RSS gate.
+  /// this many MiB; 0 disables the RSS gate. Also the RSS axis of the
+  /// pressure ladder (level = RSS / max_rss_mb).
   std::uint64_t max_rss_mb = 0;
+  /// Pressure watchdog sampling period in seconds; <= 0 disables the
+  /// watchdog entirely (the one-shot RSS gate above still applies).
+  double pressure_interval_seconds = 1.0;
+  /// Open-fd budget for the pressure ladder (usage fraction =
+  /// open fds / max_open_fds); 0 disables the fd axis.
+  std::uint64_t max_open_fds = 0;
+  /// Free-space floor (MiB) on the cache directory's filesystem: at or
+  /// below this the disk axis reads fully saturated, at 2x it reads
+  /// half. 0 disables the disk axis.
+  std::uint64_t min_disk_free_mb = 0;
   /// Watchdog deadline per worker attempt; a request deadline tightens
   /// it further.
   double worker_timeout_seconds = 60.0;
@@ -135,12 +156,23 @@ class Daemon {
   std::string statusResponse();
   [[nodiscard]] std::string busyResponse();
   void flushMetrics();
+  /// Watchdog thread body: sample resources, publish daemon.pressure.*
+  /// gauges, walk the degradation ladder, act on transitions.
+  void pressureWatchdog();
+  /// One sample: returns the new ladder level (0..4).
+  /// `sustained_critical` counts consecutive saturated samples and is
+  /// owned by the watchdog thread.
+  int samplePressure(int* sustained_critical);
 
   DaemonOptions options_;
   support::MetricsRegistry metrics_;
   int listen_fd_ = -1;
   int stop_pipe_[2] = {-1, -1};
   std::atomic<bool> stopping_{false};
+  /// Current degradation-ladder level, written by the watchdog thread,
+  /// read (relaxed) by admission control and the status document.
+  std::atomic<int> pressure_level_{0};
+  std::thread pressure_thread_;
 
   std::mutex mu_;
   std::condition_variable slots_cv_;      // in-flight slot released

@@ -1,0 +1,222 @@
+#include "safeflow/run_journal.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "safeflow/driver.h"
+#include "support/cache.h"
+#include "support/flight_recorder.h"
+#include "support/io_faults.h"
+#include "support/json.h"
+#include "support/log.h"
+
+namespace safeflow {
+
+namespace {
+
+constexpr std::uint64_t kJournalSchema = 1;
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string headerLine(const std::string& run_key,
+                       std::size_t shard_count) {
+  std::ostringstream out;
+  out << "{\"safeflow_journal\": " << kJournalSchema << ", \"run_key\": \""
+      << jsonEscape(run_key) << "\", \"shards\": " << shard_count
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace
+
+std::string RunJournal::computeRunKey(
+    const std::vector<std::string>& worker_args,
+    const std::vector<std::string>& files) {
+  support::Fnv1a hasher;
+  hasher.update("safeflow-journal:");
+  hasher.update(std::to_string(kJournalSchema));
+  hasher.update("\n");
+  hasher.update("analyzer:");
+  hasher.update(kAnalyzerVersion);
+  hasher.update("\n");
+  for (const std::string& arg : worker_args) {
+    hasher.update("arg:");
+    hasher.update(arg);
+    hasher.update("\n");
+  }
+  for (const std::string& file : files) {
+    hasher.update("tu:");
+    hasher.update(file);
+    hasher.update("\n");
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      hasher.update("missing\n");
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string contents = buffer.str();
+    hasher.update("bytes:");
+    hasher.update(std::to_string(contents.size()));
+    hasher.update("\n");
+    hasher.update(contents);
+  }
+  return hasher.hex();
+}
+
+bool RunJournal::open(const std::string& path, const std::string& run_key,
+                      std::size_t shard_count,
+                      support::MetricsRegistry* metrics,
+                      std::string* error) {
+  path_ = path;
+  metrics_ = metrics;
+  finished_.clear();
+
+  // Load whatever complete records an earlier run left behind. Only
+  // newline-terminated lines that parse as JSON count: a torn tail from
+  // a killed appender is silently dropped (its shard re-runs).
+  bool reusable = false;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      const std::string text = buffer.str();
+      std::size_t pos = 0;
+      bool first = true;
+      while (pos < text.size()) {
+        const std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos) break;  // torn tail
+        const std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        support::json::Value doc;
+        std::string parse_error;
+        if (!support::json::parse(line, &doc, &parse_error) ||
+            !doc.isObject()) {
+          break;  // corrupt record: everything after it is suspect
+        }
+        if (first) {
+          first = false;
+          if (doc.memberUint("safeflow_journal") != kJournalSchema ||
+              doc.memberString("run_key") != run_key ||
+              doc.memberUint("shards") != shard_count) {
+            break;  // a different run's journal: discard it
+          }
+          reusable = true;
+          continue;
+        }
+        Entry entry;
+        entry.shard = doc.memberUint("shard");
+        entry.file = doc.memberString("file");
+        entry.exit_code = static_cast<int>(doc.memberNumber("exit_code"));
+        entry.attempts = static_cast<int>(doc.memberNumber("attempts"));
+        entry.stdout_text = doc.memberString("stdout");
+        entry.stderr_text = doc.memberString("stderr");
+        if (entry.shard >= shard_count || entry.stdout_text.empty()) {
+          continue;  // unreplayable record; keep scanning
+        }
+        finished_[entry.shard] = std::move(entry);
+      }
+      if (!reusable) finished_.clear();
+    }
+  }
+
+  const int flags =
+      O_WRONLY | O_CREAT | O_CLOEXEC | (reusable ? O_APPEND : O_TRUNC);
+  fd_ = ::open(path.c_str(), flags, 0666);
+  if (fd_ < 0) {
+    if (error != nullptr) {
+      *error = "cannot open run journal '" + path + "'";
+    }
+    return false;
+  }
+  if (!reusable) {
+    const std::string header = headerLine(run_key, shard_count);
+    support::io::IoStatus status =
+        support::io::writeAll(fd_, header, "journal.append");
+    if (status.ok) status = support::io::fsyncFd(fd_, "journal.append");
+    if (!status.ok) {
+      ::close(fd_);
+      fd_ = -1;
+      if (error != nullptr) {
+        *error = "cannot write run journal '" + path +
+                 "': " + status.message;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+const RunJournal::Entry* RunJournal::finished(
+    std::size_t shard, const std::string& file) const {
+  const auto it = finished_.find(shard);
+  if (it == finished_.end()) return nullptr;
+  // The run key already covers the file list, but an index/file check
+  // costs nothing and turns any future keying bug into a re-run instead
+  // of a misattributed report.
+  if (it->second.file != file) return nullptr;
+  return &it->second;
+}
+
+void RunJournal::append(std::size_t shard, const std::string& file,
+                        int exit_code, int attempts,
+                        const std::string& stdout_text,
+                        const std::string& stderr_text) {
+  std::ostringstream out;
+  out << "{\"shard\": " << shard << ", \"file\": \"" << jsonEscape(file)
+      << "\", \"exit_code\": " << exit_code
+      << ", \"attempts\": " << attempts << ", \"stdout\": \""
+      << jsonEscape(stdout_text) << "\", \"stderr\": \""
+      << jsonEscape(stderr_text) << "\"}\n";
+  const std::string record = out.str();
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0 || broken_) return;
+  support::io::IoStatus status =
+      support::io::writeAll(fd_, record, "journal.append");
+  if (status.ok) status = support::io::fsyncFd(fd_, "journal.append");
+  if (!status.ok) {
+    // Losing the journal loses resumability, nothing else: the run
+    // continues, and the next --resume simply starts fresh.
+    broken_ = true;
+    if (metrics_ != nullptr) {
+      metrics_->counter("supervisor.journal_write_failures").add();
+    }
+    support::flightRecord("journal", "append failed: " + status.message);
+    SAFEFLOW_LOG(support::LogLevel::kWarn, "supervisor",
+                 "run journal write failed; continuing without resume "
+                 "support",
+                 {{"path", path_}, {"error", status.message}});
+  }
+}
+
+RunJournal::~RunJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+}  // namespace safeflow

@@ -1,0 +1,100 @@
+// Append-only run journal backing `safeflow --resume` (DESIGN.md §15).
+//
+// A SIGKILL'd multi-TU supervised run used to discard every completed
+// shard. The journal fixes that: as each shard's worker outcome is
+// accepted, one NDJSON record (shard index, file, exit code, attempts,
+// the worker's verbatim stdout and stderr) is appended and fsync'd.
+// A restart with the same inputs and `--resume <path>` replays the
+// finished shards from the journal — re-spawning only unfinished ones —
+// and feeds the replayed documents into the same input-order merge, so
+// the merged report is byte-identical to an uninterrupted run.
+//
+// Crash consistency: records are newline-terminated and parsed
+// strictly on open; a torn tail (the process died mid-append) fails
+// the JSON parse of its unterminated line and is ignored, which can
+// only cost one shard's worth of re-analysis, never replay torn bytes.
+//
+// Identity: the journal header carries a run key hashed over the
+// analyzer version, the worker argument vector, and every input file's
+// path and content bytes. A journal whose key does not match the
+// current invocation (edited sources, different flags, different file
+// list) is discarded and restarted fresh — resuming someone else's run
+// would merge stale reports.
+//
+// Journaled outcomes are live worker results only. Cache hits are not
+// recorded: on resume they re-probe the cache (or re-run), which is
+// deterministic anyway, and skipping them keeps the journal from
+// duplicating multi-megabyte documents the cache already stores.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/metrics.h"
+
+namespace safeflow {
+
+class RunJournal {
+ public:
+  /// One replayable shard outcome.
+  struct Entry {
+    std::size_t shard = 0;
+    std::string file;
+    int exit_code = 0;
+    int attempts = 0;
+    std::string stdout_text;  // worker-protocol report, verbatim
+    std::string stderr_text;
+  };
+
+  /// Stable identity (16 hex chars) of "this exact run": analyzer
+  /// version + worker argument vector + each input's path and bytes.
+  [[nodiscard]] static std::string computeRunKey(
+      const std::vector<std::string>& worker_args,
+      const std::vector<std::string>& files);
+
+  /// Opens (or creates) the journal at `path` for a run of
+  /// `shard_count` shards keyed by `run_key`. An existing journal with
+  /// a matching header has its complete records loaded for replay; a
+  /// mismatched or corrupt journal is discarded and restarted fresh.
+  /// Returns false (with a description) only when the file itself
+  /// cannot be created/written — the caller degrades to an
+  /// unjournaled run. `metrics` may be null; must outlive the journal.
+  bool open(const std::string& path, const std::string& run_key,
+            std::size_t shard_count, support::MetricsRegistry* metrics,
+            std::string* error);
+
+  /// The replayable outcome for `shard`, or null if the shard did not
+  /// finish in the journaled run (or the journal recorded a different
+  /// file at that index — a paranoia check on top of the run key).
+  [[nodiscard]] const Entry* finished(std::size_t shard,
+                                      const std::string& file) const;
+
+  /// Number of replayable outcomes loaded at open().
+  [[nodiscard]] std::size_t finishedCount() const {
+    return finished_.size();
+  }
+
+  /// Appends one accepted live outcome (thread-safe; the supervisor
+  /// pool calls this as shards complete). A write failure disables the
+  /// journal for the rest of the run — the analysis continues, only
+  /// resumability is lost — diagnosed once and counted under
+  /// supervisor.journal_write_failures.
+  void append(std::size_t shard, const std::string& file, int exit_code,
+              int attempts, const std::string& stdout_text,
+              const std::string& stderr_text);
+
+  ~RunJournal();
+
+ private:
+  std::map<std::size_t, Entry> finished_;
+  std::mutex mu_;  // serializes append() across pool threads
+  int fd_ = -1;
+  bool broken_ = false;
+  std::string path_;
+  support::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace safeflow

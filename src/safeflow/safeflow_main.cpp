@@ -21,6 +21,7 @@
 //   --jobs <n>          shard per-TU across n crash-isolated workers
 //   --isolate           force worker isolation even with --jobs 1
 //   --no-isolate        force the single-process whole-program path
+//   --resume <file>     journal shard outcomes; rerun resumes from it
 //   --worker-timeout <dur>  watchdog deadline per worker (default 60s)
 //   --retries <n>       crash/timeout retries per shard (default 2)
 //   --worker-stderr-cap <n> cap captured worker stderr at n bytes
@@ -54,7 +55,9 @@
 // front-end errors (including crashed workers) > 3 clean-but-degraded
 // (an analysis budget tripped; findings are valid but absences are
 // unproven) > 0 clean.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -69,9 +72,11 @@
 
 #include "safeflow/cache_manager.h"
 #include "safeflow/driver.h"
+#include "safeflow/run_journal.h"
 #include "safeflow/supervisor.h"
 #include "support/fault_inject.h"
 #include "support/flight_recorder.h"
+#include "support/io_faults.h"
 #include "support/json.h"
 #include "support/limits.h"
 #include "support/log.h"
@@ -107,6 +112,9 @@ void usage() {
          "                      worker processes (implies --isolate)\n"
          "  --isolate           worker isolation even with --jobs 1\n"
          "  --no-isolate        single-process whole-program analysis\n"
+         "  --resume <file>     journal per-shard outcomes to <file>;\n"
+         "                      a rerun after a crash re-analyzes only\n"
+         "                      unfinished shards (implies --isolate)\n"
          "  --worker-timeout <dur>  per-worker watchdog (default 60s)\n"
          "  --retries <n>       crash/timeout retries per shard\n"
          "  --worker-stderr-cap <n>  cap captured worker stderr at n\n"
@@ -130,13 +138,19 @@ void usage() {
          "  --quiet             print only the summary line\n";
 }
 
-bool writeFile(const std::string& path, const std::string& contents) {
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "cannot write " << path << "\n";
+/// Export writer for --stats-json/--metrics-out/--trace documents: a
+/// hardened write (EINTR/partial-write safe, fsync'd) that on any
+/// failure — a real ENOSPC/EIO or an injected one — removes the partial
+/// file and prints one diagnostic. The caller exits 2: a failed export
+/// is a classified error, never a truncated-but-silent artifact.
+bool writeFile(const std::string& path, const std::string& contents,
+               const char* site) {
+  const safeflow::support::io::IoStatus status =
+      safeflow::support::io::writeFile(path, contents, site);
+  if (!status.ok) {
+    std::cerr << "safeflow: " << status.message << "\n";
     return false;
   }
-  out << contents;
   return true;
 }
 
@@ -152,12 +166,13 @@ int emitMergedOutputs(const safeflow::MergedReport& merged,
   if (!stats_json_path.empty()) {
     if (stats_json_path == "-") {
       std::cout << stats_json;
-    } else if (!writeFile(stats_json_path, stats_json)) {
+    } else if (!writeFile(stats_json_path, stats_json, "stats.out")) {
       return 2;
     }
   }
   if (!metrics_out_path.empty() &&
-      !writeFile(metrics_out_path, merged.stats.renderPrometheus())) {
+      !writeFile(metrics_out_path, merged.stats.renderPrometheus(),
+                 "metrics.out")) {
     return 2;
   }
   if (stats_table) {
@@ -256,6 +271,9 @@ int main(int argc, char** argv) {
   // stderr before re-raising; in a worker the supervisor attaches the
   // events to the shard's failure record.
   support::installCrashDumpHandlers();
+  // SAFEFLOW_INJECT_IO: deterministic syscall-layer faults (ENOSPC, EIO,
+  // torn renames) for the chaos tests. Inert unless the env is set.
+  support::io::armIoFaultInjectionFromEnv();
 
   SafeFlowOptions options;
   std::vector<std::string> files;
@@ -276,6 +294,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> obs_args;
   bool isolate_forced = false;
   bool isolate_disabled = false;
+  std::string resume_path;
   std::string connect_path;
   double client_deadline_seconds = 0.0;
   bool daemon_status = false;
@@ -375,6 +394,8 @@ int main(int argc, char** argv) {
       isolate_forced = true;
     } else if (arg == "--no-isolate") {
       isolate_disabled = true;
+    } else if (arg == "--resume" && i + 1 < argc) {
+      resume_path = argv[++i];
     } else if (arg == "--connect" && i + 1 < argc) {
       connect_path = argv[++i];
     } else if (arg == "--deadline" && i + 1 < argc) {
@@ -491,6 +512,16 @@ int main(int argc, char** argv) {
     std::cerr << "--isolate and --no-isolate are mutually exclusive\n";
     return 2;
   }
+  if (!resume_path.empty()) {
+    if (isolate_disabled) {
+      std::cerr << "--resume requires the supervised path (remove "
+                   "--no-isolate)\n";
+      return 2;
+    }
+    // The journal records per-shard outcomes; only the supervised
+    // per-TU path has shards to resume.
+    isolate_forced = true;
+  }
 
   // --connect: hand the analysis to a resident safeflowd. The response
   // carries the exact bytes the one-shot supervised CLI would print, so
@@ -505,7 +536,8 @@ int main(int argc, char** argv) {
     const bool expressible =
         dot_path.empty() && trace_path.empty() && stats_json_path.empty() &&
         metrics_out_path.empty() && !stats_table && !cache_enabled &&
-        !cache_disabled && !cache_stats && !isolate_disabled;
+        !cache_disabled && !cache_stats && !isolate_disabled &&
+        resume_path.empty();
     if (!expressible) {
       SAFEFLOW_LOG(support::LogLevel::kNote, "client",
                    "--connect cannot express --dot/--trace/--stats/cache "
@@ -555,12 +587,22 @@ int main(int argc, char** argv) {
           return static_cast<int>(parsed.memberNumber("exit_code", 2.0));
         }
         if (status == "busy") {
-          // Shed under load: honor the daemon's retry hint, then give up
-          // and run locally rather than hammer it.
-          const double wait_ms =
+          // Shed under load: back off exponentially from the daemon's
+          // hint (capped at 5s) with deterministic per-process jitter,
+          // so a fleet of synchronized clients spreads out instead of
+          // re-stampeding a shedding daemon on the same tick.
+          const double hint_ms =
               parsed.memberNumber("retry_after_ms", 250.0);
-          std::this_thread::sleep_for(std::chrono::duration<double,
-                                      std::milli>(wait_ms));
+          const double capped_ms =
+              std::min(hint_ms * std::ldexp(1.0, attempt), 5000.0);
+          const std::uint64_t seed =
+              support::fnv1a(std::to_string(::getpid()) + ":" +
+                             std::to_string(attempt));
+          const double jitter =
+              0.5 + 0.5 * static_cast<double>(seed % 1000) / 1000.0;
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(capped_ms *
+                                                        jitter));
           fallback_reason = "daemon busy";
           continue;
         }
@@ -675,6 +717,27 @@ int main(int argc, char** argv) {
       cache.disable("trace");
     }
     if (cache.enabled()) sup_options.cache = &cache;
+
+    // --resume: load (or start) the run journal. The run key binds the
+    // journal to this exact invocation — analyzer version, analysis
+    // flags, and every input's bytes — so a stale or foreign journal is
+    // restarted fresh instead of replayed. An unopenable journal only
+    // costs resumability: the analysis itself proceeds.
+    RunJournal journal;
+    if (!resume_path.empty()) {
+      const std::string run_key =
+          RunJournal::computeRunKey(passthrough, files);
+      std::string journal_error;
+      if (journal.open(resume_path, run_key, files.size(), &registry,
+                       &journal_error)) {
+        sup_options.journal = &journal;
+      } else {
+        SAFEFLOW_LOG(support::LogLevel::kWarn, "supervisor",
+                     "cannot open run journal; continuing without "
+                     "resume support",
+                     {{"path", resume_path}, {"error", journal_error}});
+      }
+    }
     // SIGTERM/SIGINT forward to in-flight workers (SIGKILL after grace)
     // so an interrupted run never leaves orphaned --worker children.
     support::installTerminationForwarding();
@@ -682,7 +745,8 @@ int main(int argc, char** argv) {
     MergedReport merged = supervisor.run(files);
     merged.stats.cache_disabled_reason = cache.disabledReason();
     if (!trace_path.empty() &&
-        !writeFile(trace_path, merged.renderStitchedTrace(trace))) {
+        !writeFile(trace_path, merged.renderStitchedTrace(trace),
+                   "trace.out")) {
       return 2;
     }
     if (cache_stats) std::cerr << cache.statsLine();
@@ -788,14 +852,18 @@ int main(int argc, char** argv) {
     // Nothing parsed at all; a partial trace still shows where the time
     // went before the failure.
     if (!trace_path.empty() && driver.trace() != nullptr) {
-      writeFile(trace_path, driver.trace()->toChromeTraceJson());
+      writeFile(trace_path, driver.trace()->toChromeTraceJson(),
+                "trace.out");
     }
     std::cerr << driver.diagnostics().render(driver.sources());
     return 2;
   }
   const auto& report = driver.analyze();
   if (!trace_path.empty() && driver.trace() != nullptr) {
-    if (!writeFile(trace_path, driver.trace()->toChromeTraceJson())) return 2;
+    if (!writeFile(trace_path, driver.trace()->toChromeTraceJson(),
+                   "trace.out")) {
+      return 2;
+    }
   }
   // The one divergence from driver.stats(): record why a requested
   // cache did not run (the driver cannot know).
@@ -805,12 +873,13 @@ int main(int argc, char** argv) {
     const std::string stats_json = stats.renderJson() + "\n";
     if (stats_json_path == "-") {
       std::cout << stats_json;
-    } else if (!writeFile(stats_json_path, stats_json)) {
+    } else if (!writeFile(stats_json_path, stats_json, "stats.out")) {
       return 2;
     }
   }
   if (!metrics_out_path.empty() &&
-      !writeFile(metrics_out_path, stats.renderPrometheus())) {
+      !writeFile(metrics_out_path, stats.renderPrometheus(),
+                 "metrics.out")) {
     return 2;
   }
   if (stats_table) {

@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "safeflow/cache_manager.h"
+#include "safeflow/run_journal.h"
 #include "support/json.h"
 #include "support/log.h"
 #include "support/subprocess.h"
@@ -63,7 +64,8 @@ Supervisor::Supervisor(SupervisorOptions options,
   if (options_.jobs == 0) options_.jobs = 1;
 }
 
-void Supervisor::analyzeShard(const std::string& file,
+void Supervisor::analyzeShard(std::size_t shard_index,
+                              const std::string& file,
                               WorkerOutcome* result) {
   const auto shard_start = std::chrono::steady_clock::now();
   std::size_t shard_span = 0;
@@ -97,6 +99,32 @@ void Supervisor::analyzeShard(const std::string& file,
     return;
   }
 
+  // A journaled finished shard is replayed instead of re-analyzed: the
+  // interrupted run already paid for it. The replayed document joins
+  // the input-order merge like a live one; from_cache marks it so the
+  // stale telemetry epoch is not stitched into this run's trace.
+  if (options_.journal != nullptr) {
+    if (const RunJournal::Entry* done =
+            options_.journal->finished(shard_index, file)) {
+      support::json::Value doc;
+      std::string err;
+      if (support::json::parse(done->stdout_text, &doc, &err) &&
+          doc.isObject()) {
+        metrics_->counter("supervisor.shards_resumed_skipped").add();
+        support::flightRecord("journal", "resume skip " + file);
+        SAFEFLOW_LOG(support::LogLevel::kInfo, "supervisor",
+                     "resuming shard from run journal", {{"file", file}});
+        result->accepted = true;
+        result->from_cache = true;
+        result->report = std::move(doc);
+        result->exit_code = done->exit_code;
+        result->attempts = done->attempts;
+        result->stderr_text = done->stderr_text;
+        return;
+      }
+    }
+  }
+
   CacheManager* cache =
       options_.cache != nullptr && options_.cache->enabled()
           ? options_.cache
@@ -126,6 +154,15 @@ void Supervisor::analyzeShard(const std::string& file,
     }
   }
   runShard(file, result);
+  // Journal live accepted outcomes as they complete, so a killed run
+  // resumes from here. Cache hits took the early return above: the
+  // cache already persists them, and replaying a cache probe is
+  // deterministic anyway.
+  if (options_.journal != nullptr && result->accepted) {
+    options_.journal->append(shard_index, file, result->exit_code,
+                             result->attempts, result->raw_stdout,
+                             result->stderr_text);
+  }
   // Only first-attempt successes are stored: a retried attempt ran with
   // a tightened --time-budget, i.e. a different effective configuration
   // whose (possibly degraded) report must not be replayed for the
@@ -282,6 +319,13 @@ MergedReport Supervisor::run(const std::vector<std::string>& files) {
   std::vector<WorkerOutcome> shards(files.size());
   metrics_->gauge("supervisor.jobs")
       .set(static_cast<double>(options_.jobs));
+  if (options_.journal != nullptr) {
+    // Pre-register the resume counters so a journaled run always
+    // exports them: "0 shards replayed" and "0 workers spawned" are
+    // statements the resume tests assert on, not missing series.
+    metrics_->counter("supervisor.shards_resumed_skipped").add(0);
+    metrics_->counter("supervisor.workers_spawned").add(0);
+  }
 
   const std::size_t nthreads =
       std::min<std::size_t>(options_.jobs, files.size());
@@ -290,7 +334,7 @@ MergedReport Supervisor::run(const std::vector<std::string>& files) {
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= files.size()) return;
-      analyzeShard(files[i], &shards[i]);
+      analyzeShard(i, files[i], &shards[i]);
     }
   };
   if (nthreads <= 1) {

@@ -44,6 +44,7 @@
 namespace safeflow {
 
 class CacheManager;
+class RunJournal;
 
 struct SupervisorOptions {
   /// Maximum concurrent workers (>= 1).
@@ -77,6 +78,12 @@ struct SupervisorOptions {
   /// first-attempt accepted shards are stored back. May be null; must
   /// outlive run().
   CacheManager* cache = nullptr;
+  /// Optional run journal (--resume). Shards already recorded as
+  /// finished are replayed from the journal without spawning a worker
+  /// (counted under supervisor.shards_resumed_skipped); freshly
+  /// accepted live outcomes are appended as they complete. May be
+  /// null; must outlive run().
+  RunJournal* journal = nullptr;
   /// Optional span collector for the supervisor's own orchestration
   /// spans (shard lifecycle, spawn/wait, backoff, cache probes, merge).
   /// Its epoch is also the reference timeline worker spans are re-based
@@ -238,7 +245,8 @@ class Supervisor {
   [[nodiscard]] MergedReport run(const std::vector<std::string>& files);
 
  private:
-  void analyzeShard(const std::string& file, WorkerOutcome* result);
+  void analyzeShard(std::size_t shard_index, const std::string& file,
+                    WorkerOutcome* result);
   void runShard(const std::string& file, WorkerOutcome* result);
 
   SupervisorOptions options_;

@@ -16,6 +16,8 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include "support/io_faults.h"
+
 namespace safeflow::support {
 
 namespace {
@@ -31,6 +33,56 @@ bool isEntryName(const std::string& name) {
 
 bool isTempName(const std::string& name) {
   return name.find(".tmp.") != std::string::npos;
+}
+
+/// The envelope every entry is framed in on disk:
+/// "SFC1 <16-hex checksum> <16-hex length>\n". Fixed width so payload
+/// size is derivable from file size without reading the file.
+constexpr char kEnvelopeMagic[] = "SFC1 ";
+
+std::string envelopeFor(std::string_view payload) {
+  Fnv1a checksum;
+  checksum.update(payload);
+  char header[DiskCache::kEnvelopeBytes + 1];
+  std::snprintf(header, sizeof header, "%s%016llx %016llx\n",
+                kEnvelopeMagic,
+                static_cast<unsigned long long>(checksum.digest()),
+                static_cast<unsigned long long>(payload.size()));
+  return header;
+}
+
+bool parseHex16(std::string_view text, std::uint64_t* out) {
+  if (text.size() != 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') value |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = value;
+  return true;
+}
+
+/// Verifies an on-disk entry image in place; true iff the envelope and
+/// checksum hold, with `*payload_begin` pointing past the header.
+bool verifyEnvelope(std::string_view image, std::size_t* payload_begin) {
+  if (image.size() < DiskCache::kEnvelopeBytes) return false;
+  if (image.compare(0, 5, kEnvelopeMagic) != 0) return false;
+  if (image[21] != ' ' || image[38] != '\n') return false;
+  std::uint64_t checksum = 0, length = 0;
+  if (!parseHex16(image.substr(5, 16), &checksum) ||
+      !parseHex16(image.substr(22, 16), &length)) {
+    return false;
+  }
+  const std::string_view payload = image.substr(DiskCache::kEnvelopeBytes);
+  if (payload.size() != length) return false;
+  if (fnv1a(payload) != checksum) return false;
+  *payload_begin = DiskCache::kEnvelopeBytes;
+  return true;
 }
 
 /// Age below which a temp file may still belong to a live writer in
@@ -73,6 +125,17 @@ struct EntryInfo {
   std::int64_t mtime_nsec = 0;
   bool is_temp = false;
 };
+
+/// Bytes an on-disk file accounts for against the cap: entries count
+/// payload only (envelope overhead excluded — it is fixed-width, so
+/// derivable from file size without a read); stray temps count whole,
+/// because their bytes are garbage pressure, not cached payload.
+std::uint64_t accountedBytes(const EntryInfo& e) {
+  if (e.is_temp) return e.bytes;
+  return e.bytes > DiskCache::kEnvelopeBytes
+             ? e.bytes - DiskCache::kEnvelopeBytes
+             : 0;
+}
 
 /// Lists entry files (and stray temp files, which count as garbage to
 /// sweep) under `dir` with their sizes and recency stamps.
@@ -133,17 +196,59 @@ std::string DiskCache::entryPath(std::string_view key_hex) const {
   return path;
 }
 
-std::optional<std::string> DiskCache::lookup(std::string_view key_hex) {
+DiskCache::LookupResult DiskCache::lookupChecked(std::string_view key_hex) {
+  LookupResult result;
   const std::string path = entryPath(key_hex);
   std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
+  if (!in) return result;  // kMiss
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  if (!in.good() && !in.eof()) return std::nullopt;
+  if (!in.good() && !in.eof()) return result;  // unreadable == miss
+  std::string image = buffer.str();
+  std::size_t payload_begin = 0;
+  if (!verifyEnvelope(image, &payload_begin)) {
+    result.status = LookupStatus::kTorn;
+    return result;
+  }
   // Refresh the LRU stamp; best-effort (a read-only cache dir still
   // serves hits, it just loses recency precision).
   ::utimensat(AT_FDCWD, path.c_str(), nullptr, 0);
-  return buffer.str();
+  result.status = LookupStatus::kHit;
+  result.payload = image.substr(payload_begin);
+  return result;
+}
+
+std::optional<std::string> DiskCache::lookup(std::string_view key_hex) {
+  LookupResult result = lookupChecked(key_hex);
+  switch (result.status) {
+    case LookupStatus::kHit:
+      return std::move(result.payload);
+    case LookupStatus::kTorn:
+      remove(key_hex);  // purge so the torn bytes are not re-read
+      return std::nullopt;
+    case LookupStatus::kMiss:
+      break;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t DiskCache::verifyEntries(
+    std::vector<std::string>* purged_paths) {
+  std::uint64_t purged = 0;
+  for (const EntryInfo& e : listEntries(options_.dir, false)) {
+    std::ifstream in(e.path, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!in.good() && !in.eof()) continue;
+    std::size_t payload_begin = 0;
+    if (verifyEnvelope(buffer.str(), &payload_begin)) continue;
+    if (::unlink(e.path.c_str()) == 0) {
+      ++purged;
+      if (purged_paths != nullptr) purged_paths->push_back(e.path);
+    }
+  }
+  return purged;
 }
 
 DiskCache::StoreResult DiskCache::store(std::string_view key_hex,
@@ -167,29 +272,29 @@ DiskCache::StoreResult DiskCache::store(std::string_view key_hex,
         "cannot create '" + temp_path + "': " + std::strerror(errno);
     return result;
   }
-  std::size_t written = 0;
-  while (written < payload.size()) {
-    const ssize_t n =
-        ::write(fd, payload.data() + written, payload.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      result.error =
-          "cannot write '" + temp_path + "': " + std::strerror(errno);
-      ::close(fd);
-      ::unlink(temp_path.c_str());
-      return result;
-    }
-    written += static_cast<std::size_t>(n);
-  }
+  std::string image = envelopeFor(payload);
+  image.append(payload);
+  io::IoStatus status = io::writeAll(fd, image, "cache.store");
+  // fsync before rename: without it a power cut can publish the name
+  // with unsynced (torn) bytes behind it. The envelope checksum would
+  // still catch that, but catching is the backstop, not the plan.
+  if (status.ok) status = io::fsyncFd(fd, "cache.store");
   ::close(fd);
-  if (::rename(temp_path.c_str(), final_path.c_str()) != 0) {
-    result.error = "cannot rename '" + temp_path + "' to '" + final_path +
-                   "': " + std::strerror(errno);
+  if (!status.ok) {
+    result.error = "cannot write '" + temp_path + "': " + status.message;
+    ::unlink(temp_path.c_str());
+    return result;
+  }
+  status = io::renameFile(temp_path, final_path, "cache.store");
+  if (!status.ok) {
+    result.error = status.message;
     ::unlink(temp_path.c_str());
     return result;
   }
   result.ok = true;
-  result.evicted = evictOverCap(key_hex);
+  if (options_.max_bytes != 0) {
+    result.evicted = evictToBytes(options_.max_bytes, key_hex);
+  }
   return result;
 }
 
@@ -200,7 +305,7 @@ void DiskCache::remove(std::string_view key_hex) {
 std::uint64_t DiskCache::totalBytes() const {
   std::uint64_t total = 0;
   for (const EntryInfo& e : listEntries(options_.dir, false)) {
-    total += e.bytes;
+    total += accountedBytes(e);
   }
   return total;
 }
@@ -217,8 +322,8 @@ std::uint64_t DiskCache::sweepStrayTemps(double min_age_seconds) {
   return swept;
 }
 
-std::uint64_t DiskCache::evictOverCap(std::string_view keep_key_hex) {
-  if (options_.max_bytes == 0) return 0;
+std::uint64_t DiskCache::evictToBytes(std::uint64_t target_bytes,
+                                      std::string_view keep_key_hex) {
   // Temp files old enough that no live writer can still own them are
   // abandoned write attempts (a killed process) and sweep alongside the
   // LRU pass. A *fresh* temp may belong to a concurrent store() that
@@ -235,8 +340,8 @@ std::uint64_t DiskCache::evictOverCap(std::string_view keep_key_hex) {
                                }),
                 entries.end());
   std::uint64_t total = 0;
-  for (const EntryInfo& e : entries) total += e.bytes;
-  if (total <= options_.max_bytes) return 0;
+  for (const EntryInfo& e : entries) total += accountedBytes(e);
+  if (total <= target_bytes) return 0;
 
   std::sort(entries.begin(), entries.end(),
             [](const EntryInfo& a, const EntryInfo& b) {
@@ -249,13 +354,16 @@ std::uint64_t DiskCache::evictOverCap(std::string_view keep_key_hex) {
               return a.path < b.path;  // total order for equal stamps
             });
 
-  const std::string keep = entryPath(keep_key_hex);
+  const std::string keep =
+      keep_key_hex.empty() ? std::string() : entryPath(keep_key_hex);
   std::uint64_t evicted = 0;
   for (const EntryInfo& e : entries) {
-    if (total <= options_.max_bytes) break;
-    if (e.path == keep) continue;  // never evict the entry just written
+    if (total <= target_bytes) break;
+    if (!keep.empty() && e.path == keep) {
+      continue;  // never evict the entry just written
+    }
     if (::unlink(e.path.c_str()) == 0) {
-      total -= e.bytes;
+      total -= accountedBytes(e);
       ++evicted;
     }
   }

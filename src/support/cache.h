@@ -4,14 +4,22 @@
 // maps hex keys to payload files under one directory.
 //
 // Durability contract the cache manager relies on:
-//   - store() writes to a private temp file and rename()s it into place,
-//     so a killed process never leaves a torn entry under a valid key —
-//     a crash leaves either the old payload, the new payload, or no
-//     entry at all (stray *.tmp files are ignored and swept by eviction);
+//   - store() frames the payload in a checksummed envelope
+//     ("SFC1 <fnv1a-hex> <len-hex>\n" + payload), fsyncs the temp file,
+//     and only then rename()s it into place, so a killed process — or a
+//     power cut racing an unsynced rename — never leaves an undetected
+//     torn entry under a valid key: the bytes either verify or the
+//     entry reads as torn;
+//   - lookup() verifies the envelope; a torn entry is purged and
+//     reported distinctly from a plain miss (lookupChecked) so callers
+//     can count and diagnose it;
+//   - verifyEntries() sweeps the whole directory at startup, purging
+//     anything that fails verification (crash recovery);
 //   - lookup() refreshes the entry's mtime, so recency == mtime and
 //     eviction can be plain oldest-mtime-first LRU;
 //   - store() enforces the byte cap by evicting least-recently-used
-//     entries after each write (never the entry just written).
+//     entries after each write (never the entry just written); byte
+//     accounting is payload bytes (envelope overhead excluded).
 //
 // The payload is opaque bytes here; validation (JSON parse, key echo,
 // analyzer version) is the caller's job, because only the caller knows
@@ -22,6 +30,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace safeflow::support {
 
@@ -66,10 +75,35 @@ class DiskCache {
   /// Idempotent; returns false with a description on failure.
   bool ensureDir(std::string* error = nullptr);
 
-  /// Reads the entry for `key_hex` and marks it most-recently-used.
-  /// nullopt when absent or unreadable (the caller treats both as a
-  /// miss).
+  /// Fixed envelope prefix every entry carries on disk:
+  /// "SFC1 <16-hex fnv1a(payload)> <16-hex payload-length>\n".
+  static constexpr std::size_t kEnvelopeBytes = 5 + 16 + 1 + 16 + 1;
+
+  enum class LookupStatus {
+    kMiss,  // no entry under the key
+    kHit,   // envelope verified; payload returned
+    kTorn,  // entry present but fails verification (torn/truncated/legacy)
+  };
+  struct LookupResult {
+    LookupStatus status = LookupStatus::kMiss;
+    std::string payload;  // set on kHit
+  };
+  /// Reads and verifies the entry for `key_hex`; a hit is marked
+  /// most-recently-used. Torn entries are reported (not purged — the
+  /// caller owns the diagnostic and the purge).
+  [[nodiscard]] LookupResult lookupChecked(std::string_view key_hex);
+
+  /// Convenience wrapper: a verified payload or nullopt. Torn entries
+  /// are purged on the spot and read as a miss.
   [[nodiscard]] std::optional<std::string> lookup(std::string_view key_hex);
+
+  /// Startup verify-and-purge sweep: reads every entry, unlinks any that
+  /// fails envelope verification (a torn write replayed from a killed
+  /// process, a half-synced rename, a legacy unframed entry). Returns
+  /// the number purged; their paths are appended to `purged_paths` when
+  /// non-null so the caller can diagnose each one.
+  std::uint64_t verifyEntries(std::vector<std::string>* purged_paths =
+                                  nullptr);
 
   struct StoreResult {
     bool ok = false;
@@ -77,10 +111,17 @@ class DiskCache {
     std::uint64_t evicted = 0;
     std::string error;  // set when !ok
   };
-  /// Atomically creates or replaces the entry (temp file + rename), then
-  /// evicts least-recently-used entries until the directory is back
-  /// under max_bytes.
+  /// Atomically creates or replaces the entry (checksummed envelope to a
+  /// temp file, fsync, rename), then evicts least-recently-used entries
+  /// until the directory is back under max_bytes.
   StoreResult store(std::string_view key_hex, std::string_view payload);
+
+  /// Evicts least-recently-used entries (and aged-out stray temps) until
+  /// the directory holds at most `target_bytes` of payload; the pressure
+  /// watchdog uses this to shed disk under resource pressure. Returns
+  /// the number of files removed.
+  std::uint64_t evictToBytes(std::uint64_t target_bytes,
+                             std::string_view keep_key_hex = {});
 
   /// Deletes the entry if present (used to purge corrupt payloads so
   /// they are not re-parsed on every run).
@@ -97,15 +138,14 @@ class DiskCache {
   /// Absolute-or-relative path of the entry file for `key_hex`.
   [[nodiscard]] std::string entryPath(std::string_view key_hex) const;
 
-  /// Sum of entry payload sizes currently on disk (scans the directory).
+  /// Sum of entry payload sizes currently on disk (scans the directory;
+  /// envelope overhead excluded).
   [[nodiscard]] std::uint64_t totalBytes() const;
 
   [[nodiscard]] const std::string& dir() const { return options_.dir; }
   [[nodiscard]] std::uint64_t maxBytes() const { return options_.max_bytes; }
 
  private:
-  std::uint64_t evictOverCap(std::string_view keep_key_hex);
-
   DiskCacheOptions options_;
 };
 

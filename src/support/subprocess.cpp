@@ -12,6 +12,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "support/io_faults.h"
+
 namespace safeflow::support {
 
 namespace {
@@ -197,12 +199,15 @@ SubprocessResult runSubprocess(const std::vector<std::string>& argv,
     cargv.push_back(nullptr);
     ::execvp(cargv[0], cargv.data());
     // exec failed: report on the (still-open) stderr pipe and die with a
-    // conventional "command not runnable" status.
+    // conventional "command not runnable" status. writeAllFd is
+    // async-signal-safe and retries EINTR/short writes — a one-shot
+    // write(2) here could silently drop the only diagnostic the parent
+    // will ever see.
     const char* msg = "safeflow-subprocess: exec failed: ";
-    (void)!::write(STDERR_FILENO, msg, std::strlen(msg));
+    (void)io::writeAllFd(STDERR_FILENO, msg, std::strlen(msg));
     const char* err = std::strerror(errno);
-    (void)!::write(STDERR_FILENO, err, std::strlen(err));
-    (void)!::write(STDERR_FILENO, "\n", 1);
+    (void)io::writeAllFd(STDERR_FILENO, err, std::strlen(err));
+    (void)io::writeAllFd(STDERR_FILENO, "\n", 1);
     ::_exit(127);
   }
 

@@ -9,6 +9,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "support/io_faults.h"
+
 namespace safeflow::support {
 
 namespace {
@@ -152,6 +154,10 @@ bool writeAll(int fd, std::string_view data) {
     off += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+bool writeAll(int fd, std::string_view data, const char* fault_site) {
+  return io::sendAll(fd, data, fault_site).ok;
 }
 
 }  // namespace safeflow::support

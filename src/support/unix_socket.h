@@ -52,4 +52,9 @@ LineIo readLine(int fd, std::string* line, std::size_t max_bytes,
 /// raises SIGPIPE.
 bool writeAll(int fd, std::string_view data);
 
+/// As above, but routed through the SAFEFLOW_INJECT_IO fault checkpoint
+/// for `fault_site` (e.g. "daemon.socket"), so chaos tests can fail a
+/// response write deterministically.
+bool writeAll(int fd, std::string_view data, const char* fault_site);
+
 }  // namespace safeflow::support

@@ -426,13 +426,14 @@ TEST(CacheManagerTest, WrongKeyEchoAndVersionMismatchAreCorrupt) {
   CacheManager manager(options, &registry);
   manager.store("aaaaaaaaaaaaaaaa", kMinimalReport, 0, "");
 
-  // Copy the valid entry under a different key: the echoed key inside
-  // no longer matches, so a (hash-collision-like) wrong hit is refused.
+  // Copy the valid entry's decoded payload under a different key: the
+  // storage envelope verifies fine, but the key echoed inside no longer
+  // matches, so a (hash-collision-like) wrong hit is refused.
   support::DiskCache disk_view({options.dir, 0});
-  const std::string payload =
-      readFileOrEmpty(disk_view.entryPath("aaaaaaaaaaaaaaaa"));
-  ASSERT_FALSE(payload.empty());
-  ASSERT_TRUE(disk_view.store("bbbbbbbbbbbbbbbb", payload).ok);
+  const std::optional<std::string> payload =
+      disk_view.lookup("aaaaaaaaaaaaaaaa");
+  ASSERT_TRUE(payload.has_value());
+  ASSERT_TRUE(disk_view.store("bbbbbbbbbbbbbbbb", *payload).ok);
 
   testing::internal::CaptureStderr();
   EXPECT_FALSE(manager.lookup("bbbbbbbbbbbbbbbb").has_value());
@@ -542,9 +543,11 @@ TEST(SupervisedCache, CorruptShardEntryFallsBackToColdAnalysis) {
   ASSERT_EQ(std::system(cmd.c_str()), 0);
   {
     support::MetricsRegistry registry;
+    // Capture from construction: the torn entry is detected by the
+    // manager's verify-on-open sweep, before any lookup reaches it.
+    testing::internal::CaptureStderr();
     CacheManager cache(cache_options, &registry);
     Supervisor sup(supervisedOptions(&cache), &registry);
-    testing::internal::CaptureStderr();
     const MergedReport merged = sup.run(files);
     EXPECT_NE(testing::internal::GetCapturedStderr().find("is corrupt"),
               std::string::npos);

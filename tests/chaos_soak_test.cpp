@@ -1,0 +1,297 @@
+// I/O chaos soak (DESIGN.md §15): randomized rounds composing
+// SAFEFLOW_INJECT_IO syscall faults with SAFEFLOW_INJECT_FAULT process
+// faults and SIGKILL-restart cycles, asserting the three invariants the
+// robustness tier promises:
+//   1. no wrong report — every surviving run's stdout is byte-identical
+//      to the fault-free reference (or attributes the loss explicitly);
+//   2. no corrupt cache entry is ever served — a faulted store degrades
+//      to a miss, and the next clean run through the same cache dir
+//      still matches the reference;
+//   3. resume never repeats a finished shard — after a SIGKILL, the
+//      --resume rerun replays exactly the journaled shards and spawns
+//      workers only for the rest.
+//
+// Iteration count defaults low so the suite stays fast locally; the CI
+// chaos job sets SAFEFLOW_CHAOS_ITERS=100 (3 tests x 100 = 300 rounds).
+// The random stream is a seeded LCG, so a failure reproduces exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "support/subprocess.h"
+
+namespace {
+
+using namespace safeflow;
+
+const std::string kCorpus = SAFEFLOW_CORPUS_DIR;
+
+struct Lcg {
+  std::uint64_t state;
+  explicit Lcg(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 17;
+  }
+  std::size_t below(std::size_t n) { return n == 0 ? 0 : next() % n; }
+};
+
+std::size_t chaosIterations() {
+  if (const char* env = std::getenv("SAFEFLOW_CHAOS_ITERS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 6;
+}
+
+std::vector<std::string> soakFiles() {
+  return {
+      kCorpus + "/ip/core/comm.c",
+      kCorpus + "/ip/core/decision.c",
+      kCorpus + "/ip/core/filter.c",
+      kCorpus + "/ip/core/safety.c",
+  };
+}
+
+std::string freshDir(const std::string& leaf) {
+  const std::string dir = ::testing::TempDir() + "/" + leaf + "." +
+                          std::to_string(::getpid());
+  std::string cmd = "rm -rf '" + dir + "' && mkdir -p '" + dir + "'";
+  EXPECT_EQ(std::system(cmd.c_str()), 0);
+  return dir;
+}
+
+std::string readFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return text;
+}
+
+support::SubprocessResult runCli(
+    const std::vector<std::string>& args,
+    const std::vector<std::pair<std::string, std::string>>& env = {},
+    double timeout_seconds = 120.0) {
+  std::vector<std::string> argv = {SAFEFLOW_EXE};
+  argv.insert(argv.end(), args.begin(), args.end());
+  support::SubprocessOptions opts;
+  opts.timeout_seconds = timeout_seconds;
+  opts.extra_env = env;
+  return support::runSubprocess(argv, opts);
+}
+
+std::vector<std::string> supervisedArgv(
+    const std::vector<std::string>& files, std::size_t jobs,
+    const std::vector<std::string>& extra) {
+  std::vector<std::string> argv = {"--isolate", "--jobs",
+                                   std::to_string(jobs), "-I",
+                                   kCorpus + "/ip/common"};
+  argv.insert(argv.end(), extra.begin(), extra.end());
+  argv.insert(argv.end(), files.begin(), files.end());
+  return argv;
+}
+
+/// Replayable complete records in a run journal: newline-terminated
+/// lines carrying a "shard" member (the header carries "shards", which
+/// does not match).
+std::size_t journaledShards(const std::string& path) {
+  const std::string text = readFileOrEmpty(path);
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) break;  // torn tail (if any) ignored
+    const std::string line = text.substr(pos, eol - pos);
+    if (line.find("\"shard\":") != std::string::npos) ++count;
+    pos = eol + 1;
+  }
+  return count;
+}
+
+std::uint64_t promCounter(const std::string& text, const std::string& name) {
+  // Anchor at line start so the "# TYPE <name> counter" comment that
+  // precedes every sample line cannot shadow the sample itself.
+  const std::string needle = name + " ";
+  std::size_t pos = text.find(needle);
+  while (pos != std::string::npos && pos != 0 && text[pos - 1] != '\n') {
+    pos = text.find(needle, pos + needle.size());
+  }
+  if (pos == std::string::npos) return ~0ull;
+  return std::strtoull(text.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+// Invariants 1 + 2: syscall faults against the cache tier never change
+// the report and never leave an entry a later run would wrongly serve.
+TEST(ChaosSoak, CacheFaultsNeverCorruptTheReportOrTheCache) {
+  const std::vector<std::string> files = soakFiles();
+  const std::string cache_dir = freshDir("chaos_cache");
+
+  // Fault-free reference bytes (cold, cache off).
+  const auto reference =
+      runCli(supervisedArgv(files, 2, {"--no-cache"}));
+  ASSERT_EQ(reference.status, support::SubprocessResult::Status::kExited)
+      << reference.spawn_error;
+
+  const char* kinds[] = {"enospc", "eio", "short_write", "torn_rename",
+                         "fsync_fail"};
+  Lcg rng(0xc4a05001);
+  const std::size_t iters = chaosIterations();
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    const char* kind = kinds[rng.below(5)];
+    const std::size_t nth = 1 + rng.below(files.size());
+    const std::size_t jobs = 1 + rng.below(4);
+    const std::string spec =
+        std::string(kind) + "@cache.store:" + std::to_string(nth);
+    SCOPED_TRACE("iter " + std::to_string(iter) + ": " + spec +
+                 " jobs=" + std::to_string(jobs));
+
+    // Faulted run: some store op fails (or tears its entry) mid-run.
+    const auto faulted =
+        runCli(supervisedArgv(files, jobs, {"--cache-dir", cache_dir}),
+               {{"SAFEFLOW_INJECT_IO", spec}});
+    ASSERT_EQ(faulted.status, support::SubprocessResult::Status::kExited);
+    // Invariant 1: the report never changes — cache trouble degrades
+    // to cold analysis, not to different findings.
+    EXPECT_EQ(faulted.out_text, reference.out_text);
+    EXPECT_EQ(faulted.exit_code, reference.exit_code);
+
+    // Invariant 2: a clean run through the same (possibly torn) cache
+    // dir still matches: torn entries are detected and purged, never
+    // served.
+    const auto clean =
+        runCli(supervisedArgv(files, jobs, {"--cache-dir", cache_dir}));
+    ASSERT_EQ(clean.status, support::SubprocessResult::Status::kExited);
+    EXPECT_EQ(clean.out_text, reference.out_text);
+    EXPECT_EQ(clean.exit_code, reference.exit_code);
+  }
+}
+
+// Invariant 1 under composition: a syscall fault on an export plus a
+// process fault in a worker. The run must attribute the dead shard,
+// fail the export loudly (no truncated artifact), and leave the next
+// clean run byte-identical to the reference.
+TEST(ChaosSoak, ComposedIoAndProcessFaultsDegradeLoudly) {
+  const std::vector<std::string> files = soakFiles();
+  const std::string dir = freshDir("chaos_composed");
+
+  const auto reference =
+      runCli(supervisedArgv(files, 2, {"--no-cache"}));
+  ASSERT_EQ(reference.status, support::SubprocessResult::Status::kExited);
+
+  const char* phases[] = {"frontend", "ssa", "taint", "report"};
+  Lcg rng(0xc4a05002);
+  const std::size_t iters = chaosIterations();
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    const std::string& target = files[rng.below(files.size())];
+    const char* phase = phases[rng.below(4)];
+    const std::size_t jobs = 1 + rng.below(4);
+    const std::string metrics_path =
+        dir + "/m" + std::to_string(iter) + ".prom";
+    SCOPED_TRACE("iter " + std::to_string(iter) + ": crash@" + phase +
+                 " -> " + target + " + enospc@metrics.out");
+
+    // Process fault alone: the dead worker is named, never silently
+    // absorbed, and the loss is a frontend-class exit (2) unless data
+    // errors from surviving shards outrank it (1).
+    const auto crashed = runCli(
+        supervisedArgv(files, jobs, {"--no-cache"}),
+        {{"SAFEFLOW_INJECT_FAULT", std::string("crash@") + phase},
+         {"SAFEFLOW_INJECT_FAULT_FILE", target}});
+    ASSERT_EQ(crashed.status, support::SubprocessResult::Status::kExited);
+    EXPECT_NE(crashed.out_text.find("[failed]"), std::string::npos)
+        << crashed.out_text;
+    EXPECT_NE(crashed.out_text.find(target), std::string::npos);
+    EXPECT_TRUE(crashed.exit_code == 1 || crashed.exit_code == 2)
+        << crashed.exit_code;
+
+    // Both fault layers at once: the failed export is diagnosed with a
+    // classified exit and leaves no truncated artifact, no matter what
+    // the workers were doing at the time.
+    const auto faulted = runCli(
+        supervisedArgv(files, jobs,
+                       {"--no-cache", "--metrics-out", metrics_path}),
+        {{"SAFEFLOW_INJECT_IO", "enospc@metrics.out"},
+         {"SAFEFLOW_INJECT_FAULT", std::string("crash@") + phase},
+         {"SAFEFLOW_INJECT_FAULT_FILE", target}});
+    ASSERT_EQ(faulted.status, support::SubprocessResult::Status::kExited);
+    EXPECT_EQ(faulted.exit_code, 2);
+    EXPECT_NE(faulted.err_text.find("cannot write"), std::string::npos)
+        << faulted.err_text;
+    EXPECT_NE(::access(metrics_path.c_str(), F_OK), 0);
+
+    // Chaos over: the same inputs still produce the reference bytes.
+    const auto clean = runCli(supervisedArgv(files, jobs, {"--no-cache"}));
+    ASSERT_EQ(clean.status, support::SubprocessResult::Status::kExited);
+    EXPECT_EQ(clean.out_text, reference.out_text);
+    EXPECT_EQ(clean.exit_code, reference.exit_code);
+  }
+}
+
+// Invariant 3: SIGKILL a journaled run mid-flight, resume it, and the
+// rerun replays exactly the journaled shards (never re-spawning one)
+// while producing the byte-identical merged report.
+TEST(ChaosSoak, KillAndResumeNeverRepeatsAFinishedShard) {
+  const std::vector<std::string> files = soakFiles();
+  const std::string dir = freshDir("chaos_resume");
+
+  const auto reference =
+      runCli(supervisedArgv(files, 2, {"--no-cache"}));
+  ASSERT_EQ(reference.status, support::SubprocessResult::Status::kExited);
+
+  Lcg rng(0xc4a05003);
+  const std::size_t iters = chaosIterations();
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    const std::string journal =
+        dir + "/run" + std::to_string(iter) + ".ndjson";
+    const std::string metrics_path =
+        dir + "/m" + std::to_string(iter) + ".prom";
+    const std::size_t jobs = 1 + rng.below(4);
+    // A deadline somewhere inside the run's lifetime; runSubprocess
+    // SIGKILLs at the deadline, exactly like a crashed host would.
+    const double kill_after = 0.02 + 0.02 * static_cast<double>(
+                                               rng.below(15));
+    SCOPED_TRACE("iter " + std::to_string(iter) + ": jobs=" +
+                 std::to_string(jobs) + " kill_after=" +
+                 std::to_string(kill_after));
+
+    const auto killed = runCli(
+        supervisedArgv(files, jobs, {"--no-cache", "--resume", journal}),
+        {}, kill_after);
+    // Either the watchdog SIGKILLed it mid-run or it beat the deadline;
+    // both are valid rounds (the journal then holds 0..N records).
+    ASSERT_TRUE(killed.status ==
+                    support::SubprocessResult::Status::kTimedOut ||
+                killed.status == support::SubprocessResult::Status::kExited)
+        << killed.spawn_error;
+    const std::size_t finished = journaledShards(journal);
+    ASSERT_LE(finished, files.size());
+
+    const auto resumed = runCli(supervisedArgv(
+        files, jobs,
+        {"--no-cache", "--resume", journal, "--metrics-out",
+         metrics_path}));
+    ASSERT_EQ(resumed.status, support::SubprocessResult::Status::kExited);
+
+    // Byte-identical merged report, and exactly the journaled shards
+    // were replayed: workers were spawned only for the remainder.
+    EXPECT_EQ(resumed.out_text, reference.out_text);
+    EXPECT_EQ(resumed.exit_code, reference.exit_code);
+    const std::string prom = readFileOrEmpty(metrics_path);
+    EXPECT_EQ(
+        promCounter(prom,
+                    "safeflow_supervisor_shards_resumed_skipped_total"),
+        finished)
+        << prom;
+    EXPECT_EQ(promCounter(prom, "safeflow_supervisor_workers_spawned_total"),
+              files.size() - finished)
+        << prom;
+  }
+}
+
+}  // namespace

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -431,6 +432,57 @@ TEST(Daemon, SecondDaemonRefusesALiveSocket) {
   EXPECT_EQ(parsed(response).memberString("status"), "ok");
 
   killDaemon(pid);
+}
+
+TEST(DaemonPressure, NominalDaemonReportsLevelZero) {
+  const std::string socket = scratchSocket("press0");
+  // No resource budgets set: every axis is off, the ladder stays at 0.
+  const pid_t pid = spawnDaemon({"--socket", socket, "--no-cache"});
+  ASSERT_GT(pid, 0);
+  ASSERT_TRUE(waitForSocket(socket));
+
+  const std::string response =
+      rawRequest(socket, "{\"safeflowd\": 1, \"op\": \"status\"}\n", 15.0);
+  const support::json::Value doc = parsed(response);
+  EXPECT_EQ(doc.memberString("status"), "ok");
+  EXPECT_EQ(doc.memberUint("pressure_level", 99), 0u);
+
+  killDaemon(pid);
+}
+
+TEST(DaemonPressure, ExhaustedFdBudgetWalksLadderToDrain) {
+  const std::string socket = scratchSocket("pressfd");
+  const std::string metrics_path = ::testing::TempDir() + "sfd_press_" +
+                                   std::to_string(::getpid()) + ".prom";
+  ::unlink(metrics_path.c_str());
+  // An fd budget of 1 is saturated by the listener alone: the watchdog
+  // samples critical immediately, escalates to drain after 8 sustained
+  // samples, and the daemon must exit 0 on its own — degradation, not
+  // an OOM-killer lottery.
+  const pid_t pid = spawnDaemon({"--socket", socket, "--no-cache",
+                                 "--max-open-fds", "1",
+                                 "--pressure-interval", "50ms",
+                                 "--metrics-out", metrics_path});
+  ASSERT_GT(pid, 0);
+
+  const int status = waitForExit(pid, 30.0);
+  ASSERT_NE(status, -1) << "pressure drain never happened";
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  EXPECT_NE(::access(socket.c_str(), F_OK), 0);  // socket swept at drain
+
+  // The drain-time metrics flush records the ladder walk: the level
+  // gauge parked at 4 (draining) and at least one transition counted.
+  std::ifstream in(metrics_path);
+  std::string prom((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(prom.find("safeflow_daemon_pressure_level 4"),
+            std::string::npos)
+      << prom;
+  EXPECT_EQ(prom.find("safeflow_daemon_pressure_transitions_total 0"),
+            std::string::npos)
+      << prom;
+  ::unlink(metrics_path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,458 @@
+// Tests for the I/O fault-injection shim (SAFEFLOW_INJECT_IO) and the
+// crash-consistency machinery built on it: spec parsing and one-shot
+// semantics, the hardened write helpers, DiskCache envelope
+// verification under torn renames / ENOSPC / fsync failures, the run
+// journal (torn-tail tolerance, run-key identity, write-failure
+// degradation), export-failure behavior of --metrics-out / --trace
+// (diagnose + classified exit, never a truncated artifact), and the
+// --resume end-to-end contract (byte-identical merged report,
+// finished shards never re-spawned).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "safeflow/cache_manager.h"
+#include "safeflow/run_journal.h"
+#include "support/cache.h"
+#include "support/io_faults.h"
+#include "support/metrics.h"
+#include "support/subprocess.h"
+
+namespace {
+
+using namespace safeflow;
+namespace io = safeflow::support::io;
+
+const std::string kCorpus = SAFEFLOW_CORPUS_DIR;
+
+std::string freshDir(const std::string& leaf) {
+  const std::string dir = ::testing::TempDir() + "/" + leaf + "." +
+                          std::to_string(::getpid());
+  std::string cmd = "rm -rf '" + dir + "' && mkdir -p '" + dir + "'";
+  EXPECT_EQ(std::system(cmd.c_str()), 0);
+  return dir;
+}
+
+std::string readFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return text;
+}
+
+void writeTextFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << path;
+  out << contents;
+}
+
+/// RAII disarm so a failed assertion can never leak an armed fault into
+/// a later test running in the same process.
+struct DisarmOnExit {
+  ~DisarmOnExit() { io::armIoFaultInjection(""); }
+};
+
+// -- spec parsing and arming ------------------------------------------------
+
+TEST(IoFaultSpec, ParsesWellFormedSpecs) {
+  DisarmOnExit disarm;
+  EXPECT_TRUE(io::armIoFaultInjection("enospc@cache.store"));
+  EXPECT_TRUE(io::ioFaultInjectionArmed());
+  EXPECT_TRUE(io::armIoFaultInjection("torn_rename@cache.store:3"));
+  EXPECT_TRUE(io::ioFaultInjectionArmed());
+  EXPECT_TRUE(io::armIoFaultInjection("fsync_fail@journal.append"));
+  EXPECT_TRUE(io::armIoFaultInjection("short_write@metrics.out"));
+  EXPECT_TRUE(io::armIoFaultInjection("eio@trace.out:2"));
+  // Empty spec disarms.
+  EXPECT_TRUE(io::armIoFaultInjection(""));
+  EXPECT_FALSE(io::ioFaultInjectionArmed());
+}
+
+TEST(IoFaultSpec, MalformedSpecsStayInert) {
+  DisarmOnExit disarm;
+  for (const char* bad :
+       {"nonsense", "enospc", "enospc@", "unknown@cache.store",
+        "enospc@cache.store:0", "enospc@cache.store:x"}) {
+    EXPECT_FALSE(io::armIoFaultInjection(bad)) << bad;
+    EXPECT_FALSE(io::ioFaultInjectionArmed()) << bad;
+  }
+}
+
+// -- hardened helper semantics ----------------------------------------------
+
+TEST(IoFaultHelpers, WriteFailsOnceAtItsSiteThenDisarms) {
+  DisarmOnExit disarm;
+  const std::string dir = freshDir("io_write_once");
+  const std::string path = dir + "/target";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+  ASSERT_GE(fd, 0);
+
+  ASSERT_TRUE(io::armIoFaultInjection("eio@metrics.out"));
+  // A different site passes through untouched and leaves the fault armed.
+  EXPECT_TRUE(io::writeAll(fd, "other-site", "trace.out").ok);
+  EXPECT_TRUE(io::ioFaultInjectionArmed());
+
+  const io::IoStatus failed = io::writeAll(fd, "0123456789", "metrics.out");
+  EXPECT_FALSE(failed.ok);
+  EXPECT_EQ(failed.error_errno, EIO);
+  EXPECT_NE(failed.message.find("injected"), std::string::npos);
+  // One-shot: consumed, and the retry sees a healthy filesystem.
+  EXPECT_FALSE(io::ioFaultInjectionArmed());
+  EXPECT_TRUE(io::writeAll(fd, "retry", "metrics.out").ok);
+  ::close(fd);
+}
+
+TEST(IoFaultHelpers, NthCountsMatchingOperationsOnly) {
+  DisarmOnExit disarm;
+  const std::string dir = freshDir("io_nth");
+  const int fd =
+      ::open((dir + "/t").c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(io::armIoFaultInjection("enospc@stats.out:2"));
+  EXPECT_TRUE(io::writeAll(fd, "first", "stats.out").ok);
+  const io::IoStatus second = io::writeAll(fd, "second", "stats.out");
+  EXPECT_FALSE(second.ok);
+  EXPECT_EQ(second.error_errno, ENOSPC);
+  ::close(fd);
+}
+
+TEST(IoFaultHelpers, ShortWriteIsInvisibleToCallers) {
+  DisarmOnExit disarm;
+  const std::string dir = freshDir("io_short");
+  const std::string path = dir + "/short";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(io::armIoFaultInjection("short_write@metrics.out"));
+  const std::string payload(1000, 'x');
+  EXPECT_TRUE(io::writeAll(fd, payload, "metrics.out").ok);
+  ::close(fd);
+  // The partial-write loop must have finished the job on its own.
+  EXPECT_EQ(readFileOrEmpty(path), payload);
+}
+
+TEST(IoFaultHelpers, WriteFileNeverLeavesATruncatedArtifact) {
+  DisarmOnExit disarm;
+  const std::string dir = freshDir("io_writefile");
+  const std::string path = dir + "/doc.json";
+  ASSERT_TRUE(io::armIoFaultInjection("enospc@metrics.out"));
+  const io::IoStatus status =
+      io::writeFile(path, std::string(4096, 'm'), "metrics.out");
+  EXPECT_FALSE(status.ok);
+  EXPECT_NE(status.message.find("cannot write"), std::string::npos);
+  // The half-written file was unlinked: absent, not silently truncated.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+  // Healthy retry succeeds and the document is complete.
+  EXPECT_TRUE(io::writeFile(path, "complete", "metrics.out").ok);
+  EXPECT_EQ(readFileOrEmpty(path), "complete");
+}
+
+// -- DiskCache crash consistency under injected faults ----------------------
+
+TEST(IoFaultCache, TornRenameIsDetectedPurgedAndRecoverable) {
+  DisarmOnExit disarm;
+  support::DiskCache cache({freshDir("io_torn"), 0});
+  ASSERT_TRUE(cache.ensureDir());
+  const std::string payload(2048, 'p');
+
+  ASSERT_TRUE(io::armIoFaultInjection("torn_rename@cache.store"));
+  const auto stored = cache.store("aaaaaaaaaaaaaaaa", payload);
+  EXPECT_FALSE(stored.ok);
+  EXPECT_NE(stored.error.find("torn"), std::string::npos);
+
+  // The torn bytes landed under the real key, but the checksummed
+  // envelope refuses to serve them.
+  const auto checked = cache.lookupChecked("aaaaaaaaaaaaaaaa");
+  EXPECT_EQ(checked.status, support::DiskCache::LookupStatus::kTorn);
+  EXPECT_FALSE(cache.lookup("aaaaaaaaaaaaaaaa").has_value());
+
+  // lookup() purged it; a healthy re-store round-trips.
+  EXPECT_TRUE(cache.store("aaaaaaaaaaaaaaaa", payload).ok);
+  ASSERT_TRUE(cache.lookup("aaaaaaaaaaaaaaaa").has_value());
+  EXPECT_EQ(*cache.lookup("aaaaaaaaaaaaaaaa"), payload);
+}
+
+TEST(IoFaultCache, EnospcAndFsyncFailStoreNothing) {
+  DisarmOnExit disarm;
+  support::DiskCache cache({freshDir("io_enospc"), 0});
+  ASSERT_TRUE(cache.ensureDir());
+
+  ASSERT_TRUE(io::armIoFaultInjection("enospc@cache.store"));
+  EXPECT_FALSE(cache.store("cccccccccccccccc", "payload").ok);
+  EXPECT_FALSE(cache.lookup("cccccccccccccccc").has_value());
+  EXPECT_EQ(cache.totalBytes(), 0u);  // the partial temp was unlinked
+
+  ASSERT_TRUE(io::armIoFaultInjection("fsync_fail@cache.store"));
+  EXPECT_FALSE(cache.store("dddddddddddddddd", "payload").ok);
+  EXPECT_FALSE(cache.lookup("dddddddddddddddd").has_value());
+
+  // Both one-shot faults consumed: the store path is healthy again.
+  EXPECT_TRUE(cache.store("eeeeeeeeeeeeeeee", "payload").ok);
+  EXPECT_TRUE(cache.lookup("eeeeeeeeeeeeeeee").has_value());
+}
+
+TEST(IoFaultCache, VerifyEntriesSweepsTornEntriesAndReportsPaths) {
+  DisarmOnExit disarm;
+  support::DiskCache cache({freshDir("io_sweep"), 0});
+  ASSERT_TRUE(cache.ensureDir());
+  ASSERT_TRUE(cache.store("aaaaaaaaaaaaaaaa", std::string(512, 'a')).ok);
+  ASSERT_TRUE(cache.store("bbbbbbbbbbbbbbbb", std::string(512, 'b')).ok);
+  // Tear one entry the way a power cut would: drop its tail.
+  ASSERT_EQ(::truncate(cache.entryPath("aaaaaaaaaaaaaaaa").c_str(), 100),
+            0);
+
+  std::vector<std::string> purged;
+  EXPECT_EQ(cache.verifyEntries(&purged), 1u);
+  ASSERT_EQ(purged.size(), 1u);
+  EXPECT_EQ(purged[0], cache.entryPath("aaaaaaaaaaaaaaaa"));
+  EXPECT_FALSE(cache.lookup("aaaaaaaaaaaaaaaa").has_value());
+  EXPECT_TRUE(cache.lookup("bbbbbbbbbbbbbbbb").has_value());
+  // Idempotent: a second sweep finds a clean directory.
+  EXPECT_EQ(cache.verifyEntries(), 0u);
+}
+
+TEST(IoFaultCache, ManagerCountsTornEntriesPurgedOnOpen) {
+  DisarmOnExit disarm;
+  const std::string dir = freshDir("io_mgr_torn");
+  support::DiskCache disk({dir, 0});
+  ASSERT_TRUE(disk.ensureDir());
+  ASSERT_TRUE(disk.store("aaaaaaaaaaaaaaaa", std::string(512, 'x')).ok);
+  ASSERT_EQ(::truncate(disk.entryPath("aaaaaaaaaaaaaaaa").c_str(), 40), 0);
+
+  CacheOptions options;
+  options.enabled = true;
+  options.dir = dir;
+  support::MetricsRegistry metrics;
+  CacheManager manager(options, &metrics);
+  EXPECT_EQ(metrics.counterValue("cache.torn_entries_purged"), 1u);
+}
+
+// -- run journal ------------------------------------------------------------
+
+TEST(RunJournalTest, RunKeyTracksArgsFilesAndContent) {
+  const std::string dir = freshDir("journal_key");
+  const std::string tu = dir + "/a.c";
+  writeTextFile(tu, "int main(void) { return 0; }\n");
+
+  const std::string base = RunJournal::computeRunKey({"-I", "inc"}, {tu});
+  EXPECT_EQ(base.size(), 16u);
+  EXPECT_EQ(base, RunJournal::computeRunKey({"-I", "inc"}, {tu}));
+  EXPECT_NE(base, RunJournal::computeRunKey({"-I", "other"}, {tu}));
+  EXPECT_NE(base, RunJournal::computeRunKey({"-I", "inc"}, {}));
+  // Editing the file's bytes changes the key: a stale journal must not
+  // replay reports for sources that no longer exist.
+  writeTextFile(tu, "int main(void) { return 1; }\n");
+  EXPECT_NE(base, RunJournal::computeRunKey({"-I", "inc"}, {tu}));
+}
+
+TEST(RunJournalTest, AppendReopenReplaysOnlyMatchingRuns) {
+  const std::string dir = freshDir("journal_replay");
+  const std::string path = dir + "/run.ndjson";
+  std::string error;
+
+  {
+    RunJournal journal;
+    ASSERT_TRUE(journal.open(path, "0123456789abcdef", 3, nullptr, &error))
+        << error;
+    EXPECT_EQ(journal.finishedCount(), 0u);
+    journal.append(0, "a.c", 0, 1, "{\"report\": 1}\n", "");
+    journal.append(2, "c.c", 1, 2, "{\"report\": 3}\n", "warn\n");
+  }
+
+  // Same key: both records replay, with every field intact.
+  {
+    RunJournal journal;
+    ASSERT_TRUE(journal.open(path, "0123456789abcdef", 3, nullptr, &error))
+        << error;
+    EXPECT_EQ(journal.finishedCount(), 2u);
+    const RunJournal::Entry* done = journal.finished(2, "c.c");
+    ASSERT_NE(done, nullptr);
+    EXPECT_EQ(done->exit_code, 1);
+    EXPECT_EQ(done->attempts, 2);
+    EXPECT_EQ(done->stdout_text, "{\"report\": 3}\n");
+    EXPECT_EQ(done->stderr_text, "warn\n");
+    EXPECT_EQ(journal.finished(1, "b.c"), nullptr);       // never ran
+    EXPECT_EQ(journal.finished(0, "renamed.c"), nullptr);  // file mismatch
+  }
+
+  // Different key: the journal is someone else's run — discarded.
+  {
+    RunJournal journal;
+    ASSERT_TRUE(journal.open(path, "ffffffffffffffff", 3, nullptr, &error))
+        << error;
+    EXPECT_EQ(journal.finishedCount(), 0u);
+  }
+}
+
+TEST(RunJournalTest, TornTailCostsOnlyTheUnterminatedRecord) {
+  const std::string dir = freshDir("journal_torn");
+  const std::string path = dir + "/run.ndjson";
+  std::string error;
+  {
+    RunJournal journal;
+    ASSERT_TRUE(journal.open(path, "0123456789abcdef", 4, nullptr, &error));
+    journal.append(0, "a.c", 0, 1, "{\"report\": 1}\n", "");
+    journal.append(1, "b.c", 0, 1, "{\"report\": 2}\n", "");
+  }
+  // Simulate a SIGKILL mid-append: a record with no terminating newline.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "{\"shard\": 2, \"file\": \"c.c\", \"exit_co";
+  }
+  RunJournal journal;
+  ASSERT_TRUE(journal.open(path, "0123456789abcdef", 4, nullptr, &error));
+  EXPECT_EQ(journal.finishedCount(), 2u);
+  EXPECT_NE(journal.finished(0, "a.c"), nullptr);
+  EXPECT_NE(journal.finished(1, "b.c"), nullptr);
+  EXPECT_EQ(journal.finished(2, "c.c"), nullptr);
+}
+
+TEST(RunJournalTest, WriteFailureDegradesToUnjournaledRun) {
+  DisarmOnExit disarm;
+  const std::string dir = freshDir("journal_fail");
+  support::MetricsRegistry metrics;
+  std::string error;
+  RunJournal journal;
+  ASSERT_TRUE(journal.open(dir + "/run.ndjson", "0123456789abcdef", 2,
+                           &metrics, &error));
+  ASSERT_TRUE(io::armIoFaultInjection("eio@journal.append"));
+  journal.append(0, "a.c", 0, 1, "{\"report\": 1}\n", "");
+  EXPECT_EQ(metrics.counterValue("supervisor.journal_write_failures"), 1u);
+  // The journal is broken for the rest of the run (no further appends,
+  // no further failures) but the process carries on.
+  journal.append(1, "b.c", 0, 1, "{\"report\": 2}\n", "");
+  EXPECT_EQ(metrics.counterValue("supervisor.journal_write_failures"), 1u);
+}
+
+// -- export failures: diagnose + classified exit, never a torn artifact ----
+
+support::SubprocessResult runCli(
+    const std::vector<std::string>& args,
+    const std::vector<std::pair<std::string, std::string>>& env = {}) {
+  std::vector<std::string> argv = {SAFEFLOW_EXE};
+  argv.insert(argv.end(), args.begin(), args.end());
+  support::SubprocessOptions opts;
+  opts.timeout_seconds = 120.0;
+  opts.extra_env = env;
+  return support::runSubprocess(argv, opts);
+}
+
+TEST(IoFaultExports, MetricsOutEnospcFailsLoudlyWithNoArtifact) {
+  const std::string dir = freshDir("io_metrics_out");
+  const std::string tu = dir + "/clean.c";
+  writeTextFile(tu, "int main(void) { return 0; }\n");
+  const std::string metrics_path = dir + "/metrics.prom";
+
+  // Control: the export works and the run is clean.
+  const auto ok = runCli({tu, "--metrics-out", metrics_path});
+  ASSERT_TRUE(ok.exitedWith(0)) << ok.err_text;
+  EXPECT_EQ(::access(metrics_path.c_str(), F_OK), 0);
+  ASSERT_EQ(::unlink(metrics_path.c_str()), 0);
+
+  const auto failed =
+      runCli({tu, "--metrics-out", metrics_path},
+             {{"SAFEFLOW_INJECT_IO", "enospc@metrics.out"}});
+  ASSERT_EQ(failed.status, support::SubprocessResult::Status::kExited);
+  EXPECT_EQ(failed.exit_code, 2);  // usage/environment error, not "clean"
+  EXPECT_NE(failed.err_text.find("cannot write"), std::string::npos)
+      << failed.err_text;
+  // No truncated-but-silent artifact.
+  EXPECT_NE(::access(metrics_path.c_str(), F_OK), 0);
+}
+
+TEST(IoFaultExports, TraceOutEioFailsLoudlyWithNoArtifact) {
+  const std::string dir = freshDir("io_trace_out");
+  const std::string tu = dir + "/clean.c";
+  writeTextFile(tu, "int main(void) { return 0; }\n");
+  const std::string trace_path = dir + "/trace.json";
+
+  const auto failed = runCli({tu, "--trace", trace_path},
+                             {{"SAFEFLOW_INJECT_IO", "eio@trace.out"}});
+  ASSERT_EQ(failed.status, support::SubprocessResult::Status::kExited);
+  EXPECT_EQ(failed.exit_code, 2);
+  EXPECT_NE(failed.err_text.find("cannot write"), std::string::npos)
+      << failed.err_text;
+  EXPECT_NE(::access(trace_path.c_str(), F_OK), 0);
+
+  // Control afterward: same command, healthy filesystem, real artifact.
+  const auto ok = runCli({tu, "--trace", trace_path});
+  ASSERT_TRUE(ok.exitedWith(0)) << ok.err_text;
+  EXPECT_EQ(::access(trace_path.c_str(), F_OK), 0);
+}
+
+// -- --resume end to end ----------------------------------------------------
+
+TEST(ResumeE2E, SecondRunReplaysEveryFinishedShardByteIdentically) {
+  const std::string dir = freshDir("resume_e2e");
+  const std::string journal = dir + "/run.ndjson";
+  const std::string metrics_path = dir + "/metrics.prom";
+  const std::vector<std::string> files = {
+      kCorpus + "/ip/core/comm.c", kCorpus + "/ip/core/decision.c",
+      kCorpus + "/ip/core/filter.c", kCorpus + "/ip/core/safety.c",
+  };
+
+  // Cache off so the only replay channel is the journal.
+  std::vector<std::string> argv = {"--resume", journal,   "--jobs",
+                                   "2",        "--no-cache", "-I",
+                                   kCorpus + "/ip/common"};
+  argv.insert(argv.end(), files.begin(), files.end());
+
+  const auto first = runCli(argv);
+  ASSERT_EQ(first.status, support::SubprocessResult::Status::kExited)
+      << first.spawn_error;
+  ASSERT_EQ(::access(journal.c_str(), F_OK), 0);
+
+  std::vector<std::string> argv2 = argv;
+  argv2.push_back("--metrics-out");
+  argv2.push_back(metrics_path);
+  const auto second = runCli(argv2);
+  ASSERT_EQ(second.status, support::SubprocessResult::Status::kExited);
+
+  // The merged report is byte-identical, and every shard came from the
+  // journal: no worker was spawned the second time.
+  EXPECT_EQ(second.out_text, first.out_text);
+  EXPECT_EQ(second.exit_code, first.exit_code);
+  const std::string prom = readFileOrEmpty(metrics_path);
+  EXPECT_NE(
+      prom.find("safeflow_supervisor_shards_resumed_skipped_total 4"),
+      std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("safeflow_supervisor_workers_spawned_total 0"),
+            std::string::npos)
+      << prom;
+}
+
+TEST(ResumeE2E, EditedSourceInvalidatesTheJournal) {
+  const std::string dir = freshDir("resume_edit");
+  const std::string journal = dir + "/run.ndjson";
+  const std::string tu = dir + "/evolving.c";
+  writeTextFile(tu, "int main(void) { return 0; }\n");
+
+  const std::vector<std::string> argv = {"--resume", journal, "--jobs", "2",
+                                         "--no-cache", tu};
+  const auto first = runCli(argv);
+  ASSERT_EQ(first.status, support::SubprocessResult::Status::kExited);
+
+  // Edit the source: the run key changes, so the journal must restart
+  // fresh instead of replaying the stale report.
+  writeTextFile(tu, "static int g;\nint main(void) { return g; }\n");
+  std::vector<std::string> argv2 = argv;
+  argv2.push_back("--metrics-out");
+  argv2.push_back(dir + "/metrics.prom");
+  const auto second = runCli(argv2);
+  ASSERT_EQ(second.status, support::SubprocessResult::Status::kExited);
+  const std::string prom = readFileOrEmpty(dir + "/metrics.prom");
+  EXPECT_NE(
+      prom.find("safeflow_supervisor_shards_resumed_skipped_total 0"),
+      std::string::npos)
+      << prom;
+}
+
+}  // namespace
