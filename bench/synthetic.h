@@ -75,6 +75,53 @@ inline std::string monitorFanProgram(int monitors, int depth) {
   return out.str();
 }
 
+/// A program of `functions` independent functions whose single loop
+/// rotates a value through `cycle` float accumulators (a long dependency
+/// chain across the back edge), plus a main that calls them all. The
+/// taint fixpoint needs O(cycle) passes per function to converge while
+/// the converged state stays O(cycle) — the shape where a recorded
+/// post-state replay beats a live re-solve by the widest margin, which
+/// is what summary_micro measures. When `edited_fn` is >= 0 that
+/// function's rotate multiplier is perturbed by `edit_seed` (1..9),
+/// modelling an edit to one function body: its content key — and,
+/// Merkle-style, main's — changes, everything else stays addressable.
+inline std::string accumulatorCycleProgram(int functions, int cycle,
+                                           int edited_fn = -1,
+                                           int edit_seed = 0) {
+  std::ostringstream out;
+  out << shmPrelude(6);
+  for (int f = 0; f < functions; ++f) {
+    out << "float compute" << f << "(float x, int n)\n{\n    ";
+    for (int k = 0; k < cycle; ++k) {
+      out << "float a" << k << "; ";
+    }
+    out << "\n    int i;\n    ";
+    for (int k = 0; k < cycle; ++k) {
+      out << "a" << k << " = x; ";
+    }
+    const char* mult = "0.99f";
+    const std::string edited = "0.9" + std::to_string(edit_seed) + "f";
+    if (f == edited_fn) mult = edited.c_str();
+    out << "\n    for (i = 0; i < n; i++) {\n";
+    for (int k = cycle - 1; k >= 1; --k) {
+      out << "        a" << k << " = a" << (k - 1) << " * " << mult
+          << ";\n";
+    }
+    out << "        a0 = a" << (cycle - 1) << " + r" << (f % 6)
+        << "->value;\n    }\n"
+        << "    sink(a0);\n    return a" << (cycle / 2) << ";\n}\n";
+  }
+  out << "int main(void)\n{\n    float total;\n    initShm();\n"
+      << "    total = 0.0f;\n";
+  for (int f = 0; f < functions; ++f) {
+    out << "    total = total + compute" << f << "(1.0f, " << (f % 13 + 1)
+        << ");\n";
+  }
+  out << "    /*** SafeFlow Annotation assert(safe(total)); ***/\n"
+      << "    sink(total);\n    return 0;\n}\n";
+  return out.str();
+}
+
 /// A program with `functions` small numeric functions plus a main that
 /// calls them all — for front-end / pipeline scaling measurements.
 inline std::string scalingProgram(int functions) {

@@ -53,6 +53,24 @@ class AliasAnalysis {
   [[nodiscard]] std::string describe(ObjId obj) const;
   [[nodiscard]] std::size_t objectCount() const { return infos_.size(); }
 
+  /// Structural identity of an object, exposed so the summary layer can
+  /// derive names that are stable across runs (ObjId allocation order is
+  /// an implementation detail; describe() is not injective — distinct
+  /// allocas in different functions can share a display name).
+  enum class ObjKind { kAlloca, kGlobal, kRegion, kField, kUnknown };
+  [[nodiscard]] ObjKind kindOf(ObjId obj) const {
+    return static_cast<ObjKind>(infos_[static_cast<std::size_t>(obj)].kind);
+  }
+  /// Alloca instruction or global var anchoring the object (null for
+  /// regions/fields/unknown).
+  [[nodiscard]] const ir::Value* anchorOf(ObjId obj) const {
+    return infos_[static_cast<std::size_t>(obj)].anchor;
+  }
+  /// Field index within the parent object (meaningful for kField only).
+  [[nodiscard]] unsigned fieldIndexOf(ObjId obj) const {
+    return infos_[static_cast<std::size_t>(obj)].field;
+  }
+
  private:
   struct ObjInfo {
     enum class Kind { kAlloca, kGlobal, kRegion, kField, kUnknown };

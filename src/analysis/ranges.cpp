@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <tuple>
 
 #include "analysis/alias.h"
 #include "analysis/report.h"
@@ -252,11 +253,13 @@ std::string Interval::str() const {
 RangeAnalysis::RangeAnalysis(const ir::Module& module,
                              const ir::CallGraph& callgraph,
                              RangeOptions options,
-                             support::AnalysisBudget* budget)
+                             support::AnalysisBudget* budget,
+                             PhaseMemoHooks memo)
     : module_(module),
       callgraph_(callgraph),
       options_(options),
-      budget_(budget) {}
+      budget_(budget),
+      memo_(memo) {}
 
 void RangeAnalysis::run() {
   if (ran_ || !options_.enabled) return;
@@ -301,7 +304,8 @@ void RangeAnalysis::run() {
     module_changed_ = false;
     for (const auto& fn : module_.functions()) {
       if (!fn->isDefined() || fn->isIntrinsic()) continue;
-      changed |= analyzeFunction(*fn);
+      changed |= memo_.enabled() ? memoizedAnalyze(*fn)
+                                 : analyzeFunction(*fn);
       if (degraded_) break;
     }
     changed |= module_changed_;
@@ -387,6 +391,288 @@ bool RangeAnalysis::analyzeFunction(const ir::Function& fn) {
     }
   }
   return changed_any;
+}
+
+namespace {
+
+void hashInterval(support::Fnv1a& h, const Interval& r) {
+  hashInt(h, r.lo);
+  hashInt(h, r.hi);
+}
+
+void writeInterval(BlobWriter& w, const Interval& r) {
+  w.i64(r.lo);
+  w.i64(r.hi);
+}
+
+Interval readInterval(BlobReader& r) {
+  Interval out;
+  out.lo = r.i64();
+  out.hi = r.i64();
+  return out;
+}
+
+std::string intervalStr(const Interval& r) {
+  return std::to_string(r.lo) + "|" + std::to_string(r.hi);
+}
+
+/// Call targets the per-function transfer actually interacts with.
+bool rangeRelevantTarget(const ir::Function* f) {
+  return f->isDefined() && !f->isIntrinsic();
+}
+
+}  // namespace
+
+// The local solve reads and writes: its own value ranges and update
+// counts, its return range (and count), and — at call sites — the
+// callee's integer formal ranges/counts (written unless the callee takes
+// ⊤ arguments) plus the callee's return range (read). Digesting exactly
+// that set makes replay exact memoization of the transformer.
+void RangeAnalysis::digestInput(const ir::Function& fn,
+                                support::Fnv1a& h) const {
+  const ValueIndex& vi = memo_.index->of(fn);
+  hashToken(h, "ranges-in");
+  hashToken(h, fn.name());
+  const auto& values = vi.values();
+  for (std::size_t id = 0; id < values.size(); ++id) {
+    const auto it = range_.find(values[id]);
+    if (it == range_.end()) continue;
+    hashUint(h, id);
+    hashInterval(h, it->second);
+    const auto cit = update_counts_.find(values[id]);
+    hashUint(h, cit == update_counts_.end() ? 0 : cit->second);
+  }
+  hashToken(h, "ret");
+  const auto rit = return_range_.find(&fn);
+  hashUint(h, rit == return_range_.end() ? 0 : 1);
+  if (rit != return_range_.end()) hashInterval(h, rit->second);
+  {
+    const auto cit = update_counts_.find(&fn);
+    hashUint(h, cit == update_counts_.end() ? 0 : cit->second);
+  }
+  hashToken(h, "calls");
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() != ir::Opcode::kCall) continue;
+      for (const ir::Function* f : callgraph_.targets(*inst)) {
+        if (!rangeRelevantTarget(f)) continue;
+        hashToken(h, f->name());
+        const bool top_args = top_arg_fns_.contains(f);
+        hashUint(h, top_args ? 1 : 0);
+        if (!top_args) {
+          for (std::size_t p = 0; p < f->args().size(); ++p) {
+            const ir::Argument* formal = f->args()[p].get();
+            if (!formal->type()->isInteger()) continue;
+            const auto it = range_.find(formal);
+            if (it == range_.end()) continue;
+            hashUint(h, p);
+            hashInterval(h, it->second);
+            const auto cit = update_counts_.find(formal);
+            hashUint(h, cit == update_counts_.end() ? 0 : cit->second);
+          }
+        }
+        const auto frit = return_range_.find(f);
+        hashUint(h, frit == return_range_.end() ? 0 : 1);
+        if (frit != return_range_.end()) hashInterval(h, frit->second);
+      }
+    }
+  }
+}
+
+std::string RangeAnalysis::captureRecord(const ir::Function& fn,
+                                         bool identity,
+                                         bool changed_any,
+                                         bool module_delta) const {
+  const ValueIndex& vi = memo_.index->of(fn);
+  BlobWriter w;
+  // Identity = post-digest == pre-digest: the solve changed nothing in
+  // the digested read/write set, so a hit may skip the state parse. The
+  // driver signals are stored separately because the replay must still
+  // return/propagate them verbatim.
+  w.u64(identity ? 1 : 0);
+  w.u64(changed_any ? 1 : 0);
+  w.u64(module_delta ? 1 : 0);
+
+  const auto& values = vi.values();
+  std::vector<std::size_t> own;
+  for (std::size_t id = 0; id < values.size(); ++id) {
+    if (range_.count(values[id]) != 0) own.push_back(id);
+  }
+  w.u64(own.size());
+  for (const std::size_t id : own) {
+    w.u64(id);
+    writeInterval(w, range_.at(values[id]));
+    const auto cit = update_counts_.find(values[id]);
+    w.u64(cit == update_counts_.end() ? 0 : cit->second);
+  }
+
+  const auto rit = return_range_.find(&fn);
+  w.u64(rit == return_range_.end() ? 0 : 1);
+  if (rit != return_range_.end()) writeInterval(w, rit->second);
+  {
+    const auto cit = update_counts_.find(&fn);
+    w.u64(cit == update_counts_.end() ? 0 : cit->second);
+  }
+
+  std::set<std::pair<std::string, std::size_t>> seen;
+  std::vector<std::tuple<std::string, std::size_t, const ir::Value*>> slots;
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() != ir::Opcode::kCall) continue;
+      for (const ir::Function* f : callgraph_.targets(*inst)) {
+        if (!rangeRelevantTarget(f) || top_arg_fns_.contains(f)) continue;
+        for (std::size_t p = 0; p < f->args().size(); ++p) {
+          const ir::Argument* formal = f->args()[p].get();
+          if (!formal->type()->isInteger() ||
+              range_.count(formal) == 0) {
+            continue;
+          }
+          if (!seen.insert({f->name(), p}).second) continue;
+          slots.emplace_back(f->name(), p, formal);
+        }
+      }
+    }
+  }
+  w.u64(slots.size());
+  for (const auto& [name, p, formal] : slots) {
+    w.str(name);
+    w.u64(p);
+    writeInterval(w, range_.at(formal));
+    const auto cit = update_counts_.find(formal);
+    w.u64(cit == update_counts_.end() ? 0 : cit->second);
+  }
+  return w.take();
+}
+
+bool RangeAnalysis::applyRecord(const ir::Function& fn,
+                                const std::string& blob,
+                                bool* changed_any) {
+  const ValueIndex& vi = memo_.index->of(fn);
+  const auto& values = vi.values();
+  BlobReader r(blob);
+
+  r.u64();  // identity flag, already consumed by the caller's peek
+  const bool rc = r.u64() != 0;
+  const bool module_delta = r.u64() != 0;
+  std::vector<std::pair<const ir::Value*, std::pair<Interval, unsigned>>>
+      staged;
+  const std::uint64_t own = r.u64();
+  for (std::uint64_t i = 0; i < own && r.ok(); ++i) {
+    const std::uint64_t id = r.u64();
+    const Interval range = readInterval(r);
+    const unsigned count = static_cast<unsigned>(r.u64());
+    if (!r.ok() || id >= values.size()) return false;
+    staged.push_back({values[id], {range, count}});
+  }
+  bool have_ret = false;
+  Interval ret_range;
+  if (r.u64() != 0) {
+    have_ret = true;
+    ret_range = readInterval(r);
+  }
+  const unsigned ret_count = static_cast<unsigned>(r.u64());
+  const std::uint64_t nslots = r.u64();
+  std::vector<std::pair<const ir::Argument*, std::pair<Interval, unsigned>>>
+      staged_formals;
+  for (std::uint64_t i = 0; i < nslots && r.ok(); ++i) {
+    const std::string name = r.str();
+    const std::uint64_t p = r.u64();
+    const Interval range = readInterval(r);
+    const unsigned count = static_cast<unsigned>(r.u64());
+    const ir::Function* target = memo_.index->function(name);
+    if (!r.ok() || target == nullptr || p >= target->args().size()) {
+      return false;
+    }
+    staged_formals.push_back({target->args()[p].get(), {range, count}});
+  }
+  if (!r.ok() || !r.atEnd()) return false;
+
+  for (const auto& [v, rec] : staged) {
+    range_[v] = rec.first;
+    update_counts_[v] = rec.second;
+  }
+  if (have_ret) return_range_[&fn] = ret_range;
+  if (ret_count != 0 || update_counts_.count(&fn) != 0) {
+    update_counts_[&fn] = ret_count;
+  }
+  for (const auto& [formal, rec] : staged_formals) {
+    range_[formal] = rec.first;
+    update_counts_[formal] = rec.second;
+  }
+  // Later consumers (rangeAt from the restriction and bounds checks) need
+  // the dominator tree even when every local solve was replayed.
+  if (!domtrees_.contains(&fn)) {
+    domtrees_.emplace(&fn, ir::DominatorTree::compute(fn));
+  }
+  module_changed_ |= module_delta;
+  *changed_any = rc;
+  return true;
+}
+
+bool RangeAnalysis::memoizedAnalyze(const ir::Function& fn) {
+  support::Fnv1a h;
+  digestInput(fn, h);
+  const std::uint64_t digest = h.digest();
+  if (const std::string* blob = memo_.bank->find(fn, digest)) {
+    // Identity records changed nothing: skip the blob parse, replay only
+    // the recorded driver signals. The dominator tree side effect of a
+    // real apply is still needed by later range consumers.
+    BlobReader peek(*blob);
+    const bool identity = peek.u64() != 0;
+    const bool peek_changed = peek.u64() != 0;
+    const bool peek_delta = peek.u64() != 0;
+    if (peek.ok() && identity) {
+      if (!domtrees_.contains(&fn)) {
+        domtrees_.emplace(&fn, ir::DominatorTree::compute(fn));
+      }
+      module_changed_ |= peek_delta;
+      return peek_changed;
+    }
+    bool changed = false;
+    if (applyRecord(fn, *blob, &changed)) return changed;
+  }
+  // Isolate this call's contribution to module_changed_ so the record
+  // replays exactly the flag delta the live solve produced.
+  const bool saved = module_changed_;
+  module_changed_ = false;
+  const bool changed = analyzeFunction(fn);
+  const bool delta = module_changed_;
+  module_changed_ = saved || delta;
+  if (!degraded_) {
+    // Post-digest == pre-digest detects identity transforms exactly: the
+    // digest covers the full read set and the pre-state of the write set.
+    support::Fnv1a post;
+    digestInput(fn, post);
+    memo_.bank->record(
+        fn, digest,
+        captureRecord(fn, post.digest() == digest, changed, delta));
+  }
+  return changed;
+}
+
+std::uint64_t RangeAnalysis::digestState(const ModuleIndex& index) const {
+  std::map<std::string, std::string> items;
+  const auto stable = [&index](const ir::Value* v) {
+    const auto [owner, id] = index.locate(v);
+    return (owner != nullptr ? owner->name() : std::string("?")) + "#" +
+           std::to_string(id);
+  };
+  for (const auto& [v, range] : range_) {
+    items["v:" + stable(v)] = intervalStr(range);
+  }
+  for (const auto& [fn, range] : return_range_) {
+    items["r:" + fn->name()] = intervalStr(range);
+  }
+  for (const auto& [condbr, succ] : decided_) {
+    items["d:" + stable(condbr)] = std::to_string(succ);
+  }
+  support::Fnv1a h;
+  hashUint(h, degraded_ ? 1 : 0);
+  for (const auto& [k, v] : items) {
+    hashToken(h, k);
+    hashToken(h, v);
+  }
+  return h.digest();
 }
 
 std::optional<Interval> RangeAnalysis::transfer(const ir::Instruction& inst) {

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/summaries.h"
 #include "ir/callgraph.h"
 #include "ir/dominators.h"
 #include "ir/ir.h"
@@ -93,7 +94,8 @@ class RangeAnalysis {
  public:
   RangeAnalysis(const ir::Module& module, const ir::CallGraph& callgraph,
                 RangeOptions options = {},
-                support::AnalysisBudget* budget = nullptr);
+                support::AnalysisBudget* budget = nullptr,
+                PhaseMemoHooks memo = {});
 
   void run();
 
@@ -120,8 +122,24 @@ class RangeAnalysis {
     return decided_.size();
   }
 
+  /// Order-independent digest of the final analysis state (value ranges,
+  /// return ranges, decided branches under cross-run stable names) for
+  /// --verify-summaries.
+  [[nodiscard]] std::uint64_t digestState(const ModuleIndex& index) const;
+
  private:
   bool analyzeFunction(const ir::Function& fn);
+  /// Memoizing wrapper around analyzeFunction (see summaries.h): digests
+  /// the per-function transformer's input, replays a recorded post-state
+  /// on a hit, records one on a miss.
+  bool memoizedAnalyze(const ir::Function& fn);
+  void digestInput(const ir::Function& fn, support::Fnv1a& h) const;
+  [[nodiscard]] std::string captureRecord(const ir::Function& fn,
+                                          bool identity,
+                                          bool changed_any,
+                                          bool module_delta) const;
+  bool applyRecord(const ir::Function& fn, const std::string& blob,
+                   bool* changed_any);
   /// Joins `value` into fn's return range (same widening as joinInto).
   bool joinReturn(const ir::Function* fn, Interval value);
   /// Transfer function for one instruction; nullopt = bottom (no incoming
@@ -163,6 +181,7 @@ class RangeAnalysis {
   const ir::CallGraph& callgraph_;
   RangeOptions options_;
   support::AnalysisBudget* budget_ = nullptr;
+  PhaseMemoHooks memo_;
 
   std::map<const ir::Value*, Interval> range_;
   std::map<const ir::Function*, Interval> return_range_;

@@ -12,6 +12,7 @@
 #include <set>
 
 #include "analysis/shm_regions.h"
+#include "analysis/summaries.h"
 #include "ir/callgraph.h"
 #include "ir/ir.h"
 #include "support/limits.h"
@@ -36,7 +37,8 @@ class ShmPointerAnalysis {
  public:
   ShmPointerAnalysis(const ir::Module& module, const ShmRegionTable& regions,
                      const ir::CallGraph& callgraph,
-                     support::AnalysisBudget* budget = nullptr);
+                     support::AnalysisBudget* budget = nullptr,
+                     PhaseMemoHooks memo = {});
 
   /// Runs to a fixpoint, or until the budget trips. On exhaustion every
   /// recorded fact is widened to "anywhere within its regions" so
@@ -54,10 +56,25 @@ class ShmPointerAnalysis {
   /// Number of fixpoint iterations taken (for the ablation bench).
   [[nodiscard]] std::size_t iterations() const { return iterations_; }
 
+  /// Order-independent digest of the final analysis state (facts and
+  /// return infos under cross-run stable names); --verify-summaries
+  /// compares a memoized run's digest against a cold re-solve.
+  [[nodiscard]] std::uint64_t digestState(const ModuleIndex& index) const;
+
  private:
   /// Recomputes the intraprocedural fixpoint; returns true when the
   /// function's outputs (return info) changed.
   bool analyzeFunction(const ir::Function& fn);
+  /// Memoizing wrapper around analyzeFunction: digests the transformer's
+  /// input (own facts, return info, callee formals and returns), replays
+  /// a recorded post-state on a digest hit, records one on a miss.
+  bool memoizedAnalyze(const ir::Function& fn);
+  void digestInput(const ir::Function& fn, support::Fnv1a& h) const;
+  [[nodiscard]] std::string captureRecord(const ir::Function& fn,
+                                          bool identity,
+                                          bool ret_changed) const;
+  bool applyRecord(const ir::Function& fn, const std::string& blob,
+                   bool* ret_changed);
   bool update(const ir::Value* v, const ShmPtrInfo& incoming);
   [[nodiscard]] ShmPtrInfo get(const ir::Value* v) const;
   void widen(ShmPtrInfo& info) const;
@@ -66,6 +83,7 @@ class ShmPointerAnalysis {
   const ShmRegionTable& regions_;
   const ir::CallGraph& callgraph_;
   support::AnalysisBudget* budget_ = nullptr;
+  PhaseMemoHooks memo_;
 
   std::map<const ir::Value*, ShmPtrInfo> facts_;
   std::map<const ir::Value*, unsigned> update_counts_;

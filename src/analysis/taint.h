@@ -34,6 +34,7 @@
 #include "analysis/report.h"
 #include "analysis/shm_propagation.h"
 #include "analysis/shm_regions.h"
+#include "analysis/summaries.h"
 #include "ir/callgraph.h"
 #include "ir/ir.h"
 #include "support/limits.h"
@@ -114,7 +115,8 @@ class TaintAnalysis {
                 const ShmPointerAnalysis& shm, const AliasAnalysis& alias,
                 const ir::CallGraph& callgraph, TaintOptions options = {},
                 support::AnalysisBudget* budget = nullptr,
-                const RangeAnalysis* ranges = nullptr);
+                const RangeAnalysis* ranges = nullptr,
+                PhaseMemoHooks memo = {});
 
   /// Runs the analysis and fills in warnings and errors. Under an
   /// exhausted budget the propagation fixpoint stops early: taints found
@@ -130,6 +132,11 @@ class TaintAnalysis {
   /// Number of (function, context) body analyses performed — the work
   /// metric the ablation bench compares across modes.
   [[nodiscard]] std::size_t bodyAnalyses() const { return body_analyses_; }
+
+  /// Order-independent digest of the final analysis state (value, object,
+  /// argument, and return taints under cross-run stable names) for
+  /// --verify-summaries.
+  [[nodiscard]] std::uint64_t digestState(const ModuleIndex& index) const;
 
  private:
   // -- effective assumptions ------------------------------------------------
@@ -147,6 +154,46 @@ class TaintAnalysis {
   bool analyzeFunction(const ir::Function& fn,
                        const AssumptionSet& assumptions,
                        unsigned depth = 0);
+  /// Memoizing wrapper around analyzeFunction for the summary-mode SCC
+  /// sweep (see summaries.h): digests the transformer's input, replays a
+  /// recorded post-state on a hit, records one on a miss.
+  bool memoizedAnalyze(const ir::Function& fn,
+                       const AssumptionSet& assumptions);
+  void digestInput(const ir::Function& fn, const AssumptionSet& assumptions,
+                   support::Fnv1a& h) const;
+  [[nodiscard]] std::string captureRecord(const ir::Function& fn,
+                                          bool identity,
+                                          bool changed_any) const;
+  bool applyRecord(const ir::Function& fn, const std::string& blob,
+                   bool* changed_any);
+  /// Objects this function's solve can read or write through any operand
+  /// (points-to sets plus ancestor chains), keyed by cross-run stable
+  /// name. Recomputed identically at capture and apply time.
+  [[nodiscard]] std::map<std::string, ObjId> memoFootprint(
+      const ir::Function& fn) const;
+  /// Digest inputs that cannot change while this phase runs (assumptions,
+  /// shm facts, range verdicts, alias shapes, the footprint, the call
+  /// target list): hashed once per function per run instead of on every
+  /// fixpoint visit, which is what makes a warm digest probe much cheaper
+  /// than the solve it replaces.
+  struct MemoStatics {
+    std::uint64_t digest = 0;
+    std::map<std::string, ObjId> footprint;
+    /// footprint entries as (fnv of stable name, object), in name order.
+    std::vector<std::pair<std::uint64_t, ObjId>> footprint_hashed;
+    /// Taint-relevant call targets in call-site order (with repeats),
+    /// paired with the fnv of the callee name.
+    std::vector<std::pair<const ir::Function*, std::uint64_t>> call_targets;
+  };
+  const MemoStatics& memoStatics(const ir::Function& fn,
+                                 const AssumptionSet& assumptions) const;
+  /// Cross-run stable 64-bit name of a taint source instruction
+  /// ((owner function, position) folded through fnv), cached per run.
+  std::uint64_t memoRefHash(const ir::Instruction* inst) const;
+  /// Digest-path taint hashing: order-independent over sources via
+  /// sorted memoRefHash values — no per-visit string building.
+  void hashTaintDigest(support::Fnv1a& h, const Taint& t) const;
+  void hashTaintPairDigest(support::Fnv1a& h, const TaintPair& t) const;
   TaintPair evalCall(const ir::Instruction& call,
                      const AssumptionSet& caller_assumptions,
                      unsigned depth);
@@ -192,6 +239,11 @@ class TaintAnalysis {
   TaintOptions options_;
   support::AnalysisBudget* budget_ = nullptr;
   const RangeAnalysis* ranges_ = nullptr;
+  PhaseMemoHooks memo_;
+  /// Per-run caches for the memo path (valid because alias/shm/ranges
+  /// facts and effective assumptions are fixed inputs of this phase).
+  mutable std::map<const ir::Function*, MemoStatics> memo_statics_;
+  mutable std::map<const ir::Instruction*, std::uint64_t> memo_ref_hash_;
   /// Branches / phi edges pruned via the range analysis. Sets (not raw
   /// counters) so fixpoint revisits count each edge once and the metric
   /// totals stay independent of iteration order.

@@ -153,6 +153,46 @@ void CacheManager::count(const char* name, std::uint64_t delta) {
   if (metrics_ != nullptr) metrics_->counter(name).add(delta);
 }
 
+const CacheManager::FileInfo& CacheManager::fileInfo(
+    const std::string& path) const {
+  const auto it = file_info_.find(path);
+  if (it != file_info_.end()) return it->second;
+
+  FileInfo info;
+  const std::optional<std::string> contents = readFile(path);
+  if (contents.has_value()) {
+    info.exists = true;
+    info.contents = *contents;
+    const std::string dir = directoryOf(path);
+    for (const std::string& name : scanIncludes(info.contents)) {
+      // Resolution order mirrors Preprocessor::handleInclude: the
+      // including file's directory first, then -I dirs in order.
+      std::string resolved;
+      if (const std::string local = dir + "/" + name; fileExists(local)) {
+        resolved = local;
+      } else {
+        for (const std::string& inc : options_.include_dirs) {
+          if (std::string candidate = inc + "/" + name;
+              fileExists(candidate)) {
+            resolved = std::move(candidate);
+            break;
+          }
+        }
+      }
+      if (resolved.empty()) {
+        // Unresolvable today; if the header appears tomorrow the marker
+        // disappears and the key changes.
+        info.includes.emplace_back(false, name);
+      } else {
+        info.includes.emplace_back(true, std::move(resolved));
+      }
+    }
+  }
+  // std::map references are stable, so the recursion in
+  // hashFileClosure can keep this reference across further inserts.
+  return file_info_.emplace(path, std::move(info)).first->second;
+}
+
 void CacheManager::hashFileClosure(const std::string& path,
                                    const std::string& display_name,
                                    support::Fnv1a& hasher,
@@ -162,8 +202,8 @@ void CacheManager::hashFileClosure(const std::string& path,
   }
   visited.push_back(path);
 
-  const std::optional<std::string> contents = readFile(path);
-  if (!contents.has_value()) {
+  const FileInfo& info = fileInfo(path);
+  if (!info.exists) {
     hasher.update("missing:");
     hasher.update(display_name);
     hasher.update("\n");
@@ -172,40 +212,24 @@ void CacheManager::hashFileClosure(const std::string& path,
   hasher.update("file:");
   hasher.update(display_name);
   hasher.update(":");
-  hasher.update(std::to_string(contents->size()));
+  hasher.update(std::to_string(info.contents.size()));
   hasher.update("\n");
-  hasher.update(*contents);
+  hasher.update(info.contents);
 
-  const std::string dir = directoryOf(path);
-  for (const std::string& name : scanIncludes(*contents)) {
-    // Resolution order mirrors Preprocessor::handleInclude: the
-    // including file's directory first, then -I dirs in order.
-    std::string resolved;
-    if (const std::string local = dir + "/" + name; fileExists(local)) {
-      resolved = local;
-    } else {
-      for (const std::string& inc : options_.include_dirs) {
-        if (std::string candidate = inc + "/" + name;
-            fileExists(candidate)) {
-          resolved = std::move(candidate);
-          break;
-        }
-      }
-    }
-    if (resolved.empty()) {
-      // Unresolvable today; if the header appears tomorrow the marker
-      // disappears and the key changes.
+  for (const auto& [resolved, value] : info.includes) {
+    if (!resolved) {
       hasher.update("unresolved-include:");
-      hasher.update(name);
+      hasher.update(value);
       hasher.update("\n");
       continue;
     }
-    hashFileClosure(resolved, resolved, hasher, visited);
+    hashFileClosure(value, value, hasher, visited);
   }
 }
 
 std::string CacheManager::keyFor(
     const std::vector<std::string>& files) const {
+  const std::lock_guard<std::mutex> lock(closure_mu_);
   support::Fnv1a hasher;
   hasher.update("safeflow-cache-schema:");
   hasher.update(std::to_string(kCacheSchema));

@@ -46,9 +46,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/cache.h"
@@ -134,16 +136,35 @@ class CacheManager {
  private:
   void count(const char* name, std::uint64_t delta = 1);
   /// Hashes `path` and its transitive include closure into `hasher`.
+  /// Caller holds closure_mu_.
   void hashFileClosure(const std::string& path,
                        const std::string& display_name,
                        support::Fnv1a& hasher,
                        std::vector<std::string>& visited) const;
+
+  /// One file's bytes and resolved include edges, read from disk once
+  /// per run. A shared header is part of every TU's closure, so without
+  /// this memo an N-TU corpus re-reads it N times per keyFor sweep;
+  /// with it the run does O(unique files) reads. Pinning the first
+  /// observation also makes every shard key of one run see the same
+  /// filesystem snapshot. Caller holds closure_mu_.
+  struct FileInfo {
+    bool exists = false;
+    std::string contents;
+    /// (resolved, value): value is the resolved path to recurse into,
+    /// or the raw include name when resolution failed.
+    std::vector<std::pair<bool, std::string>> includes;
+  };
+  const FileInfo& fileInfo(const std::string& path) const;
 
   CacheOptions options_;
   support::DiskCache disk_;
   support::MetricsRegistry* metrics_;
   std::string disabled_reason_;
   std::mutex mu_;  // serializes disk I/O from pool threads
+  /// Guards file_info_: keyFor is const and runs on pool threads.
+  mutable std::mutex closure_mu_;
+  mutable std::map<std::string, FileInfo> file_info_;
 };
 
 }  // namespace safeflow

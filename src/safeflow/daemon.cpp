@@ -236,6 +236,23 @@ bool Daemon::start(std::string* error) {
                      {{"path", path}});
       }
     }
+    // Same crash-recovery sweep for the per-function summary store the
+    // workers share under the cache dir, so every request starts from a
+    // verified store instead of each worker discovering torn entries
+    // lazily.
+    support::DiskCache summaries({options_.cache.dir + "/summaries",
+                                  options_.cache.max_bytes});
+    const std::uint64_t sum_swept =
+        summaries.verifyEntries() + summaries.sweepStrayTemps();
+    if (sum_swept > 0) {
+      metrics_.counter("summaries.torn_entries_purged").add(sum_swept);
+      SAFEFLOW_LOG(support::LogLevel::kWarn, "daemon",
+                   "purged torn summary entries at startup; affected "
+                   "functions fall back to cold analysis",
+                   {{"purged", std::to_string(sum_swept)}});
+    }
+    metrics_.gauge("summaries.store_bytes")
+        .set(static_cast<double>(summaries.totalBytes()));
   }
   SAFEFLOW_LOG(support::LogLevel::kNote, "daemon", "listening",
                {{"socket", options_.socket_path},
@@ -684,6 +701,15 @@ std::string Daemon::runAnalysis(const std::vector<std::string>& files,
   sup.max_retries = options_.max_retries;
   sup.worker_exe = options_.worker_exe;
   sup.worker_args = flags;
+  if (options_.cache.enabled) {
+    // Workers of every request share one on-disk summary store next to
+    // the TU cache, so a function analyzed for one client is spliced
+    // for the next. Appended here, not taken from the request flags:
+    // the store location is daemon policy, stays outside the
+    // validateFlags whitelist, and must not perturb the TU cache key.
+    sup.worker_args.push_back("--summaries-dir");
+    sup.worker_args.push_back(options_.cache.dir + "/summaries");
+  }
   sup.worker_stderr_cap = options_.worker_stderr_cap;
   sup.base_time_budget_seconds = time_budget_seconds;
   // The request deadline is inherited into the worker watchdog: no

@@ -7,10 +7,13 @@
 #include "analysis/alias.h"
 #include "analysis/shm_propagation.h"
 #include "analysis/shm_regions.h"
+#include "analysis/summaries.h"
 #include "ir/callgraph.h"
 #include "ir/lowering.h"
 #include "ir/ssa.h"
+#include "safeflow/summary_store.h"
 #include "support/fault_inject.h"
+#include "support/log.h"
 
 namespace safeflow {
 
@@ -72,6 +75,41 @@ void countAnnotationsInStmt(const cfront::Stmt* stmt, SafeFlowStats& stats) {
     default:
       return;
   }
+}
+
+/// Everything that changes what the memoized phases compute must be in
+/// the summary key fingerprint: a ranges/taint/alias option flip must
+/// invalidate every entry, exactly like a version bump.
+std::string summaryConfigFingerprint(const SafeFlowOptions& options) {
+  std::string fp = kAnalyzerVersion;
+  fp += "|ranges:";
+  fp += options.ranges.enabled ? "1" : "0";
+  fp += "," + std::to_string(options.ranges.widen_after);
+  fp += "," + std::to_string(options.ranges.max_module_rounds);
+  fp += "|alias:";
+  fp += options.alias.field_sensitive ? "1" : "0";
+  fp += "|taint:";
+  fp += options.taint.track_control_deps ? "1" : "0";
+  for (const auto& [name, arg] : options.taint.implicit_critical_calls) {
+    fp += ";" + name + "#" + std::to_string(arg);
+  }
+  for (const auto& rc : options.taint.receive_calls) {
+    fp += ";" + rc.name + "@" + std::to_string(rc.socket_arg) + "," +
+          std::to_string(rc.buffer_arg);
+  }
+  return fp;
+}
+
+/// Summary memoization is exact only when the run is deterministic and
+/// complete; configurations that break either assumption disable it
+/// with a recorded reason instead of risking a wrong replay.
+std::string summariesDisabledReason(const SafeFlowOptions& options) {
+  if (options.budget.limited()) return "budget";
+  if (options.taint.mode == analysis::TaintOptions::Mode::kCallStrings) {
+    return "call-strings";
+  }
+  if (support::faultInjectionArmed()) return "fault-injection";
+  return "";
 }
 
 }  // namespace
@@ -192,19 +230,51 @@ const analysis::SafeFlowReport& SafeFlowDriver::analyze() {
   support::faultInjectionPoint("callgraph");
   ir::CallGraph callgraph(*module_);
 
+  // Function-level summary memoization (DESIGN.md §16): bind this run's
+  // Merkle keys and hand each interprocedural phase its memo seam. Off
+  // by default; disabled with a recorded reason under configurations
+  // where a replay could diverge from a cold solve.
+  std::unique_ptr<analysis::ModuleIndex> summary_index;
+  analysis::PhaseMemoHooks shm_memo, ranges_memo, taint_memo;
+  SummaryStore* summaries = nullptr;
+  if (options_.summaries.enabled) {
+    const std::string reason = summariesDisabledReason(options_);
+    if (!reason.empty()) {
+      stats_.summaries_disabled_reason = reason;
+      summary_store_ = nullptr;
+    } else {
+      if (summary_store_ == nullptr) {
+        owned_summary_store_ = std::make_unique<SummaryStore>(
+            options_.summaries.dir, kAnalyzerVersion);
+        owned_summary_store_->recoverDir();
+        summary_store_ = owned_summary_store_.get();
+      }
+      summaries = summary_store_;
+      summary_index = std::make_unique<analysis::ModuleIndex>(*module_);
+      summaries->beginRun(analysis::computeFunctionKeys(
+          *module_, callgraph, summaryConfigFingerprint(options_)));
+      shm_memo = {summaries->bank(SummaryPhase::kShm), summary_index.get()};
+      ranges_memo = {summaries->bank(SummaryPhase::kRanges),
+                     summary_index.get()};
+      taint_memo = {summaries->bank(SummaryPhase::kTaint),
+                    summary_index.get()};
+    }
+  }
+
   // The value-range pass runs right after the call graph so every later
   // phase can query it; when disabled it is skipped entirely (no fault
   // point, no phase timer, no counters) so --no-ranges output is
   // byte-identical to pre-0.5.0 runs.
   analysis::RangeAnalysis ranges(*module_, callgraph, options_.ranges,
-                                 &budget_);
+                                 &budget_, ranges_memo);
   if (options_.ranges.enabled) {
     support::faultInjectionPoint("ranges");
     ranges.run();
   }
 
   support::faultInjectionPoint("shm_propagation");
-  analysis::ShmPointerAnalysis shm(*module_, regions, callgraph, &budget_);
+  analysis::ShmPointerAnalysis shm(*module_, regions, callgraph, &budget_,
+                                   shm_memo);
   shm.run();
   stats_.shm_iterations = shm.iterations();
 
@@ -227,9 +297,50 @@ const analysis::SafeFlowReport& SafeFlowDriver::analyze() {
 
   support::faultInjectionPoint("taint");
   analysis::TaintAnalysis taint(*module_, regions, shm, alias, callgraph,
-                                options_.taint, &budget_, &ranges);
+                                options_.taint, &budget_, &ranges,
+                                taint_memo);
   taint.run(report_);
   stats_.taint_body_analyses = taint.bodyAnalyses();
+
+  if (summaries != nullptr) {
+    // --verify-summaries: re-solve all three phases cold (no memo, no
+    // budget) and assert the final abstract states are identical. A
+    // divergence is a memoization bug; the CLI turns it into exit 2.
+    if (options_.summaries.verify && !degraded()) {
+      analysis::RangeAnalysis ranges2(*module_, callgraph, options_.ranges,
+                                      nullptr);
+      if (options_.ranges.enabled) ranges2.run();
+      analysis::ShmPointerAnalysis shm2(*module_, regions, callgraph,
+                                        nullptr);
+      shm2.run();
+      analysis::TaintAnalysis taint2(*module_, regions, shm2, alias,
+                                     callgraph, options_.taint, nullptr,
+                                     &ranges2);
+      analysis::SafeFlowReport scratch;
+      taint2.run(scratch);
+      summary_verify_failed_ =
+          ranges.digestState(*summary_index) !=
+              ranges2.digestState(*summary_index) ||
+          shm.digestState(*summary_index) !=
+              shm2.digestState(*summary_index) ||
+          taint.digestState(*summary_index) !=
+              taint2.digestState(*summary_index);
+      if (summary_verify_failed_) {
+        SAFEFLOW_LOG(support::LogLevel::kError, "summaries",
+                     "--verify-summaries: memoized state diverges from a "
+                     "cold solve");
+        diags.report(support::Severity::kError, support::SourceLocation{},
+                     "summaries.verify",
+                     "summary verification failed: memoized analysis state "
+                     "diverges from a cold re-solve");
+      }
+    }
+    summaries->finishRun();
+    // A degraded run's post-states reflect a tripped budget, not the
+    // program; never persist them (beginRun gating already prevents
+    // this configuration, but belt and braces).
+    if (!degraded()) summaries->flush();
+  }
 
   // Mirror report entries into the diagnostic stream so tooling that only
   // consumes diagnostics sees everything.
@@ -401,6 +512,9 @@ std::string SafeFlowStats::renderTable() const {
   if (!cache_disabled_reason.empty()) {
     out << "cache disabled: " << cache_disabled_reason << "\n";
   }
+  if (!summaries_disabled_reason.empty()) {
+    out << "summaries disabled: " << summaries_disabled_reason << "\n";
+  }
   if (!counters.empty()) {
     out << "counters:\n";
     for (const auto& [name, value] : counters) {
@@ -511,6 +625,10 @@ std::string SafeFlowStats::renderJson() const {
   if (!cache_disabled_reason.empty()) {
     out << ",\n  \"cache_disabled_reason\": \""
         << jsonEscape(cache_disabled_reason) << "\"";
+  }
+  if (!summaries_disabled_reason.empty()) {
+    out << ",\n  \"summaries_disabled_reason\": \""
+        << jsonEscape(summaries_disabled_reason) << "\"";
   }
   out << "\n}";
   return out.str();

@@ -30,6 +30,8 @@
 
 namespace safeflow {
 
+class SummaryStore;
+
 /// Analyzer identity: printed by `safeflow --version` and hashed into
 /// every incremental-cache key (see safeflow/cache_manager.h).
 ///
@@ -38,7 +40,7 @@ namespace safeflow {
 /// propagation, restriction rules, taint, rendering, defaults. The bump
 /// is what invalidates every stale cache entry; forgetting it means an
 /// upgraded analyzer can replay a report the old version produced.
-inline constexpr const char kAnalyzerVersion[] = "0.7.0";
+inline constexpr const char kAnalyzerVersion[] = "0.8.0";
 
 /// The exit-code ladder, shared by the in-process CLI path and the
 /// supervised (worker-pool) path so the two can never disagree:
@@ -58,6 +60,17 @@ inline constexpr const char kAnalyzerVersion[] = "0.7.0";
   return 0;
 }
 
+/// Function-level summary memoization (--summaries, DESIGN.md §16).
+struct SummaryOptions {
+  bool enabled = false;
+  /// On-disk store directory; empty = memory-only (still useful for a
+  /// resident store handed in via setSummaryStore()).
+  std::string dir;
+  /// --verify-summaries: after the memoized phases, re-solve everything
+  /// cold and assert state identity (summaryVerifyFailed()).
+  bool verify = false;
+};
+
 struct SafeFlowOptions {
   std::vector<std::string> include_dirs;
   std::vector<std::pair<std::string, std::string>> defines;
@@ -76,6 +89,7 @@ struct SafeFlowOptions {
   /// default is unlimited; see support/limits.h and DESIGN.md for the
   /// degradation semantics when a limit trips.
   support::BudgetLimits budget;
+  SummaryOptions summaries;
 };
 
 struct SafeFlowStats {
@@ -134,6 +148,9 @@ struct SafeFlowStats {
   /// Why a requested incremental cache was disabled ("" when it ran):
   /// "fault-injection", "trace", or "dot" (CacheManager::disabledReason).
   std::string cache_disabled_reason;
+  /// Why requested summary memoization was disabled ("" when it ran):
+  /// "budget", "call-strings", or "fault-injection".
+  std::string summaries_disabled_reason;
 
   /// Human-readable statistics table (what `safeflow --stats` prints).
   [[nodiscard]] std::string renderTable() const;
@@ -192,6 +209,19 @@ class SafeFlowDriver {
     return trace_.get();
   }
 
+  /// Hands the driver an external (typically resident or shared) summary
+  /// store instead of letting it own one. Must be called before
+  /// analyze(); requires options.summaries.enabled to take effect.
+  void setSummaryStore(SummaryStore* store) { summary_store_ = store; }
+  /// The store summaries ran against this run (owned or external), or
+  /// nullptr when summaries were off or disabled.
+  [[nodiscard]] SummaryStore* summaryStore() const { return summary_store_; }
+  /// True when --verify-summaries re-solved cold and found a state
+  /// divergence (a memoization bug — the CLI exits 2 on it).
+  [[nodiscard]] bool summaryVerifyFailed() const {
+    return summary_verify_failed_;
+  }
+
  private:
   void countAnnotations();
   /// Opens the root span / starts the pipeline clock on first use.
@@ -201,6 +231,9 @@ class SafeFlowDriver {
 
   SafeFlowOptions options_;
   support::AnalysisBudget budget_;
+  std::unique_ptr<SummaryStore> owned_summary_store_;
+  SummaryStore* summary_store_ = nullptr;
+  bool summary_verify_failed_ = false;
   std::vector<std::string> failed_files_;
   support::MetricsRegistry metrics_;
   std::unique_ptr<support::TraceCollector> trace_;

@@ -43,6 +43,14 @@
 //   --no-cache          force the cache off
 //   --cache-max-mb <n>  cache size cap before LRU eviction (default 256)
 //   --cache-stats       print cache hit/miss/write/eviction line to stderr
+//   --summaries         enable function-level summary memoization at
+//                       <cache-dir>/summaries (DESIGN.md §16)
+//   --summaries-dir <dir>  enable it with an explicit store directory
+//   --no-summaries      force summary memoization off
+//   --summary-stats     print the summaries hit/miss line to stderr
+//   --verify-summaries  re-solve everything cold after the memoized
+//                       phases and assert state identity (exit 2 on
+//                       divergence; implies --summaries)
 //   --version           print the analyzer version and exit
 //   --quiet             print only the summary line
 //
@@ -73,6 +81,7 @@
 #include "safeflow/cache_manager.h"
 #include "safeflow/driver.h"
 #include "safeflow/run_journal.h"
+#include "safeflow/summary_store.h"
 #include "safeflow/supervisor.h"
 #include "support/fault_inject.h"
 #include "support/flight_recorder.h"
@@ -134,6 +143,16 @@ void usage() {
          "  --cache-max-mb <n>  size cap before LRU eviction (default 256,\n"
          "                      0 = unlimited)\n"
          "  --cache-stats       print the cache hit/miss line to stderr\n"
+         "  --summaries         function-level summary memoization at\n"
+         "                      <cache-dir>/summaries: warm runs re-solve\n"
+         "                      only the functions an edit invalidated\n"
+         "  --summaries-dir <dir>  summary store at <dir>\n"
+         "  --no-summaries      force summary memoization off\n"
+         "  --summary-stats     print the summaries hit/miss line to\n"
+         "                      stderr\n"
+         "  --verify-summaries  cold re-solve + state identity assert\n"
+         "                      (exit 2 on divergence; implies\n"
+         "                      --summaries)\n"
          "  --version           print the analyzer version and exit\n"
          "  --quiet             print only the summary line\n";
 }
@@ -304,6 +323,10 @@ int main(int argc, char** argv) {
   bool cache_stats = false;
   std::string cache_dir = ".safeflow-cache";
   std::uint64_t cache_max_mb = 256;
+  bool summaries_enabled = false;
+  bool summaries_disabled = false;
+  bool summary_stats = false;
+  std::string summaries_dir;  // default derived from cache_dir below
   std::size_t jobs = 1;
   SupervisorOptions sup_options;
   // Analysis options forwarded verbatim to workers in supervised mode.
@@ -456,6 +479,18 @@ int main(int argc, char** argv) {
       cache_disabled = true;
     } else if (arg == "--cache-stats") {
       cache_stats = true;
+    } else if (arg == "--summaries") {
+      summaries_enabled = true;
+    } else if (arg == "--summaries-dir" && i + 1 < argc) {
+      summaries_enabled = true;
+      summaries_dir = argv[++i];
+    } else if (arg == "--no-summaries") {
+      summaries_disabled = true;
+    } else if (arg == "--summary-stats") {
+      summary_stats = true;
+    } else if (arg == "--verify-summaries") {
+      summaries_enabled = true;
+      options.summaries.verify = true;
     } else if (arg == "--cache-max-mb" && i + 1 < argc) {
       char* end = nullptr;
       const unsigned long long n = std::strtoull(argv[++i], &end, 10);
@@ -512,6 +547,26 @@ int main(int argc, char** argv) {
     std::cerr << "--isolate and --no-isolate are mutually exclusive\n";
     return 2;
   }
+
+  // Function-level summary memoization (DESIGN.md §16). The store rides
+  // under the cache directory by default. Deliberately NOT folded into
+  // `passthrough`: that vector doubles as the TU-cache key identity, and
+  // summary memoization never changes analysis output, so flipping it
+  // must not invalidate TU-cache entries.
+  const bool use_summaries = summaries_enabled && !summaries_disabled;
+  if (use_summaries) {
+    if (summaries_dir.empty()) summaries_dir = cache_dir + "/summaries";
+    options.summaries.enabled = true;
+    options.summaries.dir = summaries_dir;
+  } else {
+    options.summaries.verify = false;
+  }
+  std::vector<std::string> summary_args;
+  if (use_summaries) {
+    summary_args = {"--summaries-dir", summaries_dir};
+    if (options.summaries.verify) summary_args.emplace_back("--verify-summaries");
+    if (summary_stats) summary_args.emplace_back("--summary-stats");
+  }
   if (!resume_path.empty()) {
     if (isolate_disabled) {
       std::cerr << "--resume requires the supervised path (remove "
@@ -537,11 +592,12 @@ int main(int argc, char** argv) {
         dot_path.empty() && trace_path.empty() && stats_json_path.empty() &&
         metrics_out_path.empty() && !stats_table && !cache_enabled &&
         !cache_disabled && !cache_stats && !isolate_disabled &&
-        resume_path.empty();
+        resume_path.empty() && !summaries_enabled && !summaries_disabled &&
+        !summary_stats;
     if (!expressible) {
       SAFEFLOW_LOG(support::LogLevel::kNote, "client",
-                   "--connect cannot express --dot/--trace/--stats/cache "
-                   "flags; analyzing locally");
+                   "--connect cannot express --dot/--trace/--stats/cache/"
+                   "summary flags; analyzing locally");
     } else {
       const double deadline_seconds =
           client_deadline_seconds > 0.0 ? client_deadline_seconds : 300.0;
@@ -682,6 +738,13 @@ int main(int argc, char** argv) {
     if (driver.hasFrontendErrors()) {
       std::cerr << driver.diagnostics().render(driver.sources());
     }
+    if (summary_stats && driver.summaryStore() != nullptr) {
+      std::cerr << driver.summaryStore()->statsLine() << "\n";
+    }
+    if (driver.summaryVerifyFailed()) {
+      std::cerr << "safeflow: summary verification failed\n";
+      return 2;
+    }
     return exitCodeFor(report.dataErrorCount(), driver.hasFrontendErrors(),
                        driver.degraded());
   }
@@ -698,6 +761,10 @@ int main(int argc, char** argv) {
     sup_options.worker_args = passthrough;
     sup_options.worker_args.insert(sup_options.worker_args.end(),
                                    obs_args.begin(), obs_args.end());
+    // Workers share the summary store (content-addressed, whole-entry
+    // atomic writes — concurrent shards cannot tear it).
+    sup_options.worker_args.insert(sup_options.worker_args.end(),
+                                   summary_args.begin(), summary_args.end());
     sup_options.base_time_budget_seconds = options.budget.time_seconds;
 
     // --trace in supervised mode: the supervisor records its own
@@ -798,6 +865,14 @@ int main(int argc, char** argv) {
           return 2;
         }
         const auto& report = driver.analyze();
+        if (summary_stats && driver.summaryStore() != nullptr) {
+          std::cerr << driver.summaryStore()->statsLine() << "\n";
+        }
+        if (driver.summaryVerifyFailed()) {
+          // Never cache a run whose memoized state failed verification.
+          std::cerr << "safeflow: summary verification failed\n";
+          return 2;
+        }
         const std::string doc =
             report.renderJson(driver.sources(),
                               driver.stats().renderJson(),
@@ -864,6 +939,13 @@ int main(int argc, char** argv) {
                    "trace.out")) {
       return 2;
     }
+  }
+  if (summary_stats && driver.summaryStore() != nullptr) {
+    std::cerr << driver.summaryStore()->statsLine() << "\n";
+  }
+  if (driver.summaryVerifyFailed()) {
+    std::cerr << driver.diagnostics().render(driver.sources());
+    return 2;
   }
   // The one divergence from driver.stats(): record why a requested
   // cache did not run (the driver cannot know).
