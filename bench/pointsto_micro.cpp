@@ -1,0 +1,230 @@
+// Overhead and precision of the Andersen points-to engine vs the legacy
+// alias fixpoint: runs the in-process pipeline over the checked-in
+// corpus systems under --alias=legacy and --alias=andersen (best-of-N
+// wall time each) and solves a large synthetic pointer-churn module to
+// exercise the SCC condensation at scale. Emits BENCH_pointsto.json.
+// Exits non-zero when the run is invalid: a run degraded, the Andersen
+// engine resolved no more shm pointers than legacy (the precision it is
+// paid in), no cycles collapsed on the churn module, or the corpus
+// overhead exceeded the 15% budget. CI runs this and archives the JSON.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/synthetic.h"
+#include "safeflow/driver.h"
+#include "support/metrics.h"
+
+namespace {
+
+using namespace safeflow;
+
+const std::string kCorpus = SAFEFLOW_CORPUS_DIR;
+
+struct System {
+  const char* name;
+  std::vector<std::string> files;
+};
+
+std::vector<System> corpusSystems() {
+  return {
+      {"ip",
+       {kCorpus + "/ip/core/comm.c", kCorpus + "/ip/core/decision.c",
+        kCorpus + "/ip/core/filter.c", kCorpus + "/ip/core/main.c",
+        kCorpus + "/ip/core/safety.c", kCorpus + "/ip/core/selftest.c",
+        kCorpus + "/ip/core/telemetry.c"}},
+      {"rangelab",
+       {kCorpus + "/rangelab/core/comm.c",
+        kCorpus + "/rangelab/core/filter.c",
+        kCorpus + "/rangelab/core/main.c"}},
+      {"pointerlab",
+       {kCorpus + "/pointerlab/core/chain.c",
+        kCorpus + "/pointerlab/core/comm.c",
+        kCorpus + "/pointerlab/core/confuse.c",
+        kCorpus + "/pointerlab/core/main.c",
+        kCorpus + "/pointerlab/core/pun.c"}},
+  };
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  bool degraded = false;
+  std::uint64_t resolved = 0;
+  std::uint64_t shm_resolved = 0;
+  std::uint64_t constraints = 0;
+  std::uint64_t collapsed = 0;
+  std::uint64_t field_cells = 0;
+};
+
+RunResult measure(SafeFlowDriver& d) {
+  const auto start = std::chrono::steady_clock::now();
+  d.analyze();
+  const auto end = std::chrono::steady_clock::now();
+  RunResult r;
+  r.seconds = std::chrono::duration<double>(end - start).count();
+  r.degraded = d.degraded();
+  const support::MetricsRegistry& m = d.metrics();
+  r.resolved = m.counterValue("alias.resolved_pointers");
+  r.shm_resolved = m.counterValue("alias.shm_pointers_resolved");
+  r.constraints = m.counterValue("pointsto.constraints");
+  r.collapsed = m.counterValue("pointsto.scc_collapsed");
+  r.field_cells = m.counterValue("pointsto.field_cells");
+  return r;
+}
+
+RunResult runFiles(const std::vector<std::string>& files, bool andersen) {
+  SafeFlowOptions o;
+  o.alias.engine = andersen ? analysis::AliasOptions::Engine::kAndersen
+                            : analysis::AliasOptions::Engine::kLegacy;
+  SafeFlowDriver d(o);
+  for (const auto& f : files) {
+    if (!d.addFile(f)) {
+      std::cerr << "pointsto_micro: cannot read " << f << "\n";
+      std::exit(1);
+    }
+  }
+  return measure(d);
+}
+
+RunResult bestOf(const std::vector<std::string>& files, bool andersen,
+                 int reps) {
+  RunResult best = runFiles(files, andersen);
+  for (int i = 1; i < reps; ++i) {
+    RunResult again = runFiles(files, andersen);
+    if (again.seconds < best.seconds) {
+      again.degraded = again.degraded || best.degraded;
+      best = again;
+    }
+  }
+  return best;
+}
+
+RunResult runSynthetic(const std::string& src, bool andersen) {
+  SafeFlowOptions o;
+  o.alias.engine = andersen ? analysis::AliasOptions::Engine::kAndersen
+                            : analysis::AliasOptions::Engine::kLegacy;
+  SafeFlowDriver d(o);
+  if (!d.addSource("churn.c", src)) {
+    std::cerr << "pointsto_micro: synthetic module rejected\n";
+    std::exit(1);
+  }
+  return measure(d);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_pointsto.json";
+  constexpr int kReps = 5;
+  constexpr double kOverheadBudget = 1.15;
+  // Below this absolute delta the corpus runs are timer noise, not a
+  // regression — the corpus is small and the ratio alone would flake.
+  constexpr double kNoiseFloorSeconds = 0.02;
+
+  double legacy_total = 0.0;
+  double andersen_total = 0.0;
+  std::uint64_t legacy_shm = 0;
+  std::uint64_t andersen_shm = 0;
+  std::uint64_t legacy_resolved = 0;
+  std::uint64_t andersen_resolved = 0;
+  bool degraded = false;
+
+  std::vector<std::string> per_system;
+  for (const System& sys : corpusSystems()) {
+    const RunResult legacy = bestOf(sys.files, /*andersen=*/false, kReps);
+    const RunResult andersen = bestOf(sys.files, /*andersen=*/true, kReps);
+    legacy_total += legacy.seconds;
+    andersen_total += andersen.seconds;
+    legacy_shm += legacy.shm_resolved;
+    andersen_shm += andersen.shm_resolved;
+    legacy_resolved += legacy.resolved;
+    andersen_resolved += andersen.resolved;
+    degraded = degraded || legacy.degraded || andersen.degraded;
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"system\": \"%s\", \"legacy_seconds\": %g, "
+        "\"andersen_seconds\": %g, \"legacy_shm_resolved\": %llu, "
+        "\"andersen_shm_resolved\": %llu}",
+        sys.name, legacy.seconds, andersen.seconds,
+        static_cast<unsigned long long>(legacy.shm_resolved),
+        static_cast<unsigned long long>(andersen.shm_resolved));
+    per_system.push_back(buf);
+  }
+
+  // Large synthetic module: the copy-cycle shape that is quadratic
+  // without SCC condensation. One timed solve per engine.
+  const std::string churn = bench::pointerChurnProgram(150, 10);
+  const RunResult churn_legacy = runSynthetic(churn, /*andersen=*/false);
+  const RunResult churn_andersen = runSynthetic(churn, /*andersen=*/true);
+  degraded = degraded || churn_legacy.degraded || churn_andersen.degraded;
+
+  const double ratio =
+      legacy_total > 0.0 ? andersen_total / legacy_total : 0.0;
+  bool ok = true;
+  if (degraded) {
+    std::cerr << "pointsto_micro: a run degraded; timings are bogus\n";
+    ok = false;
+  }
+  if (andersen_shm <= legacy_shm || andersen_resolved < legacy_resolved) {
+    std::cerr << "pointsto_micro: no precision win over legacy "
+              << "(shm_resolved " << andersen_shm << " vs " << legacy_shm
+              << ", resolved " << andersen_resolved << " vs "
+              << legacy_resolved << ") - the engine is not earning its keep\n";
+    ok = false;
+  }
+  if (churn_andersen.collapsed == 0 || churn_andersen.constraints == 0) {
+    std::cerr << "pointsto_micro: churn module collapsed no cycles "
+              << "(scc_collapsed=" << churn_andersen.collapsed
+              << ", constraints=" << churn_andersen.constraints << ")\n";
+    ok = false;
+  }
+  if (ratio > kOverheadBudget &&
+      andersen_total - legacy_total > kNoiseFloorSeconds) {
+    std::cerr << "pointsto_micro: overhead ratio " << ratio
+              << " exceeds budget " << kOverheadBudget << "\n";
+    ok = false;
+  }
+
+  std::ofstream out(out_path, std::ios::trunc);
+  out << "{\n"
+      << "  \"bench\": \"pointsto_micro\",\n"
+      << "  \"reps\": " << kReps << ",\n"
+      << "  \"legacy_seconds\": " << legacy_total << ",\n"
+      << "  \"andersen_seconds\": " << andersen_total << ",\n"
+      << "  \"overhead_ratio\": " << ratio << ",\n"
+      << "  \"overhead_budget\": " << kOverheadBudget << ",\n"
+      << "  \"legacy_shm_resolved\": " << legacy_shm << ",\n"
+      << "  \"andersen_shm_resolved\": " << andersen_shm << ",\n"
+      << "  \"legacy_resolved\": " << legacy_resolved << ",\n"
+      << "  \"andersen_resolved\": " << andersen_resolved << ",\n"
+      << "  \"churn\": {\n"
+      << "    \"legacy_seconds\": " << churn_legacy.seconds << ",\n"
+      << "    \"andersen_seconds\": " << churn_andersen.seconds << ",\n"
+      << "    \"constraints\": " << churn_andersen.constraints << ",\n"
+      << "    \"scc_collapsed\": " << churn_andersen.collapsed << ",\n"
+      << "    \"field_cells\": " << churn_andersen.field_cells << "\n"
+      << "  },\n"
+      << "  \"systems\": [\n";
+  for (std::size_t i = 0; i < per_system.size(); ++i) {
+    out << per_system[i] << (i + 1 < per_system.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n"
+      << "  \"valid\": " << (ok ? "true" : "false") << "\n"
+      << "}\n";
+  out.close();
+
+  std::printf(
+      "pointsto_micro: legacy %.3fs, andersen %.3fs, ratio %.3f, "
+      "shm_resolved %llu vs %llu, churn %.3fs (%llu constraints, "
+      "%llu collapsed)\n",
+      legacy_total, andersen_total, ratio,
+      static_cast<unsigned long long>(andersen_shm),
+      static_cast<unsigned long long>(legacy_shm), churn_andersen.seconds,
+      static_cast<unsigned long long>(churn_andersen.constraints),
+      static_cast<unsigned long long>(churn_andersen.collapsed));
+  return ok ? 0 : 1;
+}

@@ -147,4 +147,42 @@ inline std::string scalingProgram(int functions) {
   return out.str();
 }
 
+/// A pointer-churn program stressing the points-to solver: `functions`
+/// functions each spin a pointer-swap loop (the phis form copy cycles
+/// the SCC condensation must collapse), address a record field through
+/// constant pointer arithmetic, and route a pointer through a shared
+/// `depth`-deep call chain. This is the worklist-killer shape — without
+/// cycle collapse the solve is quadratic in the swap chain.
+inline std::string pointerChurnProgram(int functions, int depth) {
+  std::ostringstream out;
+  out << shmPrelude(2);
+  out << "typedef struct Rec { int tag; float val; } Rec;\n";
+  // Shared pointer-identity chain: hop1 -> ... -> hopD.
+  out << "Rec *hop" << depth << "(Rec *p)\n{\n    return p;\n}\n";
+  for (int d = depth - 1; d >= 1; --d) {
+    out << "Rec *hop" << d << "(Rec *p)\n{\n    return hop" << (d + 1)
+        << "(p);\n}\n";
+  }
+  for (int i = 0; i < functions; ++i) {
+    out << "float churn" << i << "(int n)\n{\n"
+        << "    Rec a;\n    Rec b;\n    Rec *p;\n    Rec *q;\n"
+        << "    Rec *t;\n    float *vp;\n    int i;\n"
+        << "    a.tag = n;\n    a.val = 1.0f;\n"
+        << "    b.tag = n + 1;\n    b.val = 2.0f;\n"
+        << "    p = &a;\n    q = &b;\n"
+        << "    for (i = 0; i < n; i++) {\n"
+        << "        t = p;\n        p = q;\n        q = t;\n    }\n"
+        << "    p = hop1(p);\n"
+        << "    vp = (float *) (&p->tag + 1);\n"
+        << "    return *vp + q->val;\n}\n";
+  }
+  out << "int main(void)\n{\n    float total;\n    initShm();\n"
+      << "    total = 0.0f;\n";
+  for (int i = 0; i < functions; ++i) {
+    out << "    total = total + churn" << i << "(" << (i % 9 + 1) << ");\n";
+  }
+  out << "    sink(total);\n    return 0;\n}\n";
+  return out.str();
+}
+
 }  // namespace safeflow::bench

@@ -1,0 +1,47 @@
+/* Shared-memory layout of the pointer laboratory system: a slot ring
+ * walked with explicit slot pointers plus a non-core supervisor block,
+ * exercising the shapes only a field-sensitive points-to analysis can
+ * separate — constant pointer arithmetic across record fields, type
+ * punning through unions, and pointers returned through call chains.
+ *
+ *   ring   - PL_SLOTS actuation slots published by the core side
+ *   status - bookkeeping published by the non-core supervisor
+ */
+#ifndef PL_TYPES_H
+#define PL_TYPES_H
+
+#define PL_SHM_KEY 7801
+#define PL_SLOTS 8
+
+typedef struct PlSlot {
+    float cmd;           /* actuation command for the slot */
+    int   flags;         /* slot bookkeeping               */
+} PlSlot;
+
+typedef struct PlStatus {
+    int seq;             /* non-core supervisor heartbeat  */
+    int raw;             /* raw supervisor word            */
+} PlStatus;
+
+/* Core-local staging record. The supervisor hint and the command are
+ * adjacent words; code below addresses one from the other with constant
+ * pointer arithmetic. */
+typedef struct PlStage {
+    int   hint;          /* scratch derived from the supervisor */
+    float cmd;           /* core-computed command               */
+} PlStage;
+
+/* One machine word viewed as either an integer or a float — the
+ * classic wire-format pun. */
+typedef union PlWord {
+    int   i;
+    float f;
+} PlWord;
+
+/* A slot pointer carried through an untyped queue word. */
+typedef union PlPort {
+    PlSlot *slot;        /* typed view     */
+    void   *raw;         /* queue word view */
+} PlPort;
+
+#endif /* PL_TYPES_H */

@@ -1,0 +1,18 @@
+/* Declarations of the system interfaces the pointerlab controller uses.
+ * The SafeFlow analyzer models these by signature only. */
+#ifndef PL_SYS_H
+#define PL_SYS_H
+
+extern int   shmget(int key, int size, int flags);
+extern void *shmat(int shmid, void *addr, int flags);
+extern int   printf(char *fmt, ...);
+extern void  usleep(int usec);
+
+extern void  lockShm(void);
+extern void  unlockShm(void);
+extern void  sendControl(float volts);
+
+#define IPC_CREAT 512
+#define PL_PERIOD_US 10000
+
+#endif /* PL_SYS_H */

@@ -1,0 +1,23 @@
+/* Staging-record helpers for the pointerlab controller. The command
+ * slot of a PlStage is addressed from its hint slot with constant
+ * pointer arithmetic (the words are adjacent), and the resulting
+ * pointer is returned through a two-deep call chain. A field-sensitive
+ * points-to analysis resolves the arithmetic to the command word; a
+ * field-collapsing one conflates it with the supervisor-derived hint
+ * and reports a spurious taint flow at the caller's safety assert.
+ */
+#include "../common/pl.h"
+#include "../common/sys.h"
+
+/* Address of the command word, computed by stepping one int past the
+ * hint word rather than naming the field. */
+float *stageCmd(PlStage *st)
+{
+    return (float *) (&st->hint + 1);
+}
+
+/* Indirection layer: the pointer survives another call boundary. */
+float *pickCmd(PlStage *st)
+{
+    return stageCmd(st);
+}

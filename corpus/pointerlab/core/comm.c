@@ -1,0 +1,33 @@
+/* Shared-memory initialization for the pointerlab core controller. The
+ * initializing function performs the one untyped shmat cast and carves
+ * the segment into the slot ring and the supervisor status block; the
+ * shmvar/noncore post-conditions declare the regions for the analysis.
+ */
+#include "../common/pl.h"
+#include "../common/sys.h"
+
+PlSlot *ring;
+PlStatus *status;
+
+static int shmSegmentId;
+
+/*** SafeFlow Annotation shminit ***/
+void initPl(void)
+{
+    void *shmStart;
+    char *cursor;
+    int total;
+
+    total = PL_SLOTS * sizeof(PlSlot) + sizeof(PlStatus);
+    shmSegmentId = shmget(PL_SHM_KEY, total, IPC_CREAT);
+    shmStart = shmat(shmSegmentId, 0, 0);
+
+    cursor = (char *) shmStart;
+    ring = (PlSlot *) cursor;
+    cursor = cursor + PL_SLOTS * sizeof(PlSlot);
+    status = (PlStatus *) cursor;
+
+    /*** SafeFlow Annotation assume(shmvar(ring, 8 * sizeof(PlSlot))) ***/
+    /*** SafeFlow Annotation assume(shmvar(status, sizeof(PlStatus))) ***/
+    /*** SafeFlow Annotation assume(noncore(status)) ***/
+}

@@ -1,0 +1,19 @@
+/* Seeded cross-region confusion defect: the diagnostic drift probe
+ * steps the slot pointer one element past the ring, onto the bytes
+ * where the adjacently-carved supervisor status block lives. The
+ * offset is a compile-time constant, so the access provably exceeds
+ * the ring's declared extent and must be reported as a bounds
+ * violation in every configuration.
+ */
+#include "../common/pl.h"
+#include "../common/sys.h"
+
+extern PlSlot *ring;
+
+float plConfused(void)
+{
+    PlSlot *stray;
+
+    stray = ring + PL_SLOTS;   /* first slot past the ring */
+    return stray->cmd;         /* reads into the status block */
+}

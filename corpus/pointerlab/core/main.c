@@ -1,0 +1,46 @@
+/* Core loop of the pointerlab controller. The staging record's hint
+ * word holds the supervisor heartbeat (tainted); the command word is
+ * computed from core data and fetched back through pickCmd's pointer
+ * arithmetic. With field-sensitive points-to the fetched command is
+ * provably independent of the hint and the first assert is clean; a
+ * field-collapsing alias model merges the two words and reports a
+ * spurious flow. The second assert guards the punned supervisor word,
+ * which genuinely is non-core data.
+ */
+#include "../common/pl.h"
+#include "../common/sys.h"
+
+extern PlStatus *status;
+
+extern void initPl(void);
+extern float *pickCmd(PlStage *st);
+extern float plPunned(void);
+extern float portCmd(void);
+extern float plConfused(void);
+
+int main(void)
+{
+    PlStage st;
+    float *cp;
+    float output;
+    float wobble;
+
+    initPl();
+    while (1) {
+        lockShm();
+        st.hint = status->seq;  /* unmonitored non-core read (warning) */
+        unlockShm();
+        st.cmd = portCmd();     /* core command from the ring */
+
+        cp = pickCmd(&st);      /* resolves to &st.cmd, not &st.hint */
+        output = *cp;
+        /*** SafeFlow Annotation assert(safe(output)); ***/
+        sendControl(output);
+
+        wobble = plPunned();    /* non-core word behind a union pun */
+        /*** SafeFlow Annotation assert(safe(wobble)); ***/
+        printf("[pointerlab] wobble %f drift %f\n", wobble, plConfused());
+        usleep(PL_PERIOD_US);
+    }
+    return 0;
+}

@@ -1,0 +1,42 @@
+/* Union punning in the pointerlab controller.
+ *
+ * plPunned launders a raw non-core supervisor word through a PlWord
+ * union: the integer member is written, the float member is read.
+ * The members overlap, so the float genuinely depends on non-core
+ * data — a defect a per-field-index alias model misses because it
+ * gives each member a disjoint object.
+ *
+ * portCmd round-trips the ring pointer through the untyped word of a
+ * PlPort union, the queue idiom. Only an alias model whose union
+ * members share overlapping cells resolves the dequeued pointer back
+ * to the shared-memory ring.
+ */
+#include "../common/pl.h"
+#include "../common/sys.h"
+
+extern PlSlot *ring;
+extern PlStatus *status;
+
+/* The supervisor's raw word reinterpreted as a float. The pun is the
+ * data flow: w.f overlaps w.i byte for byte. */
+float plPunned(void)
+{
+    PlWord w;
+
+    lockShm();
+    w.i = status->raw;   /* unmonitored non-core read (warning) */
+    unlockShm();
+    return w.f;
+}
+
+/* Command of the first ring slot, with the slot pointer carried through
+ * the untyped queue word. */
+float portCmd(void)
+{
+    PlPort port;
+    PlSlot *s;
+
+    port.raw = (void *) ring;
+    s = port.slot;
+    return s->cmd;
+}

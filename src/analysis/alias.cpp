@@ -14,6 +14,12 @@ AliasAnalysis::AliasAnalysis(const ir::Module& module,
       callgraph_(callgraph),
       options_(options),
       budget_(budget) {
+  if (options_.engine == AliasOptions::Engine::kAndersen) {
+    solver_ = std::make_unique<PointsToSolver>(
+        module_, regions_, callgraph_,
+        PointsToOptions{options_.field_sensitive}, budget_);
+    return;
+  }
   ObjInfo unknown;
   unknown.kind = ObjInfo::Kind::kUnknown;
   unknown.name = "<unknown>";
@@ -22,6 +28,127 @@ AliasAnalysis::AliasAnalysis(const ir::Module& module,
   // return pointers to graphs of unknown memory).
   contents_[unknown_].insert(unknown_);
 }
+
+void AliasAnalysis::run() {
+  const support::ScopedTimer timer("phase.alias");
+  support::budgetBeginPhase(budget_, "alias");
+  if (solver_) {
+    solver_->solve();
+  } else {
+    runLegacy();
+  }
+  emitSharedCounters();
+}
+
+void AliasAnalysis::emitSharedCounters() const {
+  // Precision feed for the CI alias baseline: how many values resolved
+  // to concrete objects only (no unknown), how many reach a shm region,
+  // and how many carry exact field/offset cells.
+  std::size_t edges = 0;
+  std::size_t resolved = 0;
+  std::size_t shm_resolved = 0;
+  std::size_t field_precise = 0;
+  const auto tally = [&](const std::set<ObjId>& objs) {
+    edges += objs.size();
+    bool any_unknown = false;
+    bool any_region = false;
+    bool any_field = false;
+    for (ObjId o : objs) {
+      if (isUnknown(o)) any_unknown = true;
+      if (regionOf(o) >= 0) any_region = true;
+      if (kindOf(o) == ObjKind::kField) any_field = true;
+    }
+    if (!any_unknown) ++resolved;
+    // Region association is counted independently of unknown: the shmat
+    // return is external (unknown), so every region pointer global also
+    // holds unknown — what matters is whether the region survives at all.
+    if (any_region) ++shm_resolved;
+    if (any_field) ++field_precise;
+  };
+  if (solver_) {
+    for (const auto& [v, objs] : solver_->allPointsTo()) tally(objs);
+  } else {
+    for (const auto& [v, objs] : points_to_) tally(objs);
+  }
+  SAFEFLOW_COUNT_N("alias.points_to_edges", edges);
+  SAFEFLOW_COUNT_N("alias.resolved_pointers", resolved);
+  SAFEFLOW_COUNT_N("alias.shm_pointers_resolved", shm_resolved);
+  SAFEFLOW_COUNT_N("alias.field_precise_pointers", field_precise);
+  SAFEFLOW_GAUGE("alias.objects", objectCount());
+}
+
+// ---------------------------------------------------------------------------
+// Facade dispatch
+// ---------------------------------------------------------------------------
+
+const std::set<ObjId>& AliasAnalysis::pointsTo(const ir::Value* v) const {
+  if (solver_) return solver_->pointsTo(v);
+  auto it = points_to_.find(v);
+  return it == points_to_.end() ? empty_ : it->second;
+}
+
+ObjId AliasAnalysis::parentOf(ObjId obj) const {
+  if (solver_) return solver_->parentOf(obj);
+  if (obj < 0 || static_cast<std::size_t>(obj) >= infos_.size()) return -1;
+  const ObjInfo& info = infos_[static_cast<std::size_t>(obj)];
+  return info.kind == ObjInfo::Kind::kField ? info.parent : -1;
+}
+
+int AliasAnalysis::regionOf(ObjId obj) const {
+  if (solver_) return solver_->regionOf(obj);
+  if (obj < 0 || static_cast<std::size_t>(obj) >= infos_.size()) return -1;
+  return infos_[static_cast<std::size_t>(obj)].region_id;
+}
+
+std::vector<ObjId> AliasAnalysis::objectsOfRegion(int region_id) const {
+  if (solver_) return solver_->objectsOfRegion(region_id);
+  std::vector<ObjId> out;
+  for (std::size_t i = 0; i < infos_.size(); ++i) {
+    if (infos_[i].region_id == region_id) {
+      out.push_back(static_cast<ObjId>(i));
+    }
+  }
+  return out;
+}
+
+std::pair<std::int64_t, std::int64_t> AliasAnalysis::extentOf(
+    ObjId obj) const {
+  if (solver_) return solver_->extentOf(obj);
+  if (obj < 0 || static_cast<std::size_t>(obj) >= infos_.size()) {
+    return {0, 0};
+  }
+  const ObjInfo& info = infos_[static_cast<std::size_t>(obj)];
+  if (info.kind != ObjInfo::Kind::kField) return {0, info.size};
+  // Field offset within the parent: recover from the parent's pointee
+  // struct layout when available. The region's pointee type carries it.
+  std::int64_t offset = 0;
+  const int region = info.region_id;
+  if (region >= 0) {
+    if (const ShmRegion* r = regions_.byId(region)) {
+      if (r->pointee_type != nullptr && r->pointee_type->isStruct()) {
+        const auto* st =
+            static_cast<const cfront::StructType*>(r->pointee_type);
+        if (info.field < st->fields().size()) {
+          offset = static_cast<std::int64_t>(
+              st->fields()[info.field].offset);
+        }
+      }
+    }
+  }
+  return {offset, info.size};
+}
+
+std::string AliasAnalysis::describe(ObjId obj) const {
+  if (solver_) return solver_->describe(obj);
+  if (obj < 0 || static_cast<std::size_t>(obj) >= infos_.size()) {
+    return "<bad-object>";
+  }
+  return infos_[static_cast<std::size_t>(obj)].name;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy engine (pre-0.9.0 ad-hoc fixpoint, --alias=legacy)
+// ---------------------------------------------------------------------------
 
 ObjId AliasAnalysis::internObject(ObjInfo info) {
   infos_.push_back(std::move(info));
@@ -34,7 +161,13 @@ ObjId AliasAnalysis::objectForAlloca(const ir::Instruction* alloca) {
   ObjInfo info;
   info.kind = ObjInfo::Kind::kAlloca;
   info.anchor = alloca;
-  info.name = alloca->name().empty() ? "<tmp>" : alloca->name();
+  // Qualified with the owning function: bare alloca names are not unique
+  // across functions and diagnostics must be unambiguous.
+  const ir::Function* fn =
+      alloca->parent() != nullptr ? alloca->parent()->parent() : nullptr;
+  const std::string base =
+      alloca->name().empty() ? std::string("<tmp>") : alloca->name();
+  info.name = (fn != nullptr ? fn->name() + "::" : std::string()) + base;
   info.size = alloca->allocated_type
                   ? static_cast<std::int64_t>(alloca->allocated_type->size())
                   : 0;
@@ -87,9 +220,7 @@ bool AliasAnalysis::addAll(const ir::Value* v, const std::set<ObjId>& objs) {
   return changed;
 }
 
-void AliasAnalysis::run() {
-  const support::ScopedTimer timer("phase.alias");
-  support::budgetBeginPhase(budget_, "alias");
+void AliasAnalysis::runLegacy() {
   std::size_t rounds = 0;
   bool live = true;
   // Region objects.
@@ -246,70 +377,7 @@ void AliasAnalysis::run() {
     for (auto& [v, objs] : points_to_) objs.insert(unknown_);
     for (auto& [obj, objs] : contents_) objs.insert(unknown_);
   }
-  std::size_t edges = 0;
-  for (const auto& [v, objs] : points_to_) edges += objs.size();
   SAFEFLOW_COUNT_N("alias.fixpoint_rounds", rounds);
-  SAFEFLOW_COUNT_N("alias.points_to_edges", edges);
-  SAFEFLOW_GAUGE("alias.objects", infos_.size());
-}
-
-const std::set<ObjId>& AliasAnalysis::pointsTo(const ir::Value* v) const {
-  auto it = points_to_.find(v);
-  return it == points_to_.end() ? empty_ : it->second;
-}
-
-ObjId AliasAnalysis::parentOf(ObjId obj) const {
-  if (obj < 0 || static_cast<std::size_t>(obj) >= infos_.size()) return -1;
-  const ObjInfo& info = infos_[static_cast<std::size_t>(obj)];
-  return info.kind == ObjInfo::Kind::kField ? info.parent : -1;
-}
-
-int AliasAnalysis::regionOf(ObjId obj) const {
-  if (obj < 0 || static_cast<std::size_t>(obj) >= infos_.size()) return -1;
-  return infos_[static_cast<std::size_t>(obj)].region_id;
-}
-
-std::vector<ObjId> AliasAnalysis::objectsOfRegion(int region_id) const {
-  std::vector<ObjId> out;
-  for (std::size_t i = 0; i < infos_.size(); ++i) {
-    if (infos_[i].region_id == region_id) {
-      out.push_back(static_cast<ObjId>(i));
-    }
-  }
-  return out;
-}
-
-std::pair<std::int64_t, std::int64_t> AliasAnalysis::extentOf(
-    ObjId obj) const {
-  if (obj < 0 || static_cast<std::size_t>(obj) >= infos_.size()) {
-    return {0, 0};
-  }
-  const ObjInfo& info = infos_[static_cast<std::size_t>(obj)];
-  if (info.kind != ObjInfo::Kind::kField) return {0, info.size};
-  // Field offset within the parent: recover from the parent's pointee
-  // struct layout when available. The region's pointee type carries it.
-  std::int64_t offset = 0;
-  const int region = info.region_id;
-  if (region >= 0) {
-    if (const ShmRegion* r = regions_.byId(region)) {
-      if (r->pointee_type != nullptr && r->pointee_type->isStruct()) {
-        const auto* st =
-            static_cast<const cfront::StructType*>(r->pointee_type);
-        if (info.field < st->fields().size()) {
-          offset = static_cast<std::int64_t>(
-              st->fields()[info.field].offset);
-        }
-      }
-    }
-  }
-  return {offset, info.size};
-}
-
-std::string AliasAnalysis::describe(ObjId obj) const {
-  if (obj < 0 || static_cast<std::size_t>(obj) >= infos_.size()) {
-    return "<bad-object>";
-  }
-  return infos_[static_cast<std::size_t>(obj)].name;
 }
 
 }  // namespace safeflow::analysis

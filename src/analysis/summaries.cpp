@@ -394,9 +394,15 @@ std::string stableObjectName(const AliasAnalysis& alias,
       return "A" + (fn != nullptr ? fn->name() : std::string("?")) + "#" +
              std::to_string(id);
     }
-    case AliasAnalysis::ObjKind::kField:
+    case AliasAnalysis::ObjKind::kField: {
+      // Field index plus exact byte extent: the Andersen engine can hold
+      // several offset cells behind one declared field index (byte
+      // views, union punning), and names must stay injective.
+      const auto [off, size] = alias.extentOf(obj);
       return stableObjectName(alias, index, alias.parentOf(obj)) + ".f" +
-             std::to_string(alias.fieldIndexOf(obj));
+             std::to_string(alias.fieldIndexOf(obj)) + "@" +
+             std::to_string(off) + ":" + std::to_string(size);
+    }
   }
   return "?";
 }

@@ -296,8 +296,7 @@ bool Parser::parseDeclSpec(DeclSpec& spec) {
 
 const Type* Parser::parseStructSpecifier() {
   const bool is_union = peek().is(TokenKind::kKwUnion);
-  advance();  // struct / union (unions are laid out as structs; the corpora
-              // do not rely on overlap semantics)
+  advance();  // struct / union
   std::string tag;
   if (check(TokenKind::kIdentifier)) tag = advance().text;
   static unsigned anon_counter = 0;
@@ -305,6 +304,7 @@ const Type* Parser::parseStructSpecifier() {
   if (is_union) tag = "union " + tag;
 
   StructType* st = types_.getOrCreateStruct(tag);
+  if (is_union) st->markUnion();
   if (accept(TokenKind::kLBrace)) {
     std::vector<StructField> fields;
     while (!check(TokenKind::kRBrace) && !check(TokenKind::kEof)) {

@@ -51,9 +51,14 @@ void StructType::complete(std::vector<StructField> fields) {
   std::uint64_t align = 1;
   for (StructField& f : fields) {
     const std::uint64_t a = std::max<std::uint64_t>(1, f.type->alignment());
-    offset = (offset + a - 1) / a * a;
-    f.offset = offset;
-    offset += f.type->size();
+    if (is_union_) {
+      f.offset = 0;
+      offset = std::max(offset, f.type->size());
+    } else {
+      offset = (offset + a - 1) / a * a;
+      f.offset = offset;
+      offset += f.type->size();
+    }
     align = std::max(align, a);
   }
   size_ = (offset + align - 1) / align * align;

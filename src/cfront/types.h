@@ -146,7 +146,14 @@ class StructType final : public Type {
   /// Index of a field by name, or -1.
   [[nodiscard]] int fieldIndex(std::string_view name) const;
 
+  /// Unions share the struct representation but lay every member at
+  /// offset 0; the points-to layer models their members as overlapping
+  /// cells (Miné-style) instead of giving up.
+  [[nodiscard]] bool isUnion() const { return is_union_; }
+  void markUnion() { is_union_ = true; }
+
   /// Lays out fields with natural alignment and marks the type complete.
+  /// Union members all get offset 0 and the size is the widest member.
   void complete(std::vector<StructField> fields);
 
   [[nodiscard]] std::uint64_t size() const override { return size_; }
@@ -161,6 +168,7 @@ class StructType final : public Type {
   std::uint64_t size_ = 0;
   std::uint64_t align_ = 1;
   bool complete_ = false;
+  bool is_union_ = false;
 };
 
 class FunctionType final : public Type {

@@ -40,7 +40,7 @@ class SummaryStore;
 /// propagation, restriction rules, taint, rendering, defaults. The bump
 /// is what invalidates every stale cache entry; forgetting it means an
 /// upgraded analyzer can replay a report the old version produced.
-inline constexpr const char kAnalyzerVersion[] = "0.8.0";
+inline constexpr const char kAnalyzerVersion[] = "0.9.0";
 
 /// The exit-code ladder, shared by the in-process CLI path and the
 /// supervised (worker-pool) path so the two can never disagree:

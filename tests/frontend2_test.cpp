@@ -150,11 +150,20 @@ TEST(Declarators, SelfReferentialStruct) {
   EXPECT_TRUE(p.ok);
 }
 
-TEST(Declarators, UnionParsedAsStructLayout) {
+TEST(Declarators, UnionMembersOverlapAtOffsetZero) {
   const auto p = parse(
-      "union U { int i; float f; };\n"
+      "union U { int i; float f; double d; };\n"
       "union U g;");
-  EXPECT_TRUE(p.ok);
+  ASSERT_TRUE(p.ok);
+  const auto* g = p.fe->unit().findGlobal("g");
+  ASSERT_TRUE(g->type()->isStruct());
+  const auto* u = static_cast<const StructType*>(g->type());
+  EXPECT_TRUE(u->isUnion());
+  ASSERT_EQ(u->fields().size(), 3u);
+  for (const auto& f : u->fields()) EXPECT_EQ(f.offset, 0u);
+  // Size is the widest member, alignment the strictest.
+  EXPECT_EQ(u->size(), 8u);
+  EXPECT_EQ(u->alignment(), 8u);
 }
 
 TEST(ConstExpr, MacroArithmeticInArrayBound) {
